@@ -1,0 +1,66 @@
+//! Per-ACK cost of every congestion avoidance algorithm.
+//!
+//! CAAI's substrate drives one `pkts_acked` + `cong_avoid` call per
+//! received ACK, so per-ACK cost bounds how fast traces can be simulated.
+//! This bench drives each of the 16 algorithms through a fixed ACK stream
+//! spanning both slow start and congestion avoidance.
+
+use caai_congestion::{Ack, AlgorithmId, Transport, ALL_WITH_EXTENSIONS};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+/// ACKs per measured iteration: enough to cross from slow start into
+/// congestion avoidance and exercise the steady-state growth path.
+const ACKS: u64 = 4_096;
+
+fn drive(algo: AlgorithmId) -> u32 {
+    let mut cc = algo.build();
+    let mut tp = Transport::new(1460);
+    cc.init(&mut tp);
+    tp.ssthresh = 64;
+    let mut now = 0.0;
+    for i in 0..ACKS {
+        now += 0.001;
+        let ack = Ack { now, acked: 1, rtt: 0.1 + (i % 7) as f64 * 0.001 };
+        tp.snd_una += 1;
+        tp.snd_nxt = tp.snd_una + u64::from(tp.cwnd);
+        cc.pkts_acked(&mut tp, &ack);
+        cc.cong_avoid(&mut tp, &ack);
+    }
+    tp.cwnd
+}
+
+fn bench_per_ack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("per_ack_cost");
+    group.throughput(Throughput::Elements(ACKS));
+    for algo in ALL_WITH_EXTENSIONS {
+        group.bench_with_input(BenchmarkId::from_parameter(algo), &algo, |b, &algo| {
+            b.iter(|| black_box(drive(algo)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_loss_event(c: &mut Criterion) {
+    let mut group = c.benchmark_group("loss_event_cost");
+    for algo in [AlgorithmId::Reno, AlgorithmId::CubicV2, AlgorithmId::Htcp, AlgorithmId::Yeah] {
+        group.bench_with_input(BenchmarkId::from_parameter(algo), &algo, |b, &algo| {
+            let mut cc = algo.build();
+            let mut tp = Transport::new(1460);
+            cc.init(&mut tp);
+            tp.cwnd = 512;
+            tp.srtt = 1.0;
+            tp.min_rtt = 0.8;
+            b.iter(|| {
+                let ss = cc.ssthresh(black_box(&tp));
+                cc.on_loss(&mut tp, caai_congestion::LossKind::Timeout, 1.0);
+                tp.cwnd = 512; // restore for the next iteration
+                black_box(ss)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_per_ack, bench_loss_event);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Census throughput (§VII-B, Table IV).
+//!
+//! One measured element is one server probed end to end: sample a network
+//! condition, walk the `w_max` ladder in both environments, extract
+//! features, classify. This is the unit the paper repeated ~63,000 times;
+//! the thread-scaling group shows how the sharded census driver spreads
+//! that work.
+
+use caai_core::census::Census;
+use caai_core::classify::CaaiClassifier;
+use caai_core::prober::ProberConfig;
+use caai_core::training::{build_training_set, TrainingConfig};
+use caai_netem::rng::seeded;
+use caai_netem::ConditionDb;
+use caai_webmodel::{PopulationConfig, WebServer};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn make_census() -> Census {
+    let db = ConditionDb::paper_2011();
+    let mut rng = seeded(1);
+    let data = build_training_set(&TrainingConfig::quick(2), &db, &mut rng);
+    let classifier = CaaiClassifier::train(&data, &mut rng);
+    Census::new(classifier, db, ProberConfig::default())
+}
+
+fn population(n: u32) -> Vec<WebServer> {
+    PopulationConfig::small(n).generate(&mut seeded(2))
+}
+
+fn bench_probe_one(c: &mut Criterion) {
+    let census = make_census();
+    let servers = population(16);
+    let mut group = c.benchmark_group("census_probe_one");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("single_server", |b| {
+        let mut rng = seeded(3);
+        let mut i = 0usize;
+        b.iter(|| {
+            let s = &servers[i % servers.len()];
+            i += 1;
+            black_box(census.probe(s, &mut rng))
+        });
+    });
+    group.finish();
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let census = make_census();
+    let servers = population(64);
+    let mut group = c.benchmark_group("census_thread_scaling");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(servers.len() as u64));
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| black_box(census.run(&servers, 9, w)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_probe_one, bench_thread_scaling);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Cost of CAAI Step 2 (feature extraction, §V).
+//!
+//! Feature extraction runs once per gathered trace pair; its cost is tiny
+//! next to gathering, but it sits on the census's critical path and its
+//! boundary-RTT search is O(rounds), so we pin it down. Traces are
+//! gathered once outside the measurement loop.
+
+use caai_congestion::{AlgorithmId, ALL_IDENTIFIED};
+use caai_core::features::{estimate_ack_loss, extract, extract_pair};
+use caai_core::prober::{Prober, ProberConfig};
+use caai_core::server_under_test::ServerUnderTest;
+use caai_core::trace::TracePair;
+use caai_netem::rng::seeded;
+use caai_netem::PathConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn gather_pair(algo: AlgorithmId) -> TracePair {
+    let server = ServerUnderTest::ideal(algo);
+    let prober = Prober::new(ProberConfig::default());
+    let mut rng = seeded(3);
+    prober.gather(&server, &PathConfig::clean(), &mut rng).pair.expect("ideal server")
+}
+
+fn bench_extract_pair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extract_pair");
+    for algo in [AlgorithmId::Reno, AlgorithmId::Bic, AlgorithmId::WestwoodPlus] {
+        let pair = gather_pair(algo);
+        group.bench_with_input(BenchmarkId::from_parameter(algo), &pair, |b, pair| {
+            b.iter(|| black_box(extract_pair(pair)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_extract_all_algorithms(c: &mut Criterion) {
+    // One batch = feature extraction for the whole algorithm zoo, the unit
+    // of work the training-set builder repeats per network condition.
+    let pairs: Vec<TracePair> = ALL_IDENTIFIED.iter().map(|&a| gather_pair(a)).collect();
+    let mut group = c.benchmark_group("extract_batch");
+    group.throughput(Throughput::Elements(pairs.len() as u64));
+    group.bench_function("all_14_algorithms", |b| {
+        b.iter(|| {
+            for pair in &pairs {
+                black_box(extract_pair(pair));
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_ack_loss_estimate(c: &mut Criterion) {
+    let pair = gather_pair(AlgorithmId::Reno);
+    let mut group = c.benchmark_group("ack_loss_estimate");
+    group.bench_function("post_timeout_trace", |b| {
+        b.iter(|| black_box(estimate_ack_loss(&pair.env_a.post)));
+    });
+    group.bench_function("single_trace_features", |b| {
+        b.iter(|| black_box(extract(&pair.env_a)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_extract_pair,
+    bench_extract_all_algorithms,
+    bench_ack_loss_estimate
+);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Cost of CAAI Step 1 (trace gathering, §IV).
+//!
+//! One measured iteration is one full emulated TCP connection: slow start
+//! past the `w_max` threshold, the forced timeout, and 18 post-timeout
+//! rounds. Parameterized over algorithm, environment, `w_max` rung, and
+//! path condition, mirroring the knobs the paper's protocol walks.
+
+use caai_congestion::AlgorithmId;
+use caai_core::prober::{Prober, ProberConfig};
+use caai_core::server_under_test::ServerUnderTest;
+use caai_netem::rng::seeded;
+use caai_netem::{EnvironmentId, PathConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_single_trace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gather_one_trace");
+    let prober = Prober::new(ProberConfig::default());
+    for algo in [AlgorithmId::Reno, AlgorithmId::CubicV2, AlgorithmId::CtcpV2, AlgorithmId::Htcp] {
+        for env in [EnvironmentId::A, EnvironmentId::B] {
+            let id = BenchmarkId::new(format!("{algo}"), format!("env_{env:?}"));
+            group.bench_with_input(id, &(algo, env), |b, &(algo, env)| {
+                let server = ServerUnderTest::ideal(algo);
+                let mut rng = seeded(42);
+                b.iter(|| {
+                    let (trace, _) = prober.gather_trace(
+                        black_box(&server),
+                        env,
+                        512,
+                        0.0,
+                        &PathConfig::clean(),
+                        &mut rng,
+                    );
+                    black_box(trace)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_wmax_ladder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gather_wmax_rungs");
+    let prober = Prober::new(ProberConfig::default());
+    let server = ServerUnderTest::ideal(AlgorithmId::Reno);
+    for wmax in [64u32, 128, 256, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(wmax), &wmax, |b, &wmax| {
+            let mut rng = seeded(7);
+            b.iter(|| {
+                let (trace, _) = prober.gather_trace(
+                    &server,
+                    EnvironmentId::A,
+                    wmax,
+                    0.0,
+                    &PathConfig::clean(),
+                    &mut rng,
+                );
+                black_box(trace)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gather_full_protocol");
+    group.sample_size(20);
+    let prober = Prober::new(ProberConfig::default());
+    for (name, path) in [("clean", PathConfig::clean()), ("lossy_2pct", PathConfig::lossy(0.02))]
+    {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &path, |b, path| {
+            let server = ServerUnderTest::ideal(AlgorithmId::CubicV2);
+            let mut rng = seeded(11);
+            b.iter(|| black_box(prober.gather(&server, path, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_trace, bench_wmax_ladder, bench_full_protocol);
+criterion_main!(benches);

@@ -1,0 +1,143 @@
+//! TCP Hybla (Caini & Firrincieli, 2004): RTT-normalized RENO for
+//! long-delay (satellite) paths.
+//!
+//! Port of `net/ipv4/tcp_hybla.c`. With `ρ = RTT/RTT₀` (reference
+//! `RTT₀ = 25 ms`), slow start grows by `2^ρ − 1` packets per ACK and
+//! congestion avoidance by `ρ²/cwnd`, so throughput becomes independent of
+//! the propagation delay. The decrease is RENO's.
+//!
+//! The CAAI paper lists HYBLA in Table I but **excludes it from
+//! identification** because it is not designed for web servers (§III-A); it
+//! is implemented here so the population model can still field servers that
+//! run it (they surface as "Unsure TCP" in the census, a real failure mode
+//! the paper acknowledges).
+
+use crate::reno::reno_ssthresh;
+use crate::transport::{Ack, CongestionControl, LossKind, Transport};
+
+/// Reference round-trip time `RTT₀` in seconds (kernel: 25 ms).
+const RTT0: f64 = 0.025;
+
+/// TCP Hybla.
+#[derive(Debug, Clone)]
+pub struct Hybla {
+    rho: f64,
+    /// Fractional window accumulator (the kernel keeps 7 fraction bits).
+    frac: f64,
+}
+
+impl Default for Hybla {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hybla {
+    /// Creates a Hybla controller.
+    pub fn new() -> Self {
+        Hybla { rho: 1.0, frac: 0.0 }
+    }
+
+    /// Current RTT-normalization factor ρ, for tests.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    fn recalc_rho(&mut self, rtt: f64) {
+        if rtt > 0.0 {
+            self.rho = (rtt / RTT0).max(1.0);
+        }
+    }
+}
+
+impl CongestionControl for Hybla {
+    fn name(&self) -> &'static str {
+        "HYBLA"
+    }
+
+    fn pkts_acked(&mut self, _tp: &mut Transport, ack: &Ack) {
+        self.recalc_rho(ack.rtt);
+    }
+
+    fn cong_avoid(&mut self, tp: &mut Transport, ack: &Ack) {
+        let increment = if tp.in_slow_start() {
+            // 2^ρ − 1 packets per ACK.
+            (2f64.powf(self.rho) - 1.0).max(1.0)
+        } else {
+            // ρ² / cwnd packets per ACK.
+            self.rho * self.rho / f64::from(tp.cwnd.max(1))
+        };
+        self.frac += increment * f64::from(ack.acked);
+        if self.frac >= 1.0 {
+            let whole = self.frac.floor();
+            self.frac -= whole;
+            tp.cwnd = tp
+                .cwnd
+                .saturating_add(whole as u32)
+                .min(tp.cwnd_clamp)
+                .min(if tp.in_slow_start() { tp.ssthresh } else { u32::MAX });
+        }
+    }
+
+    fn ssthresh(&mut self, tp: &Transport) -> u32 {
+        reno_ssthresh(tp)
+    }
+
+    fn on_loss(&mut self, _tp: &mut Transport, _kind: LossKind, _now: f64) {
+        self.frac = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_round(cc: &mut Hybla, tp: &mut Transport, rtt: f64) {
+        let w = tp.cwnd;
+        for _ in 0..w {
+            tp.snd_una += 1;
+            let ack = Ack { now: 0.0, acked: 1, rtt };
+            cc.pkts_acked(tp, &ack);
+            cc.cong_avoid(tp, &ack);
+        }
+    }
+
+    #[test]
+    fn rho_normalizes_long_rtts() {
+        let mut cc = Hybla::new();
+        let mut tp = Transport::new(1460);
+        cc.pkts_acked(&mut tp, &Ack { now: 0.0, acked: 1, rtt: 0.250 });
+        assert!((cc.rho() - 10.0).abs() < 1e-9);
+        cc.pkts_acked(&mut tp, &Ack { now: 0.0, acked: 1, rtt: 0.010 });
+        assert_eq!(cc.rho(), 1.0, "ρ is floored at 1 (never slower than RENO)");
+    }
+
+    #[test]
+    fn avoidance_growth_is_rho_squared_per_rtt() {
+        let mut cc = Hybla::new();
+        let mut tp = Transport::new(1460);
+        tp.cwnd = 100;
+        tp.ssthresh = 50;
+        let before = tp.cwnd;
+        one_round(&mut cc, &mut tp, 0.050); // ρ = 2 → +4 per RTT
+        assert_eq!(tp.cwnd - before, 4);
+    }
+
+    #[test]
+    fn reno_equivalent_at_reference_rtt() {
+        let mut cc = Hybla::new();
+        let mut tp = Transport::new(1460);
+        tp.cwnd = 100;
+        tp.ssthresh = 50;
+        one_round(&mut cc, &mut tp, RTT0);
+        assert_eq!(tp.cwnd, 101);
+    }
+
+    #[test]
+    fn beta_is_renos() {
+        let mut cc = Hybla::new();
+        let mut tp = Transport::new(1460);
+        tp.cwnd = 200;
+        assert_eq!(cc.ssthresh(&tp), 100);
+    }
+}

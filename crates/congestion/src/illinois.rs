@@ -1,0 +1,292 @@
+//! TCP-Illinois (Liu, Başar, Srikant, VALUETOOLS'06): a loss-delay hybrid.
+//!
+//! Port of `net/ipv4/tcp_illinois.c`. Loss still triggers the decrease, but
+//! both the additive increase `α` and the decrease factor `β` are functions
+//! of the average queueing delay `d_a`: on an empty queue `α = α_max = 10`
+//! and `β = β_min = 1/8`; as delay rises `α` falls toward 0.3 and `β`
+//! climbs toward 1/2. CAAI's environment B (an RTT step *before* the
+//! timeout) exists precisely to expose this delay-dependent β (§IV-B, Fig.
+//! 3(i)).
+
+use crate::transport::{Ack, CongestionControl, LossKind, RoundTracker, Transport};
+
+/// Maximum additive increase per RTT (`ALPHA_MAX` = 10).
+const ALPHA_MAX: f64 = 10.0;
+/// Minimum additive increase per RTT (`ALPHA_MIN` = 3/10).
+const ALPHA_MIN: f64 = 0.3;
+/// Base (initial / small-window) additive increase.
+const ALPHA_BASE: f64 = 1.0;
+/// Minimum decrease factor (`BETA_MIN` = 1/8).
+const BETA_MIN: f64 = 0.125;
+/// Maximum / base decrease factor (`BETA_MAX` = 1/2).
+const BETA_MAX: f64 = 0.5;
+/// Below this window Illinois uses the base parameters (`win_thresh`).
+const WIN_THRESH: u32 = 15;
+/// Rounds of low delay required before snapping back to α_max (`theta`).
+const THETA: u32 = 5;
+
+/// TCP-Illinois congestion avoidance.
+#[derive(Debug, Clone)]
+pub struct Illinois {
+    alpha: f64,
+    beta: f64,
+    base_rtt: f64,
+    max_rtt: f64,
+    sum_rtt: f64,
+    cnt_rtt: u32,
+    rtt_above: bool,
+    rtt_low: u32,
+    rounds: RoundTracker,
+    acked: u32,
+}
+
+impl Default for Illinois {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Illinois {
+    /// Creates a TCP-Illinois controller with kernel-default parameters.
+    pub fn new() -> Self {
+        Illinois {
+            alpha: ALPHA_BASE,
+            beta: BETA_MAX,
+            base_rtt: f64::INFINITY,
+            max_rtt: 0.0,
+            sum_rtt: 0.0,
+            cnt_rtt: 0,
+            rtt_above: false,
+            rtt_low: 0,
+            rounds: RoundTracker::new(),
+            acked: 0,
+        }
+    }
+
+    fn rtt_reset(&mut self) {
+        self.sum_rtt = 0.0;
+        self.cnt_rtt = 0;
+    }
+
+    /// `alpha()`: concave response to the average queueing delay.
+    fn calc_alpha(&mut self, da: f64, dm: f64) -> f64 {
+        let d1 = dm / 100.0;
+        if da <= d1 {
+            if !self.rtt_above {
+                return ALPHA_MAX;
+            }
+            self.rtt_low += 1;
+            if self.rtt_low < THETA {
+                return self.alpha;
+            }
+            self.rtt_low = 0;
+            self.rtt_above = false;
+            return ALPHA_MAX;
+        }
+        self.rtt_above = true;
+        let dm = dm - d1;
+        let da = da - d1;
+        (dm * ALPHA_MAX) / (dm + (da * (ALPHA_MAX - ALPHA_MIN)) / ALPHA_MIN)
+    }
+
+    /// `beta()`: piecewise-linear response to the average queueing delay.
+    fn calc_beta(da: f64, dm: f64) -> f64 {
+        let d2 = dm / 10.0;
+        let d3 = dm * 8.0 / 10.0;
+        if da <= d2 {
+            return BETA_MIN;
+        }
+        if da >= d3 || d3 <= d2 {
+            return BETA_MAX;
+        }
+        (BETA_MIN * d3 - BETA_MAX * d2 + (BETA_MAX - BETA_MIN) * da) / (d3 - d2)
+    }
+
+    /// `update_params`: once per RTT, refresh α and β from delay samples.
+    fn update_params(&mut self, tp: &Transport) {
+        if tp.cwnd < WIN_THRESH {
+            self.alpha = ALPHA_BASE;
+            self.beta = BETA_MAX;
+        } else if self.cnt_rtt > 0 && self.base_rtt.is_finite() {
+            let avg = self.sum_rtt / f64::from(self.cnt_rtt);
+            let da = (avg - self.base_rtt).max(0.0);
+            let dm = (self.max_rtt - self.base_rtt).max(0.0);
+            if dm > 0.0 {
+                self.alpha = self.calc_alpha(da, dm);
+                self.beta = Self::calc_beta(da, dm);
+            } else {
+                // No queueing signal at all: an empty path.
+                self.alpha = ALPHA_MAX;
+                self.beta = BETA_MIN;
+            }
+        }
+        self.rtt_reset();
+    }
+
+    /// Current α (packets per RTT), exposed for tests.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Current β (decrease fraction), exposed for tests.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+}
+
+impl CongestionControl for Illinois {
+    fn name(&self) -> &'static str {
+        "ILLINOIS"
+    }
+
+    fn pkts_acked(&mut self, _tp: &mut Transport, ack: &Ack) {
+        if ack.rtt <= 0.0 {
+            return;
+        }
+        if ack.rtt < self.base_rtt {
+            self.base_rtt = ack.rtt;
+        }
+        if ack.rtt > self.max_rtt {
+            self.max_rtt = ack.rtt;
+        }
+        self.sum_rtt += ack.rtt;
+        self.cnt_rtt += 1;
+        self.acked = ack.acked;
+    }
+
+    fn cong_avoid(&mut self, tp: &mut Transport, ack: &Ack) {
+        if self.rounds.round_elapsed(tp) {
+            self.update_params(tp);
+        }
+        let mut acked = ack.acked;
+        if tp.in_slow_start() {
+            acked = tp.slow_start(acked);
+            if acked == 0 {
+                return;
+            }
+        }
+        // Grow by α packets per RTT.
+        let per = (f64::from(tp.cwnd) / self.alpha).max(1.0) as u32;
+        tp.cong_avoid_ai(per, acked);
+    }
+
+    fn ssthresh(&mut self, tp: &Transport) -> u32 {
+        // `tcp_illinois_ssthresh`: cwnd − β·cwnd.
+        ((f64::from(tp.cwnd) * (1.0 - self.beta)) as u32).max(2)
+    }
+
+    fn on_loss(&mut self, _tp: &mut Transport, kind: LossKind, _now: f64) {
+        if kind == LossKind::Timeout {
+            // `tcp_illinois_state` on TCP_CA_Loss: restart from base params.
+            self.alpha = ALPHA_BASE;
+            self.beta = BETA_MAX;
+            self.rtt_low = 0;
+            self.rtt_above = false;
+            self.rtt_reset();
+            self.rounds.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_round(cc: &mut Illinois, tp: &mut Transport, now: f64, rtt: f64) {
+        let w = tp.cwnd;
+        tp.snd_nxt += u64::from(w);
+        for _ in 0..w {
+            tp.snd_una += 1;
+            let ack = Ack { now, acked: 1, rtt };
+            cc.pkts_acked(tp, &ack);
+            cc.cong_avoid(tp, &ack);
+        }
+    }
+
+    #[test]
+    fn empty_path_gives_alpha_max_and_beta_min() {
+        let mut cc = Illinois::new();
+        let mut tp = Transport::new(1460);
+        tp.cwnd = 100;
+        tp.ssthresh = 50;
+        for round in 0..4 {
+            one_round(&mut cc, &mut tp, round as f64, 1.0);
+        }
+        assert!((cc.alpha() - ALPHA_MAX).abs() < 1e-9);
+        assert!((cc.beta() - BETA_MIN).abs() < 1e-9);
+        // β feature the paper reports: ssthresh = (1 − 1/8)·w = 0.875·w.
+        tp.cwnd = 512;
+        assert_eq!(cc.ssthresh(&tp), 448);
+    }
+
+    #[test]
+    fn growth_is_ten_packets_per_rtt_on_empty_path() {
+        let mut cc = Illinois::new();
+        let mut tp = Transport::new(1460);
+        tp.cwnd = 100;
+        tp.ssthresh = 50;
+        one_round(&mut cc, &mut tp, 0.0, 1.0); // params update to α_max
+        let before = tp.cwnd;
+        one_round(&mut cc, &mut tp, 1.0, 1.0);
+        let delta = tp.cwnd - before;
+        assert!((9..=11).contains(&delta), "α_max = 10, grew {delta}");
+    }
+
+    #[test]
+    fn rising_delay_raises_beta() {
+        let mut cc = Illinois::new();
+        let mut tp = Transport::new(1460);
+        tp.cwnd = 100;
+        tp.ssthresh = 50;
+        // Establish base RTT of 0.8 s, then run at 1.0 s: da/dm = 1 → β max.
+        for round in 0..3 {
+            one_round(&mut cc, &mut tp, round as f64 * 0.8, 0.8);
+        }
+        for round in 3..8 {
+            one_round(&mut cc, &mut tp, round as f64, 1.0);
+        }
+        assert!(
+            cc.beta() > 0.4,
+            "persistent queueing delay must push β toward 1/2, got {}",
+            cc.beta()
+        );
+        // And α must have collapsed from 10 toward its floor.
+        assert!(cc.alpha() < 1.0, "α should collapse under delay, got {}", cc.alpha());
+    }
+
+    #[test]
+    fn small_windows_use_base_parameters() {
+        let mut cc = Illinois::new();
+        let mut tp = Transport::new(1460);
+        tp.cwnd = 10;
+        tp.ssthresh = 5;
+        for round in 0..3 {
+            one_round(&mut cc, &mut tp, round as f64, 1.0);
+        }
+        assert!((cc.alpha() - ALPHA_BASE).abs() < 1e-9);
+        assert!((cc.beta() - BETA_MAX).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeout_resets_adaptation() {
+        let mut cc = Illinois::new();
+        let mut tp = Transport::new(1460);
+        tp.cwnd = 100;
+        tp.ssthresh = 50;
+        for round in 0..4 {
+            one_round(&mut cc, &mut tp, round as f64, 1.0);
+        }
+        assert!((cc.alpha() - ALPHA_MAX).abs() < 1e-9);
+        cc.on_loss(&mut tp, LossKind::Timeout, 5.0);
+        assert!((cc.alpha() - ALPHA_BASE).abs() < 1e-9);
+        assert!((cc.beta() - BETA_MAX).abs() < 1e-9);
+    }
+
+    #[test]
+    fn beta_interpolates_between_d2_and_d3() {
+        // dm = 1.0: d2 = 0.1, d3 = 0.8; da = 0.45 sits midway → β midway.
+        let beta = Illinois::calc_beta(0.45, 1.0);
+        let mid = (BETA_MIN + BETA_MAX) / 2.0;
+        assert!((beta - mid).abs() < 0.01, "β({beta}) should be near {mid}");
+    }
+}

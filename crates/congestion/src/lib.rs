@@ -1,0 +1,65 @@
+//! # caai-congestion
+//!
+//! Reimplementations of the TCP **congestion avoidance** algorithms that the
+//! CAAI paper (Yang et al., "TCP Congestion Avoidance Algorithm
+//! Identification", ICDCS'11 / IEEE/ACM ToN 22(4) 2014) fingerprints.
+//!
+//! The paper identifies the congestion avoidance *component* of a remote TCP
+//! stack by observing its per-RTT congestion-window trace in two emulated
+//! network environments. This crate provides that component for all 14
+//! algorithms the paper considers (Table I, §III-A) plus the two algorithms
+//! the paper explicitly excludes (HYBLA, LP), behind one object-safe trait,
+//! [`CongestionControl`].
+//!
+//! The implementations follow the Linux `net/ipv4/tcp_*.c` modules (for the
+//! Linux family) and the published algorithm descriptions (for the Windows
+//! CTCP family), at the fidelity level CAAI observes: **per-ACK window
+//! growth** and **the slow-start-threshold rule applied on loss/timeout**
+//! (the multiplicative decrease parameter β). Fixed-point kernel arithmetic
+//! is reproduced with the same scale constants wherever the quotients are
+//! observable in a window trace.
+//!
+//! ## Example
+//!
+//! ```
+//! use caai_congestion::{AlgorithmId, Transport, Ack};
+//!
+//! let mut cc = AlgorithmId::Reno.build();
+//! let mut tp = Transport::new(1460);
+//! tp.cwnd = 10;
+//! tp.ssthresh = 8; // in congestion avoidance
+//! // One RTT worth of ACKs grows the window by one packet.
+//! for _ in 0..10 {
+//!     let ack = Ack { now: 1.0, acked: 1, rtt: 0.1 };
+//!     tp.snd_una += 1;
+//!     cc.pkts_acked(&mut tp, &ack);
+//!     cc.cong_avoid(&mut tp, &ack);
+//! }
+//! assert_eq!(tp.cwnd, 11);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bic;
+pub mod ctcp;
+pub mod cubic;
+pub mod hstcp;
+pub mod htcp;
+pub mod hybla;
+pub mod illinois;
+pub mod lp;
+pub mod registry;
+pub mod reno;
+pub mod scalable;
+pub mod transport;
+pub mod vegas;
+pub mod veno;
+pub mod westwood;
+pub mod yeah;
+
+pub use registry::{AlgorithmId, OsFamily, ALL_IDENTIFIED, ALL_WITH_EXTENSIONS};
+pub use transport::{Ack, CongestionControl, LossKind, Transport};
+
+#[cfg(test)]
+mod conformance_tests;

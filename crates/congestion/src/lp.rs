@@ -1,0 +1,171 @@
+//! TCP-LP (Kuzmanovic & Knightly, INFOCOM'03): low-priority transfer that
+//! yields to any competing traffic.
+//!
+//! Simplified port of `net/ipv4/tcp_lp.c`: RENO growth, plus a one-way
+//! delay (here: RTT-proxied) early-congestion detector. When the smoothed
+//! delay exceeds `owd_min + 15%·(owd_max − owd_min)` the window is halved;
+//! if the condition persists within the inference window the window drops
+//! to one packet — LP's "give way" behaviour.
+//!
+//! Like HYBLA, TCP-LP appears in the paper's Table I but is **excluded from
+//! identification** (it targets background bulk transfer, not web serving);
+//! it exists here for population completeness.
+
+use crate::reno::reno_ssthresh;
+use crate::transport::{Ack, CongestionControl, LossKind, RoundTracker, Transport};
+
+/// Early-congestion threshold: 15% above the minimum delay (`LP_MAX_DELTA`
+/// spirit; the kernel uses one-way-delay percentiles).
+const THRESHOLD_FRAC: f64 = 0.15;
+/// Rounds within which a second detection collapses the window to 1.
+const INFERENCE_ROUNDS: u32 = 3;
+
+/// TCP-LP.
+#[derive(Debug, Clone)]
+pub struct Lp {
+    owd_min: f64,
+    owd_max: f64,
+    sowd: f64,
+    rounds: RoundTracker,
+    last_detection_round: Option<u64>,
+    round_idx: u64,
+}
+
+impl Default for Lp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Lp {
+    /// Creates a TCP-LP controller.
+    pub fn new() -> Self {
+        Lp {
+            owd_min: f64::INFINITY,
+            owd_max: 0.0,
+            sowd: 0.0,
+            rounds: RoundTracker::new(),
+            last_detection_round: None,
+            round_idx: 0,
+        }
+    }
+
+    fn congested(&self) -> bool {
+        self.owd_min.is_finite()
+            && self.owd_max > self.owd_min
+            && self.sowd > self.owd_min + THRESHOLD_FRAC * (self.owd_max - self.owd_min)
+    }
+}
+
+impl CongestionControl for Lp {
+    fn name(&self) -> &'static str {
+        "LP"
+    }
+
+    fn pkts_acked(&mut self, _tp: &mut Transport, ack: &Ack) {
+        if ack.rtt <= 0.0 {
+            return;
+        }
+        if ack.rtt < self.owd_min {
+            self.owd_min = ack.rtt;
+        }
+        if ack.rtt > self.owd_max {
+            self.owd_max = ack.rtt;
+        }
+        if self.sowd == 0.0 {
+            self.sowd = ack.rtt;
+        } else {
+            self.sowd += (ack.rtt - self.sowd) / 8.0;
+        }
+    }
+
+    fn cong_avoid(&mut self, tp: &mut Transport, ack: &Ack) {
+        if self.rounds.round_elapsed(tp) {
+            self.round_idx += 1;
+            if self.congested() {
+                match self.last_detection_round {
+                    Some(r) if self.round_idx - r <= u64::from(INFERENCE_ROUNDS) => {
+                        tp.cwnd = 1; // persistent competition: give way fully
+                    }
+                    _ => {
+                        tp.cwnd = (tp.cwnd / 2).max(1);
+                    }
+                }
+                tp.ssthresh = tp.cwnd.max(2);
+                self.last_detection_round = Some(self.round_idx);
+                return;
+            }
+        }
+        let mut acked = ack.acked;
+        if tp.in_slow_start() {
+            acked = tp.slow_start(acked);
+            if acked == 0 {
+                return;
+            }
+        }
+        tp.cong_avoid_ai(tp.cwnd, acked);
+    }
+
+    fn ssthresh(&mut self, tp: &Transport) -> u32 {
+        reno_ssthresh(tp)
+    }
+
+    fn on_loss(&mut self, _tp: &mut Transport, kind: LossKind, _now: f64) {
+        if kind == LossKind::Timeout {
+            self.rounds.reset();
+            self.last_detection_round = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_round(cc: &mut Lp, tp: &mut Transport, rtt: f64) {
+        let w = tp.cwnd;
+        tp.snd_nxt += u64::from(w);
+        for _ in 0..w {
+            tp.snd_una += 1;
+            let ack = Ack { now: 0.0, acked: 1, rtt };
+            cc.pkts_acked(tp, &ack);
+            cc.cong_avoid(tp, &ack);
+        }
+    }
+
+    #[test]
+    fn reno_growth_without_competition() {
+        let mut cc = Lp::new();
+        let mut tp = Transport::new(1460);
+        tp.cwnd = 50;
+        tp.ssthresh = 25;
+        for _ in 0..10 {
+            one_round(&mut cc, &mut tp, 1.0);
+        }
+        assert_eq!(tp.cwnd, 60);
+    }
+
+    #[test]
+    fn yields_when_delay_rises() {
+        let mut cc = Lp::new();
+        let mut tp = Transport::new(1460);
+        tp.cwnd = 100;
+        tp.ssthresh = 50;
+        for _ in 0..3 {
+            one_round(&mut cc, &mut tp, 0.5);
+        }
+        // Sustained delay inflation: first halve, then collapse to 1.
+        for _ in 0..6 {
+            one_round(&mut cc, &mut tp, 1.0);
+        }
+        assert!(tp.cwnd <= 3, "LP must give way, cwnd = {}", tp.cwnd);
+    }
+
+    #[test]
+    fn beta_is_renos() {
+        let mut cc = Lp::new();
+        let mut tp = Transport::new(1460);
+        tp.cwnd = 64;
+        assert_eq!(cc.ssthresh(&tp), 32);
+    }
+}

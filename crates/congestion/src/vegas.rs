@@ -1,0 +1,225 @@
+//! TCP Vegas (Brakmo, O'Malley, Peterson, SIGCOMM'94): pure delay-based
+//! congestion avoidance.
+//!
+//! Port of `net/ipv4/tcp_vegas.c`. Once per RTT the backlog estimate
+//! `diff = cwnd·(rtt − baseRTT)/rtt` steers the window: grow by one if
+//! `diff < α (=2)`, shrink by one if `diff > β (=4)`, hold otherwise. Slow
+//! start is left early once `diff > γ (=1)`. Loss falls back to RENO's
+//! halving.
+//!
+//! Vegas is the algorithm for which the paper's feature-vector element
+//! `I(w^B_max ≥ 64)` exists: in environment B the RTT step makes Vegas
+//! plateau long before 64 packets (Fig. 3(k)), so CAAI never observes a
+//! timeout there, while in environment A Vegas traces exactly like RENO.
+
+use crate::reno::reno_ssthresh;
+use crate::transport::{Ack, CongestionControl, LossKind, RoundTracker, Transport};
+
+/// Lower backlog bound `α` (packets).
+const ALPHA: f64 = 2.0;
+/// Upper backlog bound `β` (packets).
+const BETA: f64 = 4.0;
+/// Slow-start exit backlog `γ` (packets).
+const GAMMA: f64 = 1.0;
+
+/// TCP Vegas.
+#[derive(Debug, Clone)]
+pub struct Vegas {
+    base_rtt: f64,
+    /// Minimum RTT seen during the current round.
+    min_rtt: f64,
+    cnt_rtt: u32,
+    rounds: RoundTracker,
+    enabled: bool,
+}
+
+impl Default for Vegas {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Vegas {
+    /// Creates a Vegas controller with kernel-default parameters.
+    pub fn new() -> Self {
+        Vegas {
+            base_rtt: f64::INFINITY,
+            min_rtt: f64::INFINITY,
+            cnt_rtt: 0,
+            rounds: RoundTracker::new(),
+            enabled: true,
+        }
+    }
+
+    fn round_reset(&mut self) {
+        self.min_rtt = f64::INFINITY;
+        self.cnt_rtt = 0;
+    }
+}
+
+impl CongestionControl for Vegas {
+    fn name(&self) -> &'static str {
+        "VEGAS"
+    }
+
+    fn pkts_acked(&mut self, _tp: &mut Transport, ack: &Ack) {
+        if ack.rtt <= 0.0 {
+            return;
+        }
+        if ack.rtt < self.base_rtt {
+            self.base_rtt = ack.rtt;
+        }
+        if ack.rtt < self.min_rtt {
+            self.min_rtt = ack.rtt;
+        }
+        self.cnt_rtt += 1;
+    }
+
+    fn cong_avoid(&mut self, tp: &mut Transport, ack: &Ack) {
+        if !self.enabled {
+            // After a timeout Linux Vegas runs RENO until re-enabled by the
+            // next established round; we model the common path: re-enable on
+            // the first ACK of recovery.
+            self.enabled = true;
+        }
+        if !self.rounds.round_elapsed(tp) {
+            // Mid-round: only slow-start growth happens per ACK.
+            if tp.in_slow_start() {
+                tp.slow_start(ack.acked);
+            }
+            return;
+        }
+        // A full RTT of samples is available: do the Vegas estimate.
+        if self.cnt_rtt <= 2 || !self.base_rtt.is_finite() || !self.min_rtt.is_finite() {
+            // Not enough samples: behave like RENO this round.
+            let mut acked = ack.acked;
+            if tp.in_slow_start() {
+                acked = tp.slow_start(acked);
+            }
+            if acked > 0 {
+                tp.cong_avoid_ai(tp.cwnd, acked);
+            }
+            self.round_reset();
+            return;
+        }
+        let rtt = self.min_rtt;
+        let diff = f64::from(tp.cwnd) * (rtt - self.base_rtt) / rtt;
+        if diff > GAMMA && tp.in_slow_start() {
+            // Early slow-start exit: clamp to the target and leave.
+            let target = (f64::from(tp.cwnd) * self.base_rtt / rtt) as u32;
+            tp.cwnd = tp.cwnd.min(target + 1);
+            tp.ssthresh = tp.ssthresh.min(tp.cwnd.saturating_sub(1).max(2));
+        } else if tp.in_slow_start() {
+            tp.slow_start(ack.acked);
+        } else if diff > BETA {
+            tp.cwnd = tp.cwnd.saturating_sub(1).max(2);
+            tp.ssthresh = tp.ssthresh.min(tp.cwnd.saturating_sub(1).max(2));
+        } else if diff < ALPHA {
+            tp.cwnd = (tp.cwnd + 1).min(tp.cwnd_clamp);
+        }
+        tp.cwnd = tp.cwnd.max(2);
+        self.round_reset();
+    }
+
+    fn ssthresh(&mut self, tp: &Transport) -> u32 {
+        reno_ssthresh(tp)
+    }
+
+    fn on_loss(&mut self, _tp: &mut Transport, kind: LossKind, _now: f64) {
+        if kind == LossKind::Timeout {
+            self.rounds.reset();
+            self.round_reset();
+            // baseRTT persists across the timeout: the propagation delay of
+            // the path did not change.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_round(cc: &mut Vegas, tp: &mut Transport, now: f64, rtt: f64) {
+        let w = tp.cwnd;
+        tp.snd_nxt += u64::from(w);
+        for _ in 0..w {
+            tp.snd_una += 1;
+            let ack = Ack { now, acked: 1, rtt };
+            cc.pkts_acked(tp, &ack);
+            cc.cong_avoid(tp, &ack);
+        }
+    }
+
+    #[test]
+    fn reno_like_growth_on_fixed_rtt() {
+        // Environment A's fingerprint: with rtt == baseRTT the backlog is
+        // zero and Vegas adds one packet per RTT, indistinguishable from
+        // RENO (§IV-B: "RENO and VEGAS have the same trace in network
+        // environment A").
+        let mut cc = Vegas::new();
+        let mut tp = Transport::new(1460);
+        tp.cwnd = 100;
+        tp.ssthresh = 50;
+        for round in 0..10 {
+            one_round(&mut cc, &mut tp, round as f64, 1.0);
+        }
+        assert!((108..=110).contains(&tp.cwnd), "got {}", tp.cwnd);
+    }
+
+    #[test]
+    fn plateaus_when_rtt_rises() {
+        // Environment B's fingerprint: once the RTT steps 0.8 → 1.0 the
+        // backlog estimate grows with the window and Vegas stalls low.
+        let mut cc = Vegas::new();
+        let mut tp = Transport::new(1460);
+        tp.cwnd = 16;
+        for round in 0..3 {
+            one_round(&mut cc, &mut tp, round as f64 * 0.8, 0.8);
+        }
+        for round in 3..30 {
+            one_round(&mut cc, &mut tp, round as f64, 1.0);
+        }
+        assert!(
+            tp.cwnd < 64,
+            "Vegas must plateau below 64 packets under a 25% RTT inflation, got {}",
+            tp.cwnd
+        );
+    }
+
+    #[test]
+    fn early_slow_start_exit_under_queueing() {
+        let mut cc = Vegas::new();
+        let mut tp = Transport::new(1460);
+        tp.cwnd = 32; // deep in slow start
+        for round in 0..2 {
+            one_round(&mut cc, &mut tp, round as f64 * 0.8, 0.8);
+        }
+        let ss_before = tp.ssthresh;
+        for round in 2..5 {
+            one_round(&mut cc, &mut tp, round as f64, 1.0);
+        }
+        assert!(tp.ssthresh < ss_before, "γ-triggered exit must cap ssthresh");
+        assert!(!tp.in_slow_start());
+    }
+
+    #[test]
+    fn loss_uses_reno_halving() {
+        let mut cc = Vegas::new();
+        let mut tp = Transport::new(1460);
+        tp.cwnd = 300;
+        assert_eq!(cc.ssthresh(&tp), 150);
+    }
+
+    #[test]
+    fn window_never_collapses_below_two() {
+        let mut cc = Vegas::new();
+        let mut tp = Transport::new(1460);
+        tp.cwnd = 3;
+        tp.ssthresh = 2;
+        // Huge queueing signal: diff far above β every round.
+        for round in 0..10 {
+            one_round(&mut cc, &mut tp, round as f64, 0.5 + round as f64);
+        }
+        assert!(tp.cwnd >= 2);
+    }
+}

@@ -1,0 +1,219 @@
+//! TCP Veno (Fu & Liew, JSAC'03): RENO with a Vegas-style backlog estimate
+//! used to tell random (wireless) loss from congestive loss.
+//!
+//! Port of `net/ipv4/tcp_veno.c`. Growth: RENO-rate while the estimated
+//! backlog `N < β (=3)` packets, half-rate (one packet per two RTTs) when
+//! backlogged. Decrease: `ssthresh = 4/5·cwnd` when the loss looks random
+//! (`N < β`), RENO's half otherwise — the RTT-dependent multiplicative
+//! decrease CAAI's environment B exposes (Fig. 3(l); in environment A the
+//! path is queue-free so Veno always picks 0.8, while RENO picks 0.5).
+
+use crate::transport::{Ack, CongestionControl, LossKind, RoundTracker, Transport};
+
+/// Backlog threshold `β` in packets.
+const BETA: f64 = 3.0;
+
+/// TCP Veno.
+#[derive(Debug, Clone)]
+pub struct Veno {
+    base_rtt: f64,
+    min_rtt: f64,
+    cnt_rtt: u32,
+    diff: f64,
+    inc: bool,
+    rounds: RoundTracker,
+}
+
+impl Default for Veno {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Veno {
+    /// Creates a Veno controller with kernel-default parameters.
+    pub fn new() -> Self {
+        Veno {
+            base_rtt: f64::INFINITY,
+            min_rtt: f64::INFINITY,
+            cnt_rtt: 0,
+            diff: 0.0,
+            inc: true,
+            rounds: RoundTracker::new(),
+        }
+    }
+
+    /// Latest backlog estimate (packets), exposed for tests.
+    pub fn backlog(&self) -> f64 {
+        self.diff
+    }
+}
+
+impl CongestionControl for Veno {
+    fn name(&self) -> &'static str {
+        "VENO"
+    }
+
+    fn pkts_acked(&mut self, _tp: &mut Transport, ack: &Ack) {
+        if ack.rtt <= 0.0 {
+            return;
+        }
+        if ack.rtt < self.base_rtt {
+            self.base_rtt = ack.rtt;
+        }
+        if ack.rtt < self.min_rtt {
+            self.min_rtt = ack.rtt;
+        }
+        self.cnt_rtt += 1;
+    }
+
+    fn cong_avoid(&mut self, tp: &mut Transport, ack: &Ack) {
+        // Refresh the backlog estimate once per round.
+        if self.rounds.round_elapsed(tp) && self.cnt_rtt > 2 && self.min_rtt.is_finite() {
+            let rtt = self.min_rtt;
+            self.diff = f64::from(tp.cwnd) * (rtt - self.base_rtt).max(0.0) / rtt;
+            self.min_rtt = f64::INFINITY;
+            self.cnt_rtt = 0;
+        }
+        let mut acked = ack.acked;
+        if tp.in_slow_start() {
+            acked = tp.slow_start(acked);
+            if acked == 0 {
+                return;
+            }
+        }
+        if self.diff < BETA {
+            // Uncongested: RENO growth.
+            tp.cong_avoid_ai(tp.cwnd, acked);
+        } else {
+            // Backlogged: one packet every *two* windows of ACKs
+            // (`tcp_veno.c`: increment every other window via the `inc` flag).
+            if tp.cwnd_cnt >= tp.cwnd {
+                if self.inc && tp.cwnd < tp.cwnd_clamp {
+                    tp.cwnd += 1;
+                    self.inc = false;
+                } else {
+                    self.inc = true;
+                }
+                tp.cwnd_cnt = 0;
+            } else {
+                tp.cwnd_cnt += acked;
+            }
+        }
+    }
+
+    fn ssthresh(&mut self, tp: &Transport) -> u32 {
+        if self.diff < BETA {
+            // Loss on an empty path: presumed random, mild decrease 4/5.
+            (tp.cwnd * 4 / 5).max(2)
+        } else {
+            (tp.cwnd / 2).max(2)
+        }
+    }
+
+    fn on_loss(&mut self, _tp: &mut Transport, kind: LossKind, _now: f64) {
+        if kind == LossKind::Timeout {
+            self.rounds.reset();
+            self.min_rtt = f64::INFINITY;
+            self.cnt_rtt = 0;
+            self.diff = 0.0;
+            self.inc = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_round(cc: &mut Veno, tp: &mut Transport, now: f64, rtt: f64) {
+        let w = tp.cwnd;
+        tp.snd_nxt += u64::from(w);
+        for _ in 0..w {
+            tp.snd_una += 1;
+            let ack = Ack { now, acked: 1, rtt };
+            cc.pkts_acked(tp, &ack);
+            cc.cong_avoid(tp, &ack);
+        }
+    }
+
+    #[test]
+    fn reno_growth_on_empty_path() {
+        let mut cc = Veno::new();
+        let mut tp = Transport::new(1460);
+        tp.cwnd = 100;
+        tp.ssthresh = 50;
+        for round in 0..10 {
+            one_round(&mut cc, &mut tp, round as f64, 1.0);
+        }
+        assert_eq!(tp.cwnd, 110);
+    }
+
+    #[test]
+    fn beta_point_eight_on_empty_path() {
+        // Environment A's fingerprint: rtt stays at baseRTT, the backlog is
+        // zero, so a timeout is treated as random loss → β = 0.8.
+        let mut cc = Veno::new();
+        let mut tp = Transport::new(1460);
+        tp.cwnd = 100;
+        tp.ssthresh = 50;
+        for round in 0..4 {
+            one_round(&mut cc, &mut tp, round as f64, 1.0);
+        }
+        tp.cwnd = 512;
+        assert_eq!(cc.ssthresh(&tp), 409);
+    }
+
+    #[test]
+    fn beta_half_when_backlogged() {
+        // Environment B's fingerprint: baseRTT 0.8 then rtt 1.0 → diff =
+        // 0.2·w ≥ 3 → congestive loss → β = 0.5 (RENO-like, §IV-B).
+        let mut cc = Veno::new();
+        let mut tp = Transport::new(1460);
+        tp.cwnd = 100;
+        tp.ssthresh = 50;
+        for round in 0..3 {
+            one_round(&mut cc, &mut tp, round as f64 * 0.8, 0.8);
+        }
+        for round in 3..6 {
+            one_round(&mut cc, &mut tp, round as f64, 1.0);
+        }
+        assert!(cc.backlog() >= BETA, "backlog {}", cc.backlog());
+        tp.cwnd = 512;
+        assert_eq!(cc.ssthresh(&tp), 256);
+    }
+
+    #[test]
+    fn half_rate_growth_when_backlogged() {
+        let mut cc = Veno::new();
+        let mut tp = Transport::new(1460);
+        tp.cwnd = 100;
+        tp.ssthresh = 50;
+        for round in 0..3 {
+            one_round(&mut cc, &mut tp, round as f64 * 0.8, 0.8);
+        }
+        let start = tp.cwnd;
+        for round in 3..11 {
+            one_round(&mut cc, &mut tp, round as f64, 1.0);
+        }
+        let growth = tp.cwnd - start;
+        assert!(
+            (3..=5).contains(&growth),
+            "8 backlogged rounds grow ~4 packets (1 per 2 RTTs), got {growth}"
+        );
+    }
+
+    #[test]
+    fn timeout_clears_the_backlog_estimate() {
+        let mut cc = Veno::new();
+        let mut tp = Transport::new(1460);
+        tp.cwnd = 100;
+        tp.ssthresh = 50;
+        for round in 0..3 {
+            one_round(&mut cc, &mut tp, round as f64 * 0.8, 0.8);
+        }
+        one_round(&mut cc, &mut tp, 3.0, 1.0);
+        cc.on_loss(&mut tp, LossKind::Timeout, 4.0);
+        assert_eq!(cc.backlog(), 0.0);
+    }
+}

@@ -1,0 +1,220 @@
+//! TCP Westwood+ (Mascolo et al., MobiCom'01): RENO growth with a
+//! bandwidth-estimate-based decrease.
+//!
+//! Port of `net/ipv4/tcp_westwood.c`. The sender low-pass-filters the ACK
+//! rate into a bandwidth estimate `bw_est` (double EWMA, gain 1/8, sampled
+//! over windows of `max(srtt, 50 ms)`) and on loss sets
+//! `ssthresh = bw_est · RTT_min` — the estimated pipe size.
+//!
+//! Because the double EWMA lags far behind a doubling slow-start window,
+//! the post-timeout threshold lands well below half the pre-timeout window;
+//! the recovered flow then crawls at RENO rate and never re-approaches the
+//! old maximum within CAAI's 18-round observation window. That is exactly
+//! why the paper's boundary-RTT search fails for WESTWOOD+ and assigns it
+//! `β = 0` (Fig. 3(m), §V-B).
+
+use crate::transport::{Ack, CongestionControl, LossKind, Transport};
+
+/// Minimum bandwidth-sampling window (kernel: 50 ms).
+const MIN_SAMPLE_WINDOW: f64 = 0.050;
+
+/// TCP Westwood+.
+#[derive(Debug, Clone)]
+pub struct WestwoodPlus {
+    /// Non-smoothed (first-stage) bandwidth estimate, packets per second.
+    bw_ns_est: f64,
+    /// Smoothed (second-stage) bandwidth estimate, packets per second.
+    bw_est: f64,
+    /// Start of the current sampling window.
+    rtt_win_sx: f64,
+    /// Packets ACKed within the current sampling window.
+    bk: f64,
+    /// Minimum RTT seen on the connection.
+    rtt_min: f64,
+    first_sample: bool,
+}
+
+impl Default for WestwoodPlus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WestwoodPlus {
+    /// Creates a Westwood+ controller.
+    pub fn new() -> Self {
+        WestwoodPlus {
+            bw_ns_est: 0.0,
+            bw_est: 0.0,
+            rtt_win_sx: 0.0,
+            bk: 0.0,
+            rtt_min: f64::INFINITY,
+            first_sample: true,
+        }
+    }
+
+    /// Current bandwidth estimate in packets per second, for tests.
+    pub fn bandwidth_estimate(&self) -> f64 {
+        self.bw_est
+    }
+
+    /// `westwood_update_window` + `westwood_filter`.
+    fn update_window(&mut self, now: f64, srtt: f64) {
+        let span = now - self.rtt_win_sx;
+        let window = srtt.max(MIN_SAMPLE_WINDOW);
+        if span >= window && span > 0.0 {
+            let sample = self.bk / span;
+            if self.first_sample {
+                self.bw_ns_est = sample;
+                self.bw_est = sample;
+                self.first_sample = false;
+            } else {
+                self.bw_ns_est = (7.0 * self.bw_ns_est + sample) / 8.0;
+                self.bw_est = (7.0 * self.bw_est + self.bw_ns_est) / 8.0;
+            }
+            self.bk = 0.0;
+            self.rtt_win_sx = now;
+        }
+    }
+}
+
+impl CongestionControl for WestwoodPlus {
+    fn name(&self) -> &'static str {
+        "WESTWOOD+"
+    }
+
+    fn init(&mut self, _tp: &mut Transport) {
+        *self = WestwoodPlus::new();
+    }
+
+    fn pkts_acked(&mut self, tp: &mut Transport, ack: &Ack) {
+        if ack.rtt > 0.0 && ack.rtt < self.rtt_min {
+            self.rtt_min = ack.rtt;
+        }
+        self.bk += f64::from(ack.acked);
+        let srtt = if tp.srtt > 0.0 { tp.srtt } else { ack.rtt };
+        self.update_window(ack.now, srtt);
+    }
+
+    fn cong_avoid(&mut self, tp: &mut Transport, ack: &Ack) {
+        // Pure RENO growth; Westwood+ only changes the decrease.
+        let mut acked = ack.acked;
+        if tp.in_slow_start() {
+            acked = tp.slow_start(acked);
+            if acked == 0 {
+                return;
+            }
+        }
+        tp.cong_avoid_ai(tp.cwnd, acked);
+    }
+
+    fn ssthresh(&mut self, _tp: &Transport) -> u32 {
+        // `tcp_westwood_bw_rttmin`: the estimated pipe size in packets.
+        if self.rtt_min.is_finite() {
+            ((self.bw_est * self.rtt_min) as u32).max(2)
+        } else {
+            2
+        }
+    }
+
+    fn on_loss(&mut self, _tp: &mut Transport, _kind: LossKind, now: f64) {
+        // Sampling continues across the loss; re-anchor the window so the
+        // retransmission gap is not counted as zero-bandwidth time.
+        self.rtt_win_sx = now;
+        self.bk = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_round(cc: &mut WestwoodPlus, tp: &mut Transport, now: f64, rtt: f64) {
+        let w = tp.cwnd;
+        for _ in 0..w {
+            tp.snd_una += 1;
+            tp.observe_rtt(rtt);
+            let ack = Ack { now, acked: 1, rtt };
+            cc.pkts_acked(tp, &ack);
+            cc.cong_avoid(tp, &ack);
+        }
+    }
+
+    #[test]
+    fn bandwidth_estimate_converges_on_steady_flow() {
+        let mut cc = WestwoodPlus::new();
+        let mut tp = Transport::new(1460);
+        tp.cwnd = 100;
+        tp.ssthresh = 100; // hold in congestion avoidance, near-steady rate
+        let mut now = 0.0;
+        for _ in 0..60 {
+            one_round(&mut cc, &mut tp, now, 1.0);
+            now += 1.0;
+        }
+        // Steady ~100 packets per 1 s round → bw ≈ 100 pk/s.
+        let bw = cc.bandwidth_estimate();
+        assert!(
+            (70.0..=170.0).contains(&bw),
+            "bw estimate {bw} should approach the real rate ~100-160"
+        );
+    }
+
+    #[test]
+    fn ssthresh_is_pipe_size_not_half_window() {
+        let mut cc = WestwoodPlus::new();
+        let mut tp = Transport::new(1460);
+        tp.cwnd = 4;
+        tp.ssthresh = 1 << 30;
+        let mut now = 0.0;
+        // Slow start doubling toward 512: the filter lags behind.
+        while tp.cwnd < 512 {
+            one_round(&mut cc, &mut tp, now, 1.0);
+            now += 1.0;
+        }
+        let ss = cc.ssthresh(&tp);
+        assert!(
+            ss < tp.cwnd / 2,
+            "lagging bw filter must yield ssthresh ({ss}) below half the \
+             window ({}) — the source of the paper's β=0 fingerprint",
+            tp.cwnd
+        );
+        assert!(ss >= 2);
+    }
+
+    #[test]
+    fn estimate_lags_a_doubling_window() {
+        let mut cc = WestwoodPlus::new();
+        let mut tp = Transport::new(1460);
+        tp.cwnd = 8;
+        tp.ssthresh = 1 << 30;
+        let mut now = 0.0;
+        for _ in 0..6 {
+            one_round(&mut cc, &mut tp, now, 1.0);
+            now += 1.0;
+        }
+        // Window reached 512; the double-EWMA estimate must be far behind.
+        assert!(tp.cwnd >= 512);
+        assert!(cc.bandwidth_estimate() < 300.0, "bw {}", cc.bandwidth_estimate());
+    }
+
+    #[test]
+    fn ssthresh_floor_without_samples() {
+        let mut cc = WestwoodPlus::new();
+        let tp = Transport::new(1460);
+        assert_eq!(cc.ssthresh(&tp), 2);
+    }
+
+    #[test]
+    fn growth_is_reno() {
+        let mut cc = WestwoodPlus::new();
+        let mut tp = Transport::new(1460);
+        tp.cwnd = 50;
+        tp.ssthresh = 25;
+        let mut now = 0.0;
+        for _ in 0..10 {
+            one_round(&mut cc, &mut tp, now, 1.0);
+            now += 1.0;
+        }
+        assert_eq!(tp.cwnd, 60);
+    }
+}

@@ -1,0 +1,267 @@
+//! YeAH-TCP: Yet Another Highspeed TCP (Baiocchi, Castellani, Vacirca,
+//! PFLDNet'07).
+//!
+//! Port of `net/ipv4/tcp_yeah.c`. YeAH alternates between a *fast* mode
+//! (Scalable TCP's 2%-per-RTT growth) while the estimated queue stays
+//! small, and a *slow* RENO mode plus "precautionary decongestion" when the
+//! queue builds. On loss the decrease depends on the last queue estimate
+//! (`β ≈ 7/8` on an empty queue, down to 1/2), so — like CTCP v2 — its
+//! growth reacts to the post-timeout RTT step of the paper's environment B
+//! (Fig. 3(n), §IV-B).
+
+use crate::transport::{Ack, CongestionControl, LossKind, RoundTracker, Transport};
+
+/// `TCP_YEAH_ALPHA`: maximum queue length before decongestion (packets).
+const ALPHA: f64 = 80.0;
+/// `TCP_YEAH_GAMMA`: fraction (1/γ) of the queue drained per decongestion.
+const GAMMA: f64 = 1.0;
+/// `TCP_YEAH_DELTA`: log2 of the minimum loss reduction (cwnd/8).
+const DELTA: u32 = 3;
+/// `TCP_YEAH_EPSILON`: log2 of the maximum decongestion (cwnd/2).
+const EPSILON: u32 = 1;
+/// `TCP_YEAH_PHY`: RTT inflation ratio (baseRTT/8) that triggers slow mode.
+const PHY: f64 = 8.0;
+/// `TCP_YEAH_RHO`: rounds of reno mode after which loss uses RENO halving.
+const RHO: u32 = 16;
+/// `TCP_YEAH_ZETA`: fast-mode rounds before the reno-window floor decays.
+const ZETA: u32 = 50;
+/// Scalable TCP's ACKs-per-increment constant, reused by fast mode.
+const SCALABLE_AI_CNT: u32 = 50;
+
+/// YeAH-TCP.
+#[derive(Debug, Clone)]
+pub struct Yeah {
+    base_rtt: f64,
+    min_rtt: f64,
+    cnt_rtt: u32,
+    rounds: RoundTracker,
+    doing_reno_now: u32,
+    last_q: f64,
+    reno_count: u32,
+    fast_count: u32,
+}
+
+impl Default for Yeah {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Yeah {
+    /// Creates a YeAH controller with kernel-default parameters.
+    pub fn new() -> Self {
+        Yeah {
+            base_rtt: f64::INFINITY,
+            min_rtt: f64::INFINITY,
+            cnt_rtt: 0,
+            rounds: RoundTracker::new(),
+            doing_reno_now: 0,
+            last_q: 0.0,
+            reno_count: 2,
+            fast_count: 0,
+        }
+    }
+
+    /// True while the fast (Scalable) mode is active, for tests.
+    pub fn in_fast_mode(&self) -> bool {
+        self.doing_reno_now == 0
+    }
+
+    /// Latest queue estimate (packets), for tests.
+    pub fn last_queue(&self) -> f64 {
+        self.last_q
+    }
+}
+
+impl CongestionControl for Yeah {
+    fn name(&self) -> &'static str {
+        "YEAH"
+    }
+
+    fn pkts_acked(&mut self, _tp: &mut Transport, ack: &Ack) {
+        if ack.rtt <= 0.0 {
+            return;
+        }
+        if ack.rtt < self.base_rtt {
+            self.base_rtt = ack.rtt;
+        }
+        if ack.rtt < self.min_rtt {
+            self.min_rtt = ack.rtt;
+        }
+        self.cnt_rtt += 1;
+    }
+
+    fn cong_avoid(&mut self, tp: &mut Transport, ack: &Ack) {
+        let mut acked = ack.acked;
+        if tp.in_slow_start() {
+            acked = tp.slow_start(acked);
+        }
+        if acked > 0 && !tp.in_slow_start() {
+            if self.doing_reno_now == 0 {
+                // Fast mode: Scalable TCP increase.
+                tp.cong_avoid_ai(tp.cwnd.min(SCALABLE_AI_CNT), acked);
+            } else {
+                // Slow mode: RENO increase.
+                tp.cong_avoid_ai(tp.cwnd, acked);
+            }
+        }
+
+        if self.rounds.round_elapsed(tp) {
+            if self.cnt_rtt > 2 && self.min_rtt.is_finite() && self.base_rtt.is_finite() {
+                let rtt = self.min_rtt;
+                let queue = f64::from(tp.cwnd) * (rtt - self.base_rtt).max(0.0) / rtt;
+                let rtt_inflated = rtt - self.base_rtt > self.base_rtt / PHY;
+                if queue > ALPHA || rtt_inflated {
+                    if queue > ALPHA && tp.cwnd > self.reno_count {
+                        // Precautionary decongestion.
+                        let reduction = ((queue / GAMMA) as u32).min(tp.cwnd >> EPSILON);
+                        tp.cwnd = (tp.cwnd - reduction).max(self.reno_count);
+                        tp.ssthresh = tp.cwnd;
+                    }
+                    if self.reno_count <= 2 {
+                        self.reno_count = (tp.cwnd >> 1).max(2);
+                    } else {
+                        self.reno_count += 1;
+                    }
+                    self.doing_reno_now = self.doing_reno_now.saturating_add(1);
+                } else {
+                    self.fast_count += 1;
+                    if self.fast_count > ZETA {
+                        self.reno_count = 2;
+                        self.fast_count = 0;
+                    }
+                    self.doing_reno_now = 0;
+                }
+                self.last_q = queue;
+            }
+            self.min_rtt = f64::INFINITY;
+            self.cnt_rtt = 0;
+        }
+    }
+
+    fn ssthresh(&mut self, tp: &Transport) -> u32 {
+        let reduction = if self.doing_reno_now < RHO {
+            let mut r = self.last_q as u32;
+            r = r.min((tp.cwnd >> 1).max(2));
+            r.max(tp.cwnd >> DELTA)
+        } else {
+            (tp.cwnd >> 1).max(2)
+        };
+        self.fast_count = 0;
+        self.reno_count = (self.reno_count >> 1).max(2);
+        tp.cwnd.saturating_sub(reduction).max(2)
+    }
+
+    fn on_loss(&mut self, _tp: &mut Transport, kind: LossKind, _now: f64) {
+        if kind == LossKind::Timeout {
+            self.rounds.reset();
+            self.min_rtt = f64::INFINITY;
+            self.cnt_rtt = 0;
+            self.doing_reno_now = 0;
+            self.last_q = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_round(cc: &mut Yeah, tp: &mut Transport, now: f64, rtt: f64) {
+        let w = tp.cwnd;
+        tp.snd_nxt += u64::from(w);
+        for _ in 0..w {
+            tp.snd_una += 1;
+            let ack = Ack { now, acked: 1, rtt };
+            cc.pkts_acked(tp, &ack);
+            cc.cong_avoid(tp, &ack);
+        }
+    }
+
+    #[test]
+    fn scalable_growth_on_empty_path() {
+        let mut cc = Yeah::new();
+        let mut tp = Transport::new(1460);
+        tp.cwnd = 500;
+        tp.ssthresh = 250;
+        one_round(&mut cc, &mut tp, 0.0, 1.0);
+        let before = tp.cwnd;
+        one_round(&mut cc, &mut tp, 1.0, 1.0);
+        let delta = tp.cwnd - before;
+        assert!((9..=11).contains(&delta), "2% of ~500 per RTT, got {delta}");
+        assert!(cc.in_fast_mode());
+    }
+
+    #[test]
+    fn beta_seven_eighths_on_empty_queue() {
+        let mut cc = Yeah::new();
+        let mut tp = Transport::new(1460);
+        tp.cwnd = 512;
+        tp.ssthresh = 256;
+        for round in 0..3 {
+            one_round(&mut cc, &mut tp, round as f64, 1.0);
+        }
+        tp.cwnd = 512;
+        let ss = cc.ssthresh(&tp);
+        assert_eq!(ss, 512 - (512 >> DELTA), "empty queue → reduction cwnd/8");
+    }
+
+    #[test]
+    fn rtt_step_switches_to_reno_mode() {
+        let mut cc = Yeah::new();
+        let mut tp = Transport::new(1460);
+        tp.cwnd = 300;
+        tp.ssthresh = 150;
+        for round in 0..3 {
+            one_round(&mut cc, &mut tp, round as f64 * 0.8, 0.8);
+        }
+        assert!(cc.in_fast_mode());
+        for round in 3..6 {
+            one_round(&mut cc, &mut tp, round as f64, 1.0);
+        }
+        assert!(!cc.in_fast_mode(), "25% RTT inflation must trip slow mode");
+    }
+
+    #[test]
+    fn precautionary_decongestion_shrinks_the_window() {
+        let mut cc = Yeah::new();
+        let mut tp = Transport::new(1460);
+        tp.cwnd = 500;
+        tp.ssthresh = 250;
+        for round in 0..3 {
+            one_round(&mut cc, &mut tp, round as f64 * 0.8, 0.8);
+        }
+        let before = tp.cwnd;
+        // queue = 0.2 · 500 = 100 > ALPHA: decongestion fires.
+        for round in 3..6 {
+            one_round(&mut cc, &mut tp, round as f64, 1.0);
+        }
+        assert!(
+            tp.cwnd < before,
+            "queue above α must trigger decongestion: {before} -> {}",
+            tp.cwnd
+        );
+    }
+
+    #[test]
+    fn queued_loss_reduces_by_the_queue_size() {
+        let mut cc = Yeah::new();
+        let mut tp = Transport::new(1460);
+        tp.cwnd = 300;
+        tp.ssthresh = 150;
+        for round in 0..3 {
+            one_round(&mut cc, &mut tp, round as f64 * 0.8, 0.8);
+        }
+        one_round(&mut cc, &mut tp, 3.0, 1.0);
+        let q = cc.last_queue();
+        assert!(q > 0.0);
+        let cwnd = tp.cwnd;
+        let ss = cc.ssthresh(&tp);
+        let reduction = cwnd - ss;
+        assert!(
+            reduction >= cwnd >> DELTA,
+            "reduction {reduction} at least cwnd/8"
+        );
+        assert!(reduction <= (cwnd >> 1).max(2), "at most half");
+    }
+}

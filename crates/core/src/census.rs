@@ -1,0 +1,287 @@
+//! The Internet measurement campaign (§VII-B, Table IV).
+//!
+//! For every server in a population the census samples a real-path network
+//! condition, runs the full CAAI protocol (ladder, environments A and B),
+//! files invalid traces by reason, detects the §VII-B special cases,
+//! classifies the rest with the random forest (40% confidence floor), and
+//! assembles the per-`w_max`-column report of Table IV. Because the
+//! population is synthetic, the report can also score identification
+//! accuracy against ground truth — something the paper could not do for
+//! the real Internet.
+
+use caai_congestion::AlgorithmId;
+use caai_netem::{ConditionDb, PathConfig};
+use caai_webmodel::WebServer;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use crate::classes::ClassLabel;
+use crate::classify::{CaaiClassifier, Identification};
+use crate::features::extract_pair;
+use crate::prober::{Prober, ProberConfig};
+use crate::server_under_test::ServerUnderTest;
+use crate::special::{detect, SpecialCase};
+use crate::trace::InvalidReason;
+
+/// The census verdict for one server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// No valid trace could be gathered (53% of servers in the paper).
+    Invalid(InvalidReason),
+    /// A §VII-B special-case trace, at the given `w_max` rung.
+    Special(SpecialCase, u32),
+    /// Forest confidence below 40% ("Unsure TCP").
+    Unsure(u32),
+    /// Confident identification at the given `w_max` rung.
+    Identified(ClassLabel, u32),
+}
+
+impl Verdict {
+    /// The `w_max` rung, for valid traces.
+    pub fn wmax(&self) -> Option<u32> {
+        match self {
+            Verdict::Invalid(_) => None,
+            Verdict::Special(_, w) | Verdict::Unsure(w) | Verdict::Identified(_, w) => Some(*w),
+        }
+    }
+}
+
+/// One server's census record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CensusRecord {
+    /// Server id within the population.
+    pub server_id: u32,
+    /// Ground-truth algorithm (the effective one, behind any proxy).
+    pub truth: AlgorithmId,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+/// Aggregated census results: the material of Table IV.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CensusReport {
+    /// Total servers probed.
+    pub total: usize,
+    /// Invalid-trace counts by reason.
+    pub invalid: BTreeMap<String, usize>,
+    /// Per-`w_max` rung columns.
+    pub columns: BTreeMap<u32, CensusColumn>,
+    /// Per-server records (for accuracy scoring and drill-down).
+    pub records: Vec<CensusRecord>,
+}
+
+/// One `w_max` column of Table IV.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CensusColumn {
+    /// Confident identifications per class.
+    pub identified: BTreeMap<String, usize>,
+    /// Special-case counts per case.
+    pub special: BTreeMap<String, usize>,
+    /// "Unsure TCP" count.
+    pub unsure: usize,
+}
+
+impl CensusColumn {
+    /// Servers contributing to this column.
+    pub fn total(&self) -> usize {
+        self.identified.values().sum::<usize>()
+            + self.special.values().sum::<usize>()
+            + self.unsure
+    }
+}
+
+impl CensusReport {
+    /// Servers with valid traces (the paper's ~47%).
+    pub fn valid_total(&self) -> usize {
+        self.columns.values().map(CensusColumn::total).sum()
+    }
+
+    /// Share of valid-trace servers identified as `class`, in percent —
+    /// the Table IV body cells.
+    pub fn identified_percent(&self, class: ClassLabel) -> f64 {
+        let n: usize = self
+            .columns
+            .values()
+            .map(|c| c.identified.get(class.name()).copied().unwrap_or(0))
+            .sum();
+        100.0 * n as f64 / self.valid_total().max(1) as f64
+    }
+
+    /// Share of valid-trace servers in a census family ("BIC/CUBIC",
+    /// "CTCP", ...), in percent.
+    pub fn family_percent(&self, family: &str) -> f64 {
+        let n: usize = ClassLabel::ALL
+            .iter()
+            .filter(|c| c.census_family() == family)
+            .map(|c| {
+                self.columns
+                    .values()
+                    .map(|col| col.identified.get(c.name()).copied().unwrap_or(0))
+                    .sum::<usize>()
+            })
+            .sum();
+        100.0 * n as f64 / self.valid_total().max(1) as f64
+    }
+
+    /// Share of valid-trace servers that are "Unsure TCP", in percent.
+    pub fn unsure_percent(&self) -> f64 {
+        let n: usize = self.columns.values().map(|c| c.unsure).sum();
+        100.0 * n as f64 / self.valid_total().max(1) as f64
+    }
+
+    /// Identification accuracy against ground truth over confidently
+    /// identified servers (not available to the paper; a bonus of the
+    /// synthetic population).
+    pub fn ground_truth_accuracy(&self) -> f64 {
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for r in &self.records {
+            if let Verdict::Identified(class, wmax) = r.verdict {
+                total += 1;
+                if class.matches(r.truth, wmax) {
+                    correct += 1;
+                }
+            }
+        }
+        correct as f64 / total.max(1) as f64
+    }
+}
+
+/// Census driver.
+#[derive(Debug, Clone)]
+pub struct Census {
+    prober: Prober,
+    classifier: CaaiClassifier,
+    conditions: ConditionDb,
+}
+
+impl Census {
+    /// Creates a census driver from a trained classifier.
+    pub fn new(classifier: CaaiClassifier, conditions: ConditionDb, prober: ProberConfig) -> Self {
+        Census { prober: Prober::new(prober), classifier, conditions }
+    }
+
+    /// Probes one server.
+    pub fn probe(&self, server: &WebServer, rng: &mut impl rand::Rng) -> CensusRecord {
+        let cond = self.conditions.sample(rng);
+        let path = PathConfig::from_condition(&cond);
+        let sut = ServerUnderTest::from_web_server(server);
+        let outcome = self.prober.gather(&sut, &path, rng);
+        let verdict = match outcome.pair {
+            None => Verdict::Invalid(
+                outcome.failure_reason().unwrap_or(InvalidReason::NeverExceededThreshold),
+            ),
+            Some(pair) => {
+                let wmax = pair.wmax_threshold();
+                if let Some(case) = detect(&pair.env_a) {
+                    Verdict::Special(case, wmax)
+                } else {
+                    let v = extract_pair(&pair);
+                    match self.classifier.classify(&v) {
+                        Identification::Identified { class, .. } => {
+                            Verdict::Identified(class, wmax)
+                        }
+                        Identification::Unsure { .. } => Verdict::Unsure(wmax),
+                    }
+                }
+            }
+        };
+        CensusRecord { server_id: server.id, truth: server.effective_algorithm(), verdict }
+    }
+
+    /// Probes a whole population, sharding across `workers` threads.
+    pub fn run(&self, servers: &[WebServer], seed: u64, workers: usize) -> CensusReport {
+        let workers = workers.max(1).min(servers.len().max(1));
+        let chunk = servers.len().div_ceil(workers);
+        let mut records: Vec<CensusRecord> = Vec::with_capacity(servers.len());
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (shard, part) in servers.chunks(chunk.max(1)).enumerate() {
+                let census = &*self;
+                handles.push(scope.spawn(move || {
+                    let mut rng = caai_netem::rng::child(seed, shard as u64);
+                    part.iter().map(|s| census.probe(s, &mut rng)).collect::<Vec<_>>()
+                }));
+            }
+            for h in handles {
+                records.extend(h.join().expect("census worker panicked"));
+            }
+        });
+        assemble(records)
+    }
+}
+
+/// Folds raw records into the Table IV report.
+pub fn assemble(records: Vec<CensusRecord>) -> CensusReport {
+    let mut report = CensusReport { total: records.len(), ..Default::default() };
+    for r in &records {
+        match r.verdict {
+            Verdict::Invalid(reason) => {
+                *report.invalid.entry(format!("{reason:?}")).or_default() += 1;
+            }
+            Verdict::Special(case, wmax) => {
+                let col = report.columns.entry(wmax).or_default();
+                *col.special.entry(case.name().to_owned()).or_default() += 1;
+            }
+            Verdict::Unsure(wmax) => {
+                report.columns.entry(wmax).or_default().unsure += 1;
+            }
+            Verdict::Identified(class, wmax) => {
+                let col = report.columns.entry(wmax).or_default();
+                *col.identified.entry(class.name().to_owned()).or_default() += 1;
+            }
+        }
+    }
+    report.records = records;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::{build_training_set, TrainingConfig};
+    use caai_netem::rng::seeded;
+    use caai_webmodel::PopulationConfig;
+
+    fn quick_classifier(rng: &mut impl rand::Rng) -> CaaiClassifier {
+        let db = ConditionDb::paper_2011();
+        let data = build_training_set(&TrainingConfig::quick(2), &db, rng);
+        CaaiClassifier::train(&data, rng)
+    }
+
+    #[test]
+    fn small_census_produces_a_coherent_report() {
+        let mut rng = seeded(100);
+        let classifier = quick_classifier(&mut rng);
+        let census =
+            Census::new(classifier, ConditionDb::paper_2011(), ProberConfig::default());
+        let servers = PopulationConfig::small(40).generate(&mut rng);
+        let report = census.run(&servers, 7, 2);
+        assert_eq!(report.total, 40);
+        assert_eq!(report.records.len(), 40);
+        let invalid: usize = report.invalid.values().sum();
+        assert_eq!(invalid + report.valid_total(), 40);
+        // Roughly half the servers yield no valid trace, as in the paper.
+        assert!(invalid >= 8, "invalid {invalid}");
+        assert!(report.valid_total() >= 8, "valid {}", report.valid_total());
+    }
+
+    #[test]
+    fn census_is_deterministic_for_a_seed() {
+        let mut rng = seeded(101);
+        let classifier = quick_classifier(&mut rng);
+        let census =
+            Census::new(classifier, ConditionDb::paper_2011(), ProberConfig::default());
+        let servers = PopulationConfig::small(12).generate(&mut rng);
+        let a = census.run(&servers, 5, 3);
+        let b = census.run(&servers, 5, 3);
+        assert_eq!(a.records, b.records, "sharded RNG must be reproducible");
+    }
+
+    #[test]
+    fn verdict_wmax_accessor() {
+        assert_eq!(Verdict::Invalid(InvalidReason::PageTooShort).wmax(), None);
+        assert_eq!(Verdict::Unsure(128).wmax(), Some(128));
+        assert_eq!(Verdict::Identified(ClassLabel::Bic, 512).wmax(), Some(512));
+    }
+}

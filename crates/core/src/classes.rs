@@ -1,0 +1,205 @@
+//! Classification labels (§VII-A).
+//!
+//! RENO, CTCP v1 and CTCP v2 are behaviourally indistinguishable at small
+//! windows ("CTCP = RENO when their window sizes are less than 41",
+//! Fig. 3(o)), so for `w_max ∈ {64, 128}` the three collapse into one
+//! **RC-small** class, while at `w_max ∈ {256, 512}` they stay separate as
+//! RENO-big / CTCP'-big / CTCP''-big — 15 classes in total, the rows of
+//! Table III.
+
+use caai_congestion::AlgorithmId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// `w_max` rungs where RENO and the CTCPs are distinguishable.
+pub const BIG_WMAX: u32 = 256;
+
+/// The 15 classes of Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum ClassLabel {
+    Bic,
+    Ctcp1Big,
+    Ctcp2Big,
+    Cubic1,
+    Cubic2,
+    Hstcp,
+    Htcp,
+    Illinois,
+    RcSmall,
+    RenoBig,
+    Stcp,
+    Vegas,
+    Veno,
+    Westwood,
+    Yeah,
+}
+
+impl ClassLabel {
+    /// All classes, in Table III row order.
+    pub const ALL: [ClassLabel; 15] = [
+        ClassLabel::Bic,
+        ClassLabel::Ctcp1Big,
+        ClassLabel::Ctcp2Big,
+        ClassLabel::Cubic1,
+        ClassLabel::Cubic2,
+        ClassLabel::Hstcp,
+        ClassLabel::Htcp,
+        ClassLabel::Illinois,
+        ClassLabel::RcSmall,
+        ClassLabel::RenoBig,
+        ClassLabel::Stcp,
+        ClassLabel::Vegas,
+        ClassLabel::Veno,
+        ClassLabel::Westwood,
+        ClassLabel::Yeah,
+    ];
+
+    /// Stable index into [`ClassLabel::ALL`].
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&c| c == self).expect("class in table")
+    }
+
+    /// Inverse of [`index`](Self::index).
+    pub fn from_index(i: usize) -> ClassLabel {
+        Self::ALL[i]
+    }
+
+    /// Display name matching the paper's notation.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClassLabel::Bic => "BIC",
+            ClassLabel::Ctcp1Big => "CTCP_v1-big",
+            ClassLabel::Ctcp2Big => "CTCP_v2-big",
+            ClassLabel::Cubic1 => "CUBIC_v1",
+            ClassLabel::Cubic2 => "CUBIC_v2",
+            ClassLabel::Hstcp => "HSTCP",
+            ClassLabel::Htcp => "HTCP",
+            ClassLabel::Illinois => "ILLINOIS",
+            ClassLabel::RcSmall => "RC-small",
+            ClassLabel::RenoBig => "RENO-big",
+            ClassLabel::Stcp => "STCP",
+            ClassLabel::Vegas => "VEGAS",
+            ClassLabel::Veno => "VENO",
+            ClassLabel::Westwood => "WESTWOOD+",
+            ClassLabel::Yeah => "YEAH",
+        }
+    }
+
+    /// The class a measurement of `algorithm` at threshold `wmax` should be
+    /// labeled with. `None` for the non-identified extensions (HYBLA, LP).
+    pub fn for_measurement(algorithm: AlgorithmId, wmax: u32) -> Option<ClassLabel> {
+        let small = wmax < BIG_WMAX;
+        Some(match algorithm {
+            AlgorithmId::Reno if small => ClassLabel::RcSmall,
+            AlgorithmId::CtcpV1 if small => ClassLabel::RcSmall,
+            AlgorithmId::CtcpV2 if small => ClassLabel::RcSmall,
+            AlgorithmId::Reno => ClassLabel::RenoBig,
+            AlgorithmId::CtcpV1 => ClassLabel::Ctcp1Big,
+            AlgorithmId::CtcpV2 => ClassLabel::Ctcp2Big,
+            AlgorithmId::Bic => ClassLabel::Bic,
+            AlgorithmId::CubicV1 => ClassLabel::Cubic1,
+            AlgorithmId::CubicV2 => ClassLabel::Cubic2,
+            AlgorithmId::Hstcp => ClassLabel::Hstcp,
+            AlgorithmId::Htcp => ClassLabel::Htcp,
+            AlgorithmId::Illinois => ClassLabel::Illinois,
+            AlgorithmId::Scalable => ClassLabel::Stcp,
+            AlgorithmId::Vegas => ClassLabel::Vegas,
+            AlgorithmId::Veno => ClassLabel::Veno,
+            AlgorithmId::WestwoodPlus => ClassLabel::Westwood,
+            AlgorithmId::Yeah => ClassLabel::Yeah,
+            AlgorithmId::Hybla | AlgorithmId::Lp => return None,
+        })
+    }
+
+    /// True when a prediction of this class is correct for a server whose
+    /// ground truth is `algorithm` probed at `wmax`.
+    pub fn matches(self, algorithm: AlgorithmId, wmax: u32) -> bool {
+        Self::for_measurement(algorithm, wmax) == Some(self)
+    }
+
+    /// Census reporting family: merges the big/small and version splits the
+    /// way §VII-B aggregates them ("BIC or CUBIC", "CTCP").
+    pub fn census_family(self) -> &'static str {
+        match self {
+            ClassLabel::Bic | ClassLabel::Cubic1 | ClassLabel::Cubic2 => "BIC/CUBIC",
+            ClassLabel::Ctcp1Big | ClassLabel::Ctcp2Big => "CTCP",
+            ClassLabel::RenoBig => "RENO",
+            ClassLabel::RcSmall => "RC-small",
+            other => other.name(),
+        }
+    }
+}
+
+impl fmt::Display for ClassLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The class-name table in [`ClassLabel::ALL`] order, for datasets.
+pub fn label_names() -> Vec<String> {
+    ClassLabel::ALL.iter().map(|c| c.name().to_owned()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_classes_with_stable_indices() {
+        assert_eq!(ClassLabel::ALL.len(), 15);
+        for (i, c) in ClassLabel::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(ClassLabel::from_index(i), *c);
+        }
+    }
+
+    #[test]
+    fn reno_and_ctcp_merge_at_small_wmax() {
+        for algo in [AlgorithmId::Reno, AlgorithmId::CtcpV1, AlgorithmId::CtcpV2] {
+            assert_eq!(ClassLabel::for_measurement(algo, 64), Some(ClassLabel::RcSmall));
+            assert_eq!(ClassLabel::for_measurement(algo, 128), Some(ClassLabel::RcSmall));
+        }
+        assert_eq!(ClassLabel::for_measurement(AlgorithmId::Reno, 256), Some(ClassLabel::RenoBig));
+        assert_eq!(
+            ClassLabel::for_measurement(AlgorithmId::CtcpV1, 512),
+            Some(ClassLabel::Ctcp1Big)
+        );
+    }
+
+    #[test]
+    fn other_algorithms_keep_identity_across_wmax() {
+        for wmax in [64, 128, 256, 512] {
+            assert_eq!(ClassLabel::for_measurement(AlgorithmId::Bic, wmax), Some(ClassLabel::Bic));
+        }
+    }
+
+    #[test]
+    fn extensions_are_unlabelled() {
+        assert_eq!(ClassLabel::for_measurement(AlgorithmId::Hybla, 512), None);
+        assert_eq!(ClassLabel::for_measurement(AlgorithmId::Lp, 64), None);
+    }
+
+    #[test]
+    fn matches_respects_the_merge() {
+        assert!(ClassLabel::RcSmall.matches(AlgorithmId::CtcpV2, 64));
+        assert!(!ClassLabel::RcSmall.matches(AlgorithmId::CtcpV2, 512));
+        assert!(ClassLabel::Ctcp2Big.matches(AlgorithmId::CtcpV2, 512));
+    }
+
+    #[test]
+    fn census_families_aggregate() {
+        assert_eq!(ClassLabel::Bic.census_family(), "BIC/CUBIC");
+        assert_eq!(ClassLabel::Cubic2.census_family(), "BIC/CUBIC");
+        assert_eq!(ClassLabel::Ctcp1Big.census_family(), "CTCP");
+        assert_eq!(ClassLabel::Htcp.census_family(), "HTCP");
+    }
+
+    #[test]
+    fn label_names_align_with_indices() {
+        let names = label_names();
+        assert_eq!(names.len(), 15);
+        assert_eq!(names[ClassLabel::Vegas.index()], "VEGAS");
+    }
+}

@@ -1,0 +1,158 @@
+//! CAAI Step 3: algorithm classification (§VI).
+//!
+//! A random forest (K = 80 trees, m = 4 features per split) votes on the
+//! 7-element feature vector; the vote share of the winning class is the
+//! confidence, and CAAI reports "Unsure TCP" below 40% (§VII-B).
+
+use caai_ml::{Classifier, Dataset, RandomForest, RandomForestConfig};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::classes::ClassLabel;
+use crate::features::FeatureVector;
+
+/// Confidence floor below which CAAI declines to identify (§VII-B: "CAAI
+/// does not report the classification result ... if the confidence level is
+/// lower than 40%").
+pub const CONFIDENCE_FLOOR: f64 = 0.40;
+
+/// Outcome of classifying one feature vector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Identification {
+    /// Confident identification.
+    Identified {
+        /// The winning class.
+        class: ClassLabel,
+        /// Vote share of the winning class.
+        confidence: f64,
+    },
+    /// Vote share below the floor: "Unsure TCP".
+    Unsure {
+        /// The plurality class anyway, for diagnostics.
+        best_guess: ClassLabel,
+        /// Its (insufficient) vote share.
+        confidence: f64,
+    },
+}
+
+impl Identification {
+    /// The identified class, when confident.
+    pub fn class(&self) -> Option<ClassLabel> {
+        match self {
+            Identification::Identified { class, .. } => Some(*class),
+            Identification::Unsure { .. } => None,
+        }
+    }
+
+    /// The vote share of the plurality class.
+    pub fn confidence(&self) -> f64 {
+        match self {
+            Identification::Identified { confidence, .. }
+            | Identification::Unsure { confidence, .. } => *confidence,
+        }
+    }
+}
+
+/// The trained CAAI classifier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CaaiClassifier {
+    forest: RandomForest,
+    confidence_floor: f64,
+}
+
+impl CaaiClassifier {
+    /// Trains the paper-configured forest (K = 80, m = 4) on a training
+    /// set labeled with [`ClassLabel`] indices.
+    pub fn train(training: &Dataset, rng: &mut dyn RngCore) -> Self {
+        Self::train_with(training, RandomForestConfig::paper(), rng)
+    }
+
+    /// Trains with explicit forest hyperparameters (used by the Fig. 12
+    /// sweeps).
+    pub fn train_with(
+        training: &Dataset,
+        config: RandomForestConfig,
+        rng: &mut dyn RngCore,
+    ) -> Self {
+        assert_eq!(
+            training.n_classes(),
+            ClassLabel::ALL.len(),
+            "training set must use the 15 CAAI classes"
+        );
+        let mut forest = RandomForest::new(config);
+        forest.fit(training, rng);
+        CaaiClassifier { forest, confidence_floor: CONFIDENCE_FLOOR }
+    }
+
+    /// Classifies one feature vector.
+    pub fn classify(&self, vector: &FeatureVector) -> Identification {
+        let p = self.forest.predict(vector.as_slice());
+        let class = ClassLabel::from_index(p.label);
+        if p.confidence >= self.confidence_floor {
+            Identification::Identified { class, confidence: p.confidence }
+        } else {
+            Identification::Unsure { best_guess: class, confidence: p.confidence }
+        }
+    }
+
+    /// Access to the underlying forest (for CV and ablations).
+    pub fn forest(&self) -> &RandomForest {
+        &self.forest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::label_names;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A tiny synthetic training set: class indices 0 (BIC) and 14 (YEAH)
+    /// separated on the β^A axis.
+    fn toy_training() -> Dataset {
+        let mut d = Dataset::new(label_names(), crate::features::FEATURE_DIM);
+        for i in 0..40 {
+            let j = (i % 5) as f64 / 100.0;
+            d.push(vec![0.8 + j, 20.0, 40.0, 0.8, 20.0, 40.0, 1.0], ClassLabel::Bic.index());
+            d.push(vec![0.875 + j, 60.0, 130.0, 0.5, 5.0, 9.0, 1.0], ClassLabel::Yeah.index());
+        }
+        d
+    }
+
+    #[test]
+    fn classifies_separable_vectors_confidently() {
+        let d = toy_training();
+        let mut rng = StdRng::seed_from_u64(2);
+        let clf = CaaiClassifier::train(&d, &mut rng);
+        let v = FeatureVector { values: [0.81, 21.0, 41.0, 0.8, 20.0, 40.0, 1.0] };
+        match clf.classify(&v) {
+            Identification::Identified { class, confidence } => {
+                assert_eq!(class, ClassLabel::Bic);
+                assert!(confidence > 0.8);
+            }
+            other => panic!("expected confident BIC, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn far_off_vectors_can_still_be_unsure() {
+        let d = toy_training();
+        let mut rng = StdRng::seed_from_u64(3);
+        let clf = CaaiClassifier::train(&d, &mut rng);
+        // Any vector classifies *somewhere*; the Unsure arm needs split
+        // votes, which two well-separated classes rarely produce. Verify
+        // the plumbing instead: confidence is always a valid share.
+        let v = FeatureVector { values: [0.84, 40.0, 80.0, 0.65, 12.0, 25.0, 1.0] };
+        let id = clf.classify(&v);
+        assert!(id.confidence() > 0.0 && id.confidence() <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "15 CAAI classes")]
+    fn wrong_class_table_is_rejected() {
+        let d = Dataset::new(vec!["a".into()], 7);
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = CaaiClassifier::train(&d, &mut rng);
+    }
+}

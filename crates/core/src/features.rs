@@ -1,0 +1,321 @@
+//! CAAI Step 2: feature extraction (§V).
+//!
+//! From a valid trace CAAI extracts the two algorithm features of §III-B:
+//!
+//! * **Feature 1** — the multiplicative decrease parameter
+//!   `β = w_b / w^B`, where `w_b` is the window at the *boundary RTT* (the
+//!   round where the post-timeout slow start ends, i.e. the slow start
+//!   threshold) and `w^B` the window right before the timeout;
+//! * **Feature 2** — the window growth function, summarized by the offsets
+//!   `G3 = w_{b+3} − w_b` and `G6 = w_{b+6} − w_b` (§V-C: two window sizes
+//!   suffice, and offsets are `w_max`-independent).
+//!
+//! Boundary detection must tolerate ACK loss on the prober→server path:
+//! equation (1) estimates the maximum ACK loss rate `L` as the mean plus
+//! 95% confidence interval of the per-round loss estimates
+//! `l_i = 2 − w_{i+1}/w_i`, clamped to [15%, 60%]; a round still counts as
+//! slow start while `w_{i+1} ≥ (2 − L)·w_i`.
+//!
+//! The full feature vector of a server (§V-D) is
+//! `[βᴬ, G3ᴬ, G6ᴬ, βᴮ, G3ᴮ, G6ᴮ, I(w^B_max ≥ 64)]`.
+
+use caai_netem::stats::mean_plus_ci95;
+use serde::{Deserialize, Serialize};
+
+use crate::trace::{TracePair, WindowTrace};
+
+/// Dimensionality of a CAAI feature vector (§V-D: seven elements).
+pub const FEATURE_DIM: usize = 7;
+
+/// Lower clamp of the ACK-loss estimate (§V-A: minimum 15%).
+pub const ACK_LOSS_MIN: f64 = 0.15;
+/// Upper clamp of the ACK-loss estimate (§V-A: maximum 60%).
+pub const ACK_LOSS_MAX: f64 = 0.60;
+/// Lower clamp of β (§V-B: 0.5, the smallest β of the 14 algorithms other
+/// than WESTWOOD+).
+pub const BETA_MIN: f64 = 0.5;
+/// Upper clamp of β (§V-B).
+pub const BETA_MAX: f64 = 2.0;
+
+/// Features of a single trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceFeatures {
+    /// Multiplicative decrease parameter; 0 when no boundary was found
+    /// (§V-B, the WESTWOOD+ case).
+    pub beta: f64,
+    /// `w_{b+3} − w_b`, or 0 when unavailable.
+    pub g3: f64,
+    /// `w_{b+6} − w_b`, or 0 when unavailable.
+    pub g6: f64,
+    /// Index of the boundary round within the post-timeout trace (0-based),
+    /// when found.
+    pub boundary: Option<usize>,
+    /// The ACK-loss estimate `L` used for boundary detection.
+    pub ack_loss: f64,
+}
+
+impl TraceFeatures {
+    /// All-zero features, used for unusable environment-B plateaus.
+    pub fn zero() -> Self {
+        TraceFeatures { beta: 0.0, g3: 0.0, g6: 0.0, boundary: None, ack_loss: ACK_LOSS_MIN }
+    }
+}
+
+/// The §V-D feature vector of one server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeatureVector {
+    /// `[βᴬ, G3ᴬ, G6ᴬ, βᴮ, G3ᴮ, G6ᴮ, I(w^B_max ≥ 64)]`.
+    pub values: [f64; FEATURE_DIM],
+}
+
+impl FeatureVector {
+    /// Builds the vector from per-environment features and the indicator.
+    pub fn from_parts(a: TraceFeatures, b: TraceFeatures, b_reaches_64: bool) -> Self {
+        FeatureVector {
+            values: [
+                a.beta,
+                a.g3,
+                a.g6,
+                b.beta,
+                b.g3,
+                b.g6,
+                if b_reaches_64 { 1.0 } else { 0.0 },
+            ],
+        }
+    }
+
+    /// The vector as a slice, for classifiers.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Human-readable element names, in order.
+    pub fn element_names() -> [&'static str; FEATURE_DIM] {
+        ["beta_A", "G3_A", "G6_A", "beta_B", "G3_B", "G6_B", "reach64_B"]
+    }
+}
+
+/// Estimates the maximum ACK loss rate `L` from post-timeout slow-start
+/// rounds — equation (1) of §V-A, clamped to [15%, 60%].
+///
+/// Rounds are deemed slow start for the estimate while the window at least
+/// multiplies by 1.4× (the floor implied by the 60% maximum loss rate).
+pub fn estimate_ack_loss(post: &[u32]) -> f64 {
+    let mut samples = Vec::new();
+    for w in post.windows(2) {
+        let (wi, wn) = (f64::from(w[0]), f64::from(w[1]));
+        if wi >= 1.0 && wn >= 1.4 * wi {
+            samples.push((2.0 - wn / wi).max(0.0));
+        } else if wi >= 1.0 {
+            break; // slow start has visibly ended
+        }
+    }
+    mean_plus_ci95(&samples).unwrap_or(ACK_LOSS_MIN).clamp(ACK_LOSS_MIN, ACK_LOSS_MAX)
+}
+
+/// Extracts the per-trace features of §V-A/B/C.
+///
+/// The boundary search starts at the first post-timeout round whose window
+/// reaches `w^B / 2` — β is at least 0.5 for every identified algorithm
+/// except WESTWOOD+ (§V-B), whose recovery never gets that high, yielding
+/// the paper's `β = 0` fingerprint — and looks for three consecutive
+/// rounds that fail the slow-start test `w_i ≥ (2 − L)·w_{i−1}`; the first
+/// of the three is the boundary RTT `b`.
+pub fn extract(trace: &WindowTrace) -> TraceFeatures {
+    if !trace.is_valid() {
+        return TraceFeatures::zero();
+    }
+    let Some(w_before) = trace.w_before_timeout() else {
+        return TraceFeatures::zero();
+    };
+    let post = &trace.post;
+    let ack_loss = estimate_ack_loss(post);
+    let threshold = 2.0 - ack_loss;
+    let floor = f64::from(w_before) / 2.0;
+
+    let mut boundary: Option<usize> = None;
+    for i in 1..post.len() {
+        if f64::from(post[i]) < floor {
+            continue;
+        }
+        // Three consecutive rounds i, i+1, i+2 must all fail the
+        // slow-start test against their predecessors.
+        let mut all_fail = true;
+        for j in i..(i + 3) {
+            match (post.get(j - 1), post.get(j)) {
+                (Some(&prev), Some(&cur)) if prev > 0 => {
+                    if f64::from(cur) >= threshold * f64::from(prev) {
+                        all_fail = false;
+                        break;
+                    }
+                }
+                // Trace too short to disprove: treat the available rounds
+                // as the evidence.
+                (Some(&prev), None) if prev > 0 => break,
+                _ => {
+                    all_fail = false;
+                    break;
+                }
+            }
+        }
+        if all_fail {
+            boundary = Some(i);
+            break;
+        }
+    }
+
+    match boundary {
+        None => TraceFeatures { beta: 0.0, g3: 0.0, g6: 0.0, boundary: None, ack_loss },
+        Some(b) => {
+            let w_b = f64::from(post[b]);
+            let beta = (w_b / f64::from(w_before)).clamp(BETA_MIN, BETA_MAX);
+            let g3 = post.get(b + 3).map_or(0.0, |&w| f64::from(w) - w_b);
+            let g6 = post.get(b + 6).map_or(0.0, |&w| f64::from(w) - w_b);
+            TraceFeatures { beta, g3, g6, boundary: Some(b), ack_loss }
+        }
+    }
+}
+
+/// Extracts the full §V-D feature vector from a trace pair.
+pub fn extract_pair(pair: &TracePair) -> FeatureVector {
+    let a = extract(&pair.env_a);
+    let b = if pair.env_b.is_valid() { extract(&pair.env_b) } else { TraceFeatures::zero() };
+    let reaches = pair.env_b.max_window() >= 64;
+    FeatureVector::from_parts(a, b, reaches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caai_netem::EnvironmentId;
+
+    fn mk_trace(pre_last: u32, post: Vec<u32>) -> WindowTrace {
+        WindowTrace {
+            env: EnvironmentId::A,
+            wmax_threshold: 512,
+            mss: 100,
+            pre: vec![2, 4, 8, pre_last],
+            post,
+            invalid: None,
+        }
+    }
+
+    /// A clean RENO recovery: slow start to 257 (ssthresh 256 plus the
+    /// spill-over ACKs), then +1 per round — what the prober measures for
+    /// a RENO server with w^B = 512.
+    fn reno_post() -> Vec<u32> {
+        let mut v = vec![1, 2, 4, 8, 16, 32, 64, 128, 256];
+        for i in 1..=9 {
+            v.push(256 + i);
+        }
+        v
+    }
+
+    #[test]
+    fn reno_beta_is_half_and_growth_linear() {
+        let t = mk_trace(512, reno_post());
+        let f = extract(&t);
+        // Boundary search floor is w^B/2 = 256: the 256-round still passes
+        // the doubling test, so the boundary lands on the 257-round.
+        assert_eq!(f.boundary, Some(9));
+        assert!((f.beta - 257.0 / 512.0).abs() < 0.01, "beta {}", f.beta);
+        assert_eq!(f.g3, 3.0);
+        assert_eq!(f.g6, 6.0);
+    }
+
+    #[test]
+    fn stcp_beta_survives_the_partial_doubling_round() {
+        // STCP: ssthresh = 448 = 0.875·512; slow start passes 256 and ends
+        // mid-round at 448; CA grows 2%/round.
+        let post = vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 448, 457, 466, 475, 484, 494, 504, 514, 524];
+        let t = mk_trace(512, post);
+        let f = extract(&t);
+        assert!((f.beta - 0.875).abs() < 0.01, "beta {}", f.beta);
+        assert_eq!(f.boundary, Some(9), "boundary at the 448 round");
+        assert!((f.g3 - 27.0).abs() <= 1.0, "g3 {}", f.g3);
+    }
+
+    #[test]
+    fn westwood_never_reaching_half_yields_beta_zero() {
+        // ssthresh ≈ 113 ≪ 512/2: boundary search floor is never reached.
+        let mut post = vec![1, 2, 4, 8, 16, 32, 64, 113];
+        for i in 1..=10 {
+            post.push(113 + i);
+        }
+        let t = mk_trace(512, post);
+        let f = extract(&t);
+        assert_eq!(f.beta, 0.0, "WESTWOOD+'s fingerprint");
+        assert_eq!(f.boundary, None);
+    }
+
+    #[test]
+    fn ack_loss_estimate_from_clean_doubling_is_the_floor() {
+        let l = estimate_ack_loss(&reno_post());
+        assert_eq!(l, ACK_LOSS_MIN);
+    }
+
+    #[test]
+    fn ack_loss_estimate_rises_with_lossy_slow_start() {
+        // 30% ACK loss: windows multiply by ~1.7.
+        let post = vec![10, 17, 29, 49, 83, 141, 240, 408, 450, 452, 454];
+        let l = estimate_ack_loss(&post);
+        assert!(l > 0.25 && l <= ACK_LOSS_MAX, "L = {l}");
+    }
+
+    #[test]
+    fn beta_clamps_to_half_from_below() {
+        // A noisy boundary slightly below w^B/2 still reads as β = 0.5...
+        // (clamp), provided the floor is reached later.
+        let post = vec![1, 2, 4, 8, 16, 32, 64, 128, 260, 262, 264, 266, 268, 270, 272, 274, 276, 278];
+        let t = mk_trace(520, post);
+        let f = extract(&t);
+        assert!(f.beta >= BETA_MIN);
+    }
+
+    #[test]
+    fn invalid_traces_yield_zero_features() {
+        let mut t = mk_trace(520, reno_post());
+        t.invalid = Some(crate::trace::InvalidReason::NeverExceededThreshold);
+        assert_eq!(extract(&t), TraceFeatures::zero());
+    }
+
+    #[test]
+    fn pair_vector_layout_and_indicator() {
+        let a = mk_trace(520, reno_post());
+        let mut b = mk_trace(520, reno_post());
+        b.env = EnvironmentId::B;
+        let pair = TracePair { env_a: a, env_b: b };
+        let v = extract_pair(&pair);
+        assert_eq!(v.values[6], 1.0, "environment B reached 64");
+        assert!(v.values[0] > 0.0);
+        assert_eq!(v.as_slice().len(), FEATURE_DIM);
+    }
+
+    #[test]
+    fn vegas_style_pair_has_zero_b_features() {
+        let a = mk_trace(520, reno_post());
+        let mut b = mk_trace(520, vec![]);
+        b.env = EnvironmentId::B;
+        b.pre = vec![2, 4, 8, 16, 20, 21, 20];
+        b.invalid = Some(crate::trace::InvalidReason::NeverExceededThreshold);
+        let pair = TracePair { env_a: a, env_b: b };
+        let v = extract_pair(&pair);
+        assert_eq!(v.values[3], 0.0);
+        assert_eq!(v.values[4], 0.0);
+        assert_eq!(v.values[6], 0.0, "indicator off below 64");
+    }
+
+    #[test]
+    fn growth_offsets_default_to_zero_when_trace_ends_early() {
+        // Boundary found at the third-to-last round: G6 unavailable.
+        let post = vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 300, 301, 302, 303, 304, 305, 306, 260, 261];
+        let mut t = mk_trace(520, post);
+        t.post.truncate(18);
+        let f = extract(&t);
+        if let Some(b) = f.boundary {
+            if b + 6 >= t.post.len() {
+                assert_eq!(f.g6, 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,551 @@
+//! CAAI Step 1: trace gathering (§IV).
+//!
+//! The prober emulates network environments A and B purely through its own
+//! ACK behaviour: it acknowledges every data packet (non-delayed ACKs),
+//! defers each ACK so the server experiences the scheduled RTT, withholds
+//! ACKs once the measured window exceeds the `w_max` threshold to force a
+//! genuine retransmission timeout, sends a duplicate ACK after the timeout
+//! to defeat F-RTO (§IV-C), waits between connections to defeat ssthresh
+//! caching (§IV-C), ACKs "as if no loss" on the data path (§IV-C), and
+//! measures the per-round window from the highest sequence number received
+//! in each emulated round (§IV-D). It walks the `w_max` ladder
+//! 512 → 256 → 128 → 64 until both environments yield usable traces
+//! (§IV-B).
+
+use caai_netem::path::DataFate;
+use caai_netem::{EnvironmentId, PathConfig, Phase, RttSchedule};
+use caai_tcpsim::AckPacket;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::server_under_test::ServerUnderTest;
+use crate::trace::{InvalidReason, TracePair, WindowTrace, POST_TIMEOUT_ROUNDS};
+
+/// Prober configuration (§IV-B defaults).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProberConfig {
+    /// `w_max` thresholds tried in decreasing order.
+    pub wmax_ladder: Vec<u32>,
+    /// MSS proposed in the SYN (the smallest rung of the MSS ladder; the
+    /// server may round it up to its minimum, Table II).
+    pub proposed_mss: u32,
+    /// Post-timeout rounds to gather (18 per §IV-E).
+    pub post_timeout_rounds: usize,
+    /// Safety cap on pre-timeout rounds per attempt.
+    pub max_pre_rounds: usize,
+    /// Send the duplicate ACK that defeats F-RTO (§IV-C). On by default;
+    /// disabling it reproduces the F-RTO failure mode.
+    pub frto_countermeasure: bool,
+    /// Idle time between connections, defeating ssthresh caching (§IV-C
+    /// waits "some time (like 10 min)"). Must strictly exceed the metric
+    /// cache lifetime (`caai_tcpsim::cache::DEFAULT_TTL`, 600 s): a wait of
+    /// exactly the TTL still hits an inclusive cache.
+    pub inter_connection_wait: f64,
+    /// How many re-armed RTOs to wait out before declaring the server deaf
+    /// to timeouts.
+    pub max_rto_waits: u32,
+}
+
+impl Default for ProberConfig {
+    fn default() -> Self {
+        ProberConfig {
+            wmax_ladder: vec![512, 256, 128, 64],
+            proposed_mss: 100,
+            post_timeout_rounds: POST_TIMEOUT_ROUNDS,
+            max_pre_rounds: 50,
+            frto_countermeasure: true,
+            inter_connection_wait: 630.0,
+            max_rto_waits: 2,
+        }
+    }
+}
+
+impl ProberConfig {
+    /// A configuration pinned to a single `w_max` rung (used when
+    /// collecting training vectors for a specific rung, §VII-A).
+    pub fn fixed_wmax(wmax: u32) -> Self {
+        ProberConfig { wmax_ladder: vec![wmax], ..ProberConfig::default() }
+    }
+}
+
+/// Result of a full gathering run against one server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GatherOutcome {
+    /// The usable environment-A/B trace pair, when gathering succeeded.
+    pub pair: Option<TracePair>,
+    /// All failed attempts (for diagnostics and the census's invalid-trace
+    /// accounting).
+    pub failed_attempts: Vec<WindowTrace>,
+}
+
+impl GatherOutcome {
+    /// The dominant reason gathering failed, if it did.
+    pub fn failure_reason(&self) -> Option<InvalidReason> {
+        if self.pair.is_some() {
+            return None;
+        }
+        let reasons: Vec<InvalidReason> =
+            self.failed_attempts.iter().filter_map(|t| t.invalid).collect();
+        for preferred in [
+            InvalidReason::PageTooShort,
+            InvalidReason::NoTimeoutResponse,
+            InvalidReason::RecoveryTooShort,
+            InvalidReason::NeverExceededThreshold,
+        ] {
+            if reasons.contains(&preferred) {
+                return Some(preferred);
+            }
+        }
+        Some(InvalidReason::NeverExceededThreshold)
+    }
+}
+
+/// The CAAI prober.
+#[derive(Debug, Clone, Default)]
+pub struct Prober {
+    config: ProberConfig,
+}
+
+/// A packet sitting in the prober's reorder buffer: late or duplicated
+/// arrivals surface in the following round.
+#[derive(Debug, Clone, Copy)]
+struct CarriedPacket {
+    seq: u64,
+    duplicate: bool,
+}
+
+impl Prober {
+    /// Creates a prober.
+    pub fn new(config: ProberConfig) -> Self {
+        Prober { config }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ProberConfig {
+        &self.config
+    }
+
+    /// Runs the full §IV protocol: walk the `w_max` ladder, gather
+    /// environment A then B at each rung, stop at the first usable pair.
+    pub fn gather(
+        &self,
+        server: &ServerUnderTest,
+        path: &PathConfig,
+        rng: &mut impl Rng,
+    ) -> GatherOutcome {
+        let mut now = 0.0;
+        let mut failed = Vec::new();
+        for &wmax in &self.config.wmax_ladder {
+            let (trace_a, end_a) =
+                self.gather_trace(server, EnvironmentId::A, wmax, now, path, rng);
+            now = end_a + self.config.inter_connection_wait;
+            if !trace_a.is_valid() {
+                failed.push(trace_a);
+                continue;
+            }
+            let (trace_b, end_b) =
+                self.gather_trace(server, EnvironmentId::B, wmax, now, path, rng);
+            now = end_b + self.config.inter_connection_wait;
+            if trace_b.usable_for_classification() {
+                return GatherOutcome {
+                    pair: Some(TracePair { env_a: trace_a, env_b: trace_b }),
+                    failed_attempts: failed,
+                };
+            }
+            failed.push(trace_a);
+            failed.push(trace_b);
+        }
+        GatherOutcome { pair: None, failed_attempts: failed }
+    }
+
+    /// Gathers one window trace in one environment at one `w_max` rung.
+    /// Returns the trace and the simulation time when the connection ended.
+    pub fn gather_trace(
+        &self,
+        server: &ServerUnderTest,
+        env: EnvironmentId,
+        wmax: u32,
+        start: f64,
+        path: &PathConfig,
+        rng: &mut impl Rng,
+    ) -> (WindowTrace, f64) {
+        let schedule = RttSchedule::new(env);
+        let granted_mss = server.granted_mss(self.config.proposed_mss);
+        let mut conn = server.connect(self.config.proposed_mss, start);
+        let mut now = start;
+
+        let mut trace = WindowTrace {
+            env,
+            wmax_threshold: wmax,
+            mss: granted_mss,
+            pre: Vec::new(),
+            post: Vec::new(),
+            invalid: None,
+        };
+
+        // ---- Phase 1: grow the window past the threshold. -------------
+        let mut prev_seqmax: i64 = -1;
+        let mut prober_cum: u64 = 0; // highest cumulative ACK sent so far
+        let mut carry: Vec<CarriedPacket> = Vec::new();
+        let mut crossed = false;
+
+        for round in 1..=self.config.max_pre_rounds as u32 {
+            let rtt = schedule.rtt(Phase::BeforeTimeout, round);
+            let segs = conn.transmit(now);
+            if segs.is_empty() && carry.is_empty() {
+                if conn.finished() {
+                    trace.invalid = Some(InvalidReason::PageTooShort);
+                    server.disconnect(&conn, now);
+                    return (trace, now);
+                }
+                // All ACKs of the previous round were lost: wait for the
+                // server's own (unplanned) RTO and keep going.
+                if let Some(deadline) = conn.rto_deadline() {
+                    if deadline <= now + rtt {
+                        conn.fire_rto(deadline.max(now));
+                    }
+                }
+                trace.pre.push(0);
+                now += rtt;
+                continue;
+            }
+
+            let (received, next_carry) = deliver(&segs, &mut carry, path, rng);
+            let w = measure(&received, &mut prev_seqmax);
+            trace.pre.push(w);
+            carry = next_carry;
+
+            if w > wmax {
+                crossed = true;
+                break; // withhold this round's ACKs: emulate the timeout
+            }
+
+            let acks = build_acks(&received, &mut prober_cum, rtt);
+            now += rtt;
+            for ack in acks {
+                if path.ack_fate(rng) == caai_netem::AckFate::Delivered {
+                    conn.on_ack(now, ack);
+                }
+            }
+        }
+
+        if !crossed {
+            trace.invalid = Some(InvalidReason::NeverExceededThreshold);
+            server.disconnect(&conn, now);
+            return (trace, now);
+        }
+
+        // ---- Phase 2: the emulated timeout. ----------------------------
+        let mut responded = false;
+        for _ in 0..=self.config.max_rto_waits {
+            let Some(deadline) = conn.rto_deadline() else { break };
+            now = now.max(deadline);
+            if conn.fire_rto(now) {
+                responded = true;
+                break;
+            }
+        }
+        if !responded {
+            trace.invalid = Some(InvalidReason::NoTimeoutResponse);
+            server.disconnect(&conn, now);
+            return (trace, now);
+        }
+
+        // ---- Phase 3: recovery, 18 rounds (§IV-E). ----------------------
+        prev_seqmax = i64::MIN; // re-anchored at the first retransmission
+        carry.clear();
+        let mut first_post_round = true;
+        let mut post_round: u32 = 1;
+        while trace.post.len() < self.config.post_timeout_rounds {
+            let rtt = schedule.rtt(Phase::AfterTimeout, post_round);
+            let segs = conn.transmit(now);
+            if segs.is_empty() && carry.is_empty() {
+                if conn.finished() {
+                    trace.invalid = Some(InvalidReason::RecoveryTooShort);
+                    server.disconnect(&conn, now);
+                    return (trace, now);
+                }
+                if let Some(deadline) = conn.rto_deadline() {
+                    if deadline <= now + rtt {
+                        conn.fire_rto(deadline.max(now));
+                    }
+                }
+                trace.post.push(0);
+                now += rtt;
+                post_round += 1;
+                continue;
+            }
+
+            let (received, next_carry) = deliver(&segs, &mut carry, path, rng);
+            if prev_seqmax == i64::MIN {
+                if let Some(first) = received.iter().map(|p| p.seq).min() {
+                    prev_seqmax = first as i64 - 1;
+                }
+            }
+            let w = if prev_seqmax == i64::MIN { 0 } else { measure(&received, &mut prev_seqmax) };
+            trace.post.push(w);
+            carry = next_carry;
+
+            let mut acks = Vec::new();
+            if first_post_round && self.config.frto_countermeasure && !received.is_empty() {
+                // §IV-C: one duplicate ACK aborts F-RTO and forces
+                // conventional timeout recovery. Harmless otherwise.
+                acks.push(AckPacket::duplicate(prober_cum));
+            }
+            first_post_round = first_post_round && received.is_empty();
+            acks.extend(build_acks(&received, &mut prober_cum, rtt));
+            now += rtt;
+            for ack in acks {
+                if path.ack_fate(rng) == caai_netem::AckFate::Delivered {
+                    conn.on_ack(now, ack);
+                }
+            }
+            post_round += 1;
+        }
+
+        server.disconnect(&conn, now);
+        (trace, now)
+    }
+}
+
+/// Applies path fates to a transmitted burst and merges carried arrivals.
+/// Returns the packets received this round plus the next round's carry.
+fn deliver(
+    segs: &[caai_tcpsim::Segment],
+    carry: &mut Vec<CarriedPacket>,
+    path: &PathConfig,
+    rng: &mut impl Rng,
+) -> (Vec<CarriedPacket>, Vec<CarriedPacket>) {
+    let mut received: Vec<CarriedPacket> = std::mem::take(carry);
+    let mut next_carry = Vec::new();
+    for seg in segs {
+        match path.data_fate(rng) {
+            DataFate::Delivered => {
+                received.push(CarriedPacket { seq: seg.seq, duplicate: false })
+            }
+            DataFate::Lost => {}
+            DataFate::Duplicated => {
+                received.push(CarriedPacket { seq: seg.seq, duplicate: false });
+                next_carry.push(CarriedPacket { seq: seg.seq, duplicate: true });
+            }
+            DataFate::Late => next_carry.push(CarriedPacket { seq: seg.seq, duplicate: false }),
+        }
+    }
+    received.sort_by_key(|p| p.seq);
+    (received, next_carry)
+}
+
+/// §IV-D: the window at round m is the highest sequence number received in
+/// the round minus the previous round's highest.
+fn measure(received: &[CarriedPacket], prev_seqmax: &mut i64) -> u32 {
+    let Some(seqmax) = received.iter().map(|p| p.seq).max() else {
+        return 0;
+    };
+    let w = (seqmax as i64 - *prev_seqmax).max(0) as u32;
+    if seqmax as i64 > *prev_seqmax {
+        *prev_seqmax = seqmax as i64;
+    }
+    w
+}
+
+/// §IV-C: one ACK per received (non-duplicate) data packet, cumulative "as
+/// if there is no packet loss" — holes are covered by the next packet's
+/// cumulative number, so the server never sees duplicate ACKs from data
+/// loss.
+fn build_acks(received: &[CarriedPacket], prober_cum: &mut u64, rtt: f64) -> Vec<AckPacket> {
+    let mut acks = Vec::with_capacity(received.len());
+    for p in received {
+        if p.duplicate {
+            continue; // CAAI recognizes duplicates by sequence number
+        }
+        let cum = (p.seq + 1).max(*prober_cum);
+        if cum > *prober_cum {
+            *prober_cum = cum;
+            acks.push(AckPacket { cum_ack: cum, rtt });
+        }
+    }
+    acks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caai_congestion::AlgorithmId;
+    use caai_netem::rng::seeded;
+    use caai_tcpsim::{SenderQuirk, ServerConfig};
+
+    fn gather_ideal(algo: AlgorithmId, env: EnvironmentId, wmax: u32) -> WindowTrace {
+        let server = ServerUnderTest::ideal(algo);
+        let prober = Prober::new(ProberConfig::default());
+        let mut rng = seeded(1);
+        let (trace, _) = prober.gather_trace(&server, env, wmax, 0.0, &PathConfig::clean(), &mut rng);
+        trace
+    }
+
+    #[test]
+    fn reno_env_a_trace_shape() {
+        let t = gather_ideal(AlgorithmId::Reno, EnvironmentId::A, 512);
+        assert!(t.is_valid(), "trace: {t:?}");
+        // Slow start doubles from the initial window of 2 to past 512.
+        assert_eq!(&t.pre[..5], &[2, 4, 8, 16, 32]);
+        let w_b = *t.pre.last().unwrap();
+        assert!(w_b > 512, "w^B = {w_b}");
+        // Post-timeout recovery: 1, 2, 4, ... then +1/RTT past ssthresh.
+        assert_eq!(&t.post[..4], &[1, 2, 4, 8]);
+        assert_eq!(t.post.len(), POST_TIMEOUT_ROUNDS);
+        // Find slow start exit ≈ w^B/2 and linear growth after it.
+        let max_post = *t.post.iter().max().unwrap();
+        assert!(
+            (max_post as f64) < 0.56 * w_b as f64,
+            "RENO recovery stays near w^B/2: {max_post} vs {w_b}"
+        );
+    }
+
+    #[test]
+    fn measured_windows_match_cwnd_on_clean_path() {
+        // On a clean path the measured trace is exactly the server's cwnd
+        // sequence — the paper's Fig. 3 setting.
+        let t = gather_ideal(AlgorithmId::Scalable, EnvironmentId::A, 512);
+        assert!(t.is_valid());
+        // STCP post-timeout: ssthresh = 0.875·w^B.
+        let w_b = *t.pre.last().unwrap();
+        let max_post = *t.post.iter().max().unwrap();
+        assert!(
+            max_post as f64 >= 0.8 * w_b as f64,
+            "STCP recovers close to w^B: {max_post} vs {w_b}"
+        );
+    }
+
+    #[test]
+    fn vegas_env_b_plateaus_below_64() {
+        let t = gather_ideal(AlgorithmId::Vegas, EnvironmentId::B, 512);
+        assert!(!t.is_valid());
+        assert_eq!(t.invalid, Some(InvalidReason::NeverExceededThreshold));
+        assert!(t.max_window() < 64, "max {}", t.max_window());
+        assert!(t.usable_for_classification());
+    }
+
+    #[test]
+    fn vegas_env_a_is_reno_like_and_valid() {
+        let t = gather_ideal(AlgorithmId::Vegas, EnvironmentId::A, 512);
+        assert!(t.is_valid(), "VEGAS reaches the threshold in env A: {t:?}");
+    }
+
+    #[test]
+    fn full_gather_returns_a_pair_for_every_identified_algorithm() {
+        for algo in caai_congestion::ALL_IDENTIFIED {
+            let server = ServerUnderTest::ideal(algo);
+            let prober = Prober::new(ProberConfig::default());
+            let mut rng = seeded(7);
+            let outcome = prober.gather(&server, &PathConfig::clean(), &mut rng);
+            assert!(outcome.pair.is_some(), "{algo:?} must gather a pair");
+            let pair = outcome.pair.unwrap();
+            // YEAH cannot cross 512 in environment B: its precautionary
+            // decongestion caps the window near 410 once the queue estimate
+            // (0.2·w after the RTT step) exceeds α = 80 packets. The ladder
+            // resolves it one rung down, where YEAH remains identifiable.
+            let expected = if algo == AlgorithmId::Yeah { 256 } else { 512 };
+            assert_eq!(pair.wmax_threshold(), expected, "{algo:?} ladder rung");
+        }
+    }
+
+    #[test]
+    fn window_ceiling_falls_down_the_ladder() {
+        let cfg = ServerConfig::ideal().with_quirk(SenderQuirk::BoundedBuffer { clamp: 200 });
+        let server = ServerUnderTest::ideal_with_config(AlgorithmId::Reno, cfg);
+        let prober = Prober::new(ProberConfig::default());
+        let mut rng = seeded(8);
+        let outcome = prober.gather(&server, &PathConfig::clean(), &mut rng);
+        let pair = outcome.pair.expect("rung 128 must work");
+        assert_eq!(pair.wmax_threshold(), 128);
+        assert_eq!(outcome.failed_attempts.len(), 2, "512 and 256 attempts failed");
+    }
+
+    #[test]
+    fn deaf_server_yields_no_timeout_response() {
+        let cfg = ServerConfig::ideal().with_quirk(SenderQuirk::IgnoresTimeout);
+        let server = ServerUnderTest::ideal_with_config(AlgorithmId::Reno, cfg);
+        let prober = Prober::new(ProberConfig::default());
+        let mut rng = seeded(9);
+        let outcome = prober.gather(&server, &PathConfig::clean(), &mut rng);
+        assert!(outcome.pair.is_none());
+        assert_eq!(outcome.failure_reason(), Some(InvalidReason::NoTimeoutResponse));
+    }
+
+    #[test]
+    fn short_page_yields_page_too_short() {
+        let server = {
+            let mut s = ServerUnderTest::ideal(AlgorithmId::Reno);
+            s = s; // no budget setter on purpose; emulate via web server below
+            s
+        };
+        let _ = server;
+        // Use a synthetic web server with a tiny page instead.
+        use caai_webmodel::{PageModel, PopulationConfig};
+        let mut rng = seeded(10);
+        let mut web = PopulationConfig::small(1).generate(&mut rng).pop().unwrap();
+        web.pages = PageModel { default_bytes: 2_000, longest_bytes: 2_000 };
+        web.requests = caai_webmodel::RequestAcceptanceModel { max_requests: 1 };
+        web.quirk = caai_tcpsim::SenderQuirk::None;
+        let sut = ServerUnderTest::from_web_server(&web);
+        let prober = Prober::new(ProberConfig::default());
+        let outcome = prober.gather(&sut, &PathConfig::clean(), &mut rng);
+        assert!(outcome.pair.is_none());
+        assert_eq!(outcome.failure_reason(), Some(InvalidReason::PageTooShort));
+    }
+
+    #[test]
+    fn frto_countermeasure_preserves_slow_start() {
+        let cfg = ServerConfig::ideal().with_frto(true);
+        let server = ServerUnderTest::ideal_with_config(AlgorithmId::Reno, cfg);
+        let prober = Prober::new(ProberConfig::default());
+        let mut rng = seeded(11);
+        let (t, _) =
+            prober.gather_trace(&server, EnvironmentId::A, 512, 0.0, &PathConfig::clean(), &mut rng);
+        assert!(t.is_valid());
+        assert_eq!(&t.post[..4], &[1, 2, 4, 8], "conventional recovery forced");
+    }
+
+    #[test]
+    fn without_countermeasure_frto_skips_slow_start() {
+        let cfg = ServerConfig::ideal().with_frto(true);
+        let server = ServerUnderTest::ideal_with_config(AlgorithmId::Reno, cfg);
+        let mut pc = ProberConfig::default();
+        pc.frto_countermeasure = false;
+        let prober = Prober::new(pc);
+        let mut rng = seeded(12);
+        let (t, _) =
+            prober.gather_trace(&server, EnvironmentId::A, 512, 0.0, &PathConfig::clean(), &mut rng);
+        // The spurious-timeout path restores the window: no 1,2,4,8 ramp.
+        let ramp = t.post.len() >= 4 && t.post[..4] == [1, 2, 4, 8];
+        assert!(!ramp, "F-RTO must defeat the naive prober: {:?}", &t.post);
+    }
+
+    #[test]
+    fn lossy_path_still_yields_valid_traces_mostly() {
+        let server = ServerUnderTest::ideal(AlgorithmId::Reno);
+        let prober = Prober::new(ProberConfig::default());
+        let mut rng = seeded(13);
+        let path = PathConfig::lossy(0.02);
+        let mut valid = 0;
+        for _ in 0..10 {
+            let outcome = prober.gather(&server, &path, &mut rng);
+            if outcome.pair.is_some() {
+                valid += 1;
+            }
+        }
+        assert!(valid >= 8, "2% loss should rarely break gathering: {valid}/10");
+    }
+
+    #[test]
+    fn trace_is_deterministic_per_seed() {
+        let server = ServerUnderTest::ideal(AlgorithmId::CubicV2);
+        let prober = Prober::new(ProberConfig::default());
+        let path = PathConfig::lossy(0.05);
+        let (a, _) =
+            prober.gather_trace(&server, EnvironmentId::A, 512, 0.0, &path, &mut seeded(99));
+        let (b, _) =
+            prober.gather_trace(&server, EnvironmentId::A, 512, 0.0, &path, &mut seeded(99));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,144 @@
+//! The remote endpoint a probe run talks to.
+//!
+//! Bundles everything connection establishment needs — the (unknown) TCP
+//! algorithm, sender configuration, data budget per connection, and the
+//! server-side ssthresh metrics cache that persists *between* connections
+//! (the state CAAI defeats by waiting between environments, §IV-C).
+
+use caai_congestion::AlgorithmId;
+use caai_tcpsim::{SenderQuirk, ServerConfig, SsthreshCache, TcpServer};
+use caai_webmodel::WebServer;
+use std::cell::RefCell;
+
+/// A server endpoint the prober can open successive connections to.
+#[derive(Debug, Clone)]
+pub struct ServerUnderTest {
+    algorithm: AlgorithmId,
+    base_config: ServerConfig,
+    /// Data budget in *bytes* per connection (page size × honoured
+    /// pipelined requests); converted to packets at the granted MSS.
+    budget_bytes: u64,
+    min_mss: u32,
+    cache: RefCell<SsthreshCache>,
+}
+
+impl ServerUnderTest {
+    /// An ideal lab server: unlimited data, no quirks, no F-RTO, no
+    /// caching — the configuration of the paper's testbed training servers
+    /// (§VII-A), where long pages are installed on purpose.
+    pub fn ideal(algorithm: AlgorithmId) -> Self {
+        ServerUnderTest {
+            algorithm,
+            base_config: ServerConfig::ideal(),
+            budget_bytes: u64::MAX / 4,
+            min_mss: 1,
+            cache: RefCell::new(SsthreshCache::new()),
+        }
+    }
+
+    /// An ideal lab server with a specific sender configuration (used by
+    /// robustness tests: F-RTO on, caching on, quirky, ...).
+    pub fn ideal_with_config(algorithm: AlgorithmId, config: ServerConfig) -> Self {
+        ServerUnderTest {
+            algorithm,
+            base_config: config,
+            budget_bytes: u64::MAX / 4,
+            min_mss: 1,
+            cache: RefCell::new(SsthreshCache::new()),
+        }
+    }
+
+    /// Wraps a synthetic census server.
+    pub fn from_web_server(server: &WebServer) -> Self {
+        let honoured = server.requests.honoured(caai_webmodel::http::CAAI_PIPELINE_DEPTH);
+        ServerUnderTest {
+            algorithm: server.effective_algorithm(),
+            base_config: server.server_config(100),
+            budget_bytes: server.pages.connection_budget_bytes(honoured),
+            min_mss: server.mss_policy.min_mss,
+            cache: RefCell::new(SsthreshCache::new()),
+        }
+    }
+
+    /// The ground-truth algorithm (what identification should recover).
+    pub fn algorithm(&self) -> AlgorithmId {
+        self.algorithm
+    }
+
+    /// The sender quirk in force.
+    pub fn quirk(&self) -> SenderQuirk {
+        self.base_config.quirk
+    }
+
+    /// The MSS the server grants when the prober proposes `proposed`.
+    pub fn granted_mss(&self, proposed: u32) -> u32 {
+        proposed.max(self.min_mss)
+    }
+
+    /// Opens a new connection at time `now`, proposing `mss` bytes.
+    pub fn connect(&self, mss: u32, now: f64) -> TcpServer {
+        let granted = self.granted_mss(mss);
+        let config = ServerConfig { mss: granted, ..self.base_config };
+        let budget = (self.budget_bytes / u64::from(granted.max(1))).max(1);
+        TcpServer::connect(self.algorithm, config, budget, &self.cache.borrow(), now)
+    }
+
+    /// Closes a connection at time `now`, depositing metrics if the server
+    /// caches them.
+    pub fn disconnect(&self, connection: &TcpServer, now: f64) {
+        if self.base_config.ssthresh_caching {
+            self.cache.borrow_mut().store(connection.closing_ssthresh(), now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_server_has_effectively_unlimited_budget() {
+        let s = ServerUnderTest::ideal(AlgorithmId::Reno);
+        let conn = s.connect(100, 0.0);
+        assert!(conn.data_budget() > 1 << 50);
+        assert_eq!(s.granted_mss(100), 100);
+    }
+
+    #[test]
+    fn caching_server_seeds_the_next_connection() {
+        let cfg = ServerConfig::ideal().with_ssthresh_caching(true);
+        let s = ServerUnderTest::ideal_with_config(AlgorithmId::Reno, cfg);
+        let mut conn = s.connect(100, 0.0);
+        // Simulate the connection having established a threshold.
+        let _ = conn.transmit(0.0);
+        let deadline = conn.rto_deadline().unwrap();
+        conn.fire_rto(deadline);
+        let ss = conn.closing_ssthresh();
+        s.disconnect(&conn, deadline);
+        let conn2 = s.connect(100, deadline + 1.0);
+        assert_eq!(conn2.ssthresh(), ss, "cache seeds the new connection");
+        // Waiting out the TTL yields a fresh threshold (CAAI's counter).
+        let conn3 = s.connect(100, deadline + 700.0);
+        assert!(conn3.ssthresh() > 1 << 20);
+    }
+
+    #[test]
+    fn non_caching_server_never_stores() {
+        let s = ServerUnderTest::ideal(AlgorithmId::Reno);
+        let mut conn = s.connect(100, 0.0);
+        let _ = conn.transmit(0.0);
+        let deadline = conn.rto_deadline().unwrap();
+        conn.fire_rto(deadline);
+        s.disconnect(&conn, deadline);
+        let conn2 = s.connect(100, deadline + 1.0);
+        assert!(conn2.ssthresh() > 1 << 20);
+    }
+
+    #[test]
+    fn granted_mss_respects_server_minimum() {
+        let mut s = ServerUnderTest::ideal(AlgorithmId::Reno);
+        s.min_mss = 536;
+        assert_eq!(s.granted_mss(100), 536);
+        assert_eq!(s.granted_mss(1460), 1460);
+    }
+}

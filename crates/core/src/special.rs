@@ -1,0 +1,280 @@
+//! Special-case valid traces (§VII-B, Figs. 14–17).
+//!
+//! The Internet census surfaced four recurring trace shapes the testbed
+//! never produced; CAAI files them separately instead of classifying them:
+//!
+//! 1. **Remaining at 1 packet** — the window never leaves 1 after the
+//!    timeout (Fig. 14);
+//! 2. **Nonincreasing window** — the window never grows once congestion
+//!    avoidance starts (Fig. 15);
+//! 3. **Approaching w^B** — growth decelerates asymptotically toward the
+//!    pre-timeout window (Fig. 16);
+//! 4. **Bounded window** — the window grows past the slow-start exit and
+//!    then pins at a hard ceiling, e.g. the send buffer (Fig. 17).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::trace::WindowTrace;
+
+/// The four §VII-B special cases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpecialCase {
+    /// Fig. 14.
+    RemainingAtOnePacket,
+    /// Fig. 15.
+    NonincreasingWindow,
+    /// Fig. 16.
+    ApproachingWmax,
+    /// Fig. 17.
+    BoundedWindow,
+}
+
+impl SpecialCase {
+    /// Table IV row label.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpecialCase::RemainingAtOnePacket => "Remaining at 1 Packet",
+            SpecialCase::NonincreasingWindow => "Nonincreasing Window",
+            SpecialCase::ApproachingWmax => "Approaching Wmax",
+            SpecialCase::BoundedWindow => "Bounded Window",
+        }
+    }
+
+    /// All cases, in Table IV order.
+    pub const ALL: [SpecialCase; 4] = [
+        SpecialCase::RemainingAtOnePacket,
+        SpecialCase::NonincreasingWindow,
+        SpecialCase::ApproachingWmax,
+        SpecialCase::BoundedWindow,
+    ];
+}
+
+impl fmt::Display for SpecialCase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The slow-start knee: first round whose window fails to grow 1.5× over
+/// its predecessor (growth below the worst-case lossy doubling).
+fn knee(post: &[u32]) -> Option<usize> {
+    for i in 1..post.len() {
+        if post[i - 1] >= 2 && f64::from(post[i]) < 1.5 * f64::from(post[i - 1]) {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// A knee below this fraction of `w^B` is lower than the multiplicative
+/// decrease of every identified algorithm except RENO/CTCP (β = 0.5) and
+/// WESTWOOD+ (β ≈ 0) — the "Approaching" shape must start from such a low
+/// knee *and* still reach `w^B`, which no identified algorithm does.
+const LOW_KNEE_FRACTION: f64 = 0.65;
+
+/// Checks a valid trace against the four special shapes, in the §VII-B
+/// order. Returns `None` for ordinary traces (which proceed to the random
+/// forest).
+///
+/// The paper's special cases were "not observed in our testbed
+/// experiments" (§VII-B): accordingly, these rules are calibrated to
+/// never fire on a clean trace of any of the 14 identified algorithms
+/// (see the `no_identified_algorithm_is_special` test), at the price of
+/// missing quirky servers whose shapes overlap the normal fingerprints —
+/// those fall through to the forest and usually surface as "Unsure TCP".
+pub fn detect(trace: &WindowTrace) -> Option<SpecialCase> {
+    if !trace.is_valid() {
+        return None;
+    }
+    let post = &trace.post;
+    let w_before = trace.w_before_timeout()? as f64;
+
+    // 1. Remaining at 1 packet.
+    if post.iter().all(|&w| w <= 1) {
+        return Some(SpecialCase::RemainingAtOnePacket);
+    }
+
+    let k = knee(post)?;
+    let knee_level = post[k.saturating_sub(1)].max(post[k]);
+    let tail = &post[k..];
+    if tail.len() < 5 {
+        return None;
+    }
+    let last = tail[tail.len() - 1];
+    let flat_len = tail.iter().rev().take_while(|&&w| w == last).count();
+
+    // 2. Nonincreasing window: dead flat at the knee level from the knee
+    // on, well below w^B (a normal algorithm's avoidance state always
+    // grows; CUBIC's plateau is at most ~3 rounds and sits near w^B).
+    if tail.iter().all(|&w| w <= knee_level)
+        && flat_len >= 5
+        && f64::from(last) < 0.95 * w_before
+    {
+        return Some(SpecialCase::NonincreasingWindow);
+    }
+
+    // 3. Bounded window: the window climbed strictly beyond w^B and then
+    // pinned flat (Fig. 17: "increases beyond w^B, and then is bounded by
+    // some upper bound"). No identified algorithm exceeds w^B by more
+    // than a few packets within the 18-round trace, let alone sits flat
+    // there.
+    if flat_len >= 4 && f64::from(last) > 1.05 * w_before {
+        return Some(SpecialCase::BoundedWindow);
+    }
+
+    // 4. Approaching w^B: saturating growth from a *low* knee toward the
+    // pre-timeout window (Fig. 16: "initially increases quickly, and then
+    // increases slowly as it approaches w^B"). The low-knee guard keeps
+    // BIC/CUBIC/CTCP — whose normal recoveries also decelerate toward
+    // w^B, but from knees at β ≥ 0.7 — out; the band check keeps
+    // RENO-family (final ≈ 0.5·w^B) and WESTWOOD+ (final ≪ w^B) out.
+    let final_w = f64::from(last);
+    let increments: Vec<i64> =
+        tail.windows(2).map(|w| i64::from(w[1]) - i64::from(w[0])).collect();
+    if f64::from(knee_level) < LOW_KNEE_FRACTION * w_before
+        && final_w >= 0.85 * w_before
+        && final_w <= 1.05 * w_before
+    {
+        let decelerating = increments
+            .windows(2)
+            .filter(|p| p[0] < p[1])
+            .count() <= increments.len() / 4 // mostly non-increasing steps
+            && increments.iter().all(|&d| d >= 0)
+            && increments.iter().take(2).any(|&d| d > 1)
+            && increments.iter().rev().take(2).all(|&d| d <= 2);
+        if decelerating {
+            return Some(SpecialCase::ApproachingWmax);
+        }
+    }
+
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caai_netem::EnvironmentId;
+
+    fn trace(post: Vec<u32>) -> WindowTrace {
+        WindowTrace {
+            env: EnvironmentId::A,
+            wmax_threshold: 128,
+            mss: 100,
+            pre: vec![2, 4, 8, 16, 32, 64, 130],
+            post,
+            invalid: None,
+        }
+    }
+
+    #[test]
+    fn remaining_at_one_detected() {
+        let t = trace(vec![1; 18]);
+        assert_eq!(detect(&t), Some(SpecialCase::RemainingAtOnePacket));
+    }
+
+    #[test]
+    fn nonincreasing_detected() {
+        // Slow start to 20, then dead flat.
+        let mut post = vec![1, 2, 4, 8, 16, 20];
+        post.extend(std::iter::repeat(20).take(12));
+        assert_eq!(detect(&trace(post)), Some(SpecialCase::NonincreasingWindow));
+    }
+
+    #[test]
+    fn approaching_wmax_detected() {
+        // Saturating growth toward w^B = 130 from a low knee (≈ 0.3·w^B).
+        let post =
+            vec![1, 2, 4, 8, 16, 32, 40, 67, 86, 99, 108, 115, 120, 124, 126, 128, 129, 129];
+        assert_eq!(detect(&trace(post)), Some(SpecialCase::ApproachingWmax));
+    }
+
+    #[test]
+    fn bounded_window_detected() {
+        // Recovery slow start climbs beyond w^B = 130 and pins at 160.
+        let post =
+            vec![1, 2, 4, 8, 16, 32, 64, 128, 160, 160, 160, 160, 160, 160, 160, 160, 160, 160];
+        assert_eq!(detect(&trace(post)), Some(SpecialCase::BoundedWindow));
+    }
+
+    #[test]
+    fn flat_at_wmax_is_not_special() {
+        // A benign ceiling exactly at w^B (the common census case: the
+        // service-load clamp equals the previous crossing) must fall
+        // through to the forest, not be filed as bounded/nonincreasing.
+        let post =
+            vec![1, 2, 4, 8, 16, 32, 64, 104, 117, 124, 128, 130, 130, 130, 130, 130, 130, 130];
+        assert_eq!(detect(&trace(post)), None);
+    }
+
+    #[test]
+    fn bic_like_high_knee_convergence_is_not_special() {
+        // BIC's normal recovery: knee at 0.8·w^B, binary-search
+        // convergence toward w^B — decelerating, but from a high knee.
+        let post =
+            vec![1, 2, 4, 8, 16, 32, 64, 104, 117, 124, 127, 128, 129, 129, 130, 130, 131, 131];
+        assert_eq!(detect(&trace(post)), None);
+    }
+
+    #[test]
+    fn ordinary_reno_recovery_is_not_special() {
+        let mut post = vec![1, 2, 4, 8, 16, 32, 64];
+        for i in 0..11 {
+            post.push(65 + i);
+        }
+        assert_eq!(detect(&trace(post)), None);
+    }
+
+    #[test]
+    fn ordinary_stcp_recovery_is_not_special() {
+        // Compounding growth: increments increase — not "approaching".
+        let post =
+            vec![1, 2, 4, 8, 16, 32, 64, 113, 115, 117, 119, 121, 124, 127, 130, 133, 136, 139];
+        assert_eq!(detect(&trace(post)), None);
+    }
+
+    #[test]
+    fn invalid_traces_are_never_special() {
+        let mut t = trace(vec![1; 18]);
+        t.invalid = Some(crate::trace::InvalidReason::RecoveryTooShort);
+        assert_eq!(detect(&t), None);
+    }
+
+    /// §VII-B: the special cases were "not observed in our testbed
+    /// experiments" — so the detector must return `None` for a clean
+    /// trace of every identified algorithm, at every ladder rung, in both
+    /// environments. This is the property that keeps the census's
+    /// BIC/CUBIC share honest: their recoveries also decelerate toward
+    /// w^B, but from high knees.
+    #[test]
+    fn no_identified_algorithm_is_special_on_clean_traces() {
+        use crate::prober::{Prober, ProberConfig};
+        use crate::server_under_test::ServerUnderTest;
+        use caai_netem::rng::seeded;
+        use caai_netem::PathConfig;
+
+        for algo in caai_congestion::ALL_IDENTIFIED {
+            for wmax in [512u32, 128] {
+                let server = ServerUnderTest::ideal(algo);
+                let prober = Prober::new(ProberConfig::fixed_wmax(wmax));
+                let mut rng = seeded(5);
+                let outcome = prober.gather(&server, &PathConfig::clean(), &mut rng);
+                let Some(pair) = outcome.pair else { continue };
+                assert_eq!(
+                    detect(&pair.env_a),
+                    None,
+                    "{algo:?} env A at {wmax} misfiled: {:?}",
+                    pair.env_a.post
+                );
+                if pair.env_b.is_valid() {
+                    assert_eq!(
+                        detect(&pair.env_b),
+                        None,
+                        "{algo:?} env B at {wmax} misfiled: {:?}",
+                        pair.env_b.post
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Window traces: the raw material of CAAI (Fig. 8).
+//!
+//! A trace records the web server's congestion window, measured in packets
+//! per emulated RTT, split at the emulated timeout: `pre` holds
+//! `w_1 … w^B` (the last entry is the window right before the timeout) and
+//! `post` holds the windows of the recovery. A **valid** trace has at least
+//! [`POST_TIMEOUT_ROUNDS`] post-timeout rounds (§IV-E).
+
+use caai_netem::EnvironmentId;
+use serde::{Deserialize, Serialize};
+
+/// Post-timeout rounds required for a valid trace (§IV-E: "we define a
+/// valid trace to be a trace that has 18 RTTs of window sizes after the
+/// timeout").
+pub const POST_TIMEOUT_ROUNDS: usize = 18;
+
+/// Why a gathering attempt produced no valid trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InvalidReason {
+    /// The window never exceeded the `w_max` threshold within the round
+    /// budget (Fig. 13) — e.g. a window ceiling, or VEGAS in environment B.
+    NeverExceededThreshold,
+    /// The server stopped sending before the timeout could be emulated:
+    /// the page (times accepted pipelined requests) was too short (§VII-B
+    /// reason 1/2).
+    PageTooShort,
+    /// The server reached the threshold but did not respond to the
+    /// emulated timeout (§VII-B: "somehow the Web server does not respond
+    /// to the emulated timeout").
+    NoTimeoutResponse,
+    /// The server stalled during recovery, leaving fewer than 18
+    /// post-timeout rounds.
+    RecoveryTooShort,
+}
+
+/// One gathered window trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowTrace {
+    /// Which emulated environment produced it.
+    pub env: EnvironmentId,
+    /// The `w_max` threshold this attempt used (512/256/128/64).
+    pub wmax_threshold: u32,
+    /// The MSS granted by the server, bytes.
+    pub mss: u32,
+    /// Per-round windows before the timeout; the last entry is `w^B`.
+    pub pre: Vec<u32>,
+    /// Per-round windows after the timeout.
+    pub post: Vec<u32>,
+    /// `None` when the trace is valid; otherwise why it is not.
+    pub invalid: Option<InvalidReason>,
+}
+
+impl WindowTrace {
+    /// True when the trace satisfies §IV-E's validity rule.
+    pub fn is_valid(&self) -> bool {
+        self.invalid.is_none() && self.post.len() >= POST_TIMEOUT_ROUNDS
+    }
+
+    /// The window right before the timeout (`w^B`), if the trace got there.
+    pub fn w_before_timeout(&self) -> Option<u32> {
+        if self.invalid == Some(InvalidReason::NeverExceededThreshold)
+            || self.invalid == Some(InvalidReason::PageTooShort)
+        {
+            return None;
+        }
+        self.pre.last().copied()
+    }
+
+    /// The largest window observed anywhere in the trace — the quantity the
+    /// `I(w^B_max ≥ 64)` feature element thresholds (§V-D).
+    pub fn max_window(&self) -> u32 {
+        self.pre.iter().chain(self.post.iter()).copied().max().unwrap_or(0)
+    }
+
+    /// True when this (possibly invalid) environment-B trace is still
+    /// usable for classification: VEGAS-style plateaus below 64 packets
+    /// carry signal through the indicator element.
+    pub fn usable_for_classification(&self) -> bool {
+        self.is_valid()
+            || (self.invalid == Some(InvalidReason::NeverExceededThreshold)
+                && self.max_window() < 64)
+    }
+}
+
+/// The pair of traces (environments A and B) CAAI feeds to feature
+/// extraction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TracePair {
+    /// Environment A trace (valid by construction).
+    pub env_a: WindowTrace,
+    /// Environment B trace (valid, or a usable below-64 plateau).
+    pub env_b: WindowTrace,
+}
+
+impl TracePair {
+    /// The `w_max` threshold rung both traces were gathered at.
+    pub fn wmax_threshold(&self) -> u32 {
+        self.env_a.wmax_threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(post_len: usize, invalid: Option<InvalidReason>) -> WindowTrace {
+        WindowTrace {
+            env: EnvironmentId::A,
+            wmax_threshold: 512,
+            mss: 100,
+            pre: vec![2, 4, 8, 16, 520],
+            post: (1..=post_len as u32).collect(),
+            invalid,
+        }
+    }
+
+    #[test]
+    fn validity_needs_18_post_rounds() {
+        assert!(trace(18, None).is_valid());
+        assert!(!trace(17, None).is_valid());
+        assert!(!trace(18, Some(InvalidReason::NoTimeoutResponse)).is_valid());
+    }
+
+    #[test]
+    fn w_before_timeout_is_last_pre_window() {
+        assert_eq!(trace(18, None).w_before_timeout(), Some(520));
+        assert_eq!(
+            trace(18, Some(InvalidReason::NeverExceededThreshold)).w_before_timeout(),
+            None
+        );
+    }
+
+    #[test]
+    fn vegas_style_plateau_is_usable() {
+        let mut t = trace(0, Some(InvalidReason::NeverExceededThreshold));
+        t.pre = vec![2, 4, 8, 16, 20, 21, 20, 21];
+        assert!(!t.is_valid());
+        assert!(t.usable_for_classification());
+        // But a plateau above 64 is not (it should retry a lower rung).
+        let mut big = trace(0, Some(InvalidReason::NeverExceededThreshold));
+        big.pre = vec![2, 4, 8, 16, 32, 64, 100, 100];
+        assert!(!big.usable_for_classification());
+    }
+
+    #[test]
+    fn max_window_spans_both_phases() {
+        let mut t = trace(18, None);
+        t.post = vec![1, 2, 4, 600];
+        assert_eq!(t.max_window(), 600);
+    }
+}

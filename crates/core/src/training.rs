@@ -1,0 +1,138 @@
+//! Training-set collection (§VII-A).
+//!
+//! The paper gathers feature vectors on a lab testbed: for each of the 14
+//! algorithms and each `w_max` rung it replays 100 network conditions
+//! drawn from the measured condition database, probes the testbed server,
+//! and keeps the resulting vector — 14 × 4 × 100 = 5,600 vectors.
+//! This module reproduces that pipeline against `caai-tcpsim` servers.
+
+use caai_congestion::{AlgorithmId, ALL_IDENTIFIED};
+use caai_ml::Dataset;
+use caai_netem::{ConditionDb, PathConfig};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::classes::{label_names, ClassLabel};
+use crate::features::{extract_pair, FEATURE_DIM};
+use crate::prober::{Prober, ProberConfig};
+use crate::server_under_test::ServerUnderTest;
+
+/// Training-collection parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingConfig {
+    /// Network conditions replayed per (algorithm, `w_max`) pair
+    /// (paper: 100).
+    pub conditions_per_pair: usize,
+    /// `w_max` rungs (paper: 512, 256, 128, 64).
+    pub wmax_rungs: Vec<u32>,
+    /// Algorithms to include (paper: the 14 identified ones).
+    pub algorithms: Vec<AlgorithmId>,
+    /// Gathering retries per condition before giving up on it.
+    pub retries: usize,
+}
+
+impl TrainingConfig {
+    /// The paper's full 5,600-vector configuration.
+    pub fn paper() -> Self {
+        TrainingConfig {
+            conditions_per_pair: 100,
+            wmax_rungs: vec![512, 256, 128, 64],
+            algorithms: ALL_IDENTIFIED.to_vec(),
+            retries: 3,
+        }
+    }
+
+    /// A reduced configuration for tests and quick demos.
+    pub fn quick(conditions_per_pair: usize) -> Self {
+        TrainingConfig { conditions_per_pair, ..Self::paper() }
+    }
+
+    /// Expected vector count when every gathering succeeds.
+    pub fn expected_size(&self) -> usize {
+        self.conditions_per_pair * self.wmax_rungs.len() * self.algorithms.len()
+    }
+}
+
+impl Default for TrainingConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Collects a labeled training set by probing ideal lab servers under
+/// replayed network conditions.
+///
+/// Conditions that defeat gathering even after the configured retries are
+/// skipped (heavy tail of the loss distribution), so the returned set can
+/// be slightly smaller than [`TrainingConfig::expected_size`].
+pub fn build_training_set(
+    config: &TrainingConfig,
+    conditions: &ConditionDb,
+    rng: &mut impl Rng,
+) -> Dataset {
+    let mut dataset = Dataset::new(label_names(), FEATURE_DIM);
+    for &algo in &config.algorithms {
+        for &wmax in &config.wmax_rungs {
+            let label = ClassLabel::for_measurement(algo, wmax)
+                .expect("training covers identified algorithms only");
+            let prober = Prober::new(ProberConfig::fixed_wmax(wmax));
+            let server = ServerUnderTest::ideal(algo);
+            for _ in 0..config.conditions_per_pair {
+                for attempt in 0..=config.retries {
+                    let cond = conditions.sample(rng);
+                    let path = PathConfig::from_condition(&cond);
+                    let outcome = prober.gather(&server, &path, rng);
+                    if let Some(pair) = outcome.pair {
+                        let v = extract_pair(&pair);
+                        dataset.push(v.as_slice().to_vec(), label.index());
+                        break;
+                    }
+                    let _ = attempt;
+                }
+            }
+        }
+    }
+    dataset
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caai_netem::rng::seeded;
+
+    #[test]
+    fn quick_training_set_covers_all_classes() {
+        let config = TrainingConfig::quick(2);
+        let db = ConditionDb::paper_2011();
+        let mut rng = seeded(17);
+        let data = build_training_set(&config, &db, &mut rng);
+        // 14 algorithms × 4 rungs × 2 conditions = 112 (minus rare skips).
+        assert!(data.len() >= 100, "got {}", data.len());
+        let counts = data.class_counts();
+        for class in ClassLabel::ALL {
+            assert!(
+                counts[class.index()] > 0,
+                "class {class} missing from the training set"
+            );
+        }
+    }
+
+    #[test]
+    fn rc_small_absorbs_three_algorithms() {
+        let mut config = TrainingConfig::quick(1);
+        config.wmax_rungs = vec![64];
+        config.algorithms =
+            vec![AlgorithmId::Reno, AlgorithmId::CtcpV1, AlgorithmId::CtcpV2];
+        let db = ConditionDb::paper_2011();
+        let mut rng = seeded(18);
+        let data = build_training_set(&config, &db, &mut rng);
+        let counts = data.class_counts();
+        assert_eq!(counts[ClassLabel::RcSmall.index()], data.len());
+    }
+
+    #[test]
+    fn expected_size_formula() {
+        assert_eq!(TrainingConfig::paper().expected_size(), 5600);
+        assert_eq!(TrainingConfig::quick(2).expected_size(), 112);
+    }
+}

@@ -1,0 +1,174 @@
+//! Confusion matrices — the representation behind the paper's Table III.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A square confusion matrix: `m[actual][predicted]` counts.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    labels: Vec<String>,
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an all-zero matrix over the given class names.
+    pub fn new(labels: Vec<String>) -> Self {
+        let n = labels.len();
+        ConfusionMatrix { labels, counts: vec![vec![0; n]; n] }
+    }
+
+    /// Records one classification outcome.
+    pub fn record(&mut self, actual: usize, predicted: usize) {
+        self.counts[actual][predicted] += 1;
+    }
+
+    /// Merges another matrix over the same labels into this one.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        assert_eq!(self.labels, other.labels, "matrices must share labels");
+        for (row, orow) in self.counts.iter_mut().zip(&other.counts) {
+            for (c, oc) in row.iter_mut().zip(orow) {
+                *c += oc;
+            }
+        }
+    }
+
+    /// Class names.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Raw counts: `counts()[actual][predicted]`.
+    pub fn counts(&self) -> &[Vec<usize>] {
+        &self.counts
+    }
+
+    /// Total recorded outcomes.
+    pub fn total(&self) -> usize {
+        self.counts.iter().map(|r| r.iter().sum::<usize>()).sum()
+    }
+
+    /// Overall accuracy: the headline 96.98% of §VII-A.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: usize = (0..self.labels.len()).map(|i| self.counts[i][i]).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Row of per-class percentages for `actual` (the Table III rows);
+    /// empty classes yield all-zero rows.
+    pub fn row_percent(&self, actual: usize) -> Vec<f64> {
+        let row = &self.counts[actual];
+        let total: usize = row.iter().sum();
+        if total == 0 {
+            return vec![0.0; row.len()];
+        }
+        row.iter().map(|&c| 100.0 * c as f64 / total as f64).collect()
+    }
+
+    /// Recall of one class (diagonal of its percentage row).
+    pub fn recall(&self, class: usize) -> f64 {
+        self.row_percent(class)[class] / 100.0
+    }
+
+    /// Number of outcomes recorded for one actual class.
+    pub fn row_total(&self, actual: usize) -> usize {
+        self.counts[actual].iter().sum()
+    }
+
+    /// Recall of every class, in label order; empty classes yield 0.
+    pub fn per_class_recall(&self) -> Vec<f64> {
+        (0..self.labels.len()).map(|i| self.recall(i)).collect()
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let width = self.labels.iter().map(|l| l.len()).max().unwrap_or(8).max(8);
+        write!(f, "{:width$} ", "")?;
+        for l in &self.labels {
+            write!(f, "{:>width$} ", l)?;
+        }
+        writeln!(f)?;
+        for (i, l) in self.labels.iter().enumerate() {
+            write!(f, "{:width$} ", l)?;
+            for p in self.row_percent(i) {
+                write!(f, "{:>width$.2} ", p)?;
+            }
+            writeln!(f)?;
+        }
+        writeln!(f, "overall accuracy: {:.2}%", 100.0 * self.accuracy())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> ConfusionMatrix {
+        let mut m = ConfusionMatrix::new(vec!["x".into(), "y".into()]);
+        for _ in 0..9 {
+            m.record(0, 0);
+        }
+        m.record(0, 1);
+        for _ in 0..8 {
+            m.record(1, 1);
+        }
+        m.record(1, 0);
+        m.record(1, 0);
+        m
+    }
+
+    #[test]
+    fn accuracy_and_recall() {
+        let m = toy();
+        assert_eq!(m.total(), 20);
+        assert!((m.accuracy() - 17.0 / 20.0).abs() < 1e-12);
+        assert!((m.recall(0) - 0.9).abs() < 1e-12);
+        assert!((m.recall(1) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_percentages_sum_to_100() {
+        let m = toy();
+        for i in 0..2 {
+            let sum: f64 = m.row_percent(i).iter().sum();
+            assert!((sum - 100.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_class_rows_are_zero() {
+        let m = ConfusionMatrix::new(vec!["x".into(), "y".into()]);
+        assert_eq!(m.row_percent(0), vec![0.0, 0.0]);
+        assert_eq!(m.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn row_total_and_per_class_recall() {
+        let m = toy();
+        assert_eq!(m.row_total(0), 10);
+        assert_eq!(m.row_total(1), 10);
+        let r = m.per_class_recall();
+        assert!((r[0] - 0.9).abs() < 1e-12);
+        assert!((r[1] - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = toy();
+        let b = toy();
+        a.merge(&b);
+        assert_eq!(a.total(), 40);
+        assert!((a.accuracy() - 17.0 / 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_labels_and_accuracy() {
+        let s = toy().to_string();
+        assert!(s.contains('x') && s.contains('y'));
+        assert!(s.contains("accuracy"));
+    }
+}

@@ -1,0 +1,116 @@
+//! k-fold cross-validation — the 10-fold protocol of §VII-A ("we evenly
+//! and randomly divide the total of 5600 feature vectors into 10 groups").
+
+use crate::confusion::ConfusionMatrix;
+use crate::dataset::Dataset;
+use crate::Classifier;
+use rand::RngCore;
+
+/// Result of one cross-validation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CvReport {
+    /// Confusion matrix accumulated over all validation folds.
+    pub confusion: ConfusionMatrix,
+    /// Per-fold accuracies.
+    pub fold_accuracies: Vec<f64>,
+}
+
+impl CvReport {
+    /// Overall accuracy across folds (the metric of Fig. 12).
+    pub fn accuracy(&self) -> f64 {
+        self.confusion.accuracy()
+    }
+}
+
+/// Runs stratified k-fold cross-validation of `make_model` over `data`.
+///
+/// A fresh model is built per fold so no state leaks between folds; the
+/// report accumulates one confusion matrix over all validation samples,
+/// exactly as Weka reports it.
+pub fn cross_validate<C, F>(
+    data: &Dataset,
+    k: usize,
+    mut make_model: F,
+    rng: &mut dyn RngCore,
+) -> CvReport
+where
+    C: Classifier,
+    F: FnMut() -> C,
+{
+    assert!(data.len() >= k, "need at least one sample per fold");
+    let folds = data.stratified_folds(k, rng);
+    let mut confusion = ConfusionMatrix::new(data.label_names().to_vec());
+    let mut fold_accuracies = Vec::with_capacity(k);
+
+    for v in 0..k {
+        let train_idx: Vec<usize> =
+            folds.iter().enumerate().filter(|(i, _)| *i != v).flat_map(|(_, f)| f.clone()).collect();
+        let train = data.subset(&train_idx);
+        let mut model = make_model();
+        model.fit(&train, rng);
+
+        let mut correct = 0usize;
+        for &i in &folds[v] {
+            let s = &data.samples()[i];
+            let p = model.predict(&s.features);
+            confusion.record(s.label, p.label);
+            if p.label == s.label {
+                correct += 1;
+            }
+        }
+        let denom = folds[v].len().max(1);
+        fold_accuracies.push(correct as f64 / denom as f64);
+    }
+
+    CvReport { confusion, fold_accuracies }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::{RandomForest, RandomForestConfig};
+    use crate::knn::KnnClassifier;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn blobs() -> Dataset {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()], 2);
+        for i in 0..60 {
+            let j = (i % 6) as f64 / 10.0;
+            d.push(vec![j, j], 0);
+            d.push(vec![5.0 + j, 5.0 + j], 1);
+        }
+        d
+    }
+
+    #[test]
+    fn easy_data_cross_validates_cleanly() {
+        let d = blobs();
+        let mut rng = StdRng::seed_from_u64(3);
+        let report = cross_validate(
+            &d,
+            10,
+            || RandomForest::new(RandomForestConfig { n_trees: 10, mtry: 1 }),
+            &mut rng,
+        );
+        assert_eq!(report.fold_accuracies.len(), 10);
+        assert!(report.accuracy() > 0.95, "got {}", report.accuracy());
+        assert_eq!(report.confusion.total(), d.len());
+    }
+
+    #[test]
+    fn works_with_other_classifiers() {
+        let d = blobs();
+        let mut rng = StdRng::seed_from_u64(4);
+        let report = cross_validate(&d, 5, || KnnClassifier::new(3), &mut rng);
+        assert!(report.accuracy() > 0.95);
+    }
+
+    #[test]
+    fn every_sample_is_validated_exactly_once() {
+        let d = blobs();
+        let mut rng = StdRng::seed_from_u64(5);
+        let report = cross_validate(&d, 7, || KnnClassifier::new(1), &mut rng);
+        assert_eq!(report.confusion.total(), d.len());
+    }
+}

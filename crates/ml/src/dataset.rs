@@ -1,0 +1,189 @@
+//! Labeled datasets of dense feature vectors.
+
+use rand::seq::SliceRandom;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One labeled sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Feature values.
+    pub features: Vec<f64>,
+    /// Class index.
+    pub label: usize,
+}
+
+/// A labeled dataset with a class-name table.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    samples: Vec<Sample>,
+    label_names: Vec<String>,
+    n_features: usize,
+}
+
+impl Dataset {
+    /// Creates an empty dataset over the given class names and feature
+    /// dimensionality.
+    pub fn new(label_names: Vec<String>, n_features: usize) -> Self {
+        Dataset { samples: Vec::new(), label_names, n_features }
+    }
+
+    /// Adds one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature dimensionality or label index is inconsistent.
+    pub fn push(&mut self, features: Vec<f64>, label: usize) {
+        assert_eq!(features.len(), self.n_features, "feature dimensionality mismatch");
+        assert!(label < self.label_names.len(), "label {label} out of range");
+        assert!(
+            features.iter().all(|f| f.is_finite()),
+            "features must be finite, got {features:?}"
+        );
+        self.samples.push(Sample { features, label });
+    }
+
+    /// All samples.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Feature dimensionality.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.label_names.len()
+    }
+
+    /// Class names.
+    pub fn label_names(&self) -> &[String] {
+        &self.label_names
+    }
+
+    /// Name of one class.
+    pub fn label_name(&self, label: usize) -> &str {
+        &self.label_names[label]
+    }
+
+    /// Per-class sample counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes()];
+        for s in &self.samples {
+            counts[s.label] += 1;
+        }
+        counts
+    }
+
+    /// A view restricted to the given sample indices (clones the samples).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let mut out = Dataset::new(self.label_names.clone(), self.n_features);
+        for &i in indices {
+            let s = &self.samples[i];
+            out.push(s.features.clone(), s.label);
+        }
+        out
+    }
+
+    /// Splits indices into `k` stratified folds: each fold preserves the
+    /// class proportions, as Weka's 10-fold cross-validation does (§VII-A).
+    pub fn stratified_folds(&self, k: usize, rng: &mut dyn RngCore) -> Vec<Vec<usize>> {
+        assert!(k >= 2, "need at least two folds");
+        let mut by_class: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (i, s) in self.samples.iter().enumerate() {
+            by_class.entry(s.label).or_default().push(i);
+        }
+        let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for (_, mut idxs) in by_class {
+            idxs.shuffle(rng);
+            for (j, idx) in idxs.into_iter().enumerate() {
+                folds[j % k].push(idx);
+            }
+        }
+        folds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> Dataset {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()], 2);
+        for i in 0..20 {
+            d.push(vec![i as f64, -(i as f64)], i % 2);
+        }
+        d
+    }
+
+    #[test]
+    fn push_and_counts() {
+        let d = toy();
+        assert_eq!(d.len(), 20);
+        assert_eq!(d.class_counts(), vec![10, 10]);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.label_name(1), "b");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality")]
+    fn wrong_dimensionality_rejected() {
+        let mut d = toy();
+        d.push(vec![1.0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_label_rejected() {
+        let mut d = toy();
+        d.push(vec![1.0, 2.0], 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_features_rejected() {
+        let mut d = toy();
+        d.push(vec![f64::NAN, 0.0], 0);
+    }
+
+    #[test]
+    fn stratified_folds_preserve_proportions() {
+        let d = toy();
+        let mut rng = StdRng::seed_from_u64(5);
+        let folds = d.stratified_folds(5, &mut rng);
+        assert_eq!(folds.len(), 5);
+        for fold in &folds {
+            assert_eq!(fold.len(), 4);
+            let zeros = fold.iter().filter(|&&i| d.samples()[i].label == 0).count();
+            assert_eq!(zeros, 2, "each fold holds half of each class");
+        }
+        // Folds partition the indices.
+        let mut all: Vec<usize> = folds.concat();
+        all.sort_unstable();
+        assert_eq!(all, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn subset_clones_the_right_rows() {
+        let d = toy();
+        let s = d.subset(&[0, 3, 5]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.samples()[1].features[0], 3.0);
+        assert_eq!(s.samples()[1].label, 1);
+    }
+}

@@ -1,0 +1,185 @@
+//! Random forest (Breiman 2001), configured exactly as the paper
+//! configures Weka: bagging + random-subspace CART trees, majority vote,
+//! vote-share confidence (§VI).
+
+use crate::dataset::Dataset;
+use crate::tree::DecisionTree;
+use crate::{Classifier, Prediction};
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+/// Forest hyperparameters (the two the paper tunes in Fig. 12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RandomForestConfig {
+    /// Number of trees `K` (paper setting: 80).
+    pub n_trees: usize,
+    /// Random-subspace size `m`: features examined per split (paper
+    /// setting: 4 of the 7 feature-vector elements).
+    pub mtry: usize,
+}
+
+impl RandomForestConfig {
+    /// The paper's production setting: K = 80 trees, m = 4.
+    pub fn paper() -> Self {
+        RandomForestConfig { n_trees: 80, mtry: 4 }
+    }
+}
+
+impl Default for RandomForestConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// A bagged ensemble of random-subspace CART trees.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RandomForest {
+    config: RandomForestConfig,
+    trees: Vec<DecisionTree>,
+    n_classes: usize,
+}
+
+impl Default for RandomForest {
+    fn default() -> Self {
+        Self::new(RandomForestConfig::paper())
+    }
+}
+
+impl RandomForest {
+    /// Creates an untrained forest with the given configuration.
+    pub fn new(config: RandomForestConfig) -> Self {
+        assert!(config.n_trees >= 1, "a forest needs at least one tree");
+        RandomForest { config, trees: Vec::new(), n_classes: 0 }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> RandomForestConfig {
+        self.config
+    }
+
+    /// Number of trained trees.
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Per-class vote shares for a feature vector (sums to 1).
+    pub fn vote_shares(&self, features: &[f64]) -> Vec<f64> {
+        assert!(!self.trees.is_empty(), "predict called before fit");
+        let mut votes = vec![0usize; self.n_classes];
+        for t in &self.trees {
+            votes[t.predict(features).label] += 1;
+        }
+        let total = self.trees.len() as f64;
+        votes.into_iter().map(|v| v as f64 / total).collect()
+    }
+}
+
+impl Classifier for RandomForest {
+    fn fit(&mut self, data: &Dataset, rng: &mut dyn RngCore) {
+        assert!(!data.is_empty(), "cannot fit a forest to an empty dataset");
+        self.n_classes = data.n_classes();
+        self.trees.clear();
+        let n = data.len();
+        for _ in 0..self.config.n_trees {
+            // Bootstrap sample: n draws with replacement (bagging).
+            let rows: Vec<usize> = (0..n).map(|_| rng.random_range(0..n)).collect();
+            let mut tree = DecisionTree::with_mtry(self.config.mtry);
+            tree.fit_rows(data, rows, rng);
+            self.trees.push(tree);
+        }
+    }
+
+    fn predict(&self, features: &[f64]) -> Prediction {
+        let shares = self.vote_shares(features);
+        let (label, share) = shares
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite shares"))
+            .expect("at least one class");
+        Prediction { label, confidence: *share }
+    }
+
+    fn name(&self) -> &'static str {
+        "random-forest"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn blobs(n_per_class: usize) -> Dataset {
+        // Three well-separated Gaussian-ish blobs on a line, deterministic.
+        let mut d = Dataset::new(vec!["a".into(), "b".into(), "c".into()], 2);
+        for i in 0..n_per_class {
+            let jitter = (i % 7) as f64 / 20.0;
+            d.push(vec![0.0 + jitter, 0.0 - jitter], 0);
+            d.push(vec![5.0 + jitter, 5.0 - jitter], 1);
+            d.push(vec![10.0 + jitter, 10.0 - jitter], 2);
+        }
+        d
+    }
+
+    #[test]
+    fn forest_learns_blobs() {
+        let d = blobs(30);
+        let mut f = RandomForest::new(RandomForestConfig { n_trees: 20, mtry: 1 });
+        let mut rng = StdRng::seed_from_u64(10);
+        f.fit(&d, &mut rng);
+        assert_eq!(f.tree_count(), 20);
+        for s in d.samples() {
+            let p = f.predict(&s.features);
+            assert_eq!(p.label, s.label);
+            assert!(p.confidence > 0.8, "clean blobs → confident votes");
+        }
+    }
+
+    #[test]
+    fn vote_shares_sum_to_one() {
+        let d = blobs(10);
+        let mut f = RandomForest::new(RandomForestConfig { n_trees: 15, mtry: 2 });
+        let mut rng = StdRng::seed_from_u64(11);
+        f.fit(&d, &mut rng);
+        let shares = f.vote_shares(&[5.0, 5.0]);
+        let sum: f64 = shares.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ambiguous_points_get_low_confidence() {
+        // A point exactly between two blobs splits the votes.
+        let d = blobs(30);
+        let mut f = RandomForest::new(RandomForestConfig { n_trees: 40, mtry: 1 });
+        let mut rng = StdRng::seed_from_u64(12);
+        f.fit(&d, &mut rng);
+        let p = f.predict(&[2.6, 2.6]);
+        assert!(p.confidence < 1.0, "boundary votes must split, got {}", p.confidence);
+    }
+
+    #[test]
+    fn deterministic_under_a_fixed_seed() {
+        let d = blobs(20);
+        let mut f1 = RandomForest::new(RandomForestConfig::paper());
+        let mut f2 = RandomForest::new(RandomForestConfig::paper());
+        f1.fit(&d, &mut StdRng::seed_from_u64(77));
+        f2.fit(&d, &mut StdRng::seed_from_u64(77));
+        for s in d.samples() {
+            assert_eq!(f1.predict(&s.features), f2.predict(&s.features));
+        }
+    }
+
+    #[test]
+    fn paper_config_values() {
+        let c = RandomForestConfig::paper();
+        assert_eq!(c.n_trees, 80);
+        assert_eq!(c.mtry, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree")]
+    fn zero_trees_rejected() {
+        let _ = RandomForest::new(RandomForestConfig { n_trees: 0, mtry: 1 });
+    }
+}

@@ -1,0 +1,146 @@
+//! k-nearest-neighbour baseline (one of the methods the paper compared
+//! against random forest in Weka, §VI).
+
+use crate::dataset::Dataset;
+use crate::{Classifier, Prediction};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// A kNN classifier with Euclidean distance over z-scored features.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KnnClassifier {
+    /// Number of neighbours consulted.
+    pub k: usize,
+    train: Dataset,
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl KnnClassifier {
+    /// Creates an untrained kNN classifier.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        KnnClassifier { k, train: Dataset::default(), means: Vec::new(), stds: Vec::new() }
+    }
+
+    fn normalize(&self, features: &[f64]) -> Vec<f64> {
+        features
+            .iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(x, (m, s))| if *s > 1e-12 { (x - m) / s } else { 0.0 })
+            .collect()
+    }
+}
+
+impl Classifier for KnnClassifier {
+    fn fit(&mut self, data: &Dataset, _rng: &mut dyn RngCore) {
+        assert!(!data.is_empty(), "cannot fit kNN to an empty dataset");
+        let n = data.len() as f64;
+        let d = data.n_features();
+        let mut means = vec![0.0; d];
+        for s in data.samples() {
+            for (i, v) in s.features.iter().enumerate() {
+                means[i] += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut stds = vec![0.0; d];
+        for s in data.samples() {
+            for (i, v) in s.features.iter().enumerate() {
+                stds[i] += (v - means[i]) * (v - means[i]);
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n).sqrt();
+        }
+        self.means = means;
+        self.stds = stds;
+        self.train = data.clone();
+    }
+
+    fn predict(&self, features: &[f64]) -> Prediction {
+        assert!(!self.train.is_empty(), "predict called before fit");
+        let q = self.normalize(features);
+        let mut dists: Vec<(f64, usize)> = self
+            .train
+            .samples()
+            .iter()
+            .map(|s| {
+                let p = self.normalize(&s.features);
+                let d2: f64 = p.iter().zip(&q).map(|(a, b)| (a - b) * (a - b)).sum();
+                (d2, s.label)
+            })
+            .collect();
+        let k = self.k.min(dists.len());
+        dists.select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        let mut votes = vec![0usize; self.train.n_classes()];
+        for &(_, label) in dists.iter().take(k) {
+            votes[label] += 1;
+        }
+        let (label, count) =
+            votes.iter().enumerate().max_by_key(|(_, &c)| c).map(|(i, &c)| (i, c)).unwrap();
+        Prediction { label, confidence: count as f64 / k as f64 }
+    }
+
+    fn name(&self) -> &'static str {
+        "knn"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> Dataset {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()], 1);
+        for i in 0..10 {
+            d.push(vec![i as f64], 0);
+            d.push(vec![100.0 + i as f64], 1);
+        }
+        d
+    }
+
+    #[test]
+    fn nearest_neighbour_classifies_cleanly() {
+        let d = toy();
+        let mut knn = KnnClassifier::new(3);
+        knn.fit(&d, &mut StdRng::seed_from_u64(0));
+        assert_eq!(knn.predict(&[4.0]).label, 0);
+        assert_eq!(knn.predict(&[104.0]).label, 1);
+    }
+
+    #[test]
+    fn confidence_is_vote_fraction() {
+        let d = toy();
+        let mut knn = KnnClassifier::new(5);
+        knn.fit(&d, &mut StdRng::seed_from_u64(0));
+        let p = knn.predict(&[0.0]);
+        assert_eq!(p.confidence, 1.0);
+    }
+
+    #[test]
+    fn z_scoring_makes_scales_comparable() {
+        // Feature 1 has a huge scale; without normalization it would
+        // dominate. The discriminating feature is feature 0.
+        let mut d = Dataset::new(vec!["a".into(), "b".into()], 2);
+        for i in 0..20 {
+            let noise = (i as f64) * 1000.0;
+            d.push(vec![0.0, noise], 0);
+            d.push(vec![1.0, noise], 1);
+        }
+        let mut knn = KnnClassifier::new(1);
+        knn.fit(&d, &mut StdRng::seed_from_u64(0));
+        assert_eq!(knn.predict(&[0.0, 7000.0]).label, 0);
+        assert_eq!(knn.predict(&[1.0, 7000.0]).label, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn zero_k_rejected() {
+        let _ = KnnClassifier::new(0);
+    }
+}

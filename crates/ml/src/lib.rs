@@ -1,0 +1,69 @@
+//! # caai-ml
+//!
+//! The machine-learning substrate of the CAAI reproduction.
+//!
+//! The paper classifies feature vectors with Weka's **random forest**
+//! (Breiman 2001), chosen after comparing kNN, decision trees, neural
+//! networks, naive Bayes and SVMs (§VI: "random forest consistently
+//! achieves the highest classification accuracy"). This crate implements:
+//!
+//! * [`tree`] — CART classification trees (Gini impurity, no pruning) with
+//!   random-subspace splits;
+//! * [`forest`] — bootstrap-aggregated forests with vote-share confidence,
+//!   matching Weka's `numTrees` (paper: K = 80) and `numFeatures`
+//!   (paper: m = 4) parameters and the 40% confidence floor of §VII-B;
+//! * [`knn`], [`naive_bayes`], [`mlp`], [`svm`] — the baselines the paper
+//!   compared against (kNN, naive Bayes, neural network, SVM);
+//! * [`cross_validation`] — the 10-fold protocol of §VII-A;
+//! * [`confusion`] — confusion matrices (Table III);
+//! * [`scaler`] — feature standardization shared by the distance- and
+//!   gradient-based models.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod confusion;
+pub mod cross_validation;
+pub mod dataset;
+pub mod forest;
+pub mod knn;
+pub mod mlp;
+pub mod naive_bayes;
+pub mod scaler;
+pub mod svm;
+pub mod tree;
+
+pub use confusion::ConfusionMatrix;
+pub use cross_validation::{cross_validate, CvReport};
+pub use dataset::{Dataset, Sample};
+pub use forest::{RandomForest, RandomForestConfig};
+pub use knn::KnnClassifier;
+pub use mlp::{MlpClassifier, MlpConfig};
+pub use naive_bayes::GaussianNaiveBayes;
+pub use scaler::StandardScaler;
+pub use svm::{LinearSvm, SvmConfig};
+pub use tree::DecisionTree;
+
+use rand::RngCore;
+
+/// A trained-or-trainable classifier over dense `f64` feature vectors.
+pub trait Classifier {
+    /// Fits the model to a dataset. Stochastic models draw from `rng`.
+    fn fit(&mut self, data: &Dataset, rng: &mut dyn RngCore);
+
+    /// Predicts the label of one feature vector.
+    fn predict(&self, features: &[f64]) -> Prediction;
+
+    /// Human-readable model name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// A classification outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Predicted class index into the dataset's label table.
+    pub label: usize,
+    /// Confidence in [0, 1]. For forests: the share of trees voting for
+    /// the winner — the quantity CAAI thresholds at 40% (§VII-B).
+    pub confidence: f64,
+}

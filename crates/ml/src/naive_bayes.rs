@@ -1,0 +1,148 @@
+//! Gaussian naive Bayes baseline (another of the paper's Weka
+//! comparisons, §VI).
+
+use crate::dataset::Dataset;
+use crate::{Classifier, Prediction};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// Variance floor preventing degenerate zero-width Gaussians on constant
+/// features (e.g. the paper's binary `I(w ≥ 64)` element).
+const VAR_FLOOR: f64 = 1e-6;
+
+/// Gaussian naive Bayes with per-class feature means/variances.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GaussianNaiveBayes {
+    priors: Vec<f64>,
+    means: Vec<Vec<f64>>,
+    vars: Vec<Vec<f64>>,
+}
+
+impl GaussianNaiveBayes {
+    /// Creates an untrained model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn log_likelihood(&self, class: usize, features: &[f64]) -> f64 {
+        let mut ll = self.priors[class].ln();
+        for (i, x) in features.iter().enumerate() {
+            let m = self.means[class][i];
+            let v = self.vars[class][i];
+            ll += -0.5 * ((x - m) * (x - m) / v + v.ln() + (2.0 * std::f64::consts::PI).ln());
+        }
+        ll
+    }
+}
+
+impl Classifier for GaussianNaiveBayes {
+    fn fit(&mut self, data: &Dataset, _rng: &mut dyn RngCore) {
+        assert!(!data.is_empty(), "cannot fit naive Bayes to an empty dataset");
+        let c = data.n_classes();
+        let d = data.n_features();
+        let counts = data.class_counts();
+        self.priors = counts
+            .iter()
+            .map(|&n| ((n as f64) + 1.0) / (data.len() as f64 + c as f64)) // Laplace
+            .collect();
+        self.means = vec![vec![0.0; d]; c];
+        self.vars = vec![vec![0.0; d]; c];
+        for s in data.samples() {
+            for (i, v) in s.features.iter().enumerate() {
+                self.means[s.label][i] += v;
+            }
+        }
+        for k in 0..c {
+            if counts[k] > 0 {
+                for i in 0..d {
+                    self.means[k][i] /= counts[k] as f64;
+                }
+            }
+        }
+        for s in data.samples() {
+            for (i, v) in s.features.iter().enumerate() {
+                let dm = v - self.means[s.label][i];
+                self.vars[s.label][i] += dm * dm;
+            }
+        }
+        for k in 0..c {
+            for i in 0..d {
+                self.vars[k][i] = if counts[k] > 1 {
+                    (self.vars[k][i] / counts[k] as f64).max(VAR_FLOOR)
+                } else {
+                    1.0
+                };
+            }
+        }
+    }
+
+    fn predict(&self, features: &[f64]) -> Prediction {
+        assert!(!self.priors.is_empty(), "predict called before fit");
+        let lls: Vec<f64> =
+            (0..self.priors.len()).map(|k| self.log_likelihood(k, features)).collect();
+        let max = lls.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        // Softmax over log-likelihoods for a posterior-like confidence.
+        let exps: Vec<f64> = lls.iter().map(|l| (l - max).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        let (label, p) = exps
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .unwrap();
+        Prediction { label, confidence: p / sum }
+    }
+
+    fn name(&self) -> &'static str {
+        "naive-bayes"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn separated_gaussians_are_learned() {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()], 2);
+        for i in 0..30 {
+            let j = (i % 5) as f64 / 10.0;
+            d.push(vec![0.0 + j, 1.0 - j], 0);
+            d.push(vec![10.0 + j, 11.0 - j], 1);
+        }
+        let mut nb = GaussianNaiveBayes::new();
+        nb.fit(&d, &mut StdRng::seed_from_u64(0));
+        let p = nb.predict(&[0.2, 0.9]);
+        assert_eq!(p.label, 0);
+        assert!(p.confidence > 0.99);
+        assert_eq!(nb.predict(&[10.2, 10.9]).label, 1);
+    }
+
+    #[test]
+    fn constant_features_do_not_blow_up() {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()], 2);
+        for i in 0..10 {
+            d.push(vec![1.0, i as f64], i % 2);
+        }
+        let mut nb = GaussianNaiveBayes::new();
+        nb.fit(&d, &mut StdRng::seed_from_u64(0));
+        let p = nb.predict(&[1.0, 4.0]);
+        assert!(p.confidence.is_finite());
+    }
+
+    #[test]
+    fn priors_reflect_imbalance() {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()], 1);
+        for _ in 0..90 {
+            d.push(vec![0.5], 0);
+        }
+        for _ in 0..10 {
+            d.push(vec![0.6], 1);
+        }
+        let mut nb = GaussianNaiveBayes::new();
+        nb.fit(&d, &mut StdRng::seed_from_u64(0));
+        // An equidistant point goes to the majority class.
+        assert_eq!(nb.predict(&[0.55]).label, 0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Feature standardization (z-scoring) shared by the distance- and
+//! gradient-based models.
+//!
+//! CAAI feature vectors mix scales — β lives in [0, 2] while the growth
+//! offsets G3/G6 reach hundreds of packets — so kNN, the neural network
+//! and the SVM all standardize features first. Trees and forests split on
+//! raw thresholds and need no scaling.
+
+use crate::dataset::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Per-feature mean/standard-deviation scaler.
+///
+/// Constant features (σ ≈ 0) map to 0 so they carry no weight instead of
+/// producing infinities.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits the scaler to a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn fit(data: &Dataset) -> Self {
+        assert!(!data.is_empty(), "cannot fit a scaler to an empty dataset");
+        let n = data.len() as f64;
+        let d = data.n_features();
+        let mut means = vec![0.0; d];
+        for s in data.samples() {
+            for (i, v) in s.features.iter().enumerate() {
+                means[i] += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut stds = vec![0.0; d];
+        for s in data.samples() {
+            for (i, v) in s.features.iter().enumerate() {
+                stds[i] += (v - means[i]) * (v - means[i]);
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n).sqrt();
+        }
+        StandardScaler { means, stds }
+    }
+
+    /// Standardizes one feature vector.
+    pub fn transform(&self, features: &[f64]) -> Vec<f64> {
+        features
+            .iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(x, (m, s))| if *s > 1e-12 { (x - m) / s } else { 0.0 })
+            .collect()
+    }
+
+    /// Feature dimensionality the scaler was fitted on.
+    pub fn n_features(&self) -> usize {
+        self.means.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()], 2);
+        d.push(vec![0.0, 5.0], 0);
+        d.push(vec![2.0, 5.0], 0);
+        d.push(vec![4.0, 5.0], 1);
+        d
+    }
+
+    #[test]
+    fn transform_centres_and_scales() {
+        let s = StandardScaler::fit(&toy());
+        let z = s.transform(&[2.0, 5.0]);
+        assert!(z[0].abs() < 1e-12, "mean maps to zero, got {}", z[0]);
+        let z = s.transform(&[4.0, 5.0]);
+        assert!((z[0] - 1.2247).abs() < 1e-3, "one σ above, got {}", z[0]);
+    }
+
+    #[test]
+    fn constant_feature_maps_to_zero() {
+        let s = StandardScaler::fit(&toy());
+        assert_eq!(s.transform(&[0.0, 123.0])[1], 0.0);
+    }
+
+    #[test]
+    fn dimensionality_is_reported() {
+        assert_eq!(StandardScaler::fit(&toy()).n_features(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_rejected() {
+        let _ = StandardScaler::fit(&Dataset::new(vec!["a".into()], 1));
+    }
+}

@@ -1,0 +1,218 @@
+//! The uncontrolled Internet path between a CAAI prober and a web server.
+//!
+//! CAAI defers ACKs to emulate its RTT schedule, but the real path under it
+//! still loses, duplicates, and jitters packets (§IV design challenge 2).
+//! Three effects are observable in a window trace:
+//!
+//! * **data-packet loss / duplication** (server → prober): distorts the
+//!   per-round window measurement (CAAI still ACKs "as if no loss", so the
+//!   server never notices);
+//! * **ACK loss** (prober → server): slows the server's per-ACK window
+//!   growth — the noise the paper's equation (1) estimates;
+//! * **RTT jitter**: a data packet can slip past the prober's round
+//!   boundary and be counted one round late.
+
+use crate::conditions::NetworkCondition;
+use crate::schedule::RTT_SHORT;
+use crate::stats::normal_cdf;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Fate of a data packet crossing the server → prober direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataFate {
+    /// Arrives in the round it was sent.
+    Delivered,
+    /// Dropped by the path.
+    Lost,
+    /// Arrives, plus a spurious copy in the next round.
+    Duplicated,
+    /// Arrives but only after the prober closed the round (jitter).
+    Late,
+}
+
+/// Fate of an ACK crossing the prober → server direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AckFate {
+    /// Delivered to the server.
+    Delivered,
+    /// Dropped by the path.
+    Lost,
+}
+
+/// Stochastic model of one Internet path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PathConfig {
+    /// Per-packet loss probability, server → prober.
+    pub data_loss: f64,
+    /// Per-packet loss probability, prober → server (ACKs).
+    pub ack_loss: f64,
+    /// Per-packet duplication probability, server → prober.
+    pub data_dup: f64,
+    /// Probability that a delivered data packet lands one measurement round
+    /// late due to RTT jitter.
+    pub late_prob: f64,
+}
+
+impl PathConfig {
+    /// A perfect path: the paper's local-testbed baseline for Fig. 3
+    /// ("measured on our local testbed with a 0% packet-loss rate").
+    pub fn clean() -> Self {
+        PathConfig { data_loss: 0.0, ack_loss: 0.0, data_dup: 0.0, late_prob: 0.0 }
+    }
+
+    /// A path with symmetric random loss and no jitter or duplication.
+    pub fn lossy(loss: f64) -> Self {
+        assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
+        PathConfig { data_loss: loss, ack_loss: loss, data_dup: 0.0, late_prob: 0.0 }
+    }
+
+    /// Derives a path model from a measured network condition, the way the
+    /// testbed replays conditions with Netem (§VII-A).
+    ///
+    /// Loss applies independently in each direction. Jitter is converted to
+    /// a late-arrival probability: a packet is late when its extra one-way
+    /// delay exceeds the slack between the real RTT and the shortest
+    /// emulated RTT (0.8 s), i.e. `P(N(0, σ) > slack)`.
+    pub fn from_condition(cond: &NetworkCondition) -> Self {
+        let slack = (RTT_SHORT - cond.rtt_mean).max(0.02);
+        let late_prob = if cond.rtt_std > 1e-9 {
+            (1.0 - normal_cdf(slack / cond.rtt_std)).clamp(0.0, 0.25)
+        } else {
+            0.0
+        };
+        PathConfig {
+            data_loss: cond.loss_rate,
+            ack_loss: cond.loss_rate,
+            data_dup: (cond.loss_rate / 10.0).min(0.01),
+            late_prob,
+        }
+    }
+
+    /// Samples the fate of one data packet.
+    pub fn data_fate(&self, rng: &mut impl Rng) -> DataFate {
+        let u: f64 = rng.random();
+        if u < self.data_loss {
+            DataFate::Lost
+        } else if u < self.data_loss + self.data_dup {
+            DataFate::Duplicated
+        } else if u < self.data_loss + self.data_dup + self.late_prob {
+            DataFate::Late
+        } else {
+            DataFate::Delivered
+        }
+    }
+
+    /// Samples the fate of one ACK.
+    pub fn ack_fate(&self, rng: &mut impl Rng) -> AckFate {
+        if rng.random::<f64>() < self.ack_loss {
+            AckFate::Lost
+        } else {
+            AckFate::Delivered
+        }
+    }
+
+    /// Validates that all probabilities are in range and jointly feasible.
+    pub fn validate(&self) -> Result<(), InvalidPathConfig> {
+        let fields = [
+            ("data_loss", self.data_loss),
+            ("ack_loss", self.ack_loss),
+            ("data_dup", self.data_dup),
+            ("late_prob", self.late_prob),
+        ];
+        for (name, v) in fields {
+            if !(0.0..=1.0).contains(&v) || !v.is_finite() {
+                return Err(InvalidPathConfig { field: name, value: v });
+            }
+        }
+        let total = self.data_loss + self.data_dup + self.late_prob;
+        if total > 1.0 {
+            return Err(InvalidPathConfig { field: "data_loss+data_dup+late_prob", value: total });
+        }
+        Ok(())
+    }
+}
+
+impl Default for PathConfig {
+    fn default() -> Self {
+        Self::clean()
+    }
+}
+
+/// Error returned by [`PathConfig::validate`] for out-of-range
+/// probabilities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvalidPathConfig {
+    /// Name of the offending field.
+    pub field: &'static str,
+    /// The invalid value.
+    pub value: f64,
+}
+
+impl std::fmt::Display for InvalidPathConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "path probability `{}` out of range: {}", self.field, self.value)
+    }
+}
+
+impl std::error::Error for InvalidPathConfig {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    #[test]
+    fn clean_path_never_drops() {
+        let p = PathConfig::clean();
+        let mut rng = seeded(3);
+        for _ in 0..1000 {
+            assert_eq!(p.data_fate(&mut rng), DataFate::Delivered);
+            assert_eq!(p.ack_fate(&mut rng), AckFate::Delivered);
+        }
+    }
+
+    #[test]
+    fn loss_rates_are_respected() {
+        let p = PathConfig::lossy(0.2);
+        let mut rng = seeded(4);
+        let n = 50_000;
+        let lost = (0..n).filter(|_| p.data_fate(&mut rng) == DataFate::Lost).count();
+        let frac = lost as f64 / n as f64;
+        assert!((frac - 0.2).abs() < 0.01, "got {frac}");
+    }
+
+    #[test]
+    fn condition_with_no_jitter_has_no_late_packets() {
+        let cond = NetworkCondition { rtt_mean: 0.1, rtt_std: 0.0, loss_rate: 0.01 };
+        let p = PathConfig::from_condition(&cond);
+        assert_eq!(p.late_prob, 0.0);
+        assert_eq!(p.data_loss, 0.01);
+    }
+
+    #[test]
+    fn heavy_jitter_produces_late_packets_but_is_capped() {
+        let cond = NetworkCondition { rtt_mean: 0.7, rtt_std: 0.5, loss_rate: 0.0 };
+        let p = PathConfig::from_condition(&cond);
+        assert!(p.late_prob > 0.1, "late_prob {}", p.late_prob);
+        assert!(p.late_prob <= 0.25, "cap respected: {}", p.late_prob);
+    }
+
+    #[test]
+    fn validate_catches_bad_probabilities() {
+        let mut p = PathConfig::clean();
+        p.data_loss = 1.5;
+        assert!(p.validate().is_err());
+        let mut p = PathConfig::clean();
+        p.data_loss = 0.6;
+        p.late_prob = 0.6;
+        assert!(p.validate().is_err(), "joint mass above 1 rejected");
+        assert!(PathConfig::lossy(0.3).validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn lossy_rejects_out_of_range() {
+        let _ = PathConfig::lossy(2.0);
+    }
+}

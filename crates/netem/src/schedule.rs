@@ -1,0 +1,155 @@
+//! The two emulated network environments of §IV-B (Fig. 2).
+//!
+//! CAAI cannot shorten a path's RTT, only lengthen it by deferring its own
+//! ACKs, so both environments use RTTs (0.8 s, 1.0 s) longer than nearly
+//! every real path (Fig. 4) yet shorter than the initial RTO (§IV-B "Why
+//! emulating an RTT of 1.0 s?").
+//!
+//! * **Environment A** — RTT fixed at 1.0 s before and after the timeout.
+//! * **Environment B** — RTT 0.8 s for the first 3 rounds before the
+//!   timeout, then 1.0 s; after the timeout 0.8 s for 12 rounds, then
+//!   1.0 s. The pre-timeout step exposes RTT-dependent *decreases*
+//!   (ILLINOIS, VENO); the post-timeout step exposes RTT-dependent *growth*
+//!   (CTCP v2, YEAH).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The long emulated RTT (seconds).
+pub const RTT_LONG: f64 = 1.0;
+/// The short emulated RTT (seconds).
+pub const RTT_SHORT: f64 = 0.8;
+/// Environment B switches RTT after this many pre-timeout rounds.
+pub const ENV_B_PRE_STEP_ROUND: u32 = 3;
+/// Environment B switches RTT after this many post-timeout rounds.
+pub const ENV_B_POST_STEP_ROUND: u32 = 12;
+
+/// Which emulated environment a trace-gathering run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EnvironmentId {
+    /// Fixed 1.0 s RTT.
+    A,
+    /// Stepped 0.8 s → 1.0 s RTT (Fig. 2).
+    B,
+}
+
+impl fmt::Display for EnvironmentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EnvironmentId::A => "A",
+            EnvironmentId::B => "B",
+        })
+    }
+}
+
+/// Whether the connection is before or after the emulated timeout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// From connection establishment until the emulated timeout fires.
+    BeforeTimeout,
+    /// From the first retransmission after the timeout onward.
+    AfterTimeout,
+}
+
+/// The emulated RTT schedule of one environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RttSchedule {
+    env: EnvironmentId,
+}
+
+impl RttSchedule {
+    /// Schedule for the given environment.
+    pub fn new(env: EnvironmentId) -> Self {
+        RttSchedule { env }
+    }
+
+    /// The environment this schedule belongs to.
+    pub fn environment(&self) -> EnvironmentId {
+        self.env
+    }
+
+    /// Emulated RTT (seconds) for 1-based round `round` of `phase`.
+    pub fn rtt(&self, phase: Phase, round: u32) -> f64 {
+        assert!(round >= 1, "rounds are 1-based");
+        match self.env {
+            EnvironmentId::A => RTT_LONG,
+            EnvironmentId::B => match phase {
+                Phase::BeforeTimeout => {
+                    if round <= ENV_B_PRE_STEP_ROUND {
+                        RTT_SHORT
+                    } else {
+                        RTT_LONG
+                    }
+                }
+                Phase::AfterTimeout => {
+                    if round <= ENV_B_POST_STEP_ROUND {
+                        RTT_SHORT
+                    } else {
+                        RTT_LONG
+                    }
+                }
+            },
+        }
+    }
+
+    /// The full schedule table of Fig. 2, as `(phase, round, rtt)` rows up
+    /// to `rounds` rounds per phase.
+    pub fn table(&self, rounds: u32) -> Vec<(Phase, u32, f64)> {
+        let mut rows = Vec::new();
+        for phase in [Phase::BeforeTimeout, Phase::AfterTimeout] {
+            for r in 1..=rounds {
+                rows.push((phase, r, self.rtt(phase, r)));
+            }
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn environment_a_is_flat() {
+        let s = RttSchedule::new(EnvironmentId::A);
+        for phase in [Phase::BeforeTimeout, Phase::AfterTimeout] {
+            for r in 1..30 {
+                assert_eq!(s.rtt(phase, r), RTT_LONG);
+            }
+        }
+    }
+
+    #[test]
+    fn environment_b_steps_after_round_three_before_timeout() {
+        let s = RttSchedule::new(EnvironmentId::B);
+        assert_eq!(s.rtt(Phase::BeforeTimeout, 1), RTT_SHORT);
+        assert_eq!(s.rtt(Phase::BeforeTimeout, 3), RTT_SHORT);
+        assert_eq!(s.rtt(Phase::BeforeTimeout, 4), RTT_LONG);
+        assert_eq!(s.rtt(Phase::BeforeTimeout, 20), RTT_LONG);
+    }
+
+    #[test]
+    fn environment_b_steps_after_round_twelve_after_timeout() {
+        let s = RttSchedule::new(EnvironmentId::B);
+        assert_eq!(s.rtt(Phase::AfterTimeout, 1), RTT_SHORT);
+        assert_eq!(s.rtt(Phase::AfterTimeout, 12), RTT_SHORT);
+        assert_eq!(s.rtt(Phase::AfterTimeout, 13), RTT_LONG);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn round_zero_is_rejected() {
+        let s = RttSchedule::new(EnvironmentId::A);
+        let _ = s.rtt(Phase::BeforeTimeout, 0);
+    }
+
+    #[test]
+    fn table_covers_both_phases() {
+        let s = RttSchedule::new(EnvironmentId::B);
+        let t = s.table(15);
+        assert_eq!(t.len(), 30);
+        // Post-timeout row 13 carries the step.
+        let row = t.iter().find(|(p, r, _)| *p == Phase::AfterTimeout && *r == 13).unwrap();
+        assert_eq!(row.2, RTT_LONG);
+    }
+}

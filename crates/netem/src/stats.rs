@@ -1,0 +1,245 @@
+//! Statistical utilities: piecewise-linear empirical CDFs and the
+//! mean-plus-95%-confidence-interval estimator of the paper's equation (1).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-linear cumulative distribution function.
+///
+/// Used to encode the paper's measured network-condition distributions
+/// (Figs. 4, 10, 11) and the web-population marginals (Figs. 6, 7), to
+/// sample from them (inverse-transform), and to print them back out when
+/// regenerating the figures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    /// `(value, probability)` knots; probabilities rise from 0 to 1.
+    points: Vec<(f64, f64)>,
+}
+
+impl Cdf {
+    /// Builds a CDF from `(value, cumulative probability)` knots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two knots are given, if values or probabilities
+    /// are not nondecreasing, or if the probabilities do not span [0, 1].
+    pub fn from_points(points: Vec<(f64, f64)>) -> Self {
+        assert!(points.len() >= 2, "a CDF needs at least two knots");
+        for w in points.windows(2) {
+            assert!(w[0].0 <= w[1].0, "values must be nondecreasing");
+            assert!(w[0].1 <= w[1].1, "probabilities must be nondecreasing");
+        }
+        let first = points.first().expect("nonempty");
+        let last = points.last().expect("nonempty");
+        assert!(first.1 >= 0.0 && (first.1 - 0.0).abs() < 1e-9, "first probability must be 0");
+        assert!((last.1 - 1.0).abs() < 1e-9, "last probability must be 1");
+        Cdf { points }
+    }
+
+    /// Builds an empirical CDF from raw samples.
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty(), "cannot build a CDF from no samples");
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        let n = samples.len();
+        let mut points = Vec::with_capacity(n + 1);
+        points.push((samples[0], 0.0));
+        for (i, v) in samples.iter().enumerate() {
+            points.push((*v, (i + 1) as f64 / n as f64));
+        }
+        Cdf { points }
+    }
+
+    /// Evaluates `F(x)`: the fraction of the distribution at or below `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        let first = self.points[0];
+        if x <= first.0 {
+            return first.1;
+        }
+        let last = self.points[self.points.len() - 1];
+        if x >= last.0 {
+            return last.1;
+        }
+        for w in self.points.windows(2) {
+            let (x0, p0) = w[0];
+            let (x1, p1) = w[1];
+            if x >= x0 && x <= x1 {
+                if x1 == x0 {
+                    return p1;
+                }
+                return p0 + (p1 - p0) * (x - x0) / (x1 - x0);
+            }
+        }
+        last.1
+    }
+
+    /// Inverse CDF: the value at cumulative probability `p` (clamped to
+    /// [0, 1]).
+    pub fn quantile(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        let first = self.points[0];
+        if p <= first.1 {
+            return first.0;
+        }
+        for w in self.points.windows(2) {
+            let (x0, p0) = w[0];
+            let (x1, p1) = w[1];
+            if p >= p0 && p <= p1 {
+                if p1 == p0 {
+                    return x1;
+                }
+                return x0 + (x1 - x0) * (p - p0) / (p1 - p0);
+            }
+        }
+        self.points[self.points.len() - 1].0
+    }
+
+    /// Draws one sample by inverse transform.
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        self.quantile(rng.random::<f64>())
+    }
+
+    /// The knots, for figure regeneration.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Renders the CDF as `(x, F(x))` rows over an even grid, for plots.
+    pub fn series(&self, n: usize) -> Vec<(f64, f64)> {
+        let lo = self.points[0].0;
+        let hi = self.points[self.points.len() - 1].0;
+        (0..=n)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / n as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+}
+
+/// Mean and upper edge of the 95% confidence interval: `mean + 1.96·s/√n`,
+/// the estimator CAAI's equation (1) applies to per-round ACK loss rates.
+/// Returns `None` for an empty slice; with one sample the interval
+/// degenerates to the mean.
+pub fn mean_plus_ci95(samples: &[f64]) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    if samples.len() == 1 {
+        return Some(mean);
+    }
+    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+    Some(mean + 1.96 * (var / n).sqrt())
+}
+
+/// Sample mean. Returns `None` for an empty slice.
+pub fn mean(samples: &[f64]) -> Option<f64> {
+    if samples.is_empty() {
+        None
+    } else {
+        Some(samples.iter().sum::<f64>() / samples.len() as f64)
+    }
+}
+
+/// Approximate standard normal CDF Φ (Abramowitz & Stegun 7.1.26 via erf),
+/// used to turn RTT jitter into a late-packet probability.
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    // Abramowitz & Stegun formula 7.1.26, |error| ≤ 1.5e-7.
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    fn unit_cdf() -> Cdf {
+        Cdf::from_points(vec![(0.0, 0.0), (1.0, 1.0)])
+    }
+
+    #[test]
+    fn eval_interpolates_linearly() {
+        let cdf = unit_cdf();
+        assert_eq!(cdf.eval(-1.0), 0.0);
+        assert_eq!(cdf.eval(0.25), 0.25);
+        assert_eq!(cdf.eval(2.0), 1.0);
+    }
+
+    #[test]
+    fn quantile_is_inverse_of_eval() {
+        let cdf = Cdf::from_points(vec![(0.0, 0.0), (0.1, 0.5), (1.0, 0.9), (2.0, 1.0)]);
+        for p in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            let x = cdf.quantile(p);
+            assert!((cdf.eval(x) - p).abs() < 1e-9, "p={p} x={x}");
+        }
+    }
+
+    #[test]
+    fn samples_follow_the_distribution() {
+        let cdf = Cdf::from_points(vec![(0.0, 0.0), (0.1, 0.8), (1.0, 1.0)]);
+        let mut rng = seeded(1);
+        let n = 20_000;
+        let below = (0..n).filter(|_| cdf.sample(&mut rng) <= 0.1).count();
+        let frac = below as f64 / n as f64;
+        assert!((frac - 0.8).abs() < 0.02, "got {frac}");
+    }
+
+    #[test]
+    fn from_samples_recovers_quantiles() {
+        let samples: Vec<f64> = (1..=100).map(f64::from).collect();
+        let cdf = Cdf::from_samples(samples);
+        let median = cdf.quantile(0.5);
+        assert!((49.0..=52.0).contains(&median), "median {median}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two knots")]
+    fn rejects_single_knot() {
+        let _ = Cdf::from_points(vec![(0.0, 0.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nondecreasing")]
+    fn rejects_decreasing_probabilities() {
+        let _ = Cdf::from_points(vec![(0.0, 0.0), (1.0, 0.7), (2.0, 0.5), (3.0, 1.0)]);
+    }
+
+    #[test]
+    fn ci95_matches_hand_computation() {
+        let xs = [0.1, 0.2, 0.3, 0.4];
+        let got = mean_plus_ci95(&xs).unwrap();
+        // mean 0.25, s = 0.1291, 1.96·s/2 = 0.1265
+        assert!((got - 0.3765).abs() < 1e-3, "got {got}");
+        assert_eq!(mean_plus_ci95(&[]), None);
+        assert_eq!(mean_plus_ci95(&[0.5]), Some(0.5));
+    }
+
+    #[test]
+    fn normal_cdf_sanity() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-6);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn series_spans_the_support() {
+        let cdf = unit_cdf();
+        let s = cdf.series(10);
+        assert_eq!(s.len(), 11);
+        assert_eq!(s[0], (0.0, 0.0));
+        assert_eq!(s[10], (1.0, 1.0));
+    }
+}

@@ -1,0 +1,74 @@
+//! Ablation: why CAAI needs *both* emulated network environments.
+//!
+//! §IV-B argues neither environment alone distinguishes all 14 algorithms
+//! (RENO = VEGAS in A; RENO ≈ VENO in B) — only the pair does. This study
+//! quantifies the claim: 10-fold CV accuracy of forests trained on the
+//! environment-A features alone, the environment-B features alone, and
+//! the full 7-element vector.
+
+use caai_core::training::build_training_set;
+use caai_ml::cross_validation::cross_validate;
+use caai_ml::{Dataset, RandomForest, RandomForestConfig};
+use caai_netem::rng::seeded;
+use caai_netem::ConditionDb;
+use caai_repro::plot::table;
+use caai_repro::scale_from_args;
+
+/// Projects a dataset onto a subset of feature columns.
+fn project(data: &Dataset, columns: &[usize]) -> Dataset {
+    let mut out = Dataset::new(data.label_names().to_vec(), columns.len());
+    for s in data.samples() {
+        out.push(columns.iter().map(|&c| s.features[c]).collect(), s.label);
+    }
+    out
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let mut rng = seeded(scale.seed());
+    let db = ConditionDb::paper_2011();
+    let data = build_training_set(&scale.training(), &db, &mut rng);
+    eprintln!("training set: {} vectors", data.len());
+
+    // Feature layout: [β^A, G3^A, G6^A, β^B, G3^B, G6^B, I(w^B ≥ 64)].
+    let variants: [(&str, Vec<usize>); 3] = [
+        ("environment A only (β^A, G3^A, G6^A)", vec![0, 1, 2]),
+        ("environment B only (β^B, G3^B, G6^B, reach64)", vec![3, 4, 5, 6]),
+        ("both environments (full 7-element vector)", vec![0, 1, 2, 3, 4, 5, 6]),
+    ];
+
+    println!("== Ablation: environment pair vs single environments ==\n");
+    let mut rows = Vec::new();
+    for (name, cols) in &variants {
+        let projected = project(&data, cols);
+        let mtry = cols.len().min(4);
+        let report = cross_validate(
+            &projected,
+            10,
+            || RandomForest::new(RandomForestConfig { n_trees: 80, mtry }),
+            &mut rng,
+        );
+        // Per-class worst-case recall shows *which* algorithms collapse.
+        let recalls = report.confusion.per_class_recall();
+        let (worst_idx, worst) = recalls
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| report.confusion.row_total(*i) > 0)
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite recall"))
+            .map(|(i, &r)| (i, r))
+            .unwrap_or((0, 1.0));
+        rows.push(vec![
+            (*name).to_owned(),
+            format!("{:.2}", 100.0 * report.accuracy()),
+            format!("{} ({:.0}%)", projected.label_name(worst_idx), 100.0 * worst),
+        ]);
+        eprintln!("{name} done");
+    }
+
+    let header =
+        vec!["feature set".to_owned(), "CV accuracy %".to_owned(), "worst-class recall".to_owned()];
+    println!("{}", table(&header, &rows));
+    println!("\npaper claim (§IV-B): \"network environment A or B alone is insufficient to");
+    println!("distinguish among 14 TCP algorithms ... Both A and B together ... can clearly");
+    println!("distinguish among all 14 TCP algorithms.\" Expect the pair to dominate.");
+}

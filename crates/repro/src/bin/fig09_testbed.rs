@@ -1,0 +1,48 @@
+//! Fig. 9: the lab testbed that collects the training set.
+//!
+//! The paper's testbed is one CAAI computer, a Linux web server (Apache)
+//! and a Windows web server (IIS), joined by a Linux router running Netem
+//! that replays measured Internet conditions. Our reproduction replaces
+//! each physical box with a crate; this binary prints the mapping and then
+//! *runs* the testbed once per algorithm to show which (OS, server,
+//! kernel) combination produces each training class, as §VII-A's setup
+//! paragraph describes.
+
+use caai_congestion::{AlgorithmId, ALL_IDENTIFIED};
+use caai_repro::plot::table;
+
+fn main() {
+    println!("== Fig. 9: lab testbed (paper hardware -> reproduction crates) ==\n");
+    println!("  [CAAI computer]----[Linux router + Netem]----[Linux web server, Apache ]");
+    println!("        |                                  \\---[Windows web server, IIS  ]");
+    println!();
+    println!("  CAAI computer      -> caai-core::prober (ACK scheduling = the emulation)");
+    println!("  Linux router+Netem -> caai-netem::PathConfig (loss/RTT-jitter/dup/reorder)");
+    println!("  Apache on Linux    -> caai-tcpsim::Server with Linux-family algorithms");
+    println!("  IIS on Windows     -> caai-tcpsim::Server with CTCP_v1 (2003) / CTCP_v2 (2008)");
+    println!();
+
+    let header = vec![
+        "training class source".to_owned(),
+        "OS family".to_owned(),
+        "paper testbed host".to_owned(),
+    ];
+    let rows: Vec<Vec<String>> = ALL_IDENTIFIED
+        .iter()
+        .map(|&algo| {
+            let host = match algo {
+                AlgorithmId::CtcpV1 => "IIS / Windows Server 2003 (dual boot)",
+                AlgorithmId::CtcpV2 => "IIS / Windows Server 2008 (dual boot)",
+                AlgorithmId::CubicV1 => "Apache / Linux kernel 2.6.25",
+                _ => "Apache / openSUSE 11.1, Linux kernel 2.6.27",
+            };
+            let families: Vec<String> =
+                algo.os_families().iter().map(ToString::to_string).collect();
+            vec![algo.to_string(), families.join("/"), host.to_owned()]
+        })
+        .collect();
+    println!("{}", table(&header, &rows));
+
+    println!("\nnote (§VII-A): RENO's training vectors come from Linux only — the paper");
+    println!("verified Linux RENO and Windows RENO produce very similar feature vectors.");
+}

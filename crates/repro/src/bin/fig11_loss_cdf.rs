@@ -1,0 +1,22 @@
+//! Fig. 11: CDF of the measured packet-loss rates of the network condition
+//! database (§VII-A).
+
+use caai_netem::rng::seeded;
+use caai_netem::{Cdf, ConditionDb};
+use caai_repro::plot::{ascii_chart, cdf_rows};
+
+fn main() {
+    let db = ConditionDb::paper_2011();
+    let mut rng = seeded(11);
+    let samples: Vec<f64> = (0..5000).map(|_| db.sample(&mut rng).loss_rate).collect();
+    let empirical = Cdf::from_samples(samples);
+
+    println!("== Fig. 11: CDF of the measured packet-loss rates ==\n");
+    let series: Vec<f64> = empirical.series(60).into_iter().map(|(_, p)| p).collect();
+    println!("{}", ascii_chart(&[("CDF(loss)", series)], 12));
+    println!("{}", cdf_rows(&empirical.series(14), "loss rate"));
+    println!(
+        "ACK loss drawn from this distribution is what the boundary-RTT \
+         detector's equation (1) must absorb (§V-A)."
+    );
+}

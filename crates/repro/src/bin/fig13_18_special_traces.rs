@@ -1,0 +1,69 @@
+//! Figs. 13–18: the invalid and special-case traces of §VII-B, regenerated
+//! from servers with the corresponding quirks.
+
+use caai_core::prober::{Prober, ProberConfig};
+use caai_core::server_under_test::ServerUnderTest;
+use caai_core::special::detect;
+use caai_core::trace::InvalidReason;
+use caai_congestion::AlgorithmId;
+use caai_netem::rng::seeded;
+use caai_netem::{EnvironmentId, PathConfig};
+use caai_repro::plot::ascii_chart;
+use caai_tcpsim::{SenderQuirk, ServerConfig};
+
+fn probe(quirk: SenderQuirk, wmax: u32) -> caai_core::trace::WindowTrace {
+    let cfg = ServerConfig::ideal().with_quirk(quirk);
+    let server = ServerUnderTest::ideal_with_config(AlgorithmId::Reno, cfg);
+    let prober = Prober::new(ProberConfig::fixed_wmax(wmax));
+    let mut rng = seeded(13);
+    let (t, _) =
+        prober.gather_trace(&server, EnvironmentId::A, wmax, 0.0, &PathConfig::clean(), &mut rng);
+    t
+}
+
+fn chart(t: &caai_core::trace::WindowTrace) -> String {
+    let mut xs: Vec<f64> = t.pre.iter().map(|&w| f64::from(w)).collect();
+    if !t.post.is_empty() {
+        xs.push(0.0);
+        xs.extend(t.post.iter().map(|&w| f64::from(w)));
+    }
+    ascii_chart(&[("window", xs)], 10)
+}
+
+fn main() {
+    println!("== Figs. 13-18: invalid and special-case traces (§VII-B) ==\n");
+
+    println!("Fig. 13: invalid trace without any timeout (window ceiling below w_max)");
+    let t = probe(SenderQuirk::BoundedBuffer { clamp: 200 }, 512);
+    assert_eq!(t.invalid, Some(InvalidReason::NeverExceededThreshold));
+    println!("{}", chart(&t));
+
+    println!("Fig. 14: valid trace, \"Remaining at 1 Packet\"");
+    let t = probe(SenderQuirk::RemainAtOne, 128);
+    assert_eq!(detect(&t), Some(caai_core::SpecialCase::RemainingAtOnePacket));
+    println!("{}", chart(&t));
+
+    println!("Fig. 15: valid trace, \"Nonincreasing Window\"");
+    let t = probe(SenderQuirk::NonIncreasing, 128);
+    assert_eq!(detect(&t), Some(caai_core::SpecialCase::NonincreasingWindow));
+    println!("{}", chart(&t));
+
+    println!("Fig. 16: valid trace, \"Approaching w^B\"");
+    let t = probe(SenderQuirk::ApproachPreTimeoutMax, 128);
+    assert_eq!(detect(&t), Some(caai_core::SpecialCase::ApproachingWmax));
+    println!("{}", chart(&t));
+
+    println!("Fig. 17: valid trace, \"Bounded Window\"");
+    let t = probe(SenderQuirk::BufferBoundedRecovery { percent_of_wmax: 125 }, 128);
+    assert_eq!(detect(&t), Some(caai_core::SpecialCase::BoundedWindow));
+    println!("{}", chart(&t));
+
+    println!("Fig. 18: valid trace, \"Unsure TCP\" (noisy path, split forest votes)");
+    let server = ServerUnderTest::ideal(AlgorithmId::Htcp);
+    let prober = Prober::new(ProberConfig::fixed_wmax(128));
+    let mut rng = seeded(18);
+    let path = PathConfig { data_loss: 0.12, ack_loss: 0.12, data_dup: 0.01, late_prob: 0.1 };
+    let (t, _) = prober.gather_trace(&server, EnvironmentId::A, 128, 0.0, &path, &mut rng);
+    println!("valid: {} (heavy loss makes every round ragged)", t.is_valid());
+    println!("{}", chart(&t));
+}

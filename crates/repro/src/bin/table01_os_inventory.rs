@@ -1,0 +1,29 @@
+//! Table I: TCP algorithms available in major operating system families.
+
+use caai_congestion::registry::os_inventory;
+use caai_repro::plot::table;
+
+fn main() {
+    println!("== Table I: TCP algorithms available in major OS families ==\n");
+    let rows: Vec<Vec<String>> = os_inventory()
+        .into_iter()
+        .map(|row| {
+            vec![
+                row.family.to_string(),
+                row.defaults.iter().map(|a| a.name()).collect::<Vec<_>>().join(", "),
+                row.available.iter().map(|a| a.name()).collect::<Vec<_>>().join(", "),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &["family".into(), "defaults (across releases)".into(), "available".into()],
+            &rows
+        )
+    );
+    println!(
+        "note: HYBLA and LP ship in Linux but are excluded from identification \
+         (satellite links / background transfer, §III-A)."
+    );
+}

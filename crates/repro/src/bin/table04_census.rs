@@ -1,0 +1,119 @@
+//! Table IV: identification results of the web-server census (§VII-B).
+//!
+//! Trains the classifier, generates the synthetic population, runs the
+//! full CAAI protocol against every server, and prints the Table IV
+//! structure: per-`w_max` columns, special-case rows, "Unsure TCP", the
+//! headline family shares — plus ground-truth accuracy, which the paper
+//! could not measure on the real Internet.
+
+use caai_core::census::Census;
+use caai_core::classes::ClassLabel;
+use caai_core::classify::CaaiClassifier;
+use caai_core::prober::ProberConfig;
+use caai_core::special::SpecialCase;
+use caai_core::training::build_training_set;
+use caai_netem::rng::seeded;
+use caai_netem::ConditionDb;
+use caai_repro::plot::table;
+use caai_repro::scale_from_args;
+
+fn main() {
+    let scale = scale_from_args();
+    let mut rng = seeded(scale.seed());
+    let db = ConditionDb::paper_2011();
+
+    eprintln!("training classifier ...");
+    let data = build_training_set(&scale.training(), &db, &mut rng);
+    let classifier = CaaiClassifier::train(&data, &mut rng);
+
+    eprintln!("generating population ...");
+    let servers = scale.population().generate(&mut rng);
+    eprintln!("running census over {} servers ...", servers.len());
+    let census = Census::new(classifier, db, ProberConfig::default());
+    let report = census.run(&servers, scale.seed() ^ 0xC3A5, scale.workers());
+
+    let valid = report.valid_total();
+    let invalid: usize = report.invalid.values().sum();
+    println!("== Table IV: identification results of web servers ==\n");
+    println!("servers probed: {}", report.total);
+    println!(
+        "valid traces:   {} ({:.1}%)   invalid: {} ({:.1}%)  [paper: 47% / 53%]",
+        valid,
+        100.0 * valid as f64 / report.total as f64,
+        invalid,
+        100.0 * invalid as f64 / report.total as f64
+    );
+    println!("invalid-trace reasons: {:?}\n", report.invalid);
+
+    // The Table IV body: rows = classes + special cases + unsure; columns =
+    // wmax rungs + overall; cells = percent of valid-trace servers.
+    let rungs: Vec<u32> = report.columns.keys().copied().rev().collect();
+    let header: Vec<String> = std::iter::once("row (% of valid)".to_owned())
+        .chain(rungs.iter().map(|w| format!("wmax={w}")))
+        .chain(std::iter::once("overall".to_owned()))
+        .collect();
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let pct = |n: usize| format!("{:.2}", 100.0 * n as f64 / valid.max(1) as f64);
+
+    // Share of valid servers per rung (the paper's 63.84/14.02/14.24/7.92).
+    let mut rung_row = vec!["(servers at this rung)".to_owned()];
+    for w in &rungs {
+        rung_row.push(pct(report.columns[w].total()));
+    }
+    rung_row.push("100.00".to_owned());
+    rows.push(rung_row);
+
+    for class in ClassLabel::ALL {
+        let mut row = vec![class.name().to_owned()];
+        let mut total = 0usize;
+        for w in &rungs {
+            let n = report.columns[w].identified.get(class.name()).copied().unwrap_or(0);
+            total += n;
+            row.push(pct(n));
+        }
+        row.push(pct(total));
+        rows.push(row);
+    }
+    for case in SpecialCase::ALL {
+        let mut row = vec![case.name().to_owned()];
+        let mut total = 0usize;
+        for w in &rungs {
+            let n = report.columns[w].special.get(case.name()).copied().unwrap_or(0);
+            total += n;
+            row.push(pct(n));
+        }
+        row.push(pct(total));
+        rows.push(row);
+    }
+    let mut unsure_row = vec!["Unsure TCP".to_owned()];
+    let mut unsure_total = 0usize;
+    for w in &rungs {
+        unsure_total += report.columns[w].unsure;
+        unsure_row.push(pct(report.columns[w].unsure));
+    }
+    unsure_row.push(pct(unsure_total));
+    rows.push(unsure_row);
+
+    println!("{}", table(&header, &rows));
+
+    println!("headline shares (percent of valid-trace servers):");
+    println!(
+        "  BIC or CUBIC : {:>6.2}   [paper: 46.92%]",
+        report.family_percent("BIC/CUBIC")
+    );
+    println!("  CTCP (big)   : {:>6.2}   [paper: v1 >> v2]", report.family_percent("CTCP"));
+    println!(
+        "  RENO         : {:>6.2} .. {:>5.2}  (RENO-big .. +RC-small) [paper: 3.31%..14.47%]",
+        report.family_percent("RENO"),
+        report.family_percent("RENO") + report.family_percent("RC-small")
+    );
+    println!("  HTCP         : {:>6.2}   [paper: 4.89%]", report.identified_percent(ClassLabel::Htcp));
+    println!("  Unsure TCP   : {:>6.2}   [paper: 4.32%]", report.unsure_percent());
+    println!();
+    println!(
+        "ground-truth identification accuracy over confident verdicts: {:.2}% \
+         (unavailable to the paper)",
+        100.0 * report.ground_truth_accuracy()
+    );
+}

@@ -1,0 +1,41 @@
+//! # caai-repro
+//!
+//! Regeneration harness: one binary per table/figure of the paper's
+//! evaluation (see `DESIGN.md` for the experiment index and
+//! `EXPERIMENTS.md` for paper-vs-measured results). Binaries print the
+//! same rows/series the paper reports; this library holds the shared
+//! plotting/reporting helpers and canonical experiment parameters.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod params;
+pub mod plot;
+
+pub use params::ExperimentScale;
+
+/// Reads the experiment scale from the command line (`--scale quick|paper`)
+/// or the `CAAI_SCALE` environment variable; defaults to `quick`.
+pub fn scale_from_args() -> ExperimentScale {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--scale" {
+            if let Some(v) = args.next() {
+                return parse_scale(&v);
+            }
+        } else if let Some(v) = a.strip_prefix("--scale=") {
+            return parse_scale(v);
+        }
+    }
+    match std::env::var("CAAI_SCALE") {
+        Ok(v) => parse_scale(&v),
+        Err(_) => ExperimentScale::Quick,
+    }
+}
+
+fn parse_scale(v: &str) -> ExperimentScale {
+    match v {
+        "paper" | "full" => ExperimentScale::Paper,
+        _ => ExperimentScale::Quick,
+    }
+}

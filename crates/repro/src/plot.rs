@@ -1,0 +1,117 @@
+//! Minimal ASCII rendering for figure regeneration: line plots of window
+//! traces and CDF curves, and aligned text tables.
+
+/// Renders one or more `(label, series)` pairs as an ASCII line chart of
+/// `height` rows. X is the sample index; Y is scaled to the global range.
+pub fn ascii_chart(series: &[(&str, Vec<f64>)], height: usize) -> String {
+    let height = height.max(2);
+    let max_len = series.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
+    if max_len == 0 {
+        return String::from("(empty series)\n");
+    }
+    let y_max = series
+        .iter()
+        .flat_map(|(_, s)| s.iter().copied())
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(1e-9);
+    let y_min = series.iter().flat_map(|(_, s)| s.iter().copied()).fold(f64::INFINITY, f64::min);
+    let span = (y_max - y_min).max(1e-9);
+
+    let marks = ['*', '+', 'o', 'x', '#', '@'];
+    let mut grid = vec![vec![' '; max_len]; height];
+    for (si, (_, s)) in series.iter().enumerate() {
+        let mark = marks[si % marks.len()];
+        for (x, &v) in s.iter().enumerate() {
+            let row = ((v - y_min) / span * (height - 1) as f64).round() as usize;
+            let row = height - 1 - row.min(height - 1);
+            grid[row][x] = mark;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{:>10.1} ┤", y_max));
+    out.push_str(&grid[0].iter().collect::<String>());
+    out.push('\n');
+    for row in grid.iter().take(height - 1).skip(1) {
+        out.push_str("           │");
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>10.1} ┼", y_min));
+    out.push_str(&grid[height - 1].iter().collect::<String>());
+    out.push('\n');
+    for (si, (label, _)) in series.iter().enumerate() {
+        out.push_str(&format!("    {} {}\n", marks[si % marks.len()], label));
+    }
+    out
+}
+
+/// Renders a CDF as `(x, F(x))` rows.
+pub fn cdf_rows(points: &[(f64, f64)], x_label: &str) -> String {
+    let mut out = format!("{:>16}  {:>8}\n", x_label, "CDF");
+    for (x, p) in points {
+        out.push_str(&format!("{:>16.4}  {:>8.3}\n", x, p));
+    }
+    out
+}
+
+/// Renders an aligned table from a header and rows of cells.
+pub fn table(header: &[String], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            line.push_str(&format!("{:>w$}  ", cell, w = widths.get(i).copied().unwrap_or(8)));
+        }
+        line.trim_end().to_owned()
+    };
+    out.push_str(&render(header, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * cols));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_renders_all_series() {
+        let s = vec![("a", vec![1.0, 2.0, 3.0]), ("b", vec![3.0, 2.0, 1.0])];
+        let out = ascii_chart(&s, 5);
+        assert!(out.contains('*') && out.contains('+'));
+        assert!(out.contains("a") && out.contains("b"));
+    }
+
+    #[test]
+    fn chart_handles_empty() {
+        assert!(ascii_chart(&[], 5).contains("empty"));
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let out = table(
+            &["name".into(), "value".into()],
+            &[vec!["x".into(), "1".into()], vec!["longer".into(), "22".into()]],
+        );
+        assert!(out.contains("name"));
+        assert!(out.lines().count() >= 4);
+    }
+
+    #[test]
+    fn cdf_rows_prints_points() {
+        let out = cdf_rows(&[(0.0, 0.0), (1.0, 1.0)], "x");
+        assert!(out.contains("1.000"));
+    }
+}

@@ -1,0 +1,82 @@
+//! Slow-start-threshold caching across connections (TCP metrics caching).
+//!
+//! Some stacks seed a new connection's `ssthresh` from the previous
+//! connection to the same peer. For CAAI this is hostile: after probing
+//! environment A (which ends in a timeout with a small threshold), an
+//! immediately following connection for environment B would leave slow
+//! start almost instantly and take far too long to reach `w_max`. CAAI's
+//! counter-measure is to *wait* (≈10 minutes) between the environments so
+//! the cached entry expires (§IV-C).
+
+use serde::{Deserialize, Serialize};
+
+/// Default metric lifetime in seconds (the paper waits "some time (like
+/// 10 min)", so the cache must expire within that).
+pub const DEFAULT_TTL: f64 = 600.0;
+
+/// A per-client cached slow-start threshold with an expiry time.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SsthreshCache {
+    entry: Option<(u32, f64)>,
+    /// Lifetime of an entry in seconds.
+    pub ttl: f64,
+}
+
+impl SsthreshCache {
+    /// An empty cache with the default TTL.
+    pub fn new() -> Self {
+        SsthreshCache { entry: None, ttl: DEFAULT_TTL }
+    }
+
+    /// Stores the threshold observed when a connection closed at `now`.
+    pub fn store(&mut self, ssthresh: u32, now: f64) {
+        self.entry = Some((ssthresh, now));
+    }
+
+    /// Returns the cached threshold if a fresh entry exists at `now`.
+    pub fn lookup(&self, now: f64) -> Option<u32> {
+        match self.entry {
+            Some((v, t)) if now - t <= self.ttl => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Drops any entry.
+    pub fn clear(&mut self) {
+        self.entry = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_entry_is_returned() {
+        let mut c = SsthreshCache::new();
+        c.store(128, 100.0);
+        assert_eq!(c.lookup(100.0), Some(128));
+        assert_eq!(c.lookup(100.0 + DEFAULT_TTL), Some(128));
+    }
+
+    #[test]
+    fn entry_expires_after_ttl() {
+        let mut c = SsthreshCache::new();
+        c.store(128, 100.0);
+        assert_eq!(c.lookup(100.0 + DEFAULT_TTL + 1.0), None);
+    }
+
+    #[test]
+    fn empty_cache_misses() {
+        let c = SsthreshCache::new();
+        assert_eq!(c.lookup(0.0), None);
+    }
+
+    #[test]
+    fn clear_drops_entry() {
+        let mut c = SsthreshCache::new();
+        c.store(64, 0.0);
+        c.clear();
+        assert_eq!(c.lookup(0.0), None);
+    }
+}

@@ -1,0 +1,222 @@
+//! Server-side TCP configuration: the knobs that vary across the real web
+//! servers in the paper's census.
+
+use serde::{Deserialize, Serialize};
+
+/// Behavioural quirks observed in the paper's Internet measurements
+//  (§VII-B, Figs. 13–17) that produce special-case traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum SenderQuirk {
+    /// A normal, well-behaved sender.
+    #[default]
+    None,
+    /// The window stays at one packet after the timeout for a very long
+    /// time ("Remaining at 1 Packet", Fig. 14).
+    RemainAtOne,
+    /// The window never grows once congestion avoidance starts
+    /// ("Nonincreasing Window", Fig. 15).
+    NonIncreasing,
+    /// The window saturates asymptotically toward the pre-timeout maximum
+    /// ("Approaching w^B", Fig. 16) — e.g. a rate-limited sender. The
+    /// post-timeout slow start exits low (≈ 0.3·w^B) and the window then
+    /// closes 30% of the remaining gap to w^B per round, reproducing the
+    /// figure's smooth saturation.
+    ApproachPreTimeoutMax,
+    /// The window is clamped by a send buffer / service-load ceiling for
+    /// the whole connection. Used both for benign bandwidth-delay-product
+    /// ceilings (every real server has one) and for ceilings small enough
+    /// to cause invalid traces.
+    BoundedBuffer {
+        /// Clamp in packets.
+        clamp: u32,
+    },
+    /// After the timeout the window climbs past w^B and pins at a hard
+    /// ceiling ("Bounded Window", Fig. 17 — "bounded by some factors,
+    /// such as the TCP send buffer size"). The paper infers the mechanism
+    /// from the shape; this quirk reproduces the shape directly: recovery
+    /// slow start runs to `percent_of_wmax`·w^B/100 and freezes there.
+    BufferBoundedRecovery {
+        /// Plateau level as a percentage of w^B (Fig. 17 shows ≈ 110–140).
+        percent_of_wmax: u32,
+    },
+    /// The server never responds to the emulated timeout (one of the
+    /// §VII-B invalid-trace causes).
+    IgnoresTimeout,
+}
+
+/// The slow-start flavour a server stack runs (Fig. 1's slow-start
+/// component).
+///
+/// The paper does not identify slow-start algorithms ("very few slow start
+/// algorithms have been implemented in major operating systems", §II) and
+/// relies on CAAI being insensitive to them; these variants exist so that
+/// insensitivity is *tested* rather than assumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum SlowStartVariant {
+    /// Standard slow start (RFC 2581): double per RTT.
+    #[default]
+    Standard,
+    /// Limited slow start (RFC 3742): past `max_ssthresh`, grow by at most
+    /// `max_ssthresh / 2` packets per RTT.
+    Limited {
+        /// The RFC 3742 `max_ssthresh` knob, packets.
+        max_ssthresh: u32,
+    },
+    /// Hybrid slow start (HyStart, Ha & Rhee 2008) as shipped with Linux
+    /// CUBIC: exit slow start early when per-round RTT samples rise by
+    /// more than an η threshold above the connection minimum. §V-A argues
+    /// it "behaves the same as the standard slow start in our emulated
+    /// network environments" *after the timeout* — the RTT steps of
+    /// environment B happen outside the post-timeout slow start.
+    Hybrid,
+}
+
+/// Configuration of a simulated web-server TCP sender.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerConfig {
+    /// Initial congestion window in packets (1, 2, 3, 4 or 10 in deployed
+    /// stacks; §V-A shows CAAI is insensitive to it).
+    pub initial_window: u32,
+    /// Maximum segment size granted in the handshake, bytes.
+    pub mss: u32,
+    /// Retransmission-timeout duration in seconds (deployed initial RTOs
+    /// fall between 2.5 s and 6 s, §IV-B).
+    pub rto: f64,
+    /// Whether the stack runs F-RTO spurious-timeout detection (RFC 5682).
+    pub frto: bool,
+    /// Whether the stack caches the slow-start threshold across
+    /// connections to the same client (TCP metrics caching).
+    pub ssthresh_caching: bool,
+    /// Linux-style burstiness control: moderate the window to
+    /// `in_flight + 3` on duplicate-ACK recovery. Irrelevant for timeouts —
+    /// which is exactly why CAAI emulates timeouts (§IV-B).
+    pub burstiness_control: bool,
+    /// Behavioural quirk, if any.
+    pub quirk: SenderQuirk,
+    /// Slow-start flavour (standard / limited / hybrid).
+    pub slow_start: SlowStartVariant,
+}
+
+impl ServerConfig {
+    /// A well-behaved Linux-like server: IW 2, MSS as granted, RTO 3 s,
+    /// no F-RTO, no caching.
+    pub fn ideal() -> Self {
+        ServerConfig {
+            initial_window: 2,
+            mss: 1460,
+            rto: 3.0,
+            frto: false,
+            ssthresh_caching: false,
+            burstiness_control: true,
+            quirk: SenderQuirk::None,
+            slow_start: SlowStartVariant::Standard,
+        }
+    }
+
+    /// Sets the MSS (builder-style).
+    pub fn with_mss(mut self, mss: u32) -> Self {
+        assert!(mss > 0, "MSS must be positive");
+        self.mss = mss;
+        self
+    }
+
+    /// Sets the initial window (builder-style).
+    pub fn with_initial_window(mut self, iw: u32) -> Self {
+        assert!(iw >= 1, "initial window must be at least 1 packet");
+        self.initial_window = iw;
+        self
+    }
+
+    /// Enables F-RTO (builder-style).
+    pub fn with_frto(mut self, on: bool) -> Self {
+        self.frto = on;
+        self
+    }
+
+    /// Enables ssthresh caching (builder-style).
+    pub fn with_ssthresh_caching(mut self, on: bool) -> Self {
+        self.ssthresh_caching = on;
+        self
+    }
+
+    /// Sets the quirk (builder-style).
+    pub fn with_quirk(mut self, quirk: SenderQuirk) -> Self {
+        self.quirk = quirk;
+        self
+    }
+
+    /// Sets the RTO (builder-style).
+    pub fn with_rto(mut self, rto: f64) -> Self {
+        assert!(rto > 0.0, "RTO must be positive");
+        self.rto = rto;
+        self
+    }
+
+    /// Sets the slow-start variant (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`SlowStartVariant::Limited`] `max_ssthresh` is zero
+    /// (use [`SlowStartVariant::Standard`] to disable the limit).
+    pub fn with_slow_start(mut self, variant: SlowStartVariant) -> Self {
+        if let SlowStartVariant::Limited { max_ssthresh } = variant {
+            assert!(max_ssthresh > 0, "limited slow start needs a positive max_ssthresh");
+        }
+        self.slow_start = variant;
+        self
+    }
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let c = ServerConfig::ideal()
+            .with_mss(536)
+            .with_initial_window(4)
+            .with_frto(true)
+            .with_ssthresh_caching(true)
+            .with_rto(2.5)
+            .with_quirk(SenderQuirk::RemainAtOne)
+            .with_slow_start(SlowStartVariant::Hybrid);
+        assert_eq!(c.mss, 536);
+        assert_eq!(c.initial_window, 4);
+        assert!(c.frto && c.ssthresh_caching);
+        assert_eq!(c.rto, 2.5);
+        assert_eq!(c.quirk, SenderQuirk::RemainAtOne);
+        assert_eq!(c.slow_start, SlowStartVariant::Hybrid);
+    }
+
+    #[test]
+    fn default_slow_start_is_standard() {
+        assert_eq!(ServerConfig::ideal().slow_start, SlowStartVariant::Standard);
+        assert_eq!(SlowStartVariant::default(), SlowStartVariant::Standard);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_ssthresh")]
+    fn zero_limited_knob_rejected() {
+        let _ = ServerConfig::ideal()
+            .with_slow_start(SlowStartVariant::Limited { max_ssthresh: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "MSS")]
+    fn zero_mss_rejected() {
+        let _ = ServerConfig::ideal().with_mss(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "initial window")]
+    fn zero_iw_rejected() {
+        let _ = ServerConfig::ideal().with_initial_window(0);
+    }
+}

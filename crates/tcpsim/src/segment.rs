@@ -1,0 +1,46 @@
+//! Wire units exchanged between the simulated server and the CAAI prober.
+//!
+//! Sequence numbers are counted in **packets** (MSS units), the same unit
+//! in which CAAI measures window sizes; `seq` is the 0-based index of the
+//! packet within the byte stream divided by the MSS.
+
+use serde::{Deserialize, Serialize};
+
+/// One TCP data segment (one MSS worth of payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Segment {
+    /// Packet-granularity sequence number (0-based).
+    pub seq: u64,
+    /// True when this segment is a retransmission.
+    pub retransmit: bool,
+}
+
+/// One cumulative acknowledgement from the prober.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AckPacket {
+    /// Next expected packet: acknowledges every `seq < cum_ack`.
+    pub cum_ack: u64,
+    /// RTT the server will measure from this ACK, in seconds (the emulated
+    /// round-trip: the prober controls it by deferring the ACK).
+    pub rtt: f64,
+}
+
+impl AckPacket {
+    /// A duplicate of a previous cumulative ACK (used by CAAI to defeat
+    /// F-RTO, §IV-C). Duplicate ACKs carry no new RTT sample.
+    pub fn duplicate(cum_ack: u64) -> Self {
+        AckPacket { cum_ack, rtt: 0.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_carries_no_rtt_sample() {
+        let a = AckPacket::duplicate(42);
+        assert_eq!(a.cum_ack, 42);
+        assert_eq!(a.rtt, 0.0);
+    }
+}

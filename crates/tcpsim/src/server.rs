@@ -1,0 +1,842 @@
+//! The simulated web-server TCP sender.
+//!
+//! The server is driven by the prober: the prober asks it to
+//! [`transmit`](TcpServer::transmit), delivers [`AckPacket`]s via
+//! [`on_ack`](TcpServer::on_ack), and fires the retransmission timeout by
+//! advancing time past [`rto_deadline`](TcpServer::rto_deadline) and
+//! calling [`fire_rto`](TcpServer::fire_rto). Sequence numbers are counted
+//! in packets.
+
+use caai_congestion::{Ack, AlgorithmId, CongestionControl, LossKind, Transport};
+
+use crate::cache::SsthreshCache;
+use crate::config::{SenderQuirk, ServerConfig, SlowStartVariant};
+use crate::segment::{AckPacket, Segment};
+
+/// F-RTO (RFC 5682) state: armed after an RTO, resolved by the next two
+/// ACKs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FrtoState {
+    /// F-RTO disabled or already resolved.
+    Inactive,
+    /// The RTO retransmission was sent; waiting for the first ACK.
+    Armed,
+    /// First ACK advanced the window; two *new* segments were allowed out.
+    Probing,
+}
+
+/// HyStart (hybrid slow start) round state, as kept by Linux CUBIC.
+///
+/// Only the *delay-increase* heuristic is modelled: the ACK-train
+/// heuristic compares sub-RTT ACK spacing, which a round-driven simulation
+/// cannot produce (all ACKs of an emulated round arrive together) — the
+/// same reason the paper's long emulated RTTs neutralize it (§V-A).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HystartRound {
+    /// `snd_nxt` at the start of the round; the round ends when `snd_una`
+    /// passes it.
+    end_seq: u64,
+    /// Minimum RTT sampled this round.
+    curr_rtt: f64,
+    /// Samples taken this round (HyStart looks at the first 8).
+    sample_cnt: u32,
+}
+
+/// HyStart only engages above this window (Linux `hystart_low_window`).
+const HYSTART_LOW_WINDOW: u32 = 16;
+/// RTT samples per round consulted by the delay heuristic.
+const HYSTART_MIN_SAMPLES: u32 = 8;
+/// Delay-threshold clamp bounds, seconds (Linux: 4–16 ms).
+const HYSTART_DELAY_MIN: f64 = 0.004;
+/// Upper clamp of the delay threshold, seconds.
+const HYSTART_DELAY_MAX: f64 = 0.016;
+
+/// The simulated web-server TCP sender.
+#[derive(Debug)]
+pub struct TcpServer {
+    tp: Transport,
+    cc: Box<dyn CongestionControl>,
+    config: ServerConfig,
+    /// Packets of *new* data still available to send (the page bytes the
+    /// HTTP layer will produce, in MSS units).
+    data_budget: u64,
+    /// Next packet to put on the wire; rewound to `snd_una` on RTO.
+    send_cursor: u64,
+    /// RTO deadline while unacknowledged data is outstanding.
+    rto_deadline: Option<f64>,
+    frto: FrtoState,
+    pre_rto_cwnd: u32,
+    pre_rto_ssthresh: u32,
+    dup_acks: u32,
+    timeouts: u32,
+    /// Snapshot of the window right before the last RTO (for quirks).
+    pre_timeout_window: u32,
+    /// Clamp installed by the NonIncreasing quirk at slow-start exit.
+    quirk_freeze: Option<u32>,
+    /// HyStart round state, present while the Hybrid variant is armed.
+    hystart: Option<HystartRound>,
+}
+
+impl TcpServer {
+    /// Establishes a connection: the server will serve `data_budget`
+    /// packets of new data using the given congestion avoidance algorithm.
+    ///
+    /// `cache` carries cross-connection TCP metrics (ssthresh caching); pass
+    /// a fresh cache for a first connection.
+    pub fn connect(
+        algorithm: AlgorithmId,
+        config: ServerConfig,
+        data_budget: u64,
+        cache: &SsthreshCache,
+        now: f64,
+    ) -> Self {
+        Self::with_controller(algorithm.build(), config, data_budget, cache, now)
+    }
+
+    /// Like [`connect`](Self::connect) but with an explicit controller
+    /// (used to inject custom algorithms in tests).
+    pub fn with_controller(
+        cc: Box<dyn CongestionControl>,
+        config: ServerConfig,
+        data_budget: u64,
+        cache: &SsthreshCache,
+        now: f64,
+    ) -> Self {
+        let mut tp = Transport::new(config.mss);
+        tp.cwnd = config.initial_window;
+        if let SlowStartVariant::Limited { max_ssthresh } = config.slow_start {
+            tp.max_ssthresh = max_ssthresh;
+        }
+        if config.ssthresh_caching {
+            if let Some(cached) = cache.lookup(now) {
+                tp.ssthresh = cached;
+            }
+        }
+        if let SenderQuirk::BoundedBuffer { clamp } = config.quirk {
+            tp.cwnd_clamp = clamp.max(2);
+        }
+        let mut server = TcpServer {
+            tp,
+            cc,
+            config,
+            data_budget,
+            send_cursor: 0,
+            rto_deadline: None,
+            frto: FrtoState::Inactive,
+            pre_rto_cwnd: 0,
+            pre_rto_ssthresh: 0,
+            dup_acks: 0,
+            timeouts: 0,
+            pre_timeout_window: 0,
+            quirk_freeze: None,
+            hystart: None,
+        };
+        if server.config.slow_start == SlowStartVariant::Hybrid {
+            server.hystart_reset();
+        }
+        server.cc.init(&mut server.tp);
+        server
+    }
+
+    /// The congestion window the sender currently operates with.
+    pub fn cwnd(&self) -> u32 {
+        self.tp.cwnd
+    }
+
+    /// The current slow start threshold.
+    pub fn ssthresh(&self) -> u32 {
+        self.tp.ssthresh
+    }
+
+    /// Highest cumulatively acknowledged packet.
+    pub fn snd_una(&self) -> u64 {
+        self.tp.snd_una
+    }
+
+    /// Next new packet the stream would produce.
+    pub fn snd_nxt(&self) -> u64 {
+        self.tp.snd_nxt
+    }
+
+    /// Packets of new data still available.
+    pub fn data_budget(&self) -> u64 {
+        self.data_budget
+    }
+
+    /// Number of RTOs experienced so far.
+    pub fn timeouts(&self) -> u32 {
+        self.timeouts
+    }
+
+    /// Name of the congestion avoidance algorithm in use.
+    pub fn algorithm_name(&self) -> &'static str {
+        self.cc.name()
+    }
+
+    /// The RTO deadline, if the timer is armed.
+    pub fn rto_deadline(&self) -> Option<f64> {
+        self.rto_deadline
+    }
+
+    /// True when every produced packet has been acknowledged and no new
+    /// data remains.
+    pub fn finished(&self) -> bool {
+        self.data_budget == 0 && self.tp.snd_una >= self.tp.snd_nxt
+    }
+
+    /// Effective window limit after applying quirks.
+    fn effective_cwnd(&self) -> u32 {
+        let mut w = self.tp.cwnd;
+        if let Some(freeze) = self.quirk_freeze {
+            w = w.min(freeze);
+        }
+        w.max(1)
+    }
+
+    /// Puts as many segments on the wire as the window and data allow.
+    ///
+    /// Retransmissions (cursor below `snd_nxt`) go out first, then new
+    /// data while the budget lasts. During the F-RTO probe only the
+    /// RFC-prescribed segments are released.
+    pub fn transmit(&mut self, now: f64) -> Vec<Segment> {
+        let mut out = Vec::new();
+        let window_end = self.tp.snd_una + u64::from(self.effective_cwnd());
+        let limit = match self.frto {
+            FrtoState::Armed => self.tp.snd_una + 1, // only the RTO retransmission
+            _ => window_end,
+        };
+        while self.send_cursor < limit {
+            if self.send_cursor < self.tp.snd_nxt {
+                out.push(Segment { seq: self.send_cursor, retransmit: true });
+                self.send_cursor += 1;
+            } else if self.data_budget > 0 {
+                out.push(Segment { seq: self.send_cursor, retransmit: false });
+                self.send_cursor += 1;
+                self.tp.snd_nxt = self.send_cursor;
+                self.data_budget -= 1;
+            } else {
+                break;
+            }
+        }
+        if !out.is_empty() && self.rto_deadline.is_none() {
+            self.rto_deadline = Some(now + self.config.rto);
+        }
+        out
+    }
+
+    /// Processes one cumulative ACK arriving at `now`.
+    pub fn on_ack(&mut self, now: f64, ack: AckPacket) {
+        if ack.cum_ack <= self.tp.snd_una {
+            self.handle_dup_ack(now);
+            return;
+        }
+        let acked = (ack.cum_ack - self.tp.snd_una) as u32;
+        self.tp.snd_una = ack.cum_ack;
+        self.dup_acks = 0;
+
+        // Restart the retransmission timer on progress.
+        self.rto_deadline = if self.tp.snd_una < self.tp.snd_nxt.max(self.send_cursor) {
+            Some(now + self.config.rto)
+        } else {
+            None
+        };
+
+        // F-RTO resolution (RFC 5682 basic algorithm).
+        match self.frto {
+            FrtoState::Armed => {
+                // First ACK advanced the window: probe with new data only.
+                self.frto = FrtoState::Probing;
+                // Window of two new segments, per the RFC.
+                self.tp.cwnd = self.tp.cwnd.max(2);
+                self.send_cursor = self.send_cursor.max(self.tp.snd_nxt);
+            }
+            FrtoState::Probing => {
+                // Second advancing ACK: the timeout was spurious. Restore
+                // the pre-RTO state (Eifel response) — no slow start.
+                self.frto = FrtoState::Inactive;
+                self.tp.cwnd = self.pre_rto_cwnd;
+                self.tp.ssthresh = self.pre_rto_ssthresh;
+            }
+            FrtoState::Inactive => {}
+        }
+
+        if ack.rtt > 0.0 {
+            self.tp.observe_rtt(ack.rtt);
+            self.hystart_sample(ack.rtt);
+        }
+        let cc_ack = Ack { now, acked, rtt: ack.rtt };
+        self.cc.pkts_acked(&mut self.tp, &cc_ack);
+        self.cc.cong_avoid(&mut self.tp, &cc_ack);
+        self.apply_quirks_after_growth();
+    }
+
+    /// Re-arms HyStart for a fresh slow start.
+    fn hystart_reset(&mut self) {
+        self.hystart = Some(HystartRound {
+            end_seq: self.tp.snd_nxt,
+            curr_rtt: f64::INFINITY,
+            sample_cnt: 0,
+        });
+    }
+
+    /// HyStart delay-increase detection (Linux CUBIC `hystart_update`):
+    /// when the minimum of the first 8 RTT samples of a slow-start round
+    /// exceeds the connection minimum by η = clamp(min_rtt/16, 4 ms,
+    /// 16 ms), slow start ends *now* by setting `ssthresh` to the current
+    /// window.
+    fn hystart_sample(&mut self, rtt: f64) {
+        let Some(round) = self.hystart.as_mut() else { return };
+        if !self.tp.in_slow_start() || self.tp.cwnd < HYSTART_LOW_WINDOW {
+            // Below the engagement window HyStart only tracks rounds.
+            if self.tp.snd_una >= round.end_seq {
+                round.end_seq = self.tp.snd_nxt;
+                round.curr_rtt = f64::INFINITY;
+                round.sample_cnt = 0;
+            }
+            return;
+        }
+        if self.tp.snd_una >= round.end_seq {
+            round.end_seq = self.tp.snd_nxt;
+            round.curr_rtt = f64::INFINITY;
+            round.sample_cnt = 0;
+        }
+        if round.sample_cnt < HYSTART_MIN_SAMPLES {
+            round.curr_rtt = round.curr_rtt.min(rtt);
+            round.sample_cnt += 1;
+            if round.sample_cnt == HYSTART_MIN_SAMPLES {
+                let eta =
+                    (self.tp.min_rtt / 16.0).clamp(HYSTART_DELAY_MIN, HYSTART_DELAY_MAX);
+                if round.curr_rtt >= self.tp.min_rtt + eta {
+                    self.tp.ssthresh = self.tp.cwnd;
+                }
+            }
+        }
+    }
+
+    fn handle_dup_ack(&mut self, now: f64) {
+        self.dup_acks += 1;
+        if self.frto != FrtoState::Inactive {
+            // A duplicate ACK during F-RTO means the timeout was genuine:
+            // fall back to conventional recovery (RFC 5682 step 2a). This
+            // is exactly the reaction CAAI's counter-measure provokes.
+            self.frto = FrtoState::Inactive;
+            self.tp.cwnd = 1;
+            self.send_cursor = self.tp.snd_una;
+            return;
+        }
+        if self.dup_acks == 3 {
+            self.fast_retransmit(now);
+        }
+    }
+
+    /// Triple-duplicate-ACK loss recovery. CAAI never triggers this on
+    /// purpose; it exists to demonstrate why (§IV-B): with burstiness
+    /// control the post-recovery window is moderated far below β·w.
+    fn fast_retransmit(&mut self, now: f64) {
+        self.tp.ssthresh = self.cc.ssthresh(&self.tp);
+        self.cc.on_loss(&mut self.tp, LossKind::FastRetransmit, now);
+        let mut cwnd = self.tp.ssthresh;
+        if self.config.burstiness_control {
+            // Linux window moderation: no burst larger than in-flight + 3.
+            let in_flight = (self.send_cursor - self.tp.snd_una) as u32;
+            cwnd = cwnd.min(in_flight + 3);
+        }
+        self.tp.cwnd = cwnd.max(1);
+        self.tp.cwnd_cnt = 0;
+        // Retransmit the presumed-lost head segment.
+        self.send_cursor = self.send_cursor.min(self.tp.snd_una);
+    }
+
+    /// Fires the retransmission timeout. Returns false when the server
+    /// ignores timeouts (the §VII-B "does not respond" quirk).
+    pub fn fire_rto(&mut self, now: f64) -> bool {
+        if self.config.quirk == SenderQuirk::IgnoresTimeout {
+            self.rto_deadline = Some(now + self.config.rto);
+            return false;
+        }
+        self.timeouts += 1;
+        self.pre_timeout_window = self.tp.cwnd;
+        self.pre_rto_cwnd = self.tp.cwnd;
+        self.pre_rto_ssthresh = self.tp.ssthresh;
+
+        // tcp_enter_loss: ssthresh from the CC module, then window to one
+        // packet and go-back-N from snd_una.
+        self.tp.ssthresh = self.cc.ssthresh(&self.tp);
+        self.cc.on_loss(&mut self.tp, LossKind::Timeout, now);
+        self.tp.cwnd = 1;
+        self.tp.cwnd_cnt = 0;
+        self.send_cursor = self.tp.snd_una;
+        self.rto_deadline = Some(now + self.config.rto);
+        self.dup_acks = 0;
+        self.frto = if self.config.frto { FrtoState::Armed } else { FrtoState::Inactive };
+        if self.config.slow_start == SlowStartVariant::Hybrid {
+            self.hystart_reset();
+        }
+        match self.config.quirk {
+            SenderQuirk::RemainAtOne => self.quirk_freeze = Some(1),
+            SenderQuirk::ApproachPreTimeoutMax => {
+                // Fig. 16: the recovery exits slow start low; the window
+                // then saturates toward w^B (see apply_quirks_after_growth).
+                self.tp.ssthresh = (self.pre_timeout_window * 3 / 10).max(2);
+            }
+            SenderQuirk::BufferBoundedRecovery { percent_of_wmax } => {
+                // Fig. 17: slow start runs past w^B up to the buffer bound
+                // and pins there.
+                let bound = (self.pre_timeout_window.saturating_mul(percent_of_wmax) / 100).max(2);
+                self.tp.ssthresh = bound;
+                self.quirk_freeze = Some(bound);
+            }
+            _ => {}
+        }
+        true
+    }
+
+    /// Reads the threshold this connection would deposit in the metrics
+    /// cache when it closes.
+    pub fn closing_ssthresh(&self) -> u32 {
+        self.tp.ssthresh
+    }
+
+    fn apply_quirks_after_growth(&mut self) {
+        match self.config.quirk {
+            SenderQuirk::NonIncreasing => {
+                // Freeze the window at the level where the first
+                // post-timeout slow start ends.
+                if self.timeouts > 0 && self.quirk_freeze.is_none() && !self.tp.in_slow_start() {
+                    self.quirk_freeze = Some(self.tp.cwnd);
+                }
+            }
+            SenderQuirk::ApproachPreTimeoutMax => {
+                // Saturating approach: never close more than 30% of the
+                // remaining gap to the pre-timeout maximum per ACK burst.
+                if self.timeouts > 0 && !self.tp.in_slow_start() && self.pre_timeout_window > 0 {
+                    let limit = self.pre_timeout_window;
+                    if self.tp.cwnd > limit {
+                        self.tp.cwnd = limit;
+                    } else {
+                        let gap = limit - self.tp.cwnd;
+                        let allowed = self.tp.cwnd + (gap * 3 / 10).max(1).min(gap.max(1));
+                        self.tp.cwnd = self.tp.cwnd.min(allowed);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ideal_server(algo: AlgorithmId, budget: u64) -> TcpServer {
+        TcpServer::connect(algo, ServerConfig::ideal(), budget, &SsthreshCache::new(), 0.0)
+    }
+
+    /// Deliver one round of per-packet cumulative ACKs for `segs`.
+    fn ack_all(server: &mut TcpServer, segs: &[Segment], now: f64, rtt: f64) {
+        let mut cum = server.snd_una();
+        for s in segs {
+            cum = cum.max(s.seq + 1);
+            server.on_ack(now, AckPacket { cum_ack: cum, rtt });
+        }
+    }
+
+    #[test]
+    fn initial_transmission_is_the_initial_window() {
+        let mut s = ideal_server(AlgorithmId::Reno, 1000);
+        let segs = s.transmit(0.0);
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].seq, 0);
+        assert!(!segs[0].retransmit);
+    }
+
+    #[test]
+    fn slow_start_doubles_each_round() {
+        let mut s = ideal_server(AlgorithmId::Reno, 10_000);
+        let mut now = 0.0;
+        let mut sizes = Vec::new();
+        for _ in 0..5 {
+            let segs = s.transmit(now);
+            sizes.push(segs.len());
+            ack_all(&mut s, &segs, now + 1.0, 1.0);
+            now += 1.0;
+        }
+        assert_eq!(sizes, vec![2, 4, 8, 16, 32]);
+    }
+
+    #[test]
+    fn budget_exhaustion_stops_transmission() {
+        let mut s = ideal_server(AlgorithmId::Reno, 5);
+        let segs = s.transmit(0.0);
+        assert_eq!(segs.len(), 2);
+        ack_all(&mut s, &segs, 1.0, 1.0);
+        let segs = s.transmit(1.0);
+        assert_eq!(segs.len(), 3, "only 3 packets of budget remain");
+        ack_all(&mut s, &segs, 2.0, 1.0);
+        assert!(s.finished());
+        assert!(s.transmit(2.0).is_empty());
+    }
+
+    #[test]
+    fn rto_enters_slow_start_and_retransmits() {
+        let mut s = ideal_server(AlgorithmId::Reno, 10_000);
+        let mut now = 0.0;
+        // Grow to a sizeable window.
+        for _ in 0..6 {
+            let segs = s.transmit(now);
+            ack_all(&mut s, &segs, now + 1.0, 1.0);
+            now += 1.0;
+        }
+        let w_before = s.cwnd();
+        assert!(w_before >= 64);
+        let burst = s.transmit(now);
+        assert_eq!(burst.len() as u32, s.cwnd());
+        // No ACKs: fire the timeout.
+        let deadline = s.rto_deadline().expect("timer armed");
+        assert!(s.fire_rto(deadline));
+        assert_eq!(s.cwnd(), 1);
+        assert_eq!(s.ssthresh(), w_before / 2, "RENO halves on timeout");
+        let retrans = s.transmit(deadline);
+        assert_eq!(retrans.len(), 1);
+        assert!(retrans[0].retransmit);
+        assert_eq!(retrans[0].seq, s.snd_una());
+    }
+
+    #[test]
+    fn post_rto_recovery_resends_the_lost_burst_in_order() {
+        let mut s = ideal_server(AlgorithmId::Reno, 10_000);
+        let mut now = 0.0;
+        for _ in 0..4 {
+            let segs = s.transmit(now);
+            ack_all(&mut s, &segs, now + 1.0, 1.0);
+            now += 1.0;
+        }
+        let lost = s.transmit(now);
+        let first_lost = lost[0].seq;
+        let deadline = s.rto_deadline().unwrap();
+        s.fire_rto(deadline);
+        now = deadline;
+        // Recovery proceeds go-back-N with doubling windows.
+        let mut seen = Vec::new();
+        for _ in 0..4 {
+            let segs = s.transmit(now);
+            seen.extend(segs.iter().map(|x| x.seq));
+            ack_all(&mut s, &segs, now + 1.0, 1.0);
+            now += 1.0;
+        }
+        assert_eq!(seen[0], first_lost);
+        for w in seen.windows(2) {
+            assert_eq!(w[1], w[0] + 1, "retransmissions are contiguous");
+        }
+    }
+
+    #[test]
+    fn frto_restores_window_when_not_countered() {
+        let mut cfg = ServerConfig::ideal().with_frto(true);
+        cfg.rto = 3.0;
+        let mut s =
+            TcpServer::connect(AlgorithmId::Reno, cfg, 10_000, &SsthreshCache::new(), 0.0);
+        let mut now = 0.0;
+        for _ in 0..5 {
+            let segs = s.transmit(now);
+            ack_all(&mut s, &segs, now + 1.0, 1.0);
+            now += 1.0;
+        }
+        let w_before = s.cwnd();
+        let _burst = s.transmit(now);
+        let deadline = s.rto_deadline().unwrap();
+        s.fire_rto(deadline);
+        now = deadline;
+        // Only the head retransmission goes out while F-RTO is armed.
+        let probe = s.transmit(now);
+        assert_eq!(probe.len(), 1);
+        // A "naive" prober ACKs it; F-RTO advances to the probing step.
+        s.on_ack(now + 1.0, AckPacket { cum_ack: probe[0].seq + 1, rtt: 1.0 });
+        now += 1.0;
+        let new_segs = s.transmit(now);
+        assert!(!new_segs.is_empty());
+        assert!(!new_segs[0].retransmit, "F-RTO probes with new data");
+        // ACK advances again: timeout declared spurious, window restored.
+        s.on_ack(now + 1.0, AckPacket { cum_ack: new_segs[0].seq + 1, rtt: 1.0 });
+        assert!(
+            s.cwnd() >= w_before,
+            "spurious detection must restore the window: {} < {w_before}",
+            s.cwnd()
+        );
+    }
+
+    #[test]
+    fn duplicate_ack_defeats_frto() {
+        let cfg = ServerConfig::ideal().with_frto(true);
+        let mut s =
+            TcpServer::connect(AlgorithmId::Reno, cfg, 10_000, &SsthreshCache::new(), 0.0);
+        let mut now = 0.0;
+        for _ in 0..5 {
+            let segs = s.transmit(now);
+            ack_all(&mut s, &segs, now + 1.0, 1.0);
+            now += 1.0;
+        }
+        let _burst = s.transmit(now);
+        let deadline = s.rto_deadline().unwrap();
+        s.fire_rto(deadline);
+        now = deadline;
+        let _probe = s.transmit(now);
+        // CAAI's counter-measure: a duplicate ACK before anything else.
+        s.on_ack(now + 1.0, AckPacket::duplicate(s.snd_una()));
+        assert_eq!(s.cwnd(), 1, "conventional recovery forced");
+        // Subsequent recovery is a regular slow start of retransmissions.
+        let segs = s.transmit(now + 1.0);
+        assert_eq!(segs.len(), 1);
+        assert!(segs[0].retransmit);
+    }
+
+    #[test]
+    fn ssthresh_cache_seeds_new_connections() {
+        let mut cache = SsthreshCache::new();
+        cache.store(64, 0.0);
+        let cfg = ServerConfig::ideal().with_ssthresh_caching(true);
+        let s = TcpServer::connect(AlgorithmId::Reno, cfg, 100, &cache, 1.0);
+        assert_eq!(s.ssthresh(), 64);
+        // Waiting past the TTL (CAAI's counter-measure) yields a fresh
+        // threshold.
+        let s2 = TcpServer::connect(AlgorithmId::Reno, cfg, 100, &cache, 1000.0);
+        assert!(s2.ssthresh() > 1 << 20);
+    }
+
+    #[test]
+    fn ignores_timeout_quirk_never_retransmits() {
+        let cfg = ServerConfig::ideal().with_quirk(SenderQuirk::IgnoresTimeout);
+        let mut s =
+            TcpServer::connect(AlgorithmId::Reno, cfg, 10_000, &SsthreshCache::new(), 0.0);
+        let _ = s.transmit(0.0);
+        let deadline = s.rto_deadline().unwrap();
+        assert!(!s.fire_rto(deadline));
+        assert_eq!(s.timeouts(), 0);
+    }
+
+    #[test]
+    fn remain_at_one_quirk_freezes_after_timeout() {
+        let cfg = ServerConfig::ideal().with_quirk(SenderQuirk::RemainAtOne);
+        let mut s =
+            TcpServer::connect(AlgorithmId::Reno, cfg, 10_000, &SsthreshCache::new(), 0.0);
+        let mut now = 0.0;
+        for _ in 0..4 {
+            let segs = s.transmit(now);
+            ack_all(&mut s, &segs, now + 1.0, 1.0);
+            now += 1.0;
+        }
+        let _ = s.transmit(now);
+        let deadline = s.rto_deadline().unwrap();
+        s.fire_rto(deadline);
+        now = deadline;
+        for _ in 0..5 {
+            let segs = s.transmit(now);
+            assert_eq!(segs.len(), 1, "window frozen at one packet");
+            ack_all(&mut s, &segs, now + 1.0, 1.0);
+            now += 1.0;
+        }
+    }
+
+    #[test]
+    fn bounded_buffer_quirk_clamps_the_window() {
+        let cfg = ServerConfig::ideal().with_quirk(SenderQuirk::BoundedBuffer { clamp: 16 });
+        let mut s =
+            TcpServer::connect(AlgorithmId::Reno, cfg, 10_000, &SsthreshCache::new(), 0.0);
+        let mut now = 0.0;
+        for _ in 0..8 {
+            let segs = s.transmit(now);
+            assert!(segs.len() <= 16);
+            ack_all(&mut s, &segs, now + 1.0, 1.0);
+            now += 1.0;
+        }
+        assert_eq!(s.cwnd(), 16);
+    }
+
+    /// Drives `rounds` full transmit/ACK rounds at the given RTT; returns
+    /// the per-round burst sizes.
+    fn drive_rounds(s: &mut TcpServer, rounds: usize, rtt: f64, now: &mut f64) -> Vec<usize> {
+        let mut sizes = Vec::new();
+        for _ in 0..rounds {
+            let segs = s.transmit(*now);
+            sizes.push(segs.len());
+            ack_all(s, &segs, *now + rtt, rtt);
+            *now += rtt;
+        }
+        sizes
+    }
+
+    #[test]
+    fn limited_slow_start_flattens_growth_past_the_knob() {
+        let cfg = ServerConfig::ideal()
+            .with_slow_start(SlowStartVariant::Limited { max_ssthresh: 32 });
+        let mut s = TcpServer::connect(AlgorithmId::Reno, cfg, 100_000, &SsthreshCache::new(), 0.0);
+        let mut now = 0.0;
+        let sizes = drive_rounds(&mut s, 8, 1.0, &mut now);
+        // Doubling up to 32, then ≈ +16/round (RFC 3742).
+        assert_eq!(&sizes[..5], &[2, 4, 8, 16, 32]);
+        for w in sizes[5..].windows(2) {
+            let delta = w[1] as i64 - w[0] as i64;
+            assert!(delta <= 17, "growth {delta} must stay near max_ssthresh/2");
+        }
+        assert!(sizes[7] >= 70, "window keeps climbing, got {:?}", sizes);
+    }
+
+    #[test]
+    fn hystart_matches_standard_slow_start_at_constant_rtt() {
+        // §V-A's claim: with the emulated environments' constant RTTs,
+        // hybrid slow start is indistinguishable from the standard one.
+        let std_cfg = ServerConfig::ideal();
+        let hyb_cfg = ServerConfig::ideal().with_slow_start(SlowStartVariant::Hybrid);
+        let mut a = TcpServer::connect(AlgorithmId::CubicV2, std_cfg, 100_000, &SsthreshCache::new(), 0.0);
+        let mut b = TcpServer::connect(AlgorithmId::CubicV2, hyb_cfg, 100_000, &SsthreshCache::new(), 0.0);
+        let (mut ta, mut tb) = (0.0, 0.0);
+        let wa = drive_rounds(&mut a, 9, 1.0, &mut ta);
+        let wb = drive_rounds(&mut b, 9, 1.0, &mut tb);
+        assert_eq!(wa, wb, "identical traces at fixed RTT");
+    }
+
+    #[test]
+    fn hystart_exits_early_on_rtt_increase() {
+        let cfg = ServerConfig::ideal().with_slow_start(SlowStartVariant::Hybrid);
+        let mut s = TcpServer::connect(AlgorithmId::CubicV2, cfg, 100_000, &SsthreshCache::new(), 0.0);
+        let mut now = 0.0;
+        // Three rounds at 0.8 s (cwnd reaches 16), then the RTT steps to
+        // 1.0 s as in environment B before the timeout.
+        drive_rounds(&mut s, 3, 0.8, &mut now);
+        assert_eq!(s.cwnd(), 16);
+        drive_rounds(&mut s, 2, 1.0, &mut now);
+        assert!(
+            s.ssthresh() < 1 << 20,
+            "delay increase must cap ssthresh, got {}",
+            s.ssthresh()
+        );
+        assert!(!s.tp.in_slow_start(), "slow start exited early");
+    }
+
+    #[test]
+    fn hystart_rearms_after_timeout_and_stays_quiet_post_timeout() {
+        // Post-timeout recovery in environment B keeps a constant RTT
+        // until round 12 — by then slow start has ended, so HyStart must
+        // not distort the recovery ramp CAAI measures.
+        let cfg = ServerConfig::ideal().with_slow_start(SlowStartVariant::Hybrid);
+        let mut s = TcpServer::connect(AlgorithmId::CubicV2, cfg, 100_000, &SsthreshCache::new(), 0.0);
+        let mut now = 0.0;
+        drive_rounds(&mut s, 7, 0.8, &mut now);
+        let _ = s.transmit(now);
+        let deadline = s.rto_deadline().unwrap();
+        s.fire_rto(deadline);
+        now = deadline;
+        let sizes = drive_rounds(&mut s, 4, 0.8, &mut now);
+        assert_eq!(sizes, vec![1, 2, 4, 8], "clean post-timeout slow start");
+    }
+
+    #[test]
+    fn burstiness_control_moderates_fast_retransmit() {
+        // The §IV-B rationale: after a dup-ACK loss event the window is
+        // moderated to in_flight + 3, far below β·w — so β measured from a
+        // loss event would be wrong.
+        let mut s = ideal_server(AlgorithmId::Bic, 10_000);
+        let mut now = 0.0;
+        for _ in 0..7 {
+            let segs = s.transmit(now);
+            ack_all(&mut s, &segs, now + 1.0, 1.0);
+            now += 1.0;
+        }
+        let w = s.cwnd();
+        assert!(w > 100);
+        let _burst = s.transmit(now);
+        // Ack only the first packet, then three dups for the second.
+        let una = s.snd_una();
+        s.on_ack(now + 1.0, AckPacket { cum_ack: una + 1, rtt: 1.0 });
+        for _ in 0..3 {
+            s.on_ack(now + 1.0, AckPacket::duplicate(una + 1));
+        }
+        let beta_w = s.ssthresh();
+        assert!(beta_w >= w * 7 / 10, "BIC's β·w is high: {beta_w}");
+        assert!(
+            s.cwnd() < beta_w,
+            "moderated window {} must fall below β·w {}",
+            s.cwnd(),
+            beta_w
+        );
+    }
+
+    #[test]
+    fn approach_quirk_exits_slow_start_low_and_saturates() {
+        let cfg = ServerConfig::ideal().with_quirk(SenderQuirk::ApproachPreTimeoutMax);
+        let mut s =
+            TcpServer::connect(AlgorithmId::Bic, cfg, 1_000_000, &SsthreshCache::new(), 0.0);
+        let mut now = 0.0;
+        drive_rounds(&mut s, 7, 1.0, &mut now);
+        let w_before = s.cwnd();
+        let _ = s.transmit(now);
+        let deadline = s.rto_deadline().unwrap();
+        s.fire_rto(deadline);
+        now = deadline;
+        // Slow start exits at ≈ 0.3·w^B even though BIC's β is 0.8.
+        assert_eq!(s.ssthresh(), w_before * 3 / 10);
+        let sizes = drive_rounds(&mut s, 18, 1.0, &mut now);
+        let last = *sizes.last().unwrap() as f64;
+        assert!(
+            last >= 0.85 * f64::from(w_before) && last <= f64::from(w_before),
+            "saturates just below w^B: {last} vs {w_before}"
+        );
+        // Increments decelerate.
+        let tail: Vec<i64> = sizes[10..].windows(2).map(|w| w[1] as i64 - w[0] as i64).collect();
+        for w in tail.windows(2) {
+            assert!(w[1] <= w[0] + 1, "deceleration: {tail:?}");
+        }
+    }
+
+    #[test]
+    fn buffer_bounded_recovery_pins_above_wmax() {
+        let cfg = ServerConfig::ideal()
+            .with_quirk(SenderQuirk::BufferBoundedRecovery { percent_of_wmax: 125 });
+        let mut s =
+            TcpServer::connect(AlgorithmId::Reno, cfg, 1_000_000, &SsthreshCache::new(), 0.0);
+        let mut now = 0.0;
+        drive_rounds(&mut s, 7, 1.0, &mut now);
+        let w_before = s.cwnd();
+        let _ = s.transmit(now);
+        let deadline = s.rto_deadline().unwrap();
+        s.fire_rto(deadline);
+        now = deadline;
+        let sizes = drive_rounds(&mut s, 14, 1.0, &mut now);
+        let bound = (w_before * 125 / 100) as usize;
+        assert!(sizes.iter().any(|&w| w > w_before as usize), "climbs beyond w^B");
+        let flat = sizes.iter().rev().take_while(|&&w| w == bound).count();
+        assert!(flat >= 4, "pins at the buffer bound {bound}: {sizes:?}");
+    }
+
+    #[test]
+    fn nonincreasing_quirk_flattens_avoidance() {
+        let cfg = ServerConfig::ideal().with_quirk(SenderQuirk::NonIncreasing);
+        let mut s =
+            TcpServer::connect(AlgorithmId::Reno, cfg, 100_000, &SsthreshCache::new(), 0.0);
+        let mut now = 0.0;
+        for _ in 0..6 {
+            let segs = s.transmit(now);
+            ack_all(&mut s, &segs, now + 1.0, 1.0);
+            now += 1.0;
+        }
+        let _ = s.transmit(now);
+        let deadline = s.rto_deadline().unwrap();
+        s.fire_rto(deadline);
+        now = deadline;
+        let mut last = 0usize;
+        let mut flat_rounds = 0;
+        for _ in 0..16 {
+            let segs = s.transmit(now);
+            if !segs.is_empty() {
+                if segs.len() == last {
+                    flat_rounds += 1;
+                }
+                last = segs.len();
+            }
+            ack_all(&mut s, &segs, now + 1.0, 1.0);
+            now += 1.0;
+        }
+        assert!(flat_rounds >= 5, "window must flatten, got {flat_rounds} flat rounds");
+    }
+}

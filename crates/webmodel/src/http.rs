@@ -1,0 +1,107 @@
+//! HTTP-pipelining acceptance (Fig. 6).
+//!
+//! CAAI keeps a connection alive by pipelining the same request up to 12
+//! times (§IV-E). A large share of servers discard repeated requests:
+//! Fig. 6 reports ~47% accept only one request and ~60% accept at most
+//! three — the dominant cause of invalid traces in §VII-B.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Number of repeated pipelined requests CAAI sends by default (§IV-E).
+pub const CAAI_PIPELINE_DEPTH: u32 = 12;
+
+/// Discrete distribution over the maximum accepted repeated requests,
+/// shaped to Fig. 6: `(max_requests, cumulative probability)`.
+const FIG6_KNOTS: [(u32, f64); 8] = [
+    (1, 0.47),
+    (2, 0.55),
+    (3, 0.60),
+    (4, 0.65),
+    (6, 0.72),
+    (8, 0.79),
+    (11, 0.86),
+    (u32::MAX, 1.00), // accepts the full pipeline (and more)
+];
+
+/// A server's tolerance for repeated pipelined requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RequestAcceptanceModel {
+    /// Maximum number of repeated HTTP requests honoured per connection.
+    pub max_requests: u32,
+}
+
+impl RequestAcceptanceModel {
+    /// Samples a server from the Fig. 6 distribution.
+    pub fn sample(rng: &mut impl Rng) -> Self {
+        let u: f64 = rng.random();
+        for &(v, p) in FIG6_KNOTS.iter() {
+            if u < p {
+                return RequestAcceptanceModel { max_requests: v };
+            }
+        }
+        RequestAcceptanceModel { max_requests: u32::MAX }
+    }
+
+    /// How many of `sent` pipelined requests the server honours.
+    pub fn honoured(&self, sent: u32) -> u32 {
+        sent.min(self.max_requests)
+    }
+
+    /// The CDF value `P(max_requests ≤ x)` of the model distribution, for
+    /// regenerating Fig. 6.
+    pub fn cdf(x: u32) -> f64 {
+        let mut p = 0.0;
+        for &(v, pv) in FIG6_KNOTS.iter() {
+            if v <= x {
+                p = pv;
+            }
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fig6_anchor_points() {
+        assert!((RequestAcceptanceModel::cdf(1) - 0.47).abs() < 1e-9);
+        assert!((RequestAcceptanceModel::cdf(3) - 0.60).abs() < 1e-9);
+        assert_eq!(RequestAcceptanceModel::cdf(0), 0.0);
+    }
+
+    #[test]
+    fn sampling_matches_fig6() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let n = 50_000;
+        let one_only =
+            (0..n).filter(|_| RequestAcceptanceModel::sample(&mut rng).max_requests == 1).count();
+        let frac = one_only as f64 / n as f64;
+        assert!((frac - 0.47).abs() < 0.01, "47% accept a single request, got {frac}");
+    }
+
+    #[test]
+    fn honoured_caps_at_the_limit() {
+        let m = RequestAcceptanceModel { max_requests: 3 };
+        assert_eq!(m.honoured(12), 3);
+        assert_eq!(m.honoured(2), 2);
+    }
+
+    #[test]
+    fn full_pipeline_share_is_about_fourteen_percent() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let n = 50_000;
+        let full = (0..n)
+            .filter(|_| {
+                RequestAcceptanceModel::sample(&mut rng).honoured(CAAI_PIPELINE_DEPTH)
+                    == CAAI_PIPELINE_DEPTH
+            })
+            .count();
+        let frac = full as f64 / n as f64;
+        assert!((frac - 0.14).abs() < 0.015, "got {frac}");
+    }
+}

@@ -1,0 +1,91 @@
+//! Minimum-MSS acceptance (Table II).
+//!
+//! CAAI proposes a small MSS in its SYN so that more packets fit in a
+//! window-limited transfer; it tries 100, 300, 536 and finally 1460 bytes
+//! in increasing order (§IV-B). Table II reports what fraction of the
+//! ~60,000 measured servers accepted each value as their minimum.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The MSS ladder CAAI tries, smallest first (§IV-B).
+pub const PROBE_MSS_LADDER: [u32; 4] = [100, 300, 536, 1460];
+
+/// Table II row shares: fraction of servers whose *minimum* accepted MSS is
+/// 100, 300, 536 and 1460 bytes respectively.
+pub const TABLE_II_SHARES: [f64; 4] = [0.8154, 0.0773, 0.0930, 0.0143];
+
+/// A server's minimum-MSS acceptance policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MssAcceptance {
+    /// Smallest MSS the server will grant.
+    pub min_mss: u32,
+}
+
+impl MssAcceptance {
+    /// Samples a policy from the Table II distribution.
+    pub fn sample(rng: &mut impl Rng) -> Self {
+        let u: f64 = rng.random();
+        let mut acc = 0.0;
+        for (i, share) in TABLE_II_SHARES.iter().enumerate() {
+            acc += share;
+            if u < acc {
+                return MssAcceptance { min_mss: PROBE_MSS_LADDER[i] };
+            }
+        }
+        MssAcceptance { min_mss: *PROBE_MSS_LADDER.last().expect("nonempty ladder") }
+    }
+
+    /// The MSS granted when the client proposes `proposed` bytes: the
+    /// server rounds up to its minimum.
+    pub fn grant(&self, proposed: u32) -> u32 {
+        proposed.max(self.min_mss)
+    }
+
+    /// True when the server accepts the proposed MSS as-is.
+    pub fn accepts(&self, proposed: u32) -> bool {
+        proposed >= self.min_mss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shares_sum_to_one() {
+        let sum: f64 = TABLE_II_SHARES.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_matches_table_two() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 60_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            let m = MssAcceptance::sample(&mut rng);
+            let idx = PROBE_MSS_LADDER.iter().position(|&x| x == m.min_mss).unwrap();
+            counts[idx] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let frac = c as f64 / n as f64;
+            assert!(
+                (frac - TABLE_II_SHARES[i]).abs() < 0.01,
+                "rung {i}: got {frac}, want {}",
+                TABLE_II_SHARES[i]
+            );
+        }
+    }
+
+    #[test]
+    fn grant_rounds_up_to_minimum() {
+        let m = MssAcceptance { min_mss: 536 };
+        assert_eq!(m.grant(100), 536);
+        assert_eq!(m.grant(1460), 1460);
+        assert!(!m.accepts(100));
+        assert!(m.accepts(536));
+    }
+}

@@ -1,0 +1,58 @@
+//! Fingerprint laboratory: watch how each congestion avoidance algorithm
+//! behaves in CAAI's two emulated environments, and print the feature
+//! vector each one produces — the raw material of Fig. 3 and §V.
+//!
+//! ```sh
+//! cargo run --release --example fingerprint_lab            # all 14
+//! cargo run --release --example fingerprint_lab CUBIC BIC  # a subset
+//! ```
+
+use caai::congestion::{AlgorithmId, ALL_IDENTIFIED};
+use caai::core::features::extract_pair;
+use caai::core::prober::{Prober, ProberConfig};
+use caai::core::server_under_test::ServerUnderTest;
+use caai::netem::rng::seeded;
+use caai::netem::PathConfig;
+
+fn main() {
+    let requested: Vec<AlgorithmId> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let algorithms: Vec<AlgorithmId> =
+        if requested.is_empty() { ALL_IDENTIFIED.to_vec() } else { requested };
+
+    println!(
+        "{:<12} {:>5}  {:>6} {:>6} {:>6}  {:>6} {:>6} {:>6}  {:>4}",
+        "algorithm", "wmax", "betaA", "G3A", "G6A", "betaB", "G3B", "G6B", "I64"
+    );
+    for algo in algorithms {
+        let server = ServerUnderTest::ideal(algo);
+        let prober = Prober::new(ProberConfig::default());
+        let mut rng = seeded(99);
+        let outcome = prober.gather(&server, &PathConfig::clean(), &mut rng);
+        match outcome.pair {
+            Some(pair) => {
+                let v = extract_pair(&pair).values;
+                println!(
+                    "{:<12} {:>5}  {:>6.3} {:>6.1} {:>6.1}  {:>6.3} {:>6.1} {:>6.1}  {:>4}",
+                    algo.name(),
+                    pair.wmax_threshold(),
+                    v[0],
+                    v[1],
+                    v[2],
+                    v[3],
+                    v[4],
+                    v[5],
+                    v[6]
+                );
+            }
+            None => println!("{:<12} gathering failed: {:?}", algo.name(), outcome.failure_reason()),
+        }
+    }
+    println!();
+    println!("reading the fingerprints (§III-B):");
+    println!("  beta clusters: 0.5 (RENO/CTCP/VEGAS), 0.7 (CUBIC v2), 0.8 (BIC/CUBIC v1/");
+    println!("  VENO/HTCP), 0.875 (STCP/ILLINOIS/YEAH), 0 (WESTWOOD+: boundary not found)");
+    println!("  I64 = 0 singles out VEGAS (plateaus below 64 packets in environment B)");
+}

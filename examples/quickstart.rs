@@ -1,0 +1,57 @@
+//! Quickstart: identify the TCP congestion avoidance algorithm of one
+//! (simulated) web server, end to end.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use caai::congestion::AlgorithmId;
+use caai::core::classify::{CaaiClassifier, Identification};
+use caai::core::features::extract_pair;
+use caai::core::prober::{Prober, ProberConfig};
+use caai::core::server_under_test::ServerUnderTest;
+use caai::core::training::{build_training_set, TrainingConfig};
+use caai::netem::rng::seeded;
+use caai::netem::{ConditionDb, PathConfig};
+
+fn main() {
+    let mut rng = seeded(1);
+
+    // 1. Train the classifier once (a reduced training set for the demo;
+    //    use TrainingConfig::paper() for the full 5,600 vectors).
+    println!("training the CAAI classifier ...");
+    let db = ConditionDb::paper_2011();
+    let training = build_training_set(&TrainingConfig::quick(8), &db, &mut rng);
+    let classifier = CaaiClassifier::train(&training, &mut rng);
+    println!("  {} training vectors collected", training.len());
+
+    // 2. Point CAAI at a server whose algorithm we pretend not to know.
+    let secret = AlgorithmId::CubicV2;
+    let server = ServerUnderTest::ideal(secret);
+
+    // 3. Gather traces in the two emulated environments, over a realistic
+    //    path drawn from the measured condition database.
+    let prober = Prober::new(ProberConfig::default());
+    let path = PathConfig::from_condition(&db.sample(&mut rng));
+    let outcome = prober.gather(&server, &path, &mut rng);
+    let pair = outcome.pair.expect("gathering failed");
+    println!(
+        "gathered environment A ({} rounds) and B ({} rounds) at w_max = {}",
+        pair.env_a.pre.len() + pair.env_a.post.len(),
+        pair.env_b.pre.len() + pair.env_b.post.len(),
+        pair.wmax_threshold()
+    );
+
+    // 4. Extract the 7-element feature vector and classify.
+    let vector = extract_pair(&pair);
+    println!("feature vector: {:.2?}", vector.values);
+    match classifier.classify(&vector) {
+        Identification::Identified { class, confidence } => {
+            println!("identified: {class} (confidence {:.0}%)", confidence * 100.0);
+            println!("ground truth: {secret}");
+        }
+        Identification::Unsure { best_guess, confidence } => {
+            println!("unsure (best guess {best_guess}, {:.0}%)", confidence * 100.0);
+        }
+    }
+}

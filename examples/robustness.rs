@@ -1,0 +1,85 @@
+//! Robustness demo: CAAI against hostile server features and bad paths —
+//! F-RTO, ssthresh caching, window ceilings, short pages, packet loss —
+//! showing each §IV-C counter-measure doing its job.
+//!
+//! ```sh
+//! cargo run --release --example robustness
+//! ```
+
+use caai::congestion::AlgorithmId;
+use caai::core::features::extract;
+use caai::core::prober::{Prober, ProberConfig};
+use caai::core::server_under_test::ServerUnderTest;
+use caai::netem::rng::seeded;
+use caai::netem::{EnvironmentId, PathConfig};
+use caai::tcpsim::{SenderQuirk, ServerConfig};
+
+fn main() {
+    let mut rng = seeded(3);
+
+    println!("1) F-RTO server, with and without the duplicate-ACK counter-measure");
+    let cfg = ServerConfig::ideal().with_frto(true);
+    let server = ServerUnderTest::ideal_with_config(AlgorithmId::Reno, cfg);
+    for countermeasure in [true, false] {
+        let mut pc = ProberConfig::default();
+        pc.frto_countermeasure = countermeasure;
+        let prober = Prober::new(pc);
+        let (t, _) =
+            prober.gather_trace(&server, EnvironmentId::A, 512, 0.0, &PathConfig::clean(), &mut rng);
+        let f = extract(&t);
+        println!(
+            "   countermeasure={countermeasure:<5} -> first recovery rounds {:?}, beta = {:.2}",
+            &t.post[..t.post.len().min(5)],
+            f.beta
+        );
+    }
+
+    println!("\n2) ssthresh-caching server: the inter-connection wait matters");
+    let cfg = ServerConfig::ideal().with_ssthresh_caching(true);
+    let server = ServerUnderTest::ideal_with_config(AlgorithmId::Reno, cfg);
+    for wait in [1.0, 630.0] {
+        let mut pc = ProberConfig::default();
+        pc.inter_connection_wait = wait;
+        let prober = Prober::new(pc);
+        let outcome = prober.gather(&server, &PathConfig::clean(), &mut rng);
+        match &outcome.pair {
+            Some(pair) => println!(
+                "   wait={wait:>5}s -> pair at wmax {} (env B pre-timeout rounds: {})",
+                pair.wmax_threshold(),
+                pair.env_b.pre.len()
+            ),
+            None => println!("   wait={wait:>5}s -> gathering failed: {:?}", outcome.failure_reason()),
+        }
+    }
+
+    println!("\n3) window-ceiling server: the w_max ladder degrades gracefully");
+    for clamp in [900u32, 300, 150, 80, 40] {
+        let cfg = ServerConfig::ideal().with_quirk(SenderQuirk::BoundedBuffer { clamp });
+        let server = ServerUnderTest::ideal_with_config(AlgorithmId::CubicV2, cfg);
+        let prober = Prober::new(ProberConfig::default());
+        let outcome = prober.gather(&server, &PathConfig::clean(), &mut rng);
+        match outcome.pair {
+            Some(pair) => println!("   ceiling {clamp:>4} -> identified at wmax {}", pair.wmax_threshold()),
+            None => println!("   ceiling {clamp:>4} -> invalid ({:?})", outcome.failure_reason()),
+        }
+    }
+
+    println!("\n4) lossy paths: feature stability of a CUBIC v2 server");
+    let server = ServerUnderTest::ideal(AlgorithmId::CubicV2);
+    for loss in [0.0, 0.01, 0.05, 0.10] {
+        let prober = Prober::new(ProberConfig::default());
+        let outcome = prober.gather(&server, &PathConfig::lossy(loss), &mut rng);
+        match outcome.pair {
+            Some(pair) => {
+                let f = extract(&pair.env_a);
+                println!(
+                    "   loss {:>4.0}% -> beta^A = {:.3} (true 0.70), L-estimate = {:.2}",
+                    loss * 100.0,
+                    f.beta,
+                    f.ack_loss
+                );
+            }
+            None => println!("   loss {:>4.0}% -> gathering failed", loss * 100.0),
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Full training pipeline: collect a training set on the emulated lab
+//! testbed, cross-validate it, inspect the confusion matrix, persist the
+//! trained classifier as JSON, reload it, and use it.
+//!
+//! ```sh
+//! cargo run --release --example train_and_classify
+//! ```
+
+use caai::congestion::AlgorithmId;
+use caai::core::classify::{CaaiClassifier, Identification};
+use caai::core::features::extract_pair;
+use caai::core::prober::{Prober, ProberConfig};
+use caai::core::server_under_test::ServerUnderTest;
+use caai::core::training::{build_training_set, TrainingConfig};
+use caai::ml::cross_validation::cross_validate;
+use caai::ml::{RandomForest, RandomForestConfig};
+use caai::netem::rng::seeded;
+use caai::netem::{ConditionDb, PathConfig};
+
+fn main() {
+    let mut rng = seeded(2024);
+    let db = ConditionDb::paper_2011();
+
+    // 1. Collect the training set (14 algorithms × 4 w_max rungs × N
+    //    conditions; the paper's N is 100, we use 6 for a fast demo).
+    println!("collecting training vectors on the emulated testbed ...");
+    let config = TrainingConfig::quick(6);
+    let data = build_training_set(&config, &db, &mut rng);
+    println!("  {} vectors across {} classes", data.len(), data.n_classes());
+
+    // 2. Cross-validate with the paper's forest parameters (§VII-A).
+    println!("\n10-fold cross-validation (K = 80 trees, m = 4) ...");
+    let report = cross_validate(
+        &data,
+        10,
+        || RandomForest::new(RandomForestConfig::paper()),
+        &mut rng,
+    );
+    println!("  accuracy: {:.2}% (paper: 96.98%)", 100.0 * report.accuracy());
+
+    // 3. The confusion matrix (Table III). Print the three worst classes.
+    let mut recalls: Vec<(usize, f64)> =
+        report.confusion.per_class_recall().into_iter().enumerate().collect();
+    recalls.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite recall"));
+    println!("\nhardest classes to identify:");
+    for (idx, recall) in recalls.iter().take(3) {
+        println!("  {:<12} recall {:.1}%", data.label_name(*idx), 100.0 * recall);
+    }
+
+    // 4. Train the production classifier and persist it.
+    let classifier = CaaiClassifier::train(&data, &mut rng);
+    let json = serde_json::to_string(&classifier).expect("classifier serializes");
+    println!("\nserialized classifier: {} bytes of JSON", json.len());
+    let restored: CaaiClassifier = serde_json::from_str(&json).expect("classifier deserializes");
+
+    // 5. Use the reloaded model against fresh servers.
+    println!("\nidentifying fresh servers with the reloaded model:");
+    let prober = Prober::new(ProberConfig::default());
+    for algo in [AlgorithmId::Bic, AlgorithmId::Htcp, AlgorithmId::Vegas] {
+        let server = ServerUnderTest::ideal(algo);
+        let path = PathConfig::from_condition(&db.sample(&mut rng));
+        let outcome = prober.gather(&server, &path, &mut rng);
+        match outcome.pair {
+            Some(pair) => {
+                let v = extract_pair(&pair);
+                match restored.classify(&v) {
+                    Identification::Identified { class, confidence } => println!(
+                        "  truth {:<10} -> identified {:<12} ({:.0}% confident)",
+                        algo.to_string(),
+                        class.to_string(),
+                        100.0 * confidence
+                    ),
+                    Identification::Unsure { best_guess, confidence } => println!(
+                        "  truth {:<10} -> unsure (best guess {}, {:.0}%)",
+                        algo.to_string(),
+                        best_guess,
+                        100.0 * confidence
+                    ),
+                }
+            }
+            None => println!("  truth {algo:<10} -> gathering failed on this path"),
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # caai — TCP Congestion Avoidance Algorithm Identification
+//!
+//! Facade crate for the CAAI reproduction (Yang, Shao, Luo, Xu, Deogun, Lu:
+//! "TCP Congestion Avoidance Algorithm Identification", ICDCS'11 /
+//! IEEE/ACM Transactions on Networking 22(4), 2014).
+//!
+//! CAAI actively identifies which TCP congestion avoidance algorithm a
+//! remote web server runs by emulating two network environments purely
+//! through ACK timing, extracting a seven-element feature vector from the
+//! observed window traces, and classifying it with a random forest.
+//!
+//! This crate re-exports the whole workspace:
+//!
+//! * [`congestion`] — the 14 fingerprinted algorithms (+2 extensions);
+//! * [`netem`] — path emulation and the measured-network-condition model;
+//! * [`tcpsim`] — the simulated TCP web-server sender;
+//! * [`webmodel`] — the synthetic Internet server population;
+//! * [`ml`] — random forest and baseline classifiers;
+//! * [`core`] — the CAAI pipeline itself (prober → features → classifier)
+//!   and the census driver.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use caai::core::prober::{Prober, ProberConfig};
+//! use caai::core::server_under_test::ServerUnderTest;
+//! use caai::congestion::AlgorithmId;
+//! use caai::netem::path::PathConfig;
+//!
+//! // A web server whose TCP algorithm we pretend not to know.
+//! let server = ServerUnderTest::ideal(AlgorithmId::CubicV2);
+//! let prober = Prober::new(ProberConfig::default());
+//! let mut rng = caai::netem::rng::seeded(7);
+//! let outcome = prober.gather(&server, &PathConfig::clean(), &mut rng);
+//! assert!(outcome.pair.is_some());
+//! ```
+
+pub use caai_congestion as congestion;
+pub use caai_core as core;
+pub use caai_ml as ml;
+pub use caai_netem as netem;
+pub use caai_tcpsim as tcpsim;
+pub use caai_webmodel as webmodel;

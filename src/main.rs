@@ -1,0 +1,360 @@
+//! `caai` — command-line front end for the CAAI reproduction.
+//!
+//! ```text
+//! caai algorithms                      list the implemented algorithms
+//! caai trace     --algo CUBIC ...      print a window trace
+//! caai fingerprint --algo BIC ...      print the 7-element feature vector
+//! caai train     --conditions 20 --out model.json
+//! caai identify  --algo HTCP [--model model.json]
+//! caai census    --servers 2000 [--model model.json] [--json]
+//! ```
+//!
+//! Every command takes `--seed N` (default 1) and is fully deterministic.
+
+use caai::congestion::AlgorithmId;
+use caai::core::census::Census;
+use caai::core::classify::{CaaiClassifier, Identification};
+use caai::core::features::{extract_pair, FeatureVector};
+use caai::core::prober::{Prober, ProberConfig};
+use caai::core::server_under_test::ServerUnderTest;
+use caai::core::training::{build_training_set, TrainingConfig};
+use caai::netem::rng::seeded;
+use caai::netem::{ConditionDb, EnvironmentId, PathConfig};
+use caai::webmodel::PopulationConfig;
+use std::process::ExitCode;
+
+/// Minimal flag parser: `--key value` pairs after the subcommand.
+struct Args {
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut flags = Vec::new();
+        let mut it = raw.iter();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                if let Some((k, v)) = key.split_once('=') {
+                    flags.push((k.to_owned(), v.to_owned()));
+                } else {
+                    let v = it.next().ok_or_else(|| format!("--{key} expects a value"))?;
+                    flags.push((key.to_owned(), v.clone()));
+                }
+            } else {
+                return Err(format!("unexpected argument `{a}`"));
+            }
+        }
+        Ok(Args { flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("--{key} {v}: {e}")),
+        }
+    }
+
+    fn algo(&self) -> Result<AlgorithmId, String> {
+        let name = self.get("algo").ok_or("--algo <name> is required (try `caai algorithms`)")?;
+        name.parse().map_err(|e| format!("{e}"))
+    }
+
+    fn path_config(&self) -> Result<PathConfig, String> {
+        let loss: f64 = self.parsed("loss", 0.0)?;
+        if !(0.0..1.0).contains(&loss) {
+            return Err(format!("--loss {loss} out of [0, 1)"));
+        }
+        Ok(if loss > 0.0 { PathConfig::lossy(loss) } else { PathConfig::clean() })
+    }
+}
+
+const USAGE: &str = "caai — TCP Congestion Avoidance Algorithm Identification (Yang et al.)
+
+USAGE:
+    caai <command> [--key value ...]
+
+COMMANDS:
+    algorithms    list the implemented congestion avoidance algorithms
+    trace         gather one window trace from a simulated server
+                  [--algo NAME] [--env A|B] [--wmax 512] [--loss 0.0] [--seed 1]
+    fingerprint   gather both environments and print the feature vector
+                  [--algo NAME] [--loss 0.0] [--seed 1]
+    train         collect a training set and save the classifier as JSON
+                  [--conditions 10] [--out model.json] [--seed 1]
+    identify      end-to-end identification of one simulated server
+                  [--algo NAME] [--model model.json | --conditions 6] [--loss 0.0] [--seed 1]
+    census        probe a synthetic population, print the Table IV report
+                  [--servers 1000] [--model model.json | --conditions 6]
+                  [--workers 4] [--json] [--seed 1]
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let args = match Args::parse(&argv[1..]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "algorithms" => cmd_algorithms(),
+        "trace" => cmd_trace(&args),
+        "fingerprint" => cmd_fingerprint(&args),
+        "train" => cmd_train(&args),
+        "identify" => cmd_identify(&args),
+        "census" => cmd_census(&args),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_algorithms() -> Result<(), String> {
+    println!("{:<12} {:<10} {:<28} identified", "name", "family", "OS families");
+    for algo in caai::congestion::ALL_WITH_EXTENSIONS {
+        let families: Vec<String> = algo.os_families().iter().map(ToString::to_string).collect();
+        println!(
+            "{:<12} {:<10} {:<28} {}",
+            algo.name(),
+            algo.family_name(),
+            families.join(", "),
+            if algo.is_identified() { "yes" } else { "no (excluded, §III-A)" }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    let algo = args.algo()?;
+    let wmax: u32 = args.parsed("wmax", 512)?;
+    let seed: u64 = args.parsed("seed", 1)?;
+    let env = match args.get("env").unwrap_or("A") {
+        "A" | "a" => EnvironmentId::A,
+        "B" | "b" => EnvironmentId::B,
+        other => return Err(format!("--env {other}: expected A or B")),
+    };
+    let path = args.path_config()?;
+    let server = ServerUnderTest::ideal(algo);
+    let prober = Prober::new(ProberConfig::fixed_wmax(wmax));
+    let mut rng = seeded(seed);
+    let (trace, _) = prober.gather_trace(&server, env, wmax, 0.0, &path, &mut rng);
+    println!("algorithm: {algo}   environment: {env:?}   w_max: {wmax}");
+    match trace.invalid {
+        Some(reason) => println!("INVALID trace: {reason:?}"),
+        None => println!("valid trace"),
+    }
+    println!("\nround  window   (pre-timeout)");
+    for (i, w) in trace.pre.iter().enumerate() {
+        println!("{:>5}  {w}", i + 1);
+    }
+    println!("\nround  window   (post-timeout)");
+    for (i, w) in trace.post.iter().enumerate() {
+        println!("{:>5}  {w}", i + 1);
+    }
+    Ok(())
+}
+
+fn gather_vector(
+    algo: AlgorithmId,
+    path: &PathConfig,
+    seed: u64,
+) -> Result<(FeatureVector, u32), String> {
+    let server = ServerUnderTest::ideal(algo);
+    let prober = Prober::new(ProberConfig::default());
+    let mut rng = seeded(seed);
+    let outcome = prober.gather(&server, path, &mut rng);
+    let failure = outcome.failure_reason();
+    let pair = outcome.pair.ok_or_else(|| format!("gathering failed: {failure:?}"))?;
+    Ok((extract_pair(&pair), pair.wmax_threshold()))
+}
+
+fn cmd_fingerprint(args: &Args) -> Result<(), String> {
+    let algo = args.algo()?;
+    let seed: u64 = args.parsed("seed", 1)?;
+    let path = args.path_config()?;
+    let (vector, wmax) = gather_vector(algo, &path, seed)?;
+    println!("algorithm: {algo}   w_max rung: {wmax}");
+    for (name, value) in FeatureVector::element_names().iter().zip(vector.values) {
+        println!("{name:>10} = {value:.3}");
+    }
+    Ok(())
+}
+
+fn train_classifier(conditions: usize, seed: u64) -> CaaiClassifier {
+    let db = ConditionDb::paper_2011();
+    let mut rng = seeded(seed);
+    eprintln!("training on {conditions} conditions per (algorithm, w_max) pair ...");
+    let data = build_training_set(&TrainingConfig::quick(conditions), &db, &mut rng);
+    eprintln!("collected {} vectors", data.len());
+    CaaiClassifier::train(&data, &mut rng)
+}
+
+fn load_or_train(args: &Args) -> Result<CaaiClassifier, String> {
+    if let Some(path) = args.get("model") {
+        let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        return serde_json::from_str(&json).map_err(|e| format!("parse {path}: {e}"));
+    }
+    let conditions: usize = args.parsed("conditions", 6)?;
+    let seed: u64 = args.parsed("seed", 1)?;
+    Ok(train_classifier(conditions, seed ^ 0x7121))
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let conditions: usize = args.parsed("conditions", 10)?;
+    let seed: u64 = args.parsed("seed", 1)?;
+    let out = args.get("out").unwrap_or("model.json").to_owned();
+    let classifier = train_classifier(conditions, seed);
+    let json = serde_json::to_string(&classifier).map_err(|e| format!("serialize: {e}"))?;
+    std::fs::write(&out, &json).map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote {} ({} bytes)", out, json.len());
+    Ok(())
+}
+
+fn cmd_identify(args: &Args) -> Result<(), String> {
+    let algo = args.algo()?;
+    let seed: u64 = args.parsed("seed", 1)?;
+    let path = args.path_config()?;
+    let classifier = load_or_train(args)?;
+    let (vector, wmax) = gather_vector(algo, &path, seed)?;
+    println!("probed at w_max rung {wmax}; vector: {:.2?}", vector.values);
+    match classifier.classify(&vector) {
+        Identification::Identified { class, confidence } => {
+            println!("identified: {class} ({:.0}% of forest votes)", 100.0 * confidence);
+            println!("ground truth: {algo}");
+        }
+        Identification::Unsure { best_guess, confidence } => {
+            println!("Unsure TCP (best guess {best_guess}, {:.0}%)", 100.0 * confidence);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(raw: &[&str]) -> Args {
+        Args::parse(&raw.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>()).expect("parse")
+    }
+
+    #[test]
+    fn parses_key_value_pairs_in_both_forms() {
+        let a = args(&["--algo", "CUBIC", "--seed=42"]);
+        assert_eq!(a.get("algo"), Some("CUBIC"));
+        assert_eq!(a.parsed::<u64>("seed", 1).unwrap(), 42);
+    }
+
+    #[test]
+    fn later_flags_win() {
+        let a = args(&["--seed", "1", "--seed", "2"]);
+        assert_eq!(a.parsed::<u64>("seed", 0).unwrap(), 2);
+    }
+
+    #[test]
+    fn missing_flags_fall_back_to_defaults() {
+        let a = args(&[]);
+        assert_eq!(a.parsed::<u32>("wmax", 512).unwrap(), 512);
+        assert!(a.algo().is_err());
+    }
+
+    #[test]
+    fn algo_parsing_uses_the_registry_aliases() {
+        let a = args(&["--algo", "cubic"]);
+        assert_eq!(a.algo().unwrap(), AlgorithmId::CubicV2);
+        let a = args(&["--algo", "westwood"]);
+        assert_eq!(a.algo().unwrap(), AlgorithmId::WestwoodPlus);
+    }
+
+    #[test]
+    fn dangling_flag_is_rejected() {
+        let raw = vec!["--seed".to_owned()];
+        assert!(Args::parse(&raw).is_err());
+    }
+
+    #[test]
+    fn positional_arguments_are_rejected() {
+        let raw = vec!["oops".to_owned()];
+        assert!(Args::parse(&raw).is_err());
+    }
+
+    #[test]
+    fn loss_out_of_range_is_rejected() {
+        let a = args(&["--loss", "1.5"]);
+        assert!(a.path_config().is_err());
+        let a = args(&["--loss", "0.02"]);
+        assert!(a.path_config().is_ok());
+    }
+}
+
+fn cmd_census(args: &Args) -> Result<(), String> {
+    let servers: u32 = args.parsed("servers", 1000)?;
+    let seed: u64 = args.parsed("seed", 1)?;
+    let workers: usize = args.parsed("workers", 4)?;
+    let classifier = load_or_train(args)?;
+    let db = ConditionDb::paper_2011();
+    let census = Census::new(classifier, db, ProberConfig::default());
+    let mut rng = seeded(seed);
+    let population = PopulationConfig::small(servers).generate(&mut rng);
+    eprintln!("probing {servers} servers on {workers} workers ...");
+    let report = census.run(&population, seed, workers);
+
+    if args.get("json").is_some() {
+        let json = serde_json::to_string_pretty(&report).map_err(|e| format!("{e}"))?;
+        println!("{json}");
+        return Ok(());
+    }
+
+    println!("total servers:       {}", report.total);
+    let invalid: usize = report.invalid.values().sum();
+    println!(
+        "invalid traces:      {} ({:.1}%)",
+        invalid,
+        100.0 * invalid as f64 / report.total.max(1) as f64
+    );
+    for (reason, n) in &report.invalid {
+        println!("    {reason:<28} {n}");
+    }
+    println!("valid traces:        {}", report.valid_total());
+    for (wmax, col) in report.columns.iter().rev() {
+        println!("  w_max = {wmax} ({} servers)", col.total());
+        for (class, n) in &col.identified {
+            println!("    {class:<28} {n}");
+        }
+        for (case, n) in &col.special {
+            println!("    [special] {case:<18} {n}");
+        }
+        if col.unsure > 0 {
+            println!("    [unsure]                     {}", col.unsure);
+        }
+    }
+    println!("\nfamily shares of valid traces:");
+    for family in ["BIC/CUBIC", "CTCP", "RENO", "RC-small", "HTCP"] {
+        println!("    {family:<12} {:.2}%", report.family_percent(family));
+    }
+    println!(
+        "\nground-truth accuracy over confident verdicts: {:.1}%",
+        100.0 * report.ground_truth_accuracy()
+    );
+    Ok(())
+}

@@ -1,0 +1,130 @@
+//! Integration: the §IV-C counter-measures against hostile TCP features,
+//! exercised through the public API.
+
+use caai::congestion::AlgorithmId;
+use caai::core::features::extract;
+use caai::core::prober::{Prober, ProberConfig};
+use caai::core::server_under_test::ServerUnderTest;
+use caai::netem::rng::seeded;
+use caai::netem::{EnvironmentId, PathConfig};
+use caai::tcpsim::{SenderQuirk, ServerConfig};
+
+#[test]
+fn frto_countermeasure_restores_the_beta_measurement() {
+    let cfg = ServerConfig::ideal().with_frto(true);
+    let server = ServerUnderTest::ideal_with_config(AlgorithmId::Reno, cfg);
+    let mut rng = seeded(50);
+
+    let with = Prober::new(ProberConfig::default());
+    let (t, _) = with.gather_trace(&server, EnvironmentId::A, 512, 0.0, &PathConfig::clean(), &mut rng);
+    let f = extract(&t);
+    assert!((f.beta - 0.5).abs() < 0.05, "with the dup ACK, β is measurable: {}", f.beta);
+
+    let mut pc = ProberConfig::default();
+    pc.frto_countermeasure = false;
+    let without = Prober::new(pc);
+    let (t2, _) =
+        without.gather_trace(&server, EnvironmentId::A, 512, 0.0, &PathConfig::clean(), &mut rng);
+    let f2 = extract(&t2);
+    assert!(
+        f2.beta == 0.0 || (f2.beta - 0.5).abs() > 0.05 || !t2.is_valid(),
+        "without it, the spurious-timeout path corrupts the measurement \
+         (beta {}, valid {})",
+        f2.beta,
+        t2.is_valid()
+    );
+}
+
+#[test]
+fn default_wait_strictly_exceeds_the_metric_cache_ttl() {
+    // Regression: a wait of exactly the TTL still hits the (inclusive)
+    // cache, silently defeating the §IV-C countermeasure.
+    let wait = ProberConfig::default().inter_connection_wait;
+    assert!(
+        wait > caai::tcpsim::cache::DEFAULT_TTL,
+        "wait {wait} must beat the cache TTL {}",
+        caai::tcpsim::cache::DEFAULT_TTL
+    );
+    // And the cache really is inclusive at the boundary.
+    let mut cache = caai::tcpsim::SsthreshCache::new();
+    cache.store(64, 0.0);
+    assert_eq!(cache.lookup(caai::tcpsim::cache::DEFAULT_TTL), Some(64));
+    assert_eq!(cache.lookup(wait), None);
+}
+
+#[test]
+fn ssthresh_caching_without_wait_starves_environment_b() {
+    let cfg = ServerConfig::ideal().with_ssthresh_caching(true);
+    let server = ServerUnderTest::ideal_with_config(AlgorithmId::Reno, cfg);
+    let mut rng = seeded(51);
+
+    // With the wait (default 600 s) the cache expires: normal gathering.
+    let patient = Prober::new(ProberConfig::default());
+    let outcome = patient.gather(&server, &PathConfig::clean(), &mut rng);
+    let pair = outcome.pair.expect("patient prober succeeds");
+    let pre_rounds_patient = pair.env_b.pre.len();
+
+    // Without the wait, environment B starts at the cached (halved)
+    // threshold: slow start exits early and reaching w_max takes far
+    // longer (or fails outright).
+    let mut pc = ProberConfig::default();
+    pc.inter_connection_wait = 1.0;
+    let hasty = Prober::new(pc);
+    let outcome = hasty.gather(&server, &PathConfig::clean(), &mut rng);
+    match outcome.pair {
+        None => {} // starved entirely — the failure the paper describes
+        Some(pair) => {
+            assert!(
+                pair.env_b.pre.len() > pre_rounds_patient + 3,
+                "cached threshold must slow environment B: {} vs {}",
+                pair.env_b.pre.len(),
+                pre_rounds_patient
+            );
+        }
+    }
+}
+
+#[test]
+fn acking_as_if_no_loss_prevents_spurious_fast_retransmit() {
+    // Even at 10% data loss the server must never see duplicate ACKs from
+    // the prober before the emulated timeout: the pre-timeout trace stays
+    // a clean slow start.
+    let server = ServerUnderTest::ideal(AlgorithmId::Reno);
+    let prober = Prober::new(ProberConfig::default());
+    let mut rng = seeded(52);
+    let mut path = PathConfig::clean();
+    path.data_loss = 0.10;
+    let (t, _) = prober.gather_trace(&server, EnvironmentId::A, 512, 0.0, &path, &mut rng);
+    assert!(t.is_valid(), "data loss alone must not break gathering");
+    // The pre-timeout window kept doubling: the server never saw loss.
+    let grows = t.pre.windows(2).filter(|w| w[1] > w[0]).count();
+    assert!(
+        grows >= t.pre.len() - 2,
+        "server-side slow start must be undisturbed: {:?}",
+        t.pre
+    );
+}
+
+#[test]
+fn quirky_servers_produce_their_catalogued_special_traces() {
+    use caai::core::special::{detect, SpecialCase};
+    let mut rng = seeded(53);
+    let cases = [
+        (SenderQuirk::RemainAtOne, Some(SpecialCase::RemainingAtOnePacket)),
+        (SenderQuirk::NonIncreasing, Some(SpecialCase::NonincreasingWindow)),
+        (SenderQuirk::ApproachPreTimeoutMax, Some(SpecialCase::ApproachingWmax)),
+        (
+            SenderQuirk::BufferBoundedRecovery { percent_of_wmax: 125 },
+            Some(SpecialCase::BoundedWindow),
+        ),
+    ];
+    for (quirk, expected) in cases {
+        let cfg = ServerConfig::ideal().with_quirk(quirk);
+        let server = ServerUnderTest::ideal_with_config(AlgorithmId::Reno, cfg);
+        let prober = Prober::new(ProberConfig::fixed_wmax(128));
+        let (t, _) =
+            prober.gather_trace(&server, EnvironmentId::A, 128, 0.0, &PathConfig::clean(), &mut rng);
+        assert!(t.is_valid(), "{quirk:?} traces are valid");
+        assert_eq!(detect(&t), expected, "{quirk:?}");
+    }
+}

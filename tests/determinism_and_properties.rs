@@ -1,0 +1,167 @@
+//! Integration: cross-crate determinism and property-based invariants of
+//! the whole pipeline.
+
+use caai::congestion::{AlgorithmId, ALL_IDENTIFIED};
+use caai::core::features::{extract, extract_pair, ACK_LOSS_MAX, ACK_LOSS_MIN, BETA_MAX};
+use caai::core::prober::{Prober, ProberConfig};
+use caai::core::server_under_test::ServerUnderTest;
+use caai::netem::rng::seeded;
+use caai::netem::{EnvironmentId, PathConfig};
+use proptest::prelude::*;
+
+#[test]
+fn full_pipeline_is_deterministic_per_seed() {
+    let server = ServerUnderTest::ideal(AlgorithmId::Htcp);
+    let prober = Prober::new(ProberConfig::default());
+    let path = PathConfig::lossy(0.03);
+    let run = |seed: u64| {
+        let mut rng = seeded(seed);
+        let outcome = prober.gather(&server, &path, &mut rng);
+        outcome.pair.map(|p| extract_pair(&p).values)
+    };
+    assert_eq!(run(7), run(7));
+    // And different seeds explore different loss patterns.
+    let a = run(7);
+    let b = run(8);
+    assert!(a.is_some() && b.is_some());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Whatever the algorithm, seed and (mild) loss rate, gathered traces
+    /// and extracted features respect the paper's clamps.
+    #[test]
+    fn features_respect_clamps(
+        algo_idx in 0usize..ALL_IDENTIFIED.len(),
+        seed in 0u64..1_000,
+        loss_permille in 0u32..40,
+    ) {
+        let algo = ALL_IDENTIFIED[algo_idx];
+        let server = ServerUnderTest::ideal(algo);
+        let prober = Prober::new(ProberConfig::default());
+        let path = PathConfig::lossy(f64::from(loss_permille) / 1000.0);
+        let mut rng = seeded(seed);
+        let outcome = prober.gather(&server, &path, &mut rng);
+        if let Some(pair) = outcome.pair {
+            for trace in [&pair.env_a, &pair.env_b] {
+                let f = extract(trace);
+                prop_assert!(f.beta == 0.0 || (0.5..=BETA_MAX).contains(&f.beta),
+                    "{algo:?}: beta {}", f.beta);
+                prop_assert!((ACK_LOSS_MIN..=ACK_LOSS_MAX).contains(&f.ack_loss));
+                prop_assert!(f.g3.is_finite() && f.g6.is_finite());
+            }
+            let v = extract_pair(&pair);
+            prop_assert!(v.values.iter().all(|x| x.is_finite()));
+            prop_assert!(v.values[6] == 0.0 || v.values[6] == 1.0);
+        }
+    }
+
+    /// Valid traces always have exactly the required post-timeout length
+    /// and a positive pre-timeout peak above the threshold.
+    #[test]
+    fn valid_traces_are_well_formed(seed in 0u64..500) {
+        let server = ServerUnderTest::ideal(AlgorithmId::Reno);
+        let prober = Prober::new(ProberConfig::default());
+        let mut rng = seeded(seed);
+        let outcome = prober.gather(&server, &PathConfig::lossy(0.01), &mut rng);
+        if let Some(pair) = outcome.pair {
+            for t in [&pair.env_a, &pair.env_b] {
+                prop_assert!(t.post.len() == caai::core::POST_TIMEOUT_ROUNDS);
+                let w_b = t.w_before_timeout().expect("crossed");
+                prop_assert!(w_b > 0);
+            }
+        }
+    }
+
+    /// Duplication and reordering (late arrivals) must never corrupt the
+    /// measurement into something the clamps cannot contain: §IV-D's
+    /// highest-sequence-number rule absorbs both.
+    #[test]
+    fn duplication_and_reordering_stay_within_clamps(
+        seed in 0u64..400,
+        dup_permille in 0u32..30,
+        late_permille in 0u32..150,
+    ) {
+        let server = ServerUnderTest::ideal(AlgorithmId::CubicV2);
+        let prober = Prober::new(ProberConfig::default());
+        let path = PathConfig {
+            data_loss: 0.0,
+            ack_loss: 0.0,
+            data_dup: f64::from(dup_permille) / 1000.0,
+            late_prob: f64::from(late_permille) / 1000.0,
+        };
+        let mut rng = seeded(seed);
+        let outcome = prober.gather(&server, &path, &mut rng);
+        if let Some(pair) = outcome.pair {
+            let v = extract_pair(&pair);
+            prop_assert!(v.values.iter().all(|x| x.is_finite()));
+            let beta_a = v.values[0];
+            prop_assert!(beta_a == 0.0 || (0.5..=BETA_MAX).contains(&beta_a),
+                "β^A out of clamp under dup/reorder: {beta_a}");
+            // A measured window can never exceed one round's worth of
+            // sequence progress plus carried duplicates: bounded by twice
+            // the true maximum window.
+            for t in [&pair.env_a, &pair.env_b] {
+                let max = t.max_window();
+                prop_assert!(max < 4096, "absurd window measurement {max}");
+            }
+        }
+    }
+
+    /// Pure ACK loss (the direction equation (1) models) must keep the
+    /// ACK-loss estimate within its clamps and rising with the true rate.
+    #[test]
+    fn ack_loss_estimate_tracks_true_loss(seed in 0u64..200, loss_pct in 0u32..25) {
+        let server = ServerUnderTest::ideal(AlgorithmId::Reno);
+        let prober = Prober::new(ProberConfig::default());
+        let path = PathConfig {
+            data_loss: 0.0,
+            ack_loss: f64::from(loss_pct) / 100.0,
+            data_dup: 0.0,
+            late_prob: 0.0,
+        };
+        let mut rng = seeded(seed);
+        let outcome = prober.gather(&server, &path, &mut rng);
+        if let Some(pair) = outcome.pair {
+            let f = extract(&pair.env_a);
+            prop_assert!((ACK_LOSS_MIN..=ACK_LOSS_MAX).contains(&f.ack_loss));
+        }
+    }
+}
+
+#[test]
+fn environment_b_step_is_visible_to_delay_based_algorithms() {
+    // ILLINOIS must present a different β in environment B than in A —
+    // the raison d'être of the RTT step (§IV-B).
+    let server = ServerUnderTest::ideal(AlgorithmId::Illinois);
+    let prober = Prober::new(ProberConfig::default());
+    let mut rng = seeded(70);
+    let (a, _) =
+        prober.gather_trace(&server, EnvironmentId::A, 512, 0.0, &PathConfig::clean(), &mut rng);
+    let (b, _) =
+        prober.gather_trace(&server, EnvironmentId::B, 512, 0.0, &PathConfig::clean(), &mut rng);
+    let fa = extract(&a);
+    let fb = extract(&b);
+    assert!(
+        (fa.beta - fb.beta).abs() > 0.1,
+        "ILLINOIS β must differ across environments: A {} vs B {}",
+        fa.beta,
+        fb.beta
+    );
+}
+
+#[test]
+fn veno_mirrors_the_papers_environment_contrast() {
+    // VENO: β ≈ 0.8 in environment A (no queueing → random-loss heuristic)
+    // but ≈ 0.5 in environment B — while RENO is 0.5 in both (§IV-B).
+    let prober = Prober::new(ProberConfig::default());
+    let mut rng = seeded(71);
+    let veno = ServerUnderTest::ideal(AlgorithmId::Veno);
+    let (a, _) =
+        prober.gather_trace(&veno, EnvironmentId::A, 512, 0.0, &PathConfig::clean(), &mut rng);
+    let (b, _) =
+        prober.gather_trace(&veno, EnvironmentId::B, 512, 0.0, &PathConfig::clean(), &mut rng);
+    assert!((extract(&a).beta - 0.8).abs() < 0.05, "VENO env A: {}", extract(&a).beta);
+    assert!((extract(&b).beta - 0.5).abs() < 0.05, "VENO env B: {}", extract(&b).beta);
+}

@@ -1,0 +1,119 @@
+//! End-to-end integration: train the classifier on simulated testbed
+//! traces and verify it identifies every algorithm on clean and
+//! mildly-lossy paths — the core claim of the paper at reduced scale.
+
+use caai::congestion::{AlgorithmId, ALL_IDENTIFIED};
+use caai::core::classes::ClassLabel;
+use caai::core::classify::{CaaiClassifier, Identification};
+use caai::core::features::extract_pair;
+use caai::core::prober::{Prober, ProberConfig};
+use caai::core::server_under_test::ServerUnderTest;
+use caai::core::training::{build_training_set, TrainingConfig};
+use caai::netem::rng::seeded;
+use caai::netem::{ConditionDb, PathConfig};
+
+fn trained_classifier(seed: u64, conditions: usize) -> CaaiClassifier {
+    let db = ConditionDb::paper_2011();
+    let mut rng = seeded(seed);
+    let data = build_training_set(&TrainingConfig::quick(conditions), &db, &mut rng);
+    CaaiClassifier::train(&data, &mut rng)
+}
+
+#[test]
+fn identifies_all_fourteen_algorithms_on_a_clean_path() {
+    let classifier = trained_classifier(800, 4);
+    let prober = Prober::new(ProberConfig::default());
+    let mut rng = seeded(801);
+    let mut correct = 0;
+    for algo in ALL_IDENTIFIED {
+        let server = ServerUnderTest::ideal(algo);
+        let outcome = prober.gather(&server, &PathConfig::clean(), &mut rng);
+        let pair = outcome.pair.unwrap_or_else(|| panic!("{algo:?}: gathering failed"));
+        let wmax = pair.wmax_threshold();
+        let v = extract_pair(&pair);
+        match classifier.classify(&v) {
+            Identification::Identified { class, .. } if class.matches(algo, wmax) => correct += 1,
+            other => eprintln!("{algo:?} at wmax {wmax}: got {other:?}"),
+        }
+    }
+    assert!(
+        correct >= 12,
+        "at least 12/14 clean-path identifications must be exact, got {correct}"
+    );
+}
+
+#[test]
+fn identification_survives_mild_loss() {
+    let classifier = trained_classifier(810, 4);
+    let prober = Prober::new(ProberConfig::default());
+    let mut rng = seeded(811);
+    let path = PathConfig::lossy(0.01);
+    let mut correct = 0;
+    let probes = [
+        AlgorithmId::Reno,
+        AlgorithmId::Bic,
+        AlgorithmId::CubicV2,
+        AlgorithmId::Scalable,
+        AlgorithmId::Htcp,
+        AlgorithmId::WestwoodPlus,
+    ];
+    for algo in probes {
+        let server = ServerUnderTest::ideal(algo);
+        let outcome = prober.gather(&server, &path, &mut rng);
+        if let Some(pair) = outcome.pair {
+            let wmax = pair.wmax_threshold();
+            if let Identification::Identified { class, .. } =
+                classifier.classify(&extract_pair(&pair))
+            {
+                if class.matches(algo, wmax) {
+                    correct += 1;
+                }
+            }
+        }
+    }
+    assert!(correct >= 4, "1% loss should leave most identifications intact: {correct}/6");
+}
+
+#[test]
+fn version_splits_are_resolved_at_large_wmax() {
+    // The hardest cases: CUBIC v1 vs v2 (β 0.8 vs 0.7) and CTCP v1 vs v2
+    // (post-timeout RTT-step reaction) must separate at w_max = 512.
+    let classifier = trained_classifier(820, 6);
+    let prober = Prober::new(ProberConfig::default());
+    let mut rng = seeded(821);
+    for (algo, want) in [
+        (AlgorithmId::CubicV1, ClassLabel::Cubic1),
+        (AlgorithmId::CubicV2, ClassLabel::Cubic2),
+        (AlgorithmId::CtcpV1, ClassLabel::Ctcp1Big),
+        (AlgorithmId::CtcpV2, ClassLabel::Ctcp2Big),
+    ] {
+        let server = ServerUnderTest::ideal(algo);
+        let outcome = prober.gather(&server, &PathConfig::clean(), &mut rng);
+        let pair = outcome.pair.expect("gathering");
+        assert_eq!(pair.wmax_threshold(), 512);
+        match classifier.classify(&extract_pair(&pair)) {
+            Identification::Identified { class, .. } => {
+                assert_eq!(class, want, "{algo:?} must resolve to {want}");
+            }
+            Identification::Unsure { best_guess, confidence } => panic!(
+                "{algo:?} unexpectedly unsure (best {best_guess}, {confidence})"
+            ),
+        }
+    }
+}
+
+#[test]
+fn vegas_is_identified_through_the_indicator() {
+    let classifier = trained_classifier(830, 4);
+    let prober = Prober::new(ProberConfig::default());
+    let mut rng = seeded(831);
+    let server = ServerUnderTest::ideal(AlgorithmId::Vegas);
+    let outcome = prober.gather(&server, &PathConfig::clean(), &mut rng);
+    let pair = outcome.pair.expect("VEGAS pair");
+    let v = extract_pair(&pair);
+    assert_eq!(v.values[6], 0.0, "environment B plateaus below 64");
+    match classifier.classify(&v) {
+        Identification::Identified { class, .. } => assert_eq!(class, ClassLabel::Vegas),
+        other => panic!("VEGAS must be identified, got {other:?}"),
+    }
+}

@@ -1,0 +1,94 @@
+//! Integration: public data structures serialize and deserialize cleanly
+//! (traces, feature vectors, reports), so measurement campaigns can be
+//! checkpointed.
+
+use caai::core::features::FeatureVector;
+use caai::core::trace::{InvalidReason, WindowTrace};
+use caai::netem::{EnvironmentId, NetworkCondition, PathConfig};
+use caai::tcpsim::ServerConfig;
+
+#[test]
+fn window_trace_round_trips_through_json() {
+    let t = WindowTrace {
+        env: EnvironmentId::B,
+        wmax_threshold: 256,
+        mss: 536,
+        pre: vec![2, 4, 8, 260],
+        post: (1..=18).collect(),
+        invalid: None,
+    };
+    let json = serde_json::to_string(&t).expect("serialize");
+    let back: WindowTrace = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(t, back);
+}
+
+#[test]
+fn invalid_reason_is_tagged_readably() {
+    let t = WindowTrace {
+        env: EnvironmentId::A,
+        wmax_threshold: 64,
+        mss: 100,
+        pre: vec![2],
+        post: vec![],
+        invalid: Some(InvalidReason::PageTooShort),
+    };
+    let json = serde_json::to_string(&t).unwrap();
+    assert!(json.contains("PageTooShort"), "{json}");
+}
+
+#[test]
+fn feature_vector_round_trips() {
+    let v = FeatureVector { values: [0.8, 20.0, 45.0, 0.8, 18.0, 40.0, 1.0] };
+    let json = serde_json::to_string(&v).unwrap();
+    let back: FeatureVector = serde_json::from_str(&json).unwrap();
+    assert_eq!(v, back);
+}
+
+#[test]
+fn trained_classifier_round_trips_and_agrees() {
+    use caai::core::classes::{label_names, ClassLabel};
+    use caai::core::classify::CaaiClassifier;
+    use caai::ml::Dataset;
+
+    // A small synthetic training set over the real 15-class table.
+    let mut data = Dataset::new(label_names(), 7);
+    for i in 0..30 {
+        let j = (i % 5) as f64 / 50.0;
+        data.push(vec![0.5 + j, 3.0, 6.0, 0.5, 3.0, 6.0, 1.0], ClassLabel::RenoBig.index());
+        data.push(vec![0.8 + j, 25.0, 50.0, 0.8, 25.0, 50.0, 1.0], ClassLabel::Bic.index());
+    }
+    let mut rng = caai::netem::rng::seeded(60);
+    let clf = CaaiClassifier::train(&data, &mut rng);
+    let json = serde_json::to_string(&clf).expect("serialize classifier");
+    let back: CaaiClassifier = serde_json::from_str(&json).expect("deserialize classifier");
+    for s in data.samples() {
+        let v = FeatureVector {
+            values: [
+                s.features[0],
+                s.features[1],
+                s.features[2],
+                s.features[3],
+                s.features[4],
+                s.features[5],
+                s.features[6],
+            ],
+        };
+        assert_eq!(clf.classify(&v), back.classify(&v), "restored model must agree");
+    }
+}
+
+#[test]
+fn configs_round_trip() {
+    let p = PathConfig::lossy(0.05);
+    let back: PathConfig = serde_json::from_str(&serde_json::to_string(&p).unwrap()).unwrap();
+    assert_eq!(p, back);
+
+    let s = ServerConfig::ideal().with_frto(true).with_mss(536);
+    let back: ServerConfig = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+    assert_eq!(s, back);
+
+    let c = NetworkCondition { rtt_mean: 0.1, rtt_std: 0.02, loss_rate: 0.01 };
+    let back: NetworkCondition =
+        serde_json::from_str(&serde_json::to_string(&c).unwrap()).unwrap();
+    assert_eq!(c, back);
+}
