@@ -21,7 +21,11 @@ fn drive(algo: AlgorithmId) -> u32 {
     let mut now = 0.0;
     for i in 0..ACKS {
         now += 0.001;
-        let ack = Ack { now, acked: 1, rtt: 0.1 + (i % 7) as f64 * 0.001 };
+        let ack = Ack {
+            now,
+            acked: 1,
+            rtt: 0.1 + (i % 7) as f64 * 0.001,
+        };
         tp.snd_una += 1;
         tp.snd_nxt = tp.snd_una + u64::from(tp.cwnd);
         cc.pkts_acked(&mut tp, &ack);
@@ -43,7 +47,12 @@ fn bench_per_ack(c: &mut Criterion) {
 
 fn bench_loss_event(c: &mut Criterion) {
     let mut group = c.benchmark_group("loss_event_cost");
-    for algo in [AlgorithmId::Reno, AlgorithmId::CubicV2, AlgorithmId::Htcp, AlgorithmId::Yeah] {
+    for algo in [
+        AlgorithmId::Reno,
+        AlgorithmId::CubicV2,
+        AlgorithmId::Htcp,
+        AlgorithmId::Yeah,
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(algo), &algo, |b, &algo| {
             let mut cc = algo.build();
             let mut tp = Transport::new(1460);

@@ -2,14 +2,16 @@
 //!
 //! One measured element is one server probed end to end: sample a network
 //! condition, walk the `w_max` ladder in both environments, extract
-//! features, classify. This is the unit the paper repeated ~63,000 times;
-//! the thread-scaling group shows how the sharded census driver spreads
-//! that work.
+//! features, classify. This is the unit the paper repeated ~63,000 times.
+//! The scaling group drives `caai-engine`'s work-stealing scheduler
+//! across worker counts; a separate pair compares the engine against the
+//! thin in-memory `Census::run` wrapper at the same worker count.
 
 use caai_core::census::Census;
 use caai_core::classify::CaaiClassifier;
 use caai_core::prober::ProberConfig;
 use caai_core::training::{build_training_set, TrainingConfig};
+use caai_engine::{AggregatingSink, CensusEngine, EngineConfig};
 use caai_netem::rng::seeded;
 use caai_netem::ConditionDb;
 use caai_webmodel::{PopulationConfig, WebServer};
@@ -28,6 +30,22 @@ fn population(n: u32) -> Vec<WebServer> {
     PopulationConfig::small(n).generate(&mut seeded(2))
 }
 
+fn engine_run(census: &Census, servers: &[WebServer], workers: usize) -> usize {
+    let engine = CensusEngine::new(
+        census.clone(),
+        EngineConfig {
+            seed: 9,
+            workers,
+            ..EngineConfig::default()
+        },
+    );
+    let mut agg = AggregatingSink::new();
+    let outcome = engine
+        .run(servers, &mut [&mut agg], None)
+        .expect("no I/O in bench");
+    outcome.report.total
+}
+
 fn bench_probe_one(c: &mut Criterion) {
     let census = make_census();
     let servers = population(16);
@@ -35,30 +53,49 @@ fn bench_probe_one(c: &mut Criterion) {
     group.sample_size(20);
     group.throughput(Throughput::Elements(1));
     group.bench_function("single_server", |b| {
-        let mut rng = seeded(3);
         let mut i = 0usize;
         b.iter(|| {
             let s = &servers[i % servers.len()];
             i += 1;
-            black_box(census.probe(s, &mut rng))
+            black_box(census.probe_seeded(s, 3))
         });
     });
     group.finish();
 }
 
-fn bench_thread_scaling(c: &mut Criterion) {
+fn bench_engine_thread_scaling(c: &mut Criterion) {
     let census = make_census();
     let servers = population(64);
-    let mut group = c.benchmark_group("census_thread_scaling");
+    let mut group = c.benchmark_group("census_engine_thread_scaling");
     group.sample_size(10);
     group.throughput(Throughput::Elements(servers.len() as u64));
     for workers in [1usize, 2, 4, 8] {
         group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
-            b.iter(|| black_box(census.run(&servers, 9, w)));
+            b.iter(|| black_box(engine_run(&census, &servers, w)));
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_probe_one, bench_thread_scaling);
+fn bench_engine_vs_thin_wrapper(c: &mut Criterion) {
+    let census = make_census();
+    let servers = population(64);
+    let mut group = c.benchmark_group("census_engine_vs_wrapper");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(servers.len() as u64));
+    group.bench_function("engine_4_workers", |b| {
+        b.iter(|| black_box(engine_run(&census, &servers, 4)));
+    });
+    group.bench_function("core_run_4_workers", |b| {
+        b.iter(|| black_box(census.run(&servers, 9, 4)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_probe_one,
+    bench_engine_thread_scaling,
+    bench_engine_vs_thin_wrapper
+);
 criterion_main!(benches);

@@ -19,12 +19,19 @@ fn gather_pair(algo: AlgorithmId) -> TracePair {
     let server = ServerUnderTest::ideal(algo);
     let prober = Prober::new(ProberConfig::default());
     let mut rng = seeded(3);
-    prober.gather(&server, &PathConfig::clean(), &mut rng).pair.expect("ideal server")
+    prober
+        .gather(&server, &PathConfig::clean(), &mut rng)
+        .pair
+        .expect("ideal server")
 }
 
 fn bench_extract_pair(c: &mut Criterion) {
     let mut group = c.benchmark_group("extract_pair");
-    for algo in [AlgorithmId::Reno, AlgorithmId::Bic, AlgorithmId::WestwoodPlus] {
+    for algo in [
+        AlgorithmId::Reno,
+        AlgorithmId::Bic,
+        AlgorithmId::WestwoodPlus,
+    ] {
         let pair = gather_pair(algo);
         group.bench_with_input(BenchmarkId::from_parameter(algo), &pair, |b, pair| {
             b.iter(|| black_box(extract_pair(pair)));

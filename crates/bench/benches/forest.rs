@@ -6,8 +6,8 @@
 
 use caai_core::training::{build_training_set, TrainingConfig};
 use caai_ml::{
-    Classifier, Dataset, GaussianNaiveBayes, KnnClassifier, LinearSvm, MlpClassifier,
-    MlpConfig, RandomForest, RandomForestConfig, SvmConfig,
+    Classifier, Dataset, GaussianNaiveBayes, KnnClassifier, LinearSvm, MlpClassifier, MlpConfig,
+    RandomForest, RandomForestConfig, SvmConfig,
 };
 use caai_netem::rng::seeded;
 use caai_netem::ConditionDb;
@@ -29,7 +29,10 @@ fn bench_forest_fit(c: &mut Criterion) {
     for n_trees in [10usize, 40, 80, 160] {
         group.bench_with_input(BenchmarkId::from_parameter(n_trees), &n_trees, |b, &n| {
             b.iter(|| {
-                let mut f = RandomForest::new(RandomForestConfig { n_trees: n, mtry: 4 });
+                let mut f = RandomForest::new(RandomForestConfig {
+                    n_trees: n,
+                    mtry: 4,
+                });
                 f.fit(&data, &mut seeded(2));
                 black_box(f)
             });
@@ -42,8 +45,12 @@ fn bench_forest_predict(c: &mut Criterion) {
     let data = training_set();
     let mut forest = RandomForest::new(RandomForestConfig::paper());
     forest.fit(&data, &mut seeded(3));
-    let queries: Vec<&[f64]> =
-        data.samples().iter().take(64).map(|s| s.features.as_slice()).collect();
+    let queries: Vec<&[f64]> = data
+        .samples()
+        .iter()
+        .take(64)
+        .map(|s| s.features.as_slice())
+        .collect();
     let mut group = c.benchmark_group("forest_predict");
     group.throughput(Throughput::Elements(queries.len() as u64));
     group.bench_function("paper_config_batch64", |b| {
@@ -65,7 +72,10 @@ fn bench_mtry_sweep(c: &mut Criterion) {
     for mtry in [1usize, 2, 4, 7] {
         group.bench_with_input(BenchmarkId::from_parameter(mtry), &mtry, |b, &m| {
             b.iter(|| {
-                let mut f = RandomForest::new(RandomForestConfig { n_trees: 20, mtry: m });
+                let mut f = RandomForest::new(RandomForestConfig {
+                    n_trees: 20,
+                    mtry: m,
+                });
                 f.fit(&data, &mut seeded(4));
                 black_box(f)
             });
@@ -82,12 +92,18 @@ fn bench_classifier_lineup(c: &mut Criterion) {
 
     fn fit_and_score<C: Classifier>(mut model: C, data: &Dataset) -> usize {
         model.fit(data, &mut seeded(5));
-        data.samples().iter().filter(|s| model.predict(&s.features).label == s.label).count()
+        data.samples()
+            .iter()
+            .filter(|s| model.predict(&s.features).label == s.label)
+            .count()
     }
 
     group.bench_function("random_forest", |b| {
         b.iter(|| {
-            black_box(fit_and_score(RandomForest::new(RandomForestConfig::paper()), &data))
+            black_box(fit_and_score(
+                RandomForest::new(RandomForestConfig::paper()),
+                &data,
+            ))
         });
     });
     group.bench_function("knn_k3", |b| {
@@ -97,7 +113,12 @@ fn bench_classifier_lineup(c: &mut Criterion) {
         b.iter(|| black_box(fit_and_score(GaussianNaiveBayes::default(), &data)));
     });
     group.bench_function("mlp", |b| {
-        b.iter(|| black_box(fit_and_score(MlpClassifier::new(MlpConfig::default()), &data)));
+        b.iter(|| {
+            black_box(fit_and_score(
+                MlpClassifier::new(MlpConfig::default()),
+                &data,
+            ))
+        });
     });
     group.bench_function("linear_svm", |b| {
         b.iter(|| black_box(fit_and_score(LinearSvm::new(SvmConfig::default()), &data)));

@@ -16,7 +16,12 @@ use std::hint::black_box;
 fn bench_single_trace(c: &mut Criterion) {
     let mut group = c.benchmark_group("gather_one_trace");
     let prober = Prober::new(ProberConfig::default());
-    for algo in [AlgorithmId::Reno, AlgorithmId::CubicV2, AlgorithmId::CtcpV2, AlgorithmId::Htcp] {
+    for algo in [
+        AlgorithmId::Reno,
+        AlgorithmId::CubicV2,
+        AlgorithmId::CtcpV2,
+        AlgorithmId::Htcp,
+    ] {
         for env in [EnvironmentId::A, EnvironmentId::B] {
             let id = BenchmarkId::new(format!("{algo}"), format!("env_{env:?}"));
             group.bench_with_input(id, &(algo, env), |b, &(algo, env)| {
@@ -66,8 +71,10 @@ fn bench_full_protocol(c: &mut Criterion) {
     let mut group = c.benchmark_group("gather_full_protocol");
     group.sample_size(20);
     let prober = Prober::new(ProberConfig::default());
-    for (name, path) in [("clean", PathConfig::clean()), ("lossy_2pct", PathConfig::lossy(0.02))]
-    {
+    for (name, path) in [
+        ("clean", PathConfig::clean()),
+        ("lossy_2pct", PathConfig::lossy(0.02)),
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &path, |b, path| {
             let server = ServerUnderTest::ideal(AlgorithmId::CubicV2);
             let mut rng = seeded(11);
@@ -77,5 +84,10 @@ fn bench_full_protocol(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_single_trace, bench_wmax_ladder, bench_full_protocol);
+criterion_group!(
+    benches,
+    bench_single_trace,
+    bench_wmax_ladder,
+    bench_full_protocol
+);
 criterion_main!(benches);

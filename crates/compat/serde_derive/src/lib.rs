@@ -1,0 +1,397 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `serde::Serialize` / `serde::Deserialize` impls (the
+//! workspace's value-based miniature serde, not upstream serde) for the
+//! shapes this codebase uses: structs with named fields, and enums with
+//! unit, tuple, and struct variants. Generics, lifetimes, and `#[serde]`
+//! attributes are not supported — the workspace does not use them.
+//!
+//! Parsing is hand-rolled over `proc_macro::TokenStream` because `syn`
+//! is unavailable offline; only item shape (names and arities) is needed,
+//! never field types, which keeps the parser small.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Derives the workspace `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::Struct(fields) => serialize_struct(&name, fields),
+        Shape::Enum(variants) => serialize_enum(&name, variants),
+    };
+    body.parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derives the workspace `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::Struct(fields) => deserialize_struct(&name, fields),
+        Shape::Enum(variants) => deserialize_enum(&name, variants),
+    };
+    body.parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ---- parsing ---------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> (String, Shape) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2, // `#` + [...]
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                // `pub(crate)` and friends.
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic type `{name}` is not supported by the offline stub");
+        }
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("serde_derive: expected braced body for `{name}`, got {other:?}"),
+    };
+
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct(parse_named_fields(body)),
+        "enum" => Shape::Enum(parse_variants(body)),
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    (name, shape)
+}
+
+/// Parses `field: Type, ...` (attributes and visibility allowed).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                i += 1;
+                match tokens.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+                    other => panic!("serde_derive: expected `:` after field, got {other:?}"),
+                }
+                i = skip_type(&tokens, i);
+                // Skip the separating comma, if any.
+                if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+                    if p.as_char() == ',' {
+                        i += 1;
+                    }
+                }
+            }
+            other => panic!("serde_derive: unexpected token in fields: {other:?}"),
+        }
+    }
+    fields
+}
+
+/// Advances past a type, stopping at a comma outside angle brackets.
+fn skip_type(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle_depth = 0i32;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                i += 1;
+                let kind = match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        i += 1;
+                        VariantKind::Tuple(count_tuple_arity(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        i += 1;
+                        VariantKind::Struct(parse_named_fields(g.stream()))
+                    }
+                    _ => VariantKind::Unit,
+                };
+                // Skip an explicit discriminant (`= expr`) and the comma.
+                if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+                    if p.as_char() == '=' {
+                        i += 1;
+                        i = skip_type(&tokens, i);
+                    }
+                }
+                if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+                    if p.as_char() == ',' {
+                        i += 1;
+                    }
+                }
+                variants.push(Variant { name, kind });
+            }
+            other => panic!("serde_derive: unexpected token in enum body: {other:?}"),
+        }
+    }
+    variants
+}
+
+/// Counts the comma-separated types in a tuple variant's parentheses.
+fn count_tuple_arity(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        let next = skip_type(&tokens, i);
+        if next > i {
+            arity += 1;
+        }
+        i = next + 1; // step over the comma
+    }
+    arity
+}
+
+// ---- code generation -------------------------------------------------
+
+fn serialize_struct(name: &str, fields: &[String]) -> String {
+    let pushes: String = fields
+        .iter()
+        .map(|f| {
+            format!("__m.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));\n")
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n\
+         let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n\
+         {pushes}\
+         ::serde::Value::Map(__m)\n\
+         }}\n}}\n"
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &[String]) -> String {
+    let inits: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: match ::serde::get_field(__m, {f:?}) {{\n\
+                 ::std::option::Option::Some(__v) => ::serde::Deserialize::from_value(__v)?,\n\
+                 ::std::option::Option::None => \
+                 ::serde::Deserialize::missing_field({name:?}, {f:?})?,\n\
+                 }},\n"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n\
+         let __m = __v.as_map().ok_or_else(|| \
+         ::serde::Error::msg(\"expected object for struct {name}\"))?;\n\
+         let _ = &__m;\n\
+         ::std::result::Result::Ok({name} {{\n{inits}}})\n\
+         }}\n}}\n"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| {
+            let vn = &v.name;
+            match &v.kind {
+                VariantKind::Unit => {
+                    format!("{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),\n")
+                }
+                VariantKind::Tuple(1) => format!(
+                    "{name}::{vn}(__a0) => ::serde::Value::Map(vec![({vn:?}.to_string(), \
+                     ::serde::Serialize::to_value(__a0))]),\n"
+                ),
+                VariantKind::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|i| format!("__a{i}")).collect();
+                    let elems: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!(
+                        "{name}::{vn}({}) => ::serde::Value::Map(vec![({vn:?}.to_string(), \
+                         ::serde::Value::Seq(vec![{}]))]),\n",
+                        binds.join(", "),
+                        elems.join(", ")
+                    )
+                }
+                VariantKind::Struct(fields) => {
+                    let binds = fields.join(", ");
+                    let pushes: Vec<String> = fields
+                        .iter()
+                        .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))"))
+                        .collect();
+                    format!(
+                        "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![\
+                         ({vn:?}.to_string(), ::serde::Value::Map(vec![{}]))]),\n",
+                        pushes.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n\
+         match self {{\n{arms}}}\n\
+         }}\n}}\n"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| {
+            let vn = &v.name;
+            format!("{vn:?} => ::std::result::Result::Ok({name}::{vn}),\n")
+        })
+        .collect();
+
+    let tagged_arms: String = variants
+        .iter()
+        .filter(|v| !matches!(v.kind, VariantKind::Unit))
+        .map(|v| {
+            let vn = &v.name;
+            match &v.kind {
+                VariantKind::Unit => unreachable!(),
+                VariantKind::Tuple(1) => format!(
+                    "{vn:?} => ::std::result::Result::Ok({name}::{vn}(\
+                     ::serde::Deserialize::from_value(__inner)?)),\n"
+                ),
+                VariantKind::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__seq[{i}])?"))
+                        .collect();
+                    format!(
+                        "{vn:?} => {{\n\
+                         let __seq = __inner.as_seq().ok_or_else(|| \
+                         ::serde::Error::msg(\"expected array for variant {name}::{vn}\"))?;\n\
+                         if __seq.len() != {n} {{ return ::std::result::Result::Err(\
+                         ::serde::Error::msg(\"wrong arity for variant {name}::{vn}\")); }}\n\
+                         ::std::result::Result::Ok({name}::{vn}({}))\n\
+                         }}\n",
+                        elems.join(", ")
+                    )
+                }
+                VariantKind::Struct(fields) => {
+                    let inits: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: match ::serde::get_field(__fm, {f:?}) {{\n\
+                                 ::std::option::Option::Some(__fv) => \
+                                 ::serde::Deserialize::from_value(__fv)?,\n\
+                                 ::std::option::Option::None => \
+                                 ::serde::Deserialize::missing_field({name:?}, {f:?})?,\n\
+                                 }},\n"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{vn:?} => {{\n\
+                         let __fm = __inner.as_map().ok_or_else(|| \
+                         ::serde::Error::msg(\"expected object for variant {name}::{vn}\"))?;\n\
+                         ::std::result::Result::Ok({name}::{vn} {{\n{inits}}})\n\
+                         }}\n",
+                    )
+                }
+            }
+        })
+        .collect();
+
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n\
+         match __v {{\n\
+         ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+         {unit_arms}\
+         __other => ::std::result::Result::Err(::serde::Error::msg(\
+         format!(\"unknown variant `{{__other}}` of enum {name}\"))),\n\
+         }},\n\
+         ::serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+         let (__tag, __inner) = (&__m[0].0, &__m[0].1);\n\
+         let _ = __inner;\n\
+         match __tag.as_str() {{\n\
+         {tagged_arms}\
+         __other => ::std::result::Result::Err(::serde::Error::msg(\
+         format!(\"unknown variant `{{__other}}` of enum {name}\"))),\n\
+         }}\n\
+         }},\n\
+         _ => ::std::result::Result::Err(::serde::Error::msg(\
+         \"expected string or single-key object for enum {name}\")),\n\
+         }}\n\
+         }}\n}}\n"
+    )
+}

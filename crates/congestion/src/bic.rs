@@ -160,7 +160,11 @@ mod tests {
         let w = tp.cwnd;
         for _ in 0..w {
             tp.snd_una += 1;
-            let ack = Ack { now, acked: 1, rtt: 1.0 };
+            let ack = Ack {
+                now,
+                acked: 1,
+                rtt: 1.0,
+            };
             cc.cong_avoid(tp, &ack);
         }
     }
@@ -201,7 +205,11 @@ mod tests {
         }
         // The binary search approaches — and max probing may slightly
         // exceed — the previous maximum within a few tens of RTTs.
-        assert!(tp.cwnd >= 500, "cwnd {} should approach last max 512", tp.cwnd);
+        assert!(
+            tp.cwnd >= 500,
+            "cwnd {} should approach last max 512",
+            tp.cwnd
+        );
     }
 
     #[test]
@@ -215,8 +223,14 @@ mod tests {
         let before = tp.cwnd;
         one_round(&mut cc, &mut tp, 0.0);
         let delta = tp.cwnd - before;
-        assert!(delta <= MAX_INCREMENT, "per-RTT growth {delta} exceeds Smax");
-        assert!(delta >= MAX_INCREMENT / 2, "far from wmax BIC grows near Smax, got {delta}");
+        assert!(
+            delta <= MAX_INCREMENT,
+            "per-RTT growth {delta} exceeds Smax"
+        );
+        assert!(
+            delta >= MAX_INCREMENT / 2,
+            "far from wmax BIC grows near Smax, got {delta}"
+        );
     }
 
     #[test]
@@ -275,8 +289,15 @@ mod tests {
         // Additive phase at Smax=16, decelerating as the window nears 512.
         assert!(increments[0] >= 14, "{increments:?}");
         let last = *increments.last().unwrap();
-        assert!(last < increments[0], "binary search decelerates: {increments:?}");
-        assert!(tp.cwnd <= 520, "plateau near the old maximum, at {}", tp.cwnd);
+        assert!(
+            last < increments[0],
+            "binary search decelerates: {increments:?}"
+        );
+        assert!(
+            tp.cwnd <= 520,
+            "plateau near the old maximum, at {}",
+            tp.cwnd
+        );
     }
 
     #[test]

@@ -108,6 +108,24 @@ impl Ctcp {
         }
     }
 
+    /// Legacy v1 estimator: slow EWMA (gain 1/256) over *one sample per
+    /// round*, modelling the older stack's coarse RTT timer. The gain must
+    /// be small against the whole trace, not one round: environment B's
+    /// long-RTT rounds accumulate (late pre-timeout rounds plus every
+    /// post-step round), and v1 must still sit far below the γ backlog
+    /// threshold through the post-timeout feature window, while v2 — fed
+    /// by the per-round sample — reacts within one round.
+    fn update_smoothed_rtt(&mut self) {
+        if !self.round_min_rtt.is_finite() {
+            return;
+        }
+        if self.smoothed_rtt == 0.0 {
+            self.smoothed_rtt = self.round_min_rtt;
+        } else {
+            self.smoothed_rtt += (self.round_min_rtt - self.smoothed_rtt) / 256.0;
+        }
+    }
+
     fn update_dwnd_once_per_round(&mut self, tp: &Transport) {
         let win = self.cwnd_loss + self.dwnd;
         if win < LOW_WINDOW {
@@ -150,13 +168,6 @@ impl CongestionControl for Ctcp {
         if ack.rtt < self.round_min_rtt {
             self.round_min_rtt = ack.rtt;
         }
-        // Legacy v1 estimator: slow EWMA (gain 1/64) modelling coarse RTT
-        // sampling in the older stack.
-        if self.smoothed_rtt == 0.0 {
-            self.smoothed_rtt = ack.rtt;
-        } else {
-            self.smoothed_rtt += (ack.rtt - self.smoothed_rtt) / 64.0;
-        }
     }
 
     fn cong_avoid(&mut self, tp: &mut Transport, ack: &Ack) {
@@ -168,16 +179,19 @@ impl CongestionControl for Ctcp {
             if tp.in_slow_start() {
                 // Round bookkeeping still advances during slow start.
                 if self.rounds.round_elapsed(tp) {
+                    self.update_smoothed_rtt();
                     self.round_min_rtt = f64::INFINITY;
                 }
                 return;
             }
         }
-        // Loss-based component grows at RENO's rate relative to the *total*
-        // window: +1/win per ACK.
-        let win = (self.cwnd_loss + self.dwnd).max(1.0);
+        // Loss-based component grows at RENO's rate: +1/win per ACK, with
+        // `win` the *integer* window actually in flight (fractional state
+        // would lag RENO by a packet every few rounds).
+        let win = (self.cwnd_loss + self.dwnd).floor().max(1.0);
         self.cwnd_loss += f64::from(ack.acked) / win;
         if self.rounds.round_elapsed(tp) {
+            self.update_smoothed_rtt();
             self.update_dwnd_once_per_round(tp);
             self.round_min_rtt = f64::INFINITY;
         }
@@ -339,6 +353,9 @@ mod tests {
         cc.cwnd_loss = 40.0;
         cc.on_loss(&mut tp, LossKind::FastRetransmit, 1.0);
         let total = cc.cwnd_loss + cc.dwnd;
-        assert!((total - 50.0).abs() < 1.0, "total window halves, got {total}");
+        assert!(
+            (total - 50.0).abs() < 1.0,
+            "total window halves, got {total}"
+        );
     }
 }

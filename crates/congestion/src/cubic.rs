@@ -120,7 +120,11 @@ impl Cubic {
 
         // Elapsed time on the cubic curve; the kernel adds the propagation
         // delay (`dMin`) to look one RTT ahead.
-        let dmin = if self.delay_min.is_finite() { self.delay_min } else { 0.0 };
+        let dmin = if self.delay_min.is_finite() {
+            self.delay_min
+        } else {
+            0.0
+        };
         let t = now + dmin - self.epoch_start.unwrap_or(now);
         let offs = t - self.k;
         let target = f64::from(self.origin_point) + C * offs * offs * offs;
@@ -305,7 +309,11 @@ mod tests {
             "growth should decelerate approaching W_max: early {early}, plateau {near_plateau}"
         );
         // And the window eventually probes beyond the old maximum (convex).
-        assert!(tp.cwnd > 512, "convex region must exceed the old W_max, got {}", tp.cwnd);
+        assert!(
+            tp.cwnd > 512,
+            "convex region must exceed the old W_max, got {}",
+            tp.cwnd
+        );
     }
 
     #[test]
@@ -317,7 +325,11 @@ mod tests {
         tp.cwnd = tp.ssthresh;
         // One ACK in avoidance state arms the epoch.
         tp.snd_una += 1;
-        let ack = Ack { now: 0.0, acked: 1, rtt: 1.0 };
+        let ack = Ack {
+            now: 0.0,
+            acked: 1,
+            rtt: 1.0,
+        };
         cc.pkts_acked(&mut tp, &ack);
         cc.cong_avoid(&mut tp, &ack);
         let expected = ((512.0 - f64::from(tp.cwnd)) / C).cbrt();
@@ -338,7 +350,10 @@ mod tests {
         cc.on_loss(&mut tp, LossKind::Timeout, 3.0);
         assert_eq!(cc.last_max_cwnd, 512, "W_max anchor survives the timeout");
         assert!(cc.epoch_start.is_none());
-        assert!(!cc.delay_min.is_finite(), "delay samples reset with the epoch");
+        assert!(
+            !cc.delay_min.is_finite(),
+            "delay samples reset with the epoch"
+        );
     }
 
     #[test]

@@ -148,8 +148,22 @@ mod tests {
         // First loss: mode switch, β = 0.5.
         assert_eq!(cc.ssthresh(&tp), 50);
         // With RTTs 0.8/1.0 observed, β = 0.8.
-        cc.pkts_acked(&mut tp, &Ack { now: 0.0, acked: 1, rtt: 0.8 });
-        cc.pkts_acked(&mut tp, &Ack { now: 0.0, acked: 1, rtt: 1.0 });
+        cc.pkts_acked(
+            &mut tp,
+            &Ack {
+                now: 0.0,
+                acked: 1,
+                rtt: 0.8,
+            },
+        );
+        cc.pkts_acked(
+            &mut tp,
+            &Ack {
+                now: 0.0,
+                acked: 1,
+                rtt: 1.0,
+            },
+        );
         assert_eq!(cc.ssthresh(&tp), 80);
         assert!((cc.beta() - 0.8).abs() < 1e-9);
     }
@@ -160,7 +174,14 @@ mod tests {
         let mut tp = Transport::new(1460);
         tp.cwnd = 512;
         let _ = cc.ssthresh(&tp); // mode switch
-        cc.pkts_acked(&mut tp, &Ack { now: 0.0, acked: 1, rtt: 1.0 });
+        cc.pkts_acked(
+            &mut tp,
+            &Ack {
+                now: 0.0,
+                acked: 1,
+                rtt: 1.0,
+            },
+        );
         // min = max → ratio 1.0 → clamped to 0.8 (environment A's fingerprint).
         let ss = cc.ssthresh(&tp);
         assert_eq!(ss, 409);

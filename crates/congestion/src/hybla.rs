@@ -24,6 +24,12 @@ pub struct Hybla {
     rho: f64,
     /// Fractional window accumulator (the kernel keeps 7 fraction bits).
     frac: f64,
+    /// Window snapshot the avoidance denominator is pinned to for one
+    /// round's worth of ACKs (using the live `cwnd` would undershoot the
+    /// ρ²-per-RTT growth as the window rises mid-round).
+    round_cwnd: u32,
+    /// ACKs consumed against the current snapshot.
+    round_acks: u32,
 }
 
 impl Default for Hybla {
@@ -35,7 +41,12 @@ impl Default for Hybla {
 impl Hybla {
     /// Creates a Hybla controller.
     pub fn new() -> Self {
-        Hybla { rho: 1.0, frac: 0.0 }
+        Hybla {
+            rho: 1.0,
+            frac: 0.0,
+            round_cwnd: 0,
+            round_acks: 0,
+        }
     }
 
     /// Current RTT-normalization factor ρ, for tests.
@@ -64,18 +75,25 @@ impl CongestionControl for Hybla {
             // 2^ρ − 1 packets per ACK.
             (2f64.powf(self.rho) - 1.0).max(1.0)
         } else {
-            // ρ² / cwnd packets per ACK.
-            self.rho * self.rho / f64::from(tp.cwnd.max(1))
+            // ρ² / cwnd packets per ACK, with cwnd pinned per round.
+            if self.round_cwnd == 0 || self.round_acks >= self.round_cwnd {
+                self.round_cwnd = tp.cwnd.max(1);
+                self.round_acks = 0;
+            }
+            self.round_acks += ack.acked;
+            self.rho * self.rho / f64::from(self.round_cwnd)
         };
         self.frac += increment * f64::from(ack.acked);
         if self.frac >= 1.0 {
             let whole = self.frac.floor();
             self.frac -= whole;
-            tp.cwnd = tp
-                .cwnd
-                .saturating_add(whole as u32)
-                .min(tp.cwnd_clamp)
-                .min(if tp.in_slow_start() { tp.ssthresh } else { u32::MAX });
+            tp.cwnd = tp.cwnd.saturating_add(whole as u32).min(tp.cwnd_clamp).min(
+                if tp.in_slow_start() {
+                    tp.ssthresh
+                } else {
+                    u32::MAX
+                },
+            );
         }
     }
 
@@ -85,6 +103,8 @@ impl CongestionControl for Hybla {
 
     fn on_loss(&mut self, _tp: &mut Transport, _kind: LossKind, _now: f64) {
         self.frac = 0.0;
+        self.round_cwnd = 0;
+        self.round_acks = 0;
     }
 }
 
@@ -96,7 +116,11 @@ mod tests {
         let w = tp.cwnd;
         for _ in 0..w {
             tp.snd_una += 1;
-            let ack = Ack { now: 0.0, acked: 1, rtt };
+            let ack = Ack {
+                now: 0.0,
+                acked: 1,
+                rtt,
+            };
             cc.pkts_acked(tp, &ack);
             cc.cong_avoid(tp, &ack);
         }
@@ -106,9 +130,23 @@ mod tests {
     fn rho_normalizes_long_rtts() {
         let mut cc = Hybla::new();
         let mut tp = Transport::new(1460);
-        cc.pkts_acked(&mut tp, &Ack { now: 0.0, acked: 1, rtt: 0.250 });
+        cc.pkts_acked(
+            &mut tp,
+            &Ack {
+                now: 0.0,
+                acked: 1,
+                rtt: 0.250,
+            },
+        );
         assert!((cc.rho() - 10.0).abs() < 1e-9);
-        cc.pkts_acked(&mut tp, &Ack { now: 0.0, acked: 1, rtt: 0.010 });
+        cc.pkts_acked(
+            &mut tp,
+            &Ack {
+                now: 0.0,
+                acked: 1,
+                rtt: 0.010,
+            },
+        );
         assert_eq!(cc.rho(), 1.0, "ρ is floored at 1 (never slower than RENO)");
     }
 

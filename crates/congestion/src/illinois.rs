@@ -251,7 +251,11 @@ mod tests {
             cc.beta()
         );
         // And α must have collapsed from 10 toward its floor.
-        assert!(cc.alpha() < 1.0, "α should collapse under delay, got {}", cc.alpha());
+        assert!(
+            cc.alpha() < 1.0,
+            "α should collapse under delay, got {}",
+            cc.alpha()
+        );
     }
 
     #[test]

@@ -127,7 +127,11 @@ mod tests {
         tp.snd_nxt += u64::from(w);
         for _ in 0..w {
             tp.snd_una += 1;
-            let ack = Ack { now: 0.0, acked: 1, rtt };
+            let ack = Ack {
+                now: 0.0,
+                acked: 1,
+                rtt,
+            };
             cc.pkts_acked(tp, &ack);
             cc.cong_avoid(tp, &ack);
         }

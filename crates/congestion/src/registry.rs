@@ -242,7 +242,12 @@ pub fn os_inventory() -> Vec<OsInventoryRow> {
     };
     let linux = OsInventoryRow {
         family: OsFamily::Linux,
-        defaults: vec![AlgorithmId::Reno, AlgorithmId::Bic, AlgorithmId::CubicV1, AlgorithmId::CubicV2],
+        defaults: vec![
+            AlgorithmId::Reno,
+            AlgorithmId::Bic,
+            AlgorithmId::CubicV1,
+            AlgorithmId::CubicV2,
+        ],
         available: ALL_WITH_EXTENSIONS
             .iter()
             .copied()

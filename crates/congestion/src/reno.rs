@@ -94,7 +94,11 @@ mod tests {
         // 4 ACKs double to 8, which hits ssthresh; the leftover ACKed
         // packets spill into linear growth.
         for _ in 0..4 {
-            let ack = Ack { now: 0.0, acked: 1, rtt: 1.0 };
+            let ack = Ack {
+                now: 0.0,
+                acked: 1,
+                rtt: 1.0,
+            };
             cc.cong_avoid(&mut tp, &ack);
         }
         assert_eq!(tp.cwnd, 8);
@@ -107,7 +111,11 @@ mod tests {
         let mut tp = Transport::new(1460);
         tp.cwnd = 6;
         tp.ssthresh = 8;
-        let ack = Ack { now: 0.0, acked: 10, rtt: 1.0 };
+        let ack = Ack {
+            now: 0.0,
+            acked: 10,
+            rtt: 1.0,
+        };
         cc.cong_avoid(&mut tp, &ack);
         // 2 packets consumed reaching ssthresh=8, remaining 8 accumulate
         // toward linear growth: 8 >= w(8) adds exactly one packet.

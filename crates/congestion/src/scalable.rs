@@ -54,7 +54,11 @@ mod tests {
         let w = tp.cwnd;
         for _ in 0..w {
             tp.snd_una += 1;
-            let ack = Ack { now: 0.0, acked: 1, rtt: 1.0 };
+            let ack = Ack {
+                now: 0.0,
+                acked: 1,
+                rtt: 1.0,
+            };
             cc.cong_avoid(tp, &ack);
         }
     }

@@ -194,7 +194,11 @@ mod tests {
         }
         // Window reached 512; the double-EWMA estimate must be far behind.
         assert!(tp.cwnd >= 512);
-        assert!(cc.bandwidth_estimate() < 300.0, "bw {}", cc.bandwidth_estimate());
+        assert!(
+            cc.bandwidth_estimate() < 300.0,
+            "bw {}",
+            cc.bandwidth_estimate()
+        );
     }
 
     #[test]

@@ -84,9 +84,7 @@ pub struct CensusColumn {
 impl CensusColumn {
     /// Servers contributing to this column.
     pub fn total(&self) -> usize {
-        self.identified.values().sum::<usize>()
-            + self.special.values().sum::<usize>()
-            + self.unsure
+        self.identified.values().sum::<usize>() + self.special.values().sum::<usize>() + self.unsure
     }
 }
 
@@ -158,7 +156,11 @@ pub struct Census {
 impl Census {
     /// Creates a census driver from a trained classifier.
     pub fn new(classifier: CaaiClassifier, conditions: ConditionDb, prober: ProberConfig) -> Self {
-        Census { prober: Prober::new(prober), classifier, conditions }
+        Census {
+            prober: Prober::new(prober),
+            classifier,
+            conditions,
+        }
     }
 
     /// Probes one server.
@@ -169,7 +171,9 @@ impl Census {
         let outcome = self.prober.gather(&sut, &path, rng);
         let verdict = match outcome.pair {
             None => Verdict::Invalid(
-                outcome.failure_reason().unwrap_or(InvalidReason::NeverExceededThreshold),
+                outcome
+                    .failure_reason()
+                    .unwrap_or(InvalidReason::NeverExceededThreshold),
             ),
             Some(pair) => {
                 let wmax = pair.wmax_threshold();
@@ -186,34 +190,57 @@ impl Census {
                 }
             }
         };
-        CensusRecord { server_id: server.id, truth: server.effective_algorithm(), verdict }
+        CensusRecord {
+            server_id: server.id,
+            truth: server.effective_algorithm(),
+            verdict,
+        }
     }
 
-    /// Probes a whole population, sharding across `workers` threads.
+    /// Probes one server with the canonical per-server RNG, keyed on
+    /// `(seed, server.id)`. Any scheduler that probes each server through
+    /// this method — whatever its worker count or interleaving — measures
+    /// exactly the same records (`caai-engine` relies on this).
+    pub fn probe_seeded(&self, server: &WebServer, seed: u64) -> CensusRecord {
+        let mut rng = caai_netem::rng::child(seed, u64::from(server.id));
+        self.probe(server, &mut rng)
+    }
+
+    /// Probes a whole population across `workers` threads.
+    ///
+    /// This is the thin in-memory path; `caai-engine` provides the
+    /// streaming/checkpointed one. Each server gets its own RNG keyed on
+    /// `(seed, server.id)` and records are assembled in `server_id`
+    /// order, so the report is identical for every worker count.
     pub fn run(&self, servers: &[WebServer], seed: u64, workers: usize) -> CensusReport {
         let workers = workers.max(1).min(servers.len().max(1));
         let chunk = servers.len().div_ceil(workers);
         let mut records: Vec<CensusRecord> = Vec::with_capacity(servers.len());
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for (shard, part) in servers.chunks(chunk.max(1)).enumerate() {
+            for part in servers.chunks(chunk.max(1)) {
                 let census = &*self;
                 handles.push(scope.spawn(move || {
-                    let mut rng = caai_netem::rng::child(seed, shard as u64);
-                    part.iter().map(|s| census.probe(s, &mut rng)).collect::<Vec<_>>()
+                    part.iter()
+                        .map(|s| census.probe_seeded(s, seed))
+                        .collect::<Vec<_>>()
                 }));
             }
             for h in handles {
                 records.extend(h.join().expect("census worker panicked"));
             }
         });
+        records.sort_by_key(|r| r.server_id);
         assemble(records)
     }
 }
 
 /// Folds raw records into the Table IV report.
 pub fn assemble(records: Vec<CensusRecord>) -> CensusReport {
-    let mut report = CensusReport { total: records.len(), ..Default::default() };
+    let mut report = CensusReport {
+        total: records.len(),
+        ..Default::default()
+    };
     for r in &records {
         match r.verdict {
             Verdict::Invalid(reason) => {
@@ -253,8 +280,11 @@ mod tests {
     fn small_census_produces_a_coherent_report() {
         let mut rng = seeded(100);
         let classifier = quick_classifier(&mut rng);
-        let census =
-            Census::new(classifier, ConditionDb::paper_2011(), ProberConfig::default());
+        let census = Census::new(
+            classifier,
+            ConditionDb::paper_2011(),
+            ProberConfig::default(),
+        );
         let servers = PopulationConfig::small(40).generate(&mut rng);
         let report = census.run(&servers, 7, 2);
         assert_eq!(report.total, 40);
@@ -270,12 +300,49 @@ mod tests {
     fn census_is_deterministic_for_a_seed() {
         let mut rng = seeded(101);
         let classifier = quick_classifier(&mut rng);
-        let census =
-            Census::new(classifier, ConditionDb::paper_2011(), ProberConfig::default());
+        let census = Census::new(
+            classifier,
+            ConditionDb::paper_2011(),
+            ProberConfig::default(),
+        );
         let servers = PopulationConfig::small(12).generate(&mut rng);
         let a = census.run(&servers, 5, 3);
         let b = census.run(&servers, 5, 3);
-        assert_eq!(a.records, b.records, "sharded RNG must be reproducible");
+        assert_eq!(a.records, b.records, "per-server RNG must be reproducible");
+    }
+
+    #[test]
+    fn report_is_identical_for_any_worker_count() {
+        let mut rng = seeded(102);
+        let classifier = quick_classifier(&mut rng);
+        let census = Census::new(
+            classifier,
+            ConditionDb::paper_2011(),
+            ProberConfig::default(),
+        );
+        let servers = PopulationConfig::small(30).generate(&mut rng);
+        let one = census.run(&servers, 11, 1);
+        let eight = census.run(&servers, 11, 8);
+        assert_eq!(one, eight, "worker count must not leak into the report");
+        // And an oversubscribed pool is fine too.
+        let many = census.run(&servers, 11, 64);
+        assert_eq!(one, many);
+    }
+
+    #[test]
+    fn probe_seeded_matches_run_records() {
+        let mut rng = seeded(103);
+        let classifier = quick_classifier(&mut rng);
+        let census = Census::new(
+            classifier,
+            ConditionDb::paper_2011(),
+            ProberConfig::default(),
+        );
+        let servers = PopulationConfig::small(8).generate(&mut rng);
+        let report = census.run(&servers, 3, 2);
+        for (server, record) in servers.iter().zip(&report.records) {
+            assert_eq!(census.probe_seeded(server, 3), *record);
+        }
     }
 
     #[test]

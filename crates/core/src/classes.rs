@@ -57,7 +57,10 @@ impl ClassLabel {
 
     /// Stable index into [`ClassLabel::ALL`].
     pub fn index(self) -> usize {
-        Self::ALL.iter().position(|&c| c == self).expect("class in table")
+        Self::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("class in table")
     }
 
     /// Inverse of [`index`](Self::index).
@@ -139,7 +142,10 @@ impl fmt::Display for ClassLabel {
 
 /// The class-name table in [`ClassLabel::ALL`] order, for datasets.
 pub fn label_names() -> Vec<String> {
-    ClassLabel::ALL.iter().map(|c| c.name().to_owned()).collect()
+    ClassLabel::ALL
+        .iter()
+        .map(|c| c.name().to_owned())
+        .collect()
 }
 
 #[cfg(test)]
@@ -158,10 +164,19 @@ mod tests {
     #[test]
     fn reno_and_ctcp_merge_at_small_wmax() {
         for algo in [AlgorithmId::Reno, AlgorithmId::CtcpV1, AlgorithmId::CtcpV2] {
-            assert_eq!(ClassLabel::for_measurement(algo, 64), Some(ClassLabel::RcSmall));
-            assert_eq!(ClassLabel::for_measurement(algo, 128), Some(ClassLabel::RcSmall));
+            assert_eq!(
+                ClassLabel::for_measurement(algo, 64),
+                Some(ClassLabel::RcSmall)
+            );
+            assert_eq!(
+                ClassLabel::for_measurement(algo, 128),
+                Some(ClassLabel::RcSmall)
+            );
         }
-        assert_eq!(ClassLabel::for_measurement(AlgorithmId::Reno, 256), Some(ClassLabel::RenoBig));
+        assert_eq!(
+            ClassLabel::for_measurement(AlgorithmId::Reno, 256),
+            Some(ClassLabel::RenoBig)
+        );
         assert_eq!(
             ClassLabel::for_measurement(AlgorithmId::CtcpV1, 512),
             Some(ClassLabel::Ctcp1Big)
@@ -171,7 +186,10 @@ mod tests {
     #[test]
     fn other_algorithms_keep_identity_across_wmax() {
         for wmax in [64, 128, 256, 512] {
-            assert_eq!(ClassLabel::for_measurement(AlgorithmId::Bic, wmax), Some(ClassLabel::Bic));
+            assert_eq!(
+                ClassLabel::for_measurement(AlgorithmId::Bic, wmax),
+                Some(ClassLabel::Bic)
+            );
         }
     }
 

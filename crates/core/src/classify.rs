@@ -81,7 +81,10 @@ impl CaaiClassifier {
         );
         let mut forest = RandomForest::new(config);
         forest.fit(training, rng);
-        CaaiClassifier { forest, confidence_floor: CONFIDENCE_FLOOR }
+        CaaiClassifier {
+            forest,
+            confidence_floor: CONFIDENCE_FLOOR,
+        }
     }
 
     /// Classifies one feature vector.
@@ -89,9 +92,15 @@ impl CaaiClassifier {
         let p = self.forest.predict(vector.as_slice());
         let class = ClassLabel::from_index(p.label);
         if p.confidence >= self.confidence_floor {
-            Identification::Identified { class, confidence: p.confidence }
+            Identification::Identified {
+                class,
+                confidence: p.confidence,
+            }
         } else {
-            Identification::Unsure { best_guess: class, confidence: p.confidence }
+            Identification::Unsure {
+                best_guess: class,
+                confidence: p.confidence,
+            }
         }
     }
 
@@ -114,8 +123,14 @@ mod tests {
         let mut d = Dataset::new(label_names(), crate::features::FEATURE_DIM);
         for i in 0..40 {
             let j = (i % 5) as f64 / 100.0;
-            d.push(vec![0.8 + j, 20.0, 40.0, 0.8, 20.0, 40.0, 1.0], ClassLabel::Bic.index());
-            d.push(vec![0.875 + j, 60.0, 130.0, 0.5, 5.0, 9.0, 1.0], ClassLabel::Yeah.index());
+            d.push(
+                vec![0.8 + j, 20.0, 40.0, 0.8, 20.0, 40.0, 1.0],
+                ClassLabel::Bic.index(),
+            );
+            d.push(
+                vec![0.875 + j, 60.0, 130.0, 0.5, 5.0, 9.0, 1.0],
+                ClassLabel::Yeah.index(),
+            );
         }
         d
     }
@@ -125,7 +140,9 @@ mod tests {
         let d = toy_training();
         let mut rng = StdRng::seed_from_u64(2);
         let clf = CaaiClassifier::train(&d, &mut rng);
-        let v = FeatureVector { values: [0.81, 21.0, 41.0, 0.8, 20.0, 40.0, 1.0] };
+        let v = FeatureVector {
+            values: [0.81, 21.0, 41.0, 0.8, 20.0, 40.0, 1.0],
+        };
         match clf.classify(&v) {
             Identification::Identified { class, confidence } => {
                 assert_eq!(class, ClassLabel::Bic);
@@ -143,7 +160,9 @@ mod tests {
         // Any vector classifies *somewhere*; the Unsure arm needs split
         // votes, which two well-separated classes rarely produce. Verify
         // the plumbing instead: confidence is always a valid share.
-        let v = FeatureVector { values: [0.84, 40.0, 80.0, 0.65, 12.0, 25.0, 1.0] };
+        let v = FeatureVector {
+            values: [0.84, 40.0, 80.0, 0.65, 12.0, 25.0, 1.0],
+        };
         let id = clf.classify(&v);
         assert!(id.confidence() > 0.0 && id.confidence() <= 1.0);
     }

@@ -57,7 +57,13 @@ pub struct TraceFeatures {
 impl TraceFeatures {
     /// All-zero features, used for unusable environment-B plateaus.
     pub fn zero() -> Self {
-        TraceFeatures { beta: 0.0, g3: 0.0, g6: 0.0, boundary: None, ack_loss: ACK_LOSS_MIN }
+        TraceFeatures {
+            beta: 0.0,
+            g3: 0.0,
+            g6: 0.0,
+            boundary: None,
+            ack_loss: ACK_LOSS_MIN,
+        }
     }
 }
 
@@ -91,7 +97,15 @@ impl FeatureVector {
 
     /// Human-readable element names, in order.
     pub fn element_names() -> [&'static str; FEATURE_DIM] {
-        ["beta_A", "G3_A", "G6_A", "beta_B", "G3_B", "G6_B", "reach64_B"]
+        [
+            "beta_A",
+            "G3_A",
+            "G6_A",
+            "beta_B",
+            "G3_B",
+            "G6_B",
+            "reach64_B",
+        ]
     }
 }
 
@@ -110,7 +124,9 @@ pub fn estimate_ack_loss(post: &[u32]) -> f64 {
             break; // slow start has visibly ended
         }
     }
-    mean_plus_ci95(&samples).unwrap_or(ACK_LOSS_MIN).clamp(ACK_LOSS_MIN, ACK_LOSS_MAX)
+    mean_plus_ci95(&samples)
+        .unwrap_or(ACK_LOSS_MIN)
+        .clamp(ACK_LOSS_MIN, ACK_LOSS_MAX)
 }
 
 /// Extracts the per-trace features of §V-A/B/C.
@@ -165,13 +181,25 @@ pub fn extract(trace: &WindowTrace) -> TraceFeatures {
     }
 
     match boundary {
-        None => TraceFeatures { beta: 0.0, g3: 0.0, g6: 0.0, boundary: None, ack_loss },
+        None => TraceFeatures {
+            beta: 0.0,
+            g3: 0.0,
+            g6: 0.0,
+            boundary: None,
+            ack_loss,
+        },
         Some(b) => {
             let w_b = f64::from(post[b]);
             let beta = (w_b / f64::from(w_before)).clamp(BETA_MIN, BETA_MAX);
             let g3 = post.get(b + 3).map_or(0.0, |&w| f64::from(w) - w_b);
             let g6 = post.get(b + 6).map_or(0.0, |&w| f64::from(w) - w_b);
-            TraceFeatures { beta, g3, g6, boundary: Some(b), ack_loss }
+            TraceFeatures {
+                beta,
+                g3,
+                g6,
+                boundary: Some(b),
+                ack_loss,
+            }
         }
     }
 }
@@ -179,7 +207,11 @@ pub fn extract(trace: &WindowTrace) -> TraceFeatures {
 /// Extracts the full §V-D feature vector from a trace pair.
 pub fn extract_pair(pair: &TracePair) -> FeatureVector {
     let a = extract(&pair.env_a);
-    let b = if pair.env_b.is_valid() { extract(&pair.env_b) } else { TraceFeatures::zero() };
+    let b = if pair.env_b.is_valid() {
+        extract(&pair.env_b)
+    } else {
+        TraceFeatures::zero()
+    };
     let reaches = pair.env_b.max_window() >= 64;
     FeatureVector::from_parts(a, b, reaches)
 }
@@ -227,7 +259,9 @@ mod tests {
     fn stcp_beta_survives_the_partial_doubling_round() {
         // STCP: ssthresh = 448 = 0.875·512; slow start passes 256 and ends
         // mid-round at 448; CA grows 2%/round.
-        let post = vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 448, 457, 466, 475, 484, 494, 504, 514, 524];
+        let post = vec![
+            1, 2, 4, 8, 16, 32, 64, 128, 256, 448, 457, 466, 475, 484, 494, 504, 514, 524,
+        ];
         let t = mk_trace(512, post);
         let f = extract(&t);
         assert!((f.beta - 0.875).abs() < 0.01, "beta {}", f.beta);
@@ -266,7 +300,9 @@ mod tests {
     fn beta_clamps_to_half_from_below() {
         // A noisy boundary slightly below w^B/2 still reads as β = 0.5...
         // (clamp), provided the floor is reached later.
-        let post = vec![1, 2, 4, 8, 16, 32, 64, 128, 260, 262, 264, 266, 268, 270, 272, 274, 276, 278];
+        let post = vec![
+            1, 2, 4, 8, 16, 32, 64, 128, 260, 262, 264, 266, 268, 270, 272, 274, 276, 278,
+        ];
         let t = mk_trace(520, post);
         let f = extract(&t);
         assert!(f.beta >= BETA_MIN);
@@ -308,7 +344,9 @@ mod tests {
     #[test]
     fn growth_offsets_default_to_zero_when_trace_ends_early() {
         // Boundary found at the third-to-last round: G6 unavailable.
-        let post = vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 300, 301, 302, 303, 304, 305, 306, 260, 261];
+        let post = vec![
+            1, 2, 4, 8, 16, 32, 64, 128, 256, 300, 301, 302, 303, 304, 305, 306, 260, 261,
+        ];
         let mut t = mk_trace(520, post);
         t.post.truncate(18);
         let f = extract(&t);

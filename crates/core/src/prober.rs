@@ -64,7 +64,10 @@ impl ProberConfig {
     /// A configuration pinned to a single `w_max` rung (used when
     /// collecting training vectors for a specific rung, §VII-A).
     pub fn fixed_wmax(wmax: u32) -> Self {
-        ProberConfig { wmax_ladder: vec![wmax], ..ProberConfig::default() }
+        ProberConfig {
+            wmax_ladder: vec![wmax],
+            ..ProberConfig::default()
+        }
     }
 }
 
@@ -84,8 +87,11 @@ impl GatherOutcome {
         if self.pair.is_some() {
             return None;
         }
-        let reasons: Vec<InvalidReason> =
-            self.failed_attempts.iter().filter_map(|t| t.invalid).collect();
+        let reasons: Vec<InvalidReason> = self
+            .failed_attempts
+            .iter()
+            .filter_map(|t| t.invalid)
+            .collect();
         for preferred in [
             InvalidReason::PageTooShort,
             InvalidReason::NoTimeoutResponse,
@@ -127,6 +133,14 @@ impl Prober {
 
     /// Runs the full §IV protocol: walk the `w_max` ladder, gather
     /// environment A then B at each rung, stop at the first usable pair.
+    ///
+    /// The ladder exists to find the threshold the server's window can
+    /// *exceed* (§IV-B), so only [`InvalidReason::NeverExceededThreshold`]
+    /// descends to the next rung. Every other failure — a page too short
+    /// to sustain the transfer, a server deaf to the emulated timeout, a
+    /// truncated recovery — would fail the same way at any rung (Table IV
+    /// counts such servers invalid, e.g. the 30.17% with "no long enough
+    /// Web pages"), so the walk aborts immediately.
     pub fn gather(
         &self,
         server: &ServerUnderTest,
@@ -140,22 +154,36 @@ impl Prober {
                 self.gather_trace(server, EnvironmentId::A, wmax, now, path, rng);
             now = end_a + self.config.inter_connection_wait;
             if !trace_a.is_valid() {
+                let descend = trace_a.invalid == Some(InvalidReason::NeverExceededThreshold);
                 failed.push(trace_a);
-                continue;
+                if descend {
+                    continue;
+                }
+                break;
             }
             let (trace_b, end_b) =
                 self.gather_trace(server, EnvironmentId::B, wmax, now, path, rng);
             now = end_b + self.config.inter_connection_wait;
             if trace_b.usable_for_classification() {
                 return GatherOutcome {
-                    pair: Some(TracePair { env_a: trace_a, env_b: trace_b }),
+                    pair: Some(TracePair {
+                        env_a: trace_a,
+                        env_b: trace_b,
+                    }),
                     failed_attempts: failed,
                 };
             }
+            let descend = trace_b.invalid == Some(InvalidReason::NeverExceededThreshold);
             failed.push(trace_a);
             failed.push(trace_b);
+            if !descend {
+                break;
+            }
         }
-        GatherOutcome { pair: None, failed_attempts: failed }
+        GatherOutcome {
+            pair: None,
+            failed_attempts: failed,
+        }
     }
 
     /// Gathers one window trace in one environment at one `w_max` rung.
@@ -238,7 +266,9 @@ impl Prober {
         // ---- Phase 2: the emulated timeout. ----------------------------
         let mut responded = false;
         for _ in 0..=self.config.max_rto_waits {
-            let Some(deadline) = conn.rto_deadline() else { break };
+            let Some(deadline) = conn.rto_deadline() else {
+                break;
+            };
             now = now.max(deadline);
             if conn.fire_rto(now) {
                 responded = true;
@@ -282,7 +312,11 @@ impl Prober {
                     prev_seqmax = first as i64 - 1;
                 }
             }
-            let w = if prev_seqmax == i64::MIN { 0 } else { measure(&received, &mut prev_seqmax) };
+            let w = if prev_seqmax == i64::MIN {
+                0
+            } else {
+                measure(&received, &mut prev_seqmax)
+            };
             trace.post.push(w);
             carry = next_carry;
 
@@ -320,15 +354,25 @@ fn deliver(
     let mut next_carry = Vec::new();
     for seg in segs {
         match path.data_fate(rng) {
-            DataFate::Delivered => {
-                received.push(CarriedPacket { seq: seg.seq, duplicate: false })
-            }
+            DataFate::Delivered => received.push(CarriedPacket {
+                seq: seg.seq,
+                duplicate: false,
+            }),
             DataFate::Lost => {}
             DataFate::Duplicated => {
-                received.push(CarriedPacket { seq: seg.seq, duplicate: false });
-                next_carry.push(CarriedPacket { seq: seg.seq, duplicate: true });
+                received.push(CarriedPacket {
+                    seq: seg.seq,
+                    duplicate: false,
+                });
+                next_carry.push(CarriedPacket {
+                    seq: seg.seq,
+                    duplicate: true,
+                });
             }
-            DataFate::Late => next_carry.push(CarriedPacket { seq: seg.seq, duplicate: false }),
+            DataFate::Late => next_carry.push(CarriedPacket {
+                seq: seg.seq,
+                duplicate: false,
+            }),
         }
     }
     received.sort_by_key(|p| p.seq);
@@ -378,7 +422,8 @@ mod tests {
         let server = ServerUnderTest::ideal(algo);
         let prober = Prober::new(ProberConfig::default());
         let mut rng = seeded(1);
-        let (trace, _) = prober.gather_trace(&server, env, wmax, 0.0, &PathConfig::clean(), &mut rng);
+        let (trace, _) =
+            prober.gather_trace(&server, env, wmax, 0.0, &PathConfig::clean(), &mut rng);
         trace
     }
 
@@ -458,7 +503,11 @@ mod tests {
         let outcome = prober.gather(&server, &PathConfig::clean(), &mut rng);
         let pair = outcome.pair.expect("rung 128 must work");
         assert_eq!(pair.wmax_threshold(), 128);
-        assert_eq!(outcome.failed_attempts.len(), 2, "512 and 256 attempts failed");
+        assert_eq!(
+            outcome.failed_attempts.len(),
+            2,
+            "512 and 256 attempts failed"
+        );
     }
 
     #[test]
@@ -469,22 +518,23 @@ mod tests {
         let mut rng = seeded(9);
         let outcome = prober.gather(&server, &PathConfig::clean(), &mut rng);
         assert!(outcome.pair.is_none());
-        assert_eq!(outcome.failure_reason(), Some(InvalidReason::NoTimeoutResponse));
+        assert_eq!(
+            outcome.failure_reason(),
+            Some(InvalidReason::NoTimeoutResponse)
+        );
     }
 
     #[test]
     fn short_page_yields_page_too_short() {
-        let server = {
-            let mut s = ServerUnderTest::ideal(AlgorithmId::Reno);
-            s = s; // no budget setter on purpose; emulate via web server below
-            s
-        };
-        let _ = server;
-        // Use a synthetic web server with a tiny page instead.
+        // `ServerUnderTest::ideal` has no budget setter on purpose; use a
+        // synthetic web server with a tiny page instead.
         use caai_webmodel::{PageModel, PopulationConfig};
         let mut rng = seeded(10);
         let mut web = PopulationConfig::small(1).generate(&mut rng).pop().unwrap();
-        web.pages = PageModel { default_bytes: 2_000, longest_bytes: 2_000 };
+        web.pages = PageModel {
+            default_bytes: 2_000,
+            longest_bytes: 2_000,
+        };
         web.requests = caai_webmodel::RequestAcceptanceModel { max_requests: 1 };
         web.quirk = caai_tcpsim::SenderQuirk::None;
         let sut = ServerUnderTest::from_web_server(&web);
@@ -500,8 +550,14 @@ mod tests {
         let server = ServerUnderTest::ideal_with_config(AlgorithmId::Reno, cfg);
         let prober = Prober::new(ProberConfig::default());
         let mut rng = seeded(11);
-        let (t, _) =
-            prober.gather_trace(&server, EnvironmentId::A, 512, 0.0, &PathConfig::clean(), &mut rng);
+        let (t, _) = prober.gather_trace(
+            &server,
+            EnvironmentId::A,
+            512,
+            0.0,
+            &PathConfig::clean(),
+            &mut rng,
+        );
         assert!(t.is_valid());
         assert_eq!(&t.post[..4], &[1, 2, 4, 8], "conventional recovery forced");
     }
@@ -510,12 +566,20 @@ mod tests {
     fn without_countermeasure_frto_skips_slow_start() {
         let cfg = ServerConfig::ideal().with_frto(true);
         let server = ServerUnderTest::ideal_with_config(AlgorithmId::Reno, cfg);
-        let mut pc = ProberConfig::default();
-        pc.frto_countermeasure = false;
+        let pc = ProberConfig {
+            frto_countermeasure: false,
+            ..ProberConfig::default()
+        };
         let prober = Prober::new(pc);
         let mut rng = seeded(12);
-        let (t, _) =
-            prober.gather_trace(&server, EnvironmentId::A, 512, 0.0, &PathConfig::clean(), &mut rng);
+        let (t, _) = prober.gather_trace(
+            &server,
+            EnvironmentId::A,
+            512,
+            0.0,
+            &PathConfig::clean(),
+            &mut rng,
+        );
         // The spurious-timeout path restores the window: no 1,2,4,8 ramp.
         let ramp = t.post.len() >= 4 && t.post[..4] == [1, 2, 4, 8];
         assert!(!ramp, "F-RTO must defeat the naive prober: {:?}", &t.post);
@@ -534,7 +598,10 @@ mod tests {
                 valid += 1;
             }
         }
-        assert!(valid >= 8, "2% loss should rarely break gathering: {valid}/10");
+        assert!(
+            valid >= 8,
+            "2% loss should rarely break gathering: {valid}/10"
+        );
     }
 
     #[test]

@@ -50,7 +50,9 @@ impl ServerUnderTest {
 
     /// Wraps a synthetic census server.
     pub fn from_web_server(server: &WebServer) -> Self {
-        let honoured = server.requests.honoured(caai_webmodel::http::CAAI_PIPELINE_DEPTH);
+        let honoured = server
+            .requests
+            .honoured(caai_webmodel::http::CAAI_PIPELINE_DEPTH);
         ServerUnderTest {
             algorithm: server.effective_algorithm(),
             base_config: server.server_config(100),
@@ -78,7 +80,10 @@ impl ServerUnderTest {
     /// Opens a new connection at time `now`, proposing `mss` bytes.
     pub fn connect(&self, mss: u32, now: f64) -> TcpServer {
         let granted = self.granted_mss(mss);
-        let config = ServerConfig { mss: granted, ..self.base_config };
+        let config = ServerConfig {
+            mss: granted,
+            ..self.base_config
+        };
         let budget = (self.budget_bytes / u64::from(granted.max(1))).max(1);
         TcpServer::connect(self.algorithm, config, budget, &self.cache.borrow(), now)
     }
@@ -87,7 +92,9 @@ impl ServerUnderTest {
     /// caches them.
     pub fn disconnect(&self, connection: &TcpServer, now: f64) {
         if self.base_config.ssthresh_caching {
-            self.cache.borrow_mut().store(connection.closing_ssthresh(), now);
+            self.cache
+                .borrow_mut()
+                .store(connection.closing_ssthresh(), now);
         }
     }
 }

@@ -59,12 +59,7 @@ impl fmt::Display for SpecialCase {
 /// The slow-start knee: first round whose window fails to grow 1.5× over
 /// its predecessor (growth below the worst-case lossy doubling).
 fn knee(post: &[u32]) -> Option<usize> {
-    for i in 1..post.len() {
-        if post[i - 1] >= 2 && f64::from(post[i]) < 1.5 * f64::from(post[i - 1]) {
-            return Some(i);
-        }
-    }
-    None
+    (1..post.len()).find(|&i| post[i - 1] >= 2 && f64::from(post[i]) < 1.5 * f64::from(post[i - 1]))
 }
 
 /// A knee below this fraction of `w^B` is lower than the multiplicative
@@ -107,10 +102,7 @@ pub fn detect(trace: &WindowTrace) -> Option<SpecialCase> {
     // 2. Nonincreasing window: dead flat at the knee level from the knee
     // on, well below w^B (a normal algorithm's avoidance state always
     // grows; CUBIC's plateau is at most ~3 rounds and sits near w^B).
-    if tail.iter().all(|&w| w <= knee_level)
-        && flat_len >= 5
-        && f64::from(last) < 0.95 * w_before
-    {
+    if tail.iter().all(|&w| w <= knee_level) && flat_len >= 5 && f64::from(last) < 0.95 * w_before {
         return Some(SpecialCase::NonincreasingWindow);
     }
 
@@ -130,8 +122,10 @@ pub fn detect(trace: &WindowTrace) -> Option<SpecialCase> {
     // w^B, but from knees at β ≥ 0.7 — out; the band check keeps
     // RENO-family (final ≈ 0.5·w^B) and WESTWOOD+ (final ≪ w^B) out.
     let final_w = f64::from(last);
-    let increments: Vec<i64> =
-        tail.windows(2).map(|w| i64::from(w[1]) - i64::from(w[0])).collect();
+    let increments: Vec<i64> = tail
+        .windows(2)
+        .map(|w| i64::from(w[1]) - i64::from(w[0]))
+        .collect();
     if f64::from(knee_level) < LOW_KNEE_FRACTION * w_before
         && final_w >= 0.85 * w_before
         && final_w <= 1.05 * w_before
@@ -177,23 +171,25 @@ mod tests {
     fn nonincreasing_detected() {
         // Slow start to 20, then dead flat.
         let mut post = vec![1, 2, 4, 8, 16, 20];
-        post.extend(std::iter::repeat(20).take(12));
+        post.extend(std::iter::repeat_n(20, 12));
         assert_eq!(detect(&trace(post)), Some(SpecialCase::NonincreasingWindow));
     }
 
     #[test]
     fn approaching_wmax_detected() {
         // Saturating growth toward w^B = 130 from a low knee (≈ 0.3·w^B).
-        let post =
-            vec![1, 2, 4, 8, 16, 32, 40, 67, 86, 99, 108, 115, 120, 124, 126, 128, 129, 129];
+        let post = vec![
+            1, 2, 4, 8, 16, 32, 40, 67, 86, 99, 108, 115, 120, 124, 126, 128, 129, 129,
+        ];
         assert_eq!(detect(&trace(post)), Some(SpecialCase::ApproachingWmax));
     }
 
     #[test]
     fn bounded_window_detected() {
         // Recovery slow start climbs beyond w^B = 130 and pins at 160.
-        let post =
-            vec![1, 2, 4, 8, 16, 32, 64, 128, 160, 160, 160, 160, 160, 160, 160, 160, 160, 160];
+        let post = vec![
+            1, 2, 4, 8, 16, 32, 64, 128, 160, 160, 160, 160, 160, 160, 160, 160, 160, 160,
+        ];
         assert_eq!(detect(&trace(post)), Some(SpecialCase::BoundedWindow));
     }
 
@@ -202,8 +198,9 @@ mod tests {
         // A benign ceiling exactly at w^B (the common census case: the
         // service-load clamp equals the previous crossing) must fall
         // through to the forest, not be filed as bounded/nonincreasing.
-        let post =
-            vec![1, 2, 4, 8, 16, 32, 64, 104, 117, 124, 128, 130, 130, 130, 130, 130, 130, 130];
+        let post = vec![
+            1, 2, 4, 8, 16, 32, 64, 104, 117, 124, 128, 130, 130, 130, 130, 130, 130, 130,
+        ];
         assert_eq!(detect(&trace(post)), None);
     }
 
@@ -211,8 +208,9 @@ mod tests {
     fn bic_like_high_knee_convergence_is_not_special() {
         // BIC's normal recovery: knee at 0.8·w^B, binary-search
         // convergence toward w^B — decelerating, but from a high knee.
-        let post =
-            vec![1, 2, 4, 8, 16, 32, 64, 104, 117, 124, 127, 128, 129, 129, 130, 130, 131, 131];
+        let post = vec![
+            1, 2, 4, 8, 16, 32, 64, 104, 117, 124, 127, 128, 129, 129, 130, 130, 131, 131,
+        ];
         assert_eq!(detect(&trace(post)), None);
     }
 
@@ -228,8 +226,9 @@ mod tests {
     #[test]
     fn ordinary_stcp_recovery_is_not_special() {
         // Compounding growth: increments increase — not "approaching".
-        let post =
-            vec![1, 2, 4, 8, 16, 32, 64, 113, 115, 117, 119, 121, 124, 127, 130, 133, 136, 139];
+        let post = vec![
+            1, 2, 4, 8, 16, 32, 64, 113, 115, 117, 119, 121, 124, 127, 130, 133, 136, 139,
+        ];
         assert_eq!(detect(&trace(post)), None);
     }
 

@@ -69,7 +69,12 @@ impl WindowTrace {
     /// The largest window observed anywhere in the trace — the quantity the
     /// `I(w^B_max ≥ 64)` feature element thresholds (§V-D).
     pub fn max_window(&self) -> u32 {
-        self.pre.iter().chain(self.post.iter()).copied().max().unwrap_or(0)
+        self.pre
+            .iter()
+            .chain(self.post.iter())
+            .copied()
+            .max()
+            .unwrap_or(0)
     }
 
     /// True when this (possibly invalid) environment-B trace is still

@@ -44,7 +44,10 @@ impl TrainingConfig {
 
     /// A reduced configuration for tests and quick demos.
     pub fn quick(conditions_per_pair: usize) -> Self {
-        TrainingConfig { conditions_per_pair, ..Self::paper() }
+        TrainingConfig {
+            conditions_per_pair,
+            ..Self::paper()
+        }
     }
 
     /// Expected vector count when every gathering succeeds.
@@ -59,8 +62,29 @@ impl Default for TrainingConfig {
     }
 }
 
-/// Collects a labeled training set by probing ideal lab servers under
-/// replayed network conditions.
+/// Sender configurations rotated through while collecting training
+/// vectors: the paper's testbed hosts differ in initial window and
+/// slow-start flavour (§V-A argues identification is insensitive to
+/// both), so the training set must *span* those perturbations — a `w_max`
+/// overshoot reached from IW 10 or from a HyStart early exit lands at a
+/// different `w^B`, and growth-offset features scale with it.
+fn training_server_configs() -> Vec<caai_tcpsim::ServerConfig> {
+    use caai_tcpsim::{ServerConfig, SlowStartVariant};
+    vec![
+        ServerConfig::ideal(),
+        ServerConfig::ideal().with_initial_window(4),
+        ServerConfig::ideal().with_initial_window(10),
+        ServerConfig::ideal().with_slow_start(SlowStartVariant::Hybrid),
+        ServerConfig::ideal().with_slow_start(SlowStartVariant::Limited { max_ssthresh: 600 }),
+        ServerConfig::ideal()
+            .with_initial_window(10)
+            .with_slow_start(SlowStartVariant::Hybrid),
+    ]
+}
+
+/// Collects a labeled training set by probing lab servers under replayed
+/// network conditions, rotating through the [`training_server_configs`]
+/// sender perturbations.
 ///
 /// Conditions that defeat gathering even after the configured retries are
 /// skipped (heavy tail of the loss distribution), so the returned set can
@@ -71,13 +95,17 @@ pub fn build_training_set(
     rng: &mut impl Rng,
 ) -> Dataset {
     let mut dataset = Dataset::new(label_names(), FEATURE_DIM);
+    let server_configs = training_server_configs();
     for &algo in &config.algorithms {
         for &wmax in &config.wmax_rungs {
             let label = ClassLabel::for_measurement(algo, wmax)
                 .expect("training covers identified algorithms only");
             let prober = Prober::new(ProberConfig::fixed_wmax(wmax));
-            let server = ServerUnderTest::ideal(algo);
-            for _ in 0..config.conditions_per_pair {
+            for c in 0..config.conditions_per_pair {
+                let server = ServerUnderTest::ideal_with_config(
+                    algo,
+                    server_configs[c % server_configs.len()],
+                );
                 for attempt in 0..=config.retries {
                     let cond = conditions.sample(rng);
                     let path = PathConfig::from_condition(&cond);
@@ -121,8 +149,7 @@ mod tests {
     fn rc_small_absorbs_three_algorithms() {
         let mut config = TrainingConfig::quick(1);
         config.wmax_rungs = vec![64];
-        config.algorithms =
-            vec![AlgorithmId::Reno, AlgorithmId::CtcpV1, AlgorithmId::CtcpV2];
+        config.algorithms = vec![AlgorithmId::Reno, AlgorithmId::CtcpV1, AlgorithmId::CtcpV2];
         let db = ConditionDb::paper_2011();
         let mut rng = seeded(18);
         let data = build_training_set(&config, &db, &mut rng);

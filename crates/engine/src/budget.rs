@@ -1,0 +1,88 @@
+//! Probe and wall-clock budgets.
+//!
+//! A real Internet census runs for days and costs traffic on remote
+//! servers; the engine therefore stops cleanly — checkpointing first —
+//! when either a probe budget or a deadline is exhausted, instead of
+//! running to completion or being killed uncleanly.
+
+use std::time::{Duration, Instant};
+
+/// Limits on how much work one engine run may perform.
+///
+/// `Budget::default()` is unlimited. A budget counts only probes
+/// performed by the current run — records replayed from a resume
+/// checkpoint are free.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Maximum number of probes this run may perform.
+    pub max_probes: Option<u64>,
+    /// Maximum wall-clock time this run may spend.
+    pub deadline: Option<Duration>,
+}
+
+impl Budget {
+    /// An unlimited budget.
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// A budget capped at `n` probes.
+    pub fn probes(n: u64) -> Self {
+        Budget {
+            max_probes: Some(n),
+            deadline: None,
+        }
+    }
+
+    /// A budget capped at `d` of wall-clock time.
+    pub fn deadline(d: Duration) -> Self {
+        Budget {
+            max_probes: None,
+            deadline: Some(d),
+        }
+    }
+
+    /// Whether the budget is exhausted after `probes_done` probes with
+    /// the run having started at `started`.
+    pub fn exhausted(&self, probes_done: u64, started: Instant) -> bool {
+        if let Some(max) = self.max_probes {
+            if probes_done >= max {
+                return true;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if started.elapsed() >= deadline {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_exhausts() {
+        let b = Budget::unlimited();
+        assert!(!b.exhausted(u64::MAX, Instant::now()));
+    }
+
+    #[test]
+    fn probe_budget_trips_at_the_cap() {
+        let b = Budget::probes(10);
+        let now = Instant::now();
+        assert!(!b.exhausted(9, now));
+        assert!(b.exhausted(10, now));
+        assert!(b.exhausted(11, now));
+    }
+
+    #[test]
+    fn deadline_trips_after_elapsed() {
+        let b = Budget::deadline(Duration::from_millis(1));
+        let started = Instant::now() - Duration::from_millis(5);
+        assert!(b.exhausted(0, started));
+        assert!(!b.exhausted(0, Instant::now() + Duration::from_secs(1)));
+    }
+}

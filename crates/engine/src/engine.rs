@@ -1,0 +1,284 @@
+//! The census engine proper: worker pool, record streaming, checkpoint
+//! cadence, budget enforcement.
+//!
+//! ## Determinism contract
+//!
+//! Every server is probed with an RNG keyed on `(seed, server_id)`
+//! ([`caai_core::census::Census::probe_seeded`]), and the final report is
+//! assembled from records sorted by `server_id`. Consequently the report
+//! is a pure function of `(population, seed)` — independent of worker
+//! count, batch size, scheduling interleavings, and of how many times the
+//! run was interrupted and resumed.
+
+use crate::budget::Budget;
+use crate::checkpoint::Checkpoint;
+use crate::scheduler::BatchScheduler;
+use crate::sink::ResultSink;
+use crate::telemetry::{ProgressStats, Telemetry};
+use caai_core::census::{assemble, Census, CensusRecord, CensusReport};
+use caai_webmodel::WebServer;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// Tuning and policy knobs for one engine run.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Census seed; with the population it fully determines the report.
+    pub seed: u64,
+    /// Worker threads probing servers.
+    pub workers: usize,
+    /// Servers claimed per scheduler batch.
+    pub batch_size: usize,
+    /// Where to write checkpoints (`None` disables checkpointing).
+    pub checkpoint_path: Option<PathBuf>,
+    /// Checkpoint after every this many newly completed records.
+    pub checkpoint_every: u64,
+    /// Probe/deadline budget for this run.
+    pub budget: Budget,
+    /// Print a progress line to stderr every this many records (0 = off).
+    pub progress_every: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            seed: 1,
+            workers: 4,
+            batch_size: 16,
+            checkpoint_path: None,
+            checkpoint_every: 256,
+            budget: Budget::unlimited(),
+            progress_every: 0,
+        }
+    }
+}
+
+/// Why the run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCause {
+    /// Every server in the population has a record.
+    Completed,
+    /// The probe or wall-clock budget ran out first.
+    BudgetExhausted,
+}
+
+/// The result of one engine run.
+#[derive(Debug, Clone)]
+pub struct EngineOutcome {
+    /// The (possibly partial) census report, in canonical order.
+    pub report: CensusReport,
+    /// Final telemetry snapshot.
+    pub stats: ProgressStats,
+    /// Whether every server was probed.
+    pub completed: bool,
+    /// Why the run stopped.
+    pub stop: StopCause,
+}
+
+/// Errors an engine run can hit.
+#[derive(Debug)]
+pub enum EngineError {
+    /// A sink or checkpoint I/O failure.
+    Io(io::Error),
+    /// The resume checkpoint does not match this run's parameters.
+    CheckpointMismatch(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Io(e) => write!(f, "census I/O error: {e}"),
+            EngineError::CheckpointMismatch(msg) => {
+                write!(f, "checkpoint mismatch: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<io::Error> for EngineError {
+    fn from(e: io::Error) -> Self {
+        EngineError::Io(e)
+    }
+}
+
+/// The streaming census engine. See the crate docs for an example.
+#[derive(Debug)]
+pub struct CensusEngine {
+    census: Census,
+    config: EngineConfig,
+}
+
+impl CensusEngine {
+    /// Creates an engine around a trained census driver.
+    pub fn new(census: Census, config: EngineConfig) -> Self {
+        CensusEngine { census, config }
+    }
+
+    /// The configuration this engine runs with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Runs the census over `servers`, streaming records to `sinks` and
+    /// optionally resuming from a checkpoint.
+    ///
+    /// Records already present in `resume` are re-emitted to the sinks
+    /// (in canonical order) but not re-probed and not counted against the
+    /// budget. Returns once the population is exhausted, the budget runs
+    /// out, or an I/O error occurs.
+    pub fn run(
+        &self,
+        servers: &[WebServer],
+        sinks: &mut [&mut dyn ResultSink],
+        resume: Option<Checkpoint>,
+    ) -> Result<EngineOutcome, EngineError> {
+        let seed = self.config.seed;
+        let telemetry = Telemetry::new(servers.len() as u64);
+        let started = Instant::now();
+
+        // Replay the checkpoint: completed servers are skipped, their
+        // records re-emitted so sinks see the full stream.
+        let mut records: Vec<CensusRecord> = Vec::with_capacity(servers.len());
+        let mut completed_ids: BTreeSet<u32> = BTreeSet::new();
+        if let Some(ck) = resume {
+            ck.ensure_matches(seed, servers.len() as u64)
+                .map_err(EngineError::CheckpointMismatch)?;
+            completed_ids = ck.completed_ids();
+            // Replay in canonical order; for duplicated ids the last
+            // checkpointed record wins.
+            let resumed: BTreeMap<u32, CensusRecord> =
+                ck.records.into_iter().map(|r| (r.server_id, r)).collect();
+            for record in resumed.values() {
+                telemetry.observe(record, true);
+                for sink in sinks.iter_mut() {
+                    sink.emit(record)?;
+                }
+            }
+            records.extend(resumed.into_values());
+        }
+
+        // Work list: indices of servers without a record yet.
+        let pending: Vec<usize> = servers
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !completed_ids.contains(&s.id))
+            .map(|(i, _)| i)
+            .collect();
+
+        let scheduler = BatchScheduler::new(pending.len(), self.config.batch_size);
+        let stop = AtomicBool::new(false);
+        let workers = self.config.workers.max(1).min(pending.len().max(1));
+        let (tx, rx) = mpsc::channel::<CensusRecord>();
+
+        let mut run_error: Option<EngineError> = None;
+        let mut since_checkpoint: u64 = 0;
+        let mut budget_hit = false;
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let pending = &pending;
+                let scheduler = &scheduler;
+                let stop = &stop;
+                let census = &self.census;
+                scope.spawn(move || {
+                    'claim: while let Some(batch) = scheduler.next_batch() {
+                        for i in batch {
+                            if stop.load(Ordering::Relaxed) {
+                                break 'claim;
+                            }
+                            let server = &servers[pending[i]];
+                            let record = census.probe_seeded(server, seed);
+                            if tx.send(record).is_err() {
+                                break 'claim;
+                            }
+                        }
+                    }
+                });
+            }
+            drop(tx);
+
+            for record in &rx {
+                telemetry.observe(&record, false);
+                for sink in sinks.iter_mut() {
+                    if let Err(e) = sink.emit(&record) {
+                        run_error = Some(e.into());
+                        stop.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                }
+                if run_error.is_some() {
+                    // Drain remaining in-flight records without emitting.
+                    continue;
+                }
+                records.push(record);
+                since_checkpoint += 1;
+
+                let done = records.len() as u64;
+                if self.config.progress_every > 0 && done.is_multiple_of(self.config.progress_every)
+                {
+                    eprintln!("census: {}", telemetry.snapshot());
+                }
+                if self.config.checkpoint_path.is_some()
+                    && since_checkpoint >= self.config.checkpoint_every
+                {
+                    since_checkpoint = 0;
+                    if let Err(e) = self.save_checkpoint(servers, &records) {
+                        run_error = Some(e);
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                }
+                if !budget_hit && self.config.budget.exhausted(telemetry.probed(), started) {
+                    budget_hit = true;
+                    stop.store(true, Ordering::Relaxed);
+                }
+            }
+        });
+
+        if let Some(e) = run_error {
+            return Err(e);
+        }
+        for sink in sinks.iter_mut() {
+            sink.flush()?;
+        }
+        if self.config.checkpoint_path.is_some() {
+            self.save_checkpoint(servers, &records)?;
+        }
+
+        records.sort_by_key(|r| r.server_id);
+        let completed = records.len() == servers.len();
+        let stats = telemetry.snapshot();
+        Ok(EngineOutcome {
+            report: assemble(records),
+            stats,
+            completed,
+            stop: if completed {
+                StopCause::Completed
+            } else {
+                StopCause::BudgetExhausted
+            },
+        })
+    }
+
+    fn save_checkpoint(
+        &self,
+        servers: &[WebServer],
+        records: &[CensusRecord],
+    ) -> Result<(), EngineError> {
+        let path = self
+            .config
+            .checkpoint_path
+            .as_ref()
+            .expect("save_checkpoint called without a checkpoint path");
+        let ck = Checkpoint::new(self.config.seed, servers.len() as u64, records.to_vec());
+        ck.save(path)?;
+        Ok(())
+    }
+}

@@ -1,0 +1,65 @@
+//! # caai-engine
+//!
+//! The Internet-scale census engine: turns `caai_core::census` from a
+//! blocking batch call into a streaming probe scheduler in the spirit of
+//! the paper's §VII-B campaign (and of follow-up censuses such as "The
+//! Great Internet TCP Congestion Control Census").
+//!
+//! The engine adds four capabilities over [`caai_core::census::Census::run`]:
+//!
+//! 1. **Work-stealing scheduling** ([`scheduler`]): workers pull batches
+//!    of servers from an atomic cursor instead of being handed fixed
+//!    shards, so a slow server never idles the other workers.
+//! 2. **Deterministic per-server randomness**: every probe's RNG is keyed
+//!    on `(seed, server_id)` — any worker count and any interleaving
+//!    produce the identical census report, byte for byte.
+//! 3. **Streaming results and checkpoint/resume** ([`sink`],
+//!    [`checkpoint`]): records are emitted to [`sink::ResultSink`]s as
+//!    they complete (e.g. a JSONL file), and periodic snapshots of the
+//!    completed records let an interrupted census restart and finish
+//!    identical to an uninterrupted run.
+//! 4. **Budgets and telemetry** ([`budget`], [`telemetry`]): wall-clock
+//!    deadlines, max-probe budgets, and live progress/throughput stats.
+//!
+//! ## Example
+//!
+//! ```
+//! use caai_engine::{CensusEngine, EngineConfig};
+//! use caai_engine::sink::AggregatingSink;
+//! use caai_core::census::Census;
+//! use caai_core::classify::CaaiClassifier;
+//! use caai_core::prober::ProberConfig;
+//! use caai_core::training::{build_training_set, TrainingConfig};
+//! use caai_netem::{rng, ConditionDb};
+//! use caai_webmodel::PopulationConfig;
+//!
+//! let mut train_rng = rng::seeded(1);
+//! let db = ConditionDb::paper_2011();
+//! let data = build_training_set(&TrainingConfig::quick(2), &db, &mut train_rng);
+//! let classifier = CaaiClassifier::train(&data, &mut train_rng);
+//! let census = Census::new(classifier, db, ProberConfig::default());
+//!
+//! let servers = PopulationConfig::small(24).generate(&mut rng::seeded(2));
+//! let engine = CensusEngine::new(census, EngineConfig { seed: 7, workers: 4, ..EngineConfig::default() });
+//! let mut agg = AggregatingSink::new();
+//! let outcome = engine.run(&servers, &mut [&mut agg], None).unwrap();
+//! assert!(outcome.completed);
+//! assert_eq!(outcome.report.total, 24);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod checkpoint;
+pub mod engine;
+pub mod scheduler;
+pub mod sink;
+pub mod telemetry;
+
+pub use budget::Budget;
+pub use checkpoint::Checkpoint;
+pub use engine::{CensusEngine, EngineConfig, EngineError, EngineOutcome, StopCause};
+pub use scheduler::BatchScheduler;
+pub use sink::{AggregatingSink, JsonlSink, ResultSink};
+pub use telemetry::{ProgressStats, Telemetry};

@@ -1,0 +1,192 @@
+//! Streaming result sinks.
+//!
+//! The seed census accumulated every [`CensusRecord`] in RAM and returned
+//! them all at once. At Internet scale the engine instead *streams*
+//! records to [`ResultSink`]s as workers complete them: a JSONL file for
+//! offline analysis ([`JsonlSink`]), an in-memory aggregator for the
+//! Table IV report ([`AggregatingSink`]), or both at once.
+
+use caai_core::census::{assemble, CensusRecord, CensusReport};
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Receives census records as they complete.
+///
+/// Sinks are driven from the engine's coordinator thread, in completion
+/// order — which varies with worker interleaving. Consumers that need the
+/// canonical order should sort by `server_id` (see [`read_jsonl`]).
+pub trait ResultSink {
+    /// Consumes one completed record.
+    fn emit(&mut self, record: &CensusRecord) -> io::Result<()>;
+
+    /// Flushes any buffered output (called at the end of a run).
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Streams records as one JSON object per line.
+pub struct JsonlSink<W: Write> {
+    writer: W,
+    written: u64,
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Creates (truncating) a JSONL file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(JsonlSink::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps an arbitrary writer.
+    pub fn new(writer: W) -> Self {
+        JsonlSink { writer, written: 0 }
+    }
+
+    /// Number of records written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Unwraps the inner writer (flushing first is the caller's job).
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write> ResultSink for JsonlSink<W> {
+    fn emit(&mut self, record: &CensusRecord) -> io::Result<()> {
+        let json = serde_json::to_string(record)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        self.writer.write_all(json.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.written += 1;
+        Ok(())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+/// Reads a JSONL record stream back, returning records sorted by
+/// `server_id` (deduplicated, last record wins). Feeding the result to
+/// [`caai_core::census::assemble`] reproduces the engine's canonical
+/// report regardless of the completion order the file was written in.
+pub fn read_jsonl(path: impl AsRef<Path>) -> io::Result<Vec<CensusRecord>> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut records: Vec<CensusRecord> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record: CensusRecord = serde_json::from_str(&line).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: {e}", lineno + 1),
+            )
+        })?;
+        records.push(record);
+    }
+    // Last record per server id wins (a resumed run's file may repeat
+    // ids); BTreeMap insertion order implements that directly.
+    let deduped: std::collections::BTreeMap<u32, CensusRecord> =
+        records.into_iter().map(|r| (r.server_id, r)).collect();
+    Ok(deduped.into_values().collect())
+}
+
+/// Accumulates records in memory and folds them into a [`CensusReport`].
+#[derive(Debug, Default)]
+pub struct AggregatingSink {
+    records: Vec<CensusRecord>,
+}
+
+impl AggregatingSink {
+    /// Creates an empty aggregator.
+    pub fn new() -> Self {
+        AggregatingSink::default()
+    }
+
+    /// Records seen so far, in completion order.
+    pub fn records(&self) -> &[CensusRecord] {
+        &self.records
+    }
+
+    /// Sorts into canonical `server_id` order and assembles the report.
+    pub fn into_report(mut self) -> CensusReport {
+        self.records.sort_by_key(|r| r.server_id);
+        assemble(self.records)
+    }
+}
+
+impl ResultSink for AggregatingSink {
+    fn emit(&mut self, record: &CensusRecord) -> io::Result<()> {
+        self.records.push(*record);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caai_congestion::AlgorithmId;
+    use caai_core::census::Verdict;
+    use caai_core::classes::ClassLabel;
+    use caai_core::trace::InvalidReason;
+
+    fn records() -> Vec<CensusRecord> {
+        vec![
+            CensusRecord {
+                server_id: 2,
+                truth: AlgorithmId::CubicV2,
+                verdict: Verdict::Identified(ClassLabel::Cubic1, 512),
+            },
+            CensusRecord {
+                server_id: 0,
+                truth: AlgorithmId::Reno,
+                verdict: Verdict::Invalid(InvalidReason::PageTooShort),
+            },
+            CensusRecord {
+                server_id: 1,
+                truth: AlgorithmId::Htcp,
+                verdict: Verdict::Unsure(128),
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trips_out_of_order_records() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("caai-sink-test-{}.jsonl", std::process::id()));
+        {
+            let mut sink = JsonlSink::create(&path).unwrap();
+            for r in records() {
+                sink.emit(&r).unwrap();
+            }
+            ResultSink::flush(&mut sink).unwrap();
+        }
+        let back = read_jsonl(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let ids: Vec<u32> = back.iter().map(|r| r.server_id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        let mut sorted = records();
+        sorted.sort_by_key(|r| r.server_id);
+        assert_eq!(back, sorted);
+    }
+
+    #[test]
+    fn aggregating_sink_builds_canonical_report() {
+        let mut sink = AggregatingSink::new();
+        for r in records() {
+            sink.emit(&r).unwrap();
+        }
+        let report = sink.into_report();
+        assert_eq!(report.total, 3);
+        assert_eq!(report.valid_total(), 2);
+        let ids: Vec<u32> = report.records.iter().map(|r| r.server_id).collect();
+        assert_eq!(ids, vec![0, 1, 2], "records must be in canonical order");
+    }
+}

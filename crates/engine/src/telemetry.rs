@@ -1,0 +1,182 @@
+//! Live progress and throughput telemetry.
+//!
+//! Shared atomic counters updated as records stream out of the worker
+//! pool, snapshotted into [`ProgressStats`] for progress lines, the CLI
+//! summary, and tests. The paper probed ~63k servers over weeks; at that
+//! scale "how fast, how valid, how far along" must be observable while
+//! the census runs, not after.
+
+use caai_core::census::{CensusRecord, Verdict};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Atomic counters shared between the engine and its observers.
+#[derive(Debug)]
+pub struct Telemetry {
+    started: Instant,
+    total: u64,
+    resumed: AtomicU64,
+    probed: AtomicU64,
+    invalid: AtomicU64,
+    special: AtomicU64,
+    unsure: AtomicU64,
+    identified: AtomicU64,
+}
+
+impl Telemetry {
+    /// Creates telemetry for a census over `total` servers.
+    pub fn new(total: u64) -> Self {
+        Telemetry {
+            started: Instant::now(),
+            total,
+            resumed: AtomicU64::new(0),
+            probed: AtomicU64::new(0),
+            invalid: AtomicU64::new(0),
+            special: AtomicU64::new(0),
+            unsure: AtomicU64::new(0),
+            identified: AtomicU64::new(0),
+        }
+    }
+
+    /// Counts one record. `resumed` records came from a checkpoint and do
+    /// not contribute to this run's probe throughput.
+    pub fn observe(&self, record: &CensusRecord, resumed: bool) {
+        if resumed {
+            self.resumed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.probed.fetch_add(1, Ordering::Relaxed);
+        }
+        let counter = match record.verdict {
+            Verdict::Invalid(_) => &self.invalid,
+            Verdict::Special(..) => &self.special,
+            Verdict::Unsure(_) => &self.unsure,
+            Verdict::Identified(..) => &self.identified,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of probes performed by this run (excluding resumed records).
+    pub fn probed(&self) -> u64 {
+        self.probed.load(Ordering::Relaxed)
+    }
+
+    /// Snapshots the counters into an immutable stats struct.
+    pub fn snapshot(&self) -> ProgressStats {
+        let probed = self.probed.load(Ordering::Relaxed);
+        let resumed = self.resumed.load(Ordering::Relaxed);
+        let invalid = self.invalid.load(Ordering::Relaxed);
+        let special = self.special.load(Ordering::Relaxed);
+        let unsure = self.unsure.load(Ordering::Relaxed);
+        let identified = self.identified.load(Ordering::Relaxed);
+        let elapsed = self.started.elapsed().as_secs_f64();
+        ProgressStats {
+            total: self.total,
+            done: probed + resumed,
+            probed,
+            resumed,
+            invalid,
+            special,
+            unsure,
+            identified,
+            elapsed_secs: elapsed,
+            probes_per_sec: if elapsed > 0.0 {
+                probed as f64 / elapsed
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// A point-in-time view of census progress.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgressStats {
+    /// Servers in the population.
+    pub total: u64,
+    /// Records completed so far (probed this run + resumed).
+    pub done: u64,
+    /// Probes performed by this run.
+    pub probed: u64,
+    /// Records replayed from a resume checkpoint.
+    pub resumed: u64,
+    /// Records with no valid trace.
+    pub invalid: u64,
+    /// §VII-B special-case records.
+    pub special: u64,
+    /// "Unsure TCP" records.
+    pub unsure: u64,
+    /// Confidently identified records.
+    pub identified: u64,
+    /// Wall-clock seconds since the run started.
+    pub elapsed_secs: f64,
+    /// Probe throughput of this run (probes per second).
+    pub probes_per_sec: f64,
+}
+
+impl ProgressStats {
+    /// Share of completed records that produced a valid trace.
+    pub fn valid_rate(&self) -> f64 {
+        let valid = self.special + self.unsure + self.identified;
+        valid as f64 / self.done.max(1) as f64
+    }
+}
+
+impl fmt::Display for ProgressStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} servers ({} probed, {} resumed) | {:.1} probes/s | \
+             valid {:.1}% | id {} special {} unsure {} invalid {}",
+            self.done,
+            self.total,
+            self.probed,
+            self.resumed,
+            self.probes_per_sec,
+            100.0 * self.valid_rate(),
+            self.identified,
+            self.special,
+            self.unsure,
+            self.invalid,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caai_congestion::AlgorithmId;
+    use caai_core::census::Verdict;
+    use caai_core::classes::ClassLabel;
+    use caai_core::trace::InvalidReason;
+
+    fn record(verdict: Verdict) -> CensusRecord {
+        CensusRecord {
+            server_id: 0,
+            truth: AlgorithmId::Reno,
+            verdict,
+        }
+    }
+
+    #[test]
+    fn counters_track_verdicts() {
+        let t = Telemetry::new(10);
+        t.observe(
+            &record(Verdict::Invalid(InvalidReason::PageTooShort)),
+            false,
+        );
+        t.observe(&record(Verdict::Unsure(128)), false);
+        t.observe(&record(Verdict::Identified(ClassLabel::Bic, 512)), false);
+        t.observe(&record(Verdict::Identified(ClassLabel::Bic, 512)), true);
+        let s = t.snapshot();
+        assert_eq!(s.done, 4);
+        assert_eq!(s.probed, 3);
+        assert_eq!(s.resumed, 1);
+        assert_eq!(s.invalid, 1);
+        assert_eq!(s.unsure, 1);
+        assert_eq!(s.identified, 2);
+        assert!((s.valid_rate() - 0.75).abs() < 1e-12);
+        let line = s.to_string();
+        assert!(line.contains("4/10"), "{line}");
+    }
+}

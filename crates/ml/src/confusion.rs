@@ -14,7 +14,10 @@ impl ConfusionMatrix {
     /// Creates an all-zero matrix over the given class names.
     pub fn new(labels: Vec<String>) -> Self {
         let n = labels.len();
-        ConfusionMatrix { labels, counts: vec![vec![0; n]; n] }
+        ConfusionMatrix {
+            labels,
+            counts: vec![vec![0; n]; n],
+        }
     }
 
     /// Records one classification outcome.
@@ -65,7 +68,9 @@ impl ConfusionMatrix {
         if total == 0 {
             return vec![0.0; row.len()];
         }
-        row.iter().map(|&c| 100.0 * c as f64 / total as f64).collect()
+        row.iter()
+            .map(|&c| 100.0 * c as f64 / total as f64)
+            .collect()
     }
 
     /// Recall of one class (diagonal of its percentage row).
@@ -86,7 +91,13 @@ impl ConfusionMatrix {
 
 impl fmt::Display for ConfusionMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let width = self.labels.iter().map(|l| l.len()).max().unwrap_or(8).max(8);
+        let width = self
+            .labels
+            .iter()
+            .map(|l| l.len())
+            .max()
+            .unwrap_or(8)
+            .max(8);
         write!(f, "{:width$} ", "")?;
         for l in &self.labels {
             write!(f, "{:>width$} ", l)?;

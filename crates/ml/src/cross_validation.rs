@@ -43,8 +43,12 @@ where
     let mut fold_accuracies = Vec::with_capacity(k);
 
     for v in 0..k {
-        let train_idx: Vec<usize> =
-            folds.iter().enumerate().filter(|(i, _)| *i != v).flat_map(|(_, f)| f.clone()).collect();
+        let train_idx: Vec<usize> = folds
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != v)
+            .flat_map(|(_, f)| f.clone())
+            .collect();
         let train = data.subset(&train_idx);
         let mut model = make_model();
         model.fit(&train, rng);
@@ -62,7 +66,10 @@ where
         fold_accuracies.push(correct as f64 / denom as f64);
     }
 
-    CvReport { confusion, fold_accuracies }
+    CvReport {
+        confusion,
+        fold_accuracies,
+    }
 }
 
 #[cfg(test)]
@@ -90,7 +97,12 @@ mod tests {
         let report = cross_validate(
             &d,
             10,
-            || RandomForest::new(RandomForestConfig { n_trees: 10, mtry: 1 }),
+            || {
+                RandomForest::new(RandomForestConfig {
+                    n_trees: 10,
+                    mtry: 1,
+                })
+            },
             &mut rng,
         );
         assert_eq!(report.fold_accuracies.len(), 10);

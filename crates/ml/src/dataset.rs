@@ -26,7 +26,11 @@ impl Dataset {
     /// Creates an empty dataset over the given class names and feature
     /// dimensionality.
     pub fn new(label_names: Vec<String>, n_features: usize) -> Self {
-        Dataset { samples: Vec::new(), label_names, n_features }
+        Dataset {
+            samples: Vec::new(),
+            label_names,
+            n_features,
+        }
     }
 
     /// Adds one sample.
@@ -35,7 +39,11 @@ impl Dataset {
     ///
     /// Panics if the feature dimensionality or label index is inconsistent.
     pub fn push(&mut self, features: Vec<f64>, label: usize) {
-        assert_eq!(features.len(), self.n_features, "feature dimensionality mismatch");
+        assert_eq!(
+            features.len(),
+            self.n_features,
+            "feature dimensionality mismatch"
+        );
         assert!(label < self.label_names.len(), "label {label} out of range");
         assert!(
             features.iter().all(|f| f.is_finite()),

@@ -21,7 +21,10 @@ pub struct RandomForestConfig {
 impl RandomForestConfig {
     /// The paper's production setting: K = 80 trees, m = 4.
     pub fn paper() -> Self {
-        RandomForestConfig { n_trees: 80, mtry: 4 }
+        RandomForestConfig {
+            n_trees: 80,
+            mtry: 4,
+        }
     }
 }
 
@@ -49,7 +52,11 @@ impl RandomForest {
     /// Creates an untrained forest with the given configuration.
     pub fn new(config: RandomForestConfig) -> Self {
         assert!(config.n_trees >= 1, "a forest needs at least one tree");
-        RandomForest { config, trees: Vec::new(), n_classes: 0 }
+        RandomForest {
+            config,
+            trees: Vec::new(),
+            n_classes: 0,
+        }
     }
 
     /// The configuration in force.
@@ -96,7 +103,10 @@ impl Classifier for RandomForest {
             .enumerate()
             .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite shares"))
             .expect("at least one class");
-        Prediction { label, confidence: *share }
+        Prediction {
+            label,
+            confidence: *share,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -125,7 +135,10 @@ mod tests {
     #[test]
     fn forest_learns_blobs() {
         let d = blobs(30);
-        let mut f = RandomForest::new(RandomForestConfig { n_trees: 20, mtry: 1 });
+        let mut f = RandomForest::new(RandomForestConfig {
+            n_trees: 20,
+            mtry: 1,
+        });
         let mut rng = StdRng::seed_from_u64(10);
         f.fit(&d, &mut rng);
         assert_eq!(f.tree_count(), 20);
@@ -139,7 +152,10 @@ mod tests {
     #[test]
     fn vote_shares_sum_to_one() {
         let d = blobs(10);
-        let mut f = RandomForest::new(RandomForestConfig { n_trees: 15, mtry: 2 });
+        let mut f = RandomForest::new(RandomForestConfig {
+            n_trees: 15,
+            mtry: 2,
+        });
         let mut rng = StdRng::seed_from_u64(11);
         f.fit(&d, &mut rng);
         let shares = f.vote_shares(&[5.0, 5.0]);
@@ -151,11 +167,18 @@ mod tests {
     fn ambiguous_points_get_low_confidence() {
         // A point exactly between two blobs splits the votes.
         let d = blobs(30);
-        let mut f = RandomForest::new(RandomForestConfig { n_trees: 40, mtry: 1 });
+        let mut f = RandomForest::new(RandomForestConfig {
+            n_trees: 40,
+            mtry: 1,
+        });
         let mut rng = StdRng::seed_from_u64(12);
         f.fit(&d, &mut rng);
         let p = f.predict(&[2.6, 2.6]);
-        assert!(p.confidence < 1.0, "boundary votes must split, got {}", p.confidence);
+        assert!(
+            p.confidence < 1.0,
+            "boundary votes must split, got {}",
+            p.confidence
+        );
     }
 
     #[test]
@@ -180,6 +203,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one tree")]
     fn zero_trees_rejected() {
-        let _ = RandomForest::new(RandomForestConfig { n_trees: 0, mtry: 1 });
+        let _ = RandomForest::new(RandomForestConfig {
+            n_trees: 0,
+            mtry: 1,
+        });
     }
 }

@@ -20,7 +20,12 @@ impl KnnClassifier {
     /// Creates an untrained kNN classifier.
     pub fn new(k: usize) -> Self {
         assert!(k >= 1, "k must be at least 1");
-        KnnClassifier { k, train: Dataset::default(), means: Vec::new(), stds: Vec::new() }
+        KnnClassifier {
+            k,
+            train: Dataset::default(),
+            means: Vec::new(),
+            stds: Vec::new(),
+        }
     }
 
     fn normalize(&self, features: &[f64]) -> Vec<f64> {
@@ -79,9 +84,16 @@ impl Classifier for KnnClassifier {
         for &(_, label) in dists.iter().take(k) {
             votes[label] += 1;
         }
-        let (label, count) =
-            votes.iter().enumerate().max_by_key(|(_, &c)| c).map(|(i, &c)| (i, c)).unwrap();
-        Prediction { label, confidence: count as f64 / k as f64 }
+        let (label, count) = votes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(i, &c)| (i, c))
+            .unwrap();
+        Prediction {
+            label,
+            confidence: count as f64 / k as f64,
+        }
     }
 
     fn name(&self) -> &'static str {

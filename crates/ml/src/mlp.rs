@@ -30,7 +30,12 @@ pub struct MlpConfig {
 
 impl Default for MlpConfig {
     fn default() -> Self {
-        MlpConfig { hidden: 16, learning_rate: 0.05, epochs: 400, weight_decay: 1e-4 }
+        MlpConfig {
+            hidden: 16,
+            learning_rate: 0.05,
+            epochs: 400,
+            weight_decay: 1e-4,
+        }
     }
 }
 
@@ -118,11 +123,18 @@ impl Classifier for MlpClassifier {
         // Xavier-style initialization.
         let scale1 = (1.0 / (d as f64 + 1.0)).sqrt();
         let scale2 = (1.0 / (h as f64 + 1.0)).sqrt();
-        self.w1 = (0..h * (d + 1)).map(|_| rng.random_range(-scale1..scale1)).collect();
-        self.w2 = (0..c * (h + 1)).map(|_| rng.random_range(-scale2..scale2)).collect();
+        self.w1 = (0..h * (d + 1))
+            .map(|_| rng.random_range(-scale1..scale1))
+            .collect();
+        self.w2 = (0..c * (h + 1))
+            .map(|_| rng.random_range(-scale2..scale2))
+            .collect();
 
-        let inputs: Vec<Vec<f64>> =
-            data.samples().iter().map(|s| self.scaler.transform(&s.features)).collect();
+        let inputs: Vec<Vec<f64>> = data
+            .samples()
+            .iter()
+            .map(|s| self.scaler.transform(&s.features))
+            .collect();
         let n = inputs.len() as f64;
         let lr = self.config.learning_rate;
         let decay = self.config.weight_decay;
@@ -175,7 +187,10 @@ impl Classifier for MlpClassifier {
             .enumerate()
             .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probabilities"))
             .expect("at least one class");
-        Prediction { label, confidence: *p }
+        Prediction {
+            label,
+            confidence: *p,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -219,9 +234,16 @@ mod tests {
         let d = blobs();
         let mut m = MlpClassifier::new(MlpConfig::default());
         m.fit(&d, &mut StdRng::seed_from_u64(1));
-        let correct =
-            d.samples().iter().filter(|s| m.predict(&s.features).label == s.label).count();
-        assert!(correct as f64 / d.len() as f64 > 0.95, "{correct}/{}", d.len());
+        let correct = d
+            .samples()
+            .iter()
+            .filter(|s| m.predict(&s.features).label == s.label)
+            .count();
+        assert!(
+            correct as f64 / d.len() as f64 > 0.95,
+            "{correct}/{}",
+            d.len()
+        );
     }
 
     #[test]
@@ -234,9 +256,16 @@ mod tests {
             weight_decay: 0.0,
         });
         m.fit(&d, &mut StdRng::seed_from_u64(3));
-        let correct =
-            d.samples().iter().filter(|s| m.predict(&s.features).label == s.label).count();
-        assert!(correct as f64 / d.len() as f64 > 0.9, "{correct}/{}", d.len());
+        let correct = d
+            .samples()
+            .iter()
+            .filter(|s| m.predict(&s.features).label == s.label)
+            .count();
+        assert!(
+            correct as f64 / d.len() as f64 > 0.9,
+            "{correct}/{}",
+            d.len()
+        );
     }
 
     #[test]
@@ -270,6 +299,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "hidden width")]
     fn zero_hidden_rejected() {
-        let _ = MlpClassifier::new(MlpConfig { hidden: 0, ..MlpConfig::default() });
+        let _ = MlpClassifier::new(MlpConfig {
+            hidden: 0,
+            ..MlpConfig::default()
+        });
     }
 }

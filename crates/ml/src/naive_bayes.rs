@@ -37,7 +37,10 @@ impl GaussianNaiveBayes {
 
 impl Classifier for GaussianNaiveBayes {
     fn fit(&mut self, data: &Dataset, _rng: &mut dyn RngCore) {
-        assert!(!data.is_empty(), "cannot fit naive Bayes to an empty dataset");
+        assert!(
+            !data.is_empty(),
+            "cannot fit naive Bayes to an empty dataset"
+        );
         let c = data.n_classes();
         let d = data.n_features();
         let counts = data.class_counts();
@@ -52,6 +55,7 @@ impl Classifier for GaussianNaiveBayes {
                 self.means[s.label][i] += v;
             }
         }
+        #[allow(clippy::needless_range_loop)]
         for k in 0..c {
             if counts[k] > 0 {
                 for i in 0..d {
@@ -65,6 +69,7 @@ impl Classifier for GaussianNaiveBayes {
                 self.vars[s.label][i] += dm * dm;
             }
         }
+        #[allow(clippy::needless_range_loop)]
         for k in 0..c {
             for i in 0..d {
                 self.vars[k][i] = if counts[k] > 1 {
@@ -78,8 +83,9 @@ impl Classifier for GaussianNaiveBayes {
 
     fn predict(&self, features: &[f64]) -> Prediction {
         assert!(!self.priors.is_empty(), "predict called before fit");
-        let lls: Vec<f64> =
-            (0..self.priors.len()).map(|k| self.log_likelihood(k, features)).collect();
+        let lls: Vec<f64> = (0..self.priors.len())
+            .map(|k| self.log_likelihood(k, features))
+            .collect();
         let max = lls.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         // Softmax over log-likelihoods for a posterior-like confidence.
         let exps: Vec<f64> = lls.iter().map(|l| (l - max).exp()).collect();
@@ -89,7 +95,10 @@ impl Classifier for GaussianNaiveBayes {
             .enumerate()
             .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
             .unwrap();
-        Prediction { label, confidence: p / sum }
+        Prediction {
+            label,
+            confidence: p / sum,
+        }
     }
 
     fn name(&self) -> &'static str {

@@ -1,11 +1,15 @@
 //! Support-vector-machine baseline (one of the methods the paper compared
 //! against random forest in Weka, §VI — Weka's `SMO`).
 //!
-//! A linear multi-class SVM trained one-vs-rest with the Pegasos
-//! stochastic sub-gradient solver (Shalev-Shwartz et al. 2007) on hinge
-//! loss with L2 regularization. Features are standardized with
+//! A linear multi-class SVM trained **one-vs-one** (like Weka's SMO) with
+//! the Pegasos stochastic sub-gradient solver (Shalev-Shwartz et al.
+//! 2007) on hinge loss with L2 regularization: one binary classifier per
+//! class pair, coupled by logistic soft votes per class.
+//! One-vs-rest would be cheaper but cannot rank a class sandwiched
+//! between its neighbours along one feature direction — exactly the
+//! geometry of CAAI's β-ordered classes. Features are standardized with
 //! [`StandardScaler`]; multi-class confidence is the softmax of the
-//! per-class decision margins, mirroring how Weka couples pairwise SMO
+//! coupled per-class scores, mirroring how Weka turns pairwise SMO
 //! outputs into probability estimates.
 
 use crate::dataset::Dataset;
@@ -26,19 +30,29 @@ pub struct SvmConfig {
 
 impl Default for SvmConfig {
     fn default() -> Self {
-        SvmConfig { lambda: 1e-3, epochs: 60 }
+        SvmConfig {
+            lambda: 1e-3,
+            epochs: 60,
+        }
     }
 }
 
-/// A linear one-vs-rest SVM.
+/// A linear one-vs-one SVM.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LinearSvm {
     config: SvmConfig,
     scaler: StandardScaler,
-    /// `classes × (features + 1)` row-major weights (last column is bias).
+    /// `pairs × (features + 1)` row-major weights (last column is bias),
+    /// one row per class pair `(a, b)` with `a < b` in lexicographic
+    /// order; the row's positive side is class `a`.
     weights: Vec<f64>,
     n_features: usize,
     n_classes: usize,
+}
+
+/// Class pairs `(a, b)`, `a < b`, in the weight-row order.
+fn class_pairs(n_classes: usize) -> impl Iterator<Item = (usize, usize)> {
+    (0..n_classes).flat_map(move |a| (a + 1..n_classes).map(move |b| (a, b)))
 }
 
 impl LinearSvm {
@@ -64,15 +78,23 @@ impl LinearSvm {
         self.config
     }
 
-    /// Per-class decision margins `wᵀx + b` for standardized features.
+    /// Per-class scores for standardized features: soft pairwise votes.
+    /// Each pair contributes `σ(margin)` to its positive class and
+    /// `σ(−margin)` to the other — the logistic link Weka fits over SMO
+    /// outputs. Summing *raw* margins instead would let an irrelevant
+    /// pair's magnitude (a point far on one side of a split it is not
+    /// part of) swamp the votes of the pairs that matter.
     fn margins(&self, z: &[f64]) -> Vec<f64> {
         let d = self.n_features;
-        (0..self.n_classes)
-            .map(|c| {
-                let row = &self.weights[c * (d + 1)..(c + 1) * (d + 1)];
-                row[d] + z.iter().zip(row).map(|(x, w)| x * w).sum::<f64>()
-            })
-            .collect()
+        let mut scores = vec![0.0; self.n_classes];
+        for (p, (a, b)) in class_pairs(self.n_classes).enumerate() {
+            let row = &self.weights[p * (d + 1)..(p + 1) * (d + 1)];
+            let margin = row[d] + z.iter().zip(row).map(|(x, w)| x * w).sum::<f64>();
+            let vote = 1.0 / (1.0 + (-margin).exp());
+            scores[a] += vote;
+            scores[b] += 1.0 - vote;
+        }
+        scores
     }
 }
 
@@ -84,26 +106,42 @@ impl Classifier for LinearSvm {
         self.n_features = d;
         self.n_classes = c;
         self.scaler = StandardScaler::fit(data);
-        self.weights = vec![0.0; c * (d + 1)];
+        let n_pairs = c * (c.saturating_sub(1)) / 2;
+        self.weights = vec![0.0; n_pairs * (d + 1)];
 
-        let inputs: Vec<Vec<f64>> =
-            data.samples().iter().map(|s| self.scaler.transform(&s.features)).collect();
-        let n = inputs.len();
+        let inputs: Vec<Vec<f64>> = data
+            .samples()
+            .iter()
+            .map(|s| self.scaler.transform(&s.features))
+            .collect();
         let lambda = self.config.lambda;
 
-        // Pegasos: step size 1/(λ·t), one (sample, class) sub-gradient per
-        // step, classes trained one-vs-rest over a shared sample stream.
-        let mut t = 0usize;
-        for _ in 0..self.config.epochs {
-            for _ in 0..n {
-                let i = rng.random_range(0..n);
-                t += 1;
-                let eta = 1.0 / (lambda * t as f64);
-                let z = &inputs[i];
-                let label = data.samples()[i].label;
-                for cls in 0..c {
-                    let y = if cls == label { 1.0 } else { -1.0 };
-                    let base = cls * (d + 1);
+        // Pegasos per pair: step size 1/(λ·t), one sample sub-gradient per
+        // step, drawn from the two classes of the pair only.
+        for (p, (a, b)) in class_pairs(c).enumerate() {
+            let members: Vec<usize> = data
+                .samples()
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.label == a || s.label == b)
+                .map(|(i, _)| i)
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let base = p * (d + 1);
+            let mut t = 0usize;
+            for _ in 0..self.config.epochs {
+                for _ in 0..members.len() {
+                    let i = members[rng.random_range(0..members.len())];
+                    t += 1;
+                    let eta = 1.0 / (lambda * t as f64);
+                    let z = &inputs[i];
+                    let y = if data.samples()[i].label == a {
+                        1.0
+                    } else {
+                        -1.0
+                    };
                     let margin = {
                         let row = &self.weights[base..base + d + 1];
                         row[d] + z.iter().zip(row).map(|(x, w)| x * w).sum::<f64>()
@@ -117,6 +155,20 @@ impl Classifier for LinearSvm {
                             self.weights[base + j] += eta * y * x;
                         }
                         self.weights[base + d] += eta * y;
+                    }
+                    // Pegasos's projection step: keep the solution inside
+                    // the ‖w‖ ≤ 1/√λ ball. Without it the 1/(λt) step
+                    // size makes the first updates enormous and the decay
+                    // never recovers, leaving pairwise margins on wildly
+                    // different scales.
+                    let row = &mut self.weights[base..base + d + 1];
+                    let norm = row.iter().map(|w| w * w).sum::<f64>().sqrt();
+                    let bound = 1.0 / lambda.sqrt();
+                    if norm > bound {
+                        let shrink = bound / norm;
+                        for w in row {
+                            *w *= shrink;
+                        }
                     }
                 }
             }
@@ -135,7 +187,10 @@ impl Classifier for LinearSvm {
             .enumerate()
             .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite margins"))
             .expect("at least one class");
-        Prediction { label, confidence: e / sum }
+        Prediction {
+            label,
+            confidence: e / sum,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -165,9 +220,16 @@ mod tests {
         let d = blobs();
         let mut svm = LinearSvm::new(SvmConfig::default());
         svm.fit(&d, &mut StdRng::seed_from_u64(1));
-        let correct =
-            d.samples().iter().filter(|s| svm.predict(&s.features).label == s.label).count();
-        assert!(correct as f64 / d.len() as f64 > 0.95, "{correct}/{}", d.len());
+        let correct = d
+            .samples()
+            .iter()
+            .filter(|s| svm.predict(&s.features).label == s.label)
+            .count();
+        assert!(
+            correct as f64 / d.len() as f64 > 0.95,
+            "{correct}/{}",
+            d.len()
+        );
     }
 
     #[test]
@@ -205,12 +267,18 @@ mod tests {
     #[test]
     #[should_panic(expected = "lambda")]
     fn non_positive_lambda_rejected() {
-        let _ = LinearSvm::new(SvmConfig { lambda: 0.0, epochs: 10 });
+        let _ = LinearSvm::new(SvmConfig {
+            lambda: 0.0,
+            epochs: 10,
+        });
     }
 
     #[test]
     #[should_panic(expected = "epoch")]
     fn zero_epochs_rejected() {
-        let _ = LinearSvm::new(SvmConfig { lambda: 1e-3, epochs: 0 });
+        let _ = LinearSvm::new(SvmConfig {
+            lambda: 1e-3,
+            epochs: 0,
+        });
     }
 }

@@ -24,19 +24,37 @@ pub struct DecisionTree {
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
 enum Node {
-    Split { feature: usize, threshold: f64, left: usize, right: usize },
-    Leaf { label: usize, purity: f64 },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+    Leaf {
+        label: usize,
+        purity: f64,
+    },
 }
 
 impl DecisionTree {
     /// A plain CART tree (all features considered at each node).
     pub fn new() -> Self {
-        DecisionTree { nodes: Vec::new(), mtry: 0, min_split: 2, n_classes: 0 }
+        DecisionTree {
+            nodes: Vec::new(),
+            mtry: 0,
+            min_split: 2,
+            n_classes: 0,
+        }
     }
 
     /// A random-subspace tree examining `mtry` features per node.
     pub fn with_mtry(mtry: usize) -> Self {
-        DecisionTree { nodes: Vec::new(), mtry, min_split: 2, n_classes: 0 }
+        DecisionTree {
+            nodes: Vec::new(),
+            mtry,
+            min_split: 2,
+            n_classes: 0,
+        }
     }
 
     /// Number of nodes in the trained tree.
@@ -49,7 +67,10 @@ impl DecisionTree {
             return 0.0;
         }
         let t = total as f64;
-        1.0 - counts.iter().map(|&c| (c as f64 / t) * (c as f64 / t)).sum::<f64>()
+        1.0 - counts
+            .iter()
+            .map(|&c| (c as f64 / t) * (c as f64 / t))
+            .sum::<f64>()
     }
 
     /// Finds the best (feature, threshold) split for `rows` among the
@@ -113,18 +134,27 @@ impl DecisionTree {
     fn grow(&mut self, data: &Dataset, rows: Vec<usize>, rng: &mut dyn RngCore) -> usize {
         let counts = class_counts(data, &rows, self.n_classes);
         let total = rows.len();
-        let (majority, majority_count) =
-            counts.iter().enumerate().max_by_key(|(_, &c)| c).map(|(i, &c)| (i, c)).unwrap();
+        let (majority, majority_count) = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(i, &c)| (i, c))
+            .unwrap();
         let pure = majority_count == total;
         if pure || total < self.min_split {
-            let node = Node::Leaf { label: majority, purity: majority_count as f64 / total as f64 };
+            let node = Node::Leaf {
+                label: majority,
+                purity: majority_count as f64 / total as f64,
+            };
             self.nodes.push(node);
             return self.nodes.len() - 1;
         }
         match self.best_split(data, &rows, rng) {
             None => {
-                let node =
-                    Node::Leaf { label: majority, purity: majority_count as f64 / total as f64 };
+                let node = Node::Leaf {
+                    label: majority,
+                    purity: majority_count as f64 / total as f64,
+                };
                 self.nodes.push(node);
                 self.nodes.len() - 1
             }
@@ -134,10 +164,18 @@ impl DecisionTree {
                     .partition(|&r| data.samples()[r].features[feature] <= threshold);
                 // Reserve a slot for this split node, then grow children.
                 let idx = self.nodes.len();
-                self.nodes.push(Node::Leaf { label: majority, purity: 0.0 }); // placeholder
+                self.nodes.push(Node::Leaf {
+                    label: majority,
+                    purity: 0.0,
+                }); // placeholder
                 let left = self.grow(data, left_rows, rng);
                 let right = self.grow(data, right_rows, rng);
-                self.nodes[idx] = Node::Split { feature, threshold, left, right };
+                self.nodes[idx] = Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                };
                 idx
             }
         }
@@ -171,10 +209,22 @@ impl Classifier for DecisionTree {
         loop {
             match &self.nodes[idx] {
                 Node::Leaf { label, purity } => {
-                    return Prediction { label: *label, confidence: *purity };
+                    return Prediction {
+                        label: *label,
+                        confidence: *purity,
+                    };
                 }
-                Node::Split { feature, threshold, left, right } => {
-                    idx = if features[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    idx = if features[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }

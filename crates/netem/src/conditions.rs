@@ -131,7 +131,9 @@ mod tests {
         assert!(db.rtt_cdf().eval(0.8) >= 0.99);
         let mut rng = seeded(11);
         let n = 5000;
-        let below = (0..n).filter(|_| db.sample(&mut rng).rtt_mean < 0.8).count();
+        let below = (0..n)
+            .filter(|_| db.sample(&mut rng).rtt_mean < 0.8)
+            .count();
         assert!(below as f64 / n as f64 > 0.98);
     }
 
@@ -145,7 +147,10 @@ mod tests {
     #[test]
     fn loss_is_mostly_negligible() {
         let db = ConditionDb::paper_2011();
-        assert!(db.loss_cdf().eval(0.01) >= 0.75, "80% of paths lose under 1%");
+        assert!(
+            db.loss_cdf().eval(0.01) >= 0.75,
+            "80% of paths lose under 1%"
+        );
         assert!(db.loss_cdf().eval(0.2) >= 0.999);
     }
 

@@ -58,13 +58,23 @@ impl PathConfig {
     /// A perfect path: the paper's local-testbed baseline for Fig. 3
     /// ("measured on our local testbed with a 0% packet-loss rate").
     pub fn clean() -> Self {
-        PathConfig { data_loss: 0.0, ack_loss: 0.0, data_dup: 0.0, late_prob: 0.0 }
+        PathConfig {
+            data_loss: 0.0,
+            ack_loss: 0.0,
+            data_dup: 0.0,
+            late_prob: 0.0,
+        }
     }
 
     /// A path with symmetric random loss and no jitter or duplication.
     pub fn lossy(loss: f64) -> Self {
         assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
-        PathConfig { data_loss: loss, ack_loss: loss, data_dup: 0.0, late_prob: 0.0 }
+        PathConfig {
+            data_loss: loss,
+            ack_loss: loss,
+            data_dup: 0.0,
+            late_prob: 0.0,
+        }
     }
 
     /// Derives a path model from a measured network condition, the way the
@@ -122,12 +132,18 @@ impl PathConfig {
         ];
         for (name, v) in fields {
             if !(0.0..=1.0).contains(&v) || !v.is_finite() {
-                return Err(InvalidPathConfig { field: name, value: v });
+                return Err(InvalidPathConfig {
+                    field: name,
+                    value: v,
+                });
             }
         }
         let total = self.data_loss + self.data_dup + self.late_prob;
         if total > 1.0 {
-            return Err(InvalidPathConfig { field: "data_loss+data_dup+late_prob", value: total });
+            return Err(InvalidPathConfig {
+                field: "data_loss+data_dup+late_prob",
+                value: total,
+            });
         }
         Ok(())
     }
@@ -151,7 +167,11 @@ pub struct InvalidPathConfig {
 
 impl std::fmt::Display for InvalidPathConfig {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "path probability `{}` out of range: {}", self.field, self.value)
+        write!(
+            f,
+            "path probability `{}` out of range: {}",
+            self.field, self.value
+        )
     }
 }
 
@@ -177,14 +197,20 @@ mod tests {
         let p = PathConfig::lossy(0.2);
         let mut rng = seeded(4);
         let n = 50_000;
-        let lost = (0..n).filter(|_| p.data_fate(&mut rng) == DataFate::Lost).count();
+        let lost = (0..n)
+            .filter(|_| p.data_fate(&mut rng) == DataFate::Lost)
+            .count();
         let frac = lost as f64 / n as f64;
         assert!((frac - 0.2).abs() < 0.01, "got {frac}");
     }
 
     #[test]
     fn condition_with_no_jitter_has_no_late_packets() {
-        let cond = NetworkCondition { rtt_mean: 0.1, rtt_std: 0.0, loss_rate: 0.01 };
+        let cond = NetworkCondition {
+            rtt_mean: 0.1,
+            rtt_std: 0.0,
+            loss_rate: 0.01,
+        };
         let p = PathConfig::from_condition(&cond);
         assert_eq!(p.late_prob, 0.0);
         assert_eq!(p.data_loss, 0.01);
@@ -192,7 +218,11 @@ mod tests {
 
     #[test]
     fn heavy_jitter_produces_late_packets_but_is_capped() {
-        let cond = NetworkCondition { rtt_mean: 0.7, rtt_std: 0.5, loss_rate: 0.0 };
+        let cond = NetworkCondition {
+            rtt_mean: 0.7,
+            rtt_std: 0.5,
+            loss_rate: 0.0,
+        };
         let p = PathConfig::from_condition(&cond);
         assert!(p.late_prob > 0.1, "late_prob {}", p.late_prob);
         assert!(p.late_prob <= 0.25, "cap respected: {}", p.late_prob);

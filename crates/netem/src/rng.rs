@@ -41,7 +41,9 @@ mod tests {
     fn different_shards_diverge() {
         let mut a = child(42, 0);
         let mut b = child(42, 1);
-        let same = (0..64).filter(|_| a.random::<u64>() == b.random::<u64>()).count();
+        let same = (0..64)
+            .filter(|_| a.random::<u64>() == b.random::<u64>())
+            .count();
         assert!(same < 2, "shard streams must not correlate");
     }
 }

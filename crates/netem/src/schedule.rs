@@ -149,7 +149,10 @@ mod tests {
         let t = s.table(15);
         assert_eq!(t.len(), 30);
         // Post-timeout row 13 carries the step.
-        let row = t.iter().find(|(p, r, _)| *p == Phase::AfterTimeout && *r == 13).unwrap();
+        let row = t
+            .iter()
+            .find(|(p, r, _)| *p == Phase::AfterTimeout && *r == 13)
+            .unwrap();
         assert_eq!(row.2, RTT_LONG);
     }
 }

@@ -31,7 +31,10 @@ impl Cdf {
         }
         let first = points.first().expect("nonempty");
         let last = points.last().expect("nonempty");
-        assert!(first.1 >= 0.0 && (first.1 - 0.0).abs() < 1e-9, "first probability must be 0");
+        assert!(
+            first.1 >= 0.0 && (first.1 - 0.0).abs() < 1e-9,
+            "first probability must be 0"
+        );
         assert!((last.1 - 1.0).abs() < 1e-9, "last probability must be 1");
         Cdf { points }
     }

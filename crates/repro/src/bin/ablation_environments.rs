@@ -33,8 +33,14 @@ fn main() {
     // Feature layout: [β^A, G3^A, G6^A, β^B, G3^B, G6^B, I(w^B ≥ 64)].
     let variants: [(&str, Vec<usize>); 3] = [
         ("environment A only (β^A, G3^A, G6^A)", vec![0, 1, 2]),
-        ("environment B only (β^B, G3^B, G6^B, reach64)", vec![3, 4, 5, 6]),
-        ("both environments (full 7-element vector)", vec![0, 1, 2, 3, 4, 5, 6]),
+        (
+            "environment B only (β^B, G3^B, G6^B, reach64)",
+            vec![3, 4, 5, 6],
+        ),
+        (
+            "both environments (full 7-element vector)",
+            vec![0, 1, 2, 3, 4, 5, 6],
+        ),
     ];
 
     println!("== Ablation: environment pair vs single environments ==\n");
@@ -60,13 +66,20 @@ fn main() {
         rows.push(vec![
             (*name).to_owned(),
             format!("{:.2}", 100.0 * report.accuracy()),
-            format!("{} ({:.0}%)", projected.label_name(worst_idx), 100.0 * worst),
+            format!(
+                "{} ({:.0}%)",
+                projected.label_name(worst_idx),
+                100.0 * worst
+            ),
         ]);
         eprintln!("{name} done");
     }
 
-    let header =
-        vec!["feature set".to_owned(), "CV accuracy %".to_owned(), "worst-class recall".to_owned()];
+    let header = vec![
+        "feature set".to_owned(),
+        "CV accuracy %".to_owned(),
+        "worst-class recall".to_owned(),
+    ];
     println!("{}", table(&header, &rows));
     println!("\npaper claim (§IV-B): \"network environment A or B alone is insufficient to");
     println!("distinguish among 14 TCP algorithms ... Both A and B together ... can clearly");

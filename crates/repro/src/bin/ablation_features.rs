@@ -38,9 +38,10 @@ fn main() {
 
     let watched = [ClassLabel::Vegas, ClassLabel::RenoBig, ClassLabel::Westwood];
     let mut rows = Vec::new();
-    for (name, data, mtry) in
-        [("full 7-element vector", &full, 4usize), ("without reach64 (6 elements)", &ablated, 4)]
-    {
+    for (name, data, mtry) in [
+        ("full 7-element vector", &full, 4usize),
+        ("without reach64 (6 elements)", &ablated, 4),
+    ] {
         let report = cross_validate(
             data,
             10,
@@ -49,7 +50,10 @@ fn main() {
         );
         let mut row = vec![name.to_owned(), format!("{:.2}", 100.0 * report.accuracy())];
         for class in watched {
-            row.push(format!("{:.1}", 100.0 * report.confusion.recall(class.index())));
+            row.push(format!(
+                "{:.1}",
+                100.0 * report.confusion.recall(class.index())
+            ));
         }
         rows.push(row);
         eprintln!("{name} done");

@@ -39,7 +39,10 @@ fn main() {
     println!("== Ablation: w_max ladder vs fixed rungs (600-server census) ==\n");
     let mut rows = Vec::new();
     for (name, ladder) in &ladders {
-        let config = ProberConfig { wmax_ladder: ladder.clone(), ..ProberConfig::default() };
+        let config = ProberConfig {
+            wmax_ladder: ladder.clone(),
+            ..ProberConfig::default()
+        };
         let census = Census::new(classifier.clone(), db.clone(), config);
         let report = census.run(&servers, 77, scale.workers());
 
@@ -47,7 +50,12 @@ fn main() {
         let rc_small: usize = report
             .columns
             .values()
-            .map(|c| c.identified.get(ClassLabel::RcSmall.name()).copied().unwrap_or(0))
+            .map(|c| {
+                c.identified
+                    .get(ClassLabel::RcSmall.name())
+                    .copied()
+                    .unwrap_or(0)
+            })
             .sum();
         let confident = report
             .records

@@ -29,5 +29,8 @@ fn main() {
 
     println!("\nscope: \"when we say that a TCP algorithm is CUBIC, it means that the");
     println!("congestion avoidance component of the TCP congestion control algorithm is");
-    println!("CUBIC\" (§II). CAAI fingerprints {} congestion avoidance algorithms.", names.len());
+    println!(
+        "CUBIC\" (§II). CAAI fingerprints {} congestion avoidance algorithms.",
+        names.len()
+    );
 }

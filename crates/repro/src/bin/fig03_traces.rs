@@ -13,7 +13,7 @@ use caai_repro::plot::ascii_chart;
 fn trace_series(algo: AlgorithmId, env: EnvironmentId, wmax: u32) -> Vec<f64> {
     let server = ServerUnderTest::ideal(algo);
     let prober = Prober::new(ProberConfig::fixed_wmax(wmax));
-    let mut rng = seeded(0xF16_3);
+    let mut rng = seeded(0xF163);
     let (t, _) = prober.gather_trace(&server, env, wmax, 0.0, &PathConfig::clean(), &mut rng);
     let mut xs: Vec<f64> = t.pre.iter().map(|&w| f64::from(w)).collect();
     xs.push(0.0); // the timeout gap
@@ -34,9 +34,18 @@ fn main() {
 
     println!("(o) RENO vs CTCP_v1 vs CTCP_v2 at wmax=64: the RC-small merge");
     let series: Vec<(&str, Vec<f64>)> = vec![
-        ("RENO", trace_series(AlgorithmId::Reno, EnvironmentId::A, 64)),
-        ("CTCP_v1", trace_series(AlgorithmId::CtcpV1, EnvironmentId::A, 64)),
-        ("CTCP_v2", trace_series(AlgorithmId::CtcpV2, EnvironmentId::A, 64)),
+        (
+            "RENO",
+            trace_series(AlgorithmId::Reno, EnvironmentId::A, 64),
+        ),
+        (
+            "CTCP_v1",
+            trace_series(AlgorithmId::CtcpV1, EnvironmentId::A, 64),
+        ),
+        (
+            "CTCP_v2",
+            trace_series(AlgorithmId::CtcpV2, EnvironmentId::A, 64),
+        ),
     ];
     println!("{}", ascii_chart(&series, 12));
     println!(

@@ -18,7 +18,10 @@ fn main() {
     println!("{}", ascii_chart(&[("CDF(rtt)", series)], 12));
     println!("{}", cdf_rows(&empirical.series(16), "RTT (s)"));
     let p08 = empirical.eval(0.8);
-    println!("P(RTT < 0.8 s) = {:.3}   (paper: \"almost all actual RTTs are", p08);
+    println!(
+        "P(RTT < 0.8 s) = {:.3}   (paper: \"almost all actual RTTs are",
+        p08
+    );
     println!("less than 0.8 s\", hence the 0.8/1.0 s emulated schedule, §IV-B)");
     assert!(p08 > 0.97);
 }

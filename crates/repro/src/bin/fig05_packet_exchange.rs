@@ -1,9 +1,9 @@
 //! Fig. 5: the TCP packet exchange between CAAI and a web server — rendered
 //! as an annotated event log of the first emulated rounds of a real probe.
 
+use caai_congestion::AlgorithmId;
 use caai_core::prober::{Prober, ProberConfig};
 use caai_core::server_under_test::ServerUnderTest;
-use caai_congestion::AlgorithmId;
 use caai_netem::rng::seeded;
 use caai_netem::{EnvironmentId, PathConfig};
 
@@ -28,13 +28,27 @@ fn main() {
     let server = ServerUnderTest::ideal(AlgorithmId::Reno);
     let prober = Prober::new(ProberConfig::default());
     let mut rng = seeded(5);
-    let (t, _) =
-        prober.gather_trace(&server, EnvironmentId::A, 512, 0.0, &PathConfig::clean(), &mut rng);
+    let (t, _) = prober.gather_trace(
+        &server,
+        EnvironmentId::A,
+        512,
+        0.0,
+        &PathConfig::clean(),
+        &mut rng,
+    );
     println!("concrete probe of a RENO server (environment A, w_max = 512):");
     for (i, w) in t.pre.iter().enumerate() {
-        println!("  round {:>2}: server sends {:>3} packets, CAAI sends {:>3} deferred ACKs", i + 1, w, w);
+        println!(
+            "  round {:>2}: server sends {:>3} packets, CAAI sends {:>3} deferred ACKs",
+            i + 1,
+            w,
+            w
+        );
     }
-    println!("  window {} > 512: CAAI withholds ACKs → RTO at the server", t.pre.last().unwrap());
+    println!(
+        "  window {} > 512: CAAI withholds ACKs → RTO at the server",
+        t.pre.last().unwrap()
+    );
     for (i, w) in t.post.iter().take(6).enumerate() {
         println!("  recovery round {:>2}: {} packet(s)", i + 1, w);
     }

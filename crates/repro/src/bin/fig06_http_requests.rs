@@ -8,8 +8,9 @@ use caai_webmodel::http::{RequestAcceptanceModel, CAAI_PIPELINE_DEPTH};
 fn main() {
     let n = 60_000;
     let mut rng = seeded(6);
-    let samples: Vec<u32> =
-        (0..n).map(|_| RequestAcceptanceModel::sample(&mut rng).max_requests).collect();
+    let samples: Vec<u32> = (0..n)
+        .map(|_| RequestAcceptanceModel::sample(&mut rng).max_requests)
+        .collect();
 
     println!("== Fig. 6: CDF of max repeated HTTP requests accepted ==\n");
     let mut points = Vec::new();
@@ -20,8 +21,18 @@ fn main() {
     println!("{}", cdf_rows(&points, "max requests"));
     let one = samples.iter().filter(|&&v| v == 1).count() as f64 / n as f64;
     let three = samples.iter().filter(|&&v| v <= 3).count() as f64 / n as f64;
-    println!("accept exactly 1 request:  {:.1}%  (paper: ~47%)", 100.0 * one);
-    println!("accept at most 3 requests: {:.1}%  (paper: ~60%)", 100.0 * three);
-    let full = samples.iter().filter(|&&v| v >= CAAI_PIPELINE_DEPTH).count() as f64 / n as f64;
+    println!(
+        "accept exactly 1 request:  {:.1}%  (paper: ~47%)",
+        100.0 * one
+    );
+    println!(
+        "accept at most 3 requests: {:.1}%  (paper: ~60%)",
+        100.0 * three
+    );
+    let full = samples
+        .iter()
+        .filter(|&&v| v >= CAAI_PIPELINE_DEPTH)
+        .count() as f64
+        / n as f64;
     println!("honour CAAI's full 12-deep pipeline: {:.1}%", 100.0 * full);
 }

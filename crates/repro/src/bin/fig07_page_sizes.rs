@@ -11,8 +11,11 @@ fn main() {
     let pages: Vec<PageModel> = (0..n).map(|_| PageModel::sample(&mut rng)).collect();
 
     println!("== Fig. 7: CDF of default vs longest-found page sizes ==\n");
-    let header =
-        vec!["size".to_owned(), "CDF(default)".to_owned(), "CDF(longest found)".to_owned()];
+    let header = vec![
+        "size".to_owned(),
+        "CDF(default)".to_owned(),
+        "CDF(longest found)".to_owned(),
+    ];
     let mut rows = Vec::new();
     for (label, bytes) in [
         ("1 kB", 1_000u64),
@@ -30,8 +33,14 @@ fn main() {
     println!("{}", table(&header, &rows));
     let d100 = pages.iter().filter(|p| p.default_bytes > 100_000).count() as f64 / n as f64;
     let l100 = pages.iter().filter(|p| p.longest_bytes > 100_000).count() as f64 / n as f64;
-    println!("default pages above 100 kB:       {:.1}%  (paper: ~12%)", 100.0 * d100);
-    println!("longest found pages above 100 kB: {:.1}%  (paper: ~48%)", 100.0 * l100);
+    println!(
+        "default pages above 100 kB:       {:.1}%  (paper: ~12%)",
+        100.0 * d100
+    );
+    println!(
+        "longest found pages above 100 kB: {:.1}%  (paper: ~48%)",
+        100.0 * l100
+    );
     println!(
         "\nthe page-search tool (httrack+dig on PlanetLab, §IV-E) is modelled \
          by its outcome distribution; see DESIGN.md."

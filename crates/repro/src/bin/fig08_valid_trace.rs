@@ -2,10 +2,10 @@
 //! `18` windows after it, with the boundary RTT and feature extraction
 //! annotated.
 
+use caai_congestion::AlgorithmId;
 use caai_core::features::extract;
 use caai_core::prober::{Prober, ProberConfig};
 use caai_core::server_under_test::ServerUnderTest;
-use caai_congestion::AlgorithmId;
 use caai_netem::rng::seeded;
 use caai_netem::{EnvironmentId, PathConfig};
 use caai_repro::plot::ascii_chart;
@@ -14,8 +14,14 @@ fn main() {
     let server = ServerUnderTest::ideal(AlgorithmId::Bic);
     let prober = Prober::new(ProberConfig::default());
     let mut rng = seeded(8);
-    let (t, _) =
-        prober.gather_trace(&server, EnvironmentId::A, 512, 0.0, &PathConfig::clean(), &mut rng);
+    let (t, _) = prober.gather_trace(
+        &server,
+        EnvironmentId::A,
+        512,
+        0.0,
+        &PathConfig::clean(),
+        &mut rng,
+    );
     assert!(t.is_valid());
 
     println!("== Fig. 8: a valid trace of window sizes (BIC server, env A) ==\n");
@@ -32,12 +38,19 @@ fn main() {
     let f = extract(&t);
     match f.boundary {
         Some(b) => {
-            println!("boundary RTT b            : post round {} (w_b = {})", b + 1, t.post[b]);
+            println!(
+                "boundary RTT b            : post round {} (w_b = {})",
+                b + 1,
+                t.post[b]
+            );
             println!("beta  = w_b / w^B         : {:.3}  (BIC: ≈0.8)", f.beta);
             println!("G3    = w_(b+3) - w_b     : {}", f.g3);
             println!("G6    = w_(b+6) - w_b     : {}", f.g6);
         }
         None => println!("no boundary found (beta = 0)"),
     }
-    println!("ACK-loss estimate L       : {:.2} (clean path clamps to the 15% floor)", f.ack_loss);
+    println!(
+        "ACK-loss estimate L       : {:.2} (clean path clamps to the 15% floor)",
+        f.ack_loss
+    );
 }

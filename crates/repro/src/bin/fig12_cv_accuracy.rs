@@ -34,7 +34,12 @@ fn main() {
             let report = cross_validate(
                 &data,
                 10,
-                || RandomForest::new(RandomForestConfig { n_trees: k, mtry: m }),
+                || {
+                    RandomForest::new(RandomForestConfig {
+                        n_trees: k,
+                        mtry: m,
+                    })
+                },
                 &mut rng,
             );
             row.push(format!("{:.2}", 100.0 * report.accuracy()));

@@ -1,11 +1,11 @@
 //! Figs. 13–18: the invalid and special-case traces of §VII-B, regenerated
 //! from servers with the corresponding quirks.
 
+use caai_congestion::AlgorithmId;
 use caai_core::prober::{Prober, ProberConfig};
 use caai_core::server_under_test::ServerUnderTest;
 use caai_core::special::detect;
 use caai_core::trace::InvalidReason;
-use caai_congestion::AlgorithmId;
 use caai_netem::rng::seeded;
 use caai_netem::{EnvironmentId, PathConfig};
 use caai_repro::plot::ascii_chart;
@@ -16,8 +16,14 @@ fn probe(quirk: SenderQuirk, wmax: u32) -> caai_core::trace::WindowTrace {
     let server = ServerUnderTest::ideal_with_config(AlgorithmId::Reno, cfg);
     let prober = Prober::new(ProberConfig::fixed_wmax(wmax));
     let mut rng = seeded(13);
-    let (t, _) =
-        prober.gather_trace(&server, EnvironmentId::A, wmax, 0.0, &PathConfig::clean(), &mut rng);
+    let (t, _) = prober.gather_trace(
+        &server,
+        EnvironmentId::A,
+        wmax,
+        0.0,
+        &PathConfig::clean(),
+        &mut rng,
+    );
     t
 }
 
@@ -40,12 +46,18 @@ fn main() {
 
     println!("Fig. 14: valid trace, \"Remaining at 1 Packet\"");
     let t = probe(SenderQuirk::RemainAtOne, 128);
-    assert_eq!(detect(&t), Some(caai_core::SpecialCase::RemainingAtOnePacket));
+    assert_eq!(
+        detect(&t),
+        Some(caai_core::SpecialCase::RemainingAtOnePacket)
+    );
     println!("{}", chart(&t));
 
     println!("Fig. 15: valid trace, \"Nonincreasing Window\"");
     let t = probe(SenderQuirk::NonIncreasing, 128);
-    assert_eq!(detect(&t), Some(caai_core::SpecialCase::NonincreasingWindow));
+    assert_eq!(
+        detect(&t),
+        Some(caai_core::SpecialCase::NonincreasingWindow)
+    );
     println!("{}", chart(&t));
 
     println!("Fig. 16: valid trace, \"Approaching w^B\"");
@@ -54,7 +66,12 @@ fn main() {
     println!("{}", chart(&t));
 
     println!("Fig. 17: valid trace, \"Bounded Window\"");
-    let t = probe(SenderQuirk::BufferBoundedRecovery { percent_of_wmax: 125 }, 128);
+    let t = probe(
+        SenderQuirk::BufferBoundedRecovery {
+            percent_of_wmax: 125,
+        },
+        128,
+    );
     assert_eq!(detect(&t), Some(caai_core::SpecialCase::BoundedWindow));
     println!("{}", chart(&t));
 
@@ -62,8 +79,16 @@ fn main() {
     let server = ServerUnderTest::ideal(AlgorithmId::Htcp);
     let prober = Prober::new(ProberConfig::fixed_wmax(128));
     let mut rng = seeded(18);
-    let path = PathConfig { data_loss: 0.12, ack_loss: 0.12, data_dup: 0.01, late_prob: 0.1 };
+    let path = PathConfig {
+        data_loss: 0.12,
+        ack_loss: 0.12,
+        data_dup: 0.01,
+        late_prob: 0.1,
+    };
     let (t, _) = prober.gather_trace(&server, EnvironmentId::A, 128, 0.0, &path, &mut rng);
-    println!("valid: {} (heavy loss makes every round ragged)", t.is_valid());
+    println!(
+        "valid: {} (heavy loss makes every round ragged)",
+        t.is_valid()
+    );
     println!("{}", chart(&t));
 }

@@ -24,13 +24,22 @@ fn main() {
     let mut rng = seeded(scale.seed());
     let db = ConditionDb::paper_2011();
     let data = build_training_set(&scale.training(), &db, &mut rng);
-    eprintln!("training set: {} vectors, {} classes", data.len(), data.n_classes());
+    eprintln!(
+        "training set: {} vectors, {} classes",
+        data.len(),
+        data.n_classes()
+    );
 
     println!("== §VI model comparison: 10-fold CV accuracy on the CAAI training set ==\n");
 
     let mut rows: Vec<(String, f64)> = Vec::new();
 
-    let rf = cross_validate(&data, 10, || RandomForest::new(RandomForestConfig::paper()), &mut rng);
+    let rf = cross_validate(
+        &data,
+        10,
+        || RandomForest::new(RandomForestConfig::paper()),
+        &mut rng,
+    );
     rows.push(("random forest (K=80, m=4)".into(), rf.accuracy()));
     eprintln!("random forest done");
 
@@ -48,8 +57,12 @@ fn main() {
     rows.push(("naive Bayes (Gaussian)".into(), nb.accuracy()));
     eprintln!("naive Bayes done");
 
-    let mlp =
-        cross_validate(&data, 10, || MlpClassifier::new(MlpConfig::default()), &mut rng);
+    let mlp = cross_validate(
+        &data,
+        10,
+        || MlpClassifier::new(MlpConfig::default()),
+        &mut rng,
+    );
     rows.push(("neural network (MLP, 16 hidden)".into(), mlp.accuracy()));
     eprintln!("MLP done");
 
@@ -59,8 +72,10 @@ fn main() {
 
     rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite accuracy"));
     let header = vec!["model".to_owned(), "CV accuracy %".to_owned()];
-    let body: Vec<Vec<String>> =
-        rows.iter().map(|(n, a)| vec![n.clone(), format!("{:.2}", 100.0 * a)]).collect();
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(n, a)| vec![n.clone(), format!("{:.2}", 100.0 * a)])
+        .collect();
     println!("{}", table(&header, &body));
 
     let winner = &rows[0].0;

@@ -10,15 +10,27 @@ fn main() {
         .map(|row| {
             vec![
                 row.family.to_string(),
-                row.defaults.iter().map(|a| a.name()).collect::<Vec<_>>().join(", "),
-                row.available.iter().map(|a| a.name()).collect::<Vec<_>>().join(", "),
+                row.defaults
+                    .iter()
+                    .map(|a| a.name())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                row.available
+                    .iter()
+                    .map(|a| a.name())
+                    .collect::<Vec<_>>()
+                    .join(", "),
             ]
         })
         .collect();
     println!(
         "{}",
         table(
-            &["family".into(), "defaults (across releases)".into(), "available".into()],
+            &[
+                "family".into(),
+                "defaults (across releases)".into(),
+                "available".into()
+            ],
             &rows
         )
     );

@@ -12,12 +12,19 @@ fn main() {
     let mut counts = [0usize; 4];
     for _ in 0..n {
         let m = MssAcceptance::sample(&mut rng);
-        let idx = PROBE_MSS_LADDER.iter().position(|&x| x == m.min_mss).expect("ladder value");
+        let idx = PROBE_MSS_LADDER
+            .iter()
+            .position(|&x| x == m.min_mss)
+            .expect("ladder value");
         counts[idx] += 1;
     }
 
     println!("== Table II: minimum segment sizes of web servers ==\n");
-    let header = vec!["min MSS (bytes)".to_owned(), "measured %".to_owned(), "model %".to_owned()];
+    let header = vec![
+        "min MSS (bytes)".to_owned(),
+        "measured %".to_owned(),
+        "model %".to_owned(),
+    ];
     let rows: Vec<Vec<String>> = PROBE_MSS_LADDER
         .iter()
         .zip(counts.iter().zip(TABLE_II_SHARES.iter()))

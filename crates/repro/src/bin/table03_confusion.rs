@@ -23,7 +23,10 @@ fn main() {
         config.conditions_per_pair
     );
     let data = build_training_set(&config, &db, &mut rng);
-    eprintln!("collected {} feature vectors; running 10-fold CV ...", data.len());
+    eprintln!(
+        "collected {} feature vectors; running 10-fold CV ...",
+        data.len()
+    );
 
     let report = cross_validate(
         &data,

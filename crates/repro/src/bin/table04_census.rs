@@ -68,7 +68,11 @@ fn main() {
         let mut row = vec![class.name().to_owned()];
         let mut total = 0usize;
         for w in &rungs {
-            let n = report.columns[w].identified.get(class.name()).copied().unwrap_or(0);
+            let n = report.columns[w]
+                .identified
+                .get(class.name())
+                .copied()
+                .unwrap_or(0);
             total += n;
             row.push(pct(n));
         }
@@ -79,7 +83,11 @@ fn main() {
         let mut row = vec![case.name().to_owned()];
         let mut total = 0usize;
         for w in &rungs {
-            let n = report.columns[w].special.get(case.name()).copied().unwrap_or(0);
+            let n = report.columns[w]
+                .special
+                .get(case.name())
+                .copied()
+                .unwrap_or(0);
             total += n;
             row.push(pct(n));
         }
@@ -102,14 +110,23 @@ fn main() {
         "  BIC or CUBIC : {:>6.2}   [paper: 46.92%]",
         report.family_percent("BIC/CUBIC")
     );
-    println!("  CTCP (big)   : {:>6.2}   [paper: v1 >> v2]", report.family_percent("CTCP"));
+    println!(
+        "  CTCP (big)   : {:>6.2}   [paper: v1 >> v2]",
+        report.family_percent("CTCP")
+    );
     println!(
         "  RENO         : {:>6.2} .. {:>5.2}  (RENO-big .. +RC-small) [paper: 3.31%..14.47%]",
         report.family_percent("RENO"),
         report.family_percent("RENO") + report.family_percent("RC-small")
     );
-    println!("  HTCP         : {:>6.2}   [paper: 4.89%]", report.identified_percent(ClassLabel::Htcp));
-    println!("  Unsure TCP   : {:>6.2}   [paper: 4.32%]", report.unsure_percent());
+    println!(
+        "  HTCP         : {:>6.2}   [paper: 4.89%]",
+        report.identified_percent(ClassLabel::Htcp)
+    );
+    println!(
+        "  Unsure TCP   : {:>6.2}   [paper: 4.32%]",
+        report.unsure_percent()
+    );
     println!();
     println!(
         "ground-truth identification accuracy over confident verdicts: {:.2}% \

@@ -34,7 +34,9 @@ impl ExperimentScale {
 
     /// Worker threads for the census.
     pub fn workers(self) -> usize {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
     }
 
     /// The workspace-wide base seed, so every experiment is reproducible.

@@ -14,7 +14,10 @@ pub fn ascii_chart(series: &[(&str, Vec<f64>)], height: usize) -> String {
         .flat_map(|(_, s)| s.iter().copied())
         .fold(f64::NEG_INFINITY, f64::max)
         .max(1e-9);
-    let y_min = series.iter().flat_map(|(_, s)| s.iter().copied()).fold(f64::INFINITY, f64::min);
+    let y_min = series
+        .iter()
+        .flat_map(|(_, s)| s.iter().copied())
+        .fold(f64::INFINITY, f64::min);
     let span = (y_max - y_min).max(1e-9);
 
     let marks = ['*', '+', 'o', 'x', '#', '@'];
@@ -67,7 +70,11 @@ pub fn table(header: &[String], rows: &[Vec<String>]) -> String {
     let render = |cells: &[String], widths: &[usize]| -> String {
         let mut line = String::new();
         for (i, cell) in cells.iter().enumerate() {
-            line.push_str(&format!("{:>w$}  ", cell, w = widths.get(i).copied().unwrap_or(8)));
+            line.push_str(&format!(
+                "{:>w$}  ",
+                cell,
+                w = widths.get(i).copied().unwrap_or(8)
+            ));
         }
         line.trim_end().to_owned()
     };
@@ -103,7 +110,10 @@ mod tests {
     fn table_aligns_columns() {
         let out = table(
             &["name".into(), "value".into()],
-            &[vec!["x".into(), "1".into()], vec!["longer".into(), "22".into()]],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
         );
         assert!(out.contains("name"));
         assert!(out.lines().count() >= 4);

@@ -25,7 +25,10 @@ pub struct SsthreshCache {
 impl SsthreshCache {
     /// An empty cache with the default TTL.
     pub fn new() -> Self {
-        SsthreshCache { entry: None, ttl: DEFAULT_TTL }
+        SsthreshCache {
+            entry: None,
+            ttl: DEFAULT_TTL,
+        }
     }
 
     /// Stores the threshold observed when a connection closed at `now`.

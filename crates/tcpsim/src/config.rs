@@ -160,7 +160,10 @@ impl ServerConfig {
     /// (use [`SlowStartVariant::Standard`] to disable the limit).
     pub fn with_slow_start(mut self, variant: SlowStartVariant) -> Self {
         if let SlowStartVariant::Limited { max_ssthresh } = variant {
-            assert!(max_ssthresh > 0, "limited slow start needs a positive max_ssthresh");
+            assert!(
+                max_ssthresh > 0,
+                "limited slow start needs a positive max_ssthresh"
+            );
         }
         self.slow_start = variant;
         self
@@ -204,8 +207,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "max_ssthresh")]
     fn zero_limited_knob_rejected() {
-        let _ = ServerConfig::ideal()
-            .with_slow_start(SlowStartVariant::Limited { max_ssthresh: 0 });
+        let _ =
+            ServerConfig::ideal().with_slow_start(SlowStartVariant::Limited { max_ssthresh: 0 });
     }
 
     #[test]

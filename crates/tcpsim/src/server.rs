@@ -73,6 +73,14 @@ pub struct TcpServer {
     pre_timeout_window: u32,
     /// Clamp installed by the NonIncreasing quirk at slow-start exit.
     quirk_freeze: Option<u32>,
+    /// High-water mark of a fast-retransmit recovery; the cumulative ACK
+    /// that crosses it ends the recovery and triggers window moderation.
+    recovery_point: Option<u64>,
+    /// Timestamp of the last emulated round the ApproachPreTimeoutMax
+    /// quirk stepped in (all ACKs of a round share one arrival time).
+    approach_round_mark: f64,
+    /// The window level that quirk holds for the current round.
+    approach_level: u32,
     /// HyStart round state, present while the Hybrid variant is armed.
     hystart: Option<HystartRound>,
 }
@@ -129,6 +137,9 @@ impl TcpServer {
             timeouts: 0,
             pre_timeout_window: 0,
             quirk_freeze: None,
+            recovery_point: None,
+            approach_round_mark: f64::NEG_INFINITY,
+            approach_level: 0,
             hystart: None,
         };
         if server.config.slow_start == SlowStartVariant::Hybrid {
@@ -207,10 +218,16 @@ impl TcpServer {
         };
         while self.send_cursor < limit {
             if self.send_cursor < self.tp.snd_nxt {
-                out.push(Segment { seq: self.send_cursor, retransmit: true });
+                out.push(Segment {
+                    seq: self.send_cursor,
+                    retransmit: true,
+                });
                 self.send_cursor += 1;
             } else if self.data_budget > 0 {
-                out.push(Segment { seq: self.send_cursor, retransmit: false });
+                out.push(Segment {
+                    seq: self.send_cursor,
+                    retransmit: false,
+                });
                 self.send_cursor += 1;
                 self.tp.snd_nxt = self.send_cursor;
                 self.data_budget -= 1;
@@ -246,9 +263,13 @@ impl TcpServer {
             FrtoState::Armed => {
                 // First ACK advanced the window: probe with new data only.
                 self.frto = FrtoState::Probing;
-                // Window of two new segments, per the RFC.
-                self.tp.cwnd = self.tp.cwnd.max(2);
+                // RFC 5682 step 2b: transmit up to two *new* segments.
+                // The probe data sits beyond the pre-RTO high-water mark,
+                // so the window must open to in-flight + 2 for exactly
+                // two to fit (Linux `tcp_process_frto`).
                 self.send_cursor = self.send_cursor.max(self.tp.snd_nxt);
+                let in_flight = (self.send_cursor - self.tp.snd_una) as u32;
+                self.tp.cwnd = in_flight + 2;
             }
             FrtoState::Probing => {
                 // Second advancing ACK: the timeout was spurious. Restore
@@ -264,10 +285,27 @@ impl TcpServer {
             self.tp.observe_rtt(ack.rtt);
             self.hystart_sample(ack.rtt);
         }
-        let cc_ack = Ack { now, acked, rtt: ack.rtt };
+        let cc_ack = Ack {
+            now,
+            acked,
+            rtt: ack.rtt,
+        };
         self.cc.pkts_acked(&mut self.tp, &cc_ack);
         self.cc.cong_avoid(&mut self.tp, &cc_ack);
-        self.apply_quirks_after_growth();
+        // End of a fast-retransmit recovery: the (often huge) cumulative
+        // ACK empties the pipe, and Linux window moderation caps the next
+        // burst at in-flight + 3 — far below the β·w a loss-event-based
+        // probe would hope to observe (§IV-B).
+        if let Some(recovery_point) = self.recovery_point {
+            if ack.cum_ack >= recovery_point {
+                self.recovery_point = None;
+                if self.config.burstiness_control {
+                    let in_flight = self.send_cursor.saturating_sub(self.tp.snd_una) as u32;
+                    self.tp.cwnd = self.tp.cwnd.min(in_flight + 3).max(1);
+                }
+            }
+        }
+        self.apply_quirks_after_growth(now);
     }
 
     /// Re-arms HyStart for a fresh slow start.
@@ -285,7 +323,9 @@ impl TcpServer {
     /// 16 ms), slow start ends *now* by setting `ssthresh` to the current
     /// window.
     fn hystart_sample(&mut self, rtt: f64) {
-        let Some(round) = self.hystart.as_mut() else { return };
+        let Some(round) = self.hystart.as_mut() else {
+            return;
+        };
         if !self.tp.in_slow_start() || self.tp.cwnd < HYSTART_LOW_WINDOW {
             // Below the engagement window HyStart only tracks rounds.
             if self.tp.snd_una >= round.end_seq {
@@ -304,8 +344,7 @@ impl TcpServer {
             round.curr_rtt = round.curr_rtt.min(rtt);
             round.sample_cnt += 1;
             if round.sample_cnt == HYSTART_MIN_SAMPLES {
-                let eta =
-                    (self.tp.min_rtt / 16.0).clamp(HYSTART_DELAY_MIN, HYSTART_DELAY_MAX);
+                let eta = (self.tp.min_rtt / 16.0).clamp(HYSTART_DELAY_MIN, HYSTART_DELAY_MAX);
                 if round.curr_rtt >= self.tp.min_rtt + eta {
                     self.tp.ssthresh = self.tp.cwnd;
                 }
@@ -337,12 +376,16 @@ impl TcpServer {
         self.cc.on_loss(&mut self.tp, LossKind::FastRetransmit, now);
         let mut cwnd = self.tp.ssthresh;
         if self.config.burstiness_control {
-            // Linux window moderation: no burst larger than in-flight + 3.
-            let in_flight = (self.send_cursor - self.tp.snd_una) as u32;
+            // Linux window moderation: no burst larger than in-flight + 3,
+            // where dup-ACKed (sacked) segments and the presumed-lost head
+            // have left the network and count out of flight.
+            let outstanding = (self.send_cursor - self.tp.snd_una) as u32;
+            let in_flight = outstanding.saturating_sub(self.dup_acks + 1);
             cwnd = cwnd.min(in_flight + 3);
         }
         self.tp.cwnd = cwnd.max(1);
         self.tp.cwnd_cnt = 0;
+        self.recovery_point = Some(self.send_cursor.max(self.tp.snd_nxt));
         // Retransmit the presumed-lost head segment.
         self.send_cursor = self.send_cursor.min(self.tp.snd_una);
     }
@@ -368,7 +411,12 @@ impl TcpServer {
         self.send_cursor = self.tp.snd_una;
         self.rto_deadline = Some(now + self.config.rto);
         self.dup_acks = 0;
-        self.frto = if self.config.frto { FrtoState::Armed } else { FrtoState::Inactive };
+        self.recovery_point = None;
+        self.frto = if self.config.frto {
+            FrtoState::Armed
+        } else {
+            FrtoState::Inactive
+        };
         if self.config.slow_start == SlowStartVariant::Hybrid {
             self.hystart_reset();
         }
@@ -397,29 +445,40 @@ impl TcpServer {
         self.tp.ssthresh
     }
 
-    fn apply_quirks_after_growth(&mut self) {
+    fn apply_quirks_after_growth(&mut self, now: f64) {
         match self.config.quirk {
-            SenderQuirk::NonIncreasing => {
+            SenderQuirk::NonIncreasing
                 // Freeze the window at the level where the first
                 // post-timeout slow start ends.
-                if self.timeouts > 0 && self.quirk_freeze.is_none() && !self.tp.in_slow_start() {
+                if self.timeouts > 0 && self.quirk_freeze.is_none() && !self.tp.in_slow_start() => {
                     self.quirk_freeze = Some(self.tp.cwnd);
                 }
-            }
-            SenderQuirk::ApproachPreTimeoutMax => {
-                // Saturating approach: never close more than 30% of the
-                // remaining gap to the pre-timeout maximum per ACK burst.
-                if self.timeouts > 0 && !self.tp.in_slow_start() && self.pre_timeout_window > 0 {
+            SenderQuirk::ApproachPreTimeoutMax
+                // Saturating approach (Fig. 16): once the post-timeout
+                // slow start ends, the window closes 40% of the remaining
+                // gap to the pre-timeout maximum per round — fast at
+                // first, then asymptotically flat just under w^B,
+                // regardless of what the underlying algorithm would do.
+                if self.timeouts > 0 && !self.tp.in_slow_start() && self.pre_timeout_window > 0 => {
                     let limit = self.pre_timeout_window;
-                    if self.tp.cwnd > limit {
-                        self.tp.cwnd = limit;
-                    } else {
-                        let gap = limit - self.tp.cwnd;
-                        let allowed = self.tp.cwnd + (gap * 3 / 10).max(1).min(gap.max(1));
-                        self.tp.cwnd = self.tp.cwnd.min(allowed);
+                    if now > self.approach_round_mark {
+                        self.approach_round_mark = now;
+                        if self.approach_level == 0 {
+                            // Slow start just ended: hold this round at the
+                            // exit level so the knee stays visible.
+                            self.approach_level = self.tp.cwnd.min(limit);
+                        } else {
+                            let gap = limit.saturating_sub(self.approach_level);
+                            self.approach_level = self
+                                .approach_level
+                                .saturating_add((gap * 2 / 5).max(1))
+                                .min(limit);
+                        }
                     }
+                    // Hold the window on the curve for the whole round,
+                    // whatever the underlying algorithm computed.
+                    self.tp.cwnd = self.approach_level;
                 }
-            }
             _ => {}
         }
     }
@@ -430,7 +489,13 @@ mod tests {
     use super::*;
 
     fn ideal_server(algo: AlgorithmId, budget: u64) -> TcpServer {
-        TcpServer::connect(algo, ServerConfig::ideal(), budget, &SsthreshCache::new(), 0.0)
+        TcpServer::connect(
+            algo,
+            ServerConfig::ideal(),
+            budget,
+            &SsthreshCache::new(),
+            0.0,
+        )
     }
 
     /// Deliver one round of per-packet cumulative ACKs for `segs`.
@@ -535,8 +600,7 @@ mod tests {
     fn frto_restores_window_when_not_countered() {
         let mut cfg = ServerConfig::ideal().with_frto(true);
         cfg.rto = 3.0;
-        let mut s =
-            TcpServer::connect(AlgorithmId::Reno, cfg, 10_000, &SsthreshCache::new(), 0.0);
+        let mut s = TcpServer::connect(AlgorithmId::Reno, cfg, 10_000, &SsthreshCache::new(), 0.0);
         let mut now = 0.0;
         for _ in 0..5 {
             let segs = s.transmit(now);
@@ -552,13 +616,25 @@ mod tests {
         let probe = s.transmit(now);
         assert_eq!(probe.len(), 1);
         // A "naive" prober ACKs it; F-RTO advances to the probing step.
-        s.on_ack(now + 1.0, AckPacket { cum_ack: probe[0].seq + 1, rtt: 1.0 });
+        s.on_ack(
+            now + 1.0,
+            AckPacket {
+                cum_ack: probe[0].seq + 1,
+                rtt: 1.0,
+            },
+        );
         now += 1.0;
         let new_segs = s.transmit(now);
         assert!(!new_segs.is_empty());
         assert!(!new_segs[0].retransmit, "F-RTO probes with new data");
         // ACK advances again: timeout declared spurious, window restored.
-        s.on_ack(now + 1.0, AckPacket { cum_ack: new_segs[0].seq + 1, rtt: 1.0 });
+        s.on_ack(
+            now + 1.0,
+            AckPacket {
+                cum_ack: new_segs[0].seq + 1,
+                rtt: 1.0,
+            },
+        );
         assert!(
             s.cwnd() >= w_before,
             "spurious detection must restore the window: {} < {w_before}",
@@ -569,8 +645,7 @@ mod tests {
     #[test]
     fn duplicate_ack_defeats_frto() {
         let cfg = ServerConfig::ideal().with_frto(true);
-        let mut s =
-            TcpServer::connect(AlgorithmId::Reno, cfg, 10_000, &SsthreshCache::new(), 0.0);
+        let mut s = TcpServer::connect(AlgorithmId::Reno, cfg, 10_000, &SsthreshCache::new(), 0.0);
         let mut now = 0.0;
         for _ in 0..5 {
             let segs = s.transmit(now);
@@ -607,8 +682,7 @@ mod tests {
     #[test]
     fn ignores_timeout_quirk_never_retransmits() {
         let cfg = ServerConfig::ideal().with_quirk(SenderQuirk::IgnoresTimeout);
-        let mut s =
-            TcpServer::connect(AlgorithmId::Reno, cfg, 10_000, &SsthreshCache::new(), 0.0);
+        let mut s = TcpServer::connect(AlgorithmId::Reno, cfg, 10_000, &SsthreshCache::new(), 0.0);
         let _ = s.transmit(0.0);
         let deadline = s.rto_deadline().unwrap();
         assert!(!s.fire_rto(deadline));
@@ -618,8 +692,7 @@ mod tests {
     #[test]
     fn remain_at_one_quirk_freezes_after_timeout() {
         let cfg = ServerConfig::ideal().with_quirk(SenderQuirk::RemainAtOne);
-        let mut s =
-            TcpServer::connect(AlgorithmId::Reno, cfg, 10_000, &SsthreshCache::new(), 0.0);
+        let mut s = TcpServer::connect(AlgorithmId::Reno, cfg, 10_000, &SsthreshCache::new(), 0.0);
         let mut now = 0.0;
         for _ in 0..4 {
             let segs = s.transmit(now);
@@ -641,8 +714,7 @@ mod tests {
     #[test]
     fn bounded_buffer_quirk_clamps_the_window() {
         let cfg = ServerConfig::ideal().with_quirk(SenderQuirk::BoundedBuffer { clamp: 16 });
-        let mut s =
-            TcpServer::connect(AlgorithmId::Reno, cfg, 10_000, &SsthreshCache::new(), 0.0);
+        let mut s = TcpServer::connect(AlgorithmId::Reno, cfg, 10_000, &SsthreshCache::new(), 0.0);
         let mut now = 0.0;
         for _ in 0..8 {
             let segs = s.transmit(now);
@@ -668,8 +740,8 @@ mod tests {
 
     #[test]
     fn limited_slow_start_flattens_growth_past_the_knob() {
-        let cfg = ServerConfig::ideal()
-            .with_slow_start(SlowStartVariant::Limited { max_ssthresh: 32 });
+        let cfg =
+            ServerConfig::ideal().with_slow_start(SlowStartVariant::Limited { max_ssthresh: 32 });
         let mut s = TcpServer::connect(AlgorithmId::Reno, cfg, 100_000, &SsthreshCache::new(), 0.0);
         let mut now = 0.0;
         let sizes = drive_rounds(&mut s, 8, 1.0, &mut now);
@@ -688,8 +760,20 @@ mod tests {
         // hybrid slow start is indistinguishable from the standard one.
         let std_cfg = ServerConfig::ideal();
         let hyb_cfg = ServerConfig::ideal().with_slow_start(SlowStartVariant::Hybrid);
-        let mut a = TcpServer::connect(AlgorithmId::CubicV2, std_cfg, 100_000, &SsthreshCache::new(), 0.0);
-        let mut b = TcpServer::connect(AlgorithmId::CubicV2, hyb_cfg, 100_000, &SsthreshCache::new(), 0.0);
+        let mut a = TcpServer::connect(
+            AlgorithmId::CubicV2,
+            std_cfg,
+            100_000,
+            &SsthreshCache::new(),
+            0.0,
+        );
+        let mut b = TcpServer::connect(
+            AlgorithmId::CubicV2,
+            hyb_cfg,
+            100_000,
+            &SsthreshCache::new(),
+            0.0,
+        );
         let (mut ta, mut tb) = (0.0, 0.0);
         let wa = drive_rounds(&mut a, 9, 1.0, &mut ta);
         let wb = drive_rounds(&mut b, 9, 1.0, &mut tb);
@@ -699,7 +783,13 @@ mod tests {
     #[test]
     fn hystart_exits_early_on_rtt_increase() {
         let cfg = ServerConfig::ideal().with_slow_start(SlowStartVariant::Hybrid);
-        let mut s = TcpServer::connect(AlgorithmId::CubicV2, cfg, 100_000, &SsthreshCache::new(), 0.0);
+        let mut s = TcpServer::connect(
+            AlgorithmId::CubicV2,
+            cfg,
+            100_000,
+            &SsthreshCache::new(),
+            0.0,
+        );
         let mut now = 0.0;
         // Three rounds at 0.8 s (cwnd reaches 16), then the RTT steps to
         // 1.0 s as in environment B before the timeout.
@@ -720,7 +810,13 @@ mod tests {
         // until round 12 — by then slow start has ended, so HyStart must
         // not distort the recovery ramp CAAI measures.
         let cfg = ServerConfig::ideal().with_slow_start(SlowStartVariant::Hybrid);
-        let mut s = TcpServer::connect(AlgorithmId::CubicV2, cfg, 100_000, &SsthreshCache::new(), 0.0);
+        let mut s = TcpServer::connect(
+            AlgorithmId::CubicV2,
+            cfg,
+            100_000,
+            &SsthreshCache::new(),
+            0.0,
+        );
         let mut now = 0.0;
         drive_rounds(&mut s, 7, 0.8, &mut now);
         let _ = s.transmit(now);
@@ -748,15 +844,35 @@ mod tests {
         let _burst = s.transmit(now);
         // Ack only the first packet, then three dups for the second.
         let una = s.snd_una();
-        s.on_ack(now + 1.0, AckPacket { cum_ack: una + 1, rtt: 1.0 });
+        s.on_ack(
+            now + 1.0,
+            AckPacket {
+                cum_ack: una + 1,
+                rtt: 1.0,
+            },
+        );
         for _ in 0..3 {
             s.on_ack(now + 1.0, AckPacket::duplicate(una + 1));
         }
         let beta_w = s.ssthresh();
         assert!(beta_w >= w * 7 / 10, "BIC's β·w is high: {beta_w}");
+        // The head goes out again; the prober then ACKs the whole burst at
+        // once (exactly what a loss-event-based β probe does). The big
+        // cumulative ACK empties the pipe and window moderation caps the
+        // next burst far below β·w — the §IV-B measurement corruption.
+        let retrans = s.transmit(now + 1.0);
+        assert!(retrans[0].retransmit, "head must be retransmitted");
+        let high = s.snd_nxt();
+        s.on_ack(
+            now + 2.0,
+            AckPacket {
+                cum_ack: high,
+                rtt: 1.0,
+            },
+        );
         assert!(
-            s.cwnd() < beta_w,
-            "moderated window {} must fall below β·w {}",
+            s.cwnd() < beta_w / 2,
+            "moderated window {} must fall far below β·w {}",
             s.cwnd(),
             beta_w
         );
@@ -783,7 +899,10 @@ mod tests {
             "saturates just below w^B: {last} vs {w_before}"
         );
         // Increments decelerate.
-        let tail: Vec<i64> = sizes[10..].windows(2).map(|w| w[1] as i64 - w[0] as i64).collect();
+        let tail: Vec<i64> = sizes[10..]
+            .windows(2)
+            .map(|w| w[1] as i64 - w[0] as i64)
+            .collect();
         for w in tail.windows(2) {
             assert!(w[1] <= w[0] + 1, "deceleration: {tail:?}");
         }
@@ -791,10 +910,16 @@ mod tests {
 
     #[test]
     fn buffer_bounded_recovery_pins_above_wmax() {
-        let cfg = ServerConfig::ideal()
-            .with_quirk(SenderQuirk::BufferBoundedRecovery { percent_of_wmax: 125 });
-        let mut s =
-            TcpServer::connect(AlgorithmId::Reno, cfg, 1_000_000, &SsthreshCache::new(), 0.0);
+        let cfg = ServerConfig::ideal().with_quirk(SenderQuirk::BufferBoundedRecovery {
+            percent_of_wmax: 125,
+        });
+        let mut s = TcpServer::connect(
+            AlgorithmId::Reno,
+            cfg,
+            1_000_000,
+            &SsthreshCache::new(),
+            0.0,
+        );
         let mut now = 0.0;
         drive_rounds(&mut s, 7, 1.0, &mut now);
         let w_before = s.cwnd();
@@ -804,7 +929,10 @@ mod tests {
         now = deadline;
         let sizes = drive_rounds(&mut s, 14, 1.0, &mut now);
         let bound = (w_before * 125 / 100) as usize;
-        assert!(sizes.iter().any(|&w| w > w_before as usize), "climbs beyond w^B");
+        assert!(
+            sizes.iter().any(|&w| w > w_before as usize),
+            "climbs beyond w^B"
+        );
         let flat = sizes.iter().rev().take_while(|&&w| w == bound).count();
         assert!(flat >= 4, "pins at the buffer bound {bound}: {sizes:?}");
     }
@@ -812,8 +940,7 @@ mod tests {
     #[test]
     fn nonincreasing_quirk_flattens_avoidance() {
         let cfg = ServerConfig::ideal().with_quirk(SenderQuirk::NonIncreasing);
-        let mut s =
-            TcpServer::connect(AlgorithmId::Reno, cfg, 100_000, &SsthreshCache::new(), 0.0);
+        let mut s = TcpServer::connect(AlgorithmId::Reno, cfg, 100_000, &SsthreshCache::new(), 0.0);
         let mut now = 0.0;
         for _ in 0..6 {
             let segs = s.transmit(now);
@@ -837,6 +964,9 @@ mod tests {
             ack_all(&mut s, &segs, now + 1.0, 1.0);
             now += 1.0;
         }
-        assert!(flat_rounds >= 5, "window must flatten, got {flat_rounds} flat rounds");
+        assert!(
+            flat_rounds >= 5,
+            "window must flatten, got {flat_rounds} flat rounds"
+        );
     }
 }

@@ -40,7 +40,9 @@ impl RequestAcceptanceModel {
                 return RequestAcceptanceModel { max_requests: v };
             }
         }
-        RequestAcceptanceModel { max_requests: u32::MAX }
+        RequestAcceptanceModel {
+            max_requests: u32::MAX,
+        }
     }
 
     /// How many of `sent` pipelined requests the server honours.
@@ -78,10 +80,14 @@ mod tests {
     fn sampling_matches_fig6() {
         let mut rng = StdRng::seed_from_u64(21);
         let n = 50_000;
-        let one_only =
-            (0..n).filter(|_| RequestAcceptanceModel::sample(&mut rng).max_requests == 1).count();
+        let one_only = (0..n)
+            .filter(|_| RequestAcceptanceModel::sample(&mut rng).max_requests == 1)
+            .count();
         let frac = one_only as f64 / n as f64;
-        assert!((frac - 0.47).abs() < 0.01, "47% accept a single request, got {frac}");
+        assert!(
+            (frac - 0.47).abs() < 0.01,
+            "47% accept a single request, got {frac}"
+        );
     }
 
     #[test]

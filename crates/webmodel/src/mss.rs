@@ -30,10 +30,14 @@ impl MssAcceptance {
         for (i, share) in TABLE_II_SHARES.iter().enumerate() {
             acc += share;
             if u < acc {
-                return MssAcceptance { min_mss: PROBE_MSS_LADDER[i] };
+                return MssAcceptance {
+                    min_mss: PROBE_MSS_LADDER[i],
+                };
             }
         }
-        MssAcceptance { min_mss: *PROBE_MSS_LADDER.last().expect("nonempty ladder") }
+        MssAcceptance {
+            min_mss: *PROBE_MSS_LADDER.last().expect("nonempty ladder"),
+        }
     }
 
     /// The MSS granted when the client proposes `proposed` bytes: the
@@ -67,7 +71,10 @@ mod tests {
         let mut counts = [0usize; 4];
         for _ in 0..n {
             let m = MssAcceptance::sample(&mut rng);
-            let idx = PROBE_MSS_LADDER.iter().position(|&x| x == m.min_mss).unwrap();
+            let idx = PROBE_MSS_LADDER
+                .iter()
+                .position(|&x| x == m.min_mss)
+                .unwrap();
             counts[idx] += 1;
         }
         for (i, &c) in counts.iter().enumerate() {

@@ -29,18 +29,22 @@ fn default_page_log_cdf() -> Cdf {
 
 /// Longest-found-page CDF. The knot at 100 kB (10^5 B) is placed so that
 /// after taking the max with the default page (`P(either > 100 kB)`), ~48%
-/// of servers end up above 100 kB, matching Fig. 7.
+/// of servers end up above 100 kB, matching Fig. 7. Above that anchor the
+/// tail is calibrated against Table IV: a `w_max = 512` trace at MSS 100
+/// consumes ~379 kB (§IV-E), and the share of servers whose found page
+/// sustains it must be large enough to reproduce the paper's ~47% valid
+/// rate with ~64% of valid traces at the top rung.
 fn longest_page_log_cdf() -> Cdf {
     Cdf::from_points(vec![
         (2.5, 0.00),
         (3.5, 0.14),
-        (4.0, 0.30),
-        (4.5, 0.46),
+        (4.0, 0.28),
+        (4.5, 0.40),
         (5.0, 0.59), // 1 − 0.59·0.88 ≈ 0.48 above 100 kB after the max
-        (5.5, 0.70),
-        (6.0, 0.82),
-        (6.5, 0.91),
-        (7.0, 0.96),
+        (5.5, 0.65),
+        (6.0, 0.75),
+        (6.5, 0.85),
+        (7.0, 0.93),
         (7.7, 1.00), // ~50 MB
     ])
 }
@@ -60,7 +64,10 @@ impl PageModel {
     pub fn sample(rng: &mut impl Rng) -> Self {
         let default_bytes = 10f64.powf(default_page_log_cdf().sample(rng)) as u64;
         let searched = 10f64.powf(longest_page_log_cdf().sample(rng)) as u64;
-        PageModel { default_bytes, longest_bytes: searched.max(default_bytes) }
+        PageModel {
+            default_bytes,
+            longest_bytes: searched.max(default_bytes),
+        }
     }
 
     /// Bytes obtainable over one connection when the server honours
@@ -90,18 +97,23 @@ mod tests {
     fn default_pages_are_rarely_long() {
         let mut rng = StdRng::seed_from_u64(31);
         let n = 20_000;
-        let long =
-            (0..n).filter(|_| PageModel::sample(&mut rng).default_bytes > 100_000).count();
+        let long = (0..n)
+            .filter(|_| PageModel::sample(&mut rng).default_bytes > 100_000)
+            .count();
         let frac = long as f64 / n as f64;
-        assert!((frac - 0.12).abs() < 0.02, "~12% of defaults above 100 kB, got {frac}");
+        assert!(
+            (frac - 0.12).abs() < 0.02,
+            "~12% of defaults above 100 kB, got {frac}"
+        );
     }
 
     #[test]
     fn search_finds_long_pages_for_about_half() {
         let mut rng = StdRng::seed_from_u64(32);
         let n = 20_000;
-        let long =
-            (0..n).filter(|_| PageModel::sample(&mut rng).longest_bytes > 100_000).count();
+        let long = (0..n)
+            .filter(|_| PageModel::sample(&mut rng).longest_bytes > 100_000)
+            .count();
         let frac = long as f64 / n as f64;
         assert!((frac - 0.48).abs() < 0.03, "~48% after search, got {frac}");
     }
@@ -117,7 +129,10 @@ mod tests {
 
     #[test]
     fn budget_scales_with_requests_and_mss() {
-        let p = PageModel { default_bytes: 10_000, longest_bytes: 100_000 };
+        let p = PageModel {
+            default_bytes: 10_000,
+            longest_bytes: 100_000,
+        };
         assert_eq!(p.connection_budget_bytes(12), 1_200_000);
         assert_eq!(p.connection_budget_packets(12, 100), 12_000);
         assert_eq!(p.connection_budget_packets(12, 1460), 821);
@@ -127,7 +142,10 @@ mod tests {
     fn paper_example_379kb_feeds_wmax_512_at_mss_100() {
         // §IV-E: a RENO trace with wmax=512, mss=100 needs ~379 kB ≈ 3790
         // packets over 28 rounds.
-        let p = PageModel { default_bytes: 40_000, longest_bytes: 40_000 };
+        let p = PageModel {
+            default_bytes: 40_000,
+            longest_bytes: 40_000,
+        };
         let budget = p.connection_budget_packets(12, 100);
         assert!(budget >= 3790, "12 × 40 kB at MSS 100 is plenty: {budget}");
     }

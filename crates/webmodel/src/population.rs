@@ -89,7 +89,12 @@ pub const QUIRK_RATES: [(SenderQuirk, f64); 5] = [
     (SenderQuirk::RemainAtOne, 0.030),
     (SenderQuirk::NonIncreasing, 0.020),
     (SenderQuirk::ApproachPreTimeoutMax, 0.015),
-    (SenderQuirk::BufferBoundedRecovery { percent_of_wmax: 125 }, 0.020),
+    (
+        SenderQuirk::BufferBoundedRecovery {
+            percent_of_wmax: 125,
+        },
+        0.020,
+    ),
     (SenderQuirk::IgnoresTimeout, 0.015),
 ];
 
@@ -162,7 +167,9 @@ impl WebServer {
         // Every unquirky server still has a benign service-load/BDP
         // ceiling, expressed through the bounded-buffer clamp.
         if quirk == SenderQuirk::None {
-            quirk = SenderQuirk::BoundedBuffer { clamp: self.window_ceiling };
+            quirk = SenderQuirk::BoundedBuffer {
+                clamp: self.window_ceiling,
+            };
         }
         ServerConfig {
             initial_window: self.initial_window,
@@ -198,17 +205,27 @@ pub struct PopulationConfig {
 impl PopulationConfig {
     /// A population the size of the paper's census.
     pub fn paper_scale() -> Self {
-        PopulationConfig { size: 63_124, frto_rate: 0.30, ssthresh_caching_rate: 0.20 }
+        PopulationConfig {
+            size: 63_124,
+            frto_rate: 0.30,
+            ssthresh_caching_rate: 0.20,
+        }
     }
 
     /// A small population for tests.
     pub fn small(size: u32) -> Self {
-        PopulationConfig { size, frto_rate: 0.30, ssthresh_caching_rate: 0.20 }
+        PopulationConfig {
+            size,
+            frto_rate: 0.30,
+            ssthresh_caching_rate: 0.20,
+        }
     }
 
     /// Generates the population.
     pub fn generate(&self, rng: &mut impl Rng) -> Vec<WebServer> {
-        (0..self.size).map(|id| self.generate_one(id, rng)).collect()
+        (0..self.size)
+            .map(|id| self.generate_one(id, rng))
+            .collect()
     }
 
     /// Generates a single server (exposed for streaming censuses).
@@ -250,7 +267,10 @@ impl PopulationConfig {
             software,
             host_algorithm,
             proxy_algorithm,
-            initial_window: weighted(&[(1u32, 0.05), (2, 0.60), (3, 0.10), (4, 0.20), (10, 0.05)], rng),
+            initial_window: weighted(
+                &[(1u32, 0.05), (2, 0.60), (3, 0.10), (4, 0.20), (10, 0.05)],
+                rng,
+            ),
             rto: rng.random_range(2.5..6.0),
             frto: rng.random::<f64>() < self.frto_rate,
             ssthresh_caching: rng.random::<f64>() < self.ssthresh_caching_rate,
@@ -326,8 +346,11 @@ mod tests {
     #[test]
     fn software_matches_the_paper() {
         let pop = population(40_000);
-        let apache =
-            pop.iter().filter(|s| s.software == Software::Apache).count() as f64 / pop.len() as f64;
+        let apache = pop
+            .iter()
+            .filter(|s| s.software == Software::Apache)
+            .count() as f64
+            / pop.len() as f64;
         assert!((apache - 0.7020).abs() < 0.01, "Apache share {apache}");
     }
 
@@ -344,22 +367,34 @@ mod tests {
             })
             .count() as f64
             / pop.len() as f64;
-        assert!((0.45..0.65).contains(&bc), "BIC/CUBIC ground-truth share {bc}");
+        assert!(
+            (0.45..0.65).contains(&bc),
+            "BIC/CUBIC ground-truth share {bc}"
+        );
     }
 
     #[test]
     fn ctcp_v1_outnumbers_v2() {
         let pop = population(40_000);
-        let v1 = pop.iter().filter(|s| s.host_algorithm == AlgorithmId::CtcpV1).count();
-        let v2 = pop.iter().filter(|s| s.host_algorithm == AlgorithmId::CtcpV2).count();
-        assert!(v1 > 3 * v2, "2011 Windows mix: XP/2003 ≫ Vista/2008 ({v1} vs {v2})");
+        let v1 = pop
+            .iter()
+            .filter(|s| s.host_algorithm == AlgorithmId::CtcpV1)
+            .count();
+        let v2 = pop
+            .iter()
+            .filter(|s| s.host_algorithm == AlgorithmId::CtcpV2)
+            .count();
+        assert!(
+            v1 > 3 * v2,
+            "2011 Windows mix: XP/2003 ≫ Vista/2008 ({v1} vs {v2})"
+        );
     }
 
     #[test]
     fn proxies_are_about_five_percent() {
         let pop = population(40_000);
-        let proxied = pop.iter().filter(|s| s.proxy_algorithm.is_some()).count() as f64
-            / pop.len() as f64;
+        let proxied =
+            pop.iter().filter(|s| s.proxy_algorithm.is_some()).count() as f64 / pop.len() as f64;
         assert!((proxied - PROXY_RATE).abs() < 0.01, "{proxied}");
     }
 
@@ -384,11 +419,17 @@ mod tests {
         // feed is 256 — the shares table must sit one doubling above.
         for (ceiling, _) in CEILING_SHARES {
             if ceiling >= 64 {
-                assert!(ceiling > 64, "every usable ceiling exceeds the smallest rung");
+                assert!(
+                    ceiling > 64,
+                    "every usable ceiling exceeds the smallest rung"
+                );
             }
         }
-        let usable: f64 =
-            CEILING_SHARES.iter().filter(|(c, _)| *c > 64).map(|(_, w)| w).sum();
+        let usable: f64 = CEILING_SHARES
+            .iter()
+            .filter(|(c, _)| *c > 64)
+            .map(|(_, w)| w)
+            .sum();
         assert!((usable - 0.94).abs() < 1e-9);
     }
 
@@ -396,19 +437,32 @@ mod tests {
     fn data_budget_reflects_pipelining_limits() {
         let pop = population(5_000);
         let stingy = pop.iter().find(|s| s.requests.max_requests == 1).unwrap();
-        let generous = pop.iter().find(|s| s.requests.max_requests == u32::MAX).unwrap();
+        let generous = pop
+            .iter()
+            .find(|s| s.requests.max_requests == u32::MAX)
+            .unwrap();
         assert!(
             generous.data_budget_packets(100) >= generous.pages.longest_bytes / 100 * 12,
             "full pipeline multiplies the budget"
         );
-        assert_eq!(stingy.data_budget_packets(100), stingy.pages.longest_bytes / 100);
+        assert_eq!(
+            stingy.data_budget_packets(100),
+            stingy.pages.longest_bytes / 100
+        );
     }
 
     #[test]
     fn cubic_v2_hosts_ship_hystart() {
         let pop = population(5_000);
-        for s in pop.iter().filter(|s| s.host_algorithm == AlgorithmId::CubicV2) {
-            assert_eq!(s.slow_start, SlowStartVariant::Hybrid, "Linux ≥2.6.29 default");
+        for s in pop
+            .iter()
+            .filter(|s| s.host_algorithm == AlgorithmId::CubicV2)
+        {
+            assert_eq!(
+                s.slow_start,
+                SlowStartVariant::Hybrid,
+                "Linux ≥2.6.29 default"
+            );
         }
         let hybrid_elsewhere = pop
             .iter()
@@ -416,7 +470,10 @@ mod tests {
             .filter(|s| s.slow_start == SlowStartVariant::Hybrid)
             .count() as f64
             / pop.len() as f64;
-        assert!(hybrid_elsewhere < 0.10, "HyStart rare off-CUBIC: {hybrid_elsewhere}");
+        assert!(
+            hybrid_elsewhere < 0.10,
+            "HyStart rare off-CUBIC: {hybrid_elsewhere}"
+        );
     }
 
     #[test]
@@ -429,8 +486,17 @@ mod tests {
     #[test]
     fn ceiling_shares_cover_the_ladder() {
         let pop = population(40_000);
-        let at512 = pop.iter().filter(|s| s.window_ceiling == 512).count() as f64
-            / pop.len() as f64;
-        assert!((at512 - 0.60).abs() < 0.01, "{at512}");
+        // The 0.60 share of CEILING_SHARES sits at ceiling 1024: servers
+        // whose window *crosses* 512 and are probed at the top rung.
+        let crosses512 =
+            pop.iter().filter(|s| s.window_ceiling == 1024).count() as f64 / pop.len() as f64;
+        assert!((crosses512 - 0.60).abs() < 0.01, "{crosses512}");
+        // And every rung of the ladder is fed by some share.
+        for ceiling in [512, 256, 128, 48] {
+            assert!(
+                pop.iter().any(|s| s.window_ceiling == ceiling),
+                "no servers with ceiling {ceiling}"
+            );
+        }
     }
 }

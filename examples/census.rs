@@ -1,6 +1,11 @@
-//! A miniature Internet census: generate a synthetic web-server population,
-//! probe every server with the full CAAI protocol, and summarize the
+//! A miniature Internet census on the streaming engine: generate a
+//! synthetic web-server population, probe it with the full CAAI protocol
+//! through `caai-engine`'s work-stealing scheduler, and summarize the
 //! deployment of congestion avoidance algorithms (the paper's §VII-B).
+//!
+//! The engine keys every server's probe RNG on `(seed, server id)`, so
+//! the report printed here is identical for any worker count — rerun
+//! with a different `workers` value to check.
 //!
 //! ```sh
 //! cargo run --release --example census
@@ -10,6 +15,7 @@ use caai::core::census::{Census, Verdict};
 use caai::core::classify::CaaiClassifier;
 use caai::core::prober::ProberConfig;
 use caai::core::training::{build_training_set, TrainingConfig};
+use caai::engine::{AggregatingSink, CensusEngine, EngineConfig};
 use caai::netem::rng::seeded;
 use caai::netem::ConditionDb;
 use caai::webmodel::PopulationConfig;
@@ -26,16 +32,53 @@ fn main() {
     println!("probing {n} synthetic web servers ...");
     let servers = PopulationConfig::small(n).generate(&mut rng);
     let census = Census::new(classifier, db, ProberConfig::default());
-    let report = census.run(&servers, 42, 4);
+    let engine = CensusEngine::new(
+        census,
+        EngineConfig {
+            seed: 42,
+            workers: 4,
+            progress_every: 500,
+            ..EngineConfig::default()
+        },
+    );
+    let mut agg = AggregatingSink::new();
+    let outcome = engine
+        .run(&servers, &mut [&mut agg], None)
+        .expect("in-memory census cannot hit I/O errors");
+    println!(
+        "engine: {:.0} probes/s over {} workers",
+        outcome.stats.probes_per_sec, 4
+    );
+    let report = outcome.report;
 
     let valid = report.valid_total();
-    println!("\nvalid traces: {valid} / {} ({:.0}%)", report.total, 100.0 * valid as f64 / report.total as f64);
+    println!(
+        "\nvalid traces: {valid} / {} ({:.0}%)",
+        report.total,
+        100.0 * valid as f64 / report.total as f64
+    );
 
     println!("\nTCP algorithm census (percent of valid-trace servers):");
-    for family in ["BIC/CUBIC", "CTCP", "RENO", "RC-small", "HTCP", "HSTCP", "ILLINOIS", "STCP", "VEGAS", "VENO", "WESTWOOD+", "YEAH"] {
+    for family in [
+        "BIC/CUBIC",
+        "CTCP",
+        "RENO",
+        "RC-small",
+        "HTCP",
+        "HSTCP",
+        "ILLINOIS",
+        "STCP",
+        "VEGAS",
+        "VENO",
+        "WESTWOOD+",
+        "YEAH",
+    ] {
         let share = report.family_percent(family);
         if share > 0.0 {
-            println!("  {family:<10} {share:>6.2}%  {}", "#".repeat((share / 2.0) as usize));
+            println!(
+                "  {family:<10} {share:>6.2}%  {}",
+                "#".repeat((share / 2.0) as usize)
+            );
         }
     }
     println!("  {:<10} {:>6.2}%", "Unsure", report.unsure_percent());

@@ -19,8 +19,11 @@ fn main() {
         .skip(1)
         .filter_map(|a| a.parse().ok())
         .collect();
-    let algorithms: Vec<AlgorithmId> =
-        if requested.is_empty() { ALL_IDENTIFIED.to_vec() } else { requested };
+    let algorithms: Vec<AlgorithmId> = if requested.is_empty() {
+        ALL_IDENTIFIED.to_vec()
+    } else {
+        requested
+    };
 
     println!(
         "{:<12} {:>5}  {:>6} {:>6} {:>6}  {:>6} {:>6} {:>6}  {:>4}",
@@ -47,7 +50,11 @@ fn main() {
                     v[6]
                 );
             }
-            None => println!("{:<12} gathering failed: {:?}", algo.name(), outcome.failure_reason()),
+            None => println!(
+                "{:<12} gathering failed: {:?}",
+                algo.name(),
+                outcome.failure_reason()
+            ),
         }
     }
     println!();

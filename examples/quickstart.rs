@@ -47,11 +47,20 @@ fn main() {
     println!("feature vector: {:.2?}", vector.values);
     match classifier.classify(&vector) {
         Identification::Identified { class, confidence } => {
-            println!("identified: {class} (confidence {:.0}%)", confidence * 100.0);
+            println!(
+                "identified: {class} (confidence {:.0}%)",
+                confidence * 100.0
+            );
             println!("ground truth: {secret}");
         }
-        Identification::Unsure { best_guess, confidence } => {
-            println!("unsure (best guess {best_guess}, {:.0}%)", confidence * 100.0);
+        Identification::Unsure {
+            best_guess,
+            confidence,
+        } => {
+            println!(
+                "unsure (best guess {best_guess}, {:.0}%)",
+                confidence * 100.0
+            );
         }
     }
 }

@@ -21,11 +21,19 @@ fn main() {
     let cfg = ServerConfig::ideal().with_frto(true);
     let server = ServerUnderTest::ideal_with_config(AlgorithmId::Reno, cfg);
     for countermeasure in [true, false] {
-        let mut pc = ProberConfig::default();
-        pc.frto_countermeasure = countermeasure;
+        let pc = ProberConfig {
+            frto_countermeasure: countermeasure,
+            ..ProberConfig::default()
+        };
         let prober = Prober::new(pc);
-        let (t, _) =
-            prober.gather_trace(&server, EnvironmentId::A, 512, 0.0, &PathConfig::clean(), &mut rng);
+        let (t, _) = prober.gather_trace(
+            &server,
+            EnvironmentId::A,
+            512,
+            0.0,
+            &PathConfig::clean(),
+            &mut rng,
+        );
         let f = extract(&t);
         println!(
             "   countermeasure={countermeasure:<5} -> first recovery rounds {:?}, beta = {:.2}",
@@ -38,8 +46,10 @@ fn main() {
     let cfg = ServerConfig::ideal().with_ssthresh_caching(true);
     let server = ServerUnderTest::ideal_with_config(AlgorithmId::Reno, cfg);
     for wait in [1.0, 630.0] {
-        let mut pc = ProberConfig::default();
-        pc.inter_connection_wait = wait;
+        let pc = ProberConfig {
+            inter_connection_wait: wait,
+            ..ProberConfig::default()
+        };
         let prober = Prober::new(pc);
         let outcome = prober.gather(&server, &PathConfig::clean(), &mut rng);
         match &outcome.pair {
@@ -48,7 +58,10 @@ fn main() {
                 pair.wmax_threshold(),
                 pair.env_b.pre.len()
             ),
-            None => println!("   wait={wait:>5}s -> gathering failed: {:?}", outcome.failure_reason()),
+            None => println!(
+                "   wait={wait:>5}s -> gathering failed: {:?}",
+                outcome.failure_reason()
+            ),
         }
     }
 
@@ -59,8 +72,14 @@ fn main() {
         let prober = Prober::new(ProberConfig::default());
         let outcome = prober.gather(&server, &PathConfig::clean(), &mut rng);
         match outcome.pair {
-            Some(pair) => println!("   ceiling {clamp:>4} -> identified at wmax {}", pair.wmax_threshold()),
-            None => println!("   ceiling {clamp:>4} -> invalid ({:?})", outcome.failure_reason()),
+            Some(pair) => println!(
+                "   ceiling {clamp:>4} -> identified at wmax {}",
+                pair.wmax_threshold()
+            ),
+            None => println!(
+                "   ceiling {clamp:>4} -> invalid ({:?})",
+                outcome.failure_reason()
+            ),
         }
     }
 

@@ -26,7 +26,11 @@ fn main() {
     println!("collecting training vectors on the emulated testbed ...");
     let config = TrainingConfig::quick(6);
     let data = build_training_set(&config, &db, &mut rng);
-    println!("  {} vectors across {} classes", data.len(), data.n_classes());
+    println!(
+        "  {} vectors across {} classes",
+        data.len(),
+        data.n_classes()
+    );
 
     // 2. Cross-validate with the paper's forest parameters (§VII-A).
     println!("\n10-fold cross-validation (K = 80 trees, m = 4) ...");
@@ -36,15 +40,26 @@ fn main() {
         || RandomForest::new(RandomForestConfig::paper()),
         &mut rng,
     );
-    println!("  accuracy: {:.2}% (paper: 96.98%)", 100.0 * report.accuracy());
+    println!(
+        "  accuracy: {:.2}% (paper: 96.98%)",
+        100.0 * report.accuracy()
+    );
 
     // 3. The confusion matrix (Table III). Print the three worst classes.
-    let mut recalls: Vec<(usize, f64)> =
-        report.confusion.per_class_recall().into_iter().enumerate().collect();
+    let mut recalls: Vec<(usize, f64)> = report
+        .confusion
+        .per_class_recall()
+        .into_iter()
+        .enumerate()
+        .collect();
     recalls.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite recall"));
     println!("\nhardest classes to identify:");
     for (idx, recall) in recalls.iter().take(3) {
-        println!("  {:<12} recall {:.1}%", data.label_name(*idx), 100.0 * recall);
+        println!(
+            "  {:<12} recall {:.1}%",
+            data.label_name(*idx),
+            100.0 * recall
+        );
     }
 
     // 4. Train the production classifier and persist it.
@@ -70,7 +85,10 @@ fn main() {
                         class.to_string(),
                         100.0 * confidence
                     ),
-                    Identification::Unsure { best_guess, confidence } => println!(
+                    Identification::Unsure {
+                        best_guess,
+                        confidence,
+                    } => println!(
                         "  truth {:<10} -> unsure (best guess {}, {:.0}%)",
                         algo.to_string(),
                         best_guess,

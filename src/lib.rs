@@ -17,7 +17,9 @@
 //! * [`webmodel`] — the synthetic Internet server population;
 //! * [`ml`] — random forest and baseline classifiers;
 //! * [`core`] — the CAAI pipeline itself (prober → features → classifier)
-//!   and the census driver.
+//!   and the census driver;
+//! * [`engine`] — the Internet-scale census engine: streaming probe
+//!   scheduler with checkpoint/resume, budgets, and telemetry.
 //!
 //! ## Quickstart
 //!
@@ -37,6 +39,7 @@
 
 pub use caai_congestion as congestion;
 pub use caai_core as core;
+pub use caai_engine as engine;
 pub use caai_ml as ml;
 pub use caai_netem as netem;
 pub use caai_tcpsim as tcpsim;

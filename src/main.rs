@@ -7,9 +7,14 @@
 //! caai train     --conditions 20 --out model.json
 //! caai identify  --algo HTCP [--model model.json]
 //! caai census    --servers 2000 [--model model.json] [--json]
+//!                [--out report.jsonl] [--checkpoint ck.json] [--resume ck.json]
+//!                [--budget N] [--deadline SECS]
 //! ```
 //!
-//! Every command takes `--seed N` (default 1) and is fully deterministic.
+//! Every command takes `--seed N` (default 1) and is fully deterministic:
+//! a census report depends only on `(--servers, --seed)` — never on
+//! `--workers`, batching, or how often the run was interrupted and
+//! resumed from a checkpoint.
 
 use caai::congestion::AlgorithmId;
 use caai::core::census::Census;
@@ -18,15 +23,22 @@ use caai::core::features::{extract_pair, FeatureVector};
 use caai::core::prober::{Prober, ProberConfig};
 use caai::core::server_under_test::ServerUnderTest;
 use caai::core::training::{build_training_set, TrainingConfig};
+use caai::engine::{Budget, CensusEngine, Checkpoint, EngineConfig, JsonlSink, ResultSink};
 use caai::netem::rng::seeded;
 use caai::netem::{ConditionDb, EnvironmentId, PathConfig};
 use caai::webmodel::PopulationConfig;
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
-/// Minimal flag parser: `--key value` pairs after the subcommand.
+/// Minimal flag parser: `--key value` pairs after the subcommand, plus a
+/// few valueless boolean flags.
 struct Args {
     flags: Vec<(String, String)>,
 }
+
+/// Flags that take no value; `--json` parses as `json=true`.
+const BOOLEAN_FLAGS: [&str; 1] = ["json"];
 
 impl Args {
     fn parse(raw: &[String]) -> Result<Args, String> {
@@ -36,8 +48,12 @@ impl Args {
             if let Some(key) = a.strip_prefix("--") {
                 if let Some((k, v)) = key.split_once('=') {
                     flags.push((k.to_owned(), v.to_owned()));
+                } else if BOOLEAN_FLAGS.contains(&key) {
+                    flags.push((key.to_owned(), "true".to_owned()));
                 } else {
-                    let v = it.next().ok_or_else(|| format!("--{key} expects a value"))?;
+                    let v = it
+                        .next()
+                        .ok_or_else(|| format!("--{key} expects a value"))?;
                     flags.push((key.to_owned(), v.clone()));
                 }
             } else {
@@ -48,7 +64,11 @@ impl Args {
     }
 
     fn get(&self, key: &str) -> Option<&str> {
-        self.flags.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+        self.flags
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 
     fn parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String>
@@ -62,7 +82,9 @@ impl Args {
     }
 
     fn algo(&self) -> Result<AlgorithmId, String> {
-        let name = self.get("algo").ok_or("--algo <name> is required (try `caai algorithms`)")?;
+        let name = self
+            .get("algo")
+            .ok_or("--algo <name> is required (try `caai algorithms`)")?;
         name.parse().map_err(|e| format!("{e}"))
     }
 
@@ -71,7 +93,11 @@ impl Args {
         if !(0.0..1.0).contains(&loss) {
             return Err(format!("--loss {loss} out of [0, 1)"));
         }
-        Ok(if loss > 0.0 { PathConfig::lossy(loss) } else { PathConfig::clean() })
+        Ok(if loss > 0.0 {
+            PathConfig::lossy(loss)
+        } else {
+            PathConfig::clean()
+        })
     }
 }
 
@@ -93,6 +119,19 @@ COMMANDS:
     census        probe a synthetic population, print the Table IV report
                   [--servers 1000] [--model model.json | --conditions 6]
                   [--workers 4] [--json] [--seed 1]
+                  [--out report.jsonl]   stream records to a JSONL file
+                  [--checkpoint ck.json] snapshot completed work periodically
+                  [--checkpoint-every N] records between snapshots (256)
+                  [--resume ck.json]     continue from a snapshot
+                  [--budget N]           stop cleanly after N probes
+                  [--deadline SECS]      stop cleanly after SECS wall-clock
+                  [--batch N]            servers per scheduler batch (16)
+                  [--progress N]         progress line every N records
+
+    The census is driven by the caai-engine probe scheduler: per-server
+    RNG keyed on (seed, server id) makes the report identical for every
+    worker count, and a run killed mid-flight resumes from its checkpoint
+    to the byte-identical report.
 ";
 
 fn main() -> ExitCode {
@@ -131,7 +170,10 @@ fn main() -> ExitCode {
 }
 
 fn cmd_algorithms() -> Result<(), String> {
-    println!("{:<12} {:<10} {:<28} identified", "name", "family", "OS families");
+    println!(
+        "{:<12} {:<10} {:<28} identified",
+        "name", "family", "OS families"
+    );
     for algo in caai::congestion::ALL_WITH_EXTENSIONS {
         let families: Vec<String> = algo.os_families().iter().map(ToString::to_string).collect();
         println!(
@@ -139,7 +181,11 @@ fn cmd_algorithms() -> Result<(), String> {
             algo.name(),
             algo.family_name(),
             families.join(", "),
-            if algo.is_identified() { "yes" } else { "no (excluded, §III-A)" }
+            if algo.is_identified() {
+                "yes"
+            } else {
+                "no (excluded, §III-A)"
+            }
         );
     }
     Ok(())
@@ -185,7 +231,9 @@ fn gather_vector(
     let mut rng = seeded(seed);
     let outcome = prober.gather(&server, path, &mut rng);
     let failure = outcome.failure_reason();
-    let pair = outcome.pair.ok_or_else(|| format!("gathering failed: {failure:?}"))?;
+    let pair = outcome
+        .pair
+        .ok_or_else(|| format!("gathering failed: {failure:?}"))?;
     Ok((extract_pair(&pair), pair.wmax_threshold()))
 }
 
@@ -240,13 +288,130 @@ fn cmd_identify(args: &Args) -> Result<(), String> {
     println!("probed at w_max rung {wmax}; vector: {:.2?}", vector.values);
     match classifier.classify(&vector) {
         Identification::Identified { class, confidence } => {
-            println!("identified: {class} ({:.0}% of forest votes)", 100.0 * confidence);
+            println!(
+                "identified: {class} ({:.0}% of forest votes)",
+                100.0 * confidence
+            );
             println!("ground truth: {algo}");
         }
-        Identification::Unsure { best_guess, confidence } => {
-            println!("Unsure TCP (best guess {best_guess}, {:.0}%)", 100.0 * confidence);
+        Identification::Unsure {
+            best_guess,
+            confidence,
+        } => {
+            println!(
+                "Unsure TCP (best guess {best_guess}, {:.0}%)",
+                100.0 * confidence
+            );
         }
     }
+    Ok(())
+}
+
+fn cmd_census(args: &Args) -> Result<(), String> {
+    let servers: u32 = args.parsed("servers", 1000)?;
+    let seed: u64 = args.parsed("seed", 1)?;
+    let workers: usize = args.parsed("workers", 4)?;
+    let classifier = load_or_train(args)?;
+    let db = ConditionDb::paper_2011();
+    let census = Census::new(classifier, db, ProberConfig::default());
+    let mut rng = seeded(seed);
+    let population = PopulationConfig::small(servers).generate(&mut rng);
+
+    let config = EngineConfig {
+        seed,
+        workers,
+        batch_size: args.parsed("batch", 16)?,
+        checkpoint_path: args.get("checkpoint").map(PathBuf::from),
+        checkpoint_every: args.parsed("checkpoint-every", 256)?,
+        budget: Budget {
+            max_probes: match args.get("budget") {
+                None => None,
+                Some(v) => Some(v.parse().map_err(|e| format!("--budget {v}: {e}"))?),
+            },
+            deadline: match args.get("deadline") {
+                None => None,
+                Some(v) => {
+                    let secs: f64 = v.parse().map_err(|e| format!("--deadline {v}: {e}"))?;
+                    Some(Duration::from_secs_f64(secs))
+                }
+            },
+        },
+        progress_every: args.parsed("progress", 0)?,
+    };
+    let resume = match args.get("resume") {
+        None => None,
+        Some(path) => {
+            let ck = Checkpoint::load(path).map_err(|e| format!("resume {path}: {e}"))?;
+            // Validate before any sink is opened: a mismatched resume must
+            // not truncate an existing --out report.
+            ck.ensure_matches(seed, u64::from(servers))
+                .map_err(|e| format!("resume {path}: {e}"))?;
+            Some(ck)
+        }
+    };
+
+    let mut jsonl = match args.get("out") {
+        None => None,
+        Some(out) => Some(JsonlSink::create(out).map_err(|e| format!("create {out}: {e}"))?),
+    };
+
+    eprintln!("probing {servers} servers on {workers} workers ...");
+    let engine = CensusEngine::new(census, config);
+    let outcome = match jsonl.as_mut() {
+        Some(sink) => engine.run(&population, &mut [sink as &mut dyn ResultSink], resume),
+        None => engine.run(&population, &mut [], resume),
+    }
+    .map_err(|e| e.to_string())?;
+    eprintln!("census: {}", outcome.stats);
+    if !outcome.completed {
+        eprintln!(
+            "budget exhausted after {} probes; the report below is partial{}",
+            outcome.stats.probed,
+            match args.get("checkpoint") {
+                Some(ck) => format!(" — resume with `--resume {ck}`"),
+                None => String::new(),
+            }
+        );
+    }
+    let report = outcome.report;
+
+    if args.get("json").is_some() {
+        let json = serde_json::to_string_pretty(&report).map_err(|e| format!("{e}"))?;
+        println!("{json}");
+        return Ok(());
+    }
+
+    println!("total servers:       {}", report.total);
+    let invalid: usize = report.invalid.values().sum();
+    println!(
+        "invalid traces:      {} ({:.1}%)",
+        invalid,
+        100.0 * invalid as f64 / report.total.max(1) as f64
+    );
+    for (reason, n) in &report.invalid {
+        println!("    {reason:<28} {n}");
+    }
+    println!("valid traces:        {}", report.valid_total());
+    for (wmax, col) in report.columns.iter().rev() {
+        println!("  w_max = {wmax} ({} servers)", col.total());
+        for (class, n) in &col.identified {
+            println!("    {class:<28} {n}");
+        }
+        for (case, n) in &col.special {
+            println!("    [special] {case:<18} {n}");
+        }
+        if col.unsure > 0 {
+            println!("    [unsure]                     {}", col.unsure);
+        }
+    }
+    println!("\nfamily shares of valid traces:");
+    for family in ["BIC/CUBIC", "CTCP", "RENO", "RC-small", "HTCP"] {
+        println!("    {family:<12} {:.2}%", report.family_percent(family));
+    }
+    println!(
+        "\nground-truth accuracy over confident verdicts: {:.1}%",
+        100.0 * report.ground_truth_accuracy()
+    );
     Ok(())
 }
 
@@ -305,56 +470,4 @@ mod tests {
         let a = args(&["--loss", "0.02"]);
         assert!(a.path_config().is_ok());
     }
-}
-
-fn cmd_census(args: &Args) -> Result<(), String> {
-    let servers: u32 = args.parsed("servers", 1000)?;
-    let seed: u64 = args.parsed("seed", 1)?;
-    let workers: usize = args.parsed("workers", 4)?;
-    let classifier = load_or_train(args)?;
-    let db = ConditionDb::paper_2011();
-    let census = Census::new(classifier, db, ProberConfig::default());
-    let mut rng = seeded(seed);
-    let population = PopulationConfig::small(servers).generate(&mut rng);
-    eprintln!("probing {servers} servers on {workers} workers ...");
-    let report = census.run(&population, seed, workers);
-
-    if args.get("json").is_some() {
-        let json = serde_json::to_string_pretty(&report).map_err(|e| format!("{e}"))?;
-        println!("{json}");
-        return Ok(());
-    }
-
-    println!("total servers:       {}", report.total);
-    let invalid: usize = report.invalid.values().sum();
-    println!(
-        "invalid traces:      {} ({:.1}%)",
-        invalid,
-        100.0 * invalid as f64 / report.total.max(1) as f64
-    );
-    for (reason, n) in &report.invalid {
-        println!("    {reason:<28} {n}");
-    }
-    println!("valid traces:        {}", report.valid_total());
-    for (wmax, col) in report.columns.iter().rev() {
-        println!("  w_max = {wmax} ({} servers)", col.total());
-        for (class, n) in &col.identified {
-            println!("    {class:<28} {n}");
-        }
-        for (case, n) in &col.special {
-            println!("    [special] {case:<18} {n}");
-        }
-        if col.unsure > 0 {
-            println!("    [unsure]                     {}", col.unsure);
-        }
-    }
-    println!("\nfamily shares of valid traces:");
-    for family in ["BIC/CUBIC", "CTCP", "RENO", "RC-small", "HTCP"] {
-        println!("    {family:<12} {:.2}%", report.family_percent(family));
-    }
-    println!(
-        "\nground-truth accuracy over confident verdicts: {:.1}%",
-        100.0 * report.ground_truth_accuracy()
-    );
-    Ok(())
 }

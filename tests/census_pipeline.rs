@@ -41,7 +41,11 @@ fn census_reproduces_the_papers_structural_findings() {
     assert!(bc > report.family_percent("RENO"), "BIC/CUBIC beats RENO");
 
     // A nontrivial share lands at every rung of the w_max ladder.
-    assert!(report.columns.len() >= 3, "rungs used: {:?}", report.columns.keys());
+    assert!(
+        report.columns.len() >= 3,
+        "rungs used: {:?}",
+        report.columns.keys()
+    );
 
     // The top rung dominates (paper: 63.84% at 512).
     let top = report.columns.get(&512).map(|c| c.total()).unwrap_or(0);
@@ -55,7 +59,11 @@ fn census_reproduces_the_papers_structural_findings() {
 #[test]
 fn special_cases_and_unsure_appear_in_a_large_census() {
     let report = run_census(600, 901);
-    let specials: usize = report.columns.values().map(|c| c.special.values().sum::<usize>()).sum();
+    let specials: usize = report
+        .columns
+        .values()
+        .map(|c| c.special.values().sum::<usize>())
+        .sum();
     assert!(specials > 0, "quirky servers must surface as special cases");
     // Unsure verdicts exist but stay a small minority of valid traces
     // (paper: 4.32%).
@@ -80,12 +88,27 @@ fn ground_truth_accuracy_is_high_for_confident_verdicts() {
 fn census_report_percentages_are_consistent() {
     let report = run_census(300, 903);
     let mut family_sum = 0.0;
-    for family in
-        ["BIC/CUBIC", "CTCP", "RENO", "RC-small", "HSTCP", "HTCP", "ILLINOIS", "STCP", "VEGAS", "VENO", "WESTWOOD+", "YEAH"]
-    {
+    for family in [
+        "BIC/CUBIC",
+        "CTCP",
+        "RENO",
+        "RC-small",
+        "HSTCP",
+        "HTCP",
+        "ILLINOIS",
+        "STCP",
+        "VEGAS",
+        "VENO",
+        "WESTWOOD+",
+        "YEAH",
+    ] {
         family_sum += report.family_percent(family);
     }
-    let specials: usize = report.columns.values().map(|c| c.special.values().sum::<usize>()).sum();
+    let specials: usize = report
+        .columns
+        .values()
+        .map(|c| c.special.values().sum::<usize>())
+        .sum();
     let special_pct = 100.0 * specials as f64 / report.valid_total().max(1) as f64;
     let total = family_sum + special_pct + report.unsure_percent();
     assert!(

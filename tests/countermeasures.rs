@@ -16,15 +16,34 @@ fn frto_countermeasure_restores_the_beta_measurement() {
     let mut rng = seeded(50);
 
     let with = Prober::new(ProberConfig::default());
-    let (t, _) = with.gather_trace(&server, EnvironmentId::A, 512, 0.0, &PathConfig::clean(), &mut rng);
+    let (t, _) = with.gather_trace(
+        &server,
+        EnvironmentId::A,
+        512,
+        0.0,
+        &PathConfig::clean(),
+        &mut rng,
+    );
     let f = extract(&t);
-    assert!((f.beta - 0.5).abs() < 0.05, "with the dup ACK, β is measurable: {}", f.beta);
+    assert!(
+        (f.beta - 0.5).abs() < 0.05,
+        "with the dup ACK, β is measurable: {}",
+        f.beta
+    );
 
-    let mut pc = ProberConfig::default();
-    pc.frto_countermeasure = false;
+    let pc = ProberConfig {
+        frto_countermeasure: false,
+        ..ProberConfig::default()
+    };
     let without = Prober::new(pc);
-    let (t2, _) =
-        without.gather_trace(&server, EnvironmentId::A, 512, 0.0, &PathConfig::clean(), &mut rng);
+    let (t2, _) = without.gather_trace(
+        &server,
+        EnvironmentId::A,
+        512,
+        0.0,
+        &PathConfig::clean(),
+        &mut rng,
+    );
     let f2 = extract(&t2);
     assert!(
         f2.beta == 0.0 || (f2.beta - 0.5).abs() > 0.05 || !t2.is_valid(),
@@ -67,8 +86,10 @@ fn ssthresh_caching_without_wait_starves_environment_b() {
     // Without the wait, environment B starts at the cached (halved)
     // threshold: slow start exits early and reaching w_max takes far
     // longer (or fails outright).
-    let mut pc = ProberConfig::default();
-    pc.inter_connection_wait = 1.0;
+    let pc = ProberConfig {
+        inter_connection_wait: 1.0,
+        ..ProberConfig::default()
+    };
     let hasty = Prober::new(pc);
     let outcome = hasty.gather(&server, &PathConfig::clean(), &mut rng);
     match outcome.pair {
@@ -110,11 +131,22 @@ fn quirky_servers_produce_their_catalogued_special_traces() {
     use caai::core::special::{detect, SpecialCase};
     let mut rng = seeded(53);
     let cases = [
-        (SenderQuirk::RemainAtOne, Some(SpecialCase::RemainingAtOnePacket)),
-        (SenderQuirk::NonIncreasing, Some(SpecialCase::NonincreasingWindow)),
-        (SenderQuirk::ApproachPreTimeoutMax, Some(SpecialCase::ApproachingWmax)),
         (
-            SenderQuirk::BufferBoundedRecovery { percent_of_wmax: 125 },
+            SenderQuirk::RemainAtOne,
+            Some(SpecialCase::RemainingAtOnePacket),
+        ),
+        (
+            SenderQuirk::NonIncreasing,
+            Some(SpecialCase::NonincreasingWindow),
+        ),
+        (
+            SenderQuirk::ApproachPreTimeoutMax,
+            Some(SpecialCase::ApproachingWmax),
+        ),
+        (
+            SenderQuirk::BufferBoundedRecovery {
+                percent_of_wmax: 125,
+            },
             Some(SpecialCase::BoundedWindow),
         ),
     ];
@@ -122,8 +154,14 @@ fn quirky_servers_produce_their_catalogued_special_traces() {
         let cfg = ServerConfig::ideal().with_quirk(quirk);
         let server = ServerUnderTest::ideal_with_config(AlgorithmId::Reno, cfg);
         let prober = Prober::new(ProberConfig::fixed_wmax(128));
-        let (t, _) =
-            prober.gather_trace(&server, EnvironmentId::A, 128, 0.0, &PathConfig::clean(), &mut rng);
+        let (t, _) = prober.gather_trace(
+            &server,
+            EnvironmentId::A,
+            128,
+            0.0,
+            &PathConfig::clean(),
+            &mut rng,
+        );
         assert!(t.is_valid(), "{quirk:?} traces are valid");
         assert_eq!(detect(&t), expected, "{quirk:?}");
     }

@@ -137,10 +137,22 @@ fn environment_b_step_is_visible_to_delay_based_algorithms() {
     let server = ServerUnderTest::ideal(AlgorithmId::Illinois);
     let prober = Prober::new(ProberConfig::default());
     let mut rng = seeded(70);
-    let (a, _) =
-        prober.gather_trace(&server, EnvironmentId::A, 512, 0.0, &PathConfig::clean(), &mut rng);
-    let (b, _) =
-        prober.gather_trace(&server, EnvironmentId::B, 512, 0.0, &PathConfig::clean(), &mut rng);
+    let (a, _) = prober.gather_trace(
+        &server,
+        EnvironmentId::A,
+        512,
+        0.0,
+        &PathConfig::clean(),
+        &mut rng,
+    );
+    let (b, _) = prober.gather_trace(
+        &server,
+        EnvironmentId::B,
+        512,
+        0.0,
+        &PathConfig::clean(),
+        &mut rng,
+    );
     let fa = extract(&a);
     let fb = extract(&b);
     assert!(
@@ -158,10 +170,30 @@ fn veno_mirrors_the_papers_environment_contrast() {
     let prober = Prober::new(ProberConfig::default());
     let mut rng = seeded(71);
     let veno = ServerUnderTest::ideal(AlgorithmId::Veno);
-    let (a, _) =
-        prober.gather_trace(&veno, EnvironmentId::A, 512, 0.0, &PathConfig::clean(), &mut rng);
-    let (b, _) =
-        prober.gather_trace(&veno, EnvironmentId::B, 512, 0.0, &PathConfig::clean(), &mut rng);
-    assert!((extract(&a).beta - 0.8).abs() < 0.05, "VENO env A: {}", extract(&a).beta);
-    assert!((extract(&b).beta - 0.5).abs() < 0.05, "VENO env B: {}", extract(&b).beta);
+    let (a, _) = prober.gather_trace(
+        &veno,
+        EnvironmentId::A,
+        512,
+        0.0,
+        &PathConfig::clean(),
+        &mut rng,
+    );
+    let (b, _) = prober.gather_trace(
+        &veno,
+        EnvironmentId::B,
+        512,
+        0.0,
+        &PathConfig::clean(),
+        &mut rng,
+    );
+    assert!(
+        (extract(&a).beta - 0.8).abs() < 0.05,
+        "VENO env A: {}",
+        extract(&a).beta
+    );
+    assert!(
+        (extract(&b).beta - 0.5).abs() < 0.05,
+        "VENO env B: {}",
+        extract(&b).beta
+    );
 }

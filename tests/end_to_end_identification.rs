@@ -28,7 +28,9 @@ fn identifies_all_fourteen_algorithms_on_a_clean_path() {
     for algo in ALL_IDENTIFIED {
         let server = ServerUnderTest::ideal(algo);
         let outcome = prober.gather(&server, &PathConfig::clean(), &mut rng);
-        let pair = outcome.pair.unwrap_or_else(|| panic!("{algo:?}: gathering failed"));
+        let pair = outcome
+            .pair
+            .unwrap_or_else(|| panic!("{algo:?}: gathering failed"));
         let wmax = pair.wmax_threshold();
         let v = extract_pair(&pair);
         match classifier.classify(&v) {
@@ -71,7 +73,10 @@ fn identification_survives_mild_loss() {
             }
         }
     }
-    assert!(correct >= 4, "1% loss should leave most identifications intact: {correct}/6");
+    assert!(
+        correct >= 4,
+        "1% loss should leave most identifications intact: {correct}/6"
+    );
 }
 
 #[test]
@@ -95,9 +100,10 @@ fn version_splits_are_resolved_at_large_wmax() {
             Identification::Identified { class, .. } => {
                 assert_eq!(class, want, "{algo:?} must resolve to {want}");
             }
-            Identification::Unsure { best_guess, confidence } => panic!(
-                "{algo:?} unexpectedly unsure (best {best_guess}, {confidence})"
-            ),
+            Identification::Unsure {
+                best_guess,
+                confidence,
+            } => panic!("{algo:?} unexpectedly unsure (best {best_guess}, {confidence})"),
         }
     }
 }

@@ -1,0 +1,249 @@
+//! Integration: the census engine's determinism contract.
+//!
+//! A census report must be a pure function of `(population, seed)`:
+//! independent of worker count, batch size, and — via checkpoint/resume —
+//! of how many times the run was interrupted. These tests interrupt a
+//! census mid-run with a probe budget, resume it from the checkpoint, and
+//! require the final report to equal an uninterrupted run's, byte for
+//! byte; plus a JSONL round-trip back to the identical report.
+
+use caai::core::census::{assemble, Census, CensusReport};
+use caai::core::classify::CaaiClassifier;
+use caai::core::prober::ProberConfig;
+use caai::core::training::{build_training_set, TrainingConfig};
+use caai::engine::{
+    AggregatingSink, Budget, CensusEngine, Checkpoint, EngineConfig, JsonlSink, ResultSink,
+    StopCause,
+};
+use caai::netem::rng::seeded;
+use caai::netem::ConditionDb;
+use caai::webmodel::{PopulationConfig, WebServer};
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+const SEED: u64 = 77;
+
+fn census() -> Census {
+    static CENSUS: OnceLock<Census> = OnceLock::new();
+    CENSUS
+        .get_or_init(|| {
+            let db = ConditionDb::paper_2011();
+            let mut rng = seeded(500);
+            let data = build_training_set(&TrainingConfig::quick(2), &db, &mut rng);
+            let classifier = CaaiClassifier::train(&data, &mut rng);
+            Census::new(classifier, db, ProberConfig::default())
+        })
+        .clone()
+}
+
+fn servers() -> Vec<WebServer> {
+    PopulationConfig::small(60).generate(&mut seeded(501))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("caai-engine-test-{}-{name}", std::process::id()))
+}
+
+fn run_uninterrupted(workers: usize) -> CensusReport {
+    let engine = CensusEngine::new(
+        census(),
+        EngineConfig {
+            seed: SEED,
+            workers,
+            ..EngineConfig::default()
+        },
+    );
+    let outcome = engine
+        .run(&servers(), &mut [], None)
+        .expect("no sinks, no I/O");
+    assert!(outcome.completed);
+    assert_eq!(outcome.stop, StopCause::Completed);
+    outcome.report
+}
+
+#[test]
+fn report_is_identical_across_worker_counts_and_batch_sizes() {
+    let one = run_uninterrupted(1);
+    let four = run_uninterrupted(4);
+    let eight = run_uninterrupted(8);
+    assert_eq!(one, four, "1 vs 4 workers");
+    assert_eq!(four, eight, "4 vs 8 workers");
+    // A pathological batch size must not matter either.
+    let tiny_batches = CensusEngine::new(
+        census(),
+        EngineConfig {
+            seed: SEED,
+            workers: 3,
+            batch_size: 1,
+            ..EngineConfig::default()
+        },
+    )
+    .run(&servers(), &mut [], None)
+    .expect("no sinks, no I/O");
+    assert_eq!(one, tiny_batches.report, "batch size 1");
+}
+
+#[test]
+fn engine_report_matches_the_thin_core_wrapper() {
+    let engine_report = run_uninterrupted(4);
+    let core_report = census().run(&servers(), SEED, 4);
+    assert_eq!(engine_report, core_report);
+}
+
+#[test]
+fn interrupted_census_resumes_to_the_identical_report() {
+    let baseline = run_uninterrupted(4);
+    let ck_path = tmp("resume.json");
+
+    // First run: a probe budget far below the population size interrupts
+    // the census partway; every completed record is checkpointed.
+    let interrupted = CensusEngine::new(
+        census(),
+        EngineConfig {
+            seed: SEED,
+            workers: 4,
+            checkpoint_path: Some(ck_path.clone()),
+            checkpoint_every: 5,
+            budget: Budget::probes(20),
+            ..EngineConfig::default()
+        },
+    )
+    .run(&servers(), &mut [], None)
+    .expect("checkpointing must succeed");
+    assert!(!interrupted.completed, "budget must interrupt the run");
+    assert_eq!(interrupted.stop, StopCause::BudgetExhausted);
+    assert!(interrupted.report.total < 60, "partial report expected");
+
+    // Second run: resume from the checkpoint, no budget.
+    let ck = Checkpoint::load(&ck_path).expect("checkpoint must load");
+    assert!(!ck.records.is_empty(), "checkpoint holds completed records");
+    assert!(
+        (ck.records.len() as u64) >= 20,
+        "budget overshoot is allowed, undershoot is not"
+    );
+    let resumed = CensusEngine::new(
+        census(),
+        EngineConfig {
+            seed: SEED,
+            workers: 2, // a different worker count must not matter
+            checkpoint_path: Some(ck_path.clone()),
+            ..EngineConfig::default()
+        },
+    )
+    .run(&servers(), &mut [], Some(ck))
+    .expect("resume must succeed");
+    std::fs::remove_file(&ck_path).ok();
+
+    assert!(resumed.completed);
+    assert!(
+        resumed.stats.resumed > 0,
+        "resumed records must be replayed"
+    );
+    assert!(
+        resumed.stats.probed < 60,
+        "resume must not re-probe completed servers"
+    );
+    assert_eq!(
+        resumed.report, baseline,
+        "resume must converge to the baseline report"
+    );
+}
+
+#[test]
+fn resume_is_refused_for_mismatched_parameters() {
+    let records = Vec::new();
+    let wrong_seed = Checkpoint::new(SEED + 1, 60, records.clone());
+    let engine = CensusEngine::new(
+        census(),
+        EngineConfig {
+            seed: SEED,
+            workers: 2,
+            ..EngineConfig::default()
+        },
+    );
+    let err = engine
+        .run(&servers(), &mut [], Some(wrong_seed))
+        .unwrap_err();
+    assert!(err.to_string().contains("seed"), "{err}");
+
+    let wrong_population = Checkpoint::new(SEED, 61, records);
+    let err = engine
+        .run(&servers(), &mut [], Some(wrong_population))
+        .unwrap_err();
+    assert!(err.to_string().contains("population"), "{err}");
+}
+
+#[test]
+fn jsonl_stream_round_trips_to_the_identical_report() {
+    let baseline = run_uninterrupted(4);
+    let out_path = tmp("report.jsonl");
+
+    let mut jsonl = JsonlSink::create(&out_path).expect("create jsonl");
+    let mut agg = AggregatingSink::new();
+    let outcome = CensusEngine::new(
+        census(),
+        EngineConfig {
+            seed: SEED,
+            workers: 4,
+            ..EngineConfig::default()
+        },
+    )
+    .run(&servers(), &mut [&mut jsonl, &mut agg], None)
+    .expect("jsonl sink must succeed");
+    assert!(outcome.completed);
+    assert_eq!(jsonl.written(), 60);
+
+    // The streamed file, re-read and canonicalized, reproduces the report.
+    let records = caai::engine::sink::read_jsonl(&out_path).expect("read jsonl back");
+    std::fs::remove_file(&out_path).ok();
+    assert_eq!(records.len(), 60);
+    assert_eq!(assemble(records), baseline);
+
+    // And so does the aggregating sink that rode along.
+    assert_eq!(agg.into_report(), baseline);
+}
+
+#[test]
+fn resume_replays_checkpointed_records_into_sinks() {
+    let ck_path = tmp("replay-ck.json");
+    let out_path = tmp("replay.jsonl");
+
+    // Interrupt with a streaming sink attached.
+    let mut first_out = JsonlSink::create(&out_path).expect("create jsonl");
+    CensusEngine::new(
+        census(),
+        EngineConfig {
+            seed: SEED,
+            workers: 4,
+            checkpoint_path: Some(ck_path.clone()),
+            checkpoint_every: 4,
+            budget: Budget::probes(15),
+            ..EngineConfig::default()
+        },
+    )
+    .run(&servers(), &mut [&mut first_out], None)
+    .expect("interrupted run");
+    ResultSink::flush(&mut first_out).expect("flush");
+
+    // Resume with a *fresh* output file: the engine re-emits checkpointed
+    // records first, so the file ends up covering the full population.
+    let ck = Checkpoint::load(&ck_path).expect("load checkpoint");
+    let mut second_out = JsonlSink::create(&out_path).expect("recreate jsonl");
+    let resumed = CensusEngine::new(
+        census(),
+        EngineConfig {
+            seed: SEED,
+            workers: 4,
+            ..EngineConfig::default()
+        },
+    )
+    .run(&servers(), &mut [&mut second_out], Some(ck))
+    .expect("resumed run");
+    assert!(resumed.completed);
+
+    let records = caai::engine::sink::read_jsonl(&out_path).expect("read jsonl");
+    std::fs::remove_file(&out_path).ok();
+    std::fs::remove_file(&ck_path).ok();
+    assert_eq!(records.len(), 60, "file must cover the whole population");
+    assert_eq!(assemble(records), run_uninterrupted(4));
+}

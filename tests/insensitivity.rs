@@ -45,7 +45,9 @@ fn probe(algo: AlgorithmId, config: ServerConfig) -> (FeatureVector, u32) {
     let prober = Prober::new(ProberConfig::default());
     let mut rng = seeded(400);
     let outcome = prober.gather(&server, &PathConfig::clean(), &mut rng);
-    let pair = outcome.pair.unwrap_or_else(|| panic!("{algo:?} with {config:?} must gather"));
+    let pair = outcome
+        .pair
+        .unwrap_or_else(|| panic!("{algo:?} with {config:?} must gather"));
     (extract_pair(&pair), pair.wmax_threshold())
 }
 
@@ -57,7 +59,10 @@ fn assert_identified(algo: AlgorithmId, config: ServerConfig, context: &str) {
         Identification::Identified { class, .. } => {
             assert_eq!(class, expected, "{context}: vector {:?}", vector.values);
         }
-        Identification::Unsure { best_guess, confidence } => panic!(
+        Identification::Unsure {
+            best_guess,
+            confidence,
+        } => panic!(
             "{context}: unsure (best {best_guess}, {confidence:.2}) on {:?}",
             vector.values
         ),
@@ -100,7 +105,10 @@ fn reno_features_are_invariant_to_every_perturbation() {
             "limited-SS",
             ServerConfig::ideal().with_slow_start(SlowStartVariant::Limited { max_ssthresh: 600 }),
         ),
-        ("HyStart", ServerConfig::ideal().with_slow_start(SlowStartVariant::Hybrid)),
+        (
+            "HyStart",
+            ServerConfig::ideal().with_slow_start(SlowStartVariant::Hybrid),
+        ),
     ] {
         assert_reno_exact(cfg, name);
     }
@@ -132,7 +140,11 @@ fn identification_is_insensitive_to_hybrid_slow_start() {
 
 #[test]
 fn identification_is_insensitive_to_frto() {
-    for algo in [AlgorithmId::CubicV2, AlgorithmId::Veno, AlgorithmId::Scalable] {
+    for algo in [
+        AlgorithmId::CubicV2,
+        AlgorithmId::Veno,
+        AlgorithmId::Scalable,
+    ] {
         assert_identified(
             algo,
             ServerConfig::ideal().with_frto(true),
@@ -166,13 +178,32 @@ fn hybrid_slow_start_differs_only_before_the_timeout() {
     );
     let prober = Prober::new(ProberConfig::default());
     let env_b = caai::netem::EnvironmentId::B;
-    let (std_trace, _) =
-        prober.gather_trace(&std_server, env_b, 512, 0.0, &PathConfig::clean(), &mut seeded(77));
-    let (hyb_trace, _) =
-        prober.gather_trace(&hyb_server, env_b, 512, 0.0, &PathConfig::clean(), &mut seeded(77));
+    let (std_trace, _) = prober.gather_trace(
+        &std_server,
+        env_b,
+        512,
+        0.0,
+        &PathConfig::clean(),
+        &mut seeded(77),
+    );
+    let (hyb_trace, _) = prober.gather_trace(
+        &hyb_server,
+        env_b,
+        512,
+        0.0,
+        &PathConfig::clean(),
+        &mut seeded(77),
+    );
     assert!(std_trace.is_valid() && hyb_trace.is_valid());
-    assert_ne!(std_trace.pre, hyb_trace.pre, "HyStart reshapes the pre-timeout climb");
+    assert_ne!(
+        std_trace.pre, hyb_trace.pre,
+        "HyStart reshapes the pre-timeout climb"
+    );
     // ... while the post-timeout slow start CAAI anchors its features on
     // is identical in shape (both run 1, 2, 4, ... to β·w^B).
-    assert_eq!(&std_trace.post[..8], &hyb_trace.post[..8], "recovery ramp untouched");
+    assert_eq!(
+        &std_trace.post[..8],
+        &hyb_trace.post[..8],
+        "recovery ramp untouched"
+    );
 }

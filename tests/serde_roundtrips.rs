@@ -38,7 +38,9 @@ fn invalid_reason_is_tagged_readably() {
 
 #[test]
 fn feature_vector_round_trips() {
-    let v = FeatureVector { values: [0.8, 20.0, 45.0, 0.8, 18.0, 40.0, 1.0] };
+    let v = FeatureVector {
+        values: [0.8, 20.0, 45.0, 0.8, 18.0, 40.0, 1.0],
+    };
     let json = serde_json::to_string(&v).unwrap();
     let back: FeatureVector = serde_json::from_str(&json).unwrap();
     assert_eq!(v, back);
@@ -54,8 +56,14 @@ fn trained_classifier_round_trips_and_agrees() {
     let mut data = Dataset::new(label_names(), 7);
     for i in 0..30 {
         let j = (i % 5) as f64 / 50.0;
-        data.push(vec![0.5 + j, 3.0, 6.0, 0.5, 3.0, 6.0, 1.0], ClassLabel::RenoBig.index());
-        data.push(vec![0.8 + j, 25.0, 50.0, 0.8, 25.0, 50.0, 1.0], ClassLabel::Bic.index());
+        data.push(
+            vec![0.5 + j, 3.0, 6.0, 0.5, 3.0, 6.0, 1.0],
+            ClassLabel::RenoBig.index(),
+        );
+        data.push(
+            vec![0.8 + j, 25.0, 50.0, 0.8, 25.0, 50.0, 1.0],
+            ClassLabel::Bic.index(),
+        );
     }
     let mut rng = caai::netem::rng::seeded(60);
     let clf = CaaiClassifier::train(&data, &mut rng);
@@ -73,7 +81,11 @@ fn trained_classifier_round_trips_and_agrees() {
                 s.features[6],
             ],
         };
-        assert_eq!(clf.classify(&v), back.classify(&v), "restored model must agree");
+        assert_eq!(
+            clf.classify(&v),
+            back.classify(&v),
+            "restored model must agree"
+        );
     }
 }
 
@@ -87,8 +99,11 @@ fn configs_round_trip() {
     let back: ServerConfig = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
     assert_eq!(s, back);
 
-    let c = NetworkCondition { rtt_mean: 0.1, rtt_std: 0.02, loss_rate: 0.01 };
-    let back: NetworkCondition =
-        serde_json::from_str(&serde_json::to_string(&c).unwrap()).unwrap();
+    let c = NetworkCondition {
+        rtt_mean: 0.1,
+        rtt_std: 0.02,
+        loss_rate: 0.01,
+    };
+    let back: NetworkCondition = serde_json::from_str(&serde_json::to_string(&c).unwrap()).unwrap();
     assert_eq!(c, back);
 }
