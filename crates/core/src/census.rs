@@ -58,6 +58,12 @@ pub struct CensusRecord {
 }
 
 /// Aggregated census results: the material of Table IV.
+///
+/// Everything except [`records`](CensusReport::records) is a constant-size
+/// aggregate: streaming producers ([`CensusAggregates`], the `caai-engine`
+/// coordinator) fill only the aggregate fields and leave `records` empty,
+/// so a report stays O(classes × rungs) however many servers were probed.
+/// Record-level drill-down is opt-in via `caai-engine`'s aggregating sink.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CensusReport {
     /// Total servers probed.
@@ -66,7 +72,13 @@ pub struct CensusReport {
     pub invalid: BTreeMap<String, usize>,
     /// Per-`w_max` rung columns.
     pub columns: BTreeMap<u32, CensusColumn>,
-    /// Per-server records (for accuracy scoring and drill-down).
+    /// Ground-truth algorithm histogram (synthetic-population bonus).
+    pub truth: BTreeMap<String, usize>,
+    /// Confidently identified servers (denominator of the accuracy score).
+    pub identified_total: usize,
+    /// Confident identifications matching ground truth.
+    pub identified_correct: usize,
+    /// Per-server records (drill-down; empty in streaming/aggregate runs).
     pub records: Vec<CensusRecord>,
 }
 
@@ -129,19 +141,134 @@ impl CensusReport {
 
     /// Identification accuracy against ground truth over confidently
     /// identified servers (not available to the paper; a bonus of the
-    /// synthetic population).
+    /// synthetic population). Computed from the streaming tallies, so it
+    /// works for record-free aggregate reports too.
     pub fn ground_truth_accuracy(&self) -> f64 {
-        let mut correct = 0usize;
-        let mut total = 0usize;
-        for r in &self.records {
-            if let Verdict::Identified(class, wmax) = r.verdict {
-                total += 1;
+        self.identified_correct as f64 / self.identified_total.max(1) as f64
+    }
+
+    /// A copy of this report with the record drill-down dropped — exactly
+    /// what a streaming (record-free) producer of the same census emits.
+    pub fn aggregates_only(&self) -> CensusReport {
+        CensusReport {
+            total: self.total,
+            invalid: self.invalid.clone(),
+            columns: self.columns.clone(),
+            truth: self.truth.clone(),
+            identified_total: self.identified_total,
+            identified_correct: self.identified_correct,
+            records: Vec::new(),
+        }
+    }
+}
+
+/// Constant-memory streaming fold of census records.
+///
+/// One `observe` call per record maintains every aggregate Table IV needs
+/// — verdict counts per `w_max` column, the invalid-reason histogram, the
+/// ground-truth histogram, and the accuracy tallies — in O(classes ×
+/// rungs) memory, independent of how many records stream through. Two
+/// aggregates over disjoint server sets [`merge`](CensusAggregates::merge)
+/// into exactly the fold of the union, which is what makes a sharded
+/// census joinable into the unsharded report.
+///
+/// ```
+/// use caai_core::census::{CensusAggregates, CensusRecord, Verdict};
+/// use caai_core::classes::ClassLabel;
+/// use caai_congestion::AlgorithmId;
+///
+/// let record = CensusRecord {
+///     server_id: 7,
+///     truth: AlgorithmId::Bic,
+///     verdict: Verdict::Identified(ClassLabel::Bic, 512),
+/// };
+/// let mut left = CensusAggregates::default();
+/// left.observe(&record);
+/// let mut right = CensusAggregates::default();
+/// right.observe(&CensusRecord { server_id: 8, ..record });
+///
+/// let mut merged = left.clone();
+/// merged.merge(&right);
+/// assert_eq!(merged.total, 2);
+/// assert_eq!(merged.report().ground_truth_accuracy(), 1.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CensusAggregates {
+    /// Records folded in so far.
+    pub total: usize,
+    /// Invalid-trace counts by reason.
+    pub invalid: BTreeMap<String, usize>,
+    /// Per-`w_max` rung columns.
+    pub columns: BTreeMap<u32, CensusColumn>,
+    /// Ground-truth algorithm histogram.
+    pub truth: BTreeMap<String, usize>,
+    /// Confidently identified servers.
+    pub identified_total: usize,
+    /// Confident identifications matching ground truth.
+    pub identified_correct: usize,
+}
+
+impl CensusAggregates {
+    /// Folds one record into the aggregates.
+    pub fn observe(&mut self, r: &CensusRecord) {
+        self.total += 1;
+        *self.truth.entry(r.truth.name().to_owned()).or_default() += 1;
+        match r.verdict {
+            Verdict::Invalid(reason) => {
+                *self.invalid.entry(format!("{reason:?}")).or_default() += 1;
+            }
+            Verdict::Special(case, wmax) => {
+                let col = self.columns.entry(wmax).or_default();
+                *col.special.entry(case.name().to_owned()).or_default() += 1;
+            }
+            Verdict::Unsure(wmax) => {
+                self.columns.entry(wmax).or_default().unsure += 1;
+            }
+            Verdict::Identified(class, wmax) => {
+                let col = self.columns.entry(wmax).or_default();
+                *col.identified.entry(class.name().to_owned()).or_default() += 1;
+                self.identified_total += 1;
                 if class.matches(r.truth, wmax) {
-                    correct += 1;
+                    self.identified_correct += 1;
                 }
             }
         }
-        correct as f64 / total.max(1) as f64
+    }
+
+    /// Adds another aggregate (over a disjoint record set) into this one.
+    pub fn merge(&mut self, other: &CensusAggregates) {
+        self.total += other.total;
+        for (reason, n) in &other.invalid {
+            *self.invalid.entry(reason.clone()).or_default() += n;
+        }
+        for (truth, n) in &other.truth {
+            *self.truth.entry(truth.clone()).or_default() += n;
+        }
+        for (wmax, col) in &other.columns {
+            let mine = self.columns.entry(*wmax).or_default();
+            for (class, n) in &col.identified {
+                *mine.identified.entry(class.clone()).or_default() += n;
+            }
+            for (case, n) in &col.special {
+                *mine.special.entry(case.clone()).or_default() += n;
+            }
+            mine.unsure += col.unsure;
+        }
+        self.identified_total += other.identified_total;
+        self.identified_correct += other.identified_correct;
+    }
+
+    /// The record-free [`CensusReport`] of everything folded so far.
+    pub fn report(&self) -> CensusReport {
+        CensusReport {
+            total: self.total,
+            invalid: self.invalid.clone(),
+            columns: self.columns.clone(),
+            truth: self.truth.clone(),
+            identified_total: self.identified_total,
+            identified_correct: self.identified_correct,
+            records: Vec::new(),
+        }
     }
 }
 
@@ -235,30 +362,15 @@ impl Census {
     }
 }
 
-/// Folds raw records into the Table IV report.
+/// Folds raw records into the Table IV report, retaining the records for
+/// drill-down. The aggregate fields match what a [`CensusAggregates`]
+/// fold of the same records produces.
 pub fn assemble(records: Vec<CensusRecord>) -> CensusReport {
-    let mut report = CensusReport {
-        total: records.len(),
-        ..Default::default()
-    };
+    let mut agg = CensusAggregates::default();
     for r in &records {
-        match r.verdict {
-            Verdict::Invalid(reason) => {
-                *report.invalid.entry(format!("{reason:?}")).or_default() += 1;
-            }
-            Verdict::Special(case, wmax) => {
-                let col = report.columns.entry(wmax).or_default();
-                *col.special.entry(case.name().to_owned()).or_default() += 1;
-            }
-            Verdict::Unsure(wmax) => {
-                report.columns.entry(wmax).or_default().unsure += 1;
-            }
-            Verdict::Identified(class, wmax) => {
-                let col = report.columns.entry(wmax).or_default();
-                *col.identified.entry(class.name().to_owned()).or_default() += 1;
-            }
-        }
+        agg.observe(r);
     }
+    let mut report = agg.report();
     report.records = records;
     report
 }
@@ -343,6 +455,39 @@ mod tests {
         for (server, record) in servers.iter().zip(&report.records) {
             assert_eq!(census.probe_seeded(server, 3), *record);
         }
+    }
+
+    #[test]
+    fn aggregates_fold_matches_assemble_and_merge_is_exact() {
+        let mut rng = seeded(104);
+        let classifier = quick_classifier(&mut rng);
+        let census = Census::new(
+            classifier,
+            ConditionDb::paper_2011(),
+            ProberConfig::default(),
+        );
+        let servers = PopulationConfig::small(30).generate(&mut rng);
+        let report = census.run(&servers, 9, 2);
+
+        // Streaming fold == batch assemble, minus the record drill-down.
+        let mut whole = CensusAggregates::default();
+        for r in &report.records {
+            whole.observe(r);
+        }
+        assert_eq!(whole.report(), report.aggregates_only());
+
+        // Folding disjoint halves and merging is exact, in either order.
+        let (left, right) = report.records.split_at(report.records.len() / 2);
+        let mut a = CensusAggregates::default();
+        left.iter().for_each(|r| a.observe(r));
+        let mut b = CensusAggregates::default();
+        right.iter().for_each(|r| b.observe(r));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, whole);
+        assert_eq!(ba, whole);
     }
 
     #[test]

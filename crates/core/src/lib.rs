@@ -53,7 +53,7 @@ pub mod special;
 pub mod trace;
 pub mod training;
 
-pub use census::{Census, CensusReport, Verdict};
+pub use census::{Census, CensusAggregates, CensusReport, Verdict};
 pub use classes::ClassLabel;
 pub use classify::{CaaiClassifier, Identification};
 pub use features::{extract, extract_pair, FeatureVector, TraceFeatures, FEATURE_DIM};

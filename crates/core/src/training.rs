@@ -83,7 +83,7 @@ fn training_server_configs() -> Vec<caai_tcpsim::ServerConfig> {
 }
 
 /// Collects a labeled training set by probing lab servers under replayed
-/// network conditions, rotating through the [`training_server_configs`]
+/// network conditions, rotating through the `training_server_configs`
 /// sender perturbations.
 ///
 /// Conditions that defeat gathering even after the configured retries are

@@ -10,8 +10,19 @@ use std::time::{Duration, Instant};
 /// Limits on how much work one engine run may perform.
 ///
 /// `Budget::default()` is unlimited. A budget counts only probes
-/// performed by the current run — records replayed from a resume
-/// checkpoint are free.
+/// performed by the current run — records resumed from a checkpoint are
+/// free.
+///
+/// ```
+/// use caai_engine::Budget;
+/// use std::time::Instant;
+///
+/// let budget = Budget::probes(1000);
+/// let started = Instant::now();
+/// assert!(!budget.exhausted(999, started));
+/// assert!(budget.exhausted(1000, started));
+/// assert!(!Budget::unlimited().exhausted(u64::MAX, started));
+/// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Budget {
     /// Maximum number of probes this run may perform.

@@ -1,23 +1,43 @@
-//! The census engine proper: worker pool, record streaming, checkpoint
-//! cadence, budget enforcement.
+//! The census engine proper: worker pool, sink thread, record streaming,
+//! checkpoint cadence, budget enforcement.
 //!
 //! ## Determinism contract
 //!
 //! Every server is probed with an RNG keyed on `(seed, server_id)`
-//! ([`caai_core::census::Census::probe_seeded`]), and the final report is
-//! assembled from records sorted by `server_id`. Consequently the report
-//! is a pure function of `(population, seed)` — independent of worker
-//! count, batch size, scheduling interleavings, and of how many times the
-//! run was interrupted and resumed.
+//! ([`caai_core::census::Census::probe_seeded`]), and all aggregation is
+//! order-independent (commutative counter folds keyed by verdict and
+//! `server_id`). Consequently the report is a pure function of
+//! `(population, seed, shard)` — independent of worker count, batch size,
+//! scheduling interleavings, and of how many times the run was
+//! interrupted and resumed.
+//!
+//! ## Memory contract
+//!
+//! The engine retains O(aggregates + bitmap + work list) state, never
+//! O(records): a [`caai_core::census::CensusAggregates`] fold plus one
+//! bit per server id, both inside the live [`Checkpoint`], and the
+//! pending work list (4 bytes per not-yet-probed owned server, shrinking
+//! as the run proceeds — 125 KB of bitmap plus up to 4 MB of work list
+//! at 10⁶ servers). Records stream through to the sinks and are dropped;
+//! nothing grows with the number of *completed* records. Attach an
+//! [`crate::sink::AggregatingSink`] to opt back into record retention.
+//!
+//! ## Sink thread
+//!
+//! Sinks run on a dedicated thread fed through a bounded queue
+//! ([`EngineConfig::sink_queue`]), so a slow sink (compressing writer,
+//! network upload) does not stall the coordinator — which keeps draining
+//! workers, folding aggregates, and writing checkpoints — until the
+//! queue itself fills, which bounds memory instead of growing a backlog.
 
 use crate::budget::Budget;
 use crate::checkpoint::Checkpoint;
 use crate::scheduler::BatchScheduler;
+use crate::shard::ShardSpec;
 use crate::sink::ResultSink;
 use crate::telemetry::{ProgressStats, Telemetry};
-use caai_core::census::{assemble, Census, CensusRecord, CensusReport};
+use caai_core::census::{Census, CensusRecord, CensusReport};
 use caai_webmodel::WebServer;
-use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::io;
 use std::path::PathBuf;
@@ -34,10 +54,15 @@ pub struct EngineConfig {
     pub workers: usize,
     /// Servers claimed per scheduler batch.
     pub batch_size: usize,
+    /// Which shard of the population this run probes (`0/1` = all).
+    pub shard: ShardSpec,
     /// Where to write checkpoints (`None` disables checkpointing).
     pub checkpoint_path: Option<PathBuf>,
     /// Checkpoint after every this many newly completed records.
     pub checkpoint_every: u64,
+    /// Bounded capacity of the engine's two internal queues (workers →
+    /// coordinator, coordinator → sink thread).
+    pub sink_queue: usize,
     /// Probe/deadline budget for this run.
     pub budget: Budget,
     /// Print a progress line to stderr every this many records (0 = off).
@@ -50,8 +75,10 @@ impl Default for EngineConfig {
             seed: 1,
             workers: 4,
             batch_size: 16,
+            shard: ShardSpec::full(),
             checkpoint_path: None,
             checkpoint_every: 256,
+            sink_queue: 1024,
             budget: Budget::unlimited(),
             progress_every: 0,
         }
@@ -61,7 +88,7 @@ impl Default for EngineConfig {
 /// Why the run stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StopCause {
-    /// Every server in the population has a record.
+    /// Every server this run's shard owns has a record.
     Completed,
     /// The probe or wall-clock budget ran out first.
     BudgetExhausted,
@@ -70,14 +97,21 @@ pub enum StopCause {
 /// The result of one engine run.
 #[derive(Debug, Clone)]
 pub struct EngineOutcome {
-    /// The (possibly partial) census report, in canonical order.
+    /// The (possibly partial) record-free census report over this run's
+    /// shard. Attach an [`crate::sink::AggregatingSink`] for records.
     pub report: CensusReport,
     /// Final telemetry snapshot.
     pub stats: ProgressStats,
-    /// Whether every server was probed.
+    /// Whether every owned server was probed.
     pub completed: bool,
     /// Why the run stopped.
     pub stop: StopCause,
+    /// How many checkpoint files this run wrote. A final write that
+    /// would duplicate a write made earlier in the same run (no new
+    /// records since) is skipped. A run that resumed and probed nothing
+    /// still writes once: its `checkpoint_path` may differ from wherever
+    /// the resume checkpoint was loaded from, and must end up current.
+    pub checkpoints_written: u64,
 }
 
 /// Errors an engine run can hit.
@@ -87,6 +121,9 @@ pub enum EngineError {
     Io(io::Error),
     /// The resume checkpoint does not match this run's parameters.
     CheckpointMismatch(String),
+    /// The configuration or population is invalid (e.g. a bad shard
+    /// spec, or a server id outside `0..population`).
+    Config(String),
 }
 
 impl fmt::Display for EngineError {
@@ -96,6 +133,7 @@ impl fmt::Display for EngineError {
             EngineError::CheckpointMismatch(msg) => {
                 write!(f, "checkpoint mismatch: {msg}")
             }
+            EngineError::Config(msg) => write!(f, "invalid engine config: {msg}"),
         }
     }
 }
@@ -106,6 +144,16 @@ impl From<io::Error> for EngineError {
     fn from(e: io::Error) -> Self {
         EngineError::Io(e)
     }
+}
+
+/// What the coordinator feeds the sink thread through the bounded queue.
+enum SinkMsg {
+    /// One completed record to emit.
+    Record(CensusRecord),
+    /// Flush every sink, then ack — the coordinator's write barrier
+    /// before a checkpoint, so a checkpoint never claims a record the
+    /// sinks have not durably written (kill-safe with buffered writers).
+    Flush(mpsc::Sender<()>),
 }
 
 /// The streaming census engine. See the crate docs for an example.
@@ -126,13 +174,17 @@ impl CensusEngine {
         &self.config
     }
 
-    /// Runs the census over `servers`, streaming records to `sinks` and
-    /// optionally resuming from a checkpoint.
+    /// Runs the census over this run's shard of `servers`, streaming
+    /// records to `sinks` and optionally resuming from a checkpoint.
     ///
-    /// Records already present in `resume` are re-emitted to the sinks
-    /// (in canonical order) but not re-probed and not counted against the
-    /// budget. Returns once the population is exhausted, the budget runs
-    /// out, or an I/O error occurs.
+    /// Servers already completed in `resume` are not re-probed and not
+    /// counted against the budget; their aggregates seed the report and
+    /// telemetry. Unlike the v1 (full-record) engine, resumed records are
+    /// *not* replayed into the sinks — a checkpoint no longer has them.
+    /// Keep the original JSONL file and open the sink in append mode
+    /// ([`crate::sink::JsonlSink::append`]) instead. Returns once the
+    /// owned population is exhausted, the budget runs out, or an I/O
+    /// error occurs.
     pub fn run(
         &self,
         servers: &[WebServer],
@@ -140,48 +192,98 @@ impl CensusEngine {
         resume: Option<Checkpoint>,
     ) -> Result<EngineOutcome, EngineError> {
         let seed = self.config.seed;
-        let telemetry = Telemetry::new(servers.len() as u64);
+        let shard = self.config.shard;
+        shard.validate().map_err(EngineError::Config)?;
+        let population = servers.len() as u64;
+        // The completion bitmap is keyed on dense unique ids: every id
+        // must be in 0..population and appear once, or completion
+        // accounting (and any later merge) would silently disagree.
+        let mut ids_seen = crate::bitmap::IdBitmap::new(population);
+        for s in servers {
+            if u64::from(s.id) >= population {
+                return Err(EngineError::Config(format!(
+                    "server id {} outside 0..{population}; the engine keys its \
+                     completion bitmap on dense ids",
+                    s.id
+                )));
+            }
+            if !ids_seen.insert(s.id) {
+                return Err(EngineError::Config(format!(
+                    "duplicate server id {}; the engine keys its completion \
+                     bitmap on unique ids",
+                    s.id
+                )));
+            }
+        }
+        drop(ids_seen);
+        let owned_total = shard.owned_count(population);
+        let telemetry = Telemetry::new(owned_total);
         let started = Instant::now();
 
-        // Replay the checkpoint: completed servers are skipped, their
-        // records re-emitted so sinks see the full stream.
-        let mut records: Vec<CensusRecord> = Vec::with_capacity(servers.len());
-        let mut completed_ids: BTreeSet<u32> = BTreeSet::new();
-        if let Some(ck) = resume {
-            ck.ensure_matches(seed, servers.len() as u64)
-                .map_err(EngineError::CheckpointMismatch)?;
-            completed_ids = ck.completed_ids();
-            // Replay in canonical order; for duplicated ids the last
-            // checkpointed record wins.
-            let resumed: BTreeMap<u32, CensusRecord> =
-                ck.records.into_iter().map(|r| (r.server_id, r)).collect();
-            for record in resumed.values() {
-                telemetry.observe(record, true);
-                for sink in sinks.iter_mut() {
-                    sink.emit(record)?;
-                }
+        // The live snapshot IS the engine state: constant-size aggregates
+        // plus the completed-id bitmap. No record is retained here.
+        let mut live = match resume {
+            Some(ck) => {
+                ck.ensure_matches(seed, population, shard)
+                    .map_err(EngineError::CheckpointMismatch)?;
+                telemetry.observe_resumed(&ck.aggregates);
+                ck
             }
-            records.extend(resumed.into_values());
-        }
+            None => Checkpoint::new(seed, population, shard),
+        };
+        let mut done = live.completed_count();
 
-        // Work list: indices of servers without a record yet.
-        let pending: Vec<usize> = servers
+        // Work list: indices of owned servers without a record yet (u32,
+        // like the ids — this is the largest engine-owned allocation).
+        let pending: Vec<u32> = servers
             .iter()
             .enumerate()
-            .filter(|(_, s)| !completed_ids.contains(&s.id))
-            .map(|(i, _)| i)
+            .filter(|(_, s)| shard.owns(s.id) && !live.completed.contains(s.id))
+            .map(|(i, _)| i as u32)
             .collect();
 
         let scheduler = BatchScheduler::new(pending.len(), self.config.batch_size);
         let stop = AtomicBool::new(false);
         let workers = self.config.workers.max(1).min(pending.len().max(1));
-        let (tx, rx) = mpsc::channel::<CensusRecord>();
+        // Both queues are bounded: when the coordinator stalls (e.g.
+        // blocked on a full sink queue), workers block in send instead of
+        // growing an O(records) backlog.
+        let queue = self.config.sink_queue.max(1);
+        let (tx, rx) = mpsc::sync_channel::<CensusRecord>(queue);
+        let (sink_tx, sink_rx) = mpsc::sync_channel::<SinkMsg>(queue);
 
         let mut run_error: Option<EngineError> = None;
         let mut since_checkpoint: u64 = 0;
+        let mut last_written: Option<u64> = None;
+        let mut checkpoints_written: u64 = 0;
         let mut budget_hit = false;
 
-        std::thread::scope(|scope| {
+        let sink_result = std::thread::scope(|scope| {
+            // Dedicated sink thread: drains the bounded queue so slow
+            // sinks never stall the coordinator below.
+            let sink_thread = scope.spawn(move || -> io::Result<()> {
+                for msg in &sink_rx {
+                    match msg {
+                        SinkMsg::Record(record) => {
+                            for sink in sinks.iter_mut() {
+                                sink.emit(&record)?;
+                            }
+                        }
+                        SinkMsg::Flush(ack) => {
+                            for sink in sinks.iter_mut() {
+                                sink.flush()?;
+                            }
+                            // The coordinator may have given up waiting.
+                            let _ = ack.send(());
+                        }
+                    }
+                }
+                for sink in sinks.iter_mut() {
+                    sink.flush()?;
+                }
+                Ok(())
+            });
+
             for _ in 0..workers {
                 let tx = tx.clone();
                 let pending = &pending;
@@ -194,7 +296,7 @@ impl CensusEngine {
                             if stop.load(Ordering::Relaxed) {
                                 break 'claim;
                             }
-                            let server = &servers[pending[i]];
+                            let server = &servers[pending[i] as usize];
                             let record = census.probe_seeded(server, seed);
                             if tx.send(record).is_err() {
                                 break 'claim;
@@ -205,34 +307,48 @@ impl CensusEngine {
             }
             drop(tx);
 
+            // Coordinator: fold aggregates, mark the bitmap, forward to
+            // the sink thread, checkpoint, and enforce the budget.
             for record in &rx {
-                telemetry.observe(&record, false);
-                for sink in sinks.iter_mut() {
-                    if let Err(e) = sink.emit(&record) {
-                        run_error = Some(e.into());
-                        stop.store(true, Ordering::Relaxed);
-                        break;
-                    }
-                }
                 if run_error.is_some() {
-                    // Drain remaining in-flight records without emitting.
+                    // Drain remaining in-flight records without folding.
                     continue;
                 }
-                records.push(record);
+                telemetry.observe(&record, false);
+                live.observe(&record);
+                done += 1;
                 since_checkpoint += 1;
 
-                let done = records.len() as u64;
+                let mut sink_dead = sink_tx.send(SinkMsg::Record(record)).is_err();
+                if sink_dead {
+                    // The sink thread bailed; its error surfaces at join.
+                    stop.store(true, Ordering::Relaxed);
+                }
                 if self.config.progress_every > 0 && done.is_multiple_of(self.config.progress_every)
                 {
                     eprintln!("census: {}", telemetry.snapshot());
                 }
-                if self.config.checkpoint_path.is_some()
+                if !sink_dead
+                    && self.config.checkpoint_path.is_some()
                     && since_checkpoint >= self.config.checkpoint_every
                 {
                     since_checkpoint = 0;
-                    if let Err(e) = self.save_checkpoint(servers, &records) {
-                        run_error = Some(e);
+                    // Write barrier: every record in this checkpoint must
+                    // already be flushed through the sinks.
+                    sink_dead = !sync_sinks(&sink_tx);
+                    if sink_dead {
                         stop.store(true, Ordering::Relaxed);
+                    } else {
+                        match self.save_checkpoint(&live) {
+                            Ok(()) => {
+                                last_written = Some(done);
+                                checkpoints_written += 1;
+                            }
+                            Err(e) => {
+                                run_error = Some(e);
+                                stop.store(true, Ordering::Relaxed);
+                            }
+                        }
                     }
                 }
                 if !budget_hit && self.config.budget.exhausted(telemetry.probed(), started) {
@@ -240,23 +356,26 @@ impl CensusEngine {
                     stop.store(true, Ordering::Relaxed);
                 }
             }
+
+            drop(sink_tx);
+            sink_thread.join().expect("sink thread panicked")
         });
 
         if let Some(e) = run_error {
             return Err(e);
         }
-        for sink in sinks.iter_mut() {
-            sink.flush()?;
-        }
-        if self.config.checkpoint_path.is_some() {
-            self.save_checkpoint(servers, &records)?;
+        sink_result?;
+        // Final checkpoint — skipped when it would be byte-identical to
+        // the last one written (no new records completed since).
+        if self.config.checkpoint_path.is_some() && last_written != Some(done) {
+            self.save_checkpoint(&live)?;
+            checkpoints_written += 1;
         }
 
-        records.sort_by_key(|r| r.server_id);
-        let completed = records.len() == servers.len();
+        let completed = done == owned_total;
         let stats = telemetry.snapshot();
         Ok(EngineOutcome {
-            report: assemble(records),
+            report: live.aggregates.report(),
             stats,
             completed,
             stop: if completed {
@@ -264,21 +383,28 @@ impl CensusEngine {
             } else {
                 StopCause::BudgetExhausted
             },
+            checkpoints_written,
         })
     }
 
-    fn save_checkpoint(
-        &self,
-        servers: &[WebServer],
-        records: &[CensusRecord],
-    ) -> Result<(), EngineError> {
+    fn save_checkpoint(&self, live: &Checkpoint) -> Result<(), EngineError> {
         let path = self
             .config
             .checkpoint_path
             .as_ref()
             .expect("save_checkpoint called without a checkpoint path");
-        let ck = Checkpoint::new(self.config.seed, servers.len() as u64, records.to_vec());
-        ck.save(path)?;
+        live.save(path)?;
         Ok(())
     }
+}
+
+/// Asks the sink thread to flush everything and waits for the ack.
+/// Returns `false` if the sink thread has died (its error surfaces when
+/// the coordinator joins it).
+fn sync_sinks(sink_tx: &mpsc::SyncSender<SinkMsg>) -> bool {
+    let (ack_tx, ack_rx) = mpsc::channel();
+    if sink_tx.send(SinkMsg::Flush(ack_tx)).is_err() {
+        return false;
+    }
+    ack_rx.recv().is_ok()
 }

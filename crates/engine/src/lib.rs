@@ -5,7 +5,7 @@
 //! the paper's §VII-B campaign (and of follow-up censuses such as "The
 //! Great Internet TCP Congestion Control Census").
 //!
-//! The engine adds four capabilities over [`caai_core::census::Census::run`]:
+//! The engine adds six capabilities over [`caai_core::census::Census::run`]:
 //!
 //! 1. **Work-stealing scheduling** ([`scheduler`]): workers pull batches
 //!    of servers from an atomic cursor instead of being handed fixed
@@ -13,12 +13,23 @@
 //! 2. **Deterministic per-server randomness**: every probe's RNG is keyed
 //!    on `(seed, server_id)` — any worker count and any interleaving
 //!    produce the identical census report, byte for byte.
-//! 3. **Streaming results and checkpoint/resume** ([`sink`],
-//!    [`checkpoint`]): records are emitted to [`sink::ResultSink`]s as
-//!    they complete (e.g. a JSONL file), and periodic snapshots of the
-//!    completed records let an interrupted census restart and finish
-//!    identical to an uninterrupted run.
-//! 4. **Budgets and telemetry** ([`budget`], [`telemetry`]): wall-clock
+//! 3. **Constant memory**: the engine retains only a
+//!    [`caai_core::census::CensusAggregates`] fold plus a completed-id
+//!    bitmap ([`bitmap`]) — O(aggregates + bitmap), never O(records).
+//!    Records stream to [`sink::ResultSink`]s (a JSONL file, or the
+//!    opt-in record-retaining [`sink::AggregatingSink`]) on a dedicated
+//!    sink thread behind a bounded queue, so a slow sink cannot stall
+//!    the coordinator.
+//! 4. **Checkpoint/resume** ([`checkpoint`]): periodic constant-size v2
+//!    snapshots (aggregates + bitmap, atomically renamed, never written
+//!    ahead of the flushed sinks) let a census killed mid-flight — even
+//!    with SIGKILL — restart and finish identical to an uninterrupted
+//!    run. v1 (full-record) checkpoints upgrade transparently on load.
+//! 5. **Shard fan-out and merge** ([`shard`], [`merge`]): `--shard k/N`
+//!    style specs split a census across machines by `id % N == k`, and
+//!    [`merge::merge_pieces`] joins the per-shard checkpoints/JSONL back
+//!    into the byte-identical unsharded report.
+//! 6. **Budgets and telemetry** ([`budget`], [`telemetry`]): wall-clock
 //!    deadlines, max-probe budgets, and live progress/throughput stats.
 //!
 //! ## Example
@@ -45,21 +56,31 @@
 //! let outcome = engine.run(&servers, &mut [&mut agg], None).unwrap();
 //! assert!(outcome.completed);
 //! assert_eq!(outcome.report.total, 24);
+//! // The engine itself is constant-memory: its report carries aggregates
+//! // only. Per-record drill-down lives in the opt-in aggregating sink.
+//! assert!(outcome.report.records.is_empty());
+//! assert_eq!(agg.records().len(), 24);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitmap;
 pub mod budget;
 pub mod checkpoint;
 pub mod engine;
+pub mod merge;
 pub mod scheduler;
+pub mod shard;
 pub mod sink;
 pub mod telemetry;
 
+pub use bitmap::IdBitmap;
 pub use budget::Budget;
 pub use checkpoint::Checkpoint;
 pub use engine::{CensusEngine, EngineConfig, EngineError, EngineOutcome, StopCause};
+pub use merge::{merge_pieces, MergeError, MergedCensus, ShardPiece};
 pub use scheduler::BatchScheduler;
-pub use sink::{AggregatingSink, JsonlSink, ResultSink};
+pub use shard::ShardSpec;
+pub use sink::{AggregatingSink, JsonlMeta, JsonlSink, ResultSink};
 pub use telemetry::{ProgressStats, Telemetry};

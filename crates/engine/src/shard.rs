@@ -1,0 +1,165 @@
+//! Multi-host shard specifications.
+//!
+//! A census fans out across machines by giving each run a shard spec
+//! `k/N`: the run probes exactly the servers with `id % N == k`. Because
+//! every probe's RNG is keyed on `(seed, server_id)` — never on which
+//! run performs it — the N shards together measure exactly what one
+//! unsharded run would have, and their checkpoints/JSONL merge back into
+//! the byte-identical report (see [`crate::merge`]).
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+use std::str::FromStr;
+
+/// Which slice of the population one census run owns: servers with
+/// `id % count == index`.
+///
+/// ```
+/// use caai_engine::ShardSpec;
+///
+/// let shard: ShardSpec = "1/4".parse().unwrap();
+/// assert!(shard.owns(5) && !shard.owns(4));
+/// assert_eq!(shard.to_string(), "1/4");
+/// assert_eq!(shard.owned_count(10), 3); // ids 1, 5, 9
+/// assert_eq!(ShardSpec::full().owned_count(10), 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// This run's shard index, in `0..count`.
+    pub index: u32,
+    /// Total number of shards the census is split into.
+    pub count: u32,
+}
+
+impl ShardSpec {
+    /// The trivial spec covering the whole population (`0/1`).
+    pub fn full() -> Self {
+        ShardSpec { index: 0, count: 1 }
+    }
+
+    /// Whether this is the trivial whole-population spec.
+    pub fn is_full(&self) -> bool {
+        self.count == 1
+    }
+
+    /// Whether this shard owns server `id`.
+    pub fn owns(&self, id: u32) -> bool {
+        id % self.count == self.index
+    }
+
+    /// How many of the ids `0..population` this shard owns.
+    pub fn owned_count(&self, population: u64) -> u64 {
+        let (index, count) = (u64::from(self.index), u64::from(self.count));
+        if index >= population {
+            0
+        } else {
+            (population - index - 1) / count + 1
+        }
+    }
+
+    /// Validates the spec: `count >= 1` and `index < count`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.count == 0 {
+            return Err("shard count must be at least 1".to_owned());
+        }
+        if self.index >= self.count {
+            return Err(format!(
+                "shard index {} out of range for {} shards",
+                self.index, self.count
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for ShardSpec {
+    fn default() -> Self {
+        ShardSpec::full()
+    }
+}
+
+impl fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+impl FromStr for ShardSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        let (index, count) = s
+            .split_once('/')
+            .ok_or_else(|| format!("shard spec `{s}`: expected k/N, e.g. 0/4"))?;
+        let index: u32 = index
+            .trim()
+            .parse()
+            .map_err(|e| format!("shard index `{index}`: {e}"))?;
+        let count: u32 = count
+            .trim()
+            .parse()
+            .map_err(|e| format!("shard count `{count}`: {e}"))?;
+        let spec = ShardSpec { index, count };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+// Serialized as the human-readable "k/N" string, so checkpoints and JSONL
+// meta lines show the same spec the operator typed on the command line.
+impl Serialize for ShardSpec {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for ShardSpec {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| serde::Error::msg("shard spec must be a \"k/N\" string"))?;
+        s.parse().map_err(serde::Error::msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_round_trips() {
+        let spec: ShardSpec = "2/5".parse().unwrap();
+        assert_eq!(spec, ShardSpec { index: 2, count: 5 });
+        assert_eq!(spec.to_string(), "2/5");
+        let back: ShardSpec = serde_json::from_str(&serde_json::to_string(&spec).unwrap()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!("3".parse::<ShardSpec>().is_err());
+        assert!("a/4".parse::<ShardSpec>().is_err());
+        assert!("4/4".parse::<ShardSpec>().is_err(), "index out of range");
+        assert!("0/0".parse::<ShardSpec>().is_err(), "zero shards");
+    }
+
+    #[test]
+    fn shards_partition_the_population() {
+        let n = 4u32;
+        let population = 103u64;
+        let shards: Vec<ShardSpec> = (0..n).map(|k| ShardSpec { index: k, count: n }).collect();
+        let mut owners = vec![0u32; population as usize];
+        for shard in &shards {
+            for id in 0..population as u32 {
+                if shard.owns(id) {
+                    owners[id as usize] += 1;
+                }
+            }
+        }
+        assert!(owners.iter().all(|&n| n == 1), "each id has one owner");
+        let total: u64 = shards.iter().map(|s| s.owned_count(population)).sum();
+        assert_eq!(total, population);
+        assert_eq!(ShardSpec::full().owned_count(population), population);
+        assert_eq!(ShardSpec { index: 3, count: 4 }.owned_count(3), 0);
+    }
+}

@@ -6,12 +6,32 @@
 //! scale "how fast, how valid, how far along" must be observable while
 //! the census runs, not after.
 
-use caai_core::census::{CensusRecord, Verdict};
+use caai_core::census::{CensusAggregates, CensusRecord, Verdict};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Atomic counters shared between the engine and its observers.
+///
+/// ```
+/// use caai_engine::Telemetry;
+/// use caai_core::census::{CensusRecord, Verdict};
+/// use caai_core::classes::ClassLabel;
+/// use caai_congestion::AlgorithmId;
+///
+/// let telemetry = Telemetry::new(100);
+/// telemetry.observe(
+///     &CensusRecord {
+///         server_id: 0,
+///         truth: AlgorithmId::Bic,
+///         verdict: Verdict::Identified(ClassLabel::Bic, 512),
+///     },
+///     false,
+/// );
+/// let stats = telemetry.snapshot();
+/// assert_eq!((stats.done, stats.identified), (1, 1));
+/// assert_eq!(stats.valid_rate(), 1.0);
+/// ```
 #[derive(Debug)]
 pub struct Telemetry {
     started: Instant,
@@ -54,6 +74,28 @@ impl Telemetry {
             Verdict::Identified(..) => &self.identified,
         };
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a resume checkpoint's aggregates in one shot. Since
+    /// checkpoint v2 retains aggregates rather than records, this is how
+    /// resumed work enters the counters: it adds to `resumed` (not to
+    /// this run's probe throughput) and to the per-verdict counts.
+    pub fn observe_resumed(&self, agg: &CensusAggregates) {
+        let invalid: usize = agg.invalid.values().sum();
+        let mut special = 0usize;
+        let mut unsure = 0usize;
+        let mut identified = 0usize;
+        for col in agg.columns.values() {
+            special += col.special.values().sum::<usize>();
+            unsure += col.unsure;
+            identified += col.identified.values().sum::<usize>();
+        }
+        self.resumed.fetch_add(agg.total as u64, Ordering::Relaxed);
+        self.invalid.fetch_add(invalid as u64, Ordering::Relaxed);
+        self.special.fetch_add(special as u64, Ordering::Relaxed);
+        self.unsure.fetch_add(unsure as u64, Ordering::Relaxed);
+        self.identified
+            .fetch_add(identified as u64, Ordering::Relaxed);
     }
 
     /// Number of probes performed by this run (excluding resumed records).
@@ -178,5 +220,24 @@ mod tests {
         assert!((s.valid_rate() - 0.75).abs() < 1e-12);
         let line = s.to_string();
         assert!(line.contains("4/10"), "{line}");
+    }
+
+    #[test]
+    fn resumed_aggregates_seed_the_counters() {
+        let mut agg = CensusAggregates::default();
+        agg.observe(&record(Verdict::Invalid(InvalidReason::PageTooShort)));
+        agg.observe(&record(Verdict::Identified(ClassLabel::Bic, 512)));
+        agg.observe(&record(Verdict::Unsure(128)));
+
+        let t = Telemetry::new(10);
+        t.observe_resumed(&agg);
+        t.observe(&record(Verdict::Identified(ClassLabel::Bic, 512)), false);
+        let s = t.snapshot();
+        assert_eq!(s.done, 4);
+        assert_eq!(s.resumed, 3);
+        assert_eq!(s.probed, 1);
+        assert_eq!(s.invalid, 1);
+        assert_eq!(s.unsure, 1);
+        assert_eq!(s.identified, 2);
     }
 }

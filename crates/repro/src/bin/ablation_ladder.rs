@@ -2,8 +2,8 @@
 //! single fixed rung.
 //!
 //! §IV-B: "CAAI tries four values in the decreasing order of 512, 256,
-//! 128, and finally 64 packets. This is because traces with [w_max]
-//! greater than 512 are hard to obtain, and traces with [w_max] less than
+//! 128, and finally 64 packets. This is because traces with `w_max`
+//! greater than 512 are hard to obtain, and traces with `w_max` less than
 //! 64 are almost useless"; RENO/CTCP are only separable at the big rungs
 //! (otherwise they merge into RC-small). This study runs the census with
 //! the full ladder and with each fixed rung, comparing (a) how many

@@ -5,7 +5,9 @@
 //!
 //! The engine keys every server's probe RNG on `(seed, server id)`, so
 //! the report printed here is identical for any worker count — rerun
-//! with a different `workers` value to check.
+//! with a different `workers` value to check. The engine itself retains
+//! only constant-size aggregates; the per-record drill-down at the end
+//! comes from the opt-in [`AggregatingSink`] attached to the run.
 //!
 //! ```sh
 //! cargo run --release --example census
@@ -91,16 +93,17 @@ fn main() {
          heterogeneous congestion control."
     );
 
-    // Which rungs did probes settle at?
+    // Which rungs did probes settle at? The engine's report is
+    // record-free, so this drill-down reads the aggregating sink.
     let mut by_rung = std::collections::BTreeMap::new();
-    for r in &report.records {
+    for r in agg.records() {
         if let Some(w) = r.verdict.wmax() {
             *by_rung.entry(w).or_insert(0usize) += 1;
         }
     }
     println!("\nw_max rungs used: {by_rung:?}");
-    let identified = report
-        .records
+    let identified = agg
+        .records()
         .iter()
         .filter(|r| matches!(r.verdict, Verdict::Identified(..)))
         .count();

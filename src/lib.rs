@@ -18,8 +18,9 @@
 //! * [`ml`] — random forest and baseline classifiers;
 //! * [`core`] — the CAAI pipeline itself (prober → features → classifier)
 //!   and the census driver;
-//! * [`engine`] — the Internet-scale census engine: streaming probe
-//!   scheduler with checkpoint/resume, budgets, and telemetry.
+//! * [`engine`] — the Internet-scale census engine: constant-memory
+//!   streaming probe scheduler with checkpoint/resume, shard fan-out and
+//!   merge, budgets, and telemetry.
 //!
 //! ## Quickstart
 //!

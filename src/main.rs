@@ -7,23 +7,30 @@
 //! caai train     --conditions 20 --out model.json
 //! caai identify  --algo HTCP [--model model.json]
 //! caai census    --servers 2000 [--model model.json] [--json]
-//!                [--out report.jsonl] [--checkpoint ck.json] [--resume ck.json]
+//!                [--shard 0/4] [--out report.jsonl]
+//!                [--checkpoint ck.json] [--resume ck.json]
 //!                [--budget N] [--deadline SECS]
+//! caai census-merge --in s0.ck.json --in s1.ck.json ... [--json]
 //! ```
 //!
 //! Every command takes `--seed N` (default 1) and is fully deterministic:
 //! a census report depends only on `(--servers, --seed)` — never on
-//! `--workers`, batching, or how often the run was interrupted and
-//! resumed from a checkpoint.
+//! `--workers`, batching, sharding, or how often the run was interrupted
+//! and resumed from a checkpoint. In particular, N `--shard k/N` runs
+//! merged with `census-merge` print the byte-identical report of one
+//! unsharded run.
 
 use caai::congestion::AlgorithmId;
-use caai::core::census::Census;
+use caai::core::census::{Census, CensusReport};
 use caai::core::classify::{CaaiClassifier, Identification};
 use caai::core::features::{extract_pair, FeatureVector};
 use caai::core::prober::{Prober, ProberConfig};
 use caai::core::server_under_test::ServerUnderTest;
 use caai::core::training::{build_training_set, TrainingConfig};
-use caai::engine::{Budget, CensusEngine, Checkpoint, EngineConfig, JsonlSink, ResultSink};
+use caai::engine::{
+    merge_pieces, Budget, CensusEngine, Checkpoint, EngineConfig, JsonlMeta, JsonlSink, ResultSink,
+    ShardPiece, ShardSpec,
+};
 use caai::netem::rng::seeded;
 use caai::netem::{ConditionDb, EnvironmentId, PathConfig};
 use caai::webmodel::PopulationConfig;
@@ -38,7 +45,7 @@ struct Args {
 }
 
 /// Flags that take no value; `--json` parses as `json=true`.
-const BOOLEAN_FLAGS: [&str; 1] = ["json"];
+const BOOLEAN_FLAGS: [&str; 2] = ["json", "allow-partial"];
 
 impl Args {
     fn parse(raw: &[String]) -> Result<Args, String> {
@@ -69,6 +76,15 @@ impl Args {
             .rev()
             .find(|(k, _)| k == key)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Every value given for a repeatable flag, in order (`--in a --in b`).
+    fn get_all(&self, key: &str) -> Vec<&str> {
+        self.flags
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .collect()
     }
 
     fn parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String>
@@ -119,6 +135,7 @@ COMMANDS:
     census        probe a synthetic population, print the Table IV report
                   [--servers 1000] [--model model.json | --conditions 6]
                   [--workers 4] [--json] [--seed 1]
+                  [--shard k/N]          probe only servers with id % N == k
                   [--out report.jsonl]   stream records to a JSONL file
                   [--checkpoint ck.json] snapshot completed work periodically
                   [--checkpoint-every N] records between snapshots (256)
@@ -126,12 +143,19 @@ COMMANDS:
                   [--budget N]           stop cleanly after N probes
                   [--deadline SECS]      stop cleanly after SECS wall-clock
                   [--batch N]            servers per scheduler batch (16)
+                  [--sink-queue N]       bounded sink-thread queue depth (1024)
                   [--progress N]         progress line every N records
+    census-merge  join per-shard checkpoints/JSONL into one report
+                  --in FILE [--in FILE ...] each a --checkpoint or --out
+                                            file from a census shard
+                  [--json]               print the merged report as JSON
+                  [--allow-partial]      tolerate missing/incomplete shards
 
     The census is driven by the caai-engine probe scheduler: per-server
     RNG keyed on (seed, server id) makes the report identical for every
-    worker count, and a run killed mid-flight resumes from its checkpoint
-    to the byte-identical report.
+    worker count, a run killed mid-flight resumes from its checkpoint to
+    the byte-identical report, and N sharded runs merge into the
+    byte-identical report of one unsharded run.
 ";
 
 fn main() -> ExitCode {
@@ -154,6 +178,7 @@ fn main() -> ExitCode {
         "train" => cmd_train(&args),
         "identify" => cmd_identify(&args),
         "census" => cmd_census(&args),
+        "census-merge" => cmd_census_merge(&args),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -311,6 +336,10 @@ fn cmd_census(args: &Args) -> Result<(), String> {
     let servers: u32 = args.parsed("servers", 1000)?;
     let seed: u64 = args.parsed("seed", 1)?;
     let workers: usize = args.parsed("workers", 4)?;
+    let shard: ShardSpec = match args.get("shard") {
+        None => ShardSpec::full(),
+        Some(v) => v.parse().map_err(|e| format!("--shard {v}: {e}"))?,
+    };
     let classifier = load_or_train(args)?;
     let db = ConditionDb::paper_2011();
     let census = Census::new(classifier, db, ProberConfig::default());
@@ -321,8 +350,10 @@ fn cmd_census(args: &Args) -> Result<(), String> {
         seed,
         workers,
         batch_size: args.parsed("batch", 16)?,
+        shard,
         checkpoint_path: args.get("checkpoint").map(PathBuf::from),
         checkpoint_every: args.parsed("checkpoint-every", 256)?,
+        sink_queue: args.parsed("sink-queue", 1024)?,
         budget: Budget {
             max_probes: match args.get("budget") {
                 None => None,
@@ -344,7 +375,7 @@ fn cmd_census(args: &Args) -> Result<(), String> {
             let ck = Checkpoint::load(path).map_err(|e| format!("resume {path}: {e}"))?;
             // Validate before any sink is opened: a mismatched resume must
             // not truncate an existing --out report.
-            ck.ensure_matches(seed, u64::from(servers))
+            ck.ensure_matches(seed, u64::from(servers), shard)
                 .map_err(|e| format!("resume {path}: {e}"))?;
             Some(ck)
         }
@@ -352,10 +383,26 @@ fn cmd_census(args: &Args) -> Result<(), String> {
 
     let mut jsonl = match args.get("out") {
         None => None,
-        Some(out) => Some(JsonlSink::create(out).map_err(|e| format!("create {out}: {e}"))?),
+        Some(out) => {
+            // A v2 resume cannot replay already-completed records, so on
+            // resume the existing file is kept and extended.
+            let mut sink = if resume.is_some() {
+                JsonlSink::append(out).map_err(|e| format!("append {out}: {e}"))?
+            } else {
+                JsonlSink::create(out).map_err(|e| format!("create {out}: {e}"))?
+            };
+            sink.write_meta(&JsonlMeta {
+                seed,
+                population: u64::from(servers),
+                shard,
+            })
+            .map_err(|e| format!("write {out}: {e}"))?;
+            Some(sink)
+        }
     };
 
-    eprintln!("probing {servers} servers on {workers} workers ...");
+    let owned = shard.owned_count(u64::from(servers));
+    eprintln!("probing {owned} of {servers} servers (shard {shard}) on {workers} workers ...");
     let engine = CensusEngine::new(census, config);
     let outcome = match jsonl.as_mut() {
         Some(sink) => engine.run(&population, &mut [sink as &mut dyn ResultSink], resume),
@@ -373,10 +420,71 @@ fn cmd_census(args: &Args) -> Result<(), String> {
             }
         );
     }
-    let report = outcome.report;
+    if !shard.is_full() {
+        eprintln!(
+            "shard {shard} report below covers {owned} servers; join all {} shards \
+             with `caai census-merge`",
+            shard.count
+        );
+    }
+    print_report(&outcome.report, args.get("json").is_some())
+}
 
-    if args.get("json").is_some() {
-        let json = serde_json::to_string_pretty(&report).map_err(|e| format!("{e}"))?;
+fn cmd_census_merge(args: &Args) -> Result<(), String> {
+    let inputs = args.get_all("in");
+    if inputs.is_empty() {
+        return Err("census-merge needs at least one --in FILE".to_owned());
+    }
+    let mut pieces = Vec::new();
+    for path in inputs {
+        // Accept either artifact of a shard run: a checkpoint file or a
+        // JSONL record stream. Sniffed by content (first line), not
+        // extension, so a multi-GB JSONL is never parsed as one JSON doc.
+        let is_jsonl =
+            caai::engine::sink::sniff_jsonl(path).map_err(|e| format!("read {path}: {e}"))?;
+        let piece = if is_jsonl {
+            let file = caai::engine::sink::read_jsonl_tagged(path)
+                .map_err(|e| format!("read {path}: {e}"))?;
+            for (lineno, err) in &file.corrupt {
+                eprintln!(
+                    "{path}:{lineno}: skipping corrupt line (interrupted \
+                     write?): {err}"
+                );
+            }
+            ShardPiece::from_jsonl(&file).map_err(|e| format!("{path}: {e}"))?
+        } else {
+            ShardPiece::from(Checkpoint::load(path).map_err(|e| {
+                format!(
+                    "{path}: not census JSONL, and not a \
+                     checkpoint: {e}"
+                )
+            })?)
+        };
+        let (done, owned) = piece.progress();
+        eprintln!(
+            "{path}: shard {} of seed {}, {done}/{owned} servers",
+            piece.shard, piece.seed
+        );
+        pieces.push(piece);
+    }
+    let merged =
+        merge_pieces(pieces, args.get("allow-partial").is_some()).map_err(|e| e.to_string())?;
+    eprintln!(
+        "merged {} shards: {} of {} servers (seed {})",
+        merged.shards, merged.report.total, merged.population, merged.seed
+    );
+    if !merged.complete {
+        eprintln!("WARNING: partial merge — the report does not cover the population");
+    }
+    print_report(&merged.report, args.get("json").is_some())
+}
+
+/// Prints a census report to stdout — the single formatter shared by
+/// `census` and `census-merge`, so a merged report is byte-identical to
+/// the unsharded run's.
+fn print_report(report: &CensusReport, json: bool) -> Result<(), String> {
+    if json {
+        let json = serde_json::to_string_pretty(report).map_err(|e| format!("{e}"))?;
         println!("{json}");
         return Ok(());
     }

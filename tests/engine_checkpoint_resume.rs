@@ -6,13 +6,17 @@
 //! census mid-run with a probe budget, resume it from the checkpoint, and
 //! require the final report to equal an uninterrupted run's, byte for
 //! byte; plus a JSONL round-trip back to the identical report.
+//!
+//! Since checkpoint v2 the engine retains no records: its reports carry
+//! aggregates only, resume seeds those aggregates instead of replaying
+//! records, and JSONL files are extended in append mode across resumes.
 
 use caai::core::census::{assemble, Census, CensusReport};
 use caai::core::classify::CaaiClassifier;
 use caai::core::prober::ProberConfig;
 use caai::core::training::{build_training_set, TrainingConfig};
 use caai::engine::{
-    AggregatingSink, Budget, CensusEngine, Checkpoint, EngineConfig, JsonlSink, ResultSink,
+    AggregatingSink, Budget, CensusEngine, Checkpoint, EngineConfig, JsonlSink, ShardSpec,
     StopCause,
 };
 use caai::netem::rng::seeded;
@@ -58,6 +62,10 @@ fn run_uninterrupted(workers: usize) -> CensusReport {
         .expect("no sinks, no I/O");
     assert!(outcome.completed);
     assert_eq!(outcome.stop, StopCause::Completed);
+    assert!(
+        outcome.report.records.is_empty(),
+        "the engine must not retain records"
+    );
     outcome.report
 }
 
@@ -87,7 +95,10 @@ fn report_is_identical_across_worker_counts_and_batch_sizes() {
 fn engine_report_matches_the_thin_core_wrapper() {
     let engine_report = run_uninterrupted(4);
     let core_report = census().run(&servers(), SEED, 4);
-    assert_eq!(engine_report, core_report);
+    // The thin wrapper retains records; the streaming engine by design
+    // does not. Every aggregate must agree exactly.
+    assert!(!core_report.records.is_empty());
+    assert_eq!(engine_report, core_report.aggregates_only());
 }
 
 #[test]
@@ -96,7 +107,7 @@ fn interrupted_census_resumes_to_the_identical_report() {
     let ck_path = tmp("resume.json");
 
     // First run: a probe budget far below the population size interrupts
-    // the census partway; every completed record is checkpointed.
+    // the census partway; completed work is checkpointed as aggregates.
     let interrupted = CensusEngine::new(
         census(),
         EngineConfig {
@@ -116,9 +127,9 @@ fn interrupted_census_resumes_to_the_identical_report() {
 
     // Second run: resume from the checkpoint, no budget.
     let ck = Checkpoint::load(&ck_path).expect("checkpoint must load");
-    assert!(!ck.records.is_empty(), "checkpoint holds completed records");
+    assert!(ck.completed_count() > 0, "checkpoint holds completed work");
     assert!(
-        (ck.records.len() as u64) >= 20,
+        ck.completed_count() >= 20,
         "budget overshoot is allowed, undershoot is not"
     );
     let resumed = CensusEngine::new(
@@ -137,7 +148,7 @@ fn interrupted_census_resumes_to_the_identical_report() {
     assert!(resumed.completed);
     assert!(
         resumed.stats.resumed > 0,
-        "resumed records must be replayed"
+        "resumed records must seed the telemetry"
     );
     assert!(
         resumed.stats.probed < 60,
@@ -151,8 +162,7 @@ fn interrupted_census_resumes_to_the_identical_report() {
 
 #[test]
 fn resume_is_refused_for_mismatched_parameters() {
-    let records = Vec::new();
-    let wrong_seed = Checkpoint::new(SEED + 1, 60, records.clone());
+    let wrong_seed = Checkpoint::new(SEED + 1, 60, ShardSpec::full());
     let engine = CensusEngine::new(
         census(),
         EngineConfig {
@@ -166,11 +176,17 @@ fn resume_is_refused_for_mismatched_parameters() {
         .unwrap_err();
     assert!(err.to_string().contains("seed"), "{err}");
 
-    let wrong_population = Checkpoint::new(SEED, 61, records);
+    let wrong_population = Checkpoint::new(SEED, 61, ShardSpec::full());
     let err = engine
         .run(&servers(), &mut [], Some(wrong_population))
         .unwrap_err();
     assert!(err.to_string().contains("population"), "{err}");
+
+    let wrong_shard = Checkpoint::new(SEED, 60, "1/2".parse().unwrap());
+    let err = engine
+        .run(&servers(), &mut [], Some(wrong_shard))
+        .unwrap_err();
+    assert!(err.to_string().contains("shard"), "{err}");
 }
 
 #[test]
@@ -197,16 +213,18 @@ fn jsonl_stream_round_trips_to_the_identical_report() {
     let records = caai::engine::sink::read_jsonl(&out_path).expect("read jsonl back");
     std::fs::remove_file(&out_path).ok();
     assert_eq!(records.len(), 60);
-    assert_eq!(assemble(records), baseline);
+    assert_eq!(assemble(records).aggregates_only(), baseline);
 
-    // And so does the aggregating sink that rode along.
-    assert_eq!(agg.into_report(), baseline);
+    // And so does the aggregating sink that rode along — the opt-in
+    // record-retention path.
+    assert_eq!(agg.records().len(), 60);
+    assert_eq!(agg.into_report().aggregates_only(), baseline);
 }
 
 #[test]
-fn resume_replays_checkpointed_records_into_sinks() {
-    let ck_path = tmp("replay-ck.json");
-    let out_path = tmp("replay.jsonl");
+fn resumed_run_extends_the_jsonl_in_append_mode() {
+    let ck_path = tmp("append-ck.json");
+    let out_path = tmp("append.jsonl");
 
     // Interrupt with a streaming sink attached.
     let mut first_out = JsonlSink::create(&out_path).expect("create jsonl");
@@ -223,12 +241,22 @@ fn resume_replays_checkpointed_records_into_sinks() {
     )
     .run(&servers(), &mut [&mut first_out], None)
     .expect("interrupted run");
-    ResultSink::flush(&mut first_out).expect("flush");
+    drop(first_out);
 
-    // Resume with a *fresh* output file: the engine re-emits checkpointed
-    // records first, so the file ends up covering the full population.
+    // A v2 checkpoint has no records to replay, so the engine guarantees
+    // instead that the checkpoint never runs ahead of the flushed sinks:
+    // everything in it is already durably in the file.
     let ck = Checkpoint::load(&ck_path).expect("load checkpoint");
-    let mut second_out = JsonlSink::create(&out_path).expect("recreate jsonl");
+    let on_disk = caai::engine::sink::read_jsonl(&out_path).expect("read jsonl");
+    assert!(
+        (on_disk.len() as u64) >= ck.completed_count(),
+        "checkpoint ({}) must not claim records the sink has not written ({})",
+        ck.completed_count(),
+        on_disk.len()
+    );
+
+    // Resume appending to the *same* file: new records only.
+    let mut second_out = JsonlSink::append(&out_path).expect("append jsonl");
     let resumed = CensusEngine::new(
         census(),
         EngineConfig {
@@ -245,5 +273,56 @@ fn resume_replays_checkpointed_records_into_sinks() {
     std::fs::remove_file(&out_path).ok();
     std::fs::remove_file(&ck_path).ok();
     assert_eq!(records.len(), 60, "file must cover the whole population");
-    assert_eq!(assemble(records), run_uninterrupted(4));
+    assert_eq!(assemble(records).aggregates_only(), run_uninterrupted(4));
+}
+
+#[test]
+fn idempotent_final_checkpoint_is_skipped() {
+    // Population 60 with a cadence of 15 → periodic writes at 15, 30, 45,
+    // 60; the final write would duplicate the one at 60 and must be
+    // skipped. (The seed engine rewrote the full record set one extra
+    // time at the end of every run.)
+    let ck_path = tmp("skip-ck.json");
+    let outcome = CensusEngine::new(
+        census(),
+        EngineConfig {
+            seed: SEED,
+            workers: 4,
+            checkpoint_path: Some(ck_path.clone()),
+            checkpoint_every: 15,
+            ..EngineConfig::default()
+        },
+    )
+    .run(&servers(), &mut [], None)
+    .expect("checkpointed run");
+    assert!(outcome.completed);
+    assert_eq!(
+        outcome.checkpoints_written, 4,
+        "4 periodic writes, no redundant final write"
+    );
+    let ck = Checkpoint::load(&ck_path).expect("final checkpoint is current");
+    assert_eq!(ck.completed_count(), 60);
+    std::fs::remove_file(&ck_path).ok();
+
+    // An off-cadence population still gets its final write.
+    let ck_path = tmp("skip-ck-off.json");
+    let outcome = CensusEngine::new(
+        census(),
+        EngineConfig {
+            seed: SEED,
+            workers: 4,
+            checkpoint_path: Some(ck_path.clone()),
+            checkpoint_every: 25,
+            ..EngineConfig::default()
+        },
+    )
+    .run(&servers(), &mut [], None)
+    .expect("checkpointed run");
+    assert_eq!(
+        outcome.checkpoints_written, 3,
+        "writes at 25 and 50, plus the catch-up final write"
+    );
+    let ck = Checkpoint::load(&ck_path).expect("final checkpoint is current");
+    assert_eq!(ck.completed_count(), 60, "final write captured the tail");
+    std::fs::remove_file(&ck_path).ok();
 }
