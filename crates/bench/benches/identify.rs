@@ -1,0 +1,168 @@
+//! The identification-pipeline benchmark suite behind `BENCH_identify.json`.
+//!
+//! Covers the three stages a verdict costs: trace gathering (the emulated
+//! probe), feature extraction + random-forest classification, and pcap
+//! ingestion (bytes → flows → window traces → verdicts). Unlike the other
+//! benches this one has a hand-rolled `main`: after running the groups it
+//! writes the measurements to `BENCH_identify.json` at the repository
+//! root, so the perf trajectory of the identify path is recorded
+//! machine-readably run over run.
+
+use caai_capture::{identify_reassembly, reassemble, CaptureRenderer, DEFAULT_LADDER};
+use caai_congestion::AlgorithmId;
+use caai_core::classify::CaaiClassifier;
+use caai_core::features::extract_pair;
+use caai_core::prober::{Prober, ProberConfig};
+use caai_core::server_under_test::ServerUnderTest;
+use caai_core::training::{build_training_set, TrainingConfig};
+use caai_netem::rng::seeded;
+use caai_netem::{ConditionDb, PathConfig};
+use criterion::{Criterion, Throughput};
+use std::hint::black_box;
+
+fn quick_classifier() -> CaaiClassifier {
+    let db = ConditionDb::paper_2011();
+    let mut rng = seeded(3);
+    let data = build_training_set(&TrainingConfig::quick(1), &db, &mut rng);
+    CaaiClassifier::train(&data, &mut rng)
+}
+
+fn bench_trace_gathering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("identify_trace_gathering");
+    group.sample_size(10);
+    let prober = Prober::new(ProberConfig::default());
+    for algo in [AlgorithmId::Reno, AlgorithmId::CubicV2] {
+        let server = ServerUnderTest::ideal(algo);
+        group.bench_function(format!("{algo}"), |b| {
+            let mut rng = seeded(17);
+            b.iter(|| black_box(prober.gather(&server, &PathConfig::clean(), &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_feature_classify(c: &mut Criterion) {
+    let classifier = quick_classifier();
+    let prober = Prober::new(ProberConfig::default());
+    let server = ServerUnderTest::ideal(AlgorithmId::Htcp);
+    let pair = prober
+        .gather(&server, &PathConfig::clean(), &mut seeded(19))
+        .pair
+        .expect("ideal HTCP gathers");
+
+    let mut group = c.benchmark_group("identify_features_and_forest");
+    group.sample_size(20);
+    group.bench_function("extract_pair", |b| {
+        b.iter(|| black_box(extract_pair(black_box(&pair))));
+    });
+    let vector = extract_pair(&pair);
+    group.bench_function("forest_classify", |b| {
+        b.iter(|| black_box(classifier.classify(black_box(&vector))));
+    });
+    group.bench_function("extract_and_classify", |b| {
+        b.iter(|| black_box(classifier.classify(&extract_pair(black_box(&pair)))));
+    });
+    group.finish();
+}
+
+fn bench_pcap_ingestion(c: &mut Criterion) {
+    // A three-server capture (two identifiable, one short-page) — the
+    // same shape the CI smoke job exercises.
+    let classifier = quick_classifier();
+    let prober = Prober::new(ProberConfig::default());
+    let mut renderer = CaptureRenderer::new();
+    let mut rng = seeded(23);
+    for (host, algo) in [AlgorithmId::CubicV2, AlgorithmId::Reno, AlgorithmId::Bic]
+        .into_iter()
+        .enumerate()
+    {
+        let server = ServerUnderTest::ideal(algo);
+        renderer
+            .render_session(
+                [192, 0, 2, 1],
+                [198, 51, 100, host as u8 + 1],
+                &server,
+                &prober,
+                &PathConfig::clean(),
+                &mut rng,
+            )
+            .expect("in-memory render cannot fail");
+    }
+    let capture = renderer.to_bytes();
+
+    let mut group = c.benchmark_group("identify_pcap_ingestion");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(capture.len() as u64));
+    group.bench_function("reassemble", |b| {
+        b.iter(|| black_box(reassemble(black_box(&capture)).expect("valid capture")));
+    });
+    group.bench_function("reassemble_and_identify", |b| {
+        b.iter(|| {
+            let r = reassemble(black_box(&capture)).expect("valid capture");
+            black_box(identify_reassembly(&r, &classifier, &DEFAULT_LADDER))
+        });
+    });
+    group.finish();
+
+    let mut render = c.benchmark_group("identify_pcap_render");
+    render.sample_size(10);
+    render.throughput(Throughput::Bytes(capture.len() as u64));
+    render.bench_function("render_three_sessions", |b| {
+        b.iter(|| {
+            let mut renderer = CaptureRenderer::new();
+            let mut rng = seeded(23);
+            for (host, algo) in [AlgorithmId::CubicV2, AlgorithmId::Reno, AlgorithmId::Bic]
+                .into_iter()
+                .enumerate()
+            {
+                let server = ServerUnderTest::ideal(algo);
+                renderer
+                    .render_session(
+                        [192, 0, 2, 1],
+                        [198, 51, 100, host as u8 + 1],
+                        &server,
+                        &prober,
+                        &PathConfig::clean(),
+                        &mut rng,
+                    )
+                    .expect("in-memory render cannot fail");
+            }
+            black_box(renderer.to_bytes())
+        });
+    });
+    render.finish();
+}
+
+/// Serializes the collected measurements as the `BENCH_identify.json`
+/// document (hand-formatted: group/id strings are plain ASCII).
+fn results_json(c: &Criterion) -> String {
+    let mut out = String::from("{\n  \"schema\": \"caai-bench-identify-v1\",\n  \"benches\": [\n");
+    let results = c.results();
+    for (i, r) in results.iter().enumerate() {
+        let rate = r
+            .rate_per_sec()
+            .map_or("null".to_owned(), |x| format!("{x:.1}"));
+        out.push_str(&format!(
+            "    {{\"group\": \"{}\", \"id\": \"{}\", \"median_ns\": {}, \"rate_per_sec\": {}}}{}\n",
+            r.group,
+            r.id,
+            r.median_ns,
+            rate,
+            if i + 1 == results.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_trace_gathering(&mut criterion);
+    bench_feature_classify(&mut criterion);
+    bench_pcap_ingestion(&mut criterion);
+
+    // CARGO_MANIFEST_DIR is crates/bench; the repo root is two up.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_identify.json");
+    std::fs::write(path, results_json(&criterion)).expect("write BENCH_identify.json");
+    println!("wrote {path}");
+}

@@ -1,0 +1,797 @@
+//! TCP flow reassembly.
+//!
+//! Groups a capture's packets into connections keyed on the 4-tuple,
+//! determines which endpoint is the prober (client) and which the web
+//! server, extracts the negotiated MSS from the handshake, rebases raw
+//! sequence numbers onto the server's ISN, and reduces each connection to
+//! the event stream window reconstruction needs: server data arrivals and
+//! prober ACK departures, in capture order, plus who closed. Packets that
+//! fail to decode are skipped and reported, never fatal — the capture-
+//! level mirror of `read_jsonl_tagged`'s torn-line policy.
+
+use crate::packet::{self, flags, TcpSegmentView};
+use crate::pcap::{PcapError, PcapReader};
+use std::collections::HashMap;
+
+/// A TCP connection 4-tuple in capture orientation (first-seen direction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowKey {
+    /// Lower endpoint (IP, port) of the canonical ordering.
+    pub a: ([u8; 4], u16),
+    /// Higher endpoint of the canonical ordering.
+    pub b: ([u8; 4], u16),
+}
+
+impl FlowKey {
+    /// Direction-insensitive key for a decoded segment.
+    pub fn of(seg: &TcpSegmentView<'_>) -> FlowKey {
+        let x = (seg.src_ip, seg.src_port);
+        let y = (seg.dst_ip, seg.dst_port);
+        if x <= y {
+            FlowKey { a: x, b: y }
+        } else {
+            FlowKey { a: y, b: x }
+        }
+    }
+}
+
+/// Which endpoint of a flow did something.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// The probing client (connection initiator).
+    Client,
+    /// The web server (data sender).
+    Server,
+}
+
+/// One wire event relevant to window reconstruction, in capture order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FlowEvent {
+    /// A server data segment arrived at the prober.
+    Data {
+        /// Capture timestamp, seconds.
+        t: f64,
+        /// Payload start, bytes relative to the server's first data byte.
+        seq: u64,
+        /// Payload length in bytes.
+        len: u32,
+        /// True when bytes at or past this offset were seen before.
+        retransmit: bool,
+    },
+    /// The prober sent a (pure) ACK.
+    Ack {
+        /// Capture timestamp, seconds.
+        t: f64,
+        /// Acknowledged bytes relative to the server's first data byte.
+        ack: u64,
+        /// True when the ACK did not advance the cumulative point.
+        duplicate: bool,
+    },
+}
+
+impl FlowEvent {
+    /// The event's capture timestamp.
+    pub fn t(&self) -> f64 {
+        match self {
+            FlowEvent::Data { t, .. } | FlowEvent::Ack { t, .. } => *t,
+        }
+    }
+}
+
+/// One reassembled connection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Flow {
+    /// The prober endpoint (IP, port).
+    pub client: ([u8; 4], u16),
+    /// The web-server endpoint (IP, port).
+    pub server: ([u8; 4], u16),
+    /// Timestamp of the first packet of the flow.
+    pub start: f64,
+    /// MSS option announced in the prober's SYN, if seen.
+    pub client_mss: Option<u16>,
+    /// MSS option announced in the server's SYN/ACK, if seen.
+    pub server_mss: Option<u16>,
+    /// Largest data payload observed (the effective segment size).
+    pub max_payload: u32,
+    /// Data/ACK events in capture order, ending at the first FIN/RST.
+    pub events: Vec<FlowEvent>,
+    /// Who closed first (FIN or RST), if the capture saw the close.
+    pub closed_by: Option<Endpoint>,
+    /// Timestamp of the close, when seen.
+    pub closed_at: Option<f64>,
+}
+
+impl Flow {
+    /// The effective MSS: the largest observed data payload, falling back
+    /// to the handshake options (server grant bounded by the client's
+    /// proposal) when the flow carried no data.
+    pub fn effective_mss(&self) -> Option<u32> {
+        if self.max_payload > 0 {
+            return Some(self.max_payload);
+        }
+        match (self.client_mss, self.server_mss) {
+            (Some(c), Some(s)) => Some(u32::from(c.min(s))),
+            (Some(m), None) | (None, Some(m)) => Some(u32::from(m)),
+            (None, None) => None,
+        }
+    }
+}
+
+/// Per-flow reassembly state while packets stream in.
+#[derive(Debug)]
+struct FlowState {
+    flow: Flow,
+    /// Set once the initiator is known (SYN seen or data observed).
+    oriented: bool,
+    /// ISN of the server (sequence of its SYN/ACK), once seen.
+    server_isn: Option<u32>,
+    /// Relative byte just past the highest data seen so far.
+    high_water: u64,
+    /// Highest cumulative ACK (relative bytes) sent by the client.
+    last_ack: Option<u64>,
+    /// True once any data was seen (gates handshake-ACK suppression).
+    data_seen: bool,
+}
+
+/// Everything reassembled from one capture.
+#[derive(Debug)]
+pub struct Reassembly {
+    /// Flows in order of their first packet.
+    pub flows: Vec<Flow>,
+    /// Packets skipped with their record index and reason.
+    pub skipped: Vec<(usize, String)>,
+    /// A fatal framing error that ended reading early, if any.
+    pub truncated: Option<PcapError>,
+    /// Total packets decoded into flows.
+    pub packets: usize,
+}
+
+/// Reassembles a raw capture buffer into flows.
+///
+/// Per-packet problems (non-IP ethertypes, corrupt headers, mid-stream
+/// garbage) are skipped and reported in [`Reassembly::skipped`]; only a
+/// broken pcap *framing* stops early, recorded in
+/// [`Reassembly::truncated`]. The function never panics on any input.
+pub fn reassemble(buf: &[u8]) -> Result<Reassembly, PcapError> {
+    let mut reader = PcapReader::new(buf)?;
+    if reader.linktype() != crate::pcap::LINKTYPE_ETHERNET {
+        // Feeding e.g. LINKTYPE_LINUX_SLL (113) or raw-IP (101) frames
+        // to the Ethernet decoder would mis-frame every packet; fail
+        // once with the actual link type instead of skipping them all.
+        return Err(PcapError {
+            offset: 20,
+            reason: format!(
+                "unsupported link type {} (only Ethernet, 1, is supported)",
+                reader.linktype()
+            ),
+        });
+    }
+    let mut table: HashMap<FlowKey, usize> = HashMap::new();
+    let mut order: Vec<FlowState> = Vec::new();
+    let mut skipped = Vec::new();
+    let mut truncated = None;
+    let mut packets = 0usize;
+
+    while let Some(next) = reader.next() {
+        let record = match next {
+            Ok(r) => r,
+            Err(e) => {
+                truncated = Some(e);
+                break;
+            }
+        };
+        let seg = match packet::decode(record.data) {
+            Ok(s) => s,
+            Err(e) => {
+                skipped.push((record.index, e.to_string()));
+                continue;
+            }
+        };
+        packets += 1;
+        let key = FlowKey::of(&seg);
+        let idx = *table.entry(key).or_insert_with(|| {
+            order.push(FlowState::new(&seg, record.ts));
+            order.len() - 1
+        });
+        order[idx].feed(record.ts, &seg, &mut skipped, record.index);
+    }
+
+    Ok(Reassembly {
+        flows: order.into_iter().map(|s| s.flow).collect(),
+        skipped,
+        truncated,
+        packets,
+    })
+}
+
+impl FlowState {
+    fn new(seg: &TcpSegmentView<'_>, ts: f64) -> FlowState {
+        // Provisional orientation from the first packet: a pure SYN names
+        // the client; anything else is re-oriented when data appears.
+        let (client, server, oriented) = if seg.has(flags::SYN) && !seg.has(flags::ACK) {
+            ((seg.src_ip, seg.src_port), (seg.dst_ip, seg.dst_port), true)
+        } else if seg.has(flags::SYN) && seg.has(flags::ACK) {
+            ((seg.dst_ip, seg.dst_port), (seg.src_ip, seg.src_port), true)
+        } else if !seg.payload.is_empty() {
+            // Mid-stream capture: orient by the service port — the lower
+            // port is the server side (a capture can just as well start
+            // at the client's HTTP request as at server data). When the
+            // ports tie, fall back to "the data sender is the server".
+            if seg.dst_port < seg.src_port {
+                ((seg.src_ip, seg.src_port), (seg.dst_ip, seg.dst_port), true)
+            } else {
+                ((seg.dst_ip, seg.dst_port), (seg.src_ip, seg.src_port), true)
+            }
+        } else {
+            (
+                (seg.src_ip, seg.src_port),
+                (seg.dst_ip, seg.dst_port),
+                false,
+            )
+        };
+        FlowState {
+            flow: Flow {
+                client,
+                server,
+                start: ts,
+                client_mss: None,
+                server_mss: None,
+                max_payload: 0,
+                events: Vec::new(),
+                closed_by: None,
+                closed_at: None,
+            },
+            oriented,
+            server_isn: None,
+            high_water: 0,
+            last_ack: None,
+            data_seen: false,
+        }
+    }
+
+    /// Records one server data segment as a [`FlowEvent::Data`].
+    fn server_data(
+        &mut self,
+        ts: f64,
+        seg: &TcpSegmentView<'_>,
+        skipped: &mut Vec<(usize, String)>,
+        index: usize,
+    ) {
+        // First data anchors the relative space when no SYN/ACK was
+        // captured (mid-stream ingest): the first data byte sits one past
+        // the ISN.
+        let anchor = *self.server_isn.get_or_insert(seg.seq.wrapping_sub(1));
+        let data_base = anchor.wrapping_add(1);
+        let Some(rel) = self.rel(data_base, seg.seq) else {
+            skipped.push((index, "data sequence before the server ISN".to_owned()));
+            return;
+        };
+        let len = seg.payload.len() as u32;
+        let end = rel + u64::from(len);
+        let retransmit = rel < self.high_water;
+        self.high_water = self.high_water.max(end);
+        self.flow.max_payload = self.flow.max_payload.max(len);
+        self.data_seen = true;
+        self.flow.events.push(FlowEvent::Data {
+            t: ts,
+            seq: rel,
+            len,
+            retransmit,
+        });
+    }
+
+    /// Relative data offset of a raw server sequence number. Sequence
+    /// arithmetic is modular; offsets in the lower half of the u32 ring
+    /// are "at or after" the anchor, the upper half would be "before" it
+    /// (stray packets, which the caller drops).
+    fn rel(&self, anchor: u32, raw: u32) -> Option<u64> {
+        let d = raw.wrapping_sub(anchor);
+        if d < 0x8000_0000 {
+            Some(u64::from(d))
+        } else {
+            None
+        }
+    }
+
+    fn feed(
+        &mut self,
+        ts: f64,
+        seg: &TcpSegmentView<'_>,
+        skipped: &mut Vec<(usize, String)>,
+        index: usize,
+    ) {
+        if self.flow.closed_by.is_some() {
+            return; // close teardown chatter is not part of the trace
+        }
+        let from_server = (seg.src_ip, seg.src_port) == self.flow.server;
+        let from_client = (seg.src_ip, seg.src_port) == self.flow.client;
+        if !from_server && !from_client {
+            skipped.push((index, "packet matches neither flow endpoint".to_owned()));
+            return;
+        }
+
+        // Late orientation fix: the first packets were pure ACKs (e.g. a
+        // capture opening mid-handshake), so roles were provisional. The
+        // first payload decides, with the same rule as `new`: the lower
+        // port is the server; on a tie, the payload sender is.
+        if !self.oriented && !seg.payload.is_empty() {
+            let server = if seg.dst_port < seg.src_port {
+                (seg.dst_ip, seg.dst_port)
+            } else {
+                (seg.src_ip, seg.src_port)
+            };
+            if server != self.flow.server {
+                std::mem::swap(&mut self.flow.client, &mut self.flow.server);
+            }
+            self.oriented = true;
+            return self.feed(ts, seg, skipped, index);
+        }
+
+        if seg.has(flags::SYN) {
+            if from_client {
+                self.flow.client_mss = seg.mss_option;
+            } else {
+                self.flow.server_mss = seg.mss_option;
+                self.server_isn = Some(seg.seq);
+            }
+            self.oriented = true;
+            return;
+        }
+        if seg.flags & (flags::FIN | flags::RST) != 0 {
+            // A FIN routinely piggybacks the sender's last data segment
+            // (Linux sends FIN on the final data packet): count those
+            // bytes before recording the close, or the last round's
+            // window is undercounted.
+            if from_server && !seg.payload.is_empty() {
+                self.server_data(ts, seg, skipped, index);
+            }
+            self.flow.closed_by = Some(if from_server {
+                Endpoint::Server
+            } else {
+                Endpoint::Client
+            });
+            self.flow.closed_at = Some(ts);
+            return;
+        }
+
+        if from_server {
+            if seg.payload.is_empty() {
+                return; // server pure ACKs carry no window information
+            }
+            self.server_data(ts, seg, skipped, index);
+        } else {
+            // Client side: pure cumulative ACKs. Payload from the client
+            // (HTTP requests) carries no window information either — CAAI
+            // measures the server's sending process — so only the ACK
+            // number matters.
+            if !seg.has(flags::ACK) {
+                return;
+            }
+            let Some(anchor) = self.server_isn else {
+                return; // handshake ACK before any server context
+            };
+            let data_base = anchor.wrapping_add(1);
+            let Some(rel) = self.rel(data_base, seg.ack) else {
+                return;
+            };
+            if rel == 0 && !self.data_seen {
+                return; // the handshake's third ACK, not a round boundary
+            }
+            let duplicate = self.last_ack.is_some_and(|last| rel <= last);
+            if !duplicate {
+                self.last_ack = Some(rel);
+            }
+            self.flow.events.push(FlowEvent::Ack {
+                t: ts,
+                ack: rel,
+                duplicate,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{encode, FrameSpec};
+    use crate::pcap::PcapWriter;
+
+    const CLIENT: ([u8; 4], u16) = ([192, 0, 2, 1], 40000);
+    const SERVER: ([u8; 4], u16) = ([198, 51, 100, 9], 80);
+
+    struct Builder {
+        out: Vec<u8>,
+        w: Option<PcapWriter<Vec<u8>>>,
+    }
+
+    impl Builder {
+        fn new() -> Builder {
+            Builder {
+                out: Vec::new(),
+                w: Some(PcapWriter::new(Vec::new()).unwrap()),
+            }
+        }
+
+        fn frame(&mut self, ts: f64, spec: FrameSpec<'_>) {
+            self.w
+                .as_mut()
+                .unwrap()
+                .write_frame(ts, &encode(&spec))
+                .unwrap();
+        }
+
+        fn push_raw(&mut self, ts: f64, bytes: &[u8]) {
+            self.w.as_mut().unwrap().write_frame(ts, bytes).unwrap();
+        }
+
+        fn finish(mut self) -> Vec<u8> {
+            self.out = self.w.take().unwrap().finish().unwrap();
+            self.out
+        }
+    }
+
+    fn seg(from: ([u8; 4], u16), to: ([u8; 4], u16)) -> FrameSpec<'static> {
+        FrameSpec {
+            src_ip: from.0,
+            dst_ip: to.0,
+            src_port: from.1,
+            dst_port: to.1,
+            seq: 0,
+            ack: 0,
+            flags: flags::ACK,
+            window: 65000,
+            mss_option: None,
+            payload: b"",
+        }
+    }
+
+    /// A tiny handshake + 2 data packets + ACKs + server FIN.
+    fn tiny_capture() -> Vec<u8> {
+        let mut b = Builder::new();
+        let isn_c = 1000u32;
+        let isn_s = 5000u32;
+        b.frame(
+            0.0,
+            FrameSpec {
+                seq: isn_c,
+                flags: flags::SYN,
+                mss_option: Some(100),
+                ..seg(CLIENT, SERVER)
+            },
+        );
+        b.frame(
+            0.1,
+            FrameSpec {
+                seq: isn_s,
+                ack: isn_c + 1,
+                flags: flags::SYN | flags::ACK,
+                mss_option: Some(1460),
+                ..seg(SERVER, CLIENT)
+            },
+        );
+        b.frame(
+            0.2,
+            FrameSpec {
+                seq: isn_c + 1,
+                ack: isn_s + 1,
+                ..seg(CLIENT, SERVER)
+            },
+        );
+        let payload = [7u8; 100];
+        b.frame(
+            1.0,
+            FrameSpec {
+                seq: isn_s + 1,
+                ack: isn_c + 1,
+                payload: &payload,
+                ..seg(SERVER, CLIENT)
+            },
+        );
+        b.frame(
+            1.0,
+            FrameSpec {
+                seq: isn_s + 101,
+                ack: isn_c + 1,
+                payload: &payload,
+                ..seg(SERVER, CLIENT)
+            },
+        );
+        b.frame(
+            2.0,
+            FrameSpec {
+                seq: isn_c + 1,
+                ack: isn_s + 101,
+                ..seg(CLIENT, SERVER)
+            },
+        );
+        b.frame(
+            2.0,
+            FrameSpec {
+                seq: isn_c + 1,
+                ack: isn_s + 201,
+                ..seg(CLIENT, SERVER)
+            },
+        );
+        b.frame(
+            3.0,
+            FrameSpec {
+                seq: isn_s + 201,
+                ack: isn_c + 1,
+                flags: flags::FIN | flags::ACK,
+                ..seg(SERVER, CLIENT)
+            },
+        );
+        b.finish()
+    }
+
+    #[test]
+    fn reassembles_the_tiny_flow() {
+        let r = reassemble(&tiny_capture()).unwrap();
+        assert!(r.truncated.is_none());
+        assert!(r.skipped.is_empty());
+        assert_eq!(r.flows.len(), 1);
+        let f = &r.flows[0];
+        assert_eq!(f.client, CLIENT);
+        assert_eq!(f.server, SERVER);
+        assert_eq!(f.client_mss, Some(100));
+        assert_eq!(f.server_mss, Some(1460));
+        assert_eq!(f.effective_mss(), Some(100));
+        assert_eq!(f.closed_by, Some(Endpoint::Server));
+        let kinds: Vec<(bool, u64)> = f
+            .events
+            .iter()
+            .map(|e| match *e {
+                FlowEvent::Data { seq, .. } => (true, seq),
+                FlowEvent::Ack { ack, .. } => (false, ack),
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![(true, 0), (true, 100), (false, 100), (false, 200)]
+        );
+    }
+
+    #[test]
+    fn handshake_ack_is_not_an_event() {
+        let r = reassemble(&tiny_capture()).unwrap();
+        let acks = r.flows[0]
+            .events
+            .iter()
+            .filter(|e| matches!(e, FlowEvent::Ack { .. }))
+            .count();
+        assert_eq!(acks, 2, "the third handshake packet is suppressed");
+    }
+
+    #[test]
+    fn garbage_packets_are_skipped_and_reported() {
+        let mut b = Builder::new();
+        b.frame(
+            0.0,
+            FrameSpec {
+                seq: 1,
+                flags: flags::SYN,
+                mss_option: Some(100),
+                ..seg(CLIENT, SERVER)
+            },
+        );
+        b.push_raw(0.5, &[0xAB; 40]); // mid-stream garbage
+        b.push_raw(0.6, b"tiny");
+        b.frame(
+            1.0,
+            FrameSpec {
+                seq: 77,
+                ack: 2,
+                flags: flags::SYN | flags::ACK,
+                mss_option: Some(536),
+                ..seg(SERVER, CLIENT)
+            },
+        );
+        let r = reassemble(&b.finish()).unwrap();
+        assert_eq!(r.skipped.len(), 2, "{:?}", r.skipped);
+        assert_eq!(r.skipped[0].0, 1);
+        assert_eq!(r.flows.len(), 1);
+        assert_eq!(r.flows[0].server_mss, Some(536));
+    }
+
+    #[test]
+    fn retransmissions_are_flagged() {
+        let mut b = Builder::new();
+        let payload = [1u8; 50];
+        b.frame(
+            0.0,
+            FrameSpec {
+                seq: 101,
+                ack: 1,
+                payload: &payload,
+                ..seg(SERVER, CLIENT)
+            },
+        );
+        b.frame(
+            5.0,
+            FrameSpec {
+                seq: 101,
+                ack: 1,
+                payload: &payload,
+                ..seg(SERVER, CLIENT)
+            },
+        );
+        let r = reassemble(&b.finish()).unwrap();
+        let f = &r.flows[0];
+        assert_eq!(f.server, SERVER, "data sender becomes the server");
+        match f.events.as_slice() {
+            [FlowEvent::Data {
+                retransmit: false, ..
+            }, FlowEvent::Data {
+                retransmit: true,
+                seq: 0,
+                ..
+            }] => {}
+            other => panic!("unexpected events {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_ethernet_link_type_is_a_single_clear_error() {
+        let mut capture = Builder::new().finish();
+        capture[20..24].copy_from_slice(&113u32.to_le_bytes()); // LINUX_SLL
+        let err = reassemble(&capture).unwrap_err();
+        assert!(err.reason.contains("link type 113"), "{err}");
+    }
+
+    #[test]
+    fn midstream_capture_starting_at_the_client_request_orients_by_port() {
+        // Handshake not captured; the first packet is the prober's HTTP
+        // request toward port 80, then server data flows back. The
+        // request sender must not be mistaken for the server.
+        let mut b = Builder::new();
+        b.frame(
+            0.0,
+            FrameSpec {
+                seq: 500,
+                ack: 9000,
+                payload: b"GET /longest HTTP/1.1\r\n\r\n",
+                ..seg(CLIENT, SERVER)
+            },
+        );
+        let payload = [5u8; 100];
+        b.frame(
+            1.0,
+            FrameSpec {
+                seq: 9000,
+                ack: 525,
+                payload: &payload,
+                ..seg(SERVER, CLIENT)
+            },
+        );
+        let r = reassemble(&b.finish()).unwrap();
+        let f = &r.flows[0];
+        assert_eq!(f.server, SERVER, "port 80 side is the server");
+        assert_eq!(f.client, CLIENT);
+        let data_events = f
+            .events
+            .iter()
+            .filter(|e| matches!(e, FlowEvent::Data { .. }))
+            .count();
+        assert_eq!(data_events, 1, "only the server's bytes count as data");
+        assert_eq!(f.max_payload, 100);
+    }
+
+    #[test]
+    fn pure_ack_prefix_then_client_request_still_orients_by_port() {
+        // Capture opens at the client's third handshake ACK, then the
+        // client's HTTP request, then server data: the request sender
+        // must not be mistaken for the server.
+        let mut b = Builder::new();
+        b.frame(
+            0.0,
+            FrameSpec {
+                seq: 500,
+                ack: 9000,
+                ..seg(CLIENT, SERVER)
+            },
+        );
+        b.frame(
+            0.1,
+            FrameSpec {
+                seq: 500,
+                ack: 9000,
+                payload: b"GET / HTTP/1.1\r\n\r\n",
+                ..seg(CLIENT, SERVER)
+            },
+        );
+        let payload = [6u8; 100];
+        b.frame(
+            1.0,
+            FrameSpec {
+                seq: 9000,
+                ack: 518,
+                payload: &payload,
+                ..seg(SERVER, CLIENT)
+            },
+        );
+        let r = reassemble(&b.finish()).unwrap();
+        let f = &r.flows[0];
+        assert_eq!(f.server, SERVER, "port 80 side stays the server");
+        let data_lens: Vec<u32> = f
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                FlowEvent::Data { len, .. } => Some(*len),
+                FlowEvent::Ack { .. } => None,
+            })
+            .collect();
+        assert_eq!(data_lens, vec![100], "only server bytes are data");
+    }
+
+    #[test]
+    fn fin_with_piggybacked_data_counts_the_payload() {
+        let mut b = Builder::new();
+        let payload = [3u8; 80];
+        b.frame(
+            0.0,
+            FrameSpec {
+                seq: 1,
+                ack: 1,
+                payload: &payload,
+                ..seg(SERVER, CLIENT)
+            },
+        );
+        b.frame(
+            0.0,
+            FrameSpec {
+                seq: 81,
+                ack: 1,
+                flags: flags::FIN | flags::ACK,
+                payload: &payload,
+                ..seg(SERVER, CLIENT)
+            },
+        );
+        let r = reassemble(&b.finish()).unwrap();
+        let f = &r.flows[0];
+        assert_eq!(f.closed_by, Some(Endpoint::Server));
+        let data_bytes: u64 = f
+            .events
+            .iter()
+            .map(|e| match e {
+                FlowEvent::Data { len, .. } => u64::from(*len),
+                FlowEvent::Ack { .. } => 0,
+            })
+            .sum();
+        assert_eq!(data_bytes, 160, "the FIN segment's payload must count");
+    }
+
+    #[test]
+    fn two_interleaved_flows_separate() {
+        let other_client = ([192, 0, 2, 1], 40001);
+        let mut b = Builder::new();
+        let payload = [9u8; 10];
+        b.frame(
+            0.0,
+            FrameSpec {
+                seq: 1,
+                payload: &payload,
+                ..seg(SERVER, CLIENT)
+            },
+        );
+        b.frame(
+            0.1,
+            FrameSpec {
+                seq: 1,
+                payload: &payload,
+                ..seg(SERVER, other_client)
+            },
+        );
+        b.frame(
+            0.2,
+            FrameSpec {
+                seq: 11,
+                payload: &payload,
+                ..seg(SERVER, CLIENT)
+            },
+        );
+        let r = reassemble(&b.finish()).unwrap();
+        assert_eq!(r.flows.len(), 2);
+        assert_eq!(r.flows[0].events.len(), 2);
+        assert_eq!(r.flows[1].events.len(), 1);
+    }
+}

@@ -1,0 +1,409 @@
+//! Ethernet / IPv4 / TCP decode and encode.
+//!
+//! The decoder is zero-copy ([`TcpSegmentView::payload`] borrows from the
+//! frame) and returns a typed error for every malformed layer so the flow
+//! reassembler can *skip and report* single bad packets without giving up
+//! on the capture — the same torn-line policy the census JSONL reader
+//! applies. The encoder produces byte-valid frames: correct header
+//! lengths, IPv4 header checksum, and TCP checksum over the pseudo-header,
+//! so rendered captures survive strict tools (`tcpdump`, Wireshark).
+
+use std::fmt;
+
+/// TCP flag bits used by this crate.
+pub mod flags {
+    /// FIN: sender is done sending.
+    pub const FIN: u8 = 0x01;
+    /// SYN: connection establishment.
+    pub const SYN: u8 = 0x02;
+    /// RST: abortive close.
+    pub const RST: u8 = 0x04;
+    /// PSH: push buffered data.
+    pub const PSH: u8 = 0x08;
+    /// ACK: acknowledgement field is valid.
+    pub const ACK: u8 = 0x10;
+}
+
+/// Why a frame could not be decoded down to TCP.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Frame shorter than an Ethernet header.
+    ShortEthernet(usize),
+    /// Not IPv4 (the ethertype found).
+    NotIpv4(u16),
+    /// IPv4 header malformed (bad version/IHL or truncated).
+    BadIpv4(String),
+    /// The IPv4 payload is not TCP (the protocol number found).
+    NotTcp(u8),
+    /// TCP header malformed (bad data offset or truncated).
+    BadTcp(String),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::ShortEthernet(n) => write!(f, "frame too short for Ethernet ({n} bytes)"),
+            DecodeError::NotIpv4(ty) => write!(f, "not IPv4 (ethertype {ty:#06X})"),
+            DecodeError::BadIpv4(why) => write!(f, "bad IPv4 header: {why}"),
+            DecodeError::NotTcp(p) => write!(f, "not TCP (IP protocol {p})"),
+            DecodeError::BadTcp(why) => write!(f, "bad TCP header: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A decoded TCP segment (views borrow from the frame).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpSegmentView<'a> {
+    /// Source IPv4 address.
+    pub src_ip: [u8; 4],
+    /// Destination IPv4 address.
+    pub dst_ip: [u8; 4],
+    /// Source TCP port.
+    pub src_port: u16,
+    /// Destination TCP port.
+    pub dst_port: u16,
+    /// Raw 32-bit sequence number.
+    pub seq: u32,
+    /// Raw 32-bit acknowledgement number (meaningful when ACK is set).
+    pub ack: u32,
+    /// TCP flag byte (see [`flags`]).
+    pub flags: u8,
+    /// Advertised receive window.
+    pub window: u16,
+    /// The MSS option value, when present (SYN segments).
+    pub mss_option: Option<u16>,
+    /// The TCP payload.
+    pub payload: &'a [u8],
+}
+
+impl TcpSegmentView<'_> {
+    /// True when the given flag bits are all set.
+    pub fn has(&self, bits: u8) -> bool {
+        self.flags & bits == bits
+    }
+}
+
+/// Decodes an Ethernet frame down to a TCP segment view.
+pub fn decode(frame: &[u8]) -> Result<TcpSegmentView<'_>, DecodeError> {
+    if frame.len() < 14 {
+        return Err(DecodeError::ShortEthernet(frame.len()));
+    }
+    let ethertype = u16::from_be_bytes([frame[12], frame[13]]);
+    if ethertype != 0x0800 {
+        return Err(DecodeError::NotIpv4(ethertype));
+    }
+    let ip = &frame[14..];
+    if ip.len() < 20 {
+        return Err(DecodeError::BadIpv4(format!(
+            "truncated ({} bytes)",
+            ip.len()
+        )));
+    }
+    let version = ip[0] >> 4;
+    if version != 4 {
+        return Err(DecodeError::BadIpv4(format!("version {version}")));
+    }
+    let ihl = usize::from(ip[0] & 0x0F) * 4;
+    if !(20..=60).contains(&ihl) || ip.len() < ihl {
+        return Err(DecodeError::BadIpv4(format!("IHL {ihl} bytes")));
+    }
+    let total_len = usize::from(u16::from_be_bytes([ip[2], ip[3]]));
+    if total_len < ihl || total_len > ip.len() {
+        return Err(DecodeError::BadIpv4(format!(
+            "total length {total_len} vs {} captured",
+            ip.len()
+        )));
+    }
+    let proto = ip[9];
+    if proto != 6 {
+        return Err(DecodeError::NotTcp(proto));
+    }
+    let src_ip: [u8; 4] = ip[12..16].try_into().expect("4 bytes");
+    let dst_ip: [u8; 4] = ip[16..20].try_into().expect("4 bytes");
+    let tcp = &ip[ihl..total_len];
+    if tcp.len() < 20 {
+        return Err(DecodeError::BadTcp(format!(
+            "truncated ({} bytes)",
+            tcp.len()
+        )));
+    }
+    let data_off = usize::from(tcp[12] >> 4) * 4;
+    if !(20..=60).contains(&data_off) || tcp.len() < data_off {
+        return Err(DecodeError::BadTcp(format!("data offset {data_off} bytes")));
+    }
+    let mss_option = parse_mss_option(&tcp[20..data_off]);
+    Ok(TcpSegmentView {
+        src_ip,
+        dst_ip,
+        src_port: u16::from_be_bytes([tcp[0], tcp[1]]),
+        dst_port: u16::from_be_bytes([tcp[2], tcp[3]]),
+        seq: u32::from_be_bytes([tcp[4], tcp[5], tcp[6], tcp[7]]),
+        ack: u32::from_be_bytes([tcp[8], tcp[9], tcp[10], tcp[11]]),
+        flags: tcp[13],
+        window: u16::from_be_bytes([tcp[14], tcp[15]]),
+        mss_option,
+        payload: &tcp[data_off..],
+    })
+}
+
+/// Walks the TCP options block for a kind-2 (MSS) option. Tolerates (and
+/// stops at) malformed option lengths.
+fn parse_mss_option(mut options: &[u8]) -> Option<u16> {
+    while let Some(&kind) = options.first() {
+        match kind {
+            0 => return None,             // end of options
+            1 => options = &options[1..], // NOP
+            2 => {
+                if options.len() >= 4 && options[1] == 4 {
+                    return Some(u16::from_be_bytes([options[2], options[3]]));
+                }
+                return None;
+            }
+            _ => {
+                let len = usize::from(*options.get(1)?);
+                if len < 2 || len > options.len() {
+                    return None;
+                }
+                options = &options[len..];
+            }
+        }
+    }
+    None
+}
+
+/// Everything needed to build one TCP/IPv4/Ethernet frame.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameSpec<'a> {
+    /// Source IPv4 address.
+    pub src_ip: [u8; 4],
+    /// Destination IPv4 address.
+    pub dst_ip: [u8; 4],
+    /// Source TCP port.
+    pub src_port: u16,
+    /// Destination TCP port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgement number.
+    pub ack: u32,
+    /// TCP flags.
+    pub flags: u8,
+    /// Advertised receive window.
+    pub window: u16,
+    /// MSS option to include (SYN segments).
+    pub mss_option: Option<u16>,
+    /// TCP payload.
+    pub payload: &'a [u8],
+}
+
+/// RFC 1071 ones'-complement sum over 16-bit words.
+fn checksum_words(sum: &mut u32, bytes: &[u8]) {
+    let mut chunks = bytes.chunks_exact(2);
+    for c in &mut chunks {
+        *sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        *sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+}
+
+fn fold_checksum(mut sum: u32) -> u16 {
+    while sum >> 16 != 0 {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Builds a byte-valid Ethernet/IPv4/TCP frame (checksums included).
+pub fn encode(spec: &FrameSpec<'_>) -> Vec<u8> {
+    let options_len = if spec.mss_option.is_some() { 4 } else { 0 };
+    let tcp_len = 20 + options_len + spec.payload.len();
+    let ip_len = 20 + tcp_len;
+    let mut frame = Vec::with_capacity(14 + ip_len);
+
+    // Ethernet: locally administered MACs derived from the IPs, so every
+    // endpoint keeps a stable address across the capture.
+    frame.extend_from_slice(&mac_for(spec.dst_ip));
+    frame.extend_from_slice(&mac_for(spec.src_ip));
+    frame.extend_from_slice(&0x0800u16.to_be_bytes());
+
+    // IPv4 header.
+    let ip_start = frame.len();
+    frame.push(0x45); // version 4, IHL 5
+    frame.push(0);
+    frame.extend_from_slice(&(ip_len as u16).to_be_bytes());
+    frame.extend_from_slice(&0u16.to_be_bytes()); // identification
+    frame.extend_from_slice(&0x4000u16.to_be_bytes()); // don't fragment
+    frame.push(64); // TTL
+    frame.push(6); // TCP
+    frame.extend_from_slice(&0u16.to_be_bytes()); // checksum placeholder
+    frame.extend_from_slice(&spec.src_ip);
+    frame.extend_from_slice(&spec.dst_ip);
+    let mut ip_sum = 0u32;
+    checksum_words(&mut ip_sum, &frame[ip_start..ip_start + 20]);
+    let ip_csum = fold_checksum(ip_sum);
+    frame[ip_start + 10..ip_start + 12].copy_from_slice(&ip_csum.to_be_bytes());
+
+    // TCP header.
+    let tcp_start = frame.len();
+    frame.extend_from_slice(&spec.src_port.to_be_bytes());
+    frame.extend_from_slice(&spec.dst_port.to_be_bytes());
+    frame.extend_from_slice(&spec.seq.to_be_bytes());
+    frame.extend_from_slice(&spec.ack.to_be_bytes());
+    let data_off = ((20 + options_len) / 4) as u8;
+    frame.push(data_off << 4);
+    frame.push(spec.flags);
+    frame.extend_from_slice(&spec.window.to_be_bytes());
+    frame.extend_from_slice(&0u16.to_be_bytes()); // checksum placeholder
+    frame.extend_from_slice(&0u16.to_be_bytes()); // urgent pointer
+    if let Some(mss) = spec.mss_option {
+        frame.extend_from_slice(&[2, 4]);
+        frame.extend_from_slice(&mss.to_be_bytes());
+    }
+    frame.extend_from_slice(spec.payload);
+
+    // TCP checksum over the pseudo-header + segment.
+    let mut sum = 0u32;
+    checksum_words(&mut sum, &spec.src_ip);
+    checksum_words(&mut sum, &spec.dst_ip);
+    sum += 6; // protocol
+    sum += tcp_len as u32;
+    checksum_words(&mut sum, &frame[tcp_start..]);
+    let tcp_csum = fold_checksum(sum);
+    frame[tcp_start + 16..tcp_start + 18].copy_from_slice(&tcp_csum.to_be_bytes());
+    frame
+}
+
+/// A stable locally-administered MAC for an IPv4 address.
+fn mac_for(ip: [u8; 4]) -> [u8; 6] {
+    [0x02, 0x00, ip[0], ip[1], ip[2], ip[3]]
+}
+
+/// Verifies the IPv4 header checksum and TCP checksum of an encoded
+/// frame. Exposed for tests and capture linting; ingestion itself stays
+/// lenient (real captures legitimately carry offloaded/zeroed checksums).
+pub fn verify_checksums(frame: &[u8]) -> Result<(), DecodeError> {
+    decode(frame)?; // structural validity first
+    let ip = &frame[14..];
+    let ihl = usize::from(ip[0] & 0x0F) * 4;
+    let mut ip_sum = 0u32;
+    checksum_words(&mut ip_sum, &ip[..ihl]);
+    if fold_checksum(ip_sum) != 0 {
+        return Err(DecodeError::BadIpv4("header checksum mismatch".into()));
+    }
+    let total_len = usize::from(u16::from_be_bytes([ip[2], ip[3]]));
+    let tcp = &ip[ihl..total_len];
+    let mut sum = 0u32;
+    checksum_words(&mut sum, &ip[12..16]);
+    checksum_words(&mut sum, &ip[16..20]);
+    sum += 6;
+    sum += tcp.len() as u32;
+    checksum_words(&mut sum, tcp);
+    if fold_checksum(sum) != 0 {
+        return Err(DecodeError::BadTcp("checksum mismatch".into()));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec<'a>(payload: &'a [u8], mss: Option<u16>) -> FrameSpec<'a> {
+        FrameSpec {
+            src_ip: [192, 0, 2, 1],
+            dst_ip: [198, 51, 100, 7],
+            src_port: 40001,
+            dst_port: 80,
+            seq: 0xDEAD_BEEF,
+            ack: 0x0102_0304,
+            flags: flags::ACK | flags::PSH,
+            window: 65000,
+            mss_option: mss,
+            payload,
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = spec(b"GET / HTTP/1.1\r\n", Some(100));
+        let frame = encode(&s);
+        let v = decode(&frame).unwrap();
+        assert_eq!(v.src_ip, s.src_ip);
+        assert_eq!(v.dst_ip, s.dst_ip);
+        assert_eq!(v.src_port, s.src_port);
+        assert_eq!(v.dst_port, s.dst_port);
+        assert_eq!(v.seq, s.seq);
+        assert_eq!(v.ack, s.ack);
+        assert_eq!(v.flags, s.flags);
+        assert_eq!(v.window, s.window);
+        assert_eq!(v.mss_option, Some(100));
+        assert_eq!(v.payload, s.payload);
+    }
+
+    #[test]
+    fn checksums_are_valid_and_detect_corruption() {
+        let frame = encode(&spec(b"payload bytes", None));
+        verify_checksums(&frame).unwrap();
+        let mut bad = frame.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xFF;
+        assert!(
+            verify_checksums(&bad).is_err(),
+            "payload flip must break the TCP checksum"
+        );
+        let mut bad_ip = frame;
+        bad_ip[14 + 8] = 1; // TTL participates in the IP checksum
+        assert!(verify_checksums(&bad_ip).is_err());
+    }
+
+    #[test]
+    fn non_ipv4_and_non_tcp_are_typed_errors() {
+        let mut arp = encode(&spec(b"", None));
+        arp[12..14].copy_from_slice(&0x0806u16.to_be_bytes());
+        assert!(matches!(decode(&arp), Err(DecodeError::NotIpv4(0x0806))));
+        let mut udp = encode(&spec(b"", None));
+        udp[14 + 9] = 17;
+        assert!(matches!(decode(&udp), Err(DecodeError::NotTcp(17))));
+    }
+
+    #[test]
+    fn truncated_layers_are_errors_not_panics() {
+        let frame = encode(&spec(b"abcdef", None));
+        for cut in 0..frame.len() {
+            // Every prefix must decode or fail cleanly.
+            let _ = decode(&frame[..cut]);
+        }
+        assert!(matches!(
+            decode(&frame[..10]),
+            Err(DecodeError::ShortEthernet(10))
+        ));
+        assert!(matches!(decode(&frame[..20]), Err(DecodeError::BadIpv4(_))));
+    }
+
+    #[test]
+    fn bad_data_offset_is_rejected() {
+        let mut frame = encode(&spec(b"xy", None));
+        let tcp_start = 14 + 20;
+        frame[tcp_start + 12] = 0x20; // data offset 8 bytes: below minimum
+        assert!(matches!(decode(&frame), Err(DecodeError::BadTcp(_))));
+    }
+
+    #[test]
+    fn mss_option_parsing_tolerates_garbage() {
+        assert_eq!(parse_mss_option(&[1, 1, 2, 4, 0, 100]), Some(100));
+        assert_eq!(
+            parse_mss_option(&[3, 0, 2, 4, 0, 100]),
+            None,
+            "bad length stops the walk"
+        );
+        assert_eq!(
+            parse_mss_option(&[0, 2, 4, 0, 100]),
+            None,
+            "EOL stops the walk"
+        );
+        assert_eq!(parse_mss_option(&[2, 3, 0]), None, "truncated MSS option");
+    }
+}

@@ -1,0 +1,658 @@
+//! Per-RTT window reconstruction: flow events → [`WindowTrace`].
+//!
+//! CAAI's prober measures the server's congestion window per emulated
+//! round as "highest sequence received this round minus the previous
+//! round's highest" (§IV-D). On the wire those rounds are visible without
+//! any side channel: every round is one burst of server data followed by
+//! the prober's batch of deferred ACKs, so
+//!
+//! * a maximal run of data packets (or data separated by sub-round gaps)
+//!   is one round's receipt;
+//! * the emulated-RTT schedule is recoverable from the data→ACK spacing
+//!   (0.8 s ⇒ environment B, 1.0 s ⇒ environment A — Fig. 2);
+//! * the **ACK-withholding point** is a data burst that is never ACKed —
+//!   that burst's window exceeded the `w_max` threshold, which pins the
+//!   threshold to the unique ladder rung in `[w_prev, w_cross)`;
+//! * the **emulated timeout** is a retransmission arriving after a burst
+//!   that received no ACKs (pre/post split);
+//! * silent rounds (all data or all ACK progress lost) reappear as `w = 0`
+//!   rounds by walking the known per-round RTT schedule across larger
+//!   burst-to-burst gaps;
+//! * the close tells invalid traces apart: a server FIN before the
+//!   crossing is *page too short*, during recovery *recovery too short*;
+//!   a prober FIN after an unanswered withholding is *no timeout
+//!   response*, and otherwise *never exceeded threshold*.
+//!
+//! A probe session (all connections between one prober and one server)
+//! then replays the `w_max` ladder walk of `Prober::gather` to rebuild
+//! the full [`GatherOutcome`] — including the threshold rungs of attempts
+//! that never crossed, which leave no rung evidence on the wire.
+
+use crate::flow::{Endpoint, Flow, FlowEvent, Reassembly};
+use caai_core::prober::GatherOutcome;
+use caai_core::trace::{InvalidReason, TracePair, WindowTrace, POST_TIMEOUT_ROUNDS};
+use caai_netem::schedule::{RTT_LONG, RTT_SHORT};
+use caai_netem::{EnvironmentId, Phase, RttSchedule};
+
+/// Data packets closer together than this are one burst; the emulated
+/// RTTs (0.8 s / 1.0 s) are an order of magnitude larger, so the margin
+/// is wide on both sides.
+pub const BURST_GAP: f64 = 0.25;
+
+/// The default `w_max` ladder (mirrors `ProberConfig::default`).
+pub const DEFAULT_LADDER: [u32; 4] = [512, 256, 128, 64];
+
+/// Ceiling on schedule-inferred silent rounds inserted between two
+/// bursts, so a wildly mis-timed capture cannot inflate a trace without
+/// bound.
+const MAX_INSERTED_ZEROS: usize = 64;
+
+/// One reconstructed probing connection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConnectionObservation {
+    /// Timestamp of the connection's first packet.
+    pub start: f64,
+    /// The reconstructed trace. For connections that never crossed the
+    /// threshold, `wmax_threshold` is 0 here — the wire carries no rung
+    /// evidence — and is assigned by the session-level ladder replay.
+    pub trace: WindowTrace,
+    /// True when the ACK-withholding point was observed.
+    pub crossed: bool,
+    /// The `w_max` rung pinned by the withholding point, when crossed.
+    pub inferred_wmax: Option<u32>,
+}
+
+/// One data burst: a candidate measurement round.
+#[derive(Debug, Clone, Copy)]
+struct Burst {
+    t0: f64,
+    /// Smallest packet index seen in the burst.
+    min_pkt: u64,
+    /// One past the largest packet index seen in the burst.
+    max_end: u64,
+    /// True when the burst opens with a retransmission.
+    head_retransmit: bool,
+    /// True when at least one ACK followed the previous burst.
+    acked_before: bool,
+    /// Time of the first ACK following this burst (for RTT inference).
+    first_ack_after: Option<f64>,
+}
+
+/// Groups a flow's events into bursts, annotating each with whether ACKs
+/// preceded it and when the first ACK after it was sent.
+fn group_bursts(events: &[FlowEvent], mss: u64) -> Vec<Burst> {
+    let mut bursts: Vec<Burst> = Vec::new();
+    let mut acks_since_last_data = 0usize;
+    let mut last_data_t = f64::NEG_INFINITY;
+    for ev in events {
+        match *ev {
+            FlowEvent::Data {
+                t,
+                seq,
+                len,
+                retransmit,
+            } => {
+                let pkt = seq / mss;
+                let end = (seq + u64::from(len)).div_ceil(mss);
+                let new_burst = match bursts.last() {
+                    None => true,
+                    Some(_) => acks_since_last_data > 0 || t - last_data_t > BURST_GAP,
+                };
+                if new_burst {
+                    bursts.push(Burst {
+                        t0: t,
+                        min_pkt: pkt,
+                        max_end: end,
+                        head_retransmit: retransmit,
+                        acked_before: acks_since_last_data > 0 || bursts.is_empty(),
+                        first_ack_after: None,
+                    });
+                } else {
+                    let b = bursts.last_mut().expect("burst exists");
+                    b.min_pkt = b.min_pkt.min(pkt);
+                    b.max_end = b.max_end.max(end);
+                }
+                acks_since_last_data = 0;
+                last_data_t = t;
+            }
+            FlowEvent::Ack { t, .. } => {
+                acks_since_last_data += 1;
+                if let Some(b) = bursts.last_mut() {
+                    if b.first_ack_after.is_none() {
+                        b.first_ack_after = Some(t);
+                    }
+                }
+            }
+        }
+    }
+    bursts
+}
+
+/// Infers the environment from the first round's emulated RTT (the gap
+/// between a burst's arrival and its deferred ACK batch, Fig. 2).
+fn infer_env(bursts: &[Burst]) -> EnvironmentId {
+    for b in bursts {
+        if let Some(ack_t) = b.first_ack_after {
+            let rtt = ack_t - b.t0;
+            return if (rtt - RTT_SHORT).abs() < (rtt - RTT_LONG).abs() {
+                EnvironmentId::B
+            } else {
+                EnvironmentId::A
+            };
+        }
+    }
+    EnvironmentId::A
+}
+
+/// Pins the `w_max` rung from the withholding point: the prober withholds
+/// as soon as a measured window *exceeds* the threshold, so the rung is
+/// the largest ladder value below the crossing window (slow start at most
+/// doubles per round, making that value unique).
+fn infer_wmax(w_cross: u32, ladder: &[u32]) -> u32 {
+    ladder
+        .iter()
+        .copied()
+        .filter(|&r| r < w_cross)
+        .max()
+        .or_else(|| ladder.iter().copied().min())
+        .unwrap_or(64)
+}
+
+/// Appends `w = 0` rounds for schedule-sized silences between `prev_t`
+/// and `next_t`, advancing the 1-based round counter. Returns the updated
+/// expected time base.
+fn insert_silent_rounds(
+    windows: &mut Vec<u32>,
+    schedule: &RttSchedule,
+    phase: Phase,
+    round: &mut u32,
+    prev_t: f64,
+    next_t: f64,
+) {
+    let mut expected = prev_t + schedule.rtt(phase, *round);
+    let mut inserted = 0;
+    while inserted < MAX_INSERTED_ZEROS {
+        let next_rtt = schedule.rtt(phase, *round + 1);
+        if next_t <= expected + 0.5 * next_rtt {
+            break;
+        }
+        windows.push(0);
+        *round += 1;
+        expected += next_rtt;
+        inserted += 1;
+    }
+}
+
+/// Reconstructs one connection's window trace from its reassembled flow.
+/// Returns `None` for flows that carried no server data at all (not a
+/// probe connection this pipeline can say anything about).
+pub fn observe_connection(flow: &Flow, ladder: &[u32]) -> Option<ConnectionObservation> {
+    let mss = flow.effective_mss()?;
+    if flow
+        .events
+        .iter()
+        .all(|e| !matches!(e, FlowEvent::Data { .. }))
+    {
+        return None;
+    }
+    let bursts = group_bursts(&flow.events, u64::from(mss.max(1)));
+    let env = infer_env(&bursts);
+    let schedule = RttSchedule::new(env);
+
+    // The pre/post boundary: the first burst that opens with a
+    // retransmission after a burst that was never ACKed — the server's
+    // response to the emulated timeout.
+    let timeout_idx = bursts
+        .iter()
+        .enumerate()
+        .skip(1)
+        .find(|(_, b)| !b.acked_before && b.head_retransmit)
+        .map(|(i, _)| i);
+
+    // ---- Pre-timeout windows (§IV-D measurement). ----------------------
+    let pre_bursts = &bursts[..timeout_idx.unwrap_or(bursts.len())];
+    let mut pre: Vec<u32> = Vec::new();
+    let mut prev_end = 0u64;
+    let mut round = 0u32;
+    let mut prev_t = None;
+    for b in pre_bursts {
+        if let Some(pt) = prev_t {
+            insert_silent_rounds(
+                &mut pre,
+                &schedule,
+                Phase::BeforeTimeout,
+                &mut round,
+                pt,
+                b.t0,
+            );
+        }
+        let w = b.max_end.saturating_sub(prev_end);
+        prev_end = prev_end.max(b.max_end);
+        pre.push(u32::try_from(w).unwrap_or(u32::MAX));
+        round += 1;
+        prev_t = Some(b.t0);
+    }
+
+    // The withholding point: the last pre burst drew no ACKs (either the
+    // timeout followed, or the flow ended with the server never
+    // responding to it).
+    let withheld = match timeout_idx {
+        Some(_) => true,
+        None => pre_bursts
+            .last()
+            .is_some_and(|b| b.first_ack_after.is_none()),
+    };
+
+    // ---- Post-timeout windows. -----------------------------------------
+    let mut post: Vec<u32> = Vec::new();
+    if let Some(idx) = timeout_idx {
+        let post_bursts = &bursts[idx..];
+        // §IV-D re-anchoring: the first retransmission's index restarts
+        // the measurement baseline.
+        let mut prev_end = post_bursts.first().map_or(0, |b| b.min_pkt);
+        let mut round = 0u32;
+        let mut prev_t = None;
+        for b in post_bursts {
+            if let Some(pt) = prev_t {
+                insert_silent_rounds(
+                    &mut post,
+                    &schedule,
+                    Phase::AfterTimeout,
+                    &mut round,
+                    pt,
+                    b.t0,
+                );
+            }
+            let w = b.max_end.saturating_sub(prev_end);
+            prev_end = prev_end.max(b.max_end);
+            post.push(u32::try_from(w).unwrap_or(u32::MAX));
+            round += 1;
+            prev_t = Some(b.t0);
+        }
+    }
+
+    // ---- Validity & failure classification (§IV-E, §VII-B). ------------
+    let invalid = if timeout_idx.is_some() {
+        if post.len() >= POST_TIMEOUT_ROUNDS {
+            None
+        } else {
+            Some(InvalidReason::RecoveryTooShort)
+        }
+    } else if withheld {
+        Some(InvalidReason::NoTimeoutResponse)
+    } else if flow.closed_by == Some(Endpoint::Server) {
+        Some(InvalidReason::PageTooShort)
+    } else {
+        Some(InvalidReason::NeverExceededThreshold)
+    };
+
+    let crossed = withheld;
+    let inferred_wmax = if crossed {
+        pre.last().map(|&w| infer_wmax(w, ladder))
+    } else {
+        None
+    };
+
+    Some(ConnectionObservation {
+        start: flow.start,
+        trace: WindowTrace {
+            env,
+            wmax_threshold: inferred_wmax.unwrap_or(0),
+            mss,
+            pre,
+            post,
+            invalid,
+        },
+        crossed,
+        inferred_wmax,
+    })
+}
+
+/// All connections between one prober and one server, in capture order —
+/// the unit that yields one identification verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeSession {
+    /// The prober's IPv4 address.
+    pub client_ip: [u8; 4],
+    /// The server's IPv4 address.
+    pub server_ip: [u8; 4],
+    /// Reconstructed connections, ordered by first packet.
+    pub connections: Vec<ConnectionObservation>,
+    /// Flows grouped into this session (including dataless ones).
+    pub flows: usize,
+}
+
+/// Groups a reassembled capture into probe sessions by (prober IP,
+/// server IP), preserving capture order within and across sessions.
+pub fn sessions(reassembly: &Reassembly, ladder: &[u32]) -> Vec<ProbeSession> {
+    let mut out: Vec<ProbeSession> = Vec::new();
+    for flow in &reassembly.flows {
+        let key = (flow.client.0, flow.server.0);
+        let session = match out.iter_mut().find(|s| (s.client_ip, s.server_ip) == key) {
+            Some(s) => s,
+            None => {
+                out.push(ProbeSession {
+                    client_ip: key.0,
+                    server_ip: key.1,
+                    connections: Vec::new(),
+                    flows: 0,
+                });
+                out.last_mut().expect("just pushed")
+            }
+        };
+        session.flows += 1;
+        if let Some(obs) = observe_connection(flow, ladder) {
+            session.connections.push(obs);
+        }
+    }
+    for s in &mut out {
+        s.connections
+            .sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite timestamps"));
+    }
+    out
+}
+
+/// Replays the `w_max` ladder walk of `Prober::gather` over a session's
+/// reconstructed connections, assigning threshold rungs to attempts that
+/// never crossed and assembling the same [`GatherOutcome`] the prober
+/// produced: the usable environment-A/B pair when one exists, and every
+/// failed attempt otherwise.
+pub fn session_outcome(session: &ProbeSession, ladder: &[u32]) -> GatherOutcome {
+    let fallback = ladder.last().copied().unwrap_or(64);
+    let mut failed: Vec<WindowTrace> = Vec::new();
+    let mut rung_i = 0usize;
+    let mut pending_a: Option<WindowTrace> = None;
+
+    for conn in &session.connections {
+        let mut trace = conn.trace.clone();
+        match conn.inferred_wmax {
+            Some(w) => {
+                // The wire pinned the rung; keep the replay in sync.
+                if let Some(pos) = ladder.iter().position(|&r| r == w) {
+                    rung_i = pos;
+                }
+                trace.wmax_threshold = w;
+            }
+            None => {
+                trace.wmax_threshold = ladder.get(rung_i).copied().unwrap_or(fallback);
+            }
+        }
+        match trace.env {
+            EnvironmentId::A => {
+                if let Some(a) = pending_a.take() {
+                    failed.push(a); // A followed by A: the B leg is missing
+                }
+                if trace.is_valid() {
+                    pending_a = Some(trace);
+                } else {
+                    let descend = trace.invalid == Some(InvalidReason::NeverExceededThreshold);
+                    failed.push(trace);
+                    if descend {
+                        rung_i += 1;
+                        continue;
+                    }
+                    break; // any other failure aborts the walk
+                }
+            }
+            EnvironmentId::B => match pending_a.take() {
+                Some(a) => {
+                    if trace.usable_for_classification() {
+                        return GatherOutcome {
+                            pair: Some(TracePair {
+                                env_a: a,
+                                env_b: trace,
+                            }),
+                            failed_attempts: failed,
+                        };
+                    }
+                    let descend = trace.invalid == Some(InvalidReason::NeverExceededThreshold);
+                    failed.push(a);
+                    failed.push(trace);
+                    if !descend {
+                        break;
+                    }
+                    rung_i += 1;
+                }
+                None => failed.push(trace), // B without a preceding A
+            },
+        }
+    }
+    if let Some(a) = pending_a {
+        failed.push(a); // the capture ended before the B leg
+    }
+    GatherOutcome {
+        pair: None,
+        failed_attempts: failed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::Flow;
+
+    fn data(t: f64, pkt: u64, retransmit: bool) -> FlowEvent {
+        FlowEvent::Data {
+            t,
+            seq: pkt * 100,
+            len: 100,
+            retransmit,
+        }
+    }
+
+    fn ack(t: f64, pkt: u64) -> FlowEvent {
+        FlowEvent::Ack {
+            t,
+            ack: pkt * 100,
+            duplicate: false,
+        }
+    }
+
+    fn flow_of(events: Vec<FlowEvent>, closed_by: Option<Endpoint>) -> Flow {
+        Flow {
+            client: ([192, 0, 2, 1], 40000),
+            server: ([198, 51, 100, 1], 80),
+            start: events.first().map(FlowEvent::t).unwrap_or(0.0),
+            client_mss: Some(100),
+            server_mss: Some(100),
+            max_payload: 100,
+            events,
+            closed_by,
+            closed_at: None,
+        }
+    }
+
+    /// Slow start 2, 4 at 1 s rounds, crossing burst of 8 at w_max 4
+    /// (toy rungs), timeout, then a short recovery.
+    fn toy_events(post_rounds: usize) -> Vec<FlowEvent> {
+        let mut ev = Vec::new();
+        let mut t = 0.0;
+        let mut pkt = 0u64;
+        for w in [2u64, 4] {
+            for i in 0..w {
+                ev.push(data(t, pkt + i, false));
+            }
+            pkt += w;
+            t += 1.0;
+            for i in 0..w {
+                ev.push(ack(t, pkt - w + i + 1));
+            }
+        }
+        // Crossing burst: 8 packets, never ACKed.
+        for i in 0..8 {
+            ev.push(data(t, pkt + i, false));
+        }
+        // Timeout: head retransmission 3 s later, then doubling recovery.
+        let mut rt = t + 3.0;
+        let mut una = pkt;
+        for r in 0..post_rounds {
+            let w = 1u64 << r.min(3);
+            for i in 0..w {
+                ev.push(data(rt, una + i, true));
+            }
+            una += w;
+            rt += 1.0;
+            for i in 0..w {
+                ev.push(ack(rt, una - w + i + 1));
+            }
+        }
+        ev
+    }
+
+    #[test]
+    fn reconstructs_rounds_timeout_and_rung() {
+        let flow = flow_of(toy_events(18), None);
+        let obs = observe_connection(&flow, &[4, 2]).expect("observable");
+        assert_eq!(obs.trace.env, EnvironmentId::A);
+        assert_eq!(obs.trace.pre, vec![2, 4, 8]);
+        assert!(obs.crossed);
+        assert_eq!(
+            obs.inferred_wmax,
+            Some(4),
+            "largest rung below the crossing w=8"
+        );
+        assert_eq!(obs.trace.post.len(), 18);
+        assert_eq!(&obs.trace.post[..4], &[1, 2, 4, 8]);
+        assert!(obs.trace.is_valid(), "{:?}", obs.trace);
+    }
+
+    #[test]
+    fn short_recovery_is_recovery_too_short() {
+        let flow = flow_of(toy_events(5), Some(Endpoint::Server));
+        let obs = observe_connection(&flow, &[4]).unwrap();
+        assert_eq!(obs.trace.invalid, Some(InvalidReason::RecoveryTooShort));
+    }
+
+    #[test]
+    fn unanswered_withholding_is_no_timeout_response() {
+        let mut ev = toy_events(0);
+        // Truncate at the crossing burst: keep everything up to the last
+        // pre-timeout data packet.
+        ev.truncate(2 + 2 + 4 + 4 + 8);
+        let flow = flow_of(ev, Some(Endpoint::Client));
+        let obs = observe_connection(&flow, &[4]).unwrap();
+        assert!(obs.crossed);
+        assert_eq!(obs.trace.invalid, Some(InvalidReason::NoTimeoutResponse));
+    }
+
+    #[test]
+    fn server_close_before_crossing_is_page_too_short() {
+        let ev = vec![
+            data(0.0, 0, false),
+            data(0.0, 1, false),
+            ack(1.0, 1),
+            ack(1.0, 2),
+        ];
+        let flow = flow_of(ev, Some(Endpoint::Server));
+        let obs = observe_connection(&flow, &[512]).unwrap();
+        assert_eq!(obs.trace.invalid, Some(InvalidReason::PageTooShort));
+        assert!(!obs.crossed);
+        assert_eq!(
+            obs.trace.wmax_threshold, 0,
+            "rung comes from the session replay"
+        );
+    }
+
+    #[test]
+    fn prober_close_without_crossing_is_never_exceeded() {
+        let ev = vec![
+            data(0.0, 0, false),
+            data(0.0, 1, false),
+            ack(1.0, 2),
+            data(1.0, 2, false),
+            data(1.0, 3, false),
+            ack(2.0, 4),
+        ];
+        let flow = flow_of(ev, Some(Endpoint::Client));
+        let obs = observe_connection(&flow, &[512]).unwrap();
+        assert_eq!(
+            obs.trace.invalid,
+            Some(InvalidReason::NeverExceededThreshold)
+        );
+    }
+
+    #[test]
+    fn environment_b_inferred_from_short_first_round() {
+        let ev = vec![
+            data(0.0, 0, false),
+            data(0.0, 1, false),
+            ack(0.8, 2),
+            data(0.8, 2, false),
+            ack(1.6, 3),
+        ];
+        let flow = flow_of(ev, Some(Endpoint::Client));
+        let obs = observe_connection(&flow, &[512]).unwrap();
+        assert_eq!(obs.trace.env, EnvironmentId::B);
+    }
+
+    #[test]
+    fn silent_rounds_reappear_as_zero_windows() {
+        // Round 1 at t=0 (w=2, ACKed), then a 2-round silence (ACKs lost,
+        // server stalled), then a round at t=3.
+        let ev = vec![
+            data(0.0, 0, false),
+            data(0.0, 1, false),
+            ack(1.0, 2),
+            data(3.0, 2, false),
+            ack(4.0, 3),
+        ];
+        let flow = flow_of(ev, Some(Endpoint::Client));
+        let obs = observe_connection(&flow, &[512]).unwrap();
+        assert_eq!(obs.trace.pre, vec![2, 0, 0, 1]);
+    }
+
+    #[test]
+    fn session_replay_assigns_descending_rungs() {
+        // Connection 1 (env A): never exceeds; connection 2 (env A):
+        // crosses at the 2-rung; connection 3 (env B): valid pair leg.
+        let c1 = {
+            let ev = vec![
+                data(0.0, 0, false),
+                ack(1.0, 1),
+                data(1.0, 1, false),
+                ack(2.0, 2),
+            ];
+            observe_connection(&flow_of(ev, Some(Endpoint::Client)), &[4, 2]).unwrap()
+        };
+        let mk_crossing = |base: f64, env_b: bool| {
+            let rtt = if env_b { 0.8 } else { 1.0 };
+            let mut ev = vec![data(base, 0, false), data(base, 1, false)];
+            ev.push(ack(base + rtt, 2));
+            ev.push(ack(base + rtt, 2));
+            for i in 0..3 {
+                ev.push(data(base + rtt, 2 + i, false));
+            }
+            // timeout + 18 post rounds of one packet each
+            let mut t = base + rtt + 3.0;
+            let mut una = 2u64;
+            let mut ev2 = Vec::new();
+            for _ in 0..18 {
+                ev2.push(data(t, una, true));
+                una += 1;
+                t += rtt;
+                ev2.push(ack(t, una));
+            }
+            ev.extend(ev2);
+            let mut f = flow_of(ev, Some(Endpoint::Client));
+            f.start = base;
+            f
+        };
+        let c2 = observe_connection(&mk_crossing(100.0, false), &[4, 2]).unwrap();
+        let c3 = observe_connection(&mk_crossing(200.0, true), &[4, 2]).unwrap();
+        let session = ProbeSession {
+            client_ip: [192, 0, 2, 1],
+            server_ip: [198, 51, 100, 1],
+            connections: vec![c1, c2, c3],
+            flows: 3,
+        };
+        let outcome = session_outcome(&session, &[4, 2]);
+        assert_eq!(outcome.failed_attempts.len(), 1);
+        assert_eq!(
+            outcome.failed_attempts[0].wmax_threshold, 4,
+            "first attempt replayed at the top rung"
+        );
+        let pair = outcome.pair.expect("pair assembled");
+        assert_eq!(pair.wmax_threshold(), 2, "crossing w=3 pins the 2-rung");
+        assert_eq!(pair.env_b.env, EnvironmentId::B);
+    }
+}

@@ -1,0 +1,158 @@
+//! Robustness properties of the capture-ingestion path: whatever the
+//! bytes, the parser **skips and reports** — it never panics, and it
+//! never gives up on packets that are still well-framed. This mirrors
+//! the census JSONL reader's torn-line policy at the pcap layer.
+
+use caai_capture::pcap::byteswap_capture;
+use caai_capture::{reassemble, CaptureRenderer, PcapReader};
+use caai_congestion::AlgorithmId;
+use caai_core::prober::{Prober, ProberConfig};
+use caai_core::server_under_test::ServerUnderTest;
+use caai_netem::rng::seeded;
+use caai_netem::PathConfig;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One real rendered capture, built once (rendering is ~30 ms).
+fn fixture() -> &'static [u8] {
+    static CAPTURE: OnceLock<Vec<u8>> = OnceLock::new();
+    CAPTURE.get_or_init(|| {
+        let mut renderer = CaptureRenderer::new();
+        let prober = Prober::new(ProberConfig::fixed_wmax(128));
+        let server = ServerUnderTest::ideal(AlgorithmId::Reno);
+        let mut rng = seeded(77);
+        renderer
+            .render_session(
+                [192, 0, 2, 1],
+                [198, 51, 100, 1],
+                &server,
+                &prober,
+                &PathConfig::clean(),
+                &mut rng,
+            )
+            .expect("in-memory render cannot fail");
+        renderer.to_bytes()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Truncating a capture anywhere must not panic, every record fully
+    /// before the cut must still parse, a mid-record cut must be
+    /// reported as `truncated`, and a cut exactly on a record boundary
+    /// must read as a clean (if short) capture.
+    #[test]
+    fn truncation_preserves_the_well_framed_prefix(cut_permille in 0usize..1000) {
+        let full = fixture();
+        let cut = full.len() * cut_permille / 1000;
+        let bytes = &full[..cut];
+        if bytes.len() < 24 {
+            prop_assert!(reassemble(bytes).is_err(), "short header must error");
+            return Ok(());
+        }
+        // Count the records fully contained before the cut by walking
+        // the (trusted) fixture framing.
+        let mut complete = 0usize;
+        let mut at = 24;
+        while at + 16 <= full.len() {
+            let incl = u32::from_le_bytes(full[at + 8..at + 12].try_into().unwrap()) as usize;
+            if at + 16 + incl > cut {
+                break;
+            }
+            at += 16 + incl;
+            complete += 1;
+        }
+        let boundary_cut = at == cut;
+        let r = reassemble(bytes).unwrap();
+        prop_assert!(
+            r.packets + r.skipped.len() == complete,
+            "prefix records must survive: {} + {} vs {complete}",
+            r.packets,
+            r.skipped.len()
+        );
+        prop_assert!(
+            r.truncated.is_some() != boundary_cut,
+            "cut at {cut} (boundary: {boundary_cut}) reported as {:?}",
+            r.truncated
+        );
+    }
+
+    /// Flipping any single byte must not panic: either the record skips
+    /// (decode error), framing stops with a diagnostic, or the flip is
+    /// benign (payload/checksum bytes).
+    #[test]
+    fn single_byte_corruption_never_panics(pos_permille in 0usize..1000, flip in 1u8..255) {
+        let full = fixture();
+        let mut bytes = full.to_vec();
+        let pos = (full.len() - 1) * pos_permille / 999;
+        bytes[pos] ^= flip;
+        // An Err is fine too: header corruption is a clean error.
+        if let Ok(r) = reassemble(&bytes) {
+            // Still parsed: at most a handful of packets may have been
+            // skipped or the file truncated at the flip.
+            prop_assert!(r.flows.len() <= 4, "flows {}", r.flows.len());
+        }
+    }
+
+    /// Random garbage is never a panic: any byte soup either fails the
+    /// header check or yields skip-and-report results.
+    #[test]
+    fn arbitrary_bytes_never_panic(len in 0usize..4096, seed in 0u64..u64::MAX) {
+        let mut state = seed | 1;
+        let bytes: Vec<u8> = (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 56) as u8
+            })
+            .collect();
+        let _ = reassemble(&bytes); // must simply not panic
+        if let Ok(mut reader) = PcapReader::new(&bytes) {
+            while let Some(item) = reader.next() {
+                if item.is_err() {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Injecting a garbage record mid-stream: the packets around it must
+    /// still parse, with the garbage skipped and reported.
+    #[test]
+    fn midstream_garbage_is_skipped_and_reported(junk_len in 1usize..200, junk_byte in 0u8..255) {
+        let full = fixture();
+        // Find the end of the 10th record and splice a junk record in.
+        let mut at = 24;
+        for _ in 0..10 {
+            let incl = u32::from_le_bytes(full[at + 8..at + 12].try_into().unwrap()) as usize;
+            at += 16 + incl;
+        }
+        let mut bytes = full[..at].to_vec();
+        let ts = &full[at..at + 8];
+        bytes.extend_from_slice(ts); // reuse a plausible timestamp
+        bytes.extend_from_slice(&(junk_len as u32).to_le_bytes());
+        bytes.extend_from_slice(&(junk_len as u32).to_le_bytes());
+        bytes.extend(std::iter::repeat_n(junk_byte, junk_len));
+        bytes.extend_from_slice(&full[at..]);
+
+        let clean = reassemble(full).unwrap();
+        let dirty = reassemble(&bytes).unwrap();
+        prop_assert!(dirty.truncated.is_none());
+        prop_assert!(dirty.skipped.len() == 1, "exactly the junk record skips");
+        prop_assert!(dirty.skipped[0].0 == 10, "skip reported at the splice index");
+        prop_assert!(dirty.packets == clean.packets, "all real packets survive");
+        prop_assert!(dirty.flows.len() == clean.flows.len());
+    }
+
+    /// A byte-swapped (big-endian) capture reassembles into the same
+    /// flows as the little-endian original.
+    #[test]
+    fn endianness_is_transparent(_case in 0u32..1) {
+        let le = fixture();
+        let be = byteswap_capture(le);
+        let a = reassemble(le).unwrap();
+        let b = reassemble(&be).unwrap();
+        prop_assert!(a.flows == b.flows);
+        prop_assert!(a.skipped.len() == b.skipped.len());
+    }
+}

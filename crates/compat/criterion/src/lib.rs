@@ -14,10 +14,37 @@
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 
+/// One finished measurement, for harnesses that post-process results
+/// (e.g. writing a machine-readable `BENCH_*.json`). Real criterion
+/// exposes this through its output directory; the offline stand-in keeps
+/// it in memory instead.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Group name.
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Median time per iteration, nanoseconds.
+    pub median_ns: u128,
+    /// Declared per-iteration throughput, if any.
+    pub throughput: Option<Throughput>,
+}
+
+impl BenchResult {
+    /// Derived rate in units/second (elements or bytes, per the declared
+    /// throughput), when one was declared and the median is non-zero.
+    pub fn rate_per_sec(&self) -> Option<f64> {
+        let n = match self.throughput? {
+            Throughput::Elements(n) | Throughput::Bytes(n) => n,
+        };
+        (self.median_ns > 0).then(|| n as f64 * 1e9 / self.median_ns as f64)
+    }
+}
+
 /// Top-level benchmark driver.
 #[derive(Debug, Default)]
 pub struct Criterion {
-    _private: (),
+    results: Vec<BenchResult>,
 }
 
 impl Criterion {
@@ -26,11 +53,16 @@ impl Criterion {
         let name = name.into();
         println!("group {name}");
         BenchmarkGroup {
-            _criterion: self,
+            criterion: self,
             name,
             sample_size: 10,
             throughput: None,
         }
+    }
+
+    /// Every measurement taken so far, in execution order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
     }
 }
 
@@ -73,7 +105,7 @@ impl From<String> for BenchmarkId {
 
 /// A group of benchmarks sharing sample-size and throughput settings.
 pub struct BenchmarkGroup<'a> {
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
     name: String,
     sample_size: usize,
     throughput: Option<Throughput>,
@@ -130,7 +162,7 @@ impl BenchmarkGroup<'_> {
     /// Ends the group.
     pub fn finish(self) {}
 
-    fn report(&self, id: &BenchmarkId, samples: &[Duration]) {
+    fn report(&mut self, id: &BenchmarkId, samples: &[Duration]) {
         if samples.is_empty() {
             println!("  {}/{}: no samples", self.name, id.0);
             return;
@@ -151,6 +183,12 @@ impl BenchmarkGroup<'_> {
             _ => String::new(),
         };
         println!("  {}/{}: {} ns/iter{}", self.name, id.0, median, rate);
+        self.criterion.results.push(BenchResult {
+            group: self.name.clone(),
+            id: id.0.clone(),
+            median_ns: median,
+            throughput: self.throughput,
+        });
     }
 }
 

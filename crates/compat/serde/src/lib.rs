@@ -70,6 +70,18 @@ impl Value {
     }
 }
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 /// Looks up a field of an object by name. Used by the derive macros.
 pub fn get_field<'v>(map: &'v [(String, Value)], name: &str) -> Option<&'v Value> {
     map.iter().find(|(k, _)| k == name).map(|(_, v)| v)

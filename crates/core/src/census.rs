@@ -18,10 +18,48 @@ use std::collections::BTreeMap;
 use crate::classes::ClassLabel;
 use crate::classify::{CaaiClassifier, Identification};
 use crate::features::extract_pair;
-use crate::prober::{Prober, ProberConfig};
+use crate::prober::{GatherOutcome, Prober, ProberConfig};
 use crate::server_under_test::ServerUnderTest;
 use crate::special::{detect, SpecialCase};
 use crate::trace::InvalidReason;
+
+/// CAAI steps 2–3 as one function: turns a gathering outcome into a
+/// verdict — invalid → its reason, a §VII-B special shape → filed,
+/// otherwise feature extraction and the random forest with the 40%
+/// confidence floor. The raw classifier output rides along when the
+/// forest ran.
+///
+/// This is the **single** verdict pipeline: the synthetic census
+/// (`Census::probe`) and capture ingestion (`caai-capture`) both call
+/// it, so a simulated probe and its recorded wire exchange can never
+/// be scored by diverging rules.
+pub fn verdict_for_outcome(
+    outcome: &GatherOutcome,
+    classifier: &CaaiClassifier,
+) -> (Verdict, Option<Identification>) {
+    match &outcome.pair {
+        None => (
+            Verdict::Invalid(
+                outcome
+                    .failure_reason()
+                    .unwrap_or(InvalidReason::NeverExceededThreshold),
+            ),
+            None,
+        ),
+        Some(pair) => {
+            let wmax = pair.wmax_threshold();
+            if let Some(case) = detect(&pair.env_a) {
+                return (Verdict::Special(case, wmax), None);
+            }
+            let id = classifier.classify(&extract_pair(pair));
+            let verdict = match id {
+                Identification::Identified { class, .. } => Verdict::Identified(class, wmax),
+                Identification::Unsure { .. } => Verdict::Unsure(wmax),
+            };
+            (verdict, Some(id))
+        }
+    }
+}
 
 /// The census verdict for one server.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -52,7 +90,11 @@ pub struct CensusRecord {
     /// Server id within the population.
     pub server_id: u32,
     /// Ground-truth algorithm (the effective one, behind any proxy).
-    pub truth: AlgorithmId,
+    /// `None` when the record was not produced against a synthetic server
+    /// — e.g. a flow ingested from a packet capture, where the truth is
+    /// exactly what identification is trying to find out. (`Option`
+    /// serializes transparently, so synthetic-census JSONL is unchanged.)
+    pub truth: Option<AlgorithmId>,
     /// The verdict.
     pub verdict: Verdict,
 }
@@ -74,7 +116,9 @@ pub struct CensusReport {
     pub columns: BTreeMap<u32, CensusColumn>,
     /// Ground-truth algorithm histogram (synthetic-population bonus).
     pub truth: BTreeMap<String, usize>,
-    /// Confidently identified servers (denominator of the accuracy score).
+    /// Confidently identified servers *with known ground truth* — the
+    /// denominator of the accuracy score (truth-less capture-ingested
+    /// records appear in the columns but not here).
     pub identified_total: usize,
     /// Confident identifications matching ground truth.
     pub identified_correct: usize,
@@ -179,7 +223,7 @@ impl CensusReport {
 ///
 /// let record = CensusRecord {
 ///     server_id: 7,
-///     truth: AlgorithmId::Bic,
+///     truth: Some(AlgorithmId::Bic),
 ///     verdict: Verdict::Identified(ClassLabel::Bic, 512),
 /// };
 /// let mut left = CensusAggregates::default();
@@ -202,7 +246,7 @@ pub struct CensusAggregates {
     pub columns: BTreeMap<u32, CensusColumn>,
     /// Ground-truth algorithm histogram.
     pub truth: BTreeMap<String, usize>,
-    /// Confidently identified servers.
+    /// Confidently identified servers with known ground truth.
     pub identified_total: usize,
     /// Confident identifications matching ground truth.
     pub identified_correct: usize,
@@ -212,7 +256,9 @@ impl CensusAggregates {
     /// Folds one record into the aggregates.
     pub fn observe(&mut self, r: &CensusRecord) {
         self.total += 1;
-        *self.truth.entry(r.truth.name().to_owned()).or_default() += 1;
+        if let Some(truth) = r.truth {
+            *self.truth.entry(truth.name().to_owned()).or_default() += 1;
+        }
         match r.verdict {
             Verdict::Invalid(reason) => {
                 *self.invalid.entry(format!("{reason:?}")).or_default() += 1;
@@ -227,9 +273,15 @@ impl CensusAggregates {
             Verdict::Identified(class, wmax) => {
                 let col = self.columns.entry(wmax).or_default();
                 *col.identified.entry(class.name().to_owned()).or_default() += 1;
-                self.identified_total += 1;
-                if class.matches(r.truth, wmax) {
-                    self.identified_correct += 1;
+                // Truth-less records (capture-ingested flows) carry
+                // nothing to score against: keeping them out of the
+                // denominator stops them from silently deflating the
+                // accuracy when capture and synthetic records mix.
+                if let Some(truth) = r.truth {
+                    self.identified_total += 1;
+                    if class.matches(truth, wmax) {
+                        self.identified_correct += 1;
+                    }
                 }
             }
         }
@@ -296,30 +348,10 @@ impl Census {
         let path = PathConfig::from_condition(&cond);
         let sut = ServerUnderTest::from_web_server(server);
         let outcome = self.prober.gather(&sut, &path, rng);
-        let verdict = match outcome.pair {
-            None => Verdict::Invalid(
-                outcome
-                    .failure_reason()
-                    .unwrap_or(InvalidReason::NeverExceededThreshold),
-            ),
-            Some(pair) => {
-                let wmax = pair.wmax_threshold();
-                if let Some(case) = detect(&pair.env_a) {
-                    Verdict::Special(case, wmax)
-                } else {
-                    let v = extract_pair(&pair);
-                    match self.classifier.classify(&v) {
-                        Identification::Identified { class, .. } => {
-                            Verdict::Identified(class, wmax)
-                        }
-                        Identification::Unsure { .. } => Verdict::Unsure(wmax),
-                    }
-                }
-            }
-        };
+        let (verdict, _) = verdict_for_outcome(&outcome, &self.classifier);
         CensusRecord {
             server_id: server.id,
-            truth: server.effective_algorithm(),
+            truth: Some(server.effective_algorithm()),
             verdict,
         }
     }
@@ -495,5 +527,30 @@ mod tests {
         assert_eq!(Verdict::Invalid(InvalidReason::PageTooShort).wmax(), None);
         assert_eq!(Verdict::Unsure(128).wmax(), Some(128));
         assert_eq!(Verdict::Identified(ClassLabel::Bic, 512).wmax(), Some(512));
+    }
+
+    #[test]
+    fn truthless_records_do_not_deflate_accuracy() {
+        use caai_congestion::AlgorithmId;
+        let mut agg = CensusAggregates::default();
+        agg.observe(&CensusRecord {
+            server_id: 0,
+            truth: Some(AlgorithmId::Bic),
+            verdict: Verdict::Identified(ClassLabel::Bic, 512),
+        });
+        // A capture-ingested identification: nothing to score against.
+        agg.observe(&CensusRecord {
+            server_id: 1,
+            truth: None,
+            verdict: Verdict::Identified(ClassLabel::Htcp, 512),
+        });
+        let report = agg.report();
+        assert_eq!(
+            report.identified_total, 1,
+            "only truth-bearing records score"
+        );
+        assert_eq!(report.ground_truth_accuracy(), 1.0);
+        let column_identified: usize = report.columns[&512].identified.values().sum();
+        assert_eq!(column_identified, 2, "the column still counts both");
     }
 }

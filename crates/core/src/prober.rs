@@ -33,6 +33,19 @@ pub struct ProberConfig {
     pub post_timeout_rounds: usize,
     /// Safety cap on pre-timeout rounds per attempt.
     pub max_pre_rounds: usize,
+    /// Consecutive rounds without a new per-round window maximum before
+    /// the attempt concludes the threshold is unreachable (the Fig. 13
+    /// stalled-window case: a ceiling below `w_max`). Giving up at the
+    /// first visible plateau instead of burning the full
+    /// [`max_pre_rounds`](Self::max_pre_rounds) keeps the data a wasted
+    /// high-rung attempt consumes proportional to the ceiling, which is
+    /// what lets window-limited servers with ordinary pages still reach
+    /// their usable rung. `0` disables the early exit. The default (8)
+    /// clears every identified algorithm's transient plateaus (CUBIC's
+    /// origin flat spot spans ~3 rounds, BIC's binary-search convergence
+    /// keeps probing new maxima) while VEGAS-style and ceiling plateaus
+    /// stall for good.
+    pub stall_rounds: u32,
     /// Send the duplicate ACK that defeats F-RTO (§IV-C). On by default;
     /// disabling it reproduces the F-RTO failure mode.
     pub frto_countermeasure: bool,
@@ -53,6 +66,7 @@ impl Default for ProberConfig {
             proposed_mss: 100,
             post_timeout_rounds: POST_TIMEOUT_ROUNDS,
             max_pre_rounds: 50,
+            stall_rounds: 8,
             frto_countermeasure: true,
             inter_connection_wait: 630.0,
             max_rto_waits: 2,
@@ -106,6 +120,68 @@ impl GatherOutcome {
     }
 }
 
+/// Which endpoint tore a probing connection down.
+///
+/// The prober abandons connections itself (threshold never crossed, server
+/// deaf to the timeout, trace complete); the server side closes when its
+/// data budget runs dry mid-probe. A wire observer can tell the two apart
+/// by who sends the FIN, which is exactly what `caai-capture`'s ingestion
+/// uses to reconstruct [`InvalidReason`]s from a capture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CloseInitiator {
+    /// The prober closed (abandoned the attempt or finished the trace).
+    Prober,
+    /// The server finished its data and closed first.
+    Server,
+}
+
+/// Observer of the packet exchange a probe attempt produces.
+///
+/// [`Prober::gather_with_tap`] reports every wire-visible event from the
+/// prober's vantage point: data packets as they *arrive* (after path loss,
+/// duplication and reordering — lost packets are never reported), and ACKs
+/// as they are *sent* (before any ACK loss downstream). Sequence numbers
+/// are in packets (MSS units), times in emulated seconds. The pcap writer
+/// in `caai-capture` implements this to render a byte-valid capture of a
+/// simulated probe session; the default methods do nothing, so taps
+/// implement only what they need.
+pub trait ProbeTap {
+    /// A new probing connection opened at `now` for `(env, wmax)`.
+    fn connection_opened(
+        &mut self,
+        now: f64,
+        env: EnvironmentId,
+        wmax: u32,
+        proposed_mss: u32,
+        granted_mss: u32,
+    ) {
+        let _ = (now, env, wmax, proposed_mss, granted_mss);
+    }
+
+    /// One data packet (packet-unit sequence `seq`) arrived at `now`.
+    /// `duplicate` marks a spurious path-duplicated copy.
+    fn data_received(&mut self, now: f64, seq: u64, duplicate: bool) {
+        let _ = (now, seq, duplicate);
+    }
+
+    /// The prober sent a cumulative ACK for everything below `cum_ack` at
+    /// `now`. `duplicate` marks the F-RTO counter-measure duplicate ACK.
+    fn ack_sent(&mut self, now: f64, cum_ack: u64, duplicate: bool) {
+        let _ = (now, cum_ack, duplicate);
+    }
+
+    /// The connection closed at `now`.
+    fn connection_closed(&mut self, now: f64, initiator: CloseInitiator) {
+        let _ = (now, initiator);
+    }
+}
+
+/// A tap that ignores every event (the default for untapped gathering).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopTap;
+
+impl ProbeTap for NoopTap {}
+
 /// The CAAI prober.
 #[derive(Debug, Clone, Default)]
 pub struct Prober {
@@ -147,11 +223,24 @@ impl Prober {
         path: &PathConfig,
         rng: &mut impl Rng,
     ) -> GatherOutcome {
+        self.gather_with_tap(server, path, rng, &mut NoopTap)
+    }
+
+    /// [`gather`](Self::gather) with a wire observer: the tap sees every
+    /// packet of every connection of the ladder walk (see [`ProbeTap`]).
+    /// The gathered outcome is identical to the untapped call.
+    pub fn gather_with_tap(
+        &self,
+        server: &ServerUnderTest,
+        path: &PathConfig,
+        rng: &mut impl Rng,
+        tap: &mut dyn ProbeTap,
+    ) -> GatherOutcome {
         let mut now = 0.0;
         let mut failed = Vec::new();
         for &wmax in &self.config.wmax_ladder {
             let (trace_a, end_a) =
-                self.gather_trace(server, EnvironmentId::A, wmax, now, path, rng);
+                self.gather_trace_with_tap(server, EnvironmentId::A, wmax, now, path, rng, tap);
             now = end_a + self.config.inter_connection_wait;
             if !trace_a.is_valid() {
                 let descend = trace_a.invalid == Some(InvalidReason::NeverExceededThreshold);
@@ -162,7 +251,7 @@ impl Prober {
                 break;
             }
             let (trace_b, end_b) =
-                self.gather_trace(server, EnvironmentId::B, wmax, now, path, rng);
+                self.gather_trace_with_tap(server, EnvironmentId::B, wmax, now, path, rng, tap);
             now = end_b + self.config.inter_connection_wait;
             if trace_b.usable_for_classification() {
                 return GatherOutcome {
@@ -197,10 +286,27 @@ impl Prober {
         path: &PathConfig,
         rng: &mut impl Rng,
     ) -> (WindowTrace, f64) {
+        self.gather_trace_with_tap(server, env, wmax, start, path, rng, &mut NoopTap)
+    }
+
+    /// [`gather_trace`](Self::gather_trace) with a wire observer (see
+    /// [`ProbeTap`]). The gathered trace is identical to the untapped call.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gather_trace_with_tap(
+        &self,
+        server: &ServerUnderTest,
+        env: EnvironmentId,
+        wmax: u32,
+        start: f64,
+        path: &PathConfig,
+        rng: &mut impl Rng,
+        tap: &mut dyn ProbeTap,
+    ) -> (WindowTrace, f64) {
         let schedule = RttSchedule::new(env);
         let granted_mss = server.granted_mss(self.config.proposed_mss);
         let mut conn = server.connect(self.config.proposed_mss, start);
         let mut now = start;
+        tap.connection_opened(now, env, wmax, self.config.proposed_mss, granted_mss);
 
         let mut trace = WindowTrace {
             env,
@@ -216,6 +322,8 @@ impl Prober {
         let mut prober_cum: u64 = 0; // highest cumulative ACK sent so far
         let mut carry: Vec<CarriedPacket> = Vec::new();
         let mut crossed = false;
+        let mut best_w = 0u32; // largest per-round window so far
+        let mut stalled = 0u32; // rounds since `best_w` last grew
 
         for round in 1..=self.config.max_pre_rounds as u32 {
             let rtt = schedule.rtt(Phase::BeforeTimeout, round);
@@ -224,6 +332,7 @@ impl Prober {
                 if conn.finished() {
                     trace.invalid = Some(InvalidReason::PageTooShort);
                     server.disconnect(&conn, now);
+                    tap.connection_closed(now, CloseInitiator::Server);
                     return (trace, now);
                 }
                 // All ACKs of the previous round were lost: wait for the
@@ -239,6 +348,9 @@ impl Prober {
             }
 
             let (received, next_carry) = deliver(&segs, &mut carry, path, rng);
+            for p in &received {
+                tap.data_received(now, p.seq, p.duplicate);
+            }
             let w = measure(&received, &mut prev_seqmax);
             trace.pre.push(w);
             carry = next_carry;
@@ -251,8 +363,23 @@ impl Prober {
             let acks = build_acks(&received, &mut prober_cum, rtt);
             now += rtt;
             for ack in acks {
+                tap.ack_sent(now, ack.cum_ack, false);
                 if path.ack_fate(rng) == caai_netem::AckFate::Delivered {
                     conn.on_ack(now, ack);
+                }
+            }
+
+            // Fig. 13 early exit: the window has visibly stopped growing
+            // below the threshold — a ceiling (or a VEGAS-style plateau)
+            // it will never cross. Waiting out `max_pre_rounds` would only
+            // burn the page budget the next rung needs.
+            if w > best_w {
+                best_w = w;
+                stalled = 0;
+            } else {
+                stalled += 1;
+                if self.config.stall_rounds > 0 && stalled >= self.config.stall_rounds {
+                    break;
                 }
             }
         }
@@ -260,6 +387,7 @@ impl Prober {
         if !crossed {
             trace.invalid = Some(InvalidReason::NeverExceededThreshold);
             server.disconnect(&conn, now);
+            tap.connection_closed(now, CloseInitiator::Prober);
             return (trace, now);
         }
 
@@ -278,6 +406,7 @@ impl Prober {
         if !responded {
             trace.invalid = Some(InvalidReason::NoTimeoutResponse);
             server.disconnect(&conn, now);
+            tap.connection_closed(now, CloseInitiator::Prober);
             return (trace, now);
         }
 
@@ -293,6 +422,7 @@ impl Prober {
                 if conn.finished() {
                     trace.invalid = Some(InvalidReason::RecoveryTooShort);
                     server.disconnect(&conn, now);
+                    tap.connection_closed(now, CloseInitiator::Server);
                     return (trace, now);
                 }
                 if let Some(deadline) = conn.rto_deadline() {
@@ -307,6 +437,9 @@ impl Prober {
             }
 
             let (received, next_carry) = deliver(&segs, &mut carry, path, rng);
+            for p in &received {
+                tap.data_received(now, p.seq, p.duplicate);
+            }
             if prev_seqmax == i64::MIN {
                 if let Some(first) = received.iter().map(|p| p.seq).min() {
                     prev_seqmax = first as i64 - 1;
@@ -330,6 +463,9 @@ impl Prober {
             acks.extend(build_acks(&received, &mut prober_cum, rtt));
             now += rtt;
             for ack in acks {
+                // Duplicate ACKs (the F-RTO counter-measure) carry no RTT
+                // sample; that is how they are recognizable here too.
+                tap.ack_sent(now, ack.cum_ack, ack.rtt == 0.0);
                 if path.ack_fate(rng) == caai_netem::AckFate::Delivered {
                     conn.on_ack(now, ack);
                 }
@@ -338,6 +474,7 @@ impl Prober {
         }
 
         server.disconnect(&conn, now);
+        tap.connection_closed(now, CloseInitiator::Prober);
         (trace, now)
     }
 }

@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 pub const POST_TIMEOUT_ROUNDS: usize = 18;
 
 /// Why a gathering attempt produced no valid trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum InvalidReason {
     /// The window never exceeded the `w_max` threshold within the round
     /// budget (Fig. 13) — e.g. a window ceiling, or VEGAS in environment B.

@@ -234,7 +234,7 @@ mod tests {
     fn record(server_id: u32, verdict: Verdict) -> CensusRecord {
         CensusRecord {
             server_id,
-            truth: AlgorithmId::Bic,
+            truth: Some(AlgorithmId::Bic),
             verdict,
         }
     }

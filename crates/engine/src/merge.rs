@@ -18,7 +18,7 @@
 //! // Two complete half-shards of a 4-server census ...
 //! let record = |id: u32| CensusRecord {
 //!     server_id: id,
-//!     truth: AlgorithmId::Reno,
+//!     truth: Some(AlgorithmId::Reno),
 //!     verdict: Verdict::Invalid(InvalidReason::PageTooShort),
 //! };
 //! let shard = |k: u32| -> Checkpoint {
@@ -291,7 +291,7 @@ mod tests {
     fn record(id: u32) -> CensusRecord {
         CensusRecord {
             server_id: id,
-            truth: AlgorithmId::Bic,
+            truth: Some(AlgorithmId::Bic),
             verdict: Verdict::Identified(ClassLabel::Bic, 512),
         }
     }

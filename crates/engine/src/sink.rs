@@ -249,17 +249,17 @@ mod tests {
         vec![
             CensusRecord {
                 server_id: 2,
-                truth: AlgorithmId::CubicV2,
+                truth: Some(AlgorithmId::CubicV2),
                 verdict: Verdict::Identified(ClassLabel::Cubic1, 512),
             },
             CensusRecord {
                 server_id: 0,
-                truth: AlgorithmId::Reno,
+                truth: Some(AlgorithmId::Reno),
                 verdict: Verdict::Invalid(InvalidReason::PageTooShort),
             },
             CensusRecord {
                 server_id: 1,
-                truth: AlgorithmId::Htcp,
+                truth: Some(AlgorithmId::Htcp),
                 verdict: Verdict::Unsure(128),
             },
         ]

@@ -23,7 +23,7 @@ use std::time::Instant;
 /// telemetry.observe(
 ///     &CensusRecord {
 ///         server_id: 0,
-///         truth: AlgorithmId::Bic,
+///         truth: Some(AlgorithmId::Bic),
 ///         verdict: Verdict::Identified(ClassLabel::Bic, 512),
 ///     },
 ///     false,
@@ -195,7 +195,7 @@ mod tests {
     fn record(verdict: Verdict) -> CensusRecord {
         CensusRecord {
             server_id: 0,
-            truth: AlgorithmId::Reno,
+            truth: Some(AlgorithmId::Reno),
             verdict,
         }
     }

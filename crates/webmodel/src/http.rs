@@ -34,7 +34,14 @@ pub struct RequestAcceptanceModel {
 impl RequestAcceptanceModel {
     /// Samples a server from the Fig. 6 distribution.
     pub fn sample(rng: &mut impl Rng) -> Self {
-        let u: f64 = rng.random();
+        Self::from_quantile(rng.random())
+    }
+
+    /// The Fig. 6 value at quantile `u ∈ [0, 1]` (inverse-CDF sampling;
+    /// the joint-sampling hook mirroring [`PageModel::from_quantiles`]).
+    ///
+    /// [`PageModel::from_quantiles`]: crate::pages::PageModel::from_quantiles
+    pub fn from_quantile(u: f64) -> Self {
         for &(v, p) in FIG6_KNOTS.iter() {
             if u < p {
                 return RequestAcceptanceModel { max_requests: v };

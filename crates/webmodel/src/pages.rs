@@ -41,10 +41,10 @@ fn longest_page_log_cdf() -> Cdf {
         (4.0, 0.28),
         (4.5, 0.40),
         (5.0, 0.59), // 1 − 0.59·0.88 ≈ 0.48 above 100 kB after the max
-        (5.5, 0.65),
-        (6.0, 0.75),
-        (6.5, 0.85),
-        (7.0, 0.93),
+        (5.8, 0.615),
+        (6.3, 0.70),
+        (6.8, 0.80),
+        (7.2, 0.90),
         (7.7, 1.00), // ~50 MB
     ])
 }
@@ -62,8 +62,17 @@ impl PageModel {
     /// Samples a server's pages from the Fig. 7 distributions. The longest
     /// page is at least the default page.
     pub fn sample(rng: &mut impl Rng) -> Self {
-        let default_bytes = 10f64.powf(default_page_log_cdf().sample(rng)) as u64;
-        let searched = 10f64.powf(longest_page_log_cdf().sample(rng)) as u64;
+        Self::from_quantiles(rng.random(), rng.random())
+    }
+
+    /// Builds the page inventory from explicit quantiles of the Fig. 7
+    /// CDFs (`u` values in `[0, 1]`). This is the joint-sampling hook:
+    /// the population model couples `u_longest` to the request-acceptance
+    /// quantile (see `population`), which changes the *joint* distribution
+    /// while both marginals stay exactly the published curves.
+    pub fn from_quantiles(u_default: f64, u_longest: f64) -> Self {
+        let default_bytes = 10f64.powf(default_page_log_cdf().quantile(u_default)) as u64;
+        let searched = 10f64.powf(longest_page_log_cdf().quantile(u_longest)) as u64;
         PageModel {
             default_bytes,
             longest_bytes: searched.max(default_bytes),

@@ -2,11 +2,16 @@
 //! behaves in CAAI's two emulated environments, and print the feature
 //! vector each one produces — the raw material of Fig. 3 and §V.
 //!
+//! Each fingerprint is measured twice: directly from the simulation, and
+//! re-extracted from a rendered packet capture of the same probe — the
+//! `pcap` column confirms the wire round trip preserves the vector.
+//!
 //! ```sh
 //! cargo run --release --example fingerprint_lab            # all 14
 //! cargo run --release --example fingerprint_lab CUBIC BIC  # a subset
 //! ```
 
+use caai::capture::{reassemble, session_outcome, sessions, CaptureRenderer, DEFAULT_LADDER};
 use caai::congestion::{AlgorithmId, ALL_IDENTIFIED};
 use caai::core::features::extract_pair;
 use caai::core::prober::{Prober, ProberConfig};
@@ -26,19 +31,37 @@ fn main() {
     };
 
     println!(
-        "{:<12} {:>5}  {:>6} {:>6} {:>6}  {:>6} {:>6} {:>6}  {:>4}",
-        "algorithm", "wmax", "betaA", "G3A", "G6A", "betaB", "G3B", "G6B", "I64"
+        "{:<12} {:>5}  {:>6} {:>6} {:>6}  {:>6} {:>6} {:>6}  {:>4}  {:>5}",
+        "algorithm", "wmax", "betaA", "G3A", "G6A", "betaB", "G3B", "G6B", "I64", "pcap"
     );
     for algo in algorithms {
         let server = ServerUnderTest::ideal(algo);
         let prober = Prober::new(ProberConfig::default());
         let mut rng = seeded(99);
-        let outcome = prober.gather(&server, &PathConfig::clean(), &mut rng);
+        // Capture-based scenario: probe through the pcap renderer, then
+        // reconstruct the same outcome from the capture bytes.
+        let mut renderer = CaptureRenderer::new();
+        let outcome = renderer
+            .render_session(
+                [192, 0, 2, 1],
+                [198, 51, 100, 1],
+                &server,
+                &prober,
+                &PathConfig::clean(),
+                &mut rng,
+            )
+            .expect("in-memory render cannot fail");
+        let wire_pair = reassemble(&renderer.to_bytes())
+            .ok()
+            .map(|r| sessions(&r, &DEFAULT_LADDER))
+            .filter(|s| !s.is_empty())
+            .and_then(|s| session_outcome(&s[0], &DEFAULT_LADDER).pair);
         match outcome.pair {
             Some(pair) => {
                 let v = extract_pair(&pair).values;
+                let wire_ok = wire_pair.as_ref() == Some(&pair);
                 println!(
-                    "{:<12} {:>5}  {:>6.3} {:>6.1} {:>6.1}  {:>6.3} {:>6.1} {:>6.1}  {:>4}",
+                    "{:<12} {:>5}  {:>6.3} {:>6.1} {:>6.1}  {:>6.3} {:>6.1} {:>6.1}  {:>4}  {:>5}",
                     algo.name(),
                     pair.wmax_threshold(),
                     v[0],
@@ -47,7 +70,8 @@ fn main() {
                     v[3],
                     v[4],
                     v[5],
-                    v[6]
+                    v[6],
+                    if wire_ok { "ok" } else { "DIFF" },
                 );
             }
             None => println!(

@@ -20,7 +20,10 @@
 //!   and the census driver;
 //! * [`engine`] — the Internet-scale census engine: constant-memory
 //!   streaming probe scheduler with checkpoint/resume, shard fan-out and
-//!   merge, budgets, and telemetry.
+//!   merge, budgets, and telemetry;
+//! * [`capture`] — packet-capture ingestion and rendering: pcap ⇄ flow
+//!   reassembly ⇄ window traces, so recorded traffic feeds the same
+//!   classifier as the synthetic census.
 //!
 //! ## Quickstart
 //!
@@ -38,6 +41,7 @@
 //! assert!(outcome.pair.is_some());
 //! ```
 
+pub use caai_capture as capture;
 pub use caai_congestion as congestion;
 pub use caai_core as core;
 pub use caai_engine as engine;

@@ -20,16 +20,17 @@
 //! merged with `census-merge` print the byte-identical report of one
 //! unsharded run.
 
+use caai::capture::{identify_capture, CaptureRenderer, SessionReport};
 use caai::congestion::AlgorithmId;
-use caai::core::census::{Census, CensusReport};
+use caai::core::census::{Census, CensusReport, Verdict};
 use caai::core::classify::{CaaiClassifier, Identification};
 use caai::core::features::{extract_pair, FeatureVector};
 use caai::core::prober::{Prober, ProberConfig};
 use caai::core::server_under_test::ServerUnderTest;
 use caai::core::training::{build_training_set, TrainingConfig};
 use caai::engine::{
-    merge_pieces, Budget, CensusEngine, Checkpoint, EngineConfig, JsonlMeta, JsonlSink, ResultSink,
-    ShardPiece, ShardSpec,
+    merge_pieces, AggregatingSink, Budget, CensusEngine, Checkpoint, EngineConfig, JsonlMeta,
+    JsonlSink, ResultSink, ShardPiece, ShardSpec,
 };
 use caai::netem::rng::seeded;
 use caai::netem::{ConditionDb, EnvironmentId, PathConfig};
@@ -130,8 +131,17 @@ COMMANDS:
                   [--algo NAME] [--loss 0.0] [--seed 1]
     train         collect a training set and save the classifier as JSON
                   [--conditions 10] [--out model.json] [--seed 1]
-    identify      end-to-end identification of one simulated server
+    identify      end-to-end identification of one simulated server, or of
+                  every probe flow recorded in a packet capture
                   [--algo NAME] [--model model.json | --conditions 6] [--loss 0.0] [--seed 1]
+                  [--pcap FILE]          classify recorded flows instead of simulating
+                  [--out records.jsonl]  stream one census record per flow (with --pcap)
+                  [--json]               machine-readable per-flow verdicts (with --pcap)
+    render-pcap   render simulated probe sessions into a byte-valid capture
+                  --out capture.pcap [--algo NAME ...] [--short N]
+                  [--loss 0.0] [--seed 1]
+                  (each --algo adds one probed server; --short N adds N
+                   servers whose pages are too short for a valid trace)
     census        probe a synthetic population, print the Table IV report
                   [--servers 1000] [--model model.json | --conditions 6]
                   [--workers 4] [--json] [--seed 1]
@@ -177,6 +187,7 @@ fn main() -> ExitCode {
         "fingerprint" => cmd_fingerprint(&args),
         "train" => cmd_train(&args),
         "identify" => cmd_identify(&args),
+        "render-pcap" => cmd_render_pcap(&args),
         "census" => cmd_census(&args),
         "census-merge" => cmd_census_merge(&args),
         "help" | "--help" | "-h" => {
@@ -305,6 +316,9 @@ fn cmd_train(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_identify(args: &Args) -> Result<(), String> {
+    if let Some(pcap) = args.get("pcap") {
+        return cmd_identify_pcap(args, pcap);
+    }
     let algo = args.algo()?;
     let seed: u64 = args.parsed("seed", 1)?;
     let path = args.path_config()?;
@@ -329,6 +343,250 @@ fn cmd_identify(args: &Args) -> Result<(), String> {
             );
         }
     }
+    Ok(())
+}
+
+fn ip(addr: [u8; 4]) -> String {
+    format!("{}.{}.{}.{}", addr[0], addr[1], addr[2], addr[3])
+}
+
+/// One deterministic human-readable verdict line per probe flow.
+fn describe_session(s: &SessionReport) -> String {
+    let head = format!(
+        "flow {:>3}  server {:<15}  {} connection{}",
+        s.record.server_id,
+        ip(s.server_ip),
+        s.flows,
+        if s.flows == 1 { " " } else { "s" },
+    );
+    let verdict = match s.record.verdict {
+        Verdict::Identified(class, wmax) => {
+            let conf = s.identification.map_or(0.0, |i| i.confidence());
+            format!(
+                "identified: {class} ({:.0}% of forest votes) at w_max {wmax}",
+                100.0 * conf
+            )
+        }
+        Verdict::Unsure(wmax) => {
+            let conf = s.identification.map_or(0.0, |i| i.confidence());
+            format!("Unsure TCP ({:.0}%) at w_max {wmax}", 100.0 * conf)
+        }
+        Verdict::Special(case, wmax) => format!("[special] {case} at w_max {wmax}"),
+        Verdict::Invalid(reason) => format!("invalid: {reason:?}"),
+    };
+    format!("{head}  {verdict}")
+}
+
+fn cmd_identify_pcap(args: &Args, pcap_path: &str) -> Result<(), String> {
+    let classifier = load_or_train(args)?;
+    let bytes = std::fs::read(pcap_path).map_err(|e| format!("read {pcap_path}: {e}"))?;
+    let verdicts =
+        identify_capture(&bytes, &classifier, None).map_err(|e| format!("{pcap_path}: {e}"))?;
+    for (index, reason) in &verdicts.skipped {
+        eprintln!("{pcap_path}: packet {index}: skipped ({reason})");
+    }
+    if let Some(trunc) = &verdicts.truncated {
+        eprintln!(
+            "{pcap_path}: capture truncated — {trunc}; flows up to the break were identified"
+        );
+    }
+
+    // Ingested records flow through the same ResultSink machinery as the
+    // census: a JSONL stream when --out is given, plus the in-memory
+    // aggregator whose report feeds the summary line.
+    let mut agg = AggregatingSink::new();
+    let mut jsonl = match args.get("out") {
+        None => None,
+        Some(out) => Some(JsonlSink::create(out).map_err(|e| format!("create {out}: {e}"))?),
+    };
+    {
+        let mut sinks: Vec<&mut dyn ResultSink> = vec![&mut agg];
+        if let Some(sink) = jsonl.as_mut() {
+            sinks.push(sink as &mut dyn ResultSink);
+        }
+        for s in &verdicts.sessions {
+            for sink in sinks.iter_mut() {
+                sink.emit(&s.record).map_err(|e| format!("sink: {e}"))?;
+            }
+        }
+        for sink in sinks.iter_mut() {
+            sink.flush().map_err(|e| format!("sink: {e}"))?;
+        }
+    }
+
+    if args.get("json").is_some() {
+        use serde::Value;
+        let sessions: Vec<Value> = verdicts
+            .sessions
+            .iter()
+            .map(|s| {
+                Value::Map(vec![
+                    (
+                        "flow".to_owned(),
+                        serde::Serialize::to_value(&s.record.server_id),
+                    ),
+                    ("client".to_owned(), Value::Str(ip(s.client_ip))),
+                    ("server".to_owned(), Value::Str(ip(s.server_ip))),
+                    (
+                        "connections".to_owned(),
+                        serde::Serialize::to_value(&s.flows),
+                    ),
+                    ("record".to_owned(), serde::Serialize::to_value(&s.record)),
+                    (
+                        "identification".to_owned(),
+                        serde::Serialize::to_value(&s.identification),
+                    ),
+                ])
+            })
+            .collect();
+        let doc = Value::Map(vec![
+            (
+                "packets".to_owned(),
+                serde::Serialize::to_value(&verdicts.packets),
+            ),
+            (
+                "skipped_packets".to_owned(),
+                serde::Serialize::to_value(&verdicts.skipped.len()),
+            ),
+            ("flows".to_owned(), Value::Seq(sessions)),
+        ]);
+        let json = serde_json::to_string_pretty(&doc).map_err(|e| format!("{e}"))?;
+        println!("{json}");
+        return Ok(());
+    }
+
+    println!(
+        "capture: {} packets, {} skipped, {} probe flow{}",
+        verdicts.packets,
+        verdicts.skipped.len(),
+        verdicts.sessions.len(),
+        if verdicts.sessions.len() == 1 {
+            ""
+        } else {
+            "s"
+        },
+    );
+    for s in &verdicts.sessions {
+        println!("{}", describe_session(s));
+    }
+    let report = agg.into_report();
+    let invalid: usize = report.invalid.values().sum();
+    // Count identifications from the columns: `identified_total` scores
+    // only truth-bearing records, and capture records carry no truth.
+    let identified: usize = report
+        .columns
+        .values()
+        .map(|c| c.identified.values().sum::<usize>())
+        .sum();
+    println!(
+        "verdicts: {} identified, {} special, {} unsure, {} invalid",
+        identified,
+        report
+            .columns
+            .values()
+            .map(|c| c.special.values().sum::<usize>())
+            .sum::<usize>(),
+        report.columns.values().map(|c| c.unsure).sum::<usize>(),
+        invalid,
+    );
+    Ok(())
+}
+
+fn cmd_render_pcap(args: &Args) -> Result<(), String> {
+    let out = args
+        .get("out")
+        .ok_or("render-pcap needs --out capture.pcap")?
+        .to_owned();
+    let seed: u64 = args.parsed("seed", 1)?;
+    let short: u32 = args.parsed("short", 0)?;
+    let path = args.path_config()?;
+    let algos: Vec<AlgorithmId> = args
+        .get_all("algo")
+        .into_iter()
+        .map(|name| name.parse().map_err(|e| format!("{e}")))
+        .collect::<Result<_, String>>()?;
+    if algos.is_empty() && short == 0 {
+        return Err("render-pcap needs at least one --algo NAME or --short N".to_owned());
+    }
+    // Each server gets a distinct 198.51.100.x host byte; 0 is reserved.
+    let sessions_wanted = algos.len() as u64 + u64::from(short);
+    if sessions_wanted > 254 {
+        return Err(format!(
+            "render-pcap caps at 254 servers per capture (one 198.51.100.x \
+             address each); asked for {sessions_wanted}"
+        ));
+    }
+
+    let prober = Prober::new(ProberConfig::default());
+    // Frames stream straight to the file as sessions render: memory
+    // stays O(connection state) however many servers the capture holds.
+    let file = std::fs::File::create(&out).map_err(|e| format!("create {out}: {e}"))?;
+    let mut renderer = CaptureRenderer::with_writer(std::io::BufWriter::new(file))
+        .map_err(|e| format!("write {out}: {e}"))?;
+    let mut rng = seeded(seed);
+    let client = [192, 0, 2, 1];
+    let mut host = 0u8;
+    for algo in &algos {
+        host += 1;
+        let server = ServerUnderTest::ideal(*algo);
+        let outcome = renderer
+            .render_session(
+                client,
+                [198, 51, 100, host],
+                &server,
+                &prober,
+                &path,
+                &mut rng,
+            )
+            .map_err(|e| format!("write {out}: {e}"))?;
+        eprintln!(
+            "rendered {algo} as 198.51.100.{host}: {}",
+            match outcome.pair {
+                Some(pair) => format!("usable pair at w_max {}", pair.wmax_threshold()),
+                None => format!("no usable pair ({:?})", outcome.failure_reason()),
+            }
+        );
+    }
+    for _ in 0..short {
+        host += 1;
+        // A server whose longest page cannot sustain even the smallest
+        // rung: the §VII-B "no long enough Web pages" failure mode.
+        let mut web = PopulationConfig::small(1)
+            .generate(&mut rng)
+            .pop()
+            .expect("one server");
+        web.pages = caai::webmodel::PageModel {
+            default_bytes: 2_000,
+            longest_bytes: 2_000,
+        };
+        web.requests = caai::webmodel::RequestAcceptanceModel { max_requests: 1 };
+        web.quirk = caai::tcpsim::SenderQuirk::None;
+        let server = ServerUnderTest::from_web_server(&web);
+        let outcome = renderer
+            .render_session(
+                client,
+                [198, 51, 100, host],
+                &server,
+                &prober,
+                &path,
+                &mut rng,
+            )
+            .map_err(|e| format!("write {out}: {e}"))?;
+        eprintln!(
+            "rendered short-page server as 198.51.100.{host}: {:?}",
+            outcome.failure_reason()
+        );
+    }
+
+    let frames = renderer.frames();
+    let buf = renderer.finish().map_err(|e| format!("write {out}: {e}"))?;
+    buf.into_inner()
+        .map_err(|e| format!("write {out}: {}", e.error()))?;
+    println!(
+        "wrote {out}: {frames} frames, {} probe session{}",
+        usize::from(host),
+        if host == 1 { "" } else { "s" },
+    );
     Ok(())
 }
 
