@@ -1,8 +1,9 @@
 //! The identification-pipeline benchmark suite behind `BENCH_identify.json`.
 //!
-//! Covers the three stages a verdict costs: trace gathering (the emulated
-//! probe), feature extraction + random-forest classification, and pcap
-//! ingestion (bytes → flows → window traces → verdicts). Unlike the other
+//! Covers the stages a verdict costs: trace gathering (the emulated
+//! probe), feature extraction + random-forest classification, pcap
+//! ingestion (bytes → flows → window traces → verdicts), and the
+//! streaming multi-worker pipeline at 1/2/4 workers. Unlike the other
 //! benches this one has a hand-rolled `main`: after running the groups it
 //! writes the measurements to `BENCH_identify.json` at the repository
 //! root, so the perf trajectory of the identify path is recorded
@@ -17,6 +18,7 @@ use caai_core::server_under_test::ServerUnderTest;
 use caai_core::training::{build_training_set, TrainingConfig};
 use caai_netem::rng::seeded;
 use caai_netem::{ConditionDb, PathConfig};
+use caai_stream::{run, PcapStream, StallPolicy, StreamConfig};
 use criterion::{Criterion, Throughput};
 use std::hint::black_box;
 
@@ -30,6 +32,8 @@ fn quick_classifier() -> CaaiClassifier {
 fn bench_trace_gathering(c: &mut Criterion) {
     let mut group = c.benchmark_group("identify_trace_gathering");
     group.sample_size(10);
+    // One full probe per iteration: rate_per_sec reads as probes/s.
+    group.throughput(Throughput::Elements(1));
     let prober = Prober::new(ProberConfig::default());
     for algo in [AlgorithmId::Reno, AlgorithmId::CubicV2] {
         let server = ServerUnderTest::ideal(algo);
@@ -52,6 +56,8 @@ fn bench_feature_classify(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("identify_features_and_forest");
     group.sample_size(20);
+    // One vector through the stage per iteration: classifications/s.
+    group.throughput(Throughput::Elements(1));
     group.bench_function("extract_pair", |b| {
         b.iter(|| black_box(extract_pair(black_box(&pair))));
     });
@@ -103,6 +109,34 @@ fn bench_pcap_ingestion(c: &mut Criterion) {
         });
     });
     group.finish();
+
+    // The streaming pipeline over the same bytes: full source framing,
+    // RSS dispatch, per-worker reassembly, eviction, session assembly
+    // and classification — at 1, 2 and 4 workers. (Scaling headroom is
+    // bounded by the host's core count; the dispatcher decode is the
+    // serial fraction.)
+    let mut stream = c.benchmark_group("identify_stream_ingestion");
+    stream.sample_size(10);
+    stream.throughput(Throughput::Bytes(capture.len() as u64));
+    for workers in [1usize, 2, 4] {
+        stream.bench_function(format!("workers_{workers}"), |b| {
+            b.iter(|| {
+                let mut source = PcapStream::new(
+                    std::io::Cursor::new(black_box(&capture[..])),
+                    StallPolicy::Eof,
+                );
+                let config = StreamConfig {
+                    workers,
+                    ..StreamConfig::default()
+                };
+                let mut verdicts = 0usize;
+                let stats = run(&mut source, &classifier, &config, |_r| verdicts += 1)
+                    .expect("valid capture");
+                black_box((stats, verdicts))
+            });
+        });
+    }
+    stream.finish();
 
     let mut render = c.benchmark_group("identify_pcap_render");
     render.sample_size(10);

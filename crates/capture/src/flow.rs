@@ -118,8 +118,15 @@ impl Flow {
 }
 
 /// Per-flow reassembly state while packets stream in.
+///
+/// The incremental core of [`reassemble`], public so streaming ingestion
+/// (`caai-stream`) can feed one packet at a time and evict idle flows
+/// without buffering a whole capture: construct with [`FlowBuilder::new`]
+/// on a flow's first segment, [`feed`](FlowBuilder::feed) every segment
+/// (including the first), and [`into_flow`](FlowBuilder::into_flow) when
+/// the flow closes or is evicted.
 #[derive(Debug)]
-struct FlowState {
+pub struct FlowBuilder {
     flow: Flow,
     /// Set once the initiator is known (SYN seen or data observed).
     oriented: bool,
@@ -131,6 +138,8 @@ struct FlowState {
     last_ack: Option<u64>,
     /// True once any data was seen (gates handshake-ACK suppression).
     data_seen: bool,
+    /// Largest timestamp fed so far.
+    last_seen: f64,
 }
 
 /// Everything reassembled from one capture.
@@ -167,7 +176,7 @@ pub fn reassemble(buf: &[u8]) -> Result<Reassembly, PcapError> {
         });
     }
     let mut table: HashMap<FlowKey, usize> = HashMap::new();
-    let mut order: Vec<FlowState> = Vec::new();
+    let mut order: Vec<FlowBuilder> = Vec::new();
     let mut skipped = Vec::new();
     let mut truncated = None;
     let mut packets = 0usize;
@@ -190,22 +199,27 @@ pub fn reassemble(buf: &[u8]) -> Result<Reassembly, PcapError> {
         packets += 1;
         let key = FlowKey::of(&seg);
         let idx = *table.entry(key).or_insert_with(|| {
-            order.push(FlowState::new(&seg, record.ts));
+            order.push(FlowBuilder::new(&seg, record.ts));
             order.len() - 1
         });
-        order[idx].feed(record.ts, &seg, &mut skipped, record.index);
+        if let Some(reason) = order[idx].feed(record.ts, &seg) {
+            skipped.push((record.index, reason));
+        }
     }
 
     Ok(Reassembly {
-        flows: order.into_iter().map(|s| s.flow).collect(),
+        flows: order.into_iter().map(FlowBuilder::into_flow).collect(),
         skipped,
         truncated,
         packets,
     })
 }
 
-impl FlowState {
-    fn new(seg: &TcpSegmentView<'_>, ts: f64) -> FlowState {
+impl FlowBuilder {
+    /// Opens a flow on its first segment. The same segment must still be
+    /// [`feed`](FlowBuilder::feed)-ed afterwards — `new` only fixes the
+    /// provisional orientation and the start timestamp.
+    pub fn new(seg: &TcpSegmentView<'_>, ts: f64) -> FlowBuilder {
         // Provisional orientation from the first packet: a pure SYN names
         // the client; anything else is re-oriented when data appears.
         let (client, server, oriented) = if seg.has(flags::SYN) && !seg.has(flags::ACK) {
@@ -229,7 +243,7 @@ impl FlowState {
                 false,
             )
         };
-        FlowState {
+        FlowBuilder {
             flow: Flow {
                 client,
                 server,
@@ -246,25 +260,20 @@ impl FlowState {
             high_water: 0,
             last_ack: None,
             data_seen: false,
+            last_seen: ts,
         }
     }
 
-    /// Records one server data segment as a [`FlowEvent::Data`].
-    fn server_data(
-        &mut self,
-        ts: f64,
-        seg: &TcpSegmentView<'_>,
-        skipped: &mut Vec<(usize, String)>,
-        index: usize,
-    ) {
+    /// Records one server data segment as a [`FlowEvent::Data`]. Returns a
+    /// skip reason when the segment could not be placed.
+    fn server_data(&mut self, ts: f64, seg: &TcpSegmentView<'_>) -> Option<String> {
         // First data anchors the relative space when no SYN/ACK was
         // captured (mid-stream ingest): the first data byte sits one past
         // the ISN.
         let anchor = *self.server_isn.get_or_insert(seg.seq.wrapping_sub(1));
         let data_base = anchor.wrapping_add(1);
         let Some(rel) = self.rel(data_base, seg.seq) else {
-            skipped.push((index, "data sequence before the server ISN".to_owned()));
-            return;
+            return Some("data sequence before the server ISN".to_owned());
         };
         let len = seg.payload.len() as u32;
         let end = rel + u64::from(len);
@@ -278,6 +287,7 @@ impl FlowState {
             len,
             retransmit,
         });
+        None
     }
 
     /// Relative data offset of a raw server sequence number. Sequence
@@ -293,21 +303,19 @@ impl FlowState {
         }
     }
 
-    fn feed(
-        &mut self,
-        ts: f64,
-        seg: &TcpSegmentView<'_>,
-        skipped: &mut Vec<(usize, String)>,
-        index: usize,
-    ) {
+    /// Folds one segment into the flow. Returns a skip reason when the
+    /// segment could not be used (at most one per call); `None` means it
+    /// was consumed (possibly as a deliberate no-op, e.g. teardown
+    /// chatter after the close).
+    pub fn feed(&mut self, ts: f64, seg: &TcpSegmentView<'_>) -> Option<String> {
+        self.last_seen = self.last_seen.max(ts);
         if self.flow.closed_by.is_some() {
-            return; // close teardown chatter is not part of the trace
+            return None; // close teardown chatter is not part of the trace
         }
         let from_server = (seg.src_ip, seg.src_port) == self.flow.server;
         let from_client = (seg.src_ip, seg.src_port) == self.flow.client;
         if !from_server && !from_client {
-            skipped.push((index, "packet matches neither flow endpoint".to_owned()));
-            return;
+            return Some("packet matches neither flow endpoint".to_owned());
         }
 
         // Late orientation fix: the first packets were pure ACKs (e.g. a
@@ -324,7 +332,7 @@ impl FlowState {
                 std::mem::swap(&mut self.flow.client, &mut self.flow.server);
             }
             self.oriented = true;
-            return self.feed(ts, seg, skipped, index);
+            return self.feed(ts, seg);
         }
 
         if seg.has(flags::SYN) {
@@ -335,47 +343,47 @@ impl FlowState {
                 self.server_isn = Some(seg.seq);
             }
             self.oriented = true;
-            return;
+            return None;
         }
         if seg.flags & (flags::FIN | flags::RST) != 0 {
             // A FIN routinely piggybacks the sender's last data segment
             // (Linux sends FIN on the final data packet): count those
             // bytes before recording the close, or the last round's
             // window is undercounted.
-            if from_server && !seg.payload.is_empty() {
-                self.server_data(ts, seg, skipped, index);
-            }
+            let skip = if from_server && !seg.payload.is_empty() {
+                self.server_data(ts, seg)
+            } else {
+                None
+            };
             self.flow.closed_by = Some(if from_server {
                 Endpoint::Server
             } else {
                 Endpoint::Client
             });
             self.flow.closed_at = Some(ts);
-            return;
+            return skip;
         }
 
         if from_server {
             if seg.payload.is_empty() {
-                return; // server pure ACKs carry no window information
+                return None; // server pure ACKs carry no window information
             }
-            self.server_data(ts, seg, skipped, index);
+            self.server_data(ts, seg)
         } else {
             // Client side: pure cumulative ACKs. Payload from the client
             // (HTTP requests) carries no window information either — CAAI
             // measures the server's sending process — so only the ACK
             // number matters.
             if !seg.has(flags::ACK) {
-                return;
+                return None;
             }
             let Some(anchor) = self.server_isn else {
-                return; // handshake ACK before any server context
+                return None; // handshake ACK before any server context
             };
             let data_base = anchor.wrapping_add(1);
-            let Some(rel) = self.rel(data_base, seg.ack) else {
-                return;
-            };
+            let rel = self.rel(data_base, seg.ack)?;
             if rel == 0 && !self.data_seen {
-                return; // the handshake's third ACK, not a round boundary
+                return None; // the handshake's third ACK, not a round boundary
             }
             let duplicate = self.last_ack.is_some_and(|last| rel <= last);
             if !duplicate {
@@ -386,7 +394,28 @@ impl FlowState {
                 ack: rel,
                 duplicate,
             });
+            None
         }
+    }
+
+    /// The largest capture timestamp fed so far (the flow's idle clock).
+    pub fn last_seen(&self) -> f64 {
+        self.last_seen
+    }
+
+    /// Number of events recorded so far (Data + Ack).
+    pub fn events(&self) -> usize {
+        self.flow.events.len()
+    }
+
+    /// The flow as reassembled so far.
+    pub fn flow(&self) -> &Flow {
+        &self.flow
+    }
+
+    /// Finishes the flow (on close, eviction, or end of capture).
+    pub fn into_flow(self) -> Flow {
+        self.flow
     }
 }
 

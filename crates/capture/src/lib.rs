@@ -59,7 +59,7 @@ pub mod pcap;
 pub mod reconstruct;
 pub mod render;
 
-pub use flow::{reassemble, Flow, FlowEvent, Reassembly};
+pub use flow::{reassemble, Flow, FlowBuilder, FlowEvent, FlowKey, Reassembly};
 pub use identify::{
     identify_capture, identify_reassembly, verdict_for, CaptureVerdicts, SessionReport,
 };

@@ -1,0 +1,99 @@
+//! Offline (read-to-the-end) identification over any [`CaptureSource`] —
+//! the bridge that lets pcapng captures and pipes flow into the exact same
+//! reassembly → reconstruction → classification path as classic pcap.
+
+use crate::pcapng::SHB_MAGIC;
+use crate::source::{CaptureSource, PcapStream, SourceError, SourceItem, StallPolicy};
+use caai_capture::flow::{FlowBuilder, FlowKey, Reassembly};
+use caai_capture::identify::CaptureVerdicts;
+use caai_capture::{decode, identify_capture, identify_reassembly, PcapError};
+use caai_core::classify::CaaiClassifier;
+use std::collections::HashMap;
+
+/// Drains a source and reassembles every flow, mirroring
+/// [`caai_capture::reassemble`] exactly: flows in first-appearance order,
+/// decode failures skipped per-packet, mid-stream damage recorded as
+/// `truncated` with everything before it kept.
+///
+/// Fails only when the source dies before producing a single item — i.e.
+/// the container header itself was unreadable.
+pub fn reassemble_source(source: &mut dyn CaptureSource) -> Result<Reassembly, SourceError> {
+    let mut table: HashMap<FlowKey, usize> = HashMap::new();
+    let mut order: Vec<FlowBuilder> = Vec::new();
+    let mut skipped = Vec::new();
+    let mut truncated = None;
+    let mut packets = 0usize;
+    let mut saw_item = false;
+
+    loop {
+        match source.next() {
+            Ok(Some(SourceItem::Skipped { index, reason })) => {
+                saw_item = true;
+                skipped.push((index as usize, reason));
+            }
+            Ok(Some(SourceItem::Frame(frame))) => {
+                saw_item = true;
+                let seg = match decode(&frame.data) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        skipped.push((frame.index as usize, e.to_string()));
+                        continue;
+                    }
+                };
+                packets += 1;
+                let key = FlowKey::of(&seg);
+                let idx = *table.entry(key).or_insert_with(|| {
+                    order.push(FlowBuilder::new(&seg, frame.ts));
+                    order.len() - 1
+                });
+                if let Some(reason) = order[idx].feed(frame.ts, &seg) {
+                    skipped.push((frame.index as usize, reason));
+                }
+            }
+            Ok(None) => break,
+            Err(e) if saw_item => {
+                truncated = Some(PcapError {
+                    offset: e.offset as usize,
+                    reason: e.reason,
+                });
+                break;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+
+    Ok(Reassembly {
+        flows: order.into_iter().map(FlowBuilder::into_flow).collect(),
+        skipped,
+        truncated,
+        packets,
+    })
+}
+
+/// Identifies every probe session in an in-memory capture of *either*
+/// container format: pcapng (sniffed by its section-header magic) goes
+/// through the streaming reader, classic pcap through the zero-copy
+/// offline reader. Verdicts are identical for the same frames.
+pub fn identify_bytes(
+    buf: &[u8],
+    classifier: &CaaiClassifier,
+    ladder: Option<&[u32]>,
+) -> Result<CaptureVerdicts, PcapError> {
+    if buf.len() >= 4 && buf[..4] == SHB_MAGIC {
+        let mut source = PcapStream::new(std::io::Cursor::new(buf), StallPolicy::Eof);
+        let reassembly = reassemble_source(&mut source).map_err(|e| PcapError {
+            offset: e.offset as usize,
+            reason: e.reason,
+        })?;
+        let ladder = ladder.unwrap_or(&caai_capture::DEFAULT_LADDER);
+        let sessions = identify_reassembly(&reassembly, classifier, ladder);
+        Ok(CaptureVerdicts {
+            sessions,
+            skipped: reassembly.skipped,
+            truncated: reassembly.truncated,
+            packets: reassembly.packets,
+        })
+    } else {
+        identify_capture(buf, classifier, ladder)
+    }
+}

@@ -1,0 +1,185 @@
+//! Robustness properties of the pcapng framing layer, mirroring the
+//! classic-pcap suite in `caai-capture`: whatever the bytes, the parser
+//! skips and reports — it never panics, and it never gives up on blocks
+//! that are still well-framed.
+
+use caai_capture::{CaptureRenderer, PcapReader};
+use caai_congestion::AlgorithmId;
+use caai_core::prober::{Prober, ProberConfig};
+use caai_core::server_under_test::ServerUnderTest;
+use caai_netem::rng::seeded;
+use caai_netem::PathConfig;
+use caai_stream::{classic_to_pcapng, CaptureSource, PcapStream, SourceItem, StallPolicy};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One real rendered capture in classic pcap, built once.
+fn classic_fixture() -> &'static [u8] {
+    static CAPTURE: OnceLock<Vec<u8>> = OnceLock::new();
+    CAPTURE.get_or_init(|| {
+        let mut renderer = CaptureRenderer::new();
+        let prober = Prober::new(ProberConfig::fixed_wmax(128));
+        let server = ServerUnderTest::ideal(AlgorithmId::Reno);
+        let mut rng = seeded(77);
+        renderer
+            .render_session(
+                [192, 0, 2, 1],
+                [198, 51, 100, 1],
+                &server,
+                &prober,
+                &PathConfig::clean(),
+                &mut rng,
+            )
+            .expect("in-memory render cannot fail");
+        renderer.to_bytes()
+    })
+}
+
+/// The same capture rewrapped as little-endian pcapng (µs resolution).
+fn pcapng_fixture() -> &'static [u8] {
+    static CAPTURE: OnceLock<Vec<u8>> = OnceLock::new();
+    CAPTURE.get_or_init(|| classic_to_pcapng(classic_fixture(), false, 6))
+}
+
+#[allow(clippy::type_complexity)]
+fn drain(bytes: &[u8]) -> (Vec<(u64, f64)>, Vec<(u64, String)>, Option<String>) {
+    let mut src = PcapStream::new(std::io::Cursor::new(bytes), StallPolicy::Eof);
+    let mut frames = Vec::new();
+    let mut skips = Vec::new();
+    loop {
+        match src.next() {
+            Ok(Some(SourceItem::Frame(f))) => frames.push((f.index, f.ts)),
+            Ok(Some(SourceItem::Skipped { index, reason })) => skips.push((index, reason)),
+            Ok(None) => return (frames, skips, None),
+            Err(e) => return (frames, skips, Some(e.to_string())),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Truncating a pcapng capture anywhere must not panic, every EPB
+    /// fully before the cut must still be delivered, a mid-block cut
+    /// must be a reported error, and a cut exactly on a block boundary
+    /// must read as a clean (if short) capture.
+    #[test]
+    fn truncation_preserves_the_well_framed_prefix(cut_permille in 0usize..1000) {
+        let full = pcapng_fixture();
+        let cut = full.len() * cut_permille / 1000;
+        let bytes = &full[..cut];
+
+        // Walk the (trusted) little-endian framing to predict the outcome.
+        let mut complete_epbs = 0usize;
+        let mut at = 0usize;
+        while at + 8 <= full.len() {
+            let block_type = u32::from_le_bytes(full[at..at + 4].try_into().unwrap());
+            let total = u32::from_le_bytes(full[at + 4..at + 8].try_into().unwrap()) as usize;
+            if at + total > cut {
+                break;
+            }
+            if block_type == 6 {
+                complete_epbs += 1;
+            }
+            at += total;
+        }
+        let boundary_cut = at == cut && cut > 0;
+
+        let (frames, skips, err) = drain(bytes);
+        prop_assert!(skips.is_empty(), "fixture has no skippable blocks: {skips:?}");
+        prop_assert!(
+            frames.len() == complete_epbs,
+            "prefix EPBs must survive: {} vs {complete_epbs}",
+            frames.len()
+        );
+        prop_assert!(
+            err.is_some() != boundary_cut,
+            "cut at {cut} (boundary: {boundary_cut}) reported as {err:?}"
+        );
+    }
+
+    /// Flipping any single byte must not panic: either blocks skip, the
+    /// stream stops with a diagnostic, or the flip is benign.
+    #[test]
+    fn single_byte_corruption_never_panics(pos_permille in 0usize..1000, flip in 1u8..255) {
+        let full = pcapng_fixture();
+        let mut bytes = full.to_vec();
+        let pos = (full.len() - 1) * pos_permille / 999;
+        bytes[pos] ^= flip;
+        let _ = drain(&bytes); // must simply not panic
+    }
+
+    /// Random garbage is never a panic: any byte soup either fails the
+    /// container sniff or ends with a clean per-block diagnostic.
+    #[test]
+    fn arbitrary_bytes_never_panic(len in 0usize..4096, seed in 0u64..u64::MAX) {
+        let mut state = seed | 1;
+        let mut bytes: Vec<u8> = (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 56) as u8
+            })
+            .collect();
+        let _ = drain(&bytes);
+        // Force the pcapng path too: same soup behind a valid SHB magic.
+        if bytes.len() >= 4 {
+            bytes[..4].copy_from_slice(&[0x0A, 0x0D, 0x0D, 0x0A]);
+            let _ = drain(&bytes);
+        }
+    }
+
+    /// Splicing a block of an unknown type mid-stream: every packet
+    /// around it still parses; the alien block is skipped and reported.
+    #[test]
+    fn unknown_block_types_skip_and_report(
+        raw_type in 7u32..u32::MAX,
+        body_words in 0usize..64,
+    ) {
+        // Stay clear of every type the parser knows (SHB magic included).
+        let block_type = if raw_type == 0x0A0D_0D0A { 7 } else { raw_type };
+        let full = pcapng_fixture();
+
+        // Splice right after the IDB (offset 28, length 32).
+        let at = 60;
+        let total = (12 + 4 * body_words) as u32;
+        let mut bytes = full[..at].to_vec();
+        bytes.extend_from_slice(&block_type.to_le_bytes());
+        bytes.extend_from_slice(&total.to_le_bytes());
+        bytes.extend(std::iter::repeat_n(0xEEu8, 4 * body_words));
+        bytes.extend_from_slice(&total.to_le_bytes());
+        bytes.extend_from_slice(&full[at..]);
+
+        let (clean_frames, _, clean_err) = drain(full);
+        prop_assert!(clean_err.is_none());
+        let (frames, skips, err) = drain(&bytes);
+        prop_assert!(err.is_none(), "alien block must not be fatal: {err:?}");
+        prop_assert!(frames == clean_frames, "every real packet survives");
+        prop_assert!(skips.len() == 1, "exactly the alien block reports: {skips:?}");
+        prop_assert!(skips[0].1.contains("unknown pcapng block type"), "{:?}", skips[0]);
+    }
+}
+
+/// The pcapng rewrap delivers the identical frames, timestamps and
+/// indexes as the classic reader over the same capture — the equivalence
+/// everything else (identification, pipelines) builds on.
+#[test]
+fn pcapng_rewrap_is_frame_identical_to_classic() {
+    let classic = classic_fixture();
+    let (frames, skips, err) = drain(pcapng_fixture());
+    assert!(err.is_none(), "{err:?}");
+    assert!(skips.is_empty());
+    let mut reader = PcapReader::new(classic).expect("fixture header");
+    let mut n = 0usize;
+    while let Some(rec) = reader.next() {
+        let rec = rec.expect("fixture is well-formed");
+        assert_eq!(frames[n].0, rec.index as u64);
+        assert!(
+            (frames[n].1 - rec.ts).abs() < 1e-6,
+            "timestamp drift at {n}: {} vs {}",
+            frames[n].1,
+            rec.ts
+        );
+        n += 1;
+    }
+    assert_eq!(n, frames.len());
+}

@@ -23,7 +23,11 @@
 //!   merge, budgets, and telemetry;
 //! * [`capture`] — packet-capture ingestion and rendering: pcap ⇄ flow
 //!   reassembly ⇄ window traces, so recorded traffic feeds the same
-//!   classifier as the synthetic census.
+//!   classifier as the synthetic census;
+//! * [`stream`] — live streaming ingestion: pcapng + classic pcap through
+//!   one source trait, follow mode over growing files/FIFOs/stdin, and
+//!   the RSS-style multi-worker reassembly pipeline with bounded memory
+//!   and worker-count-independent verdicts.
 //!
 //! ## Quickstart
 //!
@@ -47,5 +51,6 @@ pub use caai_core as core;
 pub use caai_engine as engine;
 pub use caai_ml as ml;
 pub use caai_netem as netem;
+pub use caai_stream as stream;
 pub use caai_tcpsim as tcpsim;
 pub use caai_webmodel as webmodel;

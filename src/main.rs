@@ -6,6 +6,9 @@
 //! caai fingerprint --algo BIC ...      print the 7-element feature vector
 //! caai train     --conditions 20 --out model.json
 //! caai identify  --algo HTCP [--model model.json]
+//! caai identify  --pcap capture.pcap            (classic pcap or pcapng; - = stdin)
+//! caai identify  --pcap live.pcap --follow --workers 4
+//!                [--flow-timeout 60] [--session-timeout 1800]
 //! caai census    --servers 2000 [--model model.json] [--json]
 //!                [--shard 0/4] [--out report.jsonl]
 //!                [--checkpoint ck.json] [--resume ck.json]
@@ -20,7 +23,7 @@
 //! merged with `census-merge` print the byte-identical report of one
 //! unsharded run.
 
-use caai::capture::{identify_capture, CaptureRenderer, SessionReport};
+use caai::capture::{CaptureRenderer, SessionReport};
 use caai::congestion::AlgorithmId;
 use caai::core::census::{Census, CensusReport, Verdict};
 use caai::core::classify::{CaaiClassifier, Identification};
@@ -34,6 +37,7 @@ use caai::engine::{
 };
 use caai::netem::rng::seeded;
 use caai::netem::{ConditionDb, EnvironmentId, PathConfig};
+use caai::stream::{identify_bytes, open_path, FollowConfig, StreamConfig};
 use caai::webmodel::PopulationConfig;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -46,7 +50,7 @@ struct Args {
 }
 
 /// Flags that take no value; `--json` parses as `json=true`.
-const BOOLEAN_FLAGS: [&str; 2] = ["json", "allow-partial"];
+const BOOLEAN_FLAGS: [&str; 3] = ["json", "allow-partial", "follow"];
 
 impl Args {
     fn parse(raw: &[String]) -> Result<Args, String> {
@@ -134,7 +138,16 @@ COMMANDS:
     identify      end-to-end identification of one simulated server, or of
                   every probe flow recorded in a packet capture
                   [--algo NAME] [--model model.json | --conditions 6] [--loss 0.0] [--seed 1]
-                  [--pcap FILE]          classify recorded flows instead of simulating
+                  [--pcap FILE|-]        classify recorded flows instead of simulating
+                                         (classic pcap or pcapng; `-` reads stdin)
+                  [--follow]             stream a growing file, FIFO, or pipe: verdicts
+                                         emit while the capture is still being written
+                  [--workers N]          parallel reassembly workers (with --follow; 1)
+                  [--flow-timeout SECS]  idle seconds before a flow is evicted (60)
+                  [--session-timeout S]  idle seconds before a session's verdict (1800)
+                  [--poll-ms MS]         follow-mode poll interval at EOF (50)
+                  [--idle-timeout SECS]  give up when no bytes arrive for SECS
+                                         (30; 0 waits forever)
                   [--out records.jsonl]  stream one census record per flow (with --pcap)
                   [--json]               machine-readable per-flow verdicts (with --pcap)
     render-pcap   render simulated probe sessions into a byte-valid capture
@@ -377,11 +390,47 @@ fn describe_session(s: &SessionReport) -> String {
     format!("{head}  {verdict}")
 }
 
+/// The per-session JSON object shared by `--json` offline documents and
+/// follow-mode JSONL verdict lines.
+fn session_json(s: &SessionReport) -> serde::Value {
+    use serde::Value;
+    Value::Map(vec![
+        (
+            "flow".to_owned(),
+            serde::Serialize::to_value(&s.record.server_id),
+        ),
+        ("client".to_owned(), Value::Str(ip(s.client_ip))),
+        ("server".to_owned(), Value::Str(ip(s.server_ip))),
+        (
+            "connections".to_owned(),
+            serde::Serialize::to_value(&s.flows),
+        ),
+        ("record".to_owned(), serde::Serialize::to_value(&s.record)),
+        (
+            "identification".to_owned(),
+            serde::Serialize::to_value(&s.identification),
+        ),
+    ])
+}
+
 fn cmd_identify_pcap(args: &Args, pcap_path: &str) -> Result<(), String> {
+    if args.get("follow").is_some() {
+        return cmd_identify_follow(args, pcap_path);
+    }
     let classifier = load_or_train(args)?;
-    let bytes = std::fs::read(pcap_path).map_err(|e| format!("read {pcap_path}: {e}"))?;
+    let bytes = if pcap_path == "-" {
+        use std::io::Read;
+        let mut buf = Vec::new();
+        std::io::stdin()
+            .lock()
+            .read_to_end(&mut buf)
+            .map_err(|e| format!("read stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read(pcap_path).map_err(|e| format!("read {pcap_path}: {e}"))?
+    };
     let verdicts =
-        identify_capture(&bytes, &classifier, None).map_err(|e| format!("{pcap_path}: {e}"))?;
+        identify_bytes(&bytes, &classifier, None).map_err(|e| format!("{pcap_path}: {e}"))?;
     for (index, reason) in &verdicts.skipped {
         eprintln!("{pcap_path}: packet {index}: skipped ({reason})");
     }
@@ -416,29 +465,7 @@ fn cmd_identify_pcap(args: &Args, pcap_path: &str) -> Result<(), String> {
 
     if args.get("json").is_some() {
         use serde::Value;
-        let sessions: Vec<Value> = verdicts
-            .sessions
-            .iter()
-            .map(|s| {
-                Value::Map(vec![
-                    (
-                        "flow".to_owned(),
-                        serde::Serialize::to_value(&s.record.server_id),
-                    ),
-                    ("client".to_owned(), Value::Str(ip(s.client_ip))),
-                    ("server".to_owned(), Value::Str(ip(s.server_ip))),
-                    (
-                        "connections".to_owned(),
-                        serde::Serialize::to_value(&s.flows),
-                    ),
-                    ("record".to_owned(), serde::Serialize::to_value(&s.record)),
-                    (
-                        "identification".to_owned(),
-                        serde::Serialize::to_value(&s.identification),
-                    ),
-                ])
-            })
-            .collect();
+        let sessions: Vec<Value> = verdicts.sessions.iter().map(session_json).collect();
         let doc = Value::Map(vec![
             (
                 "packets".to_owned(),
@@ -489,6 +516,119 @@ fn cmd_identify_pcap(args: &Args, pcap_path: &str) -> Result<(), String> {
         report.columns.values().map(|c| c.unsure).sum::<usize>(),
         invalid,
     );
+    Ok(())
+}
+
+/// `identify --pcap FILE --follow`: stream the capture through the
+/// multi-worker pipeline, emitting each session's verdict the moment it
+/// times out — while the file is still being written.
+fn cmd_identify_follow(args: &Args, pcap_path: &str) -> Result<(), String> {
+    let classifier = load_or_train(args)?;
+    let workers: usize = args.parsed("workers", 1)?;
+    let flow_timeout: f64 = args.parsed("flow-timeout", 60.0)?;
+    let session_timeout: f64 = args.parsed("session-timeout", 1800.0)?;
+    let poll_ms: u64 = args.parsed("poll-ms", 50)?;
+    let idle_secs: f64 = args.parsed("idle-timeout", 30.0)?;
+    if workers == 0 {
+        return Err("--workers must be at least 1".to_owned());
+    }
+    let positive = |t: f64| t.is_finite() && t > 0.0;
+    if !positive(flow_timeout) || !positive(session_timeout) {
+        return Err("--flow-timeout and --session-timeout must be positive".to_owned());
+    }
+
+    let follow = FollowConfig {
+        follow: true,
+        poll_interval: Duration::from_millis(poll_ms.max(1)),
+        idle_timeout: if idle_secs > 0.0 {
+            Some(Duration::from_secs_f64(idle_secs))
+        } else {
+            None
+        },
+    };
+    let mut source = open_path(pcap_path, &follow).map_err(|e| format!("open {pcap_path}: {e}"))?;
+    let config = StreamConfig {
+        workers,
+        flow_timeout,
+        session_timeout,
+        ..StreamConfig::default()
+    };
+
+    let json = args.get("json").is_some();
+    let mut agg = AggregatingSink::new();
+    let mut jsonl = match args.get("out") {
+        None => None,
+        Some(out) => Some(JsonlSink::create(out).map_err(|e| format!("create {out}: {e}"))?),
+    };
+    // The verdict callback runs on the collector thread; sink failures are
+    // carried out by value because the callback cannot return an error.
+    let mut sink_err: Option<String> = None;
+    let stats = {
+        let on_verdict = |s: &SessionReport| {
+            if json {
+                match serde_json::to_string(&session_json(s)) {
+                    Ok(line) => println!("{line}"),
+                    Err(e) => eprintln!("verdict serialization: {e}"),
+                }
+            } else {
+                println!("{}", describe_session(s));
+            }
+            if sink_err.is_none() {
+                if let Err(e) = agg.emit(&s.record) {
+                    sink_err = Some(format!("sink: {e}"));
+                } else if let Some(sink) = jsonl.as_mut() {
+                    if let Err(e) = sink.emit(&s.record).and_then(|()| sink.flush()) {
+                        sink_err = Some(format!("sink: {e}"));
+                    }
+                }
+            }
+        };
+        caai::stream::run(&mut source, &classifier, &config, on_verdict)
+            .map_err(|e| format!("{pcap_path}: {e}"))?
+    };
+    if let Some(e) = sink_err {
+        return Err(e);
+    }
+
+    for (index, reason) in &stats.skipped {
+        eprintln!("{pcap_path}: packet {index}: skipped ({reason})");
+    }
+    if let Some(trunc) = &stats.truncated {
+        eprintln!(
+            "{pcap_path}: capture truncated — {trunc}; flows up to the break were identified"
+        );
+    }
+    if !json {
+        println!(
+            "stream: {} packets, {} skipped, {} flows ({} peak live), \
+             {} session{}, {} dataless",
+            stats.packets,
+            stats.skipped.len(),
+            stats.flows,
+            stats.peak_live_flows,
+            stats.sessions,
+            if stats.sessions == 1 { "" } else { "s" },
+            stats.dataless_sessions,
+        );
+        let report = agg.into_report();
+        let invalid: usize = report.invalid.values().sum();
+        let identified: usize = report
+            .columns
+            .values()
+            .map(|c| c.identified.values().sum::<usize>())
+            .sum();
+        println!(
+            "verdicts: {} identified, {} special, {} unsure, {} invalid",
+            identified,
+            report
+                .columns
+                .values()
+                .map(|c| c.special.values().sum::<usize>())
+                .sum::<usize>(),
+            report.columns.values().map(|c| c.unsure).sum::<usize>(),
+            invalid,
+        );
+    }
     Ok(())
 }
 

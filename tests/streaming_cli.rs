@@ -1,0 +1,135 @@
+//! CLI-level coverage of the streaming ingestion surface: `--pcap -`
+//! (stdin), and `--follow` over a capture file that is still being
+//! written while `caai` reads it.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn caai(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_caai"))
+        .args(args)
+        .output()
+        .expect("spawn caai")
+}
+
+fn tmp(name: &str) -> String {
+    std::env::temp_dir()
+        .join(format!("caai-stream-cli-{}-{name}", std::process::id()))
+        .to_string_lossy()
+        .into_owned()
+}
+
+/// One rendered single-server capture shared by both tests (rendered
+/// once; tests run on parallel threads of one process).
+fn fixture_path() -> String {
+    static PATH: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+    PATH.get_or_init(|| {
+        let path = tmp("fixture.pcap");
+        let render = caai(&[
+            "render-pcap",
+            "--out",
+            &path,
+            "--algo",
+            "RENO",
+            "--seed",
+            "5",
+        ]);
+        assert!(render.status.success(), "{render:?}");
+        path
+    })
+    .clone()
+}
+
+/// Just the deterministic per-flow verdict lines of an identify run.
+fn verdict_lines(stdout: &[u8]) -> Vec<String> {
+    String::from_utf8_lossy(stdout)
+        .lines()
+        .filter(|l| l.starts_with("flow ") || l.starts_with("verdicts:"))
+        .map(str::to_owned)
+        .collect()
+}
+
+#[test]
+fn identify_pcap_dash_reads_the_capture_from_stdin() {
+    let path = fixture_path();
+    let from_file = caai(&["identify", "--pcap", &path, "--conditions", "1"]);
+    assert!(from_file.status.success(), "{from_file:?}");
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_caai"))
+        .args(["identify", "--pcap", "-", "--conditions", "1"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn caai");
+    let bytes = std::fs::read(&path).expect("fixture exists");
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(&bytes)
+        .expect("write capture to stdin");
+    let from_stdin = child.wait_with_output().expect("caai exits");
+    assert!(from_stdin.status.success(), "{from_stdin:?}");
+
+    assert_eq!(
+        String::from_utf8_lossy(&from_stdin.stdout),
+        String::from_utf8_lossy(&from_file.stdout),
+        "stdin ingestion must match file ingestion byte-for-byte"
+    );
+}
+
+#[test]
+fn follow_mode_identifies_a_capture_that_grows_under_it() {
+    let fixture = fixture_path();
+    let offline = caai(&["identify", "--pcap", &fixture, "--conditions", "1"]);
+    assert!(offline.status.success(), "{offline:?}");
+
+    // Start the reader on a file holding only the first half of the
+    // capture; append the rest while it follows.
+    let bytes = std::fs::read(&fixture).expect("fixture exists");
+    let growing = tmp("growing.pcap");
+    let split = bytes.len() / 2;
+    std::fs::write(&growing, &bytes[..split]).expect("write head");
+
+    let child = Command::new(env!("CARGO_BIN_EXE_caai"))
+        .args([
+            "identify",
+            "--pcap",
+            &growing,
+            "--follow",
+            "--workers",
+            "2",
+            "--conditions",
+            "1",
+            "--idle-timeout",
+            "3",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn caai");
+
+    // Let the reader hit the half-capture EOF and start polling, then
+    // grow the file under it.
+    std::thread::sleep(std::time::Duration::from_millis(700));
+    let mut file = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&growing)
+        .expect("reopen growing capture");
+    file.write_all(&bytes[split..]).expect("append tail");
+    file.flush().expect("flush tail");
+    drop(file);
+
+    let out = child
+        .wait_with_output()
+        .expect("caai exits via idle timeout");
+    assert!(out.status.success(), "{out:?}");
+    assert_eq!(
+        verdict_lines(&out.stdout),
+        verdict_lines(&offline.stdout),
+        "follow-mode verdicts must match the offline run\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_file(&growing).ok();
+}
