@@ -2,14 +2,19 @@
 //!
 //! Covers the stages a verdict costs: trace gathering (the emulated
 //! probe), feature extraction + random-forest classification, pcap
-//! ingestion (bytes → flows → window traces → verdicts), and the
-//! streaming multi-worker pipeline at 1/2/4 workers. Unlike the other
-//! benches this one has a hand-rolled `main`: after running the groups it
-//! writes the measurements to `BENCH_identify.json` at the repository
-//! root, so the perf trajectory of the identify path is recorded
-//! machine-readably run over run.
+//! ingestion (bytes → flows → window traces → verdicts), the streaming
+//! multi-worker pipeline at 1/2/4 workers, and the observability
+//! overhead pair (null vs counting subscriber through the same `_obs`
+//! entry points). Unlike the other benches this one has a hand-rolled
+//! `main`: after running the groups it writes the measurements — each
+//! tagged with its input shape (bytes/packets/flows) — to
+//! `BENCH_identify.json` at the repository root, so the perf trajectory
+//! of the identify path is recorded machine-readably run over run.
 
-use caai_capture::{identify_reassembly, reassemble, CaptureRenderer, DEFAULT_LADDER};
+use caai_capture::{
+    identify_reassembly, identify_reassembly_obs, reassemble, reassemble_obs, CaptureRenderer,
+    DEFAULT_LADDER,
+};
 use caai_congestion::AlgorithmId;
 use caai_core::classify::CaaiClassifier;
 use caai_core::features::extract_pair;
@@ -18,8 +23,9 @@ use caai_core::server_under_test::ServerUnderTest;
 use caai_core::training::{build_training_set, TrainingConfig};
 use caai_netem::rng::seeded;
 use caai_netem::{ConditionDb, PathConfig};
+use caai_obs::{MetricsSubscriber, NullSubscriber};
 use caai_stream::{run, PcapStream, StallPolicy, StreamConfig};
-use criterion::{Criterion, Throughput};
+use criterion::{Criterion, InputMeta, Throughput};
 use std::hint::black_box;
 
 fn quick_classifier() -> CaaiClassifier {
@@ -71,10 +77,10 @@ fn bench_feature_classify(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_pcap_ingestion(c: &mut Criterion) {
-    // A three-server capture (two identifiable, one short-page) — the
-    // same shape the CI smoke job exercises.
-    let classifier = quick_classifier();
+/// Renders the three-server capture (two identifiable, one from an
+/// algorithm outside the quick model) every ingestion group consumes,
+/// plus its input shape for the BENCH entries.
+fn render_capture() -> (Vec<u8>, InputMeta) {
     let prober = Prober::new(ProberConfig::default());
     let mut renderer = CaptureRenderer::new();
     let mut rng = seeded(23);
@@ -95,10 +101,25 @@ fn bench_pcap_ingestion(c: &mut Criterion) {
             .expect("in-memory render cannot fail");
     }
     let capture = renderer.to_bytes();
+    let reassembly = reassemble(&capture).expect("own render ingests");
+    let meta = InputMeta {
+        bytes: Some(capture.len() as u64),
+        packets: Some(reassembly.packets as u64),
+        flows: Some(reassembly.flows.len() as u64),
+    };
+    (capture, meta)
+}
+
+fn bench_pcap_ingestion(c: &mut Criterion) {
+    // The same capture shape the CI smoke job exercises.
+    let classifier = quick_classifier();
+    let prober = Prober::new(ProberConfig::default());
+    let (capture, meta) = render_capture();
 
     let mut group = c.benchmark_group("identify_pcap_ingestion");
     group.sample_size(10);
     group.throughput(Throughput::Bytes(capture.len() as u64));
+    group.input_meta(meta);
     group.bench_function("reassemble", |b| {
         b.iter(|| black_box(reassemble(black_box(&capture)).expect("valid capture")));
     });
@@ -118,6 +139,7 @@ fn bench_pcap_ingestion(c: &mut Criterion) {
     let mut stream = c.benchmark_group("identify_stream_ingestion");
     stream.sample_size(10);
     stream.throughput(Throughput::Bytes(capture.len() as u64));
+    stream.input_meta(meta);
     for workers in [1usize, 2, 4] {
         stream.bench_function(format!("workers_{workers}"), |b| {
             b.iter(|| {
@@ -141,6 +163,7 @@ fn bench_pcap_ingestion(c: &mut Criterion) {
     let mut render = c.benchmark_group("identify_pcap_render");
     render.sample_size(10);
     render.throughput(Throughput::Bytes(capture.len() as u64));
+    render.input_meta(meta);
     render.bench_function("render_three_sessions", |b| {
         b.iter(|| {
             let mut renderer = CaptureRenderer::new();
@@ -167,21 +190,91 @@ fn bench_pcap_ingestion(c: &mut Criterion) {
     render.finish();
 }
 
+/// Pins the zero-cost claim measurably: the same ingest and gather work
+/// through the `_obs` entry points with the [`NullSubscriber`] (what
+/// every un-instrumented public call compiles down to) vs a counting
+/// [`MetricsSubscriber`] (what `--metrics` pays). The null rows should
+/// track the matching uninstrumented groups above; the metrics rows
+/// bound the cost of counting everything.
+fn bench_obs_overhead(c: &mut Criterion) {
+    let classifier = quick_classifier();
+    let (capture, meta) = render_capture();
+    let metrics = MetricsSubscriber::new();
+
+    let mut group = c.benchmark_group("identify_obs_overhead");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(capture.len() as u64));
+    group.input_meta(meta);
+    group.bench_function("ingest_null", |b| {
+        b.iter(|| {
+            let r = reassemble_obs(black_box(&capture), &NullSubscriber).expect("valid capture");
+            black_box(identify_reassembly_obs(
+                &r,
+                &classifier,
+                &DEFAULT_LADDER,
+                &NullSubscriber,
+            ))
+        });
+    });
+    group.bench_function("ingest_metrics", |b| {
+        b.iter(|| {
+            let r = reassemble_obs(black_box(&capture), &metrics).expect("valid capture");
+            black_box(identify_reassembly_obs(
+                &r,
+                &classifier,
+                &DEFAULT_LADDER,
+                &metrics,
+            ))
+        });
+    });
+
+    // One full probe per iteration; no capture input.
+    group.throughput(Throughput::Elements(1));
+    group.input_meta(InputMeta::default());
+    let prober = Prober::new(ProberConfig::default());
+    let server = ServerUnderTest::ideal(AlgorithmId::Reno);
+    group.bench_function("gather_null", |b| {
+        let mut rng = seeded(17);
+        b.iter(|| {
+            black_box(prober.gather_obs(&server, &PathConfig::clean(), &mut rng, &NullSubscriber))
+        });
+    });
+    group.bench_function("gather_metrics", |b| {
+        let mut rng = seeded(17);
+        b.iter(|| black_box(prober.gather_obs(&server, &PathConfig::clean(), &mut rng, &metrics)));
+    });
+    group.finish();
+}
+
 /// Serializes the collected measurements as the `BENCH_identify.json`
-/// document (hand-formatted: group/id strings are plain ASCII).
+/// document (hand-formatted: group/id strings are plain ASCII). v2 adds
+/// the per-entry `input` object (bytes/packets/flows per iteration).
 fn results_json(c: &Criterion) -> String {
-    let mut out = String::from("{\n  \"schema\": \"caai-bench-identify-v1\",\n  \"benches\": [\n");
+    let mut out = String::from("{\n  \"schema\": \"caai-bench-identify-v2\",\n  \"benches\": [\n");
     let results = c.results();
     for (i, r) in results.iter().enumerate() {
         let rate = r
             .rate_per_sec()
             .map_or("null".to_owned(), |x| format!("{x:.1}"));
+        let opt = |v: Option<u64>| v.map_or("null".to_owned(), |n| n.to_string());
+        let input = if r.input.is_empty() {
+            "null".to_owned()
+        } else {
+            format!(
+                "{{\"bytes\": {}, \"packets\": {}, \"flows\": {}}}",
+                opt(r.input.bytes),
+                opt(r.input.packets),
+                opt(r.input.flows),
+            )
+        };
         out.push_str(&format!(
-            "    {{\"group\": \"{}\", \"id\": \"{}\", \"median_ns\": {}, \"rate_per_sec\": {}}}{}\n",
+            "    {{\"group\": \"{}\", \"id\": \"{}\", \"median_ns\": {}, \"rate_per_sec\": {}, \
+             \"input\": {}}}{}\n",
             r.group,
             r.id,
             r.median_ns,
             rate,
+            input,
             if i + 1 == results.len() { "" } else { "," },
         ));
     }
@@ -194,6 +287,7 @@ fn main() {
     bench_trace_gathering(&mut criterion);
     bench_feature_classify(&mut criterion);
     bench_pcap_ingestion(&mut criterion);
+    bench_obs_overhead(&mut criterion);
 
     // CARGO_MANIFEST_DIR is crates/bench; the repo root is two up.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_identify.json");

@@ -11,6 +11,10 @@
 
 use crate::packet::{self, flags, TcpSegmentView};
 use crate::pcap::{PcapError, PcapReader};
+use caai_obs::{
+    CaptureTruncated, EvictionCause, FlowEvicted, FlowOpened, FrameDecoded, NullSubscriber,
+    PacketSkipped, Subscriber,
+};
 use std::collections::HashMap;
 
 /// A TCP connection 4-tuple in capture orientation (first-seen direction).
@@ -162,6 +166,16 @@ pub struct Reassembly {
 /// broken pcap *framing* stops early, recorded in
 /// [`Reassembly::truncated`]. The function never panics on any input.
 pub fn reassemble(buf: &[u8]) -> Result<Reassembly, PcapError> {
+    reassemble_obs(buf, &NullSubscriber)
+}
+
+/// [`reassemble`] with a structured-event subscriber: [`FrameDecoded`]
+/// per decoded packet, [`PacketSkipped`] for every skip-and-report entry,
+/// [`CaptureTruncated`] when framing breaks mid-file, [`FlowOpened`] per
+/// new 4-tuple, and a [`FlowEvicted`] (cause [`EvictionCause::Drain`])
+/// per flow when the end of the buffer closes the table. The returned
+/// [`Reassembly`] is identical to the unobserved call.
+pub fn reassemble_obs<S: Subscriber>(buf: &[u8], obs: &S) -> Result<Reassembly, PcapError> {
     let mut reader = PcapReader::new(buf)?;
     if reader.linktype() != crate::pcap::LINKTYPE_ETHERNET {
         // Feeding e.g. LINKTYPE_LINUX_SLL (113) or raw-IP (101) frames
@@ -185,6 +199,10 @@ pub fn reassemble(buf: &[u8]) -> Result<Reassembly, PcapError> {
         let record = match next {
             Ok(r) => r,
             Err(e) => {
+                obs.on_capture_truncated(&CaptureTruncated {
+                    packets: packets as u64,
+                    reason: &e.reason,
+                });
                 truncated = Some(e);
                 break;
             }
@@ -192,23 +210,46 @@ pub fn reassemble(buf: &[u8]) -> Result<Reassembly, PcapError> {
         let seg = match packet::decode(record.data) {
             Ok(s) => s,
             Err(e) => {
-                skipped.push((record.index, e.to_string()));
+                let reason = e.to_string();
+                obs.on_packet_skipped(&PacketSkipped {
+                    index: record.index as u64,
+                    reason: &reason,
+                });
+                skipped.push((record.index, reason));
                 continue;
             }
         };
         packets += 1;
+        obs.on_frame_decoded(&FrameDecoded {
+            bytes: record.data.len() as u64,
+        });
         let key = FlowKey::of(&seg);
         let idx = *table.entry(key).or_insert_with(|| {
+            obs.on_flow_opened(&FlowOpened {});
             order.push(FlowBuilder::new(&seg, record.ts));
             order.len() - 1
         });
         if let Some(reason) = order[idx].feed(record.ts, &seg) {
+            obs.on_packet_skipped(&PacketSkipped {
+                index: record.index as u64,
+                reason: &reason,
+            });
             skipped.push((record.index, reason));
         }
     }
 
+    let flows: Vec<Flow> = order
+        .into_iter()
+        .map(|b| {
+            obs.on_flow_evicted(&FlowEvicted {
+                cause: EvictionCause::Drain,
+                events: b.events() as u64,
+            });
+            b.into_flow()
+        })
+        .collect();
     Ok(Reassembly {
-        flows: order.into_iter().map(FlowBuilder::into_flow).collect(),
+        flows,
         skipped,
         truncated,
         packets,

@@ -15,6 +15,7 @@ use crate::reconstruct::{self, ProbeSession, DEFAULT_LADDER};
 use caai_core::census::{CensusRecord, Verdict};
 use caai_core::classify::{CaaiClassifier, Identification};
 use caai_core::prober::GatherOutcome;
+use caai_obs::{NullSubscriber, SessionEmitted, Subscriber};
 
 /// One probe session's verdict.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,6 +70,18 @@ pub fn identify_reassembly(
     classifier: &CaaiClassifier,
     ladder: &[u32],
 ) -> Vec<SessionReport> {
+    identify_reassembly_obs(reassembly, classifier, ladder, &NullSubscriber)
+}
+
+/// [`identify_reassembly`] with a structured-event subscriber: one
+/// [`SessionEmitted`] per verdict (`lag_secs` is `0` — offline ingestion
+/// has no watermark). The reports are identical to the unobserved call.
+pub fn identify_reassembly_obs<S: Subscriber>(
+    reassembly: &Reassembly,
+    classifier: &CaaiClassifier,
+    ladder: &[u32],
+    obs: &S,
+) -> Vec<SessionReport> {
     let sessions: Vec<ProbeSession> = reconstruct::sessions(reassembly, ladder);
     sessions
         .iter()
@@ -77,6 +90,12 @@ pub fn identify_reassembly(
         .map(|(i, s)| {
             let outcome = reconstruct::session_outcome(s, ladder);
             let (verdict, identification) = verdict_for(&outcome, classifier);
+            obs.on_session_emitted(&SessionEmitted {
+                verdict: verdict.kind(),
+                wmax: verdict.wmax(),
+                flows: s.flows as u64,
+                lag_secs: 0.0,
+            });
             SessionReport {
                 client_ip: s.client_ip,
                 server_ip: s.server_ip,
@@ -104,9 +123,22 @@ pub fn identify_capture(
     classifier: &CaaiClassifier,
     ladder: Option<&[u32]>,
 ) -> Result<CaptureVerdicts, PcapError> {
+    identify_capture_obs(buf, classifier, ladder, &NullSubscriber)
+}
+
+/// [`identify_capture`] with a structured-event subscriber: the
+/// reassembly events of [`crate::flow::reassemble_obs`] plus one
+/// [`SessionEmitted`] per verdict. The verdicts are identical to the
+/// unobserved call.
+pub fn identify_capture_obs<S: Subscriber>(
+    buf: &[u8],
+    classifier: &CaaiClassifier,
+    ladder: Option<&[u32]>,
+    obs: &S,
+) -> Result<CaptureVerdicts, PcapError> {
     let ladder = ladder.unwrap_or(&DEFAULT_LADDER);
-    let reassembly = crate::flow::reassemble(buf)?;
-    let sessions = identify_reassembly(&reassembly, classifier, ladder);
+    let reassembly = crate::flow::reassemble_obs(buf, obs)?;
+    let sessions = identify_reassembly_obs(&reassembly, classifier, ladder, obs);
     Ok(CaptureVerdicts {
         sessions,
         skipped: reassembly.skipped,

@@ -59,9 +59,10 @@ pub mod pcap;
 pub mod reconstruct;
 pub mod render;
 
-pub use flow::{reassemble, Flow, FlowBuilder, FlowEvent, FlowKey, Reassembly};
+pub use flow::{reassemble, reassemble_obs, Flow, FlowBuilder, FlowEvent, FlowKey, Reassembly};
 pub use identify::{
-    identify_capture, identify_reassembly, verdict_for, CaptureVerdicts, SessionReport,
+    identify_capture, identify_capture_obs, identify_reassembly, identify_reassembly_obs,
+    verdict_for, CaptureVerdicts, SessionReport,
 };
 pub use packet::{decode, encode, DecodeError, FrameSpec, TcpSegmentView};
 pub use pcap::{PcapError, PcapReader, PcapRecord, PcapWriter};

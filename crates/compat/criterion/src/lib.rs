@@ -14,6 +14,27 @@
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 
+/// Input-size metadata for a measurement: what one iteration consumes.
+/// Real criterion encodes only [`Throughput`]; harnesses that write
+/// machine-readable results (`BENCH_*.json`) want the full input shape
+/// so a number is comparable across revisions of the generator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InputMeta {
+    /// Input bytes per iteration.
+    pub bytes: Option<u64>,
+    /// Packets (capture frames) per iteration.
+    pub packets: Option<u64>,
+    /// Distinct flows per iteration.
+    pub flows: Option<u64>,
+}
+
+impl InputMeta {
+    /// Whether no dimension is set (the default for untagged groups).
+    pub fn is_empty(&self) -> bool {
+        *self == InputMeta::default()
+    }
+}
+
 /// One finished measurement, for harnesses that post-process results
 /// (e.g. writing a machine-readable `BENCH_*.json`). Real criterion
 /// exposes this through its output directory; the offline stand-in keeps
@@ -28,6 +49,8 @@ pub struct BenchResult {
     pub median_ns: u128,
     /// Declared per-iteration throughput, if any.
     pub throughput: Option<Throughput>,
+    /// Declared input metadata (empty when the group never set one).
+    pub input: InputMeta,
 }
 
 impl BenchResult {
@@ -57,6 +80,7 @@ impl Criterion {
             name,
             sample_size: 10,
             throughput: None,
+            input: InputMeta::default(),
         }
     }
 
@@ -109,6 +133,7 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
     throughput: Option<Throughput>,
+    input: InputMeta,
 }
 
 impl BenchmarkGroup<'_> {
@@ -121,6 +146,15 @@ impl BenchmarkGroup<'_> {
     /// Declares per-iteration throughput for derived rate reporting.
     pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
         self.throughput = Some(throughput);
+        self
+    }
+
+    /// Declares the input shape consumed per iteration; applies to the
+    /// benchmarks registered after the call (like [`throughput`]).
+    ///
+    /// [`throughput`]: BenchmarkGroup::throughput
+    pub fn input_meta(&mut self, input: InputMeta) -> &mut Self {
+        self.input = input;
         self
     }
 
@@ -188,6 +222,7 @@ impl BenchmarkGroup<'_> {
             id: id.0.clone(),
             median_ns: median,
             throughput: self.throughput,
+            input: self.input,
         });
     }
 }
@@ -247,9 +282,15 @@ mod tests {
         let mut group = c.benchmark_group("compat_smoke");
         group.sample_size(3);
         group.throughput(Throughput::Elements(64));
+        group.input_meta(InputMeta {
+            bytes: Some(512),
+            packets: Some(8),
+            flows: None,
+        });
         group.bench_function("sum", |b| {
             b.iter(|| (0u64..64).sum::<u64>());
         });
+        group.input_meta(InputMeta::default());
         for n in [4u64, 8] {
             group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
                 b.iter(|| (0..n).product::<u64>());
@@ -263,5 +304,17 @@ mod tests {
     #[test]
     fn harness_runs() {
         smoke();
+    }
+
+    #[test]
+    fn input_meta_rides_along_per_benchmark() {
+        let mut criterion = Criterion::default();
+        sample_bench(&mut criterion);
+        let results = criterion.results();
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].input.bytes, Some(512));
+        assert_eq!(results[0].input.packets, Some(8));
+        assert!(!results[0].input.is_empty());
+        assert!(results[1].input.is_empty(), "meta resets for later benches");
     }
 }

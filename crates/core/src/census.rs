@@ -11,9 +11,11 @@
 
 use caai_congestion::AlgorithmId;
 use caai_netem::{ConditionDb, PathConfig};
+use caai_obs::{NullSubscriber, ProbeTimed, Subscriber};
 use caai_webmodel::WebServer;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 use crate::classes::ClassLabel;
 use crate::classify::{CaaiClassifier, Identification};
@@ -80,6 +82,16 @@ impl Verdict {
         match self {
             Verdict::Invalid(_) => None,
             Verdict::Special(_, w) | Verdict::Unsure(w) | Verdict::Identified(_, w) => Some(*w),
+        }
+    }
+
+    /// The payload-free verdict family, as structured events report it.
+    pub fn kind(&self) -> caai_obs::VerdictKind {
+        match self {
+            Verdict::Invalid(_) => caai_obs::VerdictKind::Invalid,
+            Verdict::Special(..) => caai_obs::VerdictKind::Special,
+            Verdict::Unsure(_) => caai_obs::VerdictKind::Unsure,
+            Verdict::Identified(..) => caai_obs::VerdictKind::Identified,
         }
     }
 }
@@ -344,11 +356,34 @@ impl Census {
 
     /// Probes one server.
     pub fn probe(&self, server: &WebServer, rng: &mut impl rand::Rng) -> CensusRecord {
+        self.probe_obs(server, rng, &NullSubscriber)
+    }
+
+    /// [`probe`](Self::probe) with a structured-event subscriber: the
+    /// ladder walk's rung events plus a [`ProbeTimed`] stage-timing
+    /// split (gather vs verdict wall time — the gather-dominance claim,
+    /// ROADMAP item 5, measured live). The record is identical to the
+    /// unobserved call; timing preparation is skipped entirely when
+    /// `S::ENABLED` is false.
+    pub fn probe_obs<S: Subscriber>(
+        &self,
+        server: &WebServer,
+        rng: &mut impl rand::Rng,
+        obs: &S,
+    ) -> CensusRecord {
         let cond = self.conditions.sample(rng);
         let path = PathConfig::from_condition(&cond);
         let sut = ServerUnderTest::from_web_server(server);
-        let outcome = self.prober.gather(&sut, &path, rng);
+        let gather_started = S::ENABLED.then(Instant::now);
+        let outcome = self.prober.gather_obs(&sut, &path, rng, obs);
+        let gather_done = S::ENABLED.then(Instant::now);
         let (verdict, _) = verdict_for_outcome(&outcome, &self.classifier);
+        if let (Some(t0), Some(t1)) = (gather_started, gather_done) {
+            obs.on_probe_timed(&ProbeTimed {
+                gather_us: (t1 - t0).as_micros() as u64,
+                verdict_us: t1.elapsed().as_micros() as u64,
+            });
+        }
         CensusRecord {
             server_id: server.id,
             truth: Some(server.effective_algorithm()),
@@ -361,8 +396,19 @@ impl Census {
     /// this method — whatever its worker count or interleaving — measures
     /// exactly the same records (`caai-engine` relies on this).
     pub fn probe_seeded(&self, server: &WebServer, seed: u64) -> CensusRecord {
+        self.probe_seeded_obs(server, seed, &NullSubscriber)
+    }
+
+    /// [`probe_seeded`](Self::probe_seeded) with a structured-event
+    /// subscriber (see [`probe_obs`](Self::probe_obs)).
+    pub fn probe_seeded_obs<S: Subscriber>(
+        &self,
+        server: &WebServer,
+        seed: u64,
+        obs: &S,
+    ) -> CensusRecord {
         let mut rng = caai_netem::rng::child(seed, u64::from(server.id));
-        self.probe(server, &mut rng)
+        self.probe_obs(server, &mut rng, obs)
     }
 
     /// Probes a whole population across `workers` threads.
@@ -520,6 +566,33 @@ mod tests {
         ba.merge(&a);
         assert_eq!(ab, whole);
         assert_eq!(ba, whole);
+    }
+
+    #[test]
+    fn probe_obs_matches_probe_and_times_the_stages() {
+        use caai_obs::MetricsSubscriber;
+        let mut rng = seeded(105);
+        let classifier = quick_classifier(&mut rng);
+        let census = Census::new(
+            classifier,
+            ConditionDb::paper_2011(),
+            ProberConfig::default(),
+        );
+        let servers = PopulationConfig::small(4).generate(&mut rng);
+        let metrics = MetricsSubscriber::new();
+        for server in &servers {
+            assert_eq!(
+                census.probe_seeded_obs(server, 3, &metrics),
+                census.probe_seeded(server, 3),
+                "subscriber must not change the record"
+            );
+        }
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counters["gather.runs"], 4);
+        let gather = &snap.histograms["census.probe_gather_us"];
+        let verdict = &snap.histograms["census.probe_verdict_us"];
+        assert_eq!(gather.count, 4, "one timing sample per probe");
+        assert_eq!(verdict.count, 4);
     }
 
     #[test]

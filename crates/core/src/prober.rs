@@ -14,6 +14,7 @@
 
 use caai_netem::path::DataFate;
 use caai_netem::{EnvironmentId, PathConfig, Phase, RttSchedule};
+use caai_obs::{GatherFinished, NullSubscriber, RungAttemptEnded, RungAttemptStarted, Subscriber};
 use caai_tcpsim::AckPacket;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -182,6 +183,14 @@ pub struct NoopTap;
 
 impl ProbeTap for NoopTap {}
 
+/// The obs-event environment tag for a netem environment id.
+fn obs_environment(env: EnvironmentId) -> caai_obs::Environment {
+    match env {
+        EnvironmentId::A => caai_obs::Environment::A,
+        EnvironmentId::B => caai_obs::Environment::B,
+    }
+}
+
 /// The CAAI prober.
 #[derive(Debug, Clone, Default)]
 pub struct Prober {
@@ -226,6 +235,20 @@ impl Prober {
         self.gather_with_tap(server, path, rng, &mut NoopTap)
     }
 
+    /// [`gather`](Self::gather) with a structured-event subscriber: every
+    /// rung attempt and the walk's outcome are reported as they happen
+    /// (see [`caai_obs::Subscriber`]). The outcome is identical to the
+    /// unobserved call.
+    pub fn gather_obs<S: Subscriber>(
+        &self,
+        server: &ServerUnderTest,
+        path: &PathConfig,
+        rng: &mut impl Rng,
+        obs: &S,
+    ) -> GatherOutcome {
+        self.gather_with_tap_obs(server, path, rng, &mut NoopTap, obs)
+    }
+
     /// [`gather`](Self::gather) with a wire observer: the tap sees every
     /// packet of every connection of the ladder walk (see [`ProbeTap`]).
     /// The gathered outcome is identical to the untapped call.
@@ -236,11 +259,34 @@ impl Prober {
         rng: &mut impl Rng,
         tap: &mut dyn ProbeTap,
     ) -> GatherOutcome {
+        self.gather_with_tap_obs(server, path, rng, tap, &NullSubscriber)
+    }
+
+    /// [`gather_with_tap`](Self::gather_with_tap) plus a structured-event
+    /// subscriber. Tap and subscriber are orthogonal: the tap sees the
+    /// packet exchange, the subscriber sees the attempt/outcome events.
+    pub fn gather_with_tap_obs<S: Subscriber>(
+        &self,
+        server: &ServerUnderTest,
+        path: &PathConfig,
+        rng: &mut impl Rng,
+        tap: &mut dyn ProbeTap,
+        obs: &S,
+    ) -> GatherOutcome {
         let mut now = 0.0;
         let mut failed = Vec::new();
+        let mut pair = None;
         for &wmax in &self.config.wmax_ladder {
-            let (trace_a, end_a) =
-                self.gather_trace_with_tap(server, EnvironmentId::A, wmax, now, path, rng, tap);
+            let (trace_a, end_a) = self.gather_trace_with_tap_obs(
+                server,
+                EnvironmentId::A,
+                wmax,
+                now,
+                path,
+                rng,
+                tap,
+                obs,
+            );
             now = end_a + self.config.inter_connection_wait;
             if !trace_a.is_valid() {
                 let descend = trace_a.invalid == Some(InvalidReason::NeverExceededThreshold);
@@ -250,17 +296,23 @@ impl Prober {
                 }
                 break;
             }
-            let (trace_b, end_b) =
-                self.gather_trace_with_tap(server, EnvironmentId::B, wmax, now, path, rng, tap);
+            let (trace_b, end_b) = self.gather_trace_with_tap_obs(
+                server,
+                EnvironmentId::B,
+                wmax,
+                now,
+                path,
+                rng,
+                tap,
+                obs,
+            );
             now = end_b + self.config.inter_connection_wait;
             if trace_b.usable_for_classification() {
-                return GatherOutcome {
-                    pair: Some(TracePair {
-                        env_a: trace_a,
-                        env_b: trace_b,
-                    }),
-                    failed_attempts: failed,
-                };
+                pair = Some(TracePair {
+                    env_a: trace_a,
+                    env_b: trace_b,
+                });
+                break;
             }
             let descend = trace_b.invalid == Some(InvalidReason::NeverExceededThreshold);
             failed.push(trace_a);
@@ -269,10 +321,16 @@ impl Prober {
                 break;
             }
         }
-        GatherOutcome {
-            pair: None,
+        let outcome = GatherOutcome {
+            pair,
             failed_attempts: failed,
-        }
+        };
+        obs.on_gather_finished(&GatherFinished {
+            usable: outcome.pair.is_some(),
+            failed_attempts: outcome.failed_attempts.len() as u32,
+            wmax: outcome.pair.as_ref().map(|p| p.wmax_threshold()),
+        });
+        outcome
     }
 
     /// Gathers one window trace in one environment at one `w_max` rung.
@@ -302,6 +360,55 @@ impl Prober {
         rng: &mut impl Rng,
         tap: &mut dyn ProbeTap,
     ) -> (WindowTrace, f64) {
+        self.gather_trace_with_tap_obs(server, env, wmax, start, path, rng, tap, &NullSubscriber)
+    }
+
+    /// [`gather_trace_with_tap`](Self::gather_trace_with_tap) plus a
+    /// structured-event subscriber: one [`RungAttemptStarted`] /
+    /// [`RungAttemptEnded`] pair brackets the attempt, with the round
+    /// count, validity, and whether the Fig. 13 stall early-exit fired.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gather_trace_with_tap_obs<S: Subscriber>(
+        &self,
+        server: &ServerUnderTest,
+        env: EnvironmentId,
+        wmax: u32,
+        start: f64,
+        path: &PathConfig,
+        rng: &mut impl Rng,
+        tap: &mut dyn ProbeTap,
+        obs: &S,
+    ) -> (WindowTrace, f64) {
+        obs.on_rung_attempt_started(&RungAttemptStarted {
+            environment: obs_environment(env),
+            wmax,
+        });
+        let (trace, end, stall_exited) =
+            self.gather_trace_inner(server, env, wmax, start, path, rng, tap);
+        obs.on_rung_attempt_ended(&RungAttemptEnded {
+            environment: obs_environment(env),
+            wmax,
+            rounds: (trace.pre.len() + trace.post.len()) as u32,
+            valid: trace.is_valid(),
+            stalled: stall_exited,
+            invalid_reason: trace.invalid.map(InvalidReason::name),
+        });
+        (trace, end)
+    }
+
+    /// The attempt body. The extra `bool` reports whether the Fig. 13
+    /// stall early-exit ended phase 1.
+    #[allow(clippy::too_many_arguments)]
+    fn gather_trace_inner(
+        &self,
+        server: &ServerUnderTest,
+        env: EnvironmentId,
+        wmax: u32,
+        start: f64,
+        path: &PathConfig,
+        rng: &mut impl Rng,
+        tap: &mut dyn ProbeTap,
+    ) -> (WindowTrace, f64, bool) {
         let schedule = RttSchedule::new(env);
         let granted_mss = server.granted_mss(self.config.proposed_mss);
         let mut conn = server.connect(self.config.proposed_mss, start);
@@ -324,6 +431,7 @@ impl Prober {
         let mut crossed = false;
         let mut best_w = 0u32; // largest per-round window so far
         let mut stalled = 0u32; // rounds since `best_w` last grew
+        let mut stall_exited = false; // the Fig. 13 early exit fired
 
         for round in 1..=self.config.max_pre_rounds as u32 {
             let rtt = schedule.rtt(Phase::BeforeTimeout, round);
@@ -333,7 +441,7 @@ impl Prober {
                     trace.invalid = Some(InvalidReason::PageTooShort);
                     server.disconnect(&conn, now);
                     tap.connection_closed(now, CloseInitiator::Server);
-                    return (trace, now);
+                    return (trace, now, stall_exited);
                 }
                 // All ACKs of the previous round were lost: wait for the
                 // server's own (unplanned) RTO and keep going.
@@ -379,6 +487,7 @@ impl Prober {
             } else {
                 stalled += 1;
                 if self.config.stall_rounds > 0 && stalled >= self.config.stall_rounds {
+                    stall_exited = true;
                     break;
                 }
             }
@@ -388,7 +497,7 @@ impl Prober {
             trace.invalid = Some(InvalidReason::NeverExceededThreshold);
             server.disconnect(&conn, now);
             tap.connection_closed(now, CloseInitiator::Prober);
-            return (trace, now);
+            return (trace, now, stall_exited);
         }
 
         // ---- Phase 2: the emulated timeout. ----------------------------
@@ -407,7 +516,7 @@ impl Prober {
             trace.invalid = Some(InvalidReason::NoTimeoutResponse);
             server.disconnect(&conn, now);
             tap.connection_closed(now, CloseInitiator::Prober);
-            return (trace, now);
+            return (trace, now, stall_exited);
         }
 
         // ---- Phase 3: recovery, 18 rounds (§IV-E). ----------------------
@@ -423,7 +532,7 @@ impl Prober {
                     trace.invalid = Some(InvalidReason::RecoveryTooShort);
                     server.disconnect(&conn, now);
                     tap.connection_closed(now, CloseInitiator::Server);
-                    return (trace, now);
+                    return (trace, now, stall_exited);
                 }
                 if let Some(deadline) = conn.rto_deadline() {
                     if deadline <= now + rtt {
@@ -475,7 +584,7 @@ impl Prober {
 
         server.disconnect(&conn, now);
         tap.connection_closed(now, CloseInitiator::Prober);
-        (trace, now)
+        (trace, now, stall_exited)
     }
 }
 
@@ -629,6 +738,46 @@ mod tests {
             let expected = if algo == AlgorithmId::Yeah { 256 } else { 512 };
             assert_eq!(pair.wmax_threshold(), expected, "{algo:?} ladder rung");
         }
+    }
+
+    #[test]
+    fn gather_obs_reports_attempts_and_outcome() {
+        use caai_obs::MetricsSubscriber;
+        let server = ServerUnderTest::ideal(AlgorithmId::Reno);
+        let prober = Prober::new(ProberConfig::default());
+
+        let metrics = MetricsSubscriber::new();
+        let observed = prober.gather_obs(&server, &PathConfig::clean(), &mut seeded(7), &metrics);
+        let plain = prober.gather(&server, &PathConfig::clean(), &mut seeded(7));
+        assert_eq!(observed, plain, "subscriber must not change the outcome");
+
+        let snap = metrics.snapshot();
+        // RENO succeeds at the first rung: env A + env B = 2 attempts.
+        assert_eq!(snap.counters["gather.attempts"], 2);
+        assert_eq!(snap.counters["gather.attempts_valid"], 2);
+        assert_eq!(snap.counters["gather.attempts_stalled"], 0);
+        assert_eq!(snap.counters["gather.runs"], 1);
+        assert_eq!(snap.counters["gather.usable"], 1);
+        assert!(snap.counters["gather.rounds"] > 20, "{snap:?}");
+    }
+
+    #[test]
+    fn gather_obs_counts_stall_exits_down_the_ladder() {
+        use caai_obs::MetricsSubscriber;
+        let cfg = ServerConfig::ideal().with_quirk(SenderQuirk::BoundedBuffer { clamp: 200 });
+        let server = ServerUnderTest::ideal_with_config(AlgorithmId::Reno, cfg);
+        let prober = Prober::new(ProberConfig::default());
+        let metrics = MetricsSubscriber::new();
+        let outcome = prober.gather_obs(&server, &PathConfig::clean(), &mut seeded(8), &metrics);
+        assert_eq!(outcome.pair.expect("rung 128 works").wmax_threshold(), 128);
+
+        let snap = metrics.snapshot();
+        // Rungs 512 and 256 fail in env A (window ceiling → stall exit),
+        // rung 128 gathers both environments.
+        assert_eq!(snap.counters["gather.attempts"], 4);
+        assert_eq!(snap.counters["gather.attempts_valid"], 2);
+        assert_eq!(snap.counters["gather.attempts_stalled"], 2);
+        assert_eq!(snap.counters["gather.usable"], 1);
     }
 
     #[test]

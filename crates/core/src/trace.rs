@@ -33,6 +33,19 @@ pub enum InvalidReason {
     RecoveryTooShort,
 }
 
+impl InvalidReason {
+    /// Stable display name (matches the `Debug` rendering the census
+    /// report keys by).
+    pub fn name(self) -> &'static str {
+        match self {
+            InvalidReason::NeverExceededThreshold => "NeverExceededThreshold",
+            InvalidReason::PageTooShort => "PageTooShort",
+            InvalidReason::NoTimeoutResponse => "NoTimeoutResponse",
+            InvalidReason::RecoveryTooShort => "RecoveryTooShort",
+        }
+    }
+}
+
 /// One gathered window trace.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WindowTrace {

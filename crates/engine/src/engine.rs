@@ -37,6 +37,10 @@ use crate::shard::ShardSpec;
 use crate::sink::ResultSink;
 use crate::telemetry::{ProgressStats, Telemetry};
 use caai_core::census::{Census, CensusRecord, CensusReport};
+use caai_obs::{
+    CensusRecordObserved, CensusResumed, CheckpointWritten, Histogram, NullSubscriber, ProbeTimed,
+    Subscriber,
+};
 use caai_webmodel::WebServer;
 use std::fmt;
 use std::io;
@@ -191,6 +195,45 @@ impl CensusEngine {
         sinks: &mut [&mut dyn ResultSink],
         resume: Option<Checkpoint>,
     ) -> Result<EngineOutcome, EngineError> {
+        self.run_obs(servers, sinks, resume, &NullSubscriber)
+    }
+
+    /// [`run`](Self::run) with a structured-event subscriber.
+    ///
+    /// The engine emits [`CensusRecordObserved`] from the (single-threaded)
+    /// coordinator as each fresh record folds in, [`CensusResumed`] once
+    /// when a checkpoint seeds the run, and [`CheckpointWritten`] after
+    /// every durable checkpoint; workers forward the prober's rung events
+    /// and [`ProbeTimed`] stage splits. The outcome is identical to the
+    /// unobserved call — events never influence scheduling or verdicts.
+    ///
+    /// When `progress_every` is on, the engine additionally feeds an
+    /// internal stage timer so progress lines carry a gather/verdict
+    /// latency breakdown; with progress off and a [`NullSubscriber`], the
+    /// whole observation path compiles out.
+    pub fn run_obs<S: Subscriber>(
+        &self,
+        servers: &[WebServer],
+        sinks: &mut [&mut dyn ResultSink],
+        resume: Option<Checkpoint>,
+        obs: &S,
+    ) -> Result<EngineOutcome, EngineError> {
+        if self.config.progress_every > 0 {
+            let stage = StageTimer::default();
+            self.run_inner(servers, sinks, resume, &(&stage, obs), Some(&stage))
+        } else {
+            self.run_inner(servers, sinks, resume, obs, None)
+        }
+    }
+
+    fn run_inner<S: Subscriber>(
+        &self,
+        servers: &[WebServer],
+        sinks: &mut [&mut dyn ResultSink],
+        resume: Option<Checkpoint>,
+        obs: &S,
+        stage: Option<&StageTimer>,
+    ) -> Result<EngineOutcome, EngineError> {
         let seed = self.config.seed;
         let shard = self.config.shard;
         shard.validate().map_err(EngineError::Config)?;
@@ -227,6 +270,14 @@ impl CensusEngine {
                 ck.ensure_matches(seed, population, shard)
                     .map_err(EngineError::CheckpointMismatch)?;
                 telemetry.observe_resumed(&ck.aggregates);
+                let counts = crate::telemetry::resumed_counts(&ck.aggregates);
+                obs.on_census_resumed(&CensusResumed {
+                    records: counts.records,
+                    identified: counts.identified,
+                    special: counts.special,
+                    unsure: counts.unsure,
+                    invalid: counts.invalid,
+                });
                 ck
             }
             None => Checkpoint::new(seed, population, shard),
@@ -297,7 +348,7 @@ impl CensusEngine {
                                 break 'claim;
                             }
                             let server = &servers[pending[i] as usize];
-                            let record = census.probe_seeded(server, seed);
+                            let record = census.probe_seeded_obs(server, seed, obs);
                             if tx.send(record).is_err() {
                                 break 'claim;
                             }
@@ -316,6 +367,10 @@ impl CensusEngine {
                 }
                 telemetry.observe(&record, false);
                 live.observe(&record);
+                obs.on_census_record_observed(&CensusRecordObserved {
+                    verdict: record.verdict.kind(),
+                    wmax: record.verdict.wmax(),
+                });
                 done += 1;
                 since_checkpoint += 1;
 
@@ -327,6 +382,9 @@ impl CensusEngine {
                 if self.config.progress_every > 0 && done.is_multiple_of(self.config.progress_every)
                 {
                     eprintln!("census: {}", telemetry.snapshot());
+                    if let Some(line) = stage.and_then(StageTimer::line) {
+                        eprintln!("census: {line}");
+                    }
                 }
                 if !sink_dead
                     && self.config.checkpoint_path.is_some()
@@ -343,6 +401,7 @@ impl CensusEngine {
                             Ok(()) => {
                                 last_written = Some(done);
                                 checkpoints_written += 1;
+                                obs.on_checkpoint_written(&CheckpointWritten { records: done });
                             }
                             Err(e) => {
                                 run_error = Some(e);
@@ -370,6 +429,7 @@ impl CensusEngine {
         if self.config.checkpoint_path.is_some() && last_written != Some(done) {
             self.save_checkpoint(&live)?;
             checkpoints_written += 1;
+            obs.on_checkpoint_written(&CheckpointWritten { records: done });
         }
 
         let completed = done == owned_total;
@@ -395,6 +455,45 @@ impl CensusEngine {
             .expect("save_checkpoint called without a checkpoint path");
         live.save(path)?;
         Ok(())
+    }
+}
+
+/// Engine-internal subscriber behind the stage-timing progress line:
+/// lock-free histograms of each probe's gather/verdict split, fed by the
+/// workers' [`ProbeTimed`] events and rendered next to the regular
+/// `census:` progress line. Composed with the caller's subscriber as a
+/// tuple, so it only exists (and only times) when `progress_every` is on.
+#[derive(Debug, Default)]
+struct StageTimer {
+    gather_us: Histogram,
+    verdict_us: Histogram,
+}
+
+impl StageTimer {
+    /// One-line latency breakdown, or `None` before the first probe.
+    fn line(&self) -> Option<String> {
+        let gather = self.gather_us.snapshot();
+        let verdict = self.verdict_us.snapshot();
+        if gather.count == 0 {
+            return None;
+        }
+        let total = (gather.sum + verdict.sum).max(1);
+        Some(format!(
+            "stages | gather p50 {}µs p90 {}µs | verdict p50 {}µs p90 {}µs | \
+             gather share {:.1}%",
+            gather.quantile(0.5),
+            gather.quantile(0.9),
+            verdict.quantile(0.5),
+            verdict.quantile(0.9),
+            100.0 * gather.sum as f64 / total as f64,
+        ))
+    }
+}
+
+impl Subscriber for StageTimer {
+    fn on_probe_timed(&self, event: &ProbeTimed) {
+        self.gather_us.record(event.gather_us);
+        self.verdict_us.record(event.verdict_us);
     }
 }
 

@@ -1,17 +1,48 @@
 //! Live progress and throughput telemetry.
 //!
-//! Shared atomic counters updated as records stream out of the worker
-//! pool, snapshotted into [`ProgressStats`] for progress lines, the CLI
-//! summary, and tests. The paper probed ~63k servers over weeks; at that
-//! scale "how fast, how valid, how far along" must be observable while
-//! the census runs, not after.
+//! Lock-free [`caai_obs::Counter`]s updated as records stream out of the
+//! worker pool, snapshotted into [`ProgressStats`] for progress lines,
+//! the CLI summary, and tests. The paper probed ~63k servers over weeks;
+//! at that scale "how fast, how valid, how far along" must be observable
+//! while the census runs, not after.
 
 use caai_core::census::{CensusAggregates, CensusRecord, Verdict};
+use caai_obs::Counter;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-/// Atomic counters shared between the engine and its observers.
+/// Per-verdict totals extracted from a resume checkpoint's aggregates,
+/// shared between [`Telemetry::observe_resumed`] and the engine's
+/// `CensusResumed` event so both report the same numbers.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ResumedCounts {
+    pub records: u64,
+    pub identified: u64,
+    pub special: u64,
+    pub unsure: u64,
+    pub invalid: u64,
+}
+
+pub(crate) fn resumed_counts(agg: &CensusAggregates) -> ResumedCounts {
+    let invalid: usize = agg.invalid.values().sum();
+    let mut special = 0usize;
+    let mut unsure = 0usize;
+    let mut identified = 0usize;
+    for col in agg.columns.values() {
+        special += col.special.values().sum::<usize>();
+        unsure += col.unsure;
+        identified += col.identified.values().sum::<usize>();
+    }
+    ResumedCounts {
+        records: agg.total as u64,
+        identified: identified as u64,
+        special: special as u64,
+        unsure: unsure as u64,
+        invalid: invalid as u64,
+    }
+}
+
+/// Lock-free counters shared between the engine and its observers.
 ///
 /// ```
 /// use caai_engine::Telemetry;
@@ -36,12 +67,12 @@ use std::time::Instant;
 pub struct Telemetry {
     started: Instant,
     total: u64,
-    resumed: AtomicU64,
-    probed: AtomicU64,
-    invalid: AtomicU64,
-    special: AtomicU64,
-    unsure: AtomicU64,
-    identified: AtomicU64,
+    resumed: Counter,
+    probed: Counter,
+    invalid: Counter,
+    special: Counter,
+    unsure: Counter,
+    identified: Counter,
 }
 
 impl Telemetry {
@@ -50,12 +81,12 @@ impl Telemetry {
         Telemetry {
             started: Instant::now(),
             total,
-            resumed: AtomicU64::new(0),
-            probed: AtomicU64::new(0),
-            invalid: AtomicU64::new(0),
-            special: AtomicU64::new(0),
-            unsure: AtomicU64::new(0),
-            identified: AtomicU64::new(0),
+            resumed: Counter::new(),
+            probed: Counter::new(),
+            invalid: Counter::new(),
+            special: Counter::new(),
+            unsure: Counter::new(),
+            identified: Counter::new(),
         }
     }
 
@@ -63,9 +94,9 @@ impl Telemetry {
     /// not contribute to this run's probe throughput.
     pub fn observe(&self, record: &CensusRecord, resumed: bool) {
         if resumed {
-            self.resumed.fetch_add(1, Ordering::Relaxed);
+            self.resumed.incr();
         } else {
-            self.probed.fetch_add(1, Ordering::Relaxed);
+            self.probed.incr();
         }
         let counter = match record.verdict {
             Verdict::Invalid(_) => &self.invalid,
@@ -73,7 +104,7 @@ impl Telemetry {
             Verdict::Unsure(_) => &self.unsure,
             Verdict::Identified(..) => &self.identified,
         };
-        counter.fetch_add(1, Ordering::Relaxed);
+        counter.incr();
     }
 
     /// Counts a resume checkpoint's aggregates in one shot. Since
@@ -81,36 +112,27 @@ impl Telemetry {
     /// resumed work enters the counters: it adds to `resumed` (not to
     /// this run's probe throughput) and to the per-verdict counts.
     pub fn observe_resumed(&self, agg: &CensusAggregates) {
-        let invalid: usize = agg.invalid.values().sum();
-        let mut special = 0usize;
-        let mut unsure = 0usize;
-        let mut identified = 0usize;
-        for col in agg.columns.values() {
-            special += col.special.values().sum::<usize>();
-            unsure += col.unsure;
-            identified += col.identified.values().sum::<usize>();
-        }
-        self.resumed.fetch_add(agg.total as u64, Ordering::Relaxed);
-        self.invalid.fetch_add(invalid as u64, Ordering::Relaxed);
-        self.special.fetch_add(special as u64, Ordering::Relaxed);
-        self.unsure.fetch_add(unsure as u64, Ordering::Relaxed);
-        self.identified
-            .fetch_add(identified as u64, Ordering::Relaxed);
+        let counts = resumed_counts(agg);
+        self.resumed.add(counts.records);
+        self.invalid.add(counts.invalid);
+        self.special.add(counts.special);
+        self.unsure.add(counts.unsure);
+        self.identified.add(counts.identified);
     }
 
     /// Number of probes performed by this run (excluding resumed records).
     pub fn probed(&self) -> u64 {
-        self.probed.load(Ordering::Relaxed)
+        self.probed.get()
     }
 
     /// Snapshots the counters into an immutable stats struct.
     pub fn snapshot(&self) -> ProgressStats {
-        let probed = self.probed.load(Ordering::Relaxed);
-        let resumed = self.resumed.load(Ordering::Relaxed);
-        let invalid = self.invalid.load(Ordering::Relaxed);
-        let special = self.special.load(Ordering::Relaxed);
-        let unsure = self.unsure.load(Ordering::Relaxed);
-        let identified = self.identified.load(Ordering::Relaxed);
+        let probed = self.probed.get();
+        let resumed = self.resumed.get();
+        let invalid = self.invalid.get();
+        let special = self.special.get();
+        let unsure = self.unsure.get();
+        let identified = self.identified.get();
         let elapsed = self.started.elapsed().as_secs_f64();
         ProgressStats {
             total: self.total,

@@ -1,0 +1,586 @@
+//! The event vocabulary and the [`Subscriber`] trait.
+//!
+//! This module is written in the shape s2n-quic's event codegen produces:
+//! one plain struct per event, an [`Event`] enum borrowing them, and a
+//! [`Subscriber`] trait with one default-forwarding `on_*` method per
+//! event. Instrumented code calls the *specific* method (`on_flow_opened`,
+//! never `on_event`), so a subscriber overrides exactly the events it
+//! cares about and pays nothing for the rest.
+//!
+//! # Zero cost
+//!
+//! Every instrumentation point is generic over `S: Subscriber` — there is
+//! no `dyn` anywhere, deliberately, so each call monomorphizes and
+//! inlines. [`NullSubscriber`] overrides nothing and sets
+//! [`Subscriber::ENABLED`] to `false`: its `on_*` calls inline to empty
+//! bodies and vanish, and call sites guard any *preparation* work (an
+//! `Instant::now()`, a depth sample) behind `if S::ENABLED`, which is a
+//! compile-time constant. The `identify_obs_overhead` bench group pins
+//! the claim.
+
+/// The probing environment a connection ran in (§IV's environments A/B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Environment {
+    /// Environment A (short post-timeout RTTs).
+    A,
+    /// Environment B (stretched post-timeout RTTs).
+    B,
+}
+
+impl Environment {
+    /// Single-letter display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Environment::A => "A",
+            Environment::B => "B",
+        }
+    }
+}
+
+/// The census verdict family, stripped of its payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerdictKind {
+    /// Confident identification.
+    Identified,
+    /// Forest confidence below the floor ("Unsure TCP").
+    Unsure,
+    /// A §VII-B special-case trace.
+    Special,
+    /// No valid trace.
+    Invalid,
+}
+
+/// Why a flow left the reassembly table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictionCause {
+    /// No traffic for `flow_timeout` capture seconds.
+    Idle,
+    /// The flow hit `max_flow_events` and was force-evicted.
+    Overflow,
+    /// End of input: the final drain closed it.
+    Drain,
+}
+
+// ---------------------------------------------------------------------
+// Event structs. One per wire-visible occurrence; fields are primitives
+// only (no domain types), so every crate in the workspace can emit them
+// without `caai-obs` depending back on anyone.
+// ---------------------------------------------------------------------
+
+/// A ladder-rung gather attempt started (one per environment per rung).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RungAttemptStarted {
+    /// Environment being emulated.
+    pub environment: Environment,
+    /// The `w_max` threshold of this rung.
+    pub wmax: u32,
+}
+
+/// A ladder-rung gather attempt finished.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RungAttemptEnded {
+    /// Environment that was emulated.
+    pub environment: Environment,
+    /// The `w_max` threshold of this rung.
+    pub wmax: u32,
+    /// Rounds measured before the attempt concluded (pre + post).
+    pub rounds: u32,
+    /// Whether the attempt produced a valid trace.
+    pub valid: bool,
+    /// Whether the Fig. 13 stall early-exit fired (the window visibly
+    /// stopped growing below the threshold).
+    pub stalled: bool,
+    /// The invalid reason, when the trace was invalid.
+    pub invalid_reason: Option<&'static str>,
+}
+
+/// A full ladder walk against one server finished.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GatherFinished {
+    /// Whether a usable environment-A/B pair was gathered.
+    pub usable: bool,
+    /// Failed attempts accumulated along the walk.
+    pub failed_attempts: u32,
+    /// The rung that produced the usable pair, if any.
+    pub wmax: Option<u32>,
+}
+
+/// Stage timing of one census probe: gather vs verdict wall time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeTimed {
+    /// Microseconds spent gathering the trace pair (the §IV ladder walk).
+    pub gather_us: u64,
+    /// Microseconds spent on special-case detection, feature extraction
+    /// and the forest.
+    pub verdict_us: u64,
+}
+
+/// The census observed one freshly probed record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CensusRecordObserved {
+    /// The verdict family.
+    pub verdict: VerdictKind,
+    /// The `w_max` rung, for valid traces.
+    pub wmax: Option<u32>,
+}
+
+/// A resume checkpoint's aggregates entered the census in one shot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CensusResumed {
+    /// Records the checkpoint accounted for.
+    pub records: u64,
+    /// Identified records among them.
+    pub identified: u64,
+    /// Special-case records among them.
+    pub special: u64,
+    /// Unsure records among them.
+    pub unsure: u64,
+    /// Invalid records among them.
+    pub invalid: u64,
+}
+
+/// The engine wrote a resume checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckpointWritten {
+    /// Records covered by the checkpoint.
+    pub records: u64,
+}
+
+/// A capture frame was decoded into a TCP segment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameDecoded {
+    /// Captured bytes of the frame.
+    pub bytes: u64,
+}
+
+/// A capture packet was skipped (skip-and-report corruption handling).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacketSkipped<'a> {
+    /// Zero-based packet index within the capture.
+    pub index: u64,
+    /// Why the packet could not be used.
+    pub reason: &'a str,
+}
+
+/// The capture ended mid-record (truncated input).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CaptureTruncated<'a> {
+    /// Packets successfully decoded before the truncation.
+    pub packets: u64,
+    /// What was cut off.
+    pub reason: &'a str,
+}
+
+/// A new flow appeared in the reassembly table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowOpened {}
+
+/// A flow left the reassembly table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowEvicted {
+    /// Why it was evicted.
+    pub cause: EvictionCause,
+    /// Flow events it had accumulated.
+    pub events: u64,
+}
+
+/// The streaming collector completed a granule barrier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GranuleCompleted {
+    /// The granule index.
+    pub granule: u64,
+    /// The capture-time watermark the granule closed at, in seconds.
+    pub watermark_secs: f64,
+    /// Wall microseconds from the dispatcher broadcasting the tick to the
+    /// collector completing its barrier.
+    pub tick_latency_us: u64,
+    /// Sessions alive in the collector's reorder buffer afterwards.
+    pub live_sessions: u64,
+}
+
+/// A worker's inbound-queue high-water mark over the last granule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueDepthSampled {
+    /// Worker index.
+    pub worker: u32,
+    /// Most batches that were queued at once since the previous sample.
+    pub high_water: u64,
+}
+
+/// An assembled session produced a verdict.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionEmitted {
+    /// The verdict family.
+    pub verdict: VerdictKind,
+    /// The `w_max` rung, for valid traces.
+    pub wmax: Option<u32>,
+    /// Flows (connections) the session stitched together.
+    pub flows: u64,
+    /// Capture seconds between the session's last packet and the
+    /// watermark that released its verdict (emission lag in capture
+    /// time; `0` for offline ingestion, which has no watermark).
+    pub lag_secs: f64,
+}
+
+/// Every event, borrowed. What a catch-all [`Subscriber::on_event`]
+/// override receives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[allow(missing_docs)] // variant names mirror the struct docs above
+pub enum Event<'a> {
+    RungAttemptStarted(&'a RungAttemptStarted),
+    RungAttemptEnded(&'a RungAttemptEnded),
+    GatherFinished(&'a GatherFinished),
+    ProbeTimed(&'a ProbeTimed),
+    CensusRecordObserved(&'a CensusRecordObserved),
+    CensusResumed(&'a CensusResumed),
+    CheckpointWritten(&'a CheckpointWritten),
+    FrameDecoded(&'a FrameDecoded),
+    PacketSkipped(&'a PacketSkipped<'a>),
+    CaptureTruncated(&'a CaptureTruncated<'a>),
+    FlowOpened(&'a FlowOpened),
+    FlowEvicted(&'a FlowEvicted),
+    GranuleCompleted(&'a GranuleCompleted),
+    QueueDepthSampled(&'a QueueDepthSampled),
+    SessionEmitted(&'a SessionEmitted),
+}
+
+/// Receiver of structured events.
+///
+/// Implementations override the `on_*` methods they care about (each
+/// defaults to forwarding into [`on_event`](Subscriber::on_event), which
+/// defaults to nothing), take `&self`, and must be [`Sync`]: one
+/// subscriber instance is shared by every worker thread of a pipeline, so
+/// state lives in atomics (see `Counter` / `Histogram`).
+///
+/// [`ENABLED`](Subscriber::ENABLED) lets call sites skip *preparation*
+/// work (timestamps, depth samples) at compile time — it is `false` only
+/// for [`NullSubscriber`] and compositions of it.
+pub trait Subscriber: Sync {
+    /// Whether this subscriber observes anything at all. Call sites guard
+    /// measurement preparation behind `if S::ENABLED { ... }`.
+    const ENABLED: bool = true;
+
+    /// See [`RungAttemptStarted`].
+    #[inline(always)]
+    fn on_rung_attempt_started(&self, event: &RungAttemptStarted) {
+        self.on_event(&Event::RungAttemptStarted(event));
+    }
+
+    /// See [`RungAttemptEnded`].
+    #[inline(always)]
+    fn on_rung_attempt_ended(&self, event: &RungAttemptEnded) {
+        self.on_event(&Event::RungAttemptEnded(event));
+    }
+
+    /// See [`GatherFinished`].
+    #[inline(always)]
+    fn on_gather_finished(&self, event: &GatherFinished) {
+        self.on_event(&Event::GatherFinished(event));
+    }
+
+    /// See [`ProbeTimed`].
+    #[inline(always)]
+    fn on_probe_timed(&self, event: &ProbeTimed) {
+        self.on_event(&Event::ProbeTimed(event));
+    }
+
+    /// See [`CensusRecordObserved`].
+    #[inline(always)]
+    fn on_census_record_observed(&self, event: &CensusRecordObserved) {
+        self.on_event(&Event::CensusRecordObserved(event));
+    }
+
+    /// See [`CensusResumed`].
+    #[inline(always)]
+    fn on_census_resumed(&self, event: &CensusResumed) {
+        self.on_event(&Event::CensusResumed(event));
+    }
+
+    /// See [`CheckpointWritten`].
+    #[inline(always)]
+    fn on_checkpoint_written(&self, event: &CheckpointWritten) {
+        self.on_event(&Event::CheckpointWritten(event));
+    }
+
+    /// See [`FrameDecoded`].
+    #[inline(always)]
+    fn on_frame_decoded(&self, event: &FrameDecoded) {
+        self.on_event(&Event::FrameDecoded(event));
+    }
+
+    /// See [`PacketSkipped`].
+    #[inline(always)]
+    fn on_packet_skipped(&self, event: &PacketSkipped<'_>) {
+        self.on_event(&Event::PacketSkipped(event));
+    }
+
+    /// See [`CaptureTruncated`].
+    #[inline(always)]
+    fn on_capture_truncated(&self, event: &CaptureTruncated<'_>) {
+        self.on_event(&Event::CaptureTruncated(event));
+    }
+
+    /// See [`FlowOpened`].
+    #[inline(always)]
+    fn on_flow_opened(&self, event: &FlowOpened) {
+        self.on_event(&Event::FlowOpened(event));
+    }
+
+    /// See [`FlowEvicted`].
+    #[inline(always)]
+    fn on_flow_evicted(&self, event: &FlowEvicted) {
+        self.on_event(&Event::FlowEvicted(event));
+    }
+
+    /// See [`GranuleCompleted`].
+    #[inline(always)]
+    fn on_granule_completed(&self, event: &GranuleCompleted) {
+        self.on_event(&Event::GranuleCompleted(event));
+    }
+
+    /// See [`QueueDepthSampled`].
+    #[inline(always)]
+    fn on_queue_depth_sampled(&self, event: &QueueDepthSampled) {
+        self.on_event(&Event::QueueDepthSampled(event));
+    }
+
+    /// See [`SessionEmitted`].
+    #[inline(always)]
+    fn on_session_emitted(&self, event: &SessionEmitted) {
+        self.on_event(&Event::SessionEmitted(event));
+    }
+
+    /// Catch-all sink the per-event defaults forward into. Instrumented
+    /// code never calls this directly.
+    #[inline(always)]
+    fn on_event(&self, event: &Event<'_>) {
+        let _ = event;
+    }
+}
+
+/// The subscriber that observes nothing and costs nothing.
+///
+/// `ENABLED` is `false`, so instrumented code skips measurement
+/// preparation entirely, and every `on_*` call inlines to an empty body.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSubscriber;
+
+impl Subscriber for NullSubscriber {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn on_event(&self, _event: &Event<'_>) {}
+}
+
+/// A shared reference to a subscriber is itself a subscriber, which is
+/// how one instance fans out across scoped worker threads.
+impl<S: Subscriber + ?Sized> Subscriber for &S {
+    const ENABLED: bool = S::ENABLED;
+
+    #[inline(always)]
+    fn on_rung_attempt_started(&self, event: &RungAttemptStarted) {
+        (**self).on_rung_attempt_started(event);
+    }
+    #[inline(always)]
+    fn on_rung_attempt_ended(&self, event: &RungAttemptEnded) {
+        (**self).on_rung_attempt_ended(event);
+    }
+    #[inline(always)]
+    fn on_gather_finished(&self, event: &GatherFinished) {
+        (**self).on_gather_finished(event);
+    }
+    #[inline(always)]
+    fn on_probe_timed(&self, event: &ProbeTimed) {
+        (**self).on_probe_timed(event);
+    }
+    #[inline(always)]
+    fn on_census_record_observed(&self, event: &CensusRecordObserved) {
+        (**self).on_census_record_observed(event);
+    }
+    #[inline(always)]
+    fn on_census_resumed(&self, event: &CensusResumed) {
+        (**self).on_census_resumed(event);
+    }
+    #[inline(always)]
+    fn on_checkpoint_written(&self, event: &CheckpointWritten) {
+        (**self).on_checkpoint_written(event);
+    }
+    #[inline(always)]
+    fn on_frame_decoded(&self, event: &FrameDecoded) {
+        (**self).on_frame_decoded(event);
+    }
+    #[inline(always)]
+    fn on_packet_skipped(&self, event: &PacketSkipped<'_>) {
+        (**self).on_packet_skipped(event);
+    }
+    #[inline(always)]
+    fn on_capture_truncated(&self, event: &CaptureTruncated<'_>) {
+        (**self).on_capture_truncated(event);
+    }
+    #[inline(always)]
+    fn on_flow_opened(&self, event: &FlowOpened) {
+        (**self).on_flow_opened(event);
+    }
+    #[inline(always)]
+    fn on_flow_evicted(&self, event: &FlowEvicted) {
+        (**self).on_flow_evicted(event);
+    }
+    #[inline(always)]
+    fn on_granule_completed(&self, event: &GranuleCompleted) {
+        (**self).on_granule_completed(event);
+    }
+    #[inline(always)]
+    fn on_queue_depth_sampled(&self, event: &QueueDepthSampled) {
+        (**self).on_queue_depth_sampled(event);
+    }
+    #[inline(always)]
+    fn on_session_emitted(&self, event: &SessionEmitted) {
+        (**self).on_session_emitted(event);
+    }
+    #[inline(always)]
+    fn on_event(&self, event: &Event<'_>) {
+        (**self).on_event(event);
+    }
+}
+
+/// A pair of subscribers both receive every event (in order), which is
+/// how the CLI stacks stderr rendering on top of metrics collection.
+impl<A: Subscriber, B: Subscriber> Subscriber for (A, B) {
+    const ENABLED: bool = A::ENABLED || B::ENABLED;
+
+    #[inline(always)]
+    fn on_rung_attempt_started(&self, event: &RungAttemptStarted) {
+        self.0.on_rung_attempt_started(event);
+        self.1.on_rung_attempt_started(event);
+    }
+    #[inline(always)]
+    fn on_rung_attempt_ended(&self, event: &RungAttemptEnded) {
+        self.0.on_rung_attempt_ended(event);
+        self.1.on_rung_attempt_ended(event);
+    }
+    #[inline(always)]
+    fn on_gather_finished(&self, event: &GatherFinished) {
+        self.0.on_gather_finished(event);
+        self.1.on_gather_finished(event);
+    }
+    #[inline(always)]
+    fn on_probe_timed(&self, event: &ProbeTimed) {
+        self.0.on_probe_timed(event);
+        self.1.on_probe_timed(event);
+    }
+    #[inline(always)]
+    fn on_census_record_observed(&self, event: &CensusRecordObserved) {
+        self.0.on_census_record_observed(event);
+        self.1.on_census_record_observed(event);
+    }
+    #[inline(always)]
+    fn on_census_resumed(&self, event: &CensusResumed) {
+        self.0.on_census_resumed(event);
+        self.1.on_census_resumed(event);
+    }
+    #[inline(always)]
+    fn on_checkpoint_written(&self, event: &CheckpointWritten) {
+        self.0.on_checkpoint_written(event);
+        self.1.on_checkpoint_written(event);
+    }
+    #[inline(always)]
+    fn on_frame_decoded(&self, event: &FrameDecoded) {
+        self.0.on_frame_decoded(event);
+        self.1.on_frame_decoded(event);
+    }
+    #[inline(always)]
+    fn on_packet_skipped(&self, event: &PacketSkipped<'_>) {
+        self.0.on_packet_skipped(event);
+        self.1.on_packet_skipped(event);
+    }
+    #[inline(always)]
+    fn on_capture_truncated(&self, event: &CaptureTruncated<'_>) {
+        self.0.on_capture_truncated(event);
+        self.1.on_capture_truncated(event);
+    }
+    #[inline(always)]
+    fn on_flow_opened(&self, event: &FlowOpened) {
+        self.0.on_flow_opened(event);
+        self.1.on_flow_opened(event);
+    }
+    #[inline(always)]
+    fn on_flow_evicted(&self, event: &FlowEvicted) {
+        self.0.on_flow_evicted(event);
+        self.1.on_flow_evicted(event);
+    }
+    #[inline(always)]
+    fn on_granule_completed(&self, event: &GranuleCompleted) {
+        self.0.on_granule_completed(event);
+        self.1.on_granule_completed(event);
+    }
+    #[inline(always)]
+    fn on_queue_depth_sampled(&self, event: &QueueDepthSampled) {
+        self.0.on_queue_depth_sampled(event);
+        self.1.on_queue_depth_sampled(event);
+    }
+    #[inline(always)]
+    fn on_session_emitted(&self, event: &SessionEmitted) {
+        self.0.on_session_emitted(event);
+        self.1.on_session_emitted(event);
+    }
+    #[inline(always)]
+    fn on_event(&self, event: &Event<'_>) {
+        self.0.on_event(event);
+        self.1.on_event(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[derive(Default)]
+    struct CountAll(AtomicU64);
+
+    impl Subscriber for CountAll {
+        fn on_event(&self, _event: &Event<'_>) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn null_subscriber_is_disabled_and_silent() {
+        const {
+            assert!(!NullSubscriber::ENABLED);
+        }
+        NullSubscriber.on_flow_opened(&FlowOpened {});
+        NullSubscriber.on_packet_skipped(&PacketSkipped {
+            index: 3,
+            reason: "bad header",
+        });
+    }
+
+    #[test]
+    fn specific_methods_default_into_on_event() {
+        let s = CountAll::default();
+        s.on_flow_opened(&FlowOpened {});
+        s.on_frame_decoded(&FrameDecoded { bytes: 60 });
+        s.on_capture_truncated(&CaptureTruncated {
+            packets: 9,
+            reason: "mid-record EOF",
+        });
+        assert_eq!(s.0.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn tuple_composition_fans_out_and_ors_enabled() {
+        let a = CountAll::default();
+        let b = CountAll::default();
+        let pair = (&a, &b);
+        pair.on_flow_opened(&FlowOpened {});
+        assert_eq!(a.0.load(Ordering::Relaxed), 1);
+        assert_eq!(b.0.load(Ordering::Relaxed), 1);
+
+        const {
+            assert!(<(&CountAll, &CountAll)>::ENABLED);
+            assert!(!<(NullSubscriber, NullSubscriber)>::ENABLED);
+            assert!(<(NullSubscriber, &CountAll)>::ENABLED);
+        }
+    }
+}

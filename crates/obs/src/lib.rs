@@ -1,0 +1,63 @@
+//! Structured events and lock-free metrics for the CAAI workspace.
+//!
+//! The paper's census ran for weeks against tens of thousands of servers;
+//! at that scale "how fast, how valid, where is time going, what got
+//! dropped" must be observable *while the system runs*. This crate is the
+//! observability spine the rest of the workspace plugs into, modeled on
+//! s2n-quic's event codegen:
+//!
+//! * [`event`] — one struct per wire-visible occurrence, an [`Event`]
+//!   enum borrowing them, and the [`Subscriber`] trait. Instrumentation
+//!   points are generic over `S: Subscriber`, never `dyn`, so the
+//!   [`NullSubscriber`] compiles to nothing (its `ENABLED: false`
+//!   constant also elides measurement preparation at call sites).
+//! * [`metrics`] — wait-free [`Counter`]s and power-of-two-bucket
+//!   [`Histogram`]s whose snapshots merge associatively, so per-worker
+//!   and per-shard metrics fold into one run-level view in any order.
+//! * [`subscribers`] — the stock [`MetricsSubscriber`] (counts
+//!   everything) and [`StderrSubscriber`] (renders skip-and-report
+//!   diagnostics, the CLI default).
+//! * [`snapshot`] — the versioned `caai-metrics-v1` JSONL schema behind
+//!   `--metrics FILE`, with the shared parser/validator.
+//!
+//! Events carry primitives only — no domain types — so `caai-obs` is a
+//! leaf crate every layer (core, engine, capture, stream, CLI) can
+//! depend on without cycles.
+//!
+//! ```
+//! use caai_obs::{FlowOpened, FrameDecoded, MetricsSubscriber, Subscriber};
+//!
+//! fn ingest<S: Subscriber>(frames: &[u64], obs: &S) {
+//!     for &bytes in frames {
+//!         obs.on_frame_decoded(&FrameDecoded { bytes });
+//!         obs.on_flow_opened(&FlowOpened {});
+//!     }
+//! }
+//!
+//! let metrics = MetricsSubscriber::new();
+//! ingest(&[60, 1514], &metrics);
+//! let snap = metrics.snapshot();
+//! assert_eq!(snap.counters["capture.frames_decoded"], 2);
+//! assert_eq!(snap.counters["capture.bytes"], 1574);
+//!
+//! // The same call with the null subscriber compiles to the bare loop.
+//! ingest(&[60, 1514], &caai_obs::NullSubscriber);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod metrics;
+pub mod snapshot;
+pub mod subscribers;
+
+pub use event::{
+    CaptureTruncated, CensusRecordObserved, CensusResumed, CheckpointWritten, Environment, Event,
+    EvictionCause, FlowEvicted, FlowOpened, FrameDecoded, GatherFinished, GranuleCompleted,
+    NullSubscriber, PacketSkipped, ProbeTimed, QueueDepthSampled, RungAttemptEnded,
+    RungAttemptStarted, SessionEmitted, Subscriber, VerdictKind,
+};
+pub use metrics::{Counter, Histogram, HistogramSnapshot};
+pub use snapshot::{parse_line, validate_jsonl, MetricsSnapshot, SnapshotLine, SCHEMA};
+pub use subscribers::{MetricsSubscriber, StderrSubscriber};

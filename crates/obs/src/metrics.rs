@@ -1,0 +1,309 @@
+//! Lock-free counters and fixed-bucket histograms.
+//!
+//! Both are plain `AtomicU64` aggregates updated with `Relaxed` ordering
+//! — subscribers are shared across worker threads, and per-event cost
+//! must stay at one or two uncontended atomic adds. Snapshots are plain
+//! data and [merge](HistogramSnapshot::merge) associatively and
+//! commutatively, which is what lets per-shard and per-worker metrics
+//! fold into one run-level snapshot in any order.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonic event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: one per power of two, covering all of
+/// `u64` (bucket `b` holds values in `[2^b, 2^(b+1))`, with 0 and 1
+/// sharing bucket 0).
+pub const BUCKETS: usize = 64;
+
+/// The bucket a value lands in.
+#[inline]
+fn bucket_of(value: u64) -> usize {
+    63 - (value | 1).leading_zeros() as usize
+}
+
+/// A fixed-footprint latency/size histogram with power-of-two buckets.
+///
+/// Recording is wait-free (three relaxed atomic RMWs plus min/max
+/// updates); precision is the bucket width — one binary order of
+/// magnitude — which is plenty for "where is time going" questions while
+/// keeping merge exact and footprint constant.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the aggregates.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Plain-data copy of a [`Histogram`], mergeable and serializable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Values recorded.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Per-bucket counts; bucket `b` covers `[2^b, 2^(b+1))`.
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Folds `other` into `self`. Associative and commutative: any merge
+    /// tree over the same set of recordings produces the same snapshot.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        self.min = if self.count == 0 {
+            other.min
+        } else {
+            self.min.min(other.min)
+        };
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile (clamped to
+    /// the recorded min/max, so `quantile(0.0)` is the min and
+    /// `quantile(1.0)` the max). Bucket resolution: a power of two.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let upper = if b >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (b + 1)) - 1
+                };
+                return upper.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(1023), 9);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn record_and_snapshot() {
+        let h = Histogram::new();
+        for v in [3u64, 5, 900, 0] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 908);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 900);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 4);
+        assert_eq!(s.buckets[0], 1); // 0
+        assert_eq!(s.buckets[1], 1); // 3
+        assert_eq!(s.buckets[2], 1); // 5
+        assert_eq!(s.buckets[9], 1); // 900
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s, HistogramSnapshot::default());
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_clamp_to_min_max() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.0), 1);
+        assert_eq!(s.quantile(1.0), 100);
+        // p50 lands in bucket [32,64): upper bound 63.
+        assert_eq!(s.quantile(0.5), 63);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let parts: Vec<HistogramSnapshot> = [vec![1u64, 7, 7, 300], vec![2, 2], vec![90_000]]
+            .into_iter()
+            .map(|values| {
+                let h = Histogram::new();
+                values.into_iter().for_each(|v| h.record(v));
+                h.snapshot()
+            })
+            .collect();
+
+        let fold = |order: &[usize]| {
+            let mut acc = HistogramSnapshot::default();
+            for &i in order {
+                acc.merge(&parts[i]);
+            }
+            acc
+        };
+        let canonical = fold(&[0, 1, 2]);
+        assert_eq!(fold(&[2, 1, 0]), canonical);
+        assert_eq!(fold(&[1, 0, 2]), canonical);
+
+        // ((a ⊕ b) ⊕ c) == (a ⊕ (b ⊕ c))
+        let mut bc = parts[1];
+        bc.merge(&parts[2]);
+        let mut a_bc = parts[0];
+        a_bc.merge(&bc);
+        assert_eq!(a_bc, canonical);
+
+        // And merging empties is the identity.
+        let mut with_empty = canonical;
+        with_empty.merge(&HistogramSnapshot::default());
+        assert_eq!(with_empty, canonical);
+    }
+
+    #[test]
+    fn counter_basics() {
+        let c = Counter::new();
+        c.incr();
+        c.add(10);
+        assert_eq!(c.get(), 11);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Histogram::new();
+        let c = Counter::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for v in 0..1000u64 {
+                        h.record(v);
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 4000);
+        assert_eq!(s.sum, 4 * (999 * 1000 / 2));
+    }
+}

@@ -1,0 +1,384 @@
+//! The versioned metrics snapshot: the `caai-metrics-v1` JSONL schema.
+//!
+//! One line per snapshot. `--metrics FILE` appends a line per granule in
+//! follow mode and always one final line on exit; each line is the
+//! *cumulative* state of the run's metrics at that moment, so counters
+//! are monotonic across lines and the last line alone summarizes the run:
+//!
+//! ```json
+//! {"schema": "caai-metrics-v1", "source": "identify-follow", "seq": 3,
+//!  "final": true, "elapsed_secs": 1.42,
+//!  "counters": {"capture.frames_decoded": 1024, "...": 0},
+//!  "histograms": {"stream.tick_latency_us":
+//!    {"count": 4, "sum": 210, "min": 33, "max": 91,
+//!     "buckets": [[5, 3], [6, 1]]}}}
+//! ```
+//!
+//! Histogram `buckets` are sparse `[exponent, count]` pairs — bucket `b`
+//! covers values in `[2^b, 2^(b+1))`. [`parse_line`] /
+//! [`validate_jsonl`] are the readers the `metrics-check` subcommand,
+//! the tests, and CI all share.
+
+use crate::metrics::{HistogramSnapshot, BUCKETS};
+use serde::Value;
+use std::collections::BTreeMap;
+
+/// The schema tag every snapshot line carries.
+pub const SCHEMA: &str = "caai-metrics-v1";
+
+/// A point-in-time copy of every named counter and histogram.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Folds `other` into `self` (counters add, histograms merge).
+    /// Associative and commutative, like its parts.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, n) in &other.counters {
+            *self.counters.entry(name.clone()).or_default() += n;
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Renders one `caai-metrics-v1` JSONL line (no trailing newline).
+    pub fn to_line(&self, source: &str, seq: u64, is_final: bool, elapsed_secs: f64) -> String {
+        let counters = Value::Map(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::U64(*v)))
+                .collect(),
+        );
+        let histograms = Value::Map(
+            self.histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), histogram_value(h)))
+                .collect(),
+        );
+        let line = Value::Map(vec![
+            ("schema".to_owned(), Value::Str(SCHEMA.to_owned())),
+            ("source".to_owned(), Value::Str(source.to_owned())),
+            ("seq".to_owned(), Value::U64(seq)),
+            ("final".to_owned(), Value::Bool(is_final)),
+            ("elapsed_secs".to_owned(), Value::F64(elapsed_secs)),
+            ("counters".to_owned(), counters),
+            ("histograms".to_owned(), histograms),
+        ]);
+        serde_json::to_string(&line).expect("metrics line serializes")
+    }
+}
+
+fn histogram_value(h: &HistogramSnapshot) -> Value {
+    let buckets = h
+        .buckets
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| **n > 0)
+        .map(|(b, n)| Value::Seq(vec![Value::U64(b as u64), Value::U64(*n)]))
+        .collect();
+    Value::Map(vec![
+        ("count".to_owned(), Value::U64(h.count)),
+        ("sum".to_owned(), Value::U64(h.sum)),
+        ("min".to_owned(), Value::U64(h.min)),
+        ("max".to_owned(), Value::U64(h.max)),
+        ("buckets".to_owned(), Value::Seq(buckets)),
+    ])
+}
+
+/// One parsed and schema-checked snapshot line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotLine {
+    /// What produced the snapshot (`census`, `identify`,
+    /// `identify-follow`).
+    pub source: String,
+    /// Zero-based snapshot index within the file.
+    pub seq: u64,
+    /// Whether this is the run's final snapshot.
+    pub is_final: bool,
+    /// Wall seconds since the run started.
+    pub elapsed_secs: f64,
+    /// The metrics themselves.
+    pub snapshot: MetricsSnapshot,
+}
+
+fn field<'v>(map: &'v [(String, Value)], name: &str) -> Result<&'v Value, String> {
+    serde::get_field(map, name).ok_or_else(|| format!("missing field `{name}`"))
+}
+
+fn as_u64(v: &Value, what: &str) -> Result<u64, String> {
+    match v {
+        Value::U64(n) => Ok(*n),
+        _ => Err(format!("{what} must be a non-negative integer")),
+    }
+}
+
+fn as_f64(v: &Value, what: &str) -> Result<f64, String> {
+    match v {
+        Value::F64(x) => Ok(*x),
+        Value::U64(n) => Ok(*n as f64),
+        _ => Err(format!("{what} must be a number")),
+    }
+}
+
+/// Parses and schema-checks one snapshot line.
+pub fn parse_line(line: &str) -> Result<SnapshotLine, String> {
+    let value: Value = serde_json::from_str(line).map_err(|e| format!("not JSON: {e}"))?;
+    let map = value.as_map().ok_or("line is not a JSON object")?;
+
+    let schema = field(map, "schema")?
+        .as_str()
+        .ok_or("`schema` must be a string")?;
+    if schema != SCHEMA {
+        return Err(format!("schema `{schema}` is not `{SCHEMA}`"));
+    }
+    let source = field(map, "source")?
+        .as_str()
+        .ok_or("`source` must be a string")?
+        .to_owned();
+    let seq = as_u64(field(map, "seq")?, "`seq`")?;
+    let is_final = match field(map, "final")? {
+        Value::Bool(b) => *b,
+        _ => return Err("`final` must be a boolean".to_owned()),
+    };
+    let elapsed_secs = as_f64(field(map, "elapsed_secs")?, "`elapsed_secs`")?;
+    if !elapsed_secs.is_finite() || elapsed_secs < 0.0 {
+        return Err("`elapsed_secs` must be finite and non-negative".to_owned());
+    }
+
+    let mut counters = BTreeMap::new();
+    for (name, v) in field(map, "counters")?
+        .as_map()
+        .ok_or("`counters` must be an object")?
+    {
+        counters.insert(name.clone(), as_u64(v, &format!("counter `{name}`"))?);
+    }
+
+    let mut histograms = BTreeMap::new();
+    for (name, v) in field(map, "histograms")?
+        .as_map()
+        .ok_or("`histograms` must be an object")?
+    {
+        histograms.insert(name.clone(), parse_histogram(name, v)?);
+    }
+
+    Ok(SnapshotLine {
+        source,
+        seq,
+        is_final,
+        elapsed_secs,
+        snapshot: MetricsSnapshot {
+            counters,
+            histograms,
+        },
+    })
+}
+
+fn parse_histogram(name: &str, v: &Value) -> Result<HistogramSnapshot, String> {
+    let map = v
+        .as_map()
+        .ok_or_else(|| format!("histogram `{name}` must be an object"))?;
+    let mut h = HistogramSnapshot {
+        count: as_u64(field(map, "count")?, "`count`")?,
+        sum: as_u64(field(map, "sum")?, "`sum`")?,
+        min: as_u64(field(map, "min")?, "`min`")?,
+        max: as_u64(field(map, "max")?, "`max`")?,
+        ..HistogramSnapshot::default()
+    };
+    let mut prev_exp: Option<u64> = None;
+    let mut total = 0u64;
+    for pair in field(map, "buckets")?
+        .as_seq()
+        .ok_or_else(|| format!("histogram `{name}` buckets must be an array"))?
+    {
+        let pair = pair
+            .as_seq()
+            .filter(|p| p.len() == 2)
+            .ok_or_else(|| format!("histogram `{name}` bucket must be [exponent, count]"))?;
+        let exp = as_u64(&pair[0], "bucket exponent")?;
+        let n = as_u64(&pair[1], "bucket count")?;
+        if exp >= BUCKETS as u64 {
+            return Err(format!(
+                "histogram `{name}` bucket exponent {exp} out of range"
+            ));
+        }
+        if prev_exp.is_some_and(|p| exp <= p) {
+            return Err(format!("histogram `{name}` bucket exponents must increase"));
+        }
+        if n == 0 {
+            return Err(format!("histogram `{name}` carries an empty bucket"));
+        }
+        prev_exp = Some(exp);
+        h.buckets[exp as usize] = n;
+        total += n;
+    }
+    if total != h.count {
+        return Err(format!(
+            "histogram `{name}` bucket counts sum to {total}, not count {}",
+            h.count
+        ));
+    }
+    if h.count > 0 && h.min > h.max {
+        return Err(format!("histogram `{name}` has min > max"));
+    }
+    if h.count == 0 && (h.sum != 0 || h.min != 0 || h.max != 0) {
+        return Err(format!("histogram `{name}` is empty but carries values"));
+    }
+    Ok(h)
+}
+
+/// Parses a whole `--metrics` file and checks the cross-line invariants:
+/// `seq` counts up from 0, exactly the last line is `final`, all lines
+/// share one `source`, and counters are monotonic (each line is a
+/// cumulative snapshot of the same run). Returns the lines in order.
+pub fn validate_jsonl(text: &str) -> Result<Vec<SnapshotLine>, String> {
+    let mut lines = Vec::new();
+    for (i, raw) in text.lines().filter(|l| !l.trim().is_empty()).enumerate() {
+        let line = parse_line(raw).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if line.seq != i as u64 {
+            return Err(format!("line {}: seq {} != {}", i + 1, line.seq, i));
+        }
+        lines.push(line);
+    }
+    if lines.is_empty() {
+        return Err("metrics file has no snapshot lines".to_owned());
+    }
+    let last = lines.len() - 1;
+    for (i, line) in lines.iter().enumerate() {
+        if line.is_final != (i == last) {
+            return Err(format!(
+                "line {}: `final` must be true exactly on the last line",
+                i + 1
+            ));
+        }
+        if line.source != lines[0].source {
+            return Err(format!("line {}: `source` changed mid-file", i + 1));
+        }
+        if i > 0 {
+            for (name, n) in &line.snapshot.counters {
+                if lines[i - 1]
+                    .snapshot
+                    .counters
+                    .get(name)
+                    .copied()
+                    .unwrap_or(0)
+                    > *n
+                {
+                    return Err(format!("line {}: counter `{name}` went backwards", i + 1));
+                }
+            }
+        }
+    }
+    Ok(lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Histogram;
+
+    fn sample() -> MetricsSnapshot {
+        let h = Histogram::new();
+        h.record(33);
+        h.record(40);
+        h.record(91);
+        let mut s = MetricsSnapshot::default();
+        s.counters.insert("capture.frames_decoded".to_owned(), 1024);
+        s.counters.insert("capture.packets_skipped".to_owned(), 0);
+        s.histograms
+            .insert("stream.tick_latency_us".to_owned(), h.snapshot());
+        s
+    }
+
+    #[test]
+    fn line_roundtrips_through_parse() {
+        let snap = sample();
+        let line = snap.to_line("identify-follow", 3, true, 1.5);
+        let parsed = parse_line(&line).expect("own output validates");
+        assert_eq!(parsed.source, "identify-follow");
+        assert_eq!(parsed.seq, 3);
+        assert!(parsed.is_final);
+        assert_eq!(parsed.snapshot, snap);
+    }
+
+    #[test]
+    fn validate_accepts_a_wellformed_file() {
+        let snap = sample();
+        let mut grown = snap.clone();
+        *grown
+            .counters
+            .get_mut("capture.frames_decoded")
+            .expect("present") += 10;
+        let text = format!(
+            "{}\n{}\n",
+            snap.to_line("identify-follow", 0, false, 0.5),
+            grown.to_line("identify-follow", 1, true, 1.0),
+        );
+        let lines = validate_jsonl(&text).expect("valid file");
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[1].snapshot.counters["capture.frames_decoded"], 1034);
+    }
+
+    #[test]
+    fn validate_rejects_schema_and_shape_errors() {
+        let snap = sample();
+        let good = snap.to_line("census", 0, true, 0.1);
+
+        assert!(validate_jsonl("").is_err(), "empty file");
+        assert!(validate_jsonl("not json\n").is_err());
+        assert!(
+            validate_jsonl(&good.replace(SCHEMA, "caai-metrics-v0")).is_err(),
+            "wrong schema tag"
+        );
+        assert!(
+            validate_jsonl(&good.replace("\"seq\":0", "\"seq\":7")).is_err(),
+            "seq must start at 0"
+        );
+        assert!(
+            validate_jsonl(&good.replace("\"final\":true", "\"final\":false")).is_err(),
+            "last line must be final"
+        );
+
+        // Counters must be monotonic across lines.
+        let mut shrunk = snap.clone();
+        *shrunk
+            .counters
+            .get_mut("capture.frames_decoded")
+            .expect("present") -= 1;
+        let text = format!(
+            "{}\n{}\n",
+            snap.to_line("census", 0, false, 0.1),
+            shrunk.to_line("census", 1, true, 0.2),
+        );
+        assert!(validate_jsonl(&text).is_err(), "counter went backwards");
+    }
+
+    #[test]
+    fn histogram_bucket_tampering_is_caught() {
+        let line = sample().to_line("census", 0, true, 0.1);
+        // The three recorded values land in buckets 5 and 6: [[5,2],[6,1]].
+        let tampered = line.replace("[[5,2]", "[[5,9]");
+        assert!(parse_line(&tampered).is_err(), "bucket sum != count");
+    }
+
+    #[test]
+    fn merge_matches_componentwise_merge() {
+        let a = sample();
+        let mut b = sample();
+        *b.counters
+            .get_mut("capture.frames_decoded")
+            .expect("present") = 6;
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab.counters["capture.frames_decoded"], 1030);
+        assert_eq!(
+            ab.histograms["stream.tick_latency_us"].count,
+            2 * a.histograms["stream.tick_latency_us"].count
+        );
+    }
+}

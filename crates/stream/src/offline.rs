@@ -6,8 +6,12 @@ use crate::pcapng::SHB_MAGIC;
 use crate::source::{CaptureSource, PcapStream, SourceError, SourceItem, StallPolicy};
 use caai_capture::flow::{FlowBuilder, FlowKey, Reassembly};
 use caai_capture::identify::CaptureVerdicts;
-use caai_capture::{decode, identify_capture, identify_reassembly, PcapError};
+use caai_capture::{decode, identify_capture_obs, identify_reassembly_obs, PcapError};
 use caai_core::classify::CaaiClassifier;
+use caai_obs::{
+    CaptureTruncated, EvictionCause, FlowEvicted, FlowOpened, FrameDecoded, NullSubscriber,
+    PacketSkipped, Subscriber,
+};
 use std::collections::HashMap;
 
 /// Drains a source and reassembles every flow, mirroring
@@ -18,6 +22,16 @@ use std::collections::HashMap;
 /// Fails only when the source dies before producing a single item — i.e.
 /// the container header itself was unreadable.
 pub fn reassemble_source(source: &mut dyn CaptureSource) -> Result<Reassembly, SourceError> {
+    reassemble_source_obs(source, &NullSubscriber)
+}
+
+/// [`reassemble_source`] with a structured-event subscriber, emitting the
+/// same events as [`caai_capture::reassemble_obs`] so offline pcapng
+/// ingestion and offline pcap ingestion count identically.
+pub fn reassemble_source_obs<S: Subscriber>(
+    source: &mut dyn CaptureSource,
+    obs: &S,
+) -> Result<Reassembly, SourceError> {
     let mut table: HashMap<FlowKey, usize> = HashMap::new();
     let mut order: Vec<FlowBuilder> = Vec::new();
     let mut skipped = Vec::new();
@@ -29,6 +43,10 @@ pub fn reassemble_source(source: &mut dyn CaptureSource) -> Result<Reassembly, S
         match source.next() {
             Ok(Some(SourceItem::Skipped { index, reason })) => {
                 saw_item = true;
+                obs.on_packet_skipped(&PacketSkipped {
+                    index,
+                    reason: &reason,
+                });
                 skipped.push((index as usize, reason));
             }
             Ok(Some(SourceItem::Frame(frame))) => {
@@ -36,22 +54,39 @@ pub fn reassemble_source(source: &mut dyn CaptureSource) -> Result<Reassembly, S
                 let seg = match decode(&frame.data) {
                     Ok(s) => s,
                     Err(e) => {
-                        skipped.push((frame.index as usize, e.to_string()));
+                        let reason = e.to_string();
+                        obs.on_packet_skipped(&PacketSkipped {
+                            index: frame.index,
+                            reason: &reason,
+                        });
+                        skipped.push((frame.index as usize, reason));
                         continue;
                     }
                 };
                 packets += 1;
+                obs.on_frame_decoded(&FrameDecoded {
+                    bytes: frame.data.len() as u64,
+                });
                 let key = FlowKey::of(&seg);
                 let idx = *table.entry(key).or_insert_with(|| {
+                    obs.on_flow_opened(&FlowOpened {});
                     order.push(FlowBuilder::new(&seg, frame.ts));
                     order.len() - 1
                 });
                 if let Some(reason) = order[idx].feed(frame.ts, &seg) {
+                    obs.on_packet_skipped(&PacketSkipped {
+                        index: frame.index,
+                        reason: &reason,
+                    });
                     skipped.push((frame.index as usize, reason));
                 }
             }
             Ok(None) => break,
             Err(e) if saw_item => {
+                obs.on_capture_truncated(&CaptureTruncated {
+                    packets: packets as u64,
+                    reason: &e.reason,
+                });
                 truncated = Some(PcapError {
                     offset: e.offset as usize,
                     reason: e.reason,
@@ -62,8 +97,18 @@ pub fn reassemble_source(source: &mut dyn CaptureSource) -> Result<Reassembly, S
         }
     }
 
+    let flows: Vec<_> = order
+        .into_iter()
+        .map(|b| {
+            obs.on_flow_evicted(&FlowEvicted {
+                cause: EvictionCause::Drain,
+                events: b.events() as u64,
+            });
+            b.into_flow()
+        })
+        .collect();
     Ok(Reassembly {
-        flows: order.into_iter().map(FlowBuilder::into_flow).collect(),
+        flows,
         skipped,
         truncated,
         packets,
@@ -79,14 +124,26 @@ pub fn identify_bytes(
     classifier: &CaaiClassifier,
     ladder: Option<&[u32]>,
 ) -> Result<CaptureVerdicts, PcapError> {
+    identify_bytes_obs(buf, classifier, ladder, &NullSubscriber)
+}
+
+/// [`identify_bytes`] with a structured-event subscriber: the reassembly
+/// events plus one `SessionEmitted` per verdict, whichever container the
+/// bytes turn out to be.
+pub fn identify_bytes_obs<S: Subscriber>(
+    buf: &[u8],
+    classifier: &CaaiClassifier,
+    ladder: Option<&[u32]>,
+    obs: &S,
+) -> Result<CaptureVerdicts, PcapError> {
     if buf.len() >= 4 && buf[..4] == SHB_MAGIC {
         let mut source = PcapStream::new(std::io::Cursor::new(buf), StallPolicy::Eof);
-        let reassembly = reassemble_source(&mut source).map_err(|e| PcapError {
+        let reassembly = reassemble_source_obs(&mut source, obs).map_err(|e| PcapError {
             offset: e.offset as usize,
             reason: e.reason,
         })?;
         let ladder = ladder.unwrap_or(&caai_capture::DEFAULT_LADDER);
-        let sessions = identify_reassembly(&reassembly, classifier, ladder);
+        let sessions = identify_reassembly_obs(&reassembly, classifier, ladder, obs);
         Ok(CaptureVerdicts {
             sessions,
             skipped: reassembly.skipped,
@@ -94,6 +151,6 @@ pub fn identify_bytes(
             packets: reassembly.packets,
         })
     } else {
-        identify_capture(buf, classifier, ladder)
+        identify_capture_obs(buf, classifier, ladder, obs)
     }
 }

@@ -60,10 +60,16 @@ use caai_capture::reconstruct::{
 use caai_capture::{verdict_for, SessionReport};
 use caai_core::census::CensusRecord;
 use caai_core::classify::CaaiClassifier;
+use caai_obs::{
+    CaptureTruncated, EvictionCause, FlowEvicted, FlowOpened, FrameDecoded, GranuleCompleted,
+    NullSubscriber, PacketSkipped, QueueDepthSampled, SessionEmitted, Subscriber,
+};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
+use std::time::Instant;
 
 /// Tuning for one streaming run.
 #[derive(Debug, Clone, PartialEq)]
@@ -166,8 +172,38 @@ struct WorkerCfg {
 
 enum WorkerMsg {
     Batch(Vec<StreamFrame>),
-    Tick { granule: i64, watermark: f64 },
+    Tick {
+        granule: i64,
+        watermark: f64,
+        /// Wall-clock broadcast time, present only when someone observes
+        /// (drives the granule tick-latency histogram).
+        sent_at: Option<Instant>,
+    },
     Finish,
+}
+
+/// Per-worker inbound-queue gauge: current depth in batches and the
+/// high-water mark since the last sample. Only touched when
+/// `S::ENABLED` — the null path never pays the atomics.
+#[derive(Debug, Default)]
+struct QueueGauge {
+    depth: AtomicU64,
+    high_water: AtomicU64,
+}
+
+impl QueueGauge {
+    fn inc(&self) {
+        let now = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.high_water.fetch_max(now, Ordering::Relaxed);
+    }
+
+    fn dec(&self) {
+        self.depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn take_high_water(&self) -> u64 {
+        self.high_water.swap(0, Ordering::Relaxed)
+    }
 }
 
 /// One evicted flow, reduced worker-side to what the collector needs.
@@ -187,6 +223,7 @@ enum ToCollector {
     TickDone {
         granule: i64,
         watermark: f64,
+        sent_at: Option<Instant>,
         flows: Vec<FlowDone>,
         skipped: Vec<(u64, String)>,
     },
@@ -254,11 +291,22 @@ impl WorkerState {
         }
     }
 
-    fn feed(&mut self, frame: &StreamFrame, cfg: &WorkerCfg, ladder: &[u32]) {
+    fn feed<S: Subscriber>(
+        &mut self,
+        frame: &StreamFrame,
+        cfg: &WorkerCfg,
+        ladder: &[u32],
+        obs: &S,
+    ) {
         let seg = match caai_capture::decode(&frame.data) {
             Ok(s) => s,
             Err(e) => {
-                self.skipped.push((frame.index, e.to_string()));
+                let reason = e.to_string();
+                obs.on_packet_skipped(&PacketSkipped {
+                    index: frame.index,
+                    reason: &reason,
+                });
+                self.skipped.push((frame.index, reason));
                 return;
             }
         };
@@ -290,15 +338,24 @@ impl WorkerState {
                 self.live += 1;
                 self.peak = self.peak.max(self.live);
                 self.flows_total += 1;
+                obs.on_flow_opened(&FlowOpened {});
                 s
             }
         };
         let entry = self.slab[slot].1.as_mut().expect("live slot");
         if let Some(reason) = entry.builder.feed(frame.ts, &seg) {
+            obs.on_packet_skipped(&PacketSkipped {
+                index: frame.index,
+                reason: &reason,
+            });
             self.skipped.push((frame.index, reason));
         }
         if entry.builder.events() >= cfg.max_events {
             self.overflowed += 1;
+            obs.on_flow_evicted(&FlowEvicted {
+                cause: EvictionCause::Overflow,
+                events: entry.builder.events() as u64,
+            });
             let done = self.finalize(slot, ladder);
             self.due.push(done);
         }
@@ -307,7 +364,13 @@ impl WorkerState {
     /// Evicts every flow idle since before `watermark - flow_timeout`.
     /// Wheel entries are validated lazily: a flow that was active since
     /// its bucket was written is re-bucketed instead of evicted.
-    fn evict_due(&mut self, watermark: f64, cfg: &WorkerCfg, ladder: &[u32]) -> Vec<FlowDone> {
+    fn evict_due<S: Subscriber>(
+        &mut self,
+        watermark: f64,
+        cfg: &WorkerCfg,
+        ladder: &[u32],
+        obs: &S,
+    ) -> Vec<FlowDone> {
         let cutoff = watermark - cfg.flow_timeout;
         let mut out = std::mem::take(&mut self.due);
         while let Some((&bucket, _)) = self.wheel.iter().next() {
@@ -319,13 +382,13 @@ impl WorkerState {
                 if stale {
                     continue;
                 }
-                let last_seen = self.slab[slot]
-                    .1
-                    .as_ref()
-                    .expect("checked above")
-                    .builder
-                    .last_seen();
+                let builder = &self.slab[slot].1.as_ref().expect("checked above").builder;
+                let last_seen = builder.last_seen();
                 if last_seen <= cutoff {
+                    obs.on_flow_evicted(&FlowEvicted {
+                        cause: EvictionCause::Idle,
+                        events: builder.events() as u64,
+                    });
                     let done = self.finalize(slot, ladder);
                     out.push(done);
                 } else {
@@ -339,10 +402,14 @@ impl WorkerState {
         out
     }
 
-    fn drain_all(&mut self, ladder: &[u32]) -> Vec<FlowDone> {
+    fn drain_all<S: Subscriber>(&mut self, ladder: &[u32], obs: &S) -> Vec<FlowDone> {
         let mut out = std::mem::take(&mut self.due);
         for slot in 0..self.slab.len() {
-            if self.slab[slot].1.is_some() {
+            if let Some(entry) = &self.slab[slot].1 {
+                obs.on_flow_evicted(&FlowEvicted {
+                    cause: EvictionCause::Drain,
+                    events: entry.builder.events() as u64,
+                });
                 let done = self.finalize(slot, ladder);
                 out.push(done);
             }
@@ -351,33 +418,43 @@ impl WorkerState {
     }
 }
 
-fn worker_loop(
+fn worker_loop<S: Subscriber>(
     cfg: WorkerCfg,
     ladder: Vec<u32>,
     rx: mpsc::Receiver<WorkerMsg>,
     tx: mpsc::SyncSender<ToCollector>,
+    gauge: &QueueGauge,
+    obs: &S,
 ) {
     let mut st = WorkerState::new();
     for msg in rx {
         match msg {
             WorkerMsg::Batch(frames) => {
+                if S::ENABLED {
+                    gauge.dec();
+                }
                 for frame in &frames {
-                    st.feed(frame, &cfg, &ladder);
+                    st.feed(frame, &cfg, &ladder, obs);
                 }
             }
-            WorkerMsg::Tick { granule, watermark } => {
-                let flows = st.evict_due(watermark, &cfg, &ladder);
+            WorkerMsg::Tick {
+                granule,
+                watermark,
+                sent_at,
+            } => {
+                let flows = st.evict_due(watermark, &cfg, &ladder, obs);
                 let skipped = std::mem::take(&mut st.skipped);
                 tx.send(ToCollector::TickDone {
                     granule,
                     watermark,
+                    sent_at,
                     flows,
                     skipped,
                 })
                 .expect("collector alive");
             }
             WorkerMsg::Finish => {
-                let flows = st.drain_all(&ladder);
+                let flows = st.drain_all(&ladder, obs);
                 tx.send(ToCollector::WorkerDone {
                     flows,
                     skipped: std::mem::take(&mut st.skipped),
@@ -490,17 +567,20 @@ struct CollectorOut {
     peak_live_flows: usize,
 }
 
-fn emit_session<F: FnMut(&SessionReport)>(
+fn emit_session<F: FnMut(&SessionReport), S: Subscriber>(
     slot: SessionSlot,
     classifier: &CaaiClassifier,
     ladder: &[u32],
     out: &mut CollectorOut,
     on_verdict: &mut F,
+    watermark: Option<f64>,
+    obs: &S,
 ) {
     if slot.connections.is_empty() {
         out.dataless += 1;
         return;
     }
+    let lag_secs = watermark.map_or(0.0, |w| (w - slot.last_seen).max(0.0));
     let mut conns = slot.connections;
     // Offline `sessions()` orders connections by start time, ties kept in
     // first-packet order (its sort is stable over capture order); the
@@ -514,6 +594,12 @@ fn emit_session<F: FnMut(&SessionReport)>(
     };
     let outcome = session_outcome(&session, ladder);
     let (verdict, identification) = verdict_for(&outcome, classifier);
+    obs.on_session_emitted(&SessionEmitted {
+        verdict: verdict.kind(),
+        wmax: verdict.wmax(),
+        flows: session.flows as u64,
+        lag_secs,
+    });
     let report = SessionReport {
         client_ip: session.client_ip,
         server_ip: session.server_ip,
@@ -534,16 +620,18 @@ fn emit_session<F: FnMut(&SessionReport)>(
 struct PendingTick {
     done: usize,
     watermark: f64,
+    sent_at: Option<Instant>,
     flows: Vec<FlowDone>,
 }
 
-fn collector_loop<F: FnMut(&SessionReport)>(
+fn collector_loop<F: FnMut(&SessionReport), S: Subscriber>(
     rx: mpsc::Receiver<ToCollector>,
     workers: usize,
     classifier: &CaaiClassifier,
     ladder: Vec<u32>,
     session_timeout: f64,
     mut on_verdict: F,
+    obs: &S,
 ) -> CollectorOut {
     let mut out = CollectorOut::default();
     let mut sessions = SessionTable::new();
@@ -555,6 +643,7 @@ fn collector_loop<F: FnMut(&SessionReport)>(
             ToCollector::TickDone {
                 granule,
                 watermark,
+                sent_at,
                 flows,
                 skipped,
             } => {
@@ -562,13 +651,28 @@ fn collector_loop<F: FnMut(&SessionReport)>(
                 let p = pending.entry(granule).or_default();
                 p.done += 1;
                 p.watermark = watermark;
+                p.sent_at = p.sent_at.or(sent_at);
                 p.flows.extend(flows);
                 if p.done == workers {
                     let p = pending.remove(&granule).expect("just updated");
                     sessions.absorb(p.flows);
                     for slot in sessions.take_due(Some(p.watermark - session_timeout)) {
-                        emit_session(slot, classifier, &ladder, &mut out, &mut on_verdict);
+                        emit_session(
+                            slot,
+                            classifier,
+                            &ladder,
+                            &mut out,
+                            &mut on_verdict,
+                            Some(p.watermark),
+                            obs,
+                        );
                     }
+                    obs.on_granule_completed(&GranuleCompleted {
+                        granule: granule.max(0) as u64,
+                        watermark_secs: p.watermark,
+                        tick_latency_us: p.sent_at.map_or(0, |t0| t0.elapsed().as_micros() as u64),
+                        live_sessions: sessions.live as u64,
+                    });
                 }
             }
             ToCollector::WorkerDone {
@@ -594,7 +698,15 @@ fn collector_loop<F: FnMut(&SessionReport)>(
     }
     sessions.absorb(final_flows);
     for slot in sessions.take_due(None) {
-        emit_session(slot, classifier, &ladder, &mut out, &mut on_verdict);
+        emit_session(
+            slot,
+            classifier,
+            &ladder,
+            &mut out,
+            &mut on_verdict,
+            None,
+            obs,
+        );
     }
     out
 }
@@ -616,6 +728,32 @@ pub fn run<F>(
 where
     F: FnMut(&SessionReport) + Send,
 {
+    run_obs(source, classifier, config, on_verdict, &NullSubscriber)
+}
+
+/// [`run`] with a structured-event subscriber.
+///
+/// On top of the capture events ([`FrameDecoded`], [`PacketSkipped`],
+/// [`CaptureTruncated`], [`FlowOpened`], [`FlowEvicted`] with its
+/// idle/overflow/drain cause) this emits the pipeline's own health
+/// signals: a [`QueueDepthSampled`] per worker per granule (inbound-queue
+/// high-water mark in batches), a [`GranuleCompleted`] per collector
+/// barrier (tick latency, live sessions), and a [`SessionEmitted`] per
+/// verdict with its emission lag behind the watermark. Verdicts and
+/// [`StreamStats`] are identical to the unobserved call for every worker
+/// count, and merged counter totals are worker-count invariant; only
+/// wall-clock histograms (tick latency, queue depth) vary run to run.
+pub fn run_obs<F, S>(
+    source: &mut dyn CaptureSource,
+    classifier: &CaaiClassifier,
+    config: &StreamConfig,
+    on_verdict: F,
+    obs: &S,
+) -> Result<StreamStats, StreamError>
+where
+    F: FnMut(&SessionReport) + Send,
+    S: Subscriber,
+{
     let workers = config.workers.max(1);
     let granule = (config.flow_timeout / 2.0).max(1e-3);
     let batch = config.batch.max(1);
@@ -634,15 +772,16 @@ where
     let mut local_skips: Vec<(u64, String)> = Vec::new();
     let mut truncated: Option<String> = None;
     let mut header_err: Option<SourceError> = None;
+    let gauges: Vec<QueueGauge> = (0..workers).map(|_| QueueGauge::default()).collect();
 
     let collected = std::thread::scope(|s| {
         let (col_tx, col_rx) = mpsc::sync_channel::<ToCollector>(workers * 2 + 2);
         let mut txs = Vec::with_capacity(workers);
-        for _ in 0..workers {
+        for gauge in gauges.iter().take(workers) {
             let (tx, rx) = mpsc::sync_channel::<WorkerMsg>(config.channel_depth.max(1));
             let col = col_tx.clone();
             let worker_ladder = ladder.clone();
-            s.spawn(move || worker_loop(wcfg, worker_ladder, rx, col));
+            s.spawn(move || worker_loop(wcfg, worker_ladder, rx, col, gauge, obs));
             txs.push(tx);
         }
         drop(col_tx);
@@ -655,6 +794,7 @@ where
                 collector_ladder,
                 config.session_timeout,
                 on_verdict,
+                obs,
             )
         });
 
@@ -667,6 +807,10 @@ where
             match source.next() {
                 Ok(Some(SourceItem::Skipped { index, reason })) => {
                     saw_item = true;
+                    obs.on_packet_skipped(&PacketSkipped {
+                        index,
+                        reason: &reason,
+                    });
                     local_skips.push((index, reason));
                 }
                 Ok(Some(SourceItem::Frame(frame))) => {
@@ -674,16 +818,27 @@ where
                     let target = match caai_capture::decode(&frame.data) {
                         Ok(seg) => shard_of(&FlowKey::of(&seg), workers),
                         Err(e) => {
-                            local_skips.push((frame.index, e.to_string()));
+                            let reason = e.to_string();
+                            obs.on_packet_skipped(&PacketSkipped {
+                                index: frame.index,
+                                reason: &reason,
+                            });
+                            local_skips.push((frame.index, reason));
                             continue;
                         }
                     };
                     packets += 1;
+                    obs.on_frame_decoded(&FrameDecoded {
+                        bytes: frame.data.len() as u64,
+                    });
                     let ts = frame.ts;
                     batches[target].push(frame);
                     if batches[target].len() >= batch {
                         let full =
                             std::mem::replace(&mut batches[target], Vec::with_capacity(batch));
+                        if S::ENABLED {
+                            gauges[target].inc();
+                        }
                         txs[target]
                             .send(WorkerMsg::Batch(full))
                             .expect("worker alive");
@@ -693,6 +848,7 @@ where
                         let g = bucket_of(watermark, granule);
                         if g > cur_granule {
                             cur_granule = g;
+                            let sent_at = S::ENABLED.then(Instant::now);
                             // Flush everything first: a tick must never
                             // overtake frames already read, or eviction
                             // would depend on batching, not the capture.
@@ -702,13 +858,25 @@ where
                                         &mut batches[w],
                                         Vec::with_capacity(batch),
                                     );
+                                    if S::ENABLED {
+                                        gauges[w].inc();
+                                    }
                                     tx.send(WorkerMsg::Batch(full)).expect("worker alive");
                                 }
                                 tx.send(WorkerMsg::Tick {
                                     granule: g,
                                     watermark,
+                                    sent_at,
                                 })
                                 .expect("worker alive");
+                            }
+                            if S::ENABLED {
+                                for (w, gauge) in gauges.iter().enumerate() {
+                                    obs.on_queue_depth_sampled(&QueueDepthSampled {
+                                        worker: w as u32,
+                                        high_water: gauge.take_high_water(),
+                                    });
+                                }
                             }
                         }
                     }
@@ -716,7 +884,12 @@ where
                 Ok(None) => break,
                 Err(e) => {
                     if saw_item {
-                        truncated = Some(e.to_string());
+                        let reason = e.to_string();
+                        obs.on_capture_truncated(&CaptureTruncated {
+                            packets,
+                            reason: &reason,
+                        });
+                        truncated = Some(reason);
                     } else {
                         header_err = Some(e);
                     }
@@ -727,6 +900,9 @@ where
         for (w, tx) in txs.iter().enumerate() {
             if !batches[w].is_empty() {
                 let full = std::mem::take(&mut batches[w]);
+                if S::ENABLED {
+                    gauges[w].inc();
+                }
                 tx.send(WorkerMsg::Batch(full)).expect("worker alive");
             }
             tx.send(WorkerMsg::Finish).expect("worker alive");

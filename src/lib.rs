@@ -27,7 +27,12 @@
 //! * [`stream`] — live streaming ingestion: pcapng + classic pcap through
 //!   one source trait, follow mode over growing files/FIFOs/stdin, and
 //!   the RSS-style multi-worker reassembly pipeline with bounded memory
-//!   and worker-count-independent verdicts.
+//!   and worker-count-independent verdicts;
+//! * [`obs`] — structured events and lock-free metrics: the
+//!   [`obs::Subscriber`] trait every pipeline stage reports into, counters
+//!   and mergeable histograms, and the `caai-metrics-v1` JSONL snapshot
+//!   schema. With the [`obs::NullSubscriber`] the whole layer compiles to
+//!   nothing.
 //!
 //! ## Quickstart
 //!
@@ -51,6 +56,7 @@ pub use caai_core as core;
 pub use caai_engine as engine;
 pub use caai_ml as ml;
 pub use caai_netem as netem;
+pub use caai_obs as obs;
 pub use caai_stream as stream;
 pub use caai_tcpsim as tcpsim;
 pub use caai_webmodel as webmodel;

@@ -9,11 +9,13 @@
 //! caai identify  --pcap capture.pcap            (classic pcap or pcapng; - = stdin)
 //! caai identify  --pcap live.pcap --follow --workers 4
 //!                [--flow-timeout 60] [--session-timeout 1800]
+//!                [--metrics m.jsonl] [--progress 10]
 //! caai census    --servers 2000 [--model model.json] [--json]
 //!                [--shard 0/4] [--out report.jsonl]
 //!                [--checkpoint ck.json] [--resume ck.json]
-//!                [--budget N] [--deadline SECS]
+//!                [--budget N] [--deadline SECS] [--metrics m.jsonl]
 //! caai census-merge --in s0.ck.json --in s1.ck.json ... [--json]
+//! caai metrics-check --in m.jsonl [--expect-min capture.frames_decoded=1]
 //! ```
 //!
 //! Every command takes `--seed N` (default 1) and is fully deterministic:
@@ -37,11 +39,12 @@ use caai::engine::{
 };
 use caai::netem::rng::seeded;
 use caai::netem::{ConditionDb, EnvironmentId, PathConfig};
-use caai::stream::{identify_bytes, open_path, FollowConfig, StreamConfig};
+use caai::obs::{GranuleCompleted, MetricsSubscriber, StderrSubscriber, Subscriber};
+use caai::stream::{identify_bytes_obs, open_path, FollowConfig, StreamConfig};
 use caai::webmodel::PopulationConfig;
 use std::path::PathBuf;
 use std::process::ExitCode;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Minimal flag parser: `--key value` pairs after the subcommand, plus a
 /// few valueless boolean flags.
@@ -150,6 +153,11 @@ COMMANDS:
                                          (30; 0 waits forever)
                   [--out records.jsonl]  stream one census record per flow (with --pcap)
                   [--json]               machine-readable per-flow verdicts (with --pcap)
+                  [--metrics FILE]       write caai-metrics-v1 JSONL snapshots: one final
+                                         line on exit, plus one per granule with --follow
+                  [--progress N]         with --follow: stderr progress line (frames,
+                                         live flows, evictions, throughput) every N
+                                         granules (0 = quiet, the default)
     render-pcap   render simulated probe sessions into a byte-valid capture
                   --out capture.pcap [--algo NAME ...] [--short N]
                   [--loss 0.0] [--seed 1]
@@ -167,12 +175,19 @@ COMMANDS:
                   [--deadline SECS]      stop cleanly after SECS wall-clock
                   [--batch N]            servers per scheduler batch (16)
                   [--sink-queue N]       bounded sink-thread queue depth (1024)
-                  [--progress N]         progress line every N records
+                  [--progress N]         progress + stage-timing line every N records
+                                         (0 = quiet; --metrics still collects)
+                  [--metrics FILE]       write a final caai-metrics-v1 snapshot line
     census-merge  join per-shard checkpoints/JSONL into one report
                   --in FILE [--in FILE ...] each a --checkpoint or --out
                                             file from a census shard
                   [--json]               print the merged report as JSON
                   [--allow-partial]      tolerate missing/incomplete shards
+    metrics-check validate --metrics files and print their final counters
+                  --in FILE [--in FILE ...]  caai-metrics-v1 JSONL files
+                  [--expect NAME=N]      fail unless final counter NAME == N
+                  [--expect-min NAME=N]  fail unless final counter NAME >= N
+                                         (both repeatable; checked per file)
 
     The census is driven by the caai-engine probe scheduler: per-server
     RNG keyed on (seed, server id) makes the report identical for every
@@ -203,6 +218,7 @@ fn main() -> ExitCode {
         "render-pcap" => cmd_render_pcap(&args),
         "census" => cmd_census(&args),
         "census-merge" => cmd_census_merge(&args),
+        "metrics-check" => cmd_metrics_check(&args),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -413,11 +429,138 @@ fn session_json(s: &SessionReport) -> serde::Value {
     ])
 }
 
+/// Incremental `--metrics FILE` writer: each call appends one cumulative
+/// `caai-metrics-v1` snapshot line, `seq` counting up from 0, the last
+/// line marked final — exactly the shape `metrics-check` validates.
+struct MetricsFile {
+    writer: std::io::BufWriter<std::fs::File>,
+    path: String,
+    seq: u64,
+    started: Instant,
+}
+
+impl MetricsFile {
+    fn create(path: &str) -> Result<MetricsFile, String> {
+        let file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+        Ok(MetricsFile {
+            writer: std::io::BufWriter::new(file),
+            path: path.to_owned(),
+            seq: 0,
+            started: Instant::now(),
+        })
+    }
+
+    fn write(
+        &mut self,
+        metrics: &MetricsSubscriber,
+        source: &str,
+        is_final: bool,
+    ) -> Result<(), String> {
+        use std::io::Write;
+        let line = metrics.snapshot().to_line(
+            source,
+            self.seq,
+            is_final,
+            self.started.elapsed().as_secs_f64(),
+        );
+        self.seq += 1;
+        writeln!(self.writer, "{line}")
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("write {}: {e}", self.path))
+    }
+}
+
+/// Opens `--metrics FILE` if given; created before the run so a bad path
+/// fails fast and `elapsed_secs` covers the whole command.
+fn open_metrics(args: &Args) -> Result<Option<MetricsFile>, String> {
+    args.get("metrics").map(MetricsFile::create).transpose()
+}
+
+/// Collector-side hook for follow mode, composed *after* the
+/// [`MetricsSubscriber`] in the subscriber tuple so every snapshot
+/// already includes the granule that triggered it: appends one
+/// cumulative metrics line per granule and prints a live progress line
+/// every `progress_every` granules.
+struct FollowHook<'a> {
+    metrics: &'a MetricsSubscriber,
+    progress_every: u64,
+    state: std::sync::Mutex<FollowHookState>,
+}
+
+struct FollowHookState {
+    file: Option<MetricsFile>,
+    // The collector cannot return an error, so write failures are parked
+    // here and surfaced by `finish`.
+    err: Option<String>,
+    granules: u64,
+    last_bytes: u64,
+    last_at: Instant,
+}
+
+impl<'a> FollowHook<'a> {
+    fn new(metrics: &'a MetricsSubscriber, progress_every: u64, file: Option<MetricsFile>) -> Self {
+        FollowHook {
+            metrics,
+            progress_every,
+            state: std::sync::Mutex::new(FollowHookState {
+                file,
+                err: None,
+                granules: 0,
+                last_bytes: 0,
+                last_at: Instant::now(),
+            }),
+        }
+    }
+
+    /// Writes the final snapshot line and surfaces any parked write error.
+    fn finish(self) -> Result<(), String> {
+        let mut state = self.state.into_inner().unwrap_or_else(|e| e.into_inner());
+        if let Some(e) = state.err.take() {
+            return Err(e);
+        }
+        match state.file.as_mut() {
+            Some(file) => file.write(self.metrics, "identify-follow", true),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Subscriber for FollowHook<'_> {
+    fn on_granule_completed(&self, event: &GranuleCompleted) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.granules += 1;
+        if let Some(file) = state.file.as_mut() {
+            if let Err(e) = file.write(self.metrics, "identify-follow", false) {
+                state.err.get_or_insert(e);
+            }
+        }
+        if self.progress_every > 0 && state.granules.is_multiple_of(self.progress_every) {
+            let bytes = self.metrics.capture_bytes();
+            let elapsed = state.last_at.elapsed().as_secs_f64();
+            let rate = bytes.saturating_sub(state.last_bytes) as f64 / elapsed.max(1e-9) / 1024.0;
+            eprintln!(
+                "follow: granule {} at {:.1}s | {} frames, {} live flows, {} evicted, \
+                 {} skipped, {} sessions | {rate:.0} KiB/s",
+                event.granule,
+                event.watermark_secs,
+                self.metrics.frames_decoded(),
+                self.metrics.live_flows(),
+                self.metrics.flows_evicted(),
+                self.metrics.packets_skipped(),
+                self.metrics.sessions(),
+            );
+            state.last_bytes = bytes;
+            state.last_at = Instant::now();
+        }
+    }
+}
+
 fn cmd_identify_pcap(args: &Args, pcap_path: &str) -> Result<(), String> {
     if args.get("follow").is_some() {
         return cmd_identify_follow(args, pcap_path);
     }
     let classifier = load_or_train(args)?;
+    let mut metrics_file = open_metrics(args)?;
     let bytes = if pcap_path == "-" {
         use std::io::Read;
         let mut buf = Vec::new();
@@ -429,15 +572,15 @@ fn cmd_identify_pcap(args: &Args, pcap_path: &str) -> Result<(), String> {
     } else {
         std::fs::read(pcap_path).map_err(|e| format!("read {pcap_path}: {e}"))?
     };
-    let verdicts =
-        identify_bytes(&bytes, &classifier, None).map_err(|e| format!("{pcap_path}: {e}"))?;
-    for (index, reason) in &verdicts.skipped {
-        eprintln!("{pcap_path}: packet {index}: skipped ({reason})");
-    }
-    if let Some(trunc) = &verdicts.truncated {
-        eprintln!(
-            "{pcap_path}: capture truncated — {trunc}; flows up to the break were identified"
-        );
+    // The stderr subscriber renders skip-and-report diagnostics as the
+    // events fire (same lines the post-hoc loop used to print), while the
+    // metrics subscriber counts them for --metrics.
+    let metrics = MetricsSubscriber::new();
+    let obs = (StderrSubscriber::new(pcap_path), &metrics);
+    let verdicts = identify_bytes_obs(&bytes, &classifier, None, &obs)
+        .map_err(|e| format!("{pcap_path}: {e}"))?;
+    if let Some(file) = metrics_file.as_mut() {
+        file.write(&metrics, "identify", true)?;
     }
 
     // Ingested records flow through the same ResultSink machinery as the
@@ -529,6 +672,7 @@ fn cmd_identify_follow(args: &Args, pcap_path: &str) -> Result<(), String> {
     let session_timeout: f64 = args.parsed("session-timeout", 1800.0)?;
     let poll_ms: u64 = args.parsed("poll-ms", 50)?;
     let idle_secs: f64 = args.parsed("idle-timeout", 30.0)?;
+    let progress_every: u64 = args.parsed("progress", 0)?;
     if workers == 0 {
         return Err("--workers must be at least 1".to_owned());
     }
@@ -560,6 +704,8 @@ fn cmd_identify_follow(args: &Args, pcap_path: &str) -> Result<(), String> {
         None => None,
         Some(out) => Some(JsonlSink::create(out).map_err(|e| format!("create {out}: {e}"))?),
     };
+    let metrics = MetricsSubscriber::new();
+    let hook = FollowHook::new(&metrics, progress_every, open_metrics(args)?);
     // The verdict callback runs on the collector thread; sink failures are
     // carried out by value because the callback cannot return an error.
     let mut sink_err: Option<String> = None;
@@ -583,21 +729,17 @@ fn cmd_identify_follow(args: &Args, pcap_path: &str) -> Result<(), String> {
                 }
             }
         };
-        caai::stream::run(&mut source, &classifier, &config, on_verdict)
+        // Diagnostics render live from the pipeline threads; the hook
+        // last so its snapshots include the granule that fired it.
+        let obs = (StderrSubscriber::new(pcap_path), (&metrics, &hook));
+        caai::stream::run_obs(&mut source, &classifier, &config, on_verdict, &obs)
             .map_err(|e| format!("{pcap_path}: {e}"))?
     };
     if let Some(e) = sink_err {
         return Err(e);
     }
+    hook.finish()?;
 
-    for (index, reason) in &stats.skipped {
-        eprintln!("{pcap_path}: packet {index}: skipped ({reason})");
-    }
-    if let Some(trunc) = &stats.truncated {
-        eprintln!(
-            "{pcap_path}: capture truncated — {trunc}; flows up to the break were identified"
-        );
-    }
     if !json {
         println!(
             "stream: {} packets, {} skipped, {} flows ({} peak live), \
@@ -802,11 +944,24 @@ fn cmd_census(args: &Args) -> Result<(), String> {
     let owned = shard.owned_count(u64::from(servers));
     eprintln!("probing {owned} of {servers} servers (shard {shard}) on {workers} workers ...");
     let engine = CensusEngine::new(census, config);
+    // Metrics are collected whether or not --metrics is given (the cost
+    // is an atomic add per record against a full probe simulation) so
+    // they stay independent of --progress: quiet runs still measure.
+    let mut metrics_file = open_metrics(args)?;
+    let metrics = MetricsSubscriber::new();
     let outcome = match jsonl.as_mut() {
-        Some(sink) => engine.run(&population, &mut [sink as &mut dyn ResultSink], resume),
-        None => engine.run(&population, &mut [], resume),
+        Some(sink) => engine.run_obs(
+            &population,
+            &mut [sink as &mut dyn ResultSink],
+            resume,
+            &metrics,
+        ),
+        None => engine.run_obs(&population, &mut [], resume, &metrics),
     }
     .map_err(|e| e.to_string())?;
+    if let Some(file) = metrics_file.as_mut() {
+        file.write(&metrics, "census", true)?;
+    }
     eprintln!("census: {}", outcome.stats);
     if !outcome.completed {
         eprintln!(
@@ -875,6 +1030,78 @@ fn cmd_census_merge(args: &Args) -> Result<(), String> {
         eprintln!("WARNING: partial merge — the report does not cover the population");
     }
     print_report(&merged.report, args.get("json").is_some())
+}
+
+/// One `--expect NAME=N` (exact) or `--expect-min NAME=N` (lower bound)
+/// assertion against the final snapshot's counters.
+struct Expectation {
+    name: String,
+    value: u64,
+    exact: bool,
+}
+
+fn parse_expectations(args: &Args) -> Result<Vec<Expectation>, String> {
+    let mut out = Vec::new();
+    for (flag, exact) in [("expect", true), ("expect-min", false)] {
+        for spec in args.get_all(flag) {
+            let (name, value) = spec
+                .split_once('=')
+                .ok_or_else(|| format!("--{flag} {spec}: expected NAME=N"))?;
+            let value = value.parse().map_err(|e| format!("--{flag} {spec}: {e}"))?;
+            out.push(Expectation {
+                name: name.to_owned(),
+                value,
+                exact,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Validates `--metrics` output files (schema, seq, monotonicity) and
+/// prints each file's final counters; `--expect`/`--expect-min` turn it
+/// into the assertion tool CI runs after a smoke capture.
+fn cmd_metrics_check(args: &Args) -> Result<(), String> {
+    let inputs = args.get_all("in");
+    if inputs.is_empty() {
+        return Err("metrics-check needs at least one --in FILE".to_owned());
+    }
+    let expectations = parse_expectations(args)?;
+    for path in inputs {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        let lines = caai::obs::validate_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+        let last = lines.last().expect("validated files have a final line");
+        println!(
+            "{path}: {} OK — source {}, {} snapshot{}, {:.2}s",
+            caai::obs::SCHEMA,
+            last.source,
+            lines.len(),
+            if lines.len() == 1 { "" } else { "s" },
+            last.elapsed_secs,
+        );
+        for (name, n) in &last.snapshot.counters {
+            if *n > 0 {
+                println!("    {name:<36} {n}");
+            }
+        }
+        for exp in &expectations {
+            let got = last.snapshot.counters.get(&exp.name).copied().unwrap_or(0);
+            let ok = if exp.exact {
+                got == exp.value
+            } else {
+                got >= exp.value
+            };
+            if !ok {
+                return Err(format!(
+                    "{path}: counter `{}` is {got}, expected {}{}",
+                    exp.name,
+                    if exp.exact { "" } else { "at least " },
+                    exp.value,
+                ));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Prints a census report to stdout — the single formatter shared by
@@ -967,6 +1194,23 @@ mod tests {
     fn positional_arguments_are_rejected() {
         let raw = vec!["oops".to_owned()];
         assert!(Args::parse(&raw).is_err());
+    }
+
+    #[test]
+    fn expectations_parse_both_forms_and_reject_malformed_specs() {
+        let a = args(&[
+            "--expect",
+            "capture.truncations=0",
+            "--expect-min",
+            "capture.frames_decoded=1",
+        ]);
+        let exps = parse_expectations(&a).expect("well-formed");
+        assert_eq!(exps.len(), 2);
+        assert!(exps[0].exact && exps[0].name == "capture.truncations" && exps[0].value == 0);
+        assert!(!exps[1].exact && exps[1].value == 1);
+
+        assert!(parse_expectations(&args(&["--expect", "no-equals"])).is_err());
+        assert!(parse_expectations(&args(&["--expect-min", "x=notanumber"])).is_err());
     }
 
     #[test]
