@@ -403,6 +403,9 @@ pub fn session_outcome(session: &ProbeSession, ladder: &[u32]) -> GatherOutcome 
                                 env_b: trace,
                             }),
                             failed_attempts: failed,
+                            // A wire observer cannot tell defense overhead
+                            // from real data; reconstruction never claims it.
+                            defense_overhead: None,
                         };
                     }
                     let descend = trace.invalid == Some(InvalidReason::NeverExceededThreshold);
@@ -423,6 +426,7 @@ pub fn session_outcome(session: &ProbeSession, ladder: &[u32]) -> GatherOutcome 
     GatherOutcome {
         pair: None,
         failed_attempts: failed,
+        defense_overhead: None,
     }
 }
 

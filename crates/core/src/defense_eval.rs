@@ -1,0 +1,418 @@
+//! Measuring classifier degradation under traffic-analysis defenses
+//! (ROADMAP item 4).
+//!
+//! A server deploying a [`caai_netem::defense`] transform distorts the
+//! window traces CAAI gathers; the interesting question is *how much
+//! identification accuracy each defense buys per unit of overhead*. This
+//! module runs that sweep: for every defense type and overhead budget it
+//! probes the full algorithm zoo through a defended prober, scores the
+//! verdicts against ground truth, and compares them to the undefended
+//! baseline — the defense-vs-accuracy curve the `caai defense-sweep`
+//! subcommand writes to `DEFENSE_CURVE.json`.
+//!
+//! The sweep also measures how much of the degradation is *recoverable*:
+//! it retrains one **hardened** forest on the union of the clean training
+//! set and every defended feature vector the sweep produced, then
+//! re-scores each cell with it. Padding-style distortions (inflated but
+//! structurally intact traces) recover well; shaping that keeps the
+//! window below every ladder rung produces invalid traces no classifier
+//! can recover.
+
+use caai_congestion::{AlgorithmId, ALL_IDENTIFIED};
+use caai_ml::Dataset;
+use caai_netem::rng::seeded;
+use caai_netem::{DefenseConfig, DefenseSpec, PathConfig};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::census::{verdict_for_outcome, Verdict};
+use crate::classes::ClassLabel;
+use crate::classify::{CaaiClassifier, Identification};
+use crate::features::{extract_pair, FeatureVector};
+use crate::prober::{Prober, ProberConfig};
+use crate::server_under_test::ServerUnderTest;
+
+/// Schema tag of the `DEFENSE_CURVE.json` artifact.
+pub const DEFENSE_CURVE_SCHEMA: &str = "caai-defense-curve-v1";
+
+/// Sweep parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// Overhead budgets to sweep (fraction of real packets).
+    pub budgets: Vec<f64>,
+    /// Probes per algorithm per cell (distinct seeds).
+    pub seeds_per_algo: usize,
+    /// Burst cap used by the shaping defense.
+    pub shaping_cap: u32,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            budgets: vec![0.05, 0.15, 0.30],
+            seeds_per_algo: 3,
+            shaping_cap: 32,
+        }
+    }
+}
+
+/// The defense types the sweep covers.
+pub const DEFENSE_KINDS: [&str; 4] = ["padding", "jitter", "shaping", "combined"];
+
+/// Builds the [`DefenseSpec`] for one sweep cell. The transform rates are
+/// tied to the budget so that the budget *binds*: each defense spends
+/// essentially its whole allowance.
+pub fn spec_for(kind: &str, budget: f64, shaping_cap: u32) -> DefenseSpec {
+    match kind {
+        "padding" => DefenseSpec::single(DefenseConfig::Padding { rate: budget }, budget),
+        "jitter" => DefenseSpec::single(
+            DefenseConfig::Jitter {
+                delay_prob: budget.min(1.0),
+            },
+            budget,
+        ),
+        "shaping" => DefenseSpec::single(
+            DefenseConfig::Shaping {
+                burst_cap: shaping_cap,
+            },
+            budget,
+        ),
+        "combined" => DefenseSpec {
+            defenses: vec![
+                DefenseConfig::Padding { rate: budget / 2.0 },
+                DefenseConfig::Jitter {
+                    delay_prob: (budget / 2.0).min(1.0),
+                },
+            ],
+            budget,
+        },
+        other => panic!("unknown defense kind {other:?}"),
+    }
+}
+
+/// Verdict tallies for one sweep cell.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerdictTally {
+    /// Confident identifications matching ground truth.
+    pub identified_correct: usize,
+    /// Confident identifications of the wrong class.
+    pub identified_wrong: usize,
+    /// Below the confidence floor.
+    pub unsure: usize,
+    /// §VII-B special-case shapes.
+    pub special: usize,
+    /// No usable trace pair.
+    pub invalid: usize,
+}
+
+impl VerdictTally {
+    fn total(&self) -> usize {
+        self.identified_correct + self.identified_wrong + self.unsure + self.special + self.invalid
+    }
+}
+
+/// One `(defense, budget)` cell of the curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DefenseCell {
+    /// Defense kind (see [`DEFENSE_KINDS`]).
+    pub defense: String,
+    /// Overhead budget the defense ran under.
+    pub budget: f64,
+    /// Ground-truth accuracy over every probe of the cell (invalid and
+    /// unsure count as misses).
+    pub accuracy: f64,
+    /// Accuracy of the adversarially-retrained forest on the same traces.
+    pub hardened_accuracy: f64,
+    /// Fraction of probes yielding no usable trace pair.
+    pub invalid_share: f64,
+    /// Fraction below the confidence floor.
+    pub unsure_share: f64,
+    /// Fraction of probes whose verdict differs from the undefended
+    /// baseline verdict for the same `(algorithm, seed)`.
+    pub confusion_shift: f64,
+    /// Mean measured overhead fraction ((dummies + delays) / real).
+    pub measured_overhead: f64,
+    /// Verdict tallies.
+    pub tally: VerdictTally,
+}
+
+/// The full `DEFENSE_CURVE.json` artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DefenseCurve {
+    /// Artifact schema tag ([`DEFENSE_CURVE_SCHEMA`]).
+    pub schema: String,
+    /// Sweep seed.
+    pub seed: u64,
+    /// Probes per cell (algorithms × seeds per algorithm).
+    pub probes_per_cell: usize,
+    /// Undefended baseline accuracy.
+    pub baseline_accuracy: f64,
+    /// Undefended baseline tallies.
+    pub baseline_tally: VerdictTally,
+    /// One cell per (defense kind, budget).
+    pub cells: Vec<DefenseCell>,
+}
+
+/// One probe's scored result, kept so the hardened forest can re-score
+/// the cell without re-gathering.
+struct ProbeResult {
+    verdict: Verdict,
+    correct: bool,
+    /// The defended feature vector and its truth label, when a pair was
+    /// gathered and no special case fired.
+    vector: Option<(FeatureVector, ClassLabel)>,
+    overhead: f64,
+}
+
+/// Probes one server through one (possibly defended) prober config.
+fn probe_one(
+    algo: AlgorithmId,
+    config: &ProberConfig,
+    classifier: &CaaiClassifier,
+    rng: &mut impl Rng,
+) -> ProbeResult {
+    let server = ServerUnderTest::ideal(algo);
+    let prober = Prober::new(config.clone());
+    let outcome = prober.gather(&server, &PathConfig::clean(), rng);
+    let (verdict, _) = verdict_for_outcome(&outcome, classifier);
+    let correct = matches!(verdict, Verdict::Identified(class, wmax) if class.matches(algo, wmax));
+    let vector = outcome.pair.as_ref().and_then(|pair| {
+        let wmax = pair.wmax_threshold();
+        // Special-case traces never reach the forest; skip them here too.
+        if crate::special::detect(&pair.env_a).is_some() {
+            return None;
+        }
+        ClassLabel::for_measurement(algo, wmax).map(|label| (extract_pair(pair), label))
+    });
+    let overhead = outcome
+        .defense_overhead
+        .map(|o| o.fraction())
+        .unwrap_or(0.0);
+    ProbeResult {
+        verdict,
+        correct,
+        vector,
+        overhead,
+    }
+}
+
+fn tally_of(results: &[ProbeResult]) -> VerdictTally {
+    let mut t = VerdictTally::default();
+    for r in results {
+        match r.verdict {
+            Verdict::Identified(..) if r.correct => t.identified_correct += 1,
+            Verdict::Identified(..) => t.identified_wrong += 1,
+            Verdict::Unsure(_) => t.unsure += 1,
+            Verdict::Special(..) => t.special += 1,
+            Verdict::Invalid(_) => t.invalid += 1,
+        }
+    }
+    t
+}
+
+/// Runs the full sweep: baseline, every `(defense, budget)` cell, then
+/// the hardened-forest retrain and re-score.
+///
+/// `base_training` is the clean training set the `classifier` was trained
+/// on; the hardened forest trains on it plus every defended vector the
+/// sweep gathers. Fully deterministic in `seed`.
+pub fn run_sweep(
+    classifier: &CaaiClassifier,
+    base_training: &Dataset,
+    config: &SweepConfig,
+    seed: u64,
+) -> DefenseCurve {
+    let probes_per_cell = ALL_IDENTIFIED.len() * config.seeds_per_algo;
+
+    // Per-probe RNG derivation: mix algorithm and seed index. Every cell
+    // replays the same per-probe streams, so a defended probe differs
+    // from its baseline counterpart only through the defense — which is
+    // exactly what `confusion_shift` wants to isolate.
+    let probe_rng =
+        |algo_i: usize, rep: usize| seeded(seed ^ ((algo_i as u64) << 24) ^ ((rep as u64) << 8));
+
+    let run_cell = |prober_config: &ProberConfig| -> Vec<ProbeResult> {
+        let mut results = Vec::with_capacity(probes_per_cell);
+        for (algo_i, &algo) in ALL_IDENTIFIED.iter().enumerate() {
+            for rep in 0..config.seeds_per_algo {
+                let mut rng = probe_rng(algo_i, rep);
+                results.push(probe_one(algo, prober_config, classifier, &mut rng));
+            }
+        }
+        results
+    };
+
+    let baseline = run_cell(&ProberConfig::default());
+    let baseline_tally = tally_of(&baseline);
+    let baseline_accuracy = baseline_tally.identified_correct as f64 / probes_per_cell as f64;
+
+    struct CellRun {
+        kind: &'static str,
+        budget: f64,
+        results: Vec<ProbeResult>,
+    }
+    let mut runs: Vec<CellRun> = Vec::new();
+    for kind in DEFENSE_KINDS {
+        for &budget in &config.budgets {
+            let spec = spec_for(kind, budget, config.shaping_cap);
+            let prober_config = ProberConfig {
+                defense: Some(spec),
+                ..ProberConfig::default()
+            };
+            let results = run_cell(&prober_config);
+            runs.push(CellRun {
+                kind,
+                budget,
+                results,
+            });
+        }
+    }
+
+    // Hardened forest: clean training set + every defended vector.
+    let mut hardened_set = base_training.clone();
+    for run in &runs {
+        for r in &run.results {
+            if let Some((v, label)) = &r.vector {
+                hardened_set.push(v.as_slice().to_vec(), label.index());
+            }
+        }
+    }
+    let mut train_rng = seeded(seed ^ 0xDEF3_17CE);
+    let hardened = CaaiClassifier::train(&hardened_set, &mut train_rng);
+
+    let cells = runs
+        .into_iter()
+        .map(|run| {
+            let tally = tally_of(&run.results);
+            let n = tally.total() as f64;
+            let hardened_correct = run
+                .results
+                .iter()
+                .filter(|r| match &r.vector {
+                    Some((v, label)) => matches!(
+                        hardened.classify(v),
+                        Identification::Identified { class, .. } if class == *label
+                    ),
+                    None => false,
+                })
+                .count();
+            let shifted = run
+                .results
+                .iter()
+                .zip(baseline.iter())
+                .filter(|(d, b)| d.verdict != b.verdict)
+                .count();
+            DefenseCell {
+                defense: run.kind.to_string(),
+                budget: run.budget,
+                accuracy: tally.identified_correct as f64 / n,
+                hardened_accuracy: hardened_correct as f64 / n,
+                invalid_share: tally.invalid as f64 / n,
+                unsure_share: tally.unsure as f64 / n,
+                confusion_shift: shifted as f64 / n,
+                measured_overhead: run.results.iter().map(|r| r.overhead).sum::<f64>() / n,
+                tally,
+            }
+        })
+        .collect();
+
+    DefenseCurve {
+        schema: DEFENSE_CURVE_SCHEMA.to_string(),
+        seed,
+        probes_per_cell,
+        baseline_accuracy,
+        baseline_tally,
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::{build_training_set, TrainingConfig};
+    use caai_netem::ConditionDb;
+
+    fn quick_setup() -> (CaaiClassifier, Dataset) {
+        let db = ConditionDb::paper_2011();
+        let mut rng = seeded(42);
+        let data = build_training_set(&TrainingConfig::quick(2), &db, &mut rng);
+        let classifier = CaaiClassifier::train(&data, &mut rng);
+        (classifier, data)
+    }
+
+    #[test]
+    fn sweep_produces_a_full_curve_and_is_deterministic() {
+        let (classifier, data) = quick_setup();
+        let config = SweepConfig {
+            budgets: vec![0.1, 0.4],
+            seeds_per_algo: 1,
+            shaping_cap: 32,
+        };
+        let curve = run_sweep(&classifier, &data, &config, 7);
+        assert_eq!(curve.schema, DEFENSE_CURVE_SCHEMA);
+        assert_eq!(curve.cells.len(), DEFENSE_KINDS.len() * 2);
+        assert_eq!(curve.probes_per_cell, ALL_IDENTIFIED.len());
+        assert!(
+            curve.baseline_accuracy > 0.8,
+            "clean-path baseline should be accurate: {}",
+            curve.baseline_accuracy
+        );
+        for cell in &curve.cells {
+            assert!(cell.tally.total() == curve.probes_per_cell);
+            assert!((0.0..=1.0).contains(&cell.accuracy));
+            assert!(
+                cell.measured_overhead <= cell.budget + 1e-6,
+                "{} at {} overspent: {}",
+                cell.defense,
+                cell.budget,
+                cell.measured_overhead
+            );
+        }
+        let again = run_sweep(&classifier, &data, &config, 7);
+        assert_eq!(again, curve, "sweep must be deterministic in its seed");
+    }
+
+    #[test]
+    fn defenses_degrade_accuracy_as_budget_grows() {
+        let (classifier, data) = quick_setup();
+        let config = SweepConfig {
+            budgets: vec![0.05, 0.5],
+            seeds_per_algo: 1,
+            shaping_cap: 32,
+        };
+        let curve = run_sweep(&classifier, &data, &config, 11);
+        // At a generous budget, padding must hurt more than at a tight one
+        // (>= because both may already floor out).
+        let acc = |kind: &str, budget: f64| {
+            curve
+                .cells
+                .iter()
+                .find(|c| c.defense == kind && c.budget == budget)
+                .expect("cell present")
+                .accuracy
+        };
+        assert!(
+            acc("padding", 0.5) <= acc("padding", 0.05) + 1e-9,
+            "padding: more budget, more damage"
+        );
+        // Some defended cell must actually shift verdicts off the baseline.
+        assert!(
+            curve.cells.iter().any(|c| c.confusion_shift > 0.0),
+            "defenses should move at least one verdict"
+        );
+    }
+
+    #[test]
+    fn spec_for_covers_every_kind_and_validates() {
+        for kind in DEFENSE_KINDS {
+            let spec = spec_for(kind, 0.2, 32);
+            spec.validate().expect("sweep specs are valid");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown defense kind")]
+    fn spec_for_rejects_unknown_kinds() {
+        let _ = spec_for("teleport", 0.1, 32);
+    }
+}

@@ -46,6 +46,7 @@
 pub mod census;
 pub mod classes;
 pub mod classify;
+pub mod defense_eval;
 pub mod features;
 pub mod prober;
 pub mod server_under_test;
@@ -56,6 +57,10 @@ pub mod training;
 pub use census::{Census, CensusAggregates, CensusReport, Verdict};
 pub use classes::ClassLabel;
 pub use classify::{CaaiClassifier, Identification};
+pub use defense_eval::{
+    run_sweep, spec_for, DefenseCell, DefenseCurve, SweepConfig, DEFENSE_CURVE_SCHEMA,
+    DEFENSE_KINDS,
+};
 pub use features::{extract, extract_pair, FeatureVector, TraceFeatures, FEATURE_DIM};
 pub use prober::{GatherOutcome, Prober, ProberConfig};
 pub use server_under_test::ServerUnderTest;

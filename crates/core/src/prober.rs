@@ -13,9 +13,11 @@
 //! (§IV-B).
 
 use caai_netem::path::DataFate;
-use caai_netem::{EnvironmentId, PathConfig, Phase, RttSchedule};
+use caai_netem::{
+    DefenseOverhead, DefenseSpec, DefenseState, EnvironmentId, PathConfig, Phase, RttSchedule,
+};
 use caai_obs::{GatherFinished, NullSubscriber, RungAttemptEnded, RungAttemptStarted, Subscriber};
-use caai_tcpsim::AckPacket;
+use caai_tcpsim::{AckPacket, TcpServer, WirePacket};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -58,6 +60,14 @@ pub struct ProberConfig {
     /// How many re-armed RTOs to wait out before declaring the server deaf
     /// to timeouts.
     pub max_rto_waits: u32,
+    /// Traffic-analysis defense the *server* deploys against the probe
+    /// (ROADMAP item 4). `None` — the default, and the paper's setting —
+    /// leaves server traffic untouched. When set, every burst the server
+    /// transmits passes through the defense transforms before the path,
+    /// and cumulative ACKs are translated back from the inflated wire
+    /// sequence space before the server's TCP stack sees them (see
+    /// [`caai_netem::defense`]).
+    pub defense: Option<DefenseSpec>,
 }
 
 impl Default for ProberConfig {
@@ -71,6 +81,7 @@ impl Default for ProberConfig {
             frto_countermeasure: true,
             inter_connection_wait: 630.0,
             max_rto_waits: 2,
+            defense: None,
         }
     }
 }
@@ -94,6 +105,10 @@ pub struct GatherOutcome {
     /// All failed attempts (for diagnostics and the census's invalid-trace
     /// accounting).
     pub failed_attempts: Vec<WindowTrace>,
+    /// Measured overhead of the server's traffic-analysis defense, summed
+    /// over every connection of the ladder walk. `None` when the prober
+    /// config carries no [`ProberConfig::defense`].
+    pub defense_overhead: Option<DefenseOverhead>,
 }
 
 impl GatherOutcome {
@@ -276,8 +291,9 @@ impl Prober {
         let mut now = 0.0;
         let mut failed = Vec::new();
         let mut pair = None;
+        let mut overhead = DefenseOverhead::default();
         for &wmax in &self.config.wmax_ladder {
-            let (trace_a, end_a) = self.gather_trace_with_tap_obs(
+            let (trace_a, end_a, ovh_a) = self.gather_trace_observed(
                 server,
                 EnvironmentId::A,
                 wmax,
@@ -287,6 +303,7 @@ impl Prober {
                 tap,
                 obs,
             );
+            overhead.absorb(ovh_a);
             now = end_a + self.config.inter_connection_wait;
             if !trace_a.is_valid() {
                 let descend = trace_a.invalid == Some(InvalidReason::NeverExceededThreshold);
@@ -296,7 +313,7 @@ impl Prober {
                 }
                 break;
             }
-            let (trace_b, end_b) = self.gather_trace_with_tap_obs(
+            let (trace_b, end_b, ovh_b) = self.gather_trace_observed(
                 server,
                 EnvironmentId::B,
                 wmax,
@@ -306,6 +323,7 @@ impl Prober {
                 tap,
                 obs,
             );
+            overhead.absorb(ovh_b);
             now = end_b + self.config.inter_connection_wait;
             if trace_b.usable_for_classification() {
                 pair = Some(TracePair {
@@ -324,6 +342,7 @@ impl Prober {
         let outcome = GatherOutcome {
             pair,
             failed_attempts: failed,
+            defense_overhead: self.config.defense.as_ref().map(|_| overhead),
         };
         obs.on_gather_finished(&GatherFinished {
             usable: outcome.pair.is_some(),
@@ -379,11 +398,31 @@ impl Prober {
         tap: &mut dyn ProbeTap,
         obs: &S,
     ) -> (WindowTrace, f64) {
+        let (trace, end, _) =
+            self.gather_trace_observed(server, env, wmax, start, path, rng, tap, obs);
+        (trace, end)
+    }
+
+    /// [`gather_trace_with_tap_obs`](Self::gather_trace_with_tap_obs) plus
+    /// the attempt's measured defense overhead (for the ladder walk's
+    /// accounting).
+    #[allow(clippy::too_many_arguments)]
+    fn gather_trace_observed<S: Subscriber>(
+        &self,
+        server: &ServerUnderTest,
+        env: EnvironmentId,
+        wmax: u32,
+        start: f64,
+        path: &PathConfig,
+        rng: &mut impl Rng,
+        tap: &mut dyn ProbeTap,
+        obs: &S,
+    ) -> (WindowTrace, f64, DefenseOverhead) {
         obs.on_rung_attempt_started(&RungAttemptStarted {
             environment: obs_environment(env),
             wmax,
         });
-        let (trace, end, stall_exited) =
+        let (trace, end, stall_exited, overhead) =
             self.gather_trace_inner(server, env, wmax, start, path, rng, tap);
         obs.on_rung_attempt_ended(&RungAttemptEnded {
             environment: obs_environment(env),
@@ -393,11 +432,12 @@ impl Prober {
             stalled: stall_exited,
             invalid_reason: trace.invalid.map(InvalidReason::name),
         });
-        (trace, end)
+        (trace, end, overhead)
     }
 
     /// The attempt body. The extra `bool` reports whether the Fig. 13
-    /// stall early-exit ended phase 1.
+    /// stall early-exit ended phase 1; the [`DefenseOverhead`] is the
+    /// connection's defense accounting (zero when undefended).
     #[allow(clippy::too_many_arguments)]
     fn gather_trace_inner(
         &self,
@@ -408,11 +448,15 @@ impl Prober {
         path: &PathConfig,
         rng: &mut impl Rng,
         tap: &mut dyn ProbeTap,
-    ) -> (WindowTrace, f64, bool) {
+    ) -> (WindowTrace, f64, bool, DefenseOverhead) {
         let schedule = RttSchedule::new(env);
         let granted_mss = server.granted_mss(self.config.proposed_mss);
         let mut conn = server.connect(self.config.proposed_mss, start);
         let mut now = start;
+        // Per-connection defense state: the wire-sequence renumbering must
+        // be consistent within a connection (retransmissions reuse their
+        // original mapping) but resets with every new connection.
+        let mut defense = self.config.defense.as_ref().map(DefenseState::new);
         tap.connection_opened(now, env, wmax, self.config.proposed_mss, granted_mss);
 
         let mut trace = WindowTrace {
@@ -426,7 +470,8 @@ impl Prober {
 
         // ---- Phase 1: grow the window past the threshold. -------------
         let mut prev_seqmax: i64 = -1;
-        let mut prober_cum: u64 = 0; // highest cumulative ACK sent so far
+        let mut prober_cum: u64 = 0; // highest cumulative ACK sent (wire space)
+        let mut server_cum: u64 = 0; // highest cum-ack delivered (real space)
         let mut carry: Vec<CarriedPacket> = Vec::new();
         let mut crossed = false;
         let mut best_w = 0u32; // largest per-round window so far
@@ -436,12 +481,13 @@ impl Prober {
         for round in 1..=self.config.max_pre_rounds as u32 {
             let rtt = schedule.rtt(Phase::BeforeTimeout, round);
             let segs = conn.transmit(now);
-            if segs.is_empty() && carry.is_empty() {
+            let defense_holds = defense.as_ref().is_some_and(DefenseState::has_held);
+            if segs.is_empty() && carry.is_empty() && !defense_holds {
                 if conn.finished() {
                     trace.invalid = Some(InvalidReason::PageTooShort);
                     server.disconnect(&conn, now);
                     tap.connection_closed(now, CloseInitiator::Server);
-                    return (trace, now, stall_exited);
+                    return (trace, now, stall_exited, overhead_of(&defense));
                 }
                 // All ACKs of the previous round were lost: wait for the
                 // server's own (unplanned) RTO and keep going.
@@ -455,7 +501,8 @@ impl Prober {
                 continue;
             }
 
-            let (received, next_carry) = deliver(&segs, &mut carry, path, rng);
+            let wire = to_wire(&segs, defense.as_mut(), rng);
+            let (received, next_carry) = deliver(&wire, &mut carry, path, rng);
             for p in &received {
                 tap.data_received(now, p.seq, p.duplicate);
             }
@@ -473,7 +520,7 @@ impl Prober {
             for ack in acks {
                 tap.ack_sent(now, ack.cum_ack, false);
                 if path.ack_fate(rng) == caai_netem::AckFate::Delivered {
-                    conn.on_ack(now, ack);
+                    deliver_ack(&mut conn, defense.as_ref(), &mut server_cum, now, ack);
                 }
             }
 
@@ -497,7 +544,14 @@ impl Prober {
             trace.invalid = Some(InvalidReason::NeverExceededThreshold);
             server.disconnect(&conn, now);
             tap.connection_closed(now, CloseInitiator::Prober);
-            return (trace, now, stall_exited);
+            return (trace, now, stall_exited, overhead_of(&defense));
+        }
+
+        // The emulated timeout destroys the round structure any held
+        // packets were delayed into; a real shaper would flush on the
+        // retransmission-timeout stall too.
+        if let Some(d) = defense.as_mut() {
+            d.drop_held();
         }
 
         // ---- Phase 2: the emulated timeout. ----------------------------
@@ -516,7 +570,7 @@ impl Prober {
             trace.invalid = Some(InvalidReason::NoTimeoutResponse);
             server.disconnect(&conn, now);
             tap.connection_closed(now, CloseInitiator::Prober);
-            return (trace, now, stall_exited);
+            return (trace, now, stall_exited, overhead_of(&defense));
         }
 
         // ---- Phase 3: recovery, 18 rounds (§IV-E). ----------------------
@@ -527,12 +581,13 @@ impl Prober {
         while trace.post.len() < self.config.post_timeout_rounds {
             let rtt = schedule.rtt(Phase::AfterTimeout, post_round);
             let segs = conn.transmit(now);
-            if segs.is_empty() && carry.is_empty() {
+            let defense_holds = defense.as_ref().is_some_and(DefenseState::has_held);
+            if segs.is_empty() && carry.is_empty() && !defense_holds {
                 if conn.finished() {
                     trace.invalid = Some(InvalidReason::RecoveryTooShort);
                     server.disconnect(&conn, now);
                     tap.connection_closed(now, CloseInitiator::Server);
-                    return (trace, now, stall_exited);
+                    return (trace, now, stall_exited, overhead_of(&defense));
                 }
                 if let Some(deadline) = conn.rto_deadline() {
                     if deadline <= now + rtt {
@@ -545,7 +600,8 @@ impl Prober {
                 continue;
             }
 
-            let (received, next_carry) = deliver(&segs, &mut carry, path, rng);
+            let wire = to_wire(&segs, defense.as_mut(), rng);
+            let (received, next_carry) = deliver(&wire, &mut carry, path, rng);
             for p in &received {
                 tap.data_received(now, p.seq, p.duplicate);
             }
@@ -576,7 +632,7 @@ impl Prober {
                 // sample; that is how they are recognizable here too.
                 tap.ack_sent(now, ack.cum_ack, ack.rtt == 0.0);
                 if path.ack_fate(rng) == caai_netem::AckFate::Delivered {
-                    conn.on_ack(now, ack);
+                    deliver_ack(&mut conn, defense.as_ref(), &mut server_cum, now, ack);
                 }
             }
             post_round += 1;
@@ -584,39 +640,99 @@ impl Prober {
 
         server.disconnect(&conn, now);
         tap.connection_closed(now, CloseInitiator::Prober);
-        (trace, now, stall_exited)
+        (trace, now, stall_exited, overhead_of(&defense))
     }
 }
 
-/// Applies path fates to a transmitted burst and merges carried arrivals.
-/// Returns the packets received this round plus the next round's carry.
-fn deliver(
+/// The overhead a defended connection accumulated (zero when undefended).
+fn overhead_of(defense: &Option<DefenseState>) -> DefenseOverhead {
+    defense.as_ref().map(|d| d.overhead()).unwrap_or_default()
+}
+
+/// Runs one transmit burst through the defense, or passes it straight to
+/// the wire when the server deploys none. The undefended mapping is the
+/// identity, so every downstream consumer (path fates, window
+/// measurement, ACK construction) behaves byte-identically to the
+/// pre-defense code.
+fn to_wire(
     segs: &[caai_tcpsim::Segment],
+    defense: Option<&mut DefenseState>,
+    rng: &mut impl Rng,
+) -> Vec<WirePacket> {
+    match defense {
+        Some(d) => d.on_burst(segs, rng),
+        None => segs.iter().map(|s| WirePacket::data(s.seq)).collect(),
+    }
+}
+
+/// Delivers one prober ACK to the server's TCP stack, translating it out
+/// of the defense's wire sequence space first.
+///
+/// A real padding middlebox strips acknowledgements that only cover dummy
+/// packets before they reach TCP — a cumulative ACK that does not advance
+/// the real-space cumulative point is dropped here for the same reason
+/// (delivering it would masquerade as a duplicate ACK and trigger fast
+/// retransmit). The F-RTO counter-measure duplicate (recognizable by its
+/// missing RTT sample) is intentionally a non-advancing ACK and always
+/// goes through.
+fn deliver_ack(
+    conn: &mut TcpServer,
+    defense: Option<&DefenseState>,
+    server_cum: &mut u64,
+    now: f64,
+    ack: AckPacket,
+) {
+    let real = match defense {
+        Some(d) => d.unmap_ack(ack.cum_ack),
+        None => ack.cum_ack,
+    };
+    if ack.rtt == 0.0 {
+        conn.on_ack(now, AckPacket::duplicate(real));
+    } else if real > *server_cum {
+        *server_cum = real;
+        conn.on_ack(
+            now,
+            AckPacket {
+                cum_ack: real,
+                rtt: ack.rtt,
+            },
+        );
+    }
+}
+
+/// Applies path fates to the wire burst and merges carried arrivals.
+/// Returns the packets received this round plus the next round's carry.
+///
+/// The prober cannot tell defense dummies from real data — by design —
+/// so the `dummy` flag dies here: a dummy is just another sequence
+/// number to measure and acknowledge.
+fn deliver(
+    wire: &[WirePacket],
     carry: &mut Vec<CarriedPacket>,
     path: &PathConfig,
     rng: &mut impl Rng,
 ) -> (Vec<CarriedPacket>, Vec<CarriedPacket>) {
     let mut received: Vec<CarriedPacket> = std::mem::take(carry);
     let mut next_carry = Vec::new();
-    for seg in segs {
+    for pkt in wire {
         match path.data_fate(rng) {
             DataFate::Delivered => received.push(CarriedPacket {
-                seq: seg.seq,
+                seq: pkt.seq,
                 duplicate: false,
             }),
             DataFate::Lost => {}
             DataFate::Duplicated => {
                 received.push(CarriedPacket {
-                    seq: seg.seq,
+                    seq: pkt.seq,
                     duplicate: false,
                 });
                 next_carry.push(CarriedPacket {
-                    seq: seg.seq,
+                    seq: pkt.seq,
                     duplicate: true,
                 });
             }
             DataFate::Late => next_carry.push(CarriedPacket {
-                seq: seg.seq,
+                seq: pkt.seq,
                 duplicate: false,
             }),
         }
@@ -888,6 +1004,135 @@ mod tests {
             valid >= 8,
             "2% loss should rarely break gathering: {valid}/10"
         );
+    }
+
+    fn defended_config(defenses: Vec<caai_netem::DefenseConfig>, budget: f64) -> ProberConfig {
+        ProberConfig {
+            defense: Some(DefenseSpec { defenses, budget }),
+            ..ProberConfig::default()
+        }
+    }
+
+    #[test]
+    fn undefended_gather_reports_no_overhead() {
+        let server = ServerUnderTest::ideal(AlgorithmId::Reno);
+        let prober = Prober::new(ProberConfig::default());
+        let outcome = prober.gather(&server, &PathConfig::clean(), &mut seeded(1));
+        assert_eq!(outcome.defense_overhead, None);
+    }
+
+    #[test]
+    fn budget_zero_defense_is_transparent_on_a_clean_path() {
+        use caai_netem::DefenseConfig;
+        let server = ServerUnderTest::ideal(AlgorithmId::Reno);
+        let defended = Prober::new(defended_config(
+            vec![
+                DefenseConfig::Padding { rate: 1.0 },
+                DefenseConfig::Jitter { delay_prob: 0.9 },
+                DefenseConfig::Shaping { burst_cap: 2 },
+            ],
+            0.0,
+        ));
+        let plain = Prober::new(ProberConfig::default());
+        let d = defended.gather(&server, &PathConfig::clean(), &mut seeded(21));
+        let p = plain.gather(&server, &PathConfig::clean(), &mut seeded(21));
+        assert_eq!(d.pair, p.pair, "budget 0 must not distort the trace");
+        assert_eq!(d.failed_attempts, p.failed_attempts);
+        let ovh = d.defense_overhead.expect("defense configured");
+        assert_eq!(ovh.dummy + ovh.delayed, 0);
+        assert!(ovh.real > 0, "real traffic still accounted");
+    }
+
+    #[test]
+    fn padding_inflates_the_measured_windows() {
+        use caai_netem::DefenseConfig;
+        let server = ServerUnderTest::ideal(AlgorithmId::Reno);
+        let defended = Prober::new(defended_config(
+            vec![DefenseConfig::Padding { rate: 0.5 }],
+            1.0,
+        ));
+        let (t, _) = defended.gather_trace(
+            &server,
+            EnvironmentId::A,
+            512,
+            0.0,
+            &PathConfig::clean(),
+            &mut seeded(22),
+        );
+        assert!(t.is_valid(), "padding distorts but does not break: {t:?}");
+        // Slow start delivers 2,4,8,... real packets; padding at rate 0.5
+        // inflates each round's sequence progress by ~1.5x.
+        let plain = gather_ideal(AlgorithmId::Reno, EnvironmentId::A, 512);
+        let inflated = t
+            .pre
+            .iter()
+            .zip(plain.pre.iter())
+            .filter(|(d, p)| d > p)
+            .count();
+        assert!(
+            inflated >= t.pre.len().min(plain.pre.len()) / 2,
+            "defended windows should dominate: {:?} vs {:?}",
+            t.pre,
+            plain.pre
+        );
+        // The inflated windows cross the threshold in fewer rounds.
+        assert!(t.pre.len() <= plain.pre.len());
+    }
+
+    #[test]
+    fn shaping_with_budget_hides_the_window_from_the_prober() {
+        use caai_netem::DefenseConfig;
+        let server = ServerUnderTest::ideal(AlgorithmId::Reno);
+        let defended = Prober::new(defended_config(
+            vec![DefenseConfig::Shaping { burst_cap: 16 }],
+            50.0,
+        ));
+        let outcome = defended.gather(&server, &PathConfig::clean(), &mut seeded(23));
+        // Every round releases at most 16 packets, so no rung of the
+        // ladder (>= 64) is ever crossed: the census counts this server
+        // invalid — the defense won.
+        assert!(outcome.pair.is_none(), "shaping should defeat the ladder");
+        assert_eq!(
+            outcome.failure_reason(),
+            Some(InvalidReason::NeverExceededThreshold)
+        );
+        let ovh = outcome.defense_overhead.expect("defense configured");
+        assert!(ovh.delayed > 0);
+    }
+
+    #[test]
+    fn defended_gather_is_deterministic_per_seed() {
+        use caai_netem::DefenseConfig;
+        let server = ServerUnderTest::ideal(AlgorithmId::CubicV2);
+        let prober = Prober::new(defended_config(
+            vec![
+                DefenseConfig::Padding { rate: 0.3 },
+                DefenseConfig::Jitter { delay_prob: 0.2 },
+            ],
+            0.5,
+        ));
+        let path = PathConfig::lossy(0.02);
+        let a = prober.gather(&server, &path, &mut seeded(24));
+        let b = prober.gather(&server, &path, &mut seeded(24));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn prober_config_with_defense_roundtrips_and_old_configs_still_load() {
+        use caai_netem::DefenseConfig;
+        let cfg = defended_config(vec![DefenseConfig::Padding { rate: 0.25 }], 0.3);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: ProberConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+        // A config serialized before the defense field existed must still
+        // deserialize (missing Option -> None).
+        use serde::{Deserialize as _, Serialize as _, Value};
+        let mut legacy = ProberConfig::default().to_value();
+        if let Value::Map(map) = &mut legacy {
+            map.retain(|(k, _)| k != "defense");
+        }
+        let parsed = ProberConfig::from_value(&legacy).unwrap();
+        assert_eq!(parsed, ProberConfig::default());
     }
 
     #[test]

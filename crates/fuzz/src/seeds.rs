@@ -1,0 +1,395 @@
+//! Seed corpus construction.
+//!
+//! Structure-aware fuzzing is only as good as its seeds: mutations of a
+//! valid capture reach far deeper into the parsers than random bytes
+//! ever would. The seeds here cover both containers and both byte
+//! orders, and include a real rendered CAAI probe session so the flow
+//! reassembler and ladder reconstruction see realistic TCP state, not
+//! just a toy handshake.
+//!
+//! The module also builds the *diagnostic fixtures*: tiny hand-framed
+//! pcapng captures that each provoke exactly one skip diagnostic, with
+//! the expected rendered string pinned character-for-character. These
+//! are committed under `tests/corpus/` and replayed by the corpus
+//! regression test, so a wording change in the reader is a visible diff,
+//! not a silent drift.
+
+use caai_capture::packet::flags;
+use caai_capture::pcap::byteswap_capture;
+use caai_capture::{encode, CaptureRenderer, FrameSpec, PcapReader, PcapWriter};
+use caai_congestion::AlgorithmId;
+use caai_core::{Prober, ProberConfig, ServerUnderTest};
+use caai_netem::path::PathConfig;
+use caai_netem::rng::seeded;
+use caai_stream::classic_to_pcapng;
+use caai_stream::pcapng::{BT_EPB, BT_IDB, BT_SPB, BYTE_ORDER_MAGIC, SHB_MAGIC};
+
+/// Upper bound on any single seed. Iteration cost is linear in seed
+/// size, so the 100k-iteration acceptance run needs seeds this small.
+pub const MAX_SEED_LEN: usize = 48 * 1024;
+
+/// A named seed input.
+pub struct Seed {
+    pub name: &'static str,
+    pub bytes: Vec<u8>,
+}
+
+/// Builds the full seed set: a handcrafted classic capture, a rendered
+/// CAAI probe session, their big-endian twins, and pcapng re-framings at
+/// three timestamp resolutions.
+pub fn build_seeds() -> Vec<Seed> {
+    let tiny = tiny_classic();
+    // pcapng re-framing inflates a classic capture (32-byte block
+    // envelopes vs 16-byte record headers), so cap the classic form low
+    // enough that its pcapng twins also fit the budget.
+    let rendered = cap_capture(&rendered_session(), MAX_SEED_LEN * 2 / 3);
+    let seeds = vec![
+        Seed {
+            name: "tiny-classic",
+            bytes: tiny.clone(),
+        },
+        Seed {
+            name: "tiny-classic-be",
+            bytes: byteswap_capture(&tiny),
+        },
+        Seed {
+            name: "rendered-reno",
+            bytes: rendered.clone(),
+        },
+        Seed {
+            name: "rendered-reno-be",
+            bytes: byteswap_capture(&rendered),
+        },
+        Seed {
+            name: "pcapng-le-us",
+            bytes: classic_to_pcapng(&rendered, false, 6),
+        },
+        Seed {
+            name: "pcapng-be-ns",
+            bytes: classic_to_pcapng(&rendered, true, 9),
+        },
+        Seed {
+            name: "pcapng-le-2pow",
+            bytes: classic_to_pcapng(&tiny, false, 0x80 | 20),
+        },
+    ];
+    for s in &seeds {
+        assert!(!s.bytes.is_empty(), "seed {} rendered empty", s.name);
+        assert!(
+            s.bytes.len() <= MAX_SEED_LEN + 4096,
+            "seed {} is {} bytes, too large for the iteration budget",
+            s.name,
+            s.bytes.len()
+        );
+    }
+    seeds
+}
+
+/// A handshake, two data segments with their ACKs, and a server FIN:
+/// the smallest capture the flow layer fully understands.
+fn tiny_classic() -> Vec<u8> {
+    const CLIENT: ([u8; 4], u16) = ([192, 0, 2, 1], 40001);
+    const SERVER: ([u8; 4], u16) = ([198, 51, 100, 9], 80);
+    let seg = |from: ([u8; 4], u16), to: ([u8; 4], u16)| FrameSpec {
+        src_ip: from.0,
+        dst_ip: to.0,
+        src_port: from.1,
+        dst_port: to.1,
+        seq: 0,
+        ack: 0,
+        flags: flags::ACK,
+        window: 65000,
+        mss_option: None,
+        payload: b"",
+    };
+    let (isn_c, isn_s) = (1000u32, 5000u32);
+    let payload = [7u8; 100];
+    let mut w = PcapWriter::new(Vec::new()).expect("Vec writes are infallible");
+    let mut frame = |ts: f64, spec: FrameSpec<'_>| {
+        w.write_frame(ts, &encode(&spec))
+            .expect("Vec writes are infallible");
+    };
+    frame(
+        0.0,
+        FrameSpec {
+            seq: isn_c,
+            flags: flags::SYN,
+            mss_option: Some(100),
+            ..seg(CLIENT, SERVER)
+        },
+    );
+    frame(
+        0.1,
+        FrameSpec {
+            seq: isn_s,
+            ack: isn_c + 1,
+            flags: flags::SYN | flags::ACK,
+            mss_option: Some(1460),
+            ..seg(SERVER, CLIENT)
+        },
+    );
+    frame(
+        0.2,
+        FrameSpec {
+            seq: isn_c + 1,
+            ack: isn_s + 1,
+            ..seg(CLIENT, SERVER)
+        },
+    );
+    frame(
+        1.0,
+        FrameSpec {
+            seq: isn_s + 1,
+            ack: isn_c + 1,
+            payload: &payload,
+            ..seg(SERVER, CLIENT)
+        },
+    );
+    frame(
+        1.2,
+        FrameSpec {
+            seq: isn_c + 1,
+            ack: isn_s + 101,
+            ..seg(CLIENT, SERVER)
+        },
+    );
+    frame(
+        2.0,
+        FrameSpec {
+            seq: isn_s + 101,
+            ack: isn_c + 1,
+            payload: &payload,
+            ..seg(SERVER, CLIENT)
+        },
+    );
+    frame(
+        2.2,
+        FrameSpec {
+            seq: isn_c + 1,
+            ack: isn_s + 201,
+            ..seg(CLIENT, SERVER)
+        },
+    );
+    frame(
+        3.0,
+        FrameSpec {
+            seq: isn_s + 201,
+            ack: isn_c + 1,
+            flags: flags::FIN | flags::ACK,
+            ..seg(SERVER, CLIENT)
+        },
+    );
+    w.finish().expect("Vec writes are infallible")
+}
+
+/// One full CAAI probe round-trip against an ideal Reno server, rendered
+/// to wire frames. This is the seed that exercises ladder reconstruction
+/// and the RTO round bookkeeping.
+fn rendered_session() -> Vec<u8> {
+    let mut renderer = CaptureRenderer::new();
+    let prober = Prober::new(ProberConfig::fixed_wmax(64));
+    let server = ServerUnderTest::ideal(AlgorithmId::Reno);
+    let mut rng = seeded(1);
+    renderer
+        .render_session(
+            [192, 0, 2, 1],
+            [198, 51, 100, 9],
+            &server,
+            &prober,
+            &PathConfig::clean(),
+            &mut rng,
+        )
+        .expect("Vec writes are infallible");
+    renderer.to_bytes()
+}
+
+/// Re-emits a capture's leading records until the byte budget is spent,
+/// keeping the truncation on a record boundary so the seed stays valid.
+fn cap_capture(src: &[u8], max_len: usize) -> Vec<u8> {
+    let mut reader = PcapReader::new(src).expect("renderer output is a valid capture");
+    let mut w = PcapWriter::new(Vec::new()).expect("Vec writes are infallible");
+    let mut written = 24usize;
+    while let Some(Ok(rec)) = reader.next() {
+        let record = 16 + rec.data.len();
+        if written + record > max_len {
+            break;
+        }
+        w.write_frame(rec.ts, rec.data)
+            .expect("Vec writes are infallible");
+        written += record;
+    }
+    w.finish().expect("Vec writes are infallible")
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostic fixtures: one capture per pcapng skip diagnostic.
+// ---------------------------------------------------------------------------
+
+/// A pcapng capture that provokes exactly one skip, plus the skip
+/// reason's exact rendered text.
+pub struct DiagnosticFixture {
+    pub name: &'static str,
+    pub bytes: Vec<u8>,
+    pub expected_reason: &'static str,
+}
+
+/// All six pcapng skip diagnostics, each in a minimal little-endian
+/// capture. The expected strings are pinned verbatim: every one must
+/// name the enclosing block type so a diagnostic alone identifies the
+/// block walker that produced it.
+pub fn diagnostic_fixtures() -> Vec<DiagnosticFixture> {
+    vec![
+        DiagnosticFixture {
+            name: "spb-no-timestamp",
+            bytes: cat(&[shb_le(), idb_le(1, 6), block_le(BT_SPB, &[0, 0, 0, 0])]),
+            expected_reason: "simple packet block (type 0x00000003) carries no timestamp",
+        },
+        DiagnosticFixture {
+            name: "unknown-block-type",
+            bytes: cat(&[shb_le(), block_le(0x0BAD, &[1, 2, 3, 4, 5, 6, 7, 8])]),
+            expected_reason: "unknown pcapng block type 0x00000BAD skipped",
+        },
+        DiagnosticFixture {
+            name: "epb-body-too-short",
+            bytes: cat(&[shb_le(), idb_le(1, 6), block_le(BT_EPB, &[0u8; 16])]),
+            expected_reason: "enhanced packet block (type 0x00000006): body too short (16 bytes)",
+        },
+        DiagnosticFixture {
+            name: "epb-cap-len-overrun",
+            bytes: cat(&[shb_le(), idb_le(1, 6), block_le(BT_EPB, &epb_body(0, 9999))]),
+            expected_reason: "enhanced packet block (type 0x00000006): \
+                              cap_len 9999 overruns its block (20 body bytes)",
+        },
+        DiagnosticFixture {
+            name: "epb-undeclared-interface",
+            bytes: cat(&[shb_le(), block_le(BT_EPB, &epb_body(7, 0))]),
+            expected_reason: "enhanced packet block (type 0x00000006): \
+                              references undeclared interface 7",
+        },
+        DiagnosticFixture {
+            name: "epb-non-ethernet-interface",
+            bytes: cat(&[shb_le(), idb_le(113, 6), block_le(BT_EPB, &epb_body(0, 0))]),
+            expected_reason: "enhanced packet block (type 0x00000006): \
+                              packet on non-Ethernet interface (link type 113)",
+        },
+    ]
+}
+
+fn cat(parts: &[Vec<u8>]) -> Vec<u8> {
+    parts.concat()
+}
+
+/// A canonical 28-byte little-endian section header block.
+fn shb_le() -> Vec<u8> {
+    let mut out = Vec::with_capacity(28);
+    out.extend_from_slice(&SHB_MAGIC);
+    out.extend_from_slice(&28u32.to_le_bytes());
+    out.extend_from_slice(&BYTE_ORDER_MAGIC.to_le_bytes());
+    out.extend_from_slice(&1u16.to_le_bytes()); // major
+    out.extend_from_slice(&0u16.to_le_bytes()); // minor
+    out.extend_from_slice(&u64::MAX.to_le_bytes()); // unspecified length
+    out.extend_from_slice(&28u32.to_le_bytes());
+    out
+}
+
+/// A 32-byte little-endian interface description block mirroring the
+/// `classic_to_pcapng` layout: `linktype`, generous snaplen, one
+/// `if_tsresol` option, `opt_endofopt`.
+fn idb_le(linktype: u16, tsresol: u8) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    out.extend_from_slice(&BT_IDB.to_le_bytes());
+    out.extend_from_slice(&32u32.to_le_bytes());
+    out.extend_from_slice(&linktype.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes()); // reserved
+    out.extend_from_slice(&(256u32 * 1024).to_le_bytes()); // snaplen
+    out.extend_from_slice(&9u16.to_le_bytes()); // OPT_IF_TSRESOL
+    out.extend_from_slice(&1u16.to_le_bytes());
+    out.extend_from_slice(&[tsresol, 0, 0, 0]); // value + padding
+    out.extend_from_slice(&0u32.to_le_bytes()); // opt_endofopt
+    out.extend_from_slice(&32u32.to_le_bytes());
+    out
+}
+
+/// An arbitrary little-endian block with the body padded to 32 bits.
+fn block_le(btype: u32, body: &[u8]) -> Vec<u8> {
+    let padded = (body.len() + 3) & !3;
+    let total = (12 + padded) as u32;
+    let mut out = Vec::with_capacity(total as usize);
+    out.extend_from_slice(&btype.to_le_bytes());
+    out.extend_from_slice(&total.to_le_bytes());
+    out.extend_from_slice(body);
+    out.extend(std::iter::repeat_n(0u8, padded - body.len()));
+    out.extend_from_slice(&total.to_le_bytes());
+    out
+}
+
+/// A minimal 20-byte EPB body: interface id, zero timestamp, `cap_len`,
+/// zero `orig_len`, no frame bytes.
+fn epb_body(iface: u32, cap_len: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(20);
+    out.extend_from_slice(&iface.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes()); // ts_high
+    out.extend_from_slice(&0u32.to_le_bytes()); // ts_low
+    out.extend_from_slice(&cap_len.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes()); // orig_len
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caai_stream::source::{CaptureSource, PcapStream, SourceItem, StallPolicy};
+    use std::io::Cursor;
+
+    #[test]
+    fn seed_set_covers_both_containers_and_byte_orders() {
+        let seeds = build_seeds();
+        assert_eq!(seeds.len(), 7);
+        let classic = seeds.iter().filter(|s| s.bytes[..4] != SHB_MAGIC).count();
+        let ng = seeds.iter().filter(|s| s.bytes[..4] == SHB_MAGIC).count();
+        assert_eq!((classic, ng), (4, 3));
+    }
+
+    #[test]
+    fn every_seed_parses_cleanly() {
+        for seed in build_seeds() {
+            let mut src = PcapStream::new(Cursor::new(seed.bytes), StallPolicy::Eof);
+            let mut frames = 0usize;
+            loop {
+                match src.next() {
+                    Ok(Some(SourceItem::Frame(_))) => frames += 1,
+                    Ok(Some(SourceItem::Skipped { reason, .. })) => {
+                        panic!("seed {} skipped a frame: {reason}", seed.name)
+                    }
+                    Ok(None) => break,
+                    Err(e) => panic!("seed {} failed to parse: {}", seed.name, e.reason),
+                }
+            }
+            assert!(frames >= 8, "seed {} holds only {frames} frames", seed.name);
+        }
+    }
+
+    #[test]
+    fn each_diagnostic_fixture_produces_exactly_its_pinned_reason() {
+        for fx in diagnostic_fixtures() {
+            let mut src = PcapStream::new(Cursor::new(fx.bytes), StallPolicy::Eof);
+            let mut skips = Vec::new();
+            loop {
+                match src.next() {
+                    Ok(Some(SourceItem::Skipped { reason, .. })) => skips.push(reason),
+                    Ok(Some(SourceItem::Frame(f))) => {
+                        panic!("fixture {} yielded a frame at ts {}", fx.name, f.ts)
+                    }
+                    Ok(None) => break,
+                    Err(e) => panic!("fixture {} went fatal: {}", fx.name, e.reason),
+                }
+            }
+            assert_eq!(
+                skips,
+                vec![fx.expected_reason.to_owned()],
+                "fixture {} diagnostics drifted",
+                fx.name
+            );
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Fuzz targets: each one drives a mutated capture through a parser
+//! stack and reports any panic as a finding.
+//!
+//! Parse errors, skip reports and truncation diagnostics are the
+//! parsers' *contract* for hostile bytes — they are explicitly not
+//! findings. A finding is a panic (or, under a fuzz-specific debug
+//! build, an arithmetic overflow surfacing as one) anywhere between the
+//! container walker and the verdict.
+
+use caai_capture::reassemble;
+use caai_capture::reconstruct::{observe_connection, session_outcome, sessions};
+use caai_capture::DEFAULT_LADDER;
+use caai_core::classes::label_names;
+use caai_core::features::FEATURE_DIM;
+use caai_core::CaaiClassifier;
+use caai_ml::{Dataset, RandomForestConfig};
+use caai_netem::rng::seeded;
+use caai_stream::source::{CaptureSource, PcapStream, SourceItem, StallPolicy};
+use caai_stream::{identify_bytes, StreamConfig};
+use std::io::Cursor;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// The parser stacks a mutated input is driven through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// Zero-copy classic reader → flow reassembly → ladder
+    /// reconstruction → outcome (no classifier).
+    Offline,
+    /// Incremental source (classic *and* pcapng framing) drained item
+    /// by item.
+    Stream,
+    /// The full multi-worker streaming pipeline with a live classifier.
+    Pipeline,
+}
+
+impl Target {
+    pub fn name(self) -> &'static str {
+        match self {
+            Target::Offline => "offline",
+            Target::Stream => "stream",
+            Target::Pipeline => "pipeline",
+        }
+    }
+}
+
+/// Shared state for all targets: one classifier, trained once.
+pub struct Targets {
+    classifier: CaaiClassifier,
+}
+
+impl Targets {
+    pub fn new() -> Targets {
+        Targets {
+            classifier: tiny_classifier(),
+        }
+    }
+
+    /// Runs `bytes` through `target`, converting any panic into
+    /// `Err(message)`.
+    pub fn run(&self, target: Target, bytes: &[u8], workers: usize) -> Result<(), String> {
+        let job = AssertUnwindSafe(|| match target {
+            Target::Offline => drive_offline(bytes),
+            Target::Stream => drive_stream(bytes),
+            Target::Pipeline => self.drive_pipeline(bytes, workers),
+        });
+        catch_unwind(job).map_err(|payload| {
+            if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_owned()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "panic payload of unknown type".to_owned()
+            }
+        })
+    }
+
+    fn drive_pipeline(&self, bytes: &[u8], workers: usize) {
+        let mut source = PcapStream::new(Cursor::new(bytes.to_vec()), StallPolicy::Eof);
+        let config = StreamConfig {
+            workers: workers.max(1),
+            batch: 16,
+            channel_depth: 2,
+            ..StreamConfig::default()
+        };
+        let mut verdicts = 0usize;
+        let _ = caai_stream::run(&mut source, &self.classifier, &config, |_report| {
+            verdicts += 1;
+        });
+    }
+}
+
+impl Default for Targets {
+    fn default() -> Self {
+        Targets::new()
+    }
+}
+
+/// The offline capture stack, classifier excluded: reassemble, observe
+/// every flow against the ladder, group sessions, replay each outcome.
+fn drive_offline(bytes: &[u8]) {
+    let Ok(reassembly) = reassemble(bytes) else {
+        return; // rejected at the container: the contract, not a finding
+    };
+    for flow in &reassembly.flows {
+        let _ = observe_connection(flow, &DEFAULT_LADDER);
+    }
+    for session in sessions(&reassembly, &DEFAULT_LADDER) {
+        let _ = session_outcome(&session, &DEFAULT_LADDER);
+    }
+}
+
+/// The incremental source drained to exhaustion (both container
+/// formats, per-item skip reports, fatal framing errors).
+fn drive_stream(bytes: &[u8]) {
+    let mut src = PcapStream::new(Cursor::new(bytes.to_vec()), StallPolicy::Eof);
+    let mut items = 0u64;
+    loop {
+        match src.next() {
+            Ok(Some(SourceItem::Frame(_))) | Ok(Some(SourceItem::Skipped { .. })) => {
+                items += 1;
+                // A mutated length field must never turn the reader into
+                // an infinite item generator.
+                assert!(
+                    items < 1 << 22,
+                    "source yielded {items} items without ending"
+                );
+            }
+            Ok(None) | Err(_) => return,
+        }
+    }
+}
+
+/// `identify_bytes` — the public one-shot entry point — as a separate
+/// drive for corpus replay (needs the classifier, so it lives on
+/// [`Targets`] callers via [`Target::Pipeline`] during fuzzing; replay
+/// uses it directly for the offline-vs-stream contract).
+pub fn drive_identify(classifier: &CaaiClassifier, bytes: &[u8]) {
+    let _ = identify_bytes(bytes, classifier, None);
+}
+
+/// The cheapest forest that satisfies the classifier's 15-class
+/// contract: one synthetic feature vector per class, three trees. The
+/// fuzzer only needs *a* classifier on the pipeline's hot path — its
+/// accuracy is irrelevant.
+pub fn tiny_classifier() -> CaaiClassifier {
+    let names = label_names();
+    let n_classes = names.len();
+    let mut data = Dataset::new(names, FEATURE_DIM);
+    for class in 0..n_classes {
+        for rep in 0..2 {
+            let v: Vec<f64> = (0..FEATURE_DIM)
+                .map(|f| (class * FEATURE_DIM + f) as f64 * 0.01 + rep as f64 * 0.001)
+                .collect();
+            data.push(v, class);
+        }
+    }
+    CaaiClassifier::train_with(
+        &data,
+        RandomForestConfig {
+            n_trees: 3,
+            mtry: 4,
+        },
+        &mut seeded(42),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeds::build_seeds;
+
+    #[test]
+    fn all_targets_accept_all_seeds() {
+        let targets = Targets::new();
+        for seed in build_seeds() {
+            for t in [Target::Offline, Target::Stream, Target::Pipeline] {
+                targets
+                    .run(t, &seed.bytes, 2)
+                    .unwrap_or_else(|m| panic!("seed {} panicked {}: {m}", seed.name, t.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_is_rejected_without_panicking() {
+        let targets = Targets::new();
+        let garbage: Vec<u8> = (0..4096u32).map(|i| (i * 31 % 251) as u8).collect();
+        for t in [Target::Offline, Target::Stream, Target::Pipeline] {
+            targets.run(t, &garbage, 1).expect("garbage must not panic");
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Regression corpus replay.
+//!
+//! Every file under `tests/corpus/` is an input that once mattered —
+//! a pinned diagnostic fixture or a crash the fuzzer found. This test
+//! replays all of them through every target on every `cargo test`, and
+//! additionally pins the pcapng skip diagnostics character-for-
+//! character: each must name its enclosing block type, so a diagnostic
+//! alone identifies the block walker that produced it.
+
+use caai_fuzz::seeds::diagnostic_fixtures;
+use caai_fuzz::targets::{Target, Targets};
+use caai_stream::source::{CaptureSource, PcapStream, SourceItem, StallPolicy};
+use std::io::Cursor;
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+#[test]
+fn every_corpus_input_replays_without_panicking() {
+    let dir = corpus_dir();
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("corpus directory {} missing: {e}", dir.display()))
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.is_file())
+        .collect();
+    paths.sort();
+    assert!(
+        paths.len() >= 6,
+        "corpus at {} holds only {} files; the diagnostic fixtures alone are six",
+        dir.display(),
+        paths.len()
+    );
+    let targets = Targets::new();
+    for path in &paths {
+        let bytes = std::fs::read(path).expect("corpus file readable");
+        for target in [Target::Offline, Target::Stream, Target::Pipeline] {
+            for workers in [1usize, 2] {
+                targets.run(target, &bytes, workers).unwrap_or_else(|m| {
+                    panic!(
+                        "{} panicked {} ({workers} workers): {m}",
+                        path.display(),
+                        target.name()
+                    )
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn committed_diagnostic_fixtures_match_their_generator() {
+    // The committed bytes must be exactly what `caai-fuzz emit-fixtures`
+    // produces today — catching both corpus drift and generator drift.
+    for fx in diagnostic_fixtures() {
+        let path = corpus_dir().join(format!("diag-{}.pcapng", fx.name));
+        let committed = std::fs::read(&path).unwrap_or_else(|e| {
+            panic!(
+                "{} missing ({e}); regenerate with `caai-fuzz emit-fixtures --out tests/corpus`",
+                path.display()
+            )
+        });
+        assert_eq!(
+            committed,
+            fx.bytes,
+            "{} drifted from its generator; regenerate with `caai-fuzz emit-fixtures`",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn pcapng_skip_diagnostics_are_pinned_verbatim() {
+    for fx in diagnostic_fixtures() {
+        let path = corpus_dir().join(format!("diag-{}.pcapng", fx.name));
+        let bytes = std::fs::read(&path).expect("fixture committed");
+        let mut src = PcapStream::new(Cursor::new(bytes), StallPolicy::Eof);
+        let mut skips: Vec<String> = Vec::new();
+        loop {
+            match src.next() {
+                Ok(Some(SourceItem::Skipped { reason, .. })) => skips.push(reason),
+                Ok(Some(SourceItem::Frame(f))) => {
+                    panic!(
+                        "fixture {} unexpectedly yielded frame at ts {}",
+                        fx.name, f.ts
+                    )
+                }
+                Ok(None) => break,
+                Err(e) => panic!("fixture {} went fatal: {}", fx.name, e.reason),
+            }
+        }
+        assert_eq!(
+            skips,
+            vec![fx.expected_reason.to_owned()],
+            "fixture {}: skip diagnostic drifted from its pinned wording",
+            fx.name
+        );
+        // The contract satellite: the enclosing block type is in the text.
+        assert!(
+            skips[0].contains("(type 0x0000000") || skips[0].contains("block type 0x"),
+            "fixture {}: diagnostic does not name its block type: {}",
+            fx.name,
+            skips[0]
+        );
+    }
+}

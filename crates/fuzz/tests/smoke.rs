@@ -1,0 +1,65 @@
+//! Bounded fuzzing as a regular test: a deterministic slice of the
+//! campaign runs on every `cargo test`, so a parser regression that
+//! panics on mutated input fails CI within seconds instead of waiting
+//! for someone to run the long campaign by hand.
+//!
+//! Debug builds matter here: arithmetic overflow panics only in debug,
+//! so this bounded run covers a failure mode the release acceptance
+//! campaign cannot.
+
+use caai_fuzz::{fuzz, FuzzConfig};
+
+#[test]
+fn bounded_campaign_finds_no_crashes() {
+    let config = FuzzConfig {
+        iters: 1500,
+        seed: 0xF5A2_2026,
+        pipeline_every: 250,
+        ..FuzzConfig::default()
+    };
+    let outcome = fuzz(&config, |_, _, _| {});
+    assert_eq!(outcome.iters, config.iters);
+    assert!(
+        outcome.executions >= config.iters * 2,
+        "only {} executions for {} iterations",
+        outcome.executions,
+        outcome.iters
+    );
+    let summary: Vec<String> = outcome
+        .crashes
+        .iter()
+        .map(|c| format!("{} iter {}: {}", c.target.name(), c.iter, c.message))
+        .collect();
+    assert!(
+        outcome.crashes.is_empty(),
+        "fuzzer found {} crash(es):\n{}",
+        outcome.crashes.len(),
+        summary.join("\n")
+    );
+}
+
+#[test]
+fn distinct_seeds_explore_distinct_inputs() {
+    // Two campaigns from different seeds must not execute identically —
+    // a stuck RNG would silently hollow out the smoke test above.
+    let a = fuzz(
+        &FuzzConfig {
+            iters: 30,
+            seed: 1,
+            pipeline_every: 0,
+            ..FuzzConfig::default()
+        },
+        |_, _, _| {},
+    );
+    let b = fuzz(
+        &FuzzConfig {
+            iters: 30,
+            seed: 2,
+            pipeline_every: 0,
+            ..FuzzConfig::default()
+        },
+        |_, _, _| {},
+    );
+    assert_eq!(a.iters, b.iters);
+    assert_eq!(a.crashes.len() + b.crashes.len(), 0);
+}

@@ -232,7 +232,9 @@ pub(crate) fn next_item<R: Read>(
                 *index += 1;
                 Some(SourceItem::Skipped {
                     index: i,
-                    reason: "simple packet block carries no timestamp".to_owned(),
+                    reason: format!(
+                        "simple packet block (type {BT_SPB:#010X}) carries no timestamp"
+                    ),
                 })
             }
             BT_NRB | BT_ISB => None, // routine metadata, nothing to report
@@ -271,16 +273,18 @@ fn truncated_block<R: Read>(feed: &ByteFeed<R>, total: u32, at: u64) -> SourceEr
 
 /// Parses an EPB body into a frame (or a skip report for packets this
 /// pipeline cannot use). Never fatal: the block framed correctly, so the
-/// stream stays synchronized whatever the body holds.
+/// stream stays synchronized whatever the body holds. Every skip reason
+/// names the enclosing block type, so a diagnostic alone pins which block
+/// walker produced it.
 fn parse_epb(body: &[u8], big: bool, interfaces: &[Iface], index: &mut u64) -> SourceItem {
     let i = *index;
     *index += 1;
-    let skip = |reason: String| SourceItem::Skipped { index: i, reason };
+    let skip = |reason: String| SourceItem::Skipped {
+        index: i,
+        reason: format!("enhanced packet block (type {BT_EPB:#010X}): {reason}"),
+    };
     if body.len() < 20 {
-        return skip(format!(
-            "enhanced packet block body too short ({} bytes)",
-            body.len()
-        ));
+        return skip(format!("body too short ({} bytes)", body.len()));
     }
     let iface_id = rd_u32(body, 0, big) as usize;
     let ts_high = rd_u32(body, 4, big);
@@ -288,12 +292,12 @@ fn parse_epb(body: &[u8], big: bool, interfaces: &[Iface], index: &mut u64) -> S
     let cap_len = rd_u32(body, 12, big) as usize;
     if cap_len > body.len() - 20 {
         return skip(format!(
-            "enhanced packet cap_len {cap_len} overruns its block ({} body bytes)",
+            "cap_len {cap_len} overruns its block ({} body bytes)",
             body.len()
         ));
     }
     let Some(iface) = interfaces.get(iface_id) else {
-        return skip(format!("packet references undeclared interface {iface_id}"));
+        return skip(format!("references undeclared interface {iface_id}"));
     };
     if !iface.ethernet {
         return skip(format!(

@@ -31,5 +31,5 @@ pub mod server;
 
 pub use cache::SsthreshCache;
 pub use config::{SenderQuirk, ServerConfig, SlowStartVariant};
-pub use segment::{AckPacket, Segment};
+pub use segment::{AckPacket, Segment, WirePacket};
 pub use server::TcpServer;

@@ -145,6 +145,81 @@ fn stream_counters_are_worker_count_invariant_and_match_offline() {
     assert_eq!(evicted_total(&offline), offline["capture.flows_opened"]);
 }
 
+/// The eviction accounting contract, pinned explicitly: every flow the
+/// pipeline opens is evicted exactly once, so the per-cause counters
+/// (idle, overflow, drain) partition `flows_opened` — for every worker
+/// count, and whichever cause mix a configuration produces. A flow
+/// counted under two causes (or leaked under none) breaks this sum
+/// before it breaks anything visible in verdicts.
+#[test]
+fn eviction_causes_partition_flows_opened_for_every_worker_count() {
+    let capture = damaged_capture();
+    let count = |m: &BTreeMap<String, u64>, name: &str| m.get(name).copied().unwrap_or(0);
+
+    // Two regimes: the default config (idle evictions from the prober's
+    // 630 s inter-connection gaps, drain evictions at EOF) and a tiny
+    // per-flow event cap that forces the overflow cause into the mix.
+    for max_flow_events in [1usize << 16, 96] {
+        let mut per_worker = Vec::new();
+        for workers in [1usize, 2, 4] {
+            let metrics = MetricsSubscriber::new();
+            let mut source = PcapStream::new(std::io::Cursor::new(capture), StallPolicy::Eof);
+            let config = StreamConfig {
+                workers,
+                max_flow_events,
+                ..StreamConfig::default()
+            };
+            run_obs(&mut source, classifier(), &config, |_r| {}, &metrics)
+                .expect("mid-stream damage is tolerated");
+            let c = metrics.snapshot().counters;
+
+            let opened = count(&c, "capture.flows_opened");
+            let idle = count(&c, "capture.flows_evicted_idle");
+            let overflow = count(&c, "capture.flows_evicted_overflow");
+            let drain = count(&c, "capture.flows_evicted_drain");
+            assert!(opened > 0, "the capture must open flows");
+            assert_eq!(
+                idle + overflow + drain,
+                opened,
+                "{workers} workers, cap {max_flow_events}: eviction causes \
+                 (idle {idle} + overflow {overflow} + drain {drain}) must \
+                 partition flows_opened"
+            );
+            per_worker.push((idle, overflow, drain, opened));
+        }
+        // Not just the sum: the per-cause split itself is worker-count
+        // invariant (eviction is driven by capture time, not wall time).
+        assert_eq!(
+            per_worker[0], per_worker[1],
+            "cap {max_flow_events}: 1 vs 2 workers"
+        );
+        assert_eq!(
+            per_worker[0], per_worker[2],
+            "cap {max_flow_events}: 1 vs 4 workers"
+        );
+    }
+
+    // The small cap actually exercised the overflow cause; the default
+    // cap exercised idle. Guard both so the partition check never
+    // silently degenerates to a single-cause tautology.
+    let overflow_forced = {
+        let metrics = MetricsSubscriber::new();
+        let mut source = PcapStream::new(std::io::Cursor::new(capture), StallPolicy::Eof);
+        let config = StreamConfig {
+            workers: 2,
+            max_flow_events: 96,
+            ..StreamConfig::default()
+        };
+        run_obs(&mut source, classifier(), &config, |_r| {}, &metrics)
+            .expect("mid-stream damage is tolerated");
+        metrics.snapshot().counters
+    };
+    assert!(
+        count(&overflow_forced, "capture.flows_evicted_overflow") > 0,
+        "a 96-event cap must force overflow evictions on probe flows"
+    );
+}
+
 /// Deterministic value generator spreading samples across histogram
 /// bucket magnitudes (xorshift, then a variable right shift). Values
 /// stay below 2^40 — the realistic range for recorded metrics, and far
