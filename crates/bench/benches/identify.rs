@@ -3,9 +3,10 @@
 //! Covers the stages a verdict costs: trace gathering (the emulated
 //! probe), feature extraction + random-forest classification, pcap
 //! ingestion (bytes → flows → window traces → verdicts), the streaming
-//! multi-worker pipeline at 1/2/4 workers, and the observability
-//! overhead pair (null vs counting subscriber through the same `_obs`
-//! entry points). Unlike the other benches this one has a hand-rolled
+//! multi-worker pipeline at 1/2/4 workers, the live-socket transport
+//! at 1/2/4 concurrent reactor sessions against loopback emulated
+//! servers, and the observability overhead pair (null vs counting
+//! subscriber through the same `_obs` entry points). Unlike the other benches this one has a hand-rolled
 //! `main`: after running the groups it writes the measurements — each
 //! tagged with its input shape (bytes/packets/flows) — to
 //! `BENCH_identify.json` at the repository root, so the perf trajectory
@@ -21,6 +22,8 @@ use caai_core::features::extract_pair;
 use caai_core::prober::{Prober, ProberConfig};
 use caai_core::server_under_test::ServerUnderTest;
 use caai_core::training::{build_training_set, TrainingConfig};
+use caai_net::reactor::NetConfig;
+use caai_net::{Behavior, EmulatedServer, NetTransport, ServerProfile};
 use caai_netem::rng::seeded;
 use caai_netem::{ConditionDb, PathConfig};
 use caai_obs::{MetricsSubscriber, NullSubscriber};
@@ -282,11 +285,57 @@ fn results_json(c: &Criterion) -> String {
     out
 }
 
+/// The live-socket transport end to end: full ladder probes of loopback
+/// emulated servers, at growing concurrent-session caps. Throughput is
+/// probes/s. On loopback the peer answers instantly, so this measures
+/// the reactor thread's frame-handling ceiling; against real RTTs the
+/// caps would overlap waiting instead.
+fn bench_net_transport(c: &mut Criterion) {
+    let classifier = quick_classifier();
+    let mut group = c.benchmark_group("identify_net_transport");
+    group.sample_size(10);
+    for cap in [1usize, 2, 4] {
+        let servers: Vec<EmulatedServer> = (0..cap)
+            .map(|_| {
+                EmulatedServer::spawn(ServerProfile::ideal(AlgorithmId::CubicV2), Behavior::Normal)
+                    .expect("spawn emulated server")
+            })
+            .collect();
+        let targets = servers.iter().map(|s| s.target()).collect();
+        let transport = NetTransport::new(
+            targets,
+            classifier.clone(),
+            NetConfig {
+                max_sessions: cap,
+                ..NetConfig::default()
+            },
+            std::sync::Arc::new(NullSubscriber),
+        )
+        .expect("start reactor");
+        // `cap` probes per iteration, all in flight at once.
+        group.throughput(Throughput::Elements(cap as u64));
+        group.bench_function(format!("sessions_{cap}"), |b| {
+            b.iter(|| {
+                let receivers: Vec<_> = (0..cap as u32)
+                    .map(|id| transport.probe_async(id))
+                    .collect();
+                for rx in receivers {
+                    let result = rx.recv().expect("reactor alive");
+                    assert!(result.outcome.pair.is_some(), "probe must stay usable");
+                    black_box(result);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
 fn main() {
     let mut criterion = Criterion::default();
     bench_trace_gathering(&mut criterion);
     bench_feature_classify(&mut criterion);
     bench_pcap_ingestion(&mut criterion);
+    bench_net_transport(&mut criterion);
     bench_obs_overhead(&mut criterion);
 
     // CARGO_MANIFEST_DIR is crates/bench; the repo root is two up.

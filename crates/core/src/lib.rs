@@ -53,6 +53,7 @@ pub mod server_under_test;
 pub mod special;
 pub mod trace;
 pub mod training;
+pub mod transport;
 
 pub use census::{Census, CensusAggregates, CensusReport, Verdict};
 pub use classes::ClassLabel;
@@ -67,3 +68,4 @@ pub use server_under_test::ServerUnderTest;
 pub use special::SpecialCase;
 pub use trace::{InvalidReason, TracePair, WindowTrace, POST_TIMEOUT_ROUNDS};
 pub use training::{build_training_set, TrainingConfig};
+pub use transport::{ProbeTransport, SimTransport};

@@ -123,6 +123,7 @@ impl GatherOutcome {
             .filter_map(|t| t.invalid)
             .collect();
         for preferred in [
+            InvalidReason::TransportAborted,
             InvalidReason::PageTooShort,
             InvalidReason::NoTimeoutResponse,
             InvalidReason::RecoveryTooShort,

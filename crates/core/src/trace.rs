@@ -31,6 +31,11 @@ pub enum InvalidReason {
     /// The server stalled during recovery, leaving fewer than 18
     /// post-timeout rounds.
     RecoveryTooShort,
+    /// The probe never got far enough to judge the trace: the transport
+    /// failed underneath it (connect refused, connection reset, or a
+    /// stalled peer exhausting the retry budget). Only real-network
+    /// transports produce this; the simulator's wire never fails.
+    TransportAborted,
 }
 
 impl InvalidReason {
@@ -42,6 +47,7 @@ impl InvalidReason {
             InvalidReason::PageTooShort => "PageTooShort",
             InvalidReason::NoTimeoutResponse => "NoTimeoutResponse",
             InvalidReason::RecoveryTooShort => "RecoveryTooShort",
+            InvalidReason::TransportAborted => "TransportAborted",
         }
     }
 }

@@ -1,15 +1,26 @@
 //! The census engine proper: worker pool, sink thread, record streaming,
 //! checkpoint cadence, budget enforcement.
 //!
+//! ## Transport seam
+//!
+//! The engine schedules *ids*, not servers: [`run_transport`] drives any
+//! [`ProbeTransport`] — the simulator ([`caai_core::transport::SimTransport`],
+//! what [`CensusEngine::run`] wraps) or `caai-net`'s real-socket
+//! `NetTransport` — through the same workers, checkpoints, shards, and
+//! sinks. The transport owns record production; the engine owns
+//! everything after.
+//!
 //! ## Determinism contract
 //!
-//! Every server is probed with an RNG keyed on `(seed, server_id)`
-//! ([`caai_core::census::Census::probe_seeded`]), and all aggregation is
+//! Every probe is keyed on `(seed, server_id)` and all aggregation is
 //! order-independent (commutative counter folds keyed by verdict and
 //! `server_id`). Consequently the report is a pure function of
-//! `(population, seed, shard)` — independent of worker count, batch size,
+//! `(transport, seed, shard)` — independent of worker count, batch size,
 //! scheduling interleavings, and of how many times the run was
-//! interrupted and resumed.
+//! interrupted and resumed. For the simulator transport the probes
+//! themselves are pure too, so the whole report reduces to
+//! `(population, seed, shard)`; a real network answers however it
+//! pleases, and the engine stays deterministic *given the records*.
 //!
 //! ## Memory contract
 //!
@@ -37,6 +48,7 @@ use crate::shard::ShardSpec;
 use crate::sink::ResultSink;
 use crate::telemetry::{ProgressStats, Telemetry};
 use caai_core::census::{Census, CensusRecord, CensusReport};
+use caai_core::transport::{ProbeTransport, SimTransport};
 use caai_obs::{
     CensusRecordObserved, CensusResumed, CheckpointWritten, Histogram, NullSubscriber, ProbeTimed,
     Subscriber,
@@ -160,7 +172,9 @@ enum SinkMsg {
     Flush(mpsc::Sender<()>),
 }
 
-/// The streaming census engine. See the crate docs for an example.
+/// The streaming census engine over the simulator transport. See the
+/// crate docs for an example, and [`run_transport`] for driving other
+/// transports through the same machinery.
 #[derive(Debug)]
 pub struct CensusEngine {
     census: Census,
@@ -218,244 +232,261 @@ impl CensusEngine {
         resume: Option<Checkpoint>,
         obs: &S,
     ) -> Result<EngineOutcome, EngineError> {
-        if self.config.progress_every > 0 {
-            let stage = StageTimer::default();
-            self.run_inner(servers, sinks, resume, &(&stage, obs), Some(&stage))
-        } else {
-            self.run_inner(servers, sinks, resume, obs, None)
-        }
+        let transport = SimTransport::new(&self.census, servers).map_err(EngineError::Config)?;
+        run_transport_obs(&transport, &self.config, sinks, resume, obs)
     }
+}
 
-    fn run_inner<S: Subscriber>(
-        &self,
-        servers: &[WebServer],
-        sinks: &mut [&mut dyn ResultSink],
-        resume: Option<Checkpoint>,
-        obs: &S,
-        stage: Option<&StageTimer>,
-    ) -> Result<EngineOutcome, EngineError> {
-        let seed = self.config.seed;
-        let shard = self.config.shard;
-        shard.validate().map_err(EngineError::Config)?;
-        let population = servers.len() as u64;
-        // The completion bitmap is keyed on dense unique ids: every id
-        // must be in 0..population and appear once, or completion
-        // accounting (and any later merge) would silently disagree.
-        let mut ids_seen = crate::bitmap::IdBitmap::new(population);
-        for s in servers {
-            if u64::from(s.id) >= population {
-                return Err(EngineError::Config(format!(
-                    "server id {} outside 0..{population}; the engine keys its \
-                     completion bitmap on dense ids",
-                    s.id
-                )));
-            }
-            if !ids_seen.insert(s.id) {
-                return Err(EngineError::Config(format!(
-                    "duplicate server id {}; the engine keys its completion \
-                     bitmap on unique ids",
-                    s.id
-                )));
-            }
-        }
-        drop(ids_seen);
-        let owned_total = shard.owned_count(population);
-        let telemetry = Telemetry::new(owned_total);
-        let started = Instant::now();
+/// Runs a census over `config`'s shard of whatever population
+/// `transport` fronts, streaming records to `sinks` and optionally
+/// resuming from a checkpoint. Scheduling, checkpoint cadence, budget
+/// enforcement, and the sink write barrier are identical to
+/// [`CensusEngine::run`] — only record production is delegated.
+pub fn run_transport<T: ProbeTransport>(
+    transport: &T,
+    config: &EngineConfig,
+    sinks: &mut [&mut dyn ResultSink],
+    resume: Option<Checkpoint>,
+) -> Result<EngineOutcome, EngineError> {
+    run_transport_obs(transport, config, sinks, resume, &NullSubscriber)
+}
 
-        // The live snapshot IS the engine state: constant-size aggregates
-        // plus the completed-id bitmap. No record is retained here.
-        let mut live = match resume {
-            Some(ck) => {
-                ck.ensure_matches(seed, population, shard)
-                    .map_err(EngineError::CheckpointMismatch)?;
-                telemetry.observe_resumed(&ck.aggregates);
-                let counts = crate::telemetry::resumed_counts(&ck.aggregates);
-                obs.on_census_resumed(&CensusResumed {
-                    records: counts.records,
-                    identified: counts.identified,
-                    special: counts.special,
-                    unsure: counts.unsure,
-                    invalid: counts.invalid,
-                });
-                ck
-            }
-            None => Checkpoint::new(seed, population, shard),
-        };
-        let mut done = live.completed_count();
+/// [`run_transport`] with a structured-event subscriber (see
+/// [`CensusEngine::run_obs`] for what the engine itself emits; the
+/// transport adds its own events — e.g. `caai-net`'s session lifecycle).
+pub fn run_transport_obs<T: ProbeTransport, S: Subscriber>(
+    transport: &T,
+    config: &EngineConfig,
+    sinks: &mut [&mut dyn ResultSink],
+    resume: Option<Checkpoint>,
+    obs: &S,
+) -> Result<EngineOutcome, EngineError> {
+    if config.progress_every > 0 {
+        let stage = StageTimer::default();
+        run_transport_inner(
+            transport,
+            config,
+            sinks,
+            resume,
+            &(&stage, obs),
+            Some(&stage),
+        )
+    } else {
+        run_transport_inner(transport, config, sinks, resume, obs, None)
+    }
+}
 
-        // Work list: indices of owned servers without a record yet (u32,
-        // like the ids — this is the largest engine-owned allocation).
-        let pending: Vec<u32> = servers
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| shard.owns(s.id) && !live.completed.contains(s.id))
-            .map(|(i, _)| i as u32)
-            .collect();
+fn run_transport_inner<T: ProbeTransport, S: Subscriber>(
+    transport: &T,
+    config: &EngineConfig,
+    sinks: &mut [&mut dyn ResultSink],
+    resume: Option<Checkpoint>,
+    obs: &S,
+    stage: Option<&StageTimer>,
+) -> Result<EngineOutcome, EngineError> {
+    let seed = config.seed;
+    let shard = config.shard;
+    shard.validate().map_err(EngineError::Config)?;
+    let population = transport.population();
+    if population > u64::from(u32::MAX) {
+        return Err(EngineError::Config(format!(
+            "population {population} exceeds the u32 id space"
+        )));
+    }
+    let owned_total = shard.owned_count(population);
+    let telemetry = Telemetry::new(owned_total);
+    let started = Instant::now();
 
-        let scheduler = BatchScheduler::new(pending.len(), self.config.batch_size);
-        let stop = AtomicBool::new(false);
-        let workers = self.config.workers.max(1).min(pending.len().max(1));
-        // Both queues are bounded: when the coordinator stalls (e.g.
-        // blocked on a full sink queue), workers block in send instead of
-        // growing an O(records) backlog.
-        let queue = self.config.sink_queue.max(1);
-        let (tx, rx) = mpsc::sync_channel::<CensusRecord>(queue);
-        let (sink_tx, sink_rx) = mpsc::sync_channel::<SinkMsg>(queue);
-
-        let mut run_error: Option<EngineError> = None;
-        let mut since_checkpoint: u64 = 0;
-        let mut last_written: Option<u64> = None;
-        let mut checkpoints_written: u64 = 0;
-        let mut budget_hit = false;
-
-        let sink_result = std::thread::scope(|scope| {
-            // Dedicated sink thread: drains the bounded queue so slow
-            // sinks never stall the coordinator below.
-            let sink_thread = scope.spawn(move || -> io::Result<()> {
-                for msg in &sink_rx {
-                    match msg {
-                        SinkMsg::Record(record) => {
-                            for sink in sinks.iter_mut() {
-                                sink.emit(&record)?;
-                            }
-                        }
-                        SinkMsg::Flush(ack) => {
-                            for sink in sinks.iter_mut() {
-                                sink.flush()?;
-                            }
-                            // The coordinator may have given up waiting.
-                            let _ = ack.send(());
-                        }
-                    }
-                }
-                for sink in sinks.iter_mut() {
-                    sink.flush()?;
-                }
-                Ok(())
+    // The live snapshot IS the engine state: constant-size aggregates
+    // plus the completed-id bitmap. No record is retained here.
+    let mut live = match resume {
+        Some(ck) => {
+            ck.ensure_matches(seed, population, shard)
+                .map_err(EngineError::CheckpointMismatch)?;
+            telemetry.observe_resumed(&ck.aggregates);
+            let counts = crate::telemetry::resumed_counts(&ck.aggregates);
+            obs.on_census_resumed(&CensusResumed {
+                records: counts.records,
+                identified: counts.identified,
+                special: counts.special,
+                unsure: counts.unsure,
+                invalid: counts.invalid,
             });
+            ck
+        }
+        None => Checkpoint::new(seed, population, shard),
+    };
+    let mut done = live.completed_count();
 
-            for _ in 0..workers {
-                let tx = tx.clone();
-                let pending = &pending;
-                let scheduler = &scheduler;
-                let stop = &stop;
-                let census = &self.census;
-                scope.spawn(move || {
-                    'claim: while let Some(batch) = scheduler.next_batch() {
-                        for i in batch {
-                            if stop.load(Ordering::Relaxed) {
-                                break 'claim;
-                            }
-                            let server = &servers[pending[i] as usize];
-                            let record = census.probe_seeded_obs(server, seed, obs);
-                            if tx.send(record).is_err() {
-                                break 'claim;
-                            }
+    // Work list: ids of owned servers without a record yet (u32 — this
+    // is the largest engine-owned allocation).
+    let pending: Vec<u32> = (0..population as u32)
+        .filter(|&id| shard.owns(id) && !live.completed.contains(id))
+        .collect();
+
+    let scheduler = BatchScheduler::new(pending.len(), config.batch_size);
+    let stop = AtomicBool::new(false);
+    let workers = config.workers.max(1).min(pending.len().max(1));
+    // Both queues are bounded: when the coordinator stalls (e.g.
+    // blocked on a full sink queue), workers block in send instead of
+    // growing an O(records) backlog.
+    let queue = config.sink_queue.max(1);
+    let (tx, rx) = mpsc::sync_channel::<CensusRecord>(queue);
+    let (sink_tx, sink_rx) = mpsc::sync_channel::<SinkMsg>(queue);
+
+    let mut run_error: Option<EngineError> = None;
+    let mut since_checkpoint: u64 = 0;
+    let mut last_written: Option<u64> = None;
+    let mut checkpoints_written: u64 = 0;
+    let mut budget_hit = false;
+
+    let sink_result = std::thread::scope(|scope| {
+        // Dedicated sink thread: drains the bounded queue so slow
+        // sinks never stall the coordinator below.
+        let sink_thread = scope.spawn(move || -> io::Result<()> {
+            for msg in &sink_rx {
+                match msg {
+                    SinkMsg::Record(record) => {
+                        for sink in sinks.iter_mut() {
+                            sink.emit(&record)?;
                         }
                     }
-                });
-            }
-            drop(tx);
-
-            // Coordinator: fold aggregates, mark the bitmap, forward to
-            // the sink thread, checkpoint, and enforce the budget.
-            for record in &rx {
-                if run_error.is_some() {
-                    // Drain remaining in-flight records without folding.
-                    continue;
-                }
-                telemetry.observe(&record, false);
-                live.observe(&record);
-                obs.on_census_record_observed(&CensusRecordObserved {
-                    verdict: record.verdict.kind(),
-                    wmax: record.verdict.wmax(),
-                });
-                done += 1;
-                since_checkpoint += 1;
-
-                let mut sink_dead = sink_tx.send(SinkMsg::Record(record)).is_err();
-                if sink_dead {
-                    // The sink thread bailed; its error surfaces at join.
-                    stop.store(true, Ordering::Relaxed);
-                }
-                if self.config.progress_every > 0 && done.is_multiple_of(self.config.progress_every)
-                {
-                    eprintln!("census: {}", telemetry.snapshot());
-                    if let Some(line) = stage.and_then(StageTimer::line) {
-                        eprintln!("census: {line}");
-                    }
-                }
-                if !sink_dead
-                    && self.config.checkpoint_path.is_some()
-                    && since_checkpoint >= self.config.checkpoint_every
-                {
-                    since_checkpoint = 0;
-                    // Write barrier: every record in this checkpoint must
-                    // already be flushed through the sinks.
-                    sink_dead = !sync_sinks(&sink_tx);
-                    if sink_dead {
-                        stop.store(true, Ordering::Relaxed);
-                    } else {
-                        match self.save_checkpoint(&live) {
-                            Ok(()) => {
-                                last_written = Some(done);
-                                checkpoints_written += 1;
-                                obs.on_checkpoint_written(&CheckpointWritten { records: done });
-                            }
-                            Err(e) => {
-                                run_error = Some(e);
-                                stop.store(true, Ordering::Relaxed);
-                            }
+                    SinkMsg::Flush(ack) => {
+                        for sink in sinks.iter_mut() {
+                            sink.flush()?;
                         }
+                        // The coordinator may have given up waiting.
+                        let _ = ack.send(());
                     }
                 }
-                if !budget_hit && self.config.budget.exhausted(telemetry.probed(), started) {
-                    budget_hit = true;
-                    stop.store(true, Ordering::Relaxed);
-                }
             }
-
-            drop(sink_tx);
-            sink_thread.join().expect("sink thread panicked")
+            for sink in sinks.iter_mut() {
+                sink.flush()?;
+            }
+            Ok(())
         });
 
-        if let Some(e) = run_error {
-            return Err(e);
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let pending = &pending;
+            let scheduler = &scheduler;
+            let stop = &stop;
+            scope.spawn(move || {
+                'claim: while let Some(batch) = scheduler.next_batch() {
+                    for i in batch {
+                        if stop.load(Ordering::Relaxed) {
+                            break 'claim;
+                        }
+                        let id = pending[i];
+                        let record = transport.probe(id, seed, obs);
+                        debug_assert_eq!(
+                            record.server_id, id,
+                            "transport contract: probe(id) returns that id's record"
+                        );
+                        if tx.send(record).is_err() {
+                            break 'claim;
+                        }
+                    }
+                }
+            });
         }
-        sink_result?;
-        // Final checkpoint — skipped when it would be byte-identical to
-        // the last one written (no new records completed since).
-        if self.config.checkpoint_path.is_some() && last_written != Some(done) {
-            self.save_checkpoint(&live)?;
-            checkpoints_written += 1;
-            obs.on_checkpoint_written(&CheckpointWritten { records: done });
+        drop(tx);
+
+        // Coordinator: fold aggregates, mark the bitmap, forward to
+        // the sink thread, checkpoint, and enforce the budget.
+        for record in &rx {
+            if run_error.is_some() {
+                // Drain remaining in-flight records without folding.
+                continue;
+            }
+            telemetry.observe(&record, false);
+            live.observe(&record);
+            obs.on_census_record_observed(&CensusRecordObserved {
+                verdict: record.verdict.kind(),
+                wmax: record.verdict.wmax(),
+            });
+            done += 1;
+            since_checkpoint += 1;
+
+            let mut sink_dead = sink_tx.send(SinkMsg::Record(record)).is_err();
+            if sink_dead {
+                // The sink thread bailed; its error surfaces at join.
+                stop.store(true, Ordering::Relaxed);
+            }
+            if config.progress_every > 0 && done.is_multiple_of(config.progress_every) {
+                eprintln!("census: {}", telemetry.snapshot());
+                if let Some(line) = stage.and_then(StageTimer::line) {
+                    eprintln!("census: {line}");
+                }
+            }
+            if !sink_dead
+                && config.checkpoint_path.is_some()
+                && since_checkpoint >= config.checkpoint_every
+            {
+                since_checkpoint = 0;
+                // Write barrier: every record in this checkpoint must
+                // already be flushed through the sinks.
+                sink_dead = !sync_sinks(&sink_tx);
+                if sink_dead {
+                    stop.store(true, Ordering::Relaxed);
+                } else {
+                    match save_checkpoint(config, &live) {
+                        Ok(()) => {
+                            last_written = Some(done);
+                            checkpoints_written += 1;
+                            obs.on_checkpoint_written(&CheckpointWritten { records: done });
+                        }
+                        Err(e) => {
+                            run_error = Some(e);
+                            stop.store(true, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+            if !budget_hit && config.budget.exhausted(telemetry.probed(), started) {
+                budget_hit = true;
+                stop.store(true, Ordering::Relaxed);
+            }
         }
 
-        let completed = done == owned_total;
-        let stats = telemetry.snapshot();
-        Ok(EngineOutcome {
-            report: live.aggregates.report(),
-            stats,
-            completed,
-            stop: if completed {
-                StopCause::Completed
-            } else {
-                StopCause::BudgetExhausted
-            },
-            checkpoints_written,
-        })
+        drop(sink_tx);
+        sink_thread.join().expect("sink thread panicked")
+    });
+
+    if let Some(e) = run_error {
+        return Err(e);
+    }
+    sink_result?;
+    // Final checkpoint — skipped when it would be byte-identical to
+    // the last one written (no new records completed since).
+    if config.checkpoint_path.is_some() && last_written != Some(done) {
+        save_checkpoint(config, &live)?;
+        checkpoints_written += 1;
+        obs.on_checkpoint_written(&CheckpointWritten { records: done });
     }
 
-    fn save_checkpoint(&self, live: &Checkpoint) -> Result<(), EngineError> {
-        let path = self
-            .config
-            .checkpoint_path
-            .as_ref()
-            .expect("save_checkpoint called without a checkpoint path");
-        live.save(path)?;
-        Ok(())
-    }
+    let completed = done == owned_total;
+    let stats = telemetry.snapshot();
+    Ok(EngineOutcome {
+        report: live.aggregates.report(),
+        stats,
+        completed,
+        stop: if completed {
+            StopCause::Completed
+        } else {
+            StopCause::BudgetExhausted
+        },
+        checkpoints_written,
+    })
+}
+
+fn save_checkpoint(config: &EngineConfig, live: &Checkpoint) -> Result<(), EngineError> {
+    let path = config
+        .checkpoint_path
+        .as_ref()
+        .expect("save_checkpoint called without a checkpoint path");
+    live.save(path)?;
+    Ok(())
 }
 
 /// Engine-internal subscriber behind the stage-timing progress line:

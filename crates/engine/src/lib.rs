@@ -78,7 +78,10 @@ pub mod telemetry;
 pub use bitmap::IdBitmap;
 pub use budget::Budget;
 pub use checkpoint::Checkpoint;
-pub use engine::{CensusEngine, EngineConfig, EngineError, EngineOutcome, StopCause};
+pub use engine::{
+    run_transport, run_transport_obs, CensusEngine, EngineConfig, EngineError, EngineOutcome,
+    StopCause,
+};
 pub use merge::{merge_pieces, MergeError, MergedCensus, ShardPiece};
 pub use scheduler::BatchScheduler;
 pub use shard::ShardSpec;

@@ -103,7 +103,12 @@ pub fn fuzz(config: &FuzzConfig, mut progress: impl FnMut(u64, u64, usize)) -> F
         mutate::mutate(&mut input, &seed_set[other].bytes, &mut rng);
         input.truncate(config.max_len);
 
-        let mut plan = vec![Target::Offline, Target::Stream];
+        let mut plan = vec![
+            Target::Offline,
+            Target::Stream,
+            Target::NetTargets,
+            Target::NetFrames,
+        ];
         if config.pipeline_every > 0 && iter % config.pipeline_every == 0 {
             plan.push(Target::Pipeline);
         }

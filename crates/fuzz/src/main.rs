@@ -144,7 +144,13 @@ fn cmd_replay(args: &[String]) -> ExitCode {
 
 fn replay_one(targets: &Targets, path: &Path) -> Result<(), String> {
     let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
-    for target in [Target::Offline, Target::Stream, Target::Pipeline] {
+    for target in [
+        Target::Offline,
+        Target::Stream,
+        Target::Pipeline,
+        Target::NetTargets,
+        Target::NetFrames,
+    ] {
         for workers in [1usize, 2] {
             targets
                 .run(target, &bytes, workers)

@@ -10,10 +10,14 @@
 use caai_capture::reassemble;
 use caai_capture::reconstruct::{observe_connection, session_outcome, sessions};
 use caai_capture::DEFAULT_LADDER;
+use caai_congestion::AlgorithmId;
 use caai_core::classes::label_names;
 use caai_core::features::FEATURE_DIM;
+use caai_core::prober::ProberConfig;
 use caai_core::CaaiClassifier;
 use caai_ml::{Dataset, RandomForestConfig};
+use caai_net::frame::{ClientFrame, FrameDecoder, ServerFrame};
+use caai_net::{parse_targets, LadderCore, ServerCore, ServerProfile, Step};
 use caai_netem::rng::seeded;
 use caai_stream::source::{CaptureSource, PcapStream, SourceItem, StallPolicy};
 use caai_stream::{identify_bytes, StreamConfig};
@@ -31,6 +35,13 @@ pub enum Target {
     Stream,
     /// The full multi-worker streaming pipeline with a live classifier.
     Pipeline,
+    /// `host:port` target-list ingestion (mutated text: every line must
+    /// parse or skip with an in-range 1-based diagnostic, never panic).
+    NetTargets,
+    /// The virtual-time wire protocol: mutated bytes decoded as server
+    /// frames into a [`LadderCore`] ladder walk, and as client frames
+    /// into a tcpsim-backed [`ServerCore`].
+    NetFrames,
 }
 
 impl Target {
@@ -39,6 +50,8 @@ impl Target {
             Target::Offline => "offline",
             Target::Stream => "stream",
             Target::Pipeline => "pipeline",
+            Target::NetTargets => "net-targets",
+            Target::NetFrames => "net-frames",
         }
     }
 }
@@ -62,6 +75,8 @@ impl Targets {
             Target::Offline => drive_offline(bytes),
             Target::Stream => drive_stream(bytes),
             Target::Pipeline => self.drive_pipeline(bytes, workers),
+            Target::NetTargets => drive_net_targets(bytes),
+            Target::NetFrames => drive_net_frames(bytes),
         });
         catch_unwind(job).map_err(|payload| {
             if let Some(s) = payload.downcast_ref::<&str>() {
@@ -138,6 +153,68 @@ pub fn drive_identify(classifier: &CaaiClassifier, bytes: &[u8]) {
     let _ = identify_bytes(bytes, classifier, None);
 }
 
+/// Target-list ingestion over mutated text: skip-and-report is the
+/// contract; a panic, or a diagnostic pointing outside the input, is a
+/// finding.
+fn drive_net_targets(bytes: &[u8]) {
+    let text = String::from_utf8_lossy(bytes);
+    let list = parse_targets(&text);
+    let lines = text.lines().count();
+    for skipped in &list.skipped {
+        assert!(
+            (1..=lines.max(1)).contains(&skipped.line),
+            "skip diagnostic names line {} of a {lines}-line input",
+            skipped.line
+        );
+    }
+    for target in &list.targets {
+        assert!((1..=65535).contains(&target.port));
+    }
+}
+
+/// The wire protocol under mutation. Both endpoints must reduce hostile
+/// frame streams to decode errors or protocol violations — the ladder
+/// walk and the tcpsim replay must never panic, whatever arrives.
+fn drive_net_frames(bytes: &[u8]) {
+    // Client side: mutated bytes as the server's half of the dialogue.
+    let mut client = LadderCore::new(ProberConfig::default());
+    if matches!(client.start(), Step::Connect) {
+        let _ = client.on_connected();
+    }
+    let mut decoder = FrameDecoder::new();
+    decoder.push(bytes);
+    'client: while let Ok(Some(frame)) = decoder.next::<ServerFrame>() {
+        match client.on_frame(&frame) {
+            Err(_) => break 'client,
+            Ok(next) => {
+                let mut step = next;
+                // Walk non-blocking transitions so later frames land in
+                // deeper ladder states.
+                loop {
+                    match step {
+                        Step::Connect => step = client.on_connected(),
+                        Step::Send {
+                            close_after: true, ..
+                        } => step = client.on_closed(),
+                        Step::Send { .. } => break,
+                        Step::Done(_) => break 'client,
+                    }
+                }
+            }
+        }
+    }
+
+    // Server side: mutated bytes as the client's half.
+    let mut server = ServerCore::new(ServerProfile::ideal(AlgorithmId::Reno));
+    let mut decoder = FrameDecoder::new();
+    decoder.push(bytes);
+    while let Ok(Some(frame)) = decoder.next::<ClientFrame>() {
+        if server.on_frame(&frame).is_err() {
+            break;
+        }
+    }
+}
+
 /// The cheapest forest that satisfies the classifier's 15-class
 /// contract: one synthetic feature vector per class, three trees. The
 /// fuzzer only needs *a* classifier on the pipeline's hot path — its
@@ -173,7 +250,13 @@ mod tests {
     fn all_targets_accept_all_seeds() {
         let targets = Targets::new();
         for seed in build_seeds() {
-            for t in [Target::Offline, Target::Stream, Target::Pipeline] {
+            for t in [
+                Target::Offline,
+                Target::Stream,
+                Target::Pipeline,
+                Target::NetTargets,
+                Target::NetFrames,
+            ] {
                 targets
                     .run(t, &seed.bytes, 2)
                     .unwrap_or_else(|m| panic!("seed {} panicked {}: {m}", seed.name, t.name()));
@@ -185,7 +268,13 @@ mod tests {
     fn garbage_is_rejected_without_panicking() {
         let targets = Targets::new();
         let garbage: Vec<u8> = (0..4096u32).map(|i| (i * 31 % 251) as u8).collect();
-        for t in [Target::Offline, Target::Stream, Target::Pipeline] {
+        for t in [
+            Target::Offline,
+            Target::Stream,
+            Target::Pipeline,
+            Target::NetTargets,
+            Target::NetFrames,
+        ] {
             targets.run(t, &garbage, 1).expect("garbage must not panic");
         }
     }

@@ -1,0 +1,847 @@
+//! Sans-IO protocol cores: the ladder client and the emulated server.
+//!
+//! Both ends of the probe wire protocol live here as pure state
+//! machines — frames in, frames out, no sockets, no clocks. The reactor
+//! drives [`LadderCore`] over real sockets;
+//! [`EmulatedServer`](crate::emulated::EmulatedServer) drives
+//! [`ServerCore`] over loopback listeners; the in-memory tests drive
+//! both against each other and pin the result to
+//! [`Prober::gather`](caai_core::prober::Prober::gather) byte for
+//! byte. One implementation of the §IV ladder logic, three harnesses.
+//!
+//! [`LadderCore`] is a line-faithful transliteration of
+//! `Prober::gather_trace_inner` over a clean path (no loss, duplication
+//! or reordering — the loopback wire *is* clean): same round
+//! accounting, same stall early-exit, same F-RTO duplicate ACK, same
+//! ladder descent rules. Where the simulator indexes arithmetic that a
+//! hostile peer could overflow (sequence numbers arrive off the wire
+//! here), the mirror saturates instead; on honest inputs the branches
+//! are identical.
+//!
+//! [`ServerCore`] mirrors `ServerUnderTest` with one deliberate
+//! difference: every connection gets a *fresh* ssthresh cache instead
+//! of a shared one. The prober's `inter_connection_wait` (630 s)
+//! strictly exceeds the cache TTL (600 s), so the simulator's shared
+//! cache is always expired by the next connection anyway — a fresh
+//! cache reproduces the default configuration exactly while keeping
+//! emulated connections independent (they may interleave on one
+//! listener).
+
+use caai_congestion::AlgorithmId;
+use caai_core::{GatherOutcome, InvalidReason, ProberConfig, TracePair, WindowTrace};
+use caai_netem::{EnvironmentId, Phase, RttSchedule};
+use caai_tcpsim::{AckPacket, ServerConfig, SsthreshCache, TcpServer};
+use caai_webmodel::WebServer;
+use std::fmt;
+
+use crate::frame::{ClientFrame, ServerFrame, MAX_BURST_SEQS};
+
+/// A peer violated the probe protocol (frame out of state, clock moving
+/// backwards, absurd field values). The connection is unusable after
+/// one of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// What the peer did wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.reason)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn violation(reason: impl Into<String>) -> ProtocolError {
+    ProtocolError {
+        reason: reason.into(),
+    }
+}
+
+/// Enforces the monotone virtual clock, advancing `last` on success.
+fn clock(last: &mut f64, now: f64, what: &str) -> Result<f64, ProtocolError> {
+    if now < *last {
+        return Err(violation(format!(
+            "{what} moved the virtual clock backwards ({now} < {last})"
+        )));
+    }
+    *last = now;
+    Ok(now)
+}
+
+// ---------------------------------------------------------------------
+// Server side
+// ---------------------------------------------------------------------
+
+/// Everything the emulated server side needs to impersonate one web
+/// server: the mirror of `ServerUnderTest`'s construction.
+#[derive(Debug, Clone)]
+pub struct ServerProfile {
+    /// The congestion control algorithm under test.
+    pub algorithm: AlgorithmId,
+    /// Base sender configuration; `mss` is overridden per connection by
+    /// the MSS negotiation.
+    pub config: ServerConfig,
+    /// Data budget in bytes per connection (page size × honoured
+    /// pipelined requests); converted to packets at the granted MSS.
+    pub budget_bytes: u64,
+    /// Smallest MSS the server will grant (Table II).
+    pub min_mss: u32,
+}
+
+impl ServerProfile {
+    /// An ideal lab server: unlimited data, no quirks, no F-RTO — the
+    /// paper's testbed configuration (§VII-A).
+    pub fn ideal(algorithm: AlgorithmId) -> Self {
+        ServerProfile {
+            algorithm,
+            config: ServerConfig::ideal(),
+            budget_bytes: u64::MAX / 4,
+            min_mss: 1,
+        }
+    }
+
+    /// Impersonates a synthetic census server (same construction as
+    /// `ServerUnderTest::from_web_server`).
+    pub fn from_web_server(server: &WebServer) -> Self {
+        let honoured = server
+            .requests
+            .honoured(caai_webmodel::http::CAAI_PIPELINE_DEPTH);
+        ServerProfile {
+            algorithm: server.effective_algorithm(),
+            config: server.server_config(100),
+            budget_bytes: server.pages.connection_budget_bytes(honoured),
+            min_mss: server.mss_policy.min_mss,
+        }
+    }
+
+    /// The MSS granted when the prober proposes `proposed`.
+    pub fn granted_mss(&self, proposed: u32) -> u32 {
+        proposed.max(self.min_mss)
+    }
+}
+
+/// What the server side wants done after handling one client frame.
+#[derive(Debug, Default)]
+pub struct Reply {
+    /// Frames to write back, in order.
+    pub frames: Vec<ServerFrame>,
+    /// Close the connection after writing them.
+    pub close: bool,
+}
+
+enum ServerState {
+    AwaitHello,
+    Open {
+        conn: Box<TcpServer>,
+        server_cum: u64,
+    },
+    Closed,
+}
+
+/// Sanity cap on `RtoWait::max_waits`: the ladder uses 2, anything past
+/// this is a hostile frame trying to spin the RTO loop.
+const MAX_RTO_WAITS_CAP: u32 = 1024;
+
+/// The emulated server's protocol state machine: one instance per
+/// accepted connection.
+pub struct ServerCore {
+    profile: ServerProfile,
+    state: ServerState,
+    /// Last virtual clock seen; the client's clock must be monotone.
+    last_now: f64,
+}
+
+impl ServerCore {
+    /// A fresh connection impersonating `profile`.
+    pub fn new(profile: ServerProfile) -> Self {
+        ServerCore {
+            profile,
+            state: ServerState::AwaitHello,
+            last_now: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Handles one decoded client frame.
+    pub fn on_frame(&mut self, frame: &ClientFrame) -> Result<Reply, ProtocolError> {
+        match (&mut self.state, frame) {
+            (ServerState::AwaitHello, ClientFrame::Hello { proposed_mss, now }) => {
+                let now = clock(&mut self.last_now, *now, "Hello")?;
+                let granted = self.profile.granted_mss(*proposed_mss);
+                let config = ServerConfig {
+                    mss: granted,
+                    ..self.profile.config
+                };
+                let budget = (self.profile.budget_bytes / u64::from(granted.max(1))).max(1);
+                // Fresh cache per connection: see the module docs for why
+                // this matches the simulator's expired shared cache.
+                let cache = SsthreshCache::new();
+                let conn = TcpServer::connect(self.profile.algorithm, config, budget, &cache, now);
+                self.state = ServerState::Open {
+                    conn: Box::new(conn),
+                    server_cum: 0,
+                };
+                Ok(Reply {
+                    frames: vec![ServerFrame::Welcome {
+                        granted_mss: granted,
+                    }],
+                    close: false,
+                })
+            }
+            (ServerState::Open { conn, .. }, ClientFrame::Xmit { now, horizon }) => {
+                if *horizon < *now {
+                    return Err(violation(format!(
+                        "Xmit horizon {horizon} precedes its clock {now}"
+                    )));
+                }
+                let now = clock(&mut self.last_now, *now, "Xmit")?;
+                let segs = conn.transmit(now);
+                if segs.is_empty() {
+                    if conn.finished() {
+                        self.state = ServerState::Closed;
+                        return Ok(Reply {
+                            frames: vec![ServerFrame::Burst {
+                                done: true,
+                                seqs: vec![],
+                            }],
+                            close: true,
+                        });
+                    }
+                    // All ACKs of the previous round were lost from the
+                    // server's point of view: fire its own RTO when the
+                    // deadline falls inside the round.
+                    if let Some(deadline) = conn.rto_deadline() {
+                        if deadline <= *horizon {
+                            conn.fire_rto(deadline.max(now));
+                        }
+                    }
+                    return Ok(Reply {
+                        frames: vec![ServerFrame::Burst {
+                            done: false,
+                            seqs: vec![],
+                        }],
+                        close: false,
+                    });
+                }
+                debug_assert!(
+                    segs.len() <= MAX_BURST_SEQS,
+                    "window beyond any real ladder"
+                );
+                Ok(Reply {
+                    frames: vec![ServerFrame::Burst {
+                        done: false,
+                        seqs: segs.iter().map(|s| s.seq).collect(),
+                    }],
+                    close: false,
+                })
+            }
+            (ServerState::Open { conn, server_cum }, ClientFrame::Ack { now, cum_ack, rtt }) => {
+                let now = clock(&mut self.last_now, *now, "Ack")?;
+                // Mirrors the prober-side `deliver_ack` (no defense): a
+                // zero-RTT ACK is the F-RTO counter-measure duplicate and
+                // always goes through; a cumulative ACK only counts when
+                // it advances.
+                if *rtt == 0.0 {
+                    conn.on_ack(now, AckPacket::duplicate(*cum_ack));
+                } else if *cum_ack > *server_cum {
+                    *server_cum = *cum_ack;
+                    conn.on_ack(
+                        now,
+                        AckPacket {
+                            cum_ack: *cum_ack,
+                            rtt: *rtt,
+                        },
+                    );
+                }
+                Ok(Reply::default())
+            }
+            (ServerState::Open { conn, .. }, ClientFrame::RtoWait { now, max_waits }) => {
+                if *max_waits > MAX_RTO_WAITS_CAP {
+                    return Err(violation(format!(
+                        "RtoWait max_waits {max_waits} exceeds the cap of {MAX_RTO_WAITS_CAP}"
+                    )));
+                }
+                let mut t = clock(&mut self.last_now, *now, "RtoWait")?;
+                let mut responded = false;
+                for _ in 0..=*max_waits {
+                    let Some(deadline) = conn.rto_deadline() else {
+                        break;
+                    };
+                    t = t.max(deadline);
+                    if conn.fire_rto(t) {
+                        responded = true;
+                        break;
+                    }
+                }
+                self.last_now = t;
+                Ok(Reply {
+                    frames: vec![ServerFrame::RtoResult { responded, now: t }],
+                    close: false,
+                })
+            }
+            (ServerState::AwaitHello, f) => Err(violation(format!("{f:?} before Hello"))),
+            (ServerState::Open { .. }, ClientFrame::Hello { .. }) => {
+                Err(violation("second Hello on an open connection"))
+            }
+            (ServerState::Closed, f) => Err(violation(format!("{f:?} after close"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Client side
+// ---------------------------------------------------------------------
+
+/// What the transport driving a [`LadderCore`] must do next.
+#[derive(Debug, PartialEq)]
+pub enum Step {
+    /// Open a (new) connection to the target, then call
+    /// [`LadderCore::on_connected`].
+    Connect,
+    /// Write `frames`; then either close the connection and call
+    /// [`LadderCore::on_closed`] (`close_after`), or wait for the next
+    /// server frame and feed it to [`LadderCore::on_frame`].
+    Send {
+        /// Virtual seconds this round spans — the transport may stretch
+        /// this into real time (`--pace`) to approximate live RTT
+        /// pacing; zero means proceed immediately. Correctness never
+        /// depends on it: the virtual clock rides in the frames.
+        pace: f64,
+        /// Frames to write, in order.
+        frames: Vec<ClientFrame>,
+        /// Close after writing instead of awaiting a reply.
+        close_after: bool,
+    },
+    /// The ladder walk is complete.
+    Done(Box<GatherOutcome>),
+}
+
+/// One finished rung attempt, for observability replay: the fields of
+/// `caai-obs`'s `RungAttemptEnded`, recorded because the core itself
+/// cannot hold a subscriber (it crosses the reactor thread).
+#[derive(Debug, Clone)]
+pub struct RungRecord {
+    /// Which emulated environment.
+    pub env: EnvironmentId,
+    /// The `w_max` rung.
+    pub wmax: u32,
+    /// Rounds gathered (pre + post).
+    pub rounds: u32,
+    /// Whether the attempt produced a valid trace.
+    pub valid: bool,
+    /// Whether the Fig. 13 stall early-exit fired.
+    pub stalled: bool,
+    /// Why the trace is invalid, when it is.
+    pub invalid_reason: Option<&'static str>,
+}
+
+enum AttemptPhase {
+    AwaitWelcome,
+    Pre,
+    AwaitRto,
+    Post,
+}
+
+struct Attempt {
+    env: EnvironmentId,
+    schedule: RttSchedule,
+    wmax: u32,
+    trace: WindowTrace,
+    phase: AttemptPhase,
+    prev_seqmax: i64,
+    prober_cum: u64,
+    best_w: u32,
+    stalled: u32,
+    stall_exited: bool,
+    /// Current 1-based round whose `Xmit` is outstanding.
+    round: u32,
+    post_round: u32,
+    first_post_round: bool,
+}
+
+impl Attempt {
+    fn new(env: EnvironmentId, wmax: u32) -> Self {
+        Attempt {
+            env,
+            schedule: RttSchedule::new(env),
+            wmax,
+            trace: WindowTrace {
+                env,
+                wmax_threshold: wmax,
+                mss: 0,
+                pre: Vec::new(),
+                post: Vec::new(),
+                invalid: None,
+            },
+            phase: AttemptPhase::AwaitWelcome,
+            prev_seqmax: -1,
+            prober_cum: 0,
+            best_w: 0,
+            stalled: 0,
+            stall_exited: false,
+            round: 1,
+            post_round: 1,
+            first_post_round: true,
+        }
+    }
+
+    /// §IV-D window measurement, saturating where the simulator can
+    /// trust its own arithmetic but a wire peer cannot be trusted.
+    fn measure(&mut self, seqs: &[u64]) -> u32 {
+        let Some(seqmax) = seqs.iter().copied().max() else {
+            return 0;
+        };
+        let seqmax = seqmax.min(i64::MAX as u64) as i64;
+        let w = seqmax.saturating_sub(self.prev_seqmax).max(0);
+        if seqmax > self.prev_seqmax {
+            self.prev_seqmax = seqmax;
+        }
+        w.min(u32::MAX as i64) as u32
+    }
+
+    /// §IV-C cumulative ACKs "as if there is no packet loss".
+    fn build_acks(&mut self, seqs: &[u64], now: f64, rtt: f64) -> Vec<ClientFrame> {
+        let mut acks = Vec::with_capacity(seqs.len());
+        for &seq in seqs {
+            let cum = seq.saturating_add(1).max(self.prober_cum);
+            if cum > self.prober_cum {
+                self.prober_cum = cum;
+                acks.push(ClientFrame::Ack {
+                    now,
+                    cum_ack: cum,
+                    rtt,
+                });
+            }
+        }
+        acks
+    }
+}
+
+/// The ladder walk of `Prober::gather` as a sans-IO state machine.
+///
+/// Drive it with the [`Step`]s it returns; feed it connection lifecycle
+/// events and decoded server frames. [`abort`](LadderCore::abort)
+/// reduces any transport failure to a [`GatherOutcome`] whose dominant
+/// failure reason is [`InvalidReason::TransportAborted`].
+pub struct LadderCore {
+    config: ProberConfig,
+    ladder_idx: usize,
+    now: f64,
+    trace_a: Option<WindowTrace>,
+    failed: Vec<WindowTrace>,
+    rungs: Vec<RungRecord>,
+    attempt: Option<Attempt>,
+    /// The attempt whose closing `Send` is in flight, awaiting
+    /// [`on_closed`](LadderCore::on_closed).
+    closing: Option<WindowTrace>,
+    /// A server frame is expected (an un-asked-for frame is a protocol
+    /// violation).
+    awaiting: bool,
+    done: bool,
+}
+
+impl LadderCore {
+    /// A ladder walk with the given prober configuration.
+    ///
+    /// # Panics
+    ///
+    /// If the configuration carries a traffic-analysis defense: defenses
+    /// transform *simulated* wire bursts and have no real-socket
+    /// equivalent here.
+    pub fn new(config: ProberConfig) -> Self {
+        assert!(
+            config.defense.is_none(),
+            "the network transport cannot emulate a server-side defense"
+        );
+        LadderCore {
+            config,
+            ladder_idx: 0,
+            now: 0.0,
+            trace_a: None,
+            failed: Vec::new(),
+            rungs: Vec::new(),
+            attempt: None,
+            closing: None,
+            awaiting: false,
+            done: false,
+        }
+    }
+
+    /// Starts the walk: the first [`Step`] to execute.
+    pub fn start(&mut self) -> Step {
+        match self.config.wmax_ladder.first() {
+            Some(&wmax) => {
+                self.attempt = Some(Attempt::new(EnvironmentId::A, wmax));
+                Step::Connect
+            }
+            None => self.finish(),
+        }
+    }
+
+    /// Rung attempt records for observability replay (one per finished
+    /// attempt, in order).
+    pub fn rungs(&self) -> &[RungRecord] {
+        &self.rungs
+    }
+
+    /// The connection requested by [`Step::Connect`] is established.
+    pub fn on_connected(&mut self) -> Step {
+        debug_assert!(self.attempt.is_some() && !self.awaiting);
+        self.awaiting = true;
+        Step::Send {
+            pace: 0.0,
+            frames: vec![ClientFrame::Hello {
+                proposed_mss: self.config.proposed_mss,
+                now: self.now,
+            }],
+            close_after: false,
+        }
+    }
+
+    /// The close requested by a `close_after` [`Step::Send`] completed.
+    pub fn on_closed(&mut self) -> Step {
+        let trace = self
+            .closing
+            .take()
+            .expect("on_closed without a closing attempt");
+        // The inter-connection wait defeats ssthresh caching (§IV-C); it
+        // advances the *virtual* clock only — the transport never sleeps
+        // 630 real seconds (see `Step::Send::pace`).
+        self.now += self.config.inter_connection_wait;
+        let wmax = trace.wmax_threshold;
+        match trace.env {
+            EnvironmentId::A => {
+                if trace.is_valid() {
+                    self.trace_a = Some(trace);
+                    self.attempt = Some(Attempt::new(EnvironmentId::B, wmax));
+                    Step::Connect
+                } else {
+                    let descend = trace.invalid == Some(InvalidReason::NeverExceededThreshold);
+                    self.failed.push(trace);
+                    if descend {
+                        self.descend()
+                    } else {
+                        self.finish()
+                    }
+                }
+            }
+            EnvironmentId::B => {
+                if trace.usable_for_classification() {
+                    let env_a = self.trace_a.take().expect("env B ran without an A trace");
+                    self.done = true;
+                    let outcome = GatherOutcome {
+                        pair: Some(TracePair {
+                            env_a,
+                            env_b: trace,
+                        }),
+                        failed_attempts: std::mem::take(&mut self.failed),
+                        defense_overhead: None,
+                    };
+                    Step::Done(Box::new(outcome))
+                } else {
+                    let descend = trace.invalid == Some(InvalidReason::NeverExceededThreshold);
+                    self.failed
+                        .push(self.trace_a.take().expect("env B ran without an A trace"));
+                    self.failed.push(trace);
+                    if descend {
+                        self.descend()
+                    } else {
+                        self.finish()
+                    }
+                }
+            }
+        }
+    }
+
+    fn descend(&mut self) -> Step {
+        self.ladder_idx += 1;
+        match self.config.wmax_ladder.get(self.ladder_idx) {
+            Some(&wmax) => {
+                self.attempt = Some(Attempt::new(EnvironmentId::A, wmax));
+                Step::Connect
+            }
+            None => self.finish(),
+        }
+    }
+
+    fn finish(&mut self) -> Step {
+        self.done = true;
+        Step::Done(Box::new(GatherOutcome {
+            pair: None,
+            failed_attempts: std::mem::take(&mut self.failed),
+            defense_overhead: None,
+        }))
+    }
+
+    /// Ends the current attempt: records its rung, stashes the trace for
+    /// [`on_closed`](Self::on_closed), and emits the closing `Send`.
+    fn end_attempt(
+        &mut self,
+        invalid: Option<InvalidReason>,
+        frames: Vec<ClientFrame>,
+        pace: f64,
+    ) -> Step {
+        let mut attempt = self.attempt.take().expect("no attempt to end");
+        attempt.trace.invalid = invalid;
+        self.awaiting = false;
+        self.rungs.push(RungRecord {
+            env: attempt.env,
+            wmax: attempt.wmax,
+            rounds: (attempt.trace.pre.len() + attempt.trace.post.len()) as u32,
+            valid: attempt.trace.is_valid(),
+            stalled: attempt.stall_exited,
+            invalid_reason: attempt.trace.invalid.map(InvalidReason::name),
+        });
+        self.closing = Some(attempt.trace);
+        Step::Send {
+            pace,
+            frames,
+            close_after: true,
+        }
+    }
+
+    /// The transport failed underneath the walk (connect refused, reset,
+    /// IO timeout, decode error) and its retry budget is spent: reduce
+    /// everything gathered so far to a terminal outcome.
+    pub fn abort(&mut self) -> Step {
+        if let Some(attempt) = self.attempt.take() {
+            let mut trace = attempt.trace;
+            trace.invalid = Some(InvalidReason::TransportAborted);
+            self.rungs.push(RungRecord {
+                env: attempt.env,
+                wmax: attempt.wmax,
+                rounds: (trace.pre.len() + trace.post.len()) as u32,
+                valid: false,
+                stalled: attempt.stall_exited,
+                invalid_reason: Some(InvalidReason::name(InvalidReason::TransportAborted)),
+            });
+            self.failed.push(trace);
+        }
+        if let Some(trace) = self.closing.take() {
+            // The attempt finished but its close was interrupted; the
+            // gather is still dead, so the trace joins the failures.
+            self.failed.push(trace);
+        }
+        if let Some(trace_a) = self.trace_a.take() {
+            self.failed.push(trace_a);
+        }
+        self.awaiting = false;
+        self.finish()
+    }
+
+    /// Whether the walk has produced its [`Step::Done`].
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Handles one decoded server frame.
+    pub fn on_frame(&mut self, frame: &ServerFrame) -> Result<Step, ProtocolError> {
+        if !self.awaiting || self.attempt.is_none() {
+            return Err(violation(format!("unsolicited {frame:?}")));
+        }
+        let config = self.config.clone();
+        let a = self.attempt.as_mut().expect("checked above");
+        match (&a.phase, frame) {
+            (AttemptPhase::AwaitWelcome, ServerFrame::Welcome { granted_mss }) => {
+                a.trace.mss = *granted_mss;
+                a.phase = AttemptPhase::Pre;
+                a.round = 1;
+                let now = self.now;
+                let rtt = a.schedule.rtt(Phase::BeforeTimeout, 1);
+                Ok(Step::Send {
+                    pace: 0.0,
+                    frames: vec![ClientFrame::Xmit {
+                        now,
+                        horizon: now + rtt,
+                    }],
+                    close_after: false,
+                })
+            }
+            (AttemptPhase::Pre, ServerFrame::Burst { done, seqs }) => {
+                let rtt = a.schedule.rtt(Phase::BeforeTimeout, a.round);
+                if seqs.is_empty() {
+                    if *done {
+                        // The server ran out of page before the timeout
+                        // could be emulated (§VII-B reason 1/2).
+                        return Ok(self.end_attempt(
+                            Some(InvalidReason::PageTooShort),
+                            vec![],
+                            0.0,
+                        ));
+                    }
+                    a.trace.pre.push(0);
+                    self.now += rtt;
+                    a.round += 1;
+                    if a.round > config.max_pre_rounds as u32 {
+                        return Ok(self.end_attempt(
+                            Some(InvalidReason::NeverExceededThreshold),
+                            vec![],
+                            rtt,
+                        ));
+                    }
+                    let next_rtt = a.schedule.rtt(Phase::BeforeTimeout, a.round);
+                    let now = self.now;
+                    return Ok(Step::Send {
+                        pace: rtt,
+                        frames: vec![ClientFrame::Xmit {
+                            now,
+                            horizon: now + next_rtt,
+                        }],
+                        close_after: false,
+                    });
+                }
+                let w = a.measure(seqs);
+                a.trace.pre.push(w);
+                if w > a.wmax {
+                    // Crossed the threshold: withhold this round's ACKs
+                    // and emulate the timeout. The virtual clock freezes
+                    // exactly as in the simulator.
+                    a.phase = AttemptPhase::AwaitRto;
+                    let now = self.now;
+                    return Ok(Step::Send {
+                        pace: 0.0,
+                        frames: vec![ClientFrame::RtoWait {
+                            now,
+                            max_waits: config.max_rto_waits,
+                        }],
+                        close_after: false,
+                    });
+                }
+                self.now += rtt;
+                let ack_now = self.now;
+                let mut frames = a.build_acks(seqs, ack_now, rtt);
+                // Fig. 13 stall early-exit, checked after the ACKs like
+                // the simulator does.
+                if w > a.best_w {
+                    a.best_w = w;
+                    a.stalled = 0;
+                } else {
+                    a.stalled += 1;
+                    if config.stall_rounds > 0 && a.stalled >= config.stall_rounds {
+                        a.stall_exited = true;
+                        return Ok(self.end_attempt(
+                            Some(InvalidReason::NeverExceededThreshold),
+                            frames,
+                            rtt,
+                        ));
+                    }
+                }
+                a.round += 1;
+                if a.round > config.max_pre_rounds as u32 {
+                    return Ok(self.end_attempt(
+                        Some(InvalidReason::NeverExceededThreshold),
+                        frames,
+                        rtt,
+                    ));
+                }
+                let next_rtt = a.schedule.rtt(Phase::BeforeTimeout, a.round);
+                frames.push(ClientFrame::Xmit {
+                    now: ack_now,
+                    horizon: ack_now + next_rtt,
+                });
+                Ok(Step::Send {
+                    pace: rtt,
+                    frames,
+                    close_after: false,
+                })
+            }
+            (AttemptPhase::AwaitRto, ServerFrame::RtoResult { responded, now }) => {
+                if !now.is_finite() || *now < self.now {
+                    return Err(violation(format!(
+                        "RtoResult clock {now} precedes the walk's clock {}",
+                        self.now
+                    )));
+                }
+                self.now = *now;
+                if !*responded {
+                    return Ok(self.end_attempt(
+                        Some(InvalidReason::NoTimeoutResponse),
+                        vec![],
+                        0.0,
+                    ));
+                }
+                a.phase = AttemptPhase::Post;
+                a.prev_seqmax = i64::MIN;
+                a.post_round = 1;
+                a.first_post_round = true;
+                let rtt = a.schedule.rtt(Phase::AfterTimeout, 1);
+                let now = self.now;
+                Ok(Step::Send {
+                    pace: 0.0,
+                    frames: vec![ClientFrame::Xmit {
+                        now,
+                        horizon: now + rtt,
+                    }],
+                    close_after: false,
+                })
+            }
+            (AttemptPhase::Post, ServerFrame::Burst { done, seqs }) => {
+                let rtt = a.schedule.rtt(Phase::AfterTimeout, a.post_round);
+                if seqs.is_empty() {
+                    if *done {
+                        return Ok(self.end_attempt(
+                            Some(InvalidReason::RecoveryTooShort),
+                            vec![],
+                            0.0,
+                        ));
+                    }
+                    a.trace.post.push(0);
+                    self.now += rtt;
+                    a.post_round += 1;
+                    if a.trace.post.len() >= config.post_timeout_rounds {
+                        return Ok(self.end_attempt(None, vec![], rtt));
+                    }
+                    let next_rtt = a.schedule.rtt(Phase::AfterTimeout, a.post_round);
+                    let now = self.now;
+                    return Ok(Step::Send {
+                        pace: rtt,
+                        frames: vec![ClientFrame::Xmit {
+                            now,
+                            horizon: now + next_rtt,
+                        }],
+                        close_after: false,
+                    });
+                }
+                if a.prev_seqmax == i64::MIN {
+                    // Re-anchor at the first retransmission: the window
+                    // restarts from the lowest outstanding sequence.
+                    if let Some(first) = seqs.iter().copied().min() {
+                        a.prev_seqmax = (first.min(i64::MAX as u64) as i64).saturating_sub(1);
+                    }
+                }
+                let w = a.measure(seqs);
+                a.trace.post.push(w);
+                self.now += rtt;
+                let ack_now = self.now;
+                let mut frames = Vec::new();
+                if a.first_post_round && config.frto_countermeasure {
+                    // §IV-C: one duplicate ACK aborts F-RTO and forces
+                    // conventional timeout recovery.
+                    frames.push(ClientFrame::Ack {
+                        now: ack_now,
+                        cum_ack: a.prober_cum,
+                        rtt: 0.0,
+                    });
+                }
+                a.first_post_round = false;
+                frames.extend(a.build_acks(seqs, ack_now, rtt));
+                a.post_round += 1;
+                if a.trace.post.len() >= config.post_timeout_rounds {
+                    return Ok(self.end_attempt(None, frames, rtt));
+                }
+                let next_rtt = a.schedule.rtt(Phase::AfterTimeout, a.post_round);
+                frames.push(ClientFrame::Xmit {
+                    now: ack_now,
+                    horizon: ack_now + next_rtt,
+                });
+                Ok(Step::Send {
+                    pace: rtt,
+                    frames,
+                    close_after: false,
+                })
+            }
+            (_, f) => Err(violation(format!("{f:?} out of phase"))),
+        }
+    }
+}

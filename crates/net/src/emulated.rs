@@ -1,0 +1,254 @@
+//! In-repo emulated web servers: real sockets, simulated TCP stacks.
+//!
+//! Tests (and the CI loopback-census smoke) must never touch the real
+//! network, so the "population" a live census probes is this: a
+//! loopback listener per server, each accepted connection replaying a
+//! [`ServerCore`] — the same tcpsim algorithms the simulator runs —
+//! over the wire protocol. Because the protocol carries virtual time,
+//! the verdicts a census gathers against these servers are the
+//! simulator's verdicts, whatever the real-time pacing.
+//!
+//! The server side is deliberately boring: one blocking accept thread,
+//! one blocking thread per connection. The interesting concurrency
+//! lives in the reactor under test, not in its test double. Failure
+//! modes for the hardening tests ride on [`Behavior`]: a server that
+//! accepts and then stalls (driving the client's IO timeout), and one
+//! that resets mid-ladder (driving the RST path).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::core::{Reply, ServerCore, ServerProfile};
+use crate::frame::{ClientFrame, FrameDecoder, Wire};
+use crate::sys::set_linger_reset;
+use crate::targets::Target;
+
+/// How an emulated server treats its clients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Behavior {
+    /// Answer the protocol faithfully.
+    Normal,
+    /// Accept the connection, then never write a byte (a stalled peer:
+    /// the client's IO timeout must fire).
+    StallAfterAccept,
+    /// Answer `n` transmission rounds, then abort the connection with an
+    /// RST (`SO_LINGER` zero + close).
+    RstAfterBursts(u32),
+}
+
+/// One emulated web server listening on loopback.
+pub struct EmulatedServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl EmulatedServer {
+    /// Binds `127.0.0.1:0` and starts serving `profile` with `behavior`.
+    pub fn spawn(profile: ServerProfile, behavior: Behavior) -> std::io::Result<EmulatedServer> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_accept = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            let mut workers: Vec<JoinHandle<()>> = Vec::new();
+            for stream in listener.incoming() {
+                if stop_accept.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let profile = profile.clone();
+                workers.push(std::thread::spawn(move || {
+                    serve_connection(stream, profile, behavior);
+                }));
+                workers.retain(|w| !w.is_finished());
+            }
+            for w in workers {
+                let _ = w.join();
+            }
+        });
+        Ok(EmulatedServer {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound loopback address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The address as a census [`Target`].
+    pub fn target(&self) -> Target {
+        Target {
+            host: self.addr.ip().to_string(),
+            port: self.addr.port(),
+        }
+    }
+
+    /// The address as a `host:port` target-list line.
+    pub fn target_line(&self) -> String {
+        self.addr.to_string()
+    }
+}
+
+impl Drop for EmulatedServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Kick the accept loop out of its blocking accept.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Upper bound a stalled or hostile client can hold a server thread.
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+fn serve_connection(mut stream: TcpStream, profile: ServerProfile, behavior: Behavior) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    if behavior == Behavior::StallAfterAccept {
+        // Read (and discard) whatever arrives, answer nothing: the
+        // client must conclude the peer is dead via its own timeout.
+        let mut sink = [0u8; 4096];
+        while let Ok(n) = stream.read(&mut sink) {
+            if n == 0 {
+                return;
+            }
+        }
+        return;
+    }
+    let rst_after = match behavior {
+        Behavior::RstAfterBursts(n) => Some(n),
+        _ => None,
+    };
+    let mut core = ServerCore::new(profile);
+    let mut decoder = FrameDecoder::new();
+    let mut bursts_answered: u32 = 0;
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) => return, // client closed; connection complete
+            Ok(n) => n,
+            Err(_) => return,
+        };
+        decoder.push(&buf[..n]);
+        loop {
+            let frame: ClientFrame = match decoder.next() {
+                Ok(Some(f)) => f,
+                Ok(None) => break,
+                Err(_) => return, // hostile bytes: drop the connection
+            };
+            let is_xmit = matches!(frame, ClientFrame::Xmit { .. });
+            let Reply { frames, close } = match core.on_frame(&frame) {
+                Ok(reply) => reply,
+                Err(_) => return, // protocol violation: drop
+            };
+            let mut out = Vec::new();
+            for f in &frames {
+                f.encode_into(&mut out);
+            }
+            if !out.is_empty() && stream.write_all(&out).is_err() {
+                return;
+            }
+            if is_xmit {
+                bursts_answered += 1;
+                if let Some(limit) = rst_after {
+                    if bursts_answered >= limit {
+                        // Abortive close: RST instead of FIN.
+                        let _ = set_linger_reset(stream.as_raw_fd());
+                        return;
+                    }
+                }
+            }
+            if close {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::ServerFrame;
+    use caai_congestion::AlgorithmId;
+
+    fn handshake(stream: &mut TcpStream) -> ServerFrame {
+        let hello = ClientFrame::Hello {
+            proposed_mss: 100,
+            now: 0.0,
+        };
+        let mut bytes = Vec::new();
+        hello.encode_into(&mut bytes);
+        stream.write_all(&bytes).unwrap();
+        let mut decoder = FrameDecoder::new();
+        let mut buf = [0u8; 1024];
+        loop {
+            let n = stream.read(&mut buf).unwrap();
+            assert!(n > 0, "server closed during handshake");
+            decoder.push(&buf[..n]);
+            if let Some(frame) = decoder.next::<ServerFrame>().unwrap() {
+                return frame;
+            }
+        }
+    }
+
+    #[test]
+    fn emulated_server_answers_the_handshake() {
+        let server =
+            EmulatedServer::spawn(ServerProfile::ideal(AlgorithmId::Reno), Behavior::Normal)
+                .unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let frame = handshake(&mut stream);
+        assert_eq!(frame, ServerFrame::Welcome { granted_mss: 100 });
+    }
+
+    #[test]
+    fn stalling_server_accepts_but_never_answers() {
+        let server = EmulatedServer::spawn(
+            ServerProfile::ideal(AlgorithmId::CubicV1),
+            Behavior::StallAfterAccept,
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let hello = ClientFrame::Hello {
+            proposed_mss: 100,
+            now: 0.0,
+        };
+        let mut bytes = Vec::new();
+        hello.encode_into(&mut bytes);
+        stream.write_all(&bytes).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_millis(300)))
+            .unwrap();
+        let mut buf = [0u8; 16];
+        assert!(
+            stream.read(&mut buf).is_err(),
+            "a stalling server must answer nothing"
+        );
+    }
+
+    #[test]
+    fn hostile_bytes_drop_the_connection() {
+        let server =
+            EmulatedServer::spawn(ServerProfile::ideal(AlgorithmId::Reno), Behavior::Normal)
+                .unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(&[0xff; 64]).unwrap();
+        let mut buf = [0u8; 16];
+        // The server drops; read returns 0 (or a reset error).
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => {}
+            other => panic!("expected drop, got {other:?}"),
+        }
+    }
+}

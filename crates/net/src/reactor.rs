@@ -1,0 +1,689 @@
+//! The socket reactor: thousands of probe sessions on one thread.
+//!
+//! One dedicated thread owns every socket, a readiness poller
+//! ([`crate::sys::Poller`]), and a hashed [`TimerWheel`]. Probe
+//! sessions are tiny state machines ([`LadderCore`] plus a write
+//! buffer), so the memory per concurrent session is a few KiB and the
+//! per-event work is bounded — the reactor sustains hundreds to
+//! thousands of in-flight sessions without threads or allocator churn.
+//!
+//! Admission control happens at the mouth: submitted probes queue in
+//! FIFO order and enter the reactor only when (a) a session slot is
+//! free (`max_sessions`) and (b) the [`RateLimiter`] grants a token
+//! for the target's address. Transport failures (refused, reset, EOF
+//! mid-ladder, IO timeout, protocol violation) burn a retry with
+//! exponential backoff and restart the *whole* ladder on a fresh
+//! connection — a half-gathered walk is worthless — until the budget
+//! is spent and [`LadderCore::abort`] reduces the session to a
+//! `TransportAborted` outcome. Sessions never panic the reactor;
+//! every failure ends in a result on the session's reply channel.
+
+use std::collections::{HashMap, VecDeque};
+use std::net::Ipv4Addr;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use caai_core::{GatherOutcome, InvalidReason, ProberConfig};
+use caai_obs::{RateLimiterStalled, ReactorTicked, Subscriber};
+
+use crate::core::{LadderCore, RungRecord, Step};
+use crate::frame::{encode, FrameDecoder, ServerFrame};
+use crate::limiter::RateLimiter;
+use crate::sys::{self, Interest, OwnedFd, Poller, Readiness, Waker};
+use crate::wheel::{Timer, TimerKind, TimerWheel};
+
+/// Transport tuning for a live census.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// The §IV ladder parameters (must carry no defense).
+    pub prober: ProberConfig,
+    /// How long a nonblocking connect may take.
+    pub connect_timeout: Duration,
+    /// How long to wait for the peer's next frame.
+    pub io_timeout: Duration,
+    /// Transport-level retries per target (each restarts the ladder).
+    pub retries: u32,
+    /// Base backoff before a retry; doubles per retry already burned.
+    pub backoff: Duration,
+    /// Real seconds per virtual second of round pacing. Zero (the
+    /// default) runs the ladder as fast as the peer answers — correct
+    /// against the emulated server, whose clock is the frames'. Against
+    /// hypothetical real stacks a fraction of 1.0 approximates RTT
+    /// pacing. Never applied to the 630 s inter-connection wait.
+    pub pacing: f64,
+    /// Global probe admissions per second (`<= 0` = unlimited).
+    pub rate: f64,
+    /// Per-/24 probe admissions per second (`<= 0` = unlimited).
+    pub rate_per_net: f64,
+    /// Concurrent session cap; further probes queue FIFO.
+    pub max_sessions: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            prober: ProberConfig::default(),
+            connect_timeout: Duration::from_secs(10),
+            io_timeout: Duration::from_secs(10),
+            retries: 1,
+            backoff: Duration::from_millis(100),
+            pacing: 0.0,
+            rate: 0.0,
+            rate_per_net: 0.0,
+            max_sessions: 1024,
+        }
+    }
+}
+
+/// Per-session transport accounting, reported with the outcome.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SessionStats {
+    /// TCP connections opened (ladder rungs × environments, plus retries).
+    pub connections: u32,
+    /// Transport retries burned.
+    pub retries: u32,
+    /// Connect/IO timeouts observed.
+    pub timeouts: u32,
+    /// The session ended via [`LadderCore::abort`].
+    pub aborted: bool,
+}
+
+/// What a probe session resolves to.
+#[derive(Debug)]
+pub struct SessionResult {
+    /// The gather outcome, reduced exactly as the simulator reduces its
+    /// own (`TransportAborted` failures included).
+    pub outcome: GatherOutcome,
+    /// Rung attempt records for observability replay.
+    pub rungs: Vec<RungRecord>,
+    /// Transport accounting.
+    pub stats: SessionStats,
+}
+
+/// Commands the reactor accepts from other threads.
+pub enum Command {
+    /// Run one full ladder walk against `ip:port`.
+    Probe {
+        /// IPv4 target address.
+        ip: Ipv4Addr,
+        /// TCP port.
+        port: u16,
+        /// Where the result goes.
+        reply: mpsc::Sender<SessionResult>,
+    },
+    /// Stop the reactor; in-flight sessions are dropped (their reply
+    /// channels close, which callers reduce to aborted records).
+    Shutdown,
+}
+
+/// Timer token reserved for the rate-limiter retry tick.
+const RATE_TOKEN: u64 = 0;
+/// Longest real delay one paced round may stretch to.
+const MAX_PACE_DELAY: f64 = 60.0;
+
+struct Conn {
+    fd: OwnedFd,
+    decoder: FrameDecoder,
+    out: Vec<u8>,
+    out_at: usize,
+    close_after_flush: bool,
+    connected: bool,
+    registered: bool,
+    interest: Interest,
+}
+
+enum SessState {
+    /// Waiting for the nonblocking connect to resolve.
+    Connecting,
+    /// Connected; frames flowing.
+    Running,
+    /// Between retry attempts.
+    BackingOff,
+}
+
+struct Session {
+    target: (Ipv4Addr, u16),
+    reply: mpsc::Sender<SessionResult>,
+    core: LadderCore,
+    conn: Option<Conn>,
+    state: SessState,
+    stats: SessionStats,
+    retries_left: u32,
+    /// Armed deadlines, for staleness checks against fired timers.
+    io_deadline: Option<Instant>,
+    send_gate: Option<Instant>,
+    backoff_at: Option<Instant>,
+}
+
+struct PendingProbe {
+    ip: Ipv4Addr,
+    port: u16,
+    reply: mpsc::Sender<SessionResult>,
+}
+
+/// The reactor. Constructed and run on its own thread by
+/// [`NetTransport`](crate::transport::NetTransport).
+pub struct Reactor<S: Subscriber> {
+    config: NetConfig,
+    obs: Arc<S>,
+    poller: Poller,
+    wheel: TimerWheel,
+    sessions: HashMap<u64, Session>,
+    pending: VecDeque<PendingProbe>,
+    limiter: RateLimiter,
+    next_token: u64,
+    rate_retry_armed: bool,
+}
+
+impl<S: Subscriber> Reactor<S> {
+    /// Builds the reactor and the command handle for it. The returned
+    /// [`Waker`] must be poked after every command send.
+    pub fn new(config: NetConfig, obs: Arc<S>) -> std::io::Result<(Self, Waker)> {
+        assert!(config.max_sessions > 0, "max_sessions must be positive");
+        let poller = Poller::new()?;
+        let waker = poller.waker();
+        let limiter = RateLimiter::new(config.rate, config.rate_per_net);
+        Ok((
+            Reactor {
+                config,
+                obs,
+                poller,
+                wheel: TimerWheel::new(Instant::now()),
+                sessions: HashMap::new(),
+                pending: VecDeque::new(),
+                limiter,
+                next_token: 1,
+                rate_retry_armed: false,
+            },
+            waker,
+        ))
+    }
+
+    /// The event loop: runs until [`Command::Shutdown`] or the command
+    /// channel closes.
+    pub fn run(mut self, commands: mpsc::Receiver<Command>) {
+        let mut ready: Vec<Readiness> = Vec::new();
+        let mut fired: Vec<Timer> = Vec::new();
+        let mut disconnected = false;
+        loop {
+            if disconnected && self.sessions.is_empty() && self.pending.is_empty() {
+                return;
+            }
+            let timeout_ms = match self.wheel.next_deadline() {
+                Some(deadline) => {
+                    let now = Instant::now();
+                    deadline
+                        .saturating_duration_since(now)
+                        .as_millis()
+                        .min(60_000) as i32
+                }
+                None => -1,
+            };
+            if self.poller.wait(timeout_ms, &mut ready).is_err() {
+                break;
+            }
+            let tick_start = if S::ENABLED {
+                Some(Instant::now())
+            } else {
+                None
+            };
+
+            // Commands first: a shutdown must beat any amount of IO.
+            loop {
+                match commands.try_recv() {
+                    Ok(Command::Probe { ip, port, reply }) => {
+                        self.pending.push_back(PendingProbe { ip, port, reply });
+                    }
+                    Ok(Command::Shutdown) => return,
+                    Err(mpsc::TryRecvError::Empty) => break,
+                    Err(mpsc::TryRecvError::Disconnected) => {
+                        disconnected = true;
+                        break;
+                    }
+                }
+            }
+
+            let dispatched = ready.len() as u32;
+            for ev in ready.drain(..) {
+                self.dispatch_io(ev);
+            }
+
+            let now = Instant::now();
+            fired.clear();
+            self.wheel.expire(now, &mut fired);
+            for timer in fired.drain(..) {
+                self.dispatch_timer(timer);
+            }
+
+            self.pump_pending();
+
+            if let Some(start) = tick_start {
+                self.obs.on_reactor_ticked(&ReactorTicked {
+                    ready: dispatched,
+                    active_sessions: self.sessions.len() as u64,
+                    latency_us: start.elapsed().as_micros() as u64,
+                });
+            }
+        }
+    }
+
+    // -- admission ---------------------------------------------------
+
+    fn pump_pending(&mut self) {
+        while self.sessions.len() < self.config.max_sessions {
+            let Some(front) = self.pending.front() else {
+                return;
+            };
+            let now = Instant::now();
+            match self.limiter.admit(now, front.ip) {
+                Ok(()) => {
+                    let probe = self.pending.pop_front().expect("front just observed");
+                    self.start_session(probe);
+                }
+                Err(wait) => {
+                    self.obs.on_rate_limiter_stalled(&RateLimiterStalled {
+                        wait_us: wait.as_micros() as u64,
+                    });
+                    if !self.rate_retry_armed {
+                        self.rate_retry_armed = true;
+                        self.wheel.insert(Timer {
+                            token: RATE_TOKEN,
+                            kind: TimerKind::RatePermit,
+                            deadline: now + wait,
+                        });
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    fn start_session(&mut self, probe: PendingProbe) {
+        let mut core = LadderCore::new(self.config.prober.clone());
+        let step = core.start();
+        let token = self.alloc_token();
+        let session = Session {
+            target: (probe.ip, probe.port),
+            reply: probe.reply,
+            core,
+            conn: None,
+            state: SessState::Connecting,
+            stats: SessionStats::default(),
+            retries_left: self.config.retries,
+            io_deadline: None,
+            send_gate: None,
+            backoff_at: None,
+        };
+        self.sessions.insert(token, session);
+        self.apply_step(token, step);
+    }
+
+    fn alloc_token(&mut self) -> u64 {
+        let token = self.next_token;
+        self.next_token += 1;
+        token
+    }
+
+    // -- step execution ----------------------------------------------
+
+    /// Executes one [`Step`] for the session at `token`. The session may
+    /// move to a new token (reconnect) or finish (removal) underneath.
+    fn apply_step(&mut self, token: u64, step: Step) {
+        match step {
+            Step::Connect => self.open_connection(token),
+            Step::Send {
+                pace,
+                frames,
+                close_after,
+            } => {
+                let Some(session) = self.sessions.get_mut(&token) else {
+                    return;
+                };
+                let Some(conn) = session.conn.as_mut() else {
+                    return;
+                };
+                for frame in &frames {
+                    conn.out.extend_from_slice(&encode(frame));
+                }
+                conn.close_after_flush = close_after;
+                let delay = (pace * self.config.pacing).clamp(0.0, MAX_PACE_DELAY);
+                let delay = if delay.is_finite() { delay } else { 0.0 };
+                if delay > 0.0 {
+                    let gate = Instant::now() + Duration::from_secs_f64(delay);
+                    session.send_gate = Some(gate);
+                    session.io_deadline = None;
+                    self.wheel.insert(Timer {
+                        token,
+                        kind: TimerKind::SendDue,
+                        deadline: gate,
+                    });
+                } else {
+                    session.send_gate = None;
+                    self.flush(token);
+                }
+            }
+            Step::Done(outcome) => self.finish_session(token, *outcome),
+        }
+    }
+
+    fn open_connection(&mut self, token: u64) {
+        // Re-key: a fresh token per connection makes every event and
+        // timer of the old connection stale by construction.
+        let Some(mut session) = self.sessions.remove(&token) else {
+            return;
+        };
+        let new_token = self.alloc_token();
+        session.io_deadline = None;
+        session.send_gate = None;
+        session.backoff_at = None;
+        let (ip, port) = session.target;
+        match sys::connect_nonblocking(ip, port) {
+            Ok((fd, done)) => {
+                session.conn = Some(Conn {
+                    fd,
+                    decoder: FrameDecoder::new(),
+                    out: Vec::new(),
+                    out_at: 0,
+                    close_after_flush: false,
+                    connected: false,
+                    registered: false,
+                    interest: Interest::Write,
+                });
+                session.state = SessState::Connecting;
+                let deadline = Instant::now() + self.config.connect_timeout;
+                session.io_deadline = Some(deadline);
+                self.wheel.insert(Timer {
+                    token: new_token,
+                    kind: TimerKind::IoDeadline,
+                    deadline,
+                });
+                self.sessions.insert(new_token, session);
+                if done {
+                    self.connect_finished(new_token);
+                } else {
+                    self.set_interest(new_token, Interest::Write);
+                }
+            }
+            Err(_) => {
+                self.sessions.insert(new_token, session);
+                self.conn_failed(new_token, false);
+            }
+        }
+    }
+
+    fn set_interest(&mut self, token: u64, interest: Interest) {
+        let Some(session) = self.sessions.get_mut(&token) else {
+            return;
+        };
+        let Some(conn) = session.conn.as_mut() else {
+            return;
+        };
+        let fd = conn.fd.raw();
+        let result = if !conn.registered {
+            conn.registered = true;
+            conn.interest = interest;
+            self.poller.register(fd, token, interest)
+        } else if conn.interest != interest {
+            conn.interest = interest;
+            self.poller.rearm(fd, token, interest)
+        } else {
+            Ok(())
+        };
+        if result.is_err() {
+            self.conn_failed(token, false);
+        }
+    }
+
+    fn connect_finished(&mut self, token: u64) {
+        let Some(session) = self.sessions.get_mut(&token) else {
+            return;
+        };
+        let Some(conn) = session.conn.as_mut() else {
+            return;
+        };
+        if let Err(_e) = sys::take_socket_error(&conn.fd) {
+            self.conn_failed(token, false);
+            return;
+        }
+        conn.connected = true;
+        session.state = SessState::Running;
+        session.stats.connections += 1;
+        session.io_deadline = None;
+        let step = session.core.on_connected();
+        self.apply_step(token, step);
+    }
+
+    /// Drains the session's write buffer. On completion either closes
+    /// (`close_after_flush`) or turns to await the reply.
+    fn flush(&mut self, token: u64) {
+        let Some(session) = self.sessions.get_mut(&token) else {
+            return;
+        };
+        let Some(conn) = session.conn.as_mut() else {
+            return;
+        };
+        while conn.out_at < conn.out.len() {
+            match sys::write_nonblocking(&conn.fd, &conn.out[conn.out_at..]) {
+                Ok(Some(n)) => conn.out_at += n,
+                Ok(None) => {
+                    self.set_interest(token, Interest::ReadWrite);
+                    return;
+                }
+                Err(_) => {
+                    self.conn_failed(token, false);
+                    return;
+                }
+            }
+        }
+        conn.out.clear();
+        conn.out_at = 0;
+        if conn.close_after_flush {
+            self.teardown_conn(token);
+            let Some(session) = self.sessions.get_mut(&token) else {
+                return;
+            };
+            let step = session.core.on_closed();
+            self.apply_step(token, step);
+        } else {
+            let deadline = Instant::now() + self.config.io_timeout;
+            session.io_deadline = Some(deadline);
+            self.wheel.insert(Timer {
+                token,
+                kind: TimerKind::IoDeadline,
+                deadline,
+            });
+            self.set_interest(token, Interest::Read);
+        }
+    }
+
+    fn teardown_conn(&mut self, token: u64) {
+        if let Some(session) = self.sessions.get_mut(&token) {
+            if let Some(conn) = session.conn.take() {
+                if conn.registered {
+                    let _ = self.poller.deregister(conn.fd.raw());
+                }
+            }
+            session.io_deadline = None;
+            session.send_gate = None;
+        }
+    }
+
+    // -- IO dispatch --------------------------------------------------
+
+    fn dispatch_io(&mut self, ev: Readiness) {
+        let token = ev.token;
+        let Some(session) = self.sessions.get_mut(&token) else {
+            return; // stale event for a closed connection
+        };
+        let Some(conn) = session.conn.as_mut() else {
+            return;
+        };
+        if !conn.connected {
+            if ev.writable || ev.error {
+                self.connect_finished(token);
+            }
+            return;
+        }
+        if ev.error {
+            // Query the socket for the concrete error; either way the
+            // connection is gone.
+            let _ = sys::take_socket_error(&conn.fd);
+            self.conn_failed(token, false);
+            return;
+        }
+        if ev.writable && conn.out_at < conn.out.len() && session.send_gate.is_none() {
+            self.flush(token);
+        }
+        if ev.readable {
+            self.drain_readable(token);
+        }
+    }
+
+    fn drain_readable(&mut self, token: u64) {
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            let Some(session) = self.sessions.get_mut(&token) else {
+                return;
+            };
+            let Some(conn) = session.conn.as_mut() else {
+                return;
+            };
+            match sys::read_nonblocking(&conn.fd, &mut buf) {
+                Ok(Some(0)) => {
+                    // EOF: the ladder initiates every close itself, so a
+                    // peer-side close mid-walk is a transport failure.
+                    self.conn_failed(token, false);
+                    return;
+                }
+                Ok(Some(n)) => {
+                    conn.decoder.push(&buf[..n]);
+                    if !self.decode_frames(token) {
+                        return;
+                    }
+                }
+                Ok(None) => return,
+                Err(_) => {
+                    self.conn_failed(token, false);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Feeds every buffered frame to the core. Returns false when the
+    /// session's current connection ended (error, reconnect, finish).
+    fn decode_frames(&mut self, token: u64) -> bool {
+        loop {
+            let Some(session) = self.sessions.get_mut(&token) else {
+                return false;
+            };
+            let Some(conn) = session.conn.as_mut() else {
+                return false;
+            };
+            match conn.decoder.next::<ServerFrame>() {
+                Ok(Some(frame)) => {
+                    session.io_deadline = None;
+                    match session.core.on_frame(&frame) {
+                        Ok(step) => self.apply_step(token, step),
+                        Err(_proto) => {
+                            self.conn_failed(token, false);
+                            return false;
+                        }
+                    }
+                }
+                Ok(None) => return true,
+                Err(_decode) => {
+                    self.conn_failed(token, false);
+                    return false;
+                }
+            }
+        }
+    }
+
+    // -- timers -------------------------------------------------------
+
+    fn dispatch_timer(&mut self, timer: Timer) {
+        if timer.token == RATE_TOKEN {
+            self.rate_retry_armed = false;
+            self.pump_pending();
+            return;
+        }
+        let Some(session) = self.sessions.get_mut(&timer.token) else {
+            return; // stale: the session finished or re-keyed
+        };
+        match timer.kind {
+            TimerKind::IoDeadline => {
+                if session.io_deadline == Some(timer.deadline) {
+                    session.stats.timeouts += 1;
+                    self.conn_failed(timer.token, true);
+                }
+            }
+            TimerKind::SendDue => {
+                if session.send_gate == Some(timer.deadline) {
+                    session.send_gate = None;
+                    self.flush(timer.token);
+                }
+            }
+            TimerKind::Backoff => {
+                if session.backoff_at == Some(timer.deadline) {
+                    session.backoff_at = None;
+                    self.open_connection(timer.token);
+                }
+            }
+            TimerKind::RatePermit => {}
+        }
+    }
+
+    // -- failure & completion ----------------------------------------
+
+    /// A transport-level failure on the session's current connection:
+    /// burn a retry (with backoff) or abort the walk.
+    fn conn_failed(&mut self, token: u64, _timed_out: bool) {
+        self.teardown_conn(token);
+        let Some(session) = self.sessions.get_mut(&token) else {
+            return;
+        };
+        if session.retries_left > 0 {
+            session.retries_left -= 1;
+            session.stats.retries += 1;
+            // The whole walk restarts: a partial ladder cannot be resumed
+            // against a server whose TCP state is gone.
+            session.core = LadderCore::new(self.config.prober.clone());
+            let _ = session.core.start();
+            session.state = SessState::BackingOff;
+            let shift = session.stats.retries.saturating_sub(1).min(16);
+            let deadline = Instant::now() + self.config.backoff * (1u32 << shift);
+            session.backoff_at = Some(deadline);
+            self.wheel.insert(Timer {
+                token,
+                kind: TimerKind::Backoff,
+                deadline,
+            });
+        } else {
+            session.stats.aborted = true;
+            let step = session.core.abort();
+            self.apply_step(token, step);
+        }
+    }
+
+    fn finish_session(&mut self, token: u64, outcome: GatherOutcome) {
+        self.teardown_conn(token);
+        let Some(session) = self.sessions.remove(&token) else {
+            return;
+        };
+        let aborted = session.stats.aborted
+            || outcome.failure_reason() == Some(InvalidReason::TransportAborted);
+        let mut stats = session.stats;
+        stats.aborted = aborted;
+        let result = SessionResult {
+            outcome,
+            rungs: session.core.rungs().to_vec(),
+            stats,
+        };
+        // A dropped receiver (caller gave up) is not the reactor's
+        // problem; the session is done either way.
+        let _ = session.reply.send(result);
+        self.pump_pending();
+    }
+}

@@ -1,0 +1,192 @@
+//! Target-list ingestion: one `host[:port]` per line, skip-and-report.
+//!
+//! A census target list is operator-authored and often machine-appended;
+//! single corrupt lines must not abort a run that took hours to set up.
+//! The parser therefore never fails as a whole — every unusable line is
+//! skipped and reported with its exact 1-based line number and a reason
+//! naming what was wrong, the same contract the pcap readers follow.
+
+use std::fmt;
+use std::io::Read;
+use std::path::Path;
+
+/// One census target: a host (IPv4 literal or hostname) and a port.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Target {
+    /// Hostname or IPv4 literal, lowercased for comparison stability.
+    pub host: String,
+    /// TCP port, defaulting to 80 when the line omits it.
+    pub port: u16,
+}
+
+impl fmt::Display for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.host, self.port)
+    }
+}
+
+/// A line the parser could not use, with its exact location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedLine {
+    /// 1-based line number in the input.
+    pub line: usize,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+/// The result of parsing a target list: what survived, what was skipped
+/// (with reasons), and how many duplicates were collapsed.
+#[derive(Debug, Clone, Default)]
+pub struct TargetList {
+    /// Usable targets, in first-appearance order, duplicates removed.
+    pub targets: Vec<Target>,
+    /// Unusable lines with 1-based indices and reasons.
+    pub skipped: Vec<SkippedLine>,
+    /// Duplicate lines collapsed (the first occurrence is kept).
+    pub duplicates: usize,
+}
+
+/// Default probe port when a line names only a host.
+pub const DEFAULT_PORT: u16 = 80;
+
+fn parse_line(raw: &str) -> Result<Option<Target>, String> {
+    // Strip a trailing comment, then whitespace. A lone comment or a
+    // blank line is silent — only *malformed content* gets reported.
+    let content = raw.split('#').next().unwrap_or("").trim();
+    if content.is_empty() {
+        return Ok(None);
+    }
+    if content.starts_with('[') || content.matches(':').count() > 1 {
+        return Err("IPv6 targets are not supported (the reactor speaks IPv4 only)".into());
+    }
+    let (host, port) = match content.rsplit_once(':') {
+        Some((host, port_str)) => {
+            let port: u16 = port_str
+                .parse()
+                .map_err(|_| format!("invalid port {port_str:?}: expected 1-65535"))?;
+            if port == 0 {
+                return Err("invalid port \"0\": expected 1-65535".into());
+            }
+            (host.trim(), port)
+        }
+        None => (content, DEFAULT_PORT),
+    };
+    if host.is_empty() {
+        return Err("missing host before the port".into());
+    }
+    if let Some(offender) = host
+        .chars()
+        .find(|c| !(c.is_ascii_alphanumeric() || *c == '.' || *c == '-'))
+    {
+        return Err(format!(
+            "invalid character {offender:?} in host {host:?} (hostnames and IPv4 literals only)"
+        ));
+    }
+    Ok(Some(Target {
+        host: host.to_ascii_lowercase(),
+        port,
+    }))
+}
+
+/// Parses a whole target list. Infallible at the list level: corrupt
+/// lines land in [`TargetList::skipped`], duplicates are collapsed and
+/// counted.
+pub fn parse_targets(input: &str) -> TargetList {
+    let mut list = TargetList::default();
+    let mut seen = std::collections::HashSet::new();
+    for (idx, raw) in input.lines().enumerate() {
+        match parse_line(raw) {
+            Ok(None) => {}
+            Ok(Some(target)) => {
+                if seen.insert(target.clone()) {
+                    list.targets.push(target);
+                } else {
+                    list.duplicates += 1;
+                }
+            }
+            Err(reason) => list.skipped.push(SkippedLine {
+                line: idx + 1,
+                reason,
+            }),
+        }
+    }
+    list
+}
+
+/// Reads and parses a target list from a file. IO failure is the only
+/// hard error — a missing file means there is nothing to census.
+pub fn read_targets(path: &Path) -> Result<TargetList, String> {
+    let mut text = String::new();
+    std::fs::File::open(path)
+        .and_then(|mut f| f.read_to_string(&mut text))
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(parse_targets(&text))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hosts_ports_comments_and_blanks() {
+        let list = parse_targets(
+            "# census fleet\n\
+             127.0.0.1:8080\n\
+             \n\
+             example.com          # default port\n\
+             Example.COM:80       # same thing, different case\n\
+             10.0.0.1:443\n",
+        );
+        assert_eq!(
+            list.targets,
+            vec![
+                Target {
+                    host: "127.0.0.1".into(),
+                    port: 8080
+                },
+                Target {
+                    host: "example.com".into(),
+                    port: 80
+                },
+                Target {
+                    host: "10.0.0.1".into(),
+                    port: 443
+                },
+            ]
+        );
+        assert_eq!(list.duplicates, 1);
+        assert!(list.skipped.is_empty());
+    }
+
+    #[test]
+    fn corrupt_lines_are_skipped_with_exact_indices() {
+        let list = parse_targets(
+            "good.example:81\n\
+             bad port.example:99999\n\
+             :443\n\
+             weird/chars.example\n\
+             [::1]:80\n\
+             other.example:0\n",
+        );
+        assert_eq!(list.targets.len(), 1);
+        let lines: Vec<usize> = list.skipped.iter().map(|s| s.line).collect();
+        assert_eq!(lines, vec![2, 3, 4, 5, 6]);
+        assert!(list.skipped[0].reason.contains("invalid port"));
+        assert!(list.skipped[1].reason.contains("missing host"));
+        assert!(
+            list.skipped[2].reason.contains('/'),
+            "{}",
+            list.skipped[2].reason
+        );
+        assert!(list.skipped[3].reason.contains("IPv6"));
+        assert!(list.skipped[4].reason.contains("1-65535"));
+    }
+
+    #[test]
+    fn empty_input_is_empty_not_an_error() {
+        let list = parse_targets("\n# only comments\n\n");
+        assert!(list.targets.is_empty());
+        assert!(list.skipped.is_empty());
+        assert_eq!(list.duplicates, 0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Reactor-over-real-sockets integration: [`NetTransport`] probing
+//! [`EmulatedServer`]s on loopback. These tests never leave 127.0.0.1.
+//!
+//! The equivalence suite pins the sans-IO cores to the simulator; this
+//! suite pins the *plumbing* — nonblocking connects, the timer wheel,
+//! retries, the rate limiter, concurrency at the acceptance floor of
+//! 256 sessions, and the reduction of every transport failure to
+//! `TransportAborted` instead of a panic or a hang.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use caai_congestion::AlgorithmId;
+use caai_core::census::verdict_for_outcome;
+use caai_core::classify::CaaiClassifier;
+use caai_core::prober::{Prober, ProberConfig};
+use caai_core::training::{build_training_set, TrainingConfig};
+use caai_core::{InvalidReason, ProbeTransport, ServerUnderTest};
+use caai_net::reactor::NetConfig;
+use caai_net::{Behavior, EmulatedServer, NetTransport, ServerProfile, Target};
+use caai_netem::rng::seeded;
+use caai_netem::{ConditionDb, PathConfig};
+use caai_obs::MetricsSubscriber;
+
+fn classifier() -> CaaiClassifier {
+    static CLASSIFIER: std::sync::OnceLock<CaaiClassifier> = std::sync::OnceLock::new();
+    CLASSIFIER
+        .get_or_init(|| {
+            let mut rng = seeded(11);
+            let data = build_training_set(
+                &TrainingConfig::quick(2),
+                &ConditionDb::paper_2011(),
+                &mut rng,
+            );
+            CaaiClassifier::train(&data, &mut rng)
+        })
+        .clone()
+}
+
+fn fast_config() -> NetConfig {
+    NetConfig {
+        connect_timeout: Duration::from_secs(5),
+        io_timeout: Duration::from_secs(10),
+        ..NetConfig::default()
+    }
+}
+
+#[test]
+fn live_verdicts_agree_with_the_simulator() {
+    let algorithms = [
+        AlgorithmId::Reno,
+        AlgorithmId::CubicV2,
+        AlgorithmId::Htcp,
+        AlgorithmId::Vegas,
+    ];
+    let servers: Vec<EmulatedServer> = algorithms
+        .iter()
+        .map(|&a| EmulatedServer::spawn(ServerProfile::ideal(a), Behavior::Normal).unwrap())
+        .collect();
+    let targets: Vec<Target> = servers.iter().map(|s| s.target()).collect();
+    let classifier = classifier();
+    let obs = Arc::new(MetricsSubscriber::new());
+    let transport =
+        NetTransport::new(targets, classifier.clone(), fast_config(), Arc::clone(&obs)).unwrap();
+    assert_eq!(transport.population(), algorithms.len() as u64);
+    assert!(transport.resolution_failures().is_empty());
+
+    for (id, &algorithm) in algorithms.iter().enumerate() {
+        let live = transport.probe(id as u32, 0, &*obs);
+        let mut rng = seeded(id as u64);
+        let sim_outcome = Prober::new(ProberConfig::default()).gather(
+            &ServerUnderTest::ideal(algorithm),
+            &PathConfig::clean(),
+            &mut rng,
+        );
+        let (sim_verdict, _) = verdict_for_outcome(&sim_outcome, &classifier);
+        assert_eq!(
+            live.verdict, sim_verdict,
+            "{algorithm:?}: live verdict diverged from the simulator's"
+        );
+    }
+
+    let snap = obs.snapshot();
+    assert_eq!(snap.counters["net.sessions"], algorithms.len() as u64);
+    assert_eq!(snap.counters["net.sessions_aborted"], 0);
+    // Two usable rungs (env A + env B) = at least two connections each.
+    assert!(snap.counters["net.connections"] >= 2 * algorithms.len() as u64);
+    assert!(snap.counters["net.reactor_ticks"] > 0);
+    // Rung attempts were replayed into the probe-side subscriber.
+    assert_eq!(snap.counters["gather.runs"], algorithms.len() as u64);
+    assert!(snap.counters["gather.attempts"] >= 2 * algorithms.len() as u64);
+}
+
+#[test]
+fn reactor_sustains_256_concurrent_sessions() {
+    let servers: Vec<EmulatedServer> = (0..8)
+        .map(|_| {
+            EmulatedServer::spawn(ServerProfile::ideal(AlgorithmId::CubicV2), Behavior::Normal)
+                .unwrap()
+        })
+        .collect();
+    // 256 targets round-robining over 8 listeners.
+    let targets: Vec<Target> = (0..256).map(|i| servers[i % 8].target()).collect();
+    let obs = Arc::new(MetricsSubscriber::new());
+    let config = NetConfig {
+        max_sessions: 512,
+        ..fast_config()
+    };
+    let transport = NetTransport::new(targets, classifier(), config, Arc::clone(&obs)).unwrap();
+
+    // Submit every probe before collecting any result: the reactor must
+    // hold all 256 sessions in flight at once.
+    let receivers: Vec<_> = (0..256).map(|id| transport.probe_async(id)).collect();
+    for (id, rx) in receivers.into_iter().enumerate() {
+        let result = rx
+            .recv_timeout(Duration::from_secs(120))
+            .unwrap_or_else(|e| panic!("session {id} never finished: {e}"));
+        assert!(
+            result.outcome.pair.is_some(),
+            "session {id} failed: {:?}",
+            result.outcome.failure_reason()
+        );
+        assert!(!result.stats.aborted);
+    }
+
+    let snap = obs.snapshot();
+    assert!(
+        snap.histograms["net.active_sessions"].max >= 256,
+        "reactor never held 256 concurrent sessions (peak {})",
+        snap.histograms["net.active_sessions"].max
+    );
+}
+
+#[test]
+fn rate_limiter_paces_admissions_and_reports_stalls() {
+    let server =
+        EmulatedServer::spawn(ServerProfile::ideal(AlgorithmId::Reno), Behavior::Normal).unwrap();
+    let targets: Vec<Target> = (0..4).map(|_| server.target()).collect();
+    let obs = Arc::new(MetricsSubscriber::new());
+    let config = NetConfig {
+        rate: 10.0, // session 1 admits instantly; 2..4 must wait ~100 ms each
+        ..fast_config()
+    };
+    let transport = NetTransport::new(targets, classifier(), config, Arc::clone(&obs)).unwrap();
+    let receivers: Vec<_> = (0..4).map(|id| transport.probe_async(id)).collect();
+    for rx in receivers {
+        let result = rx.recv_timeout(Duration::from_secs(60)).unwrap();
+        assert!(result.outcome.pair.is_some());
+    }
+    let snap = obs.snapshot();
+    assert!(
+        snap.counters["net.rate_limiter_stalls"] >= 1,
+        "pacing 4 sessions at 10/s must stall at least once"
+    );
+    assert!(snap.histograms["net.limiter_wait_us"].count >= 1);
+}
+
+#[test]
+fn stalled_server_times_out_retries_and_aborts() {
+    let server = EmulatedServer::spawn(
+        ServerProfile::ideal(AlgorithmId::Reno),
+        Behavior::StallAfterAccept,
+    )
+    .unwrap();
+    let obs = Arc::new(MetricsSubscriber::new());
+    let config = NetConfig {
+        io_timeout: Duration::from_millis(200),
+        backoff: Duration::from_millis(10),
+        retries: 1,
+        ..NetConfig::default()
+    };
+    let transport = NetTransport::new(
+        vec![server.target()],
+        classifier(),
+        config,
+        Arc::clone(&obs),
+    )
+    .unwrap();
+    let result = transport
+        .probe_async(0)
+        .recv_timeout(Duration::from_secs(30))
+        .unwrap();
+    assert!(
+        result.stats.aborted,
+        "a stalled peer must abort the session"
+    );
+    assert_eq!(result.stats.retries, 1, "one transport retry was budgeted");
+    assert!(result.stats.timeouts >= 2, "both attempts time out");
+    assert_eq!(
+        result.outcome.failure_reason(),
+        Some(InvalidReason::TransportAborted)
+    );
+
+    // Through the ProbeTransport seam the same target is a clean
+    // Invalid record, not a panic or a hang — and its session stats
+    // land in the caller's subscriber.
+    let record = transport.probe(0, 0, &*obs);
+    assert_eq!(record.server_id, 0);
+    let snap = obs.snapshot();
+    assert_eq!(snap.counters["net.sessions"], 1);
+    assert_eq!(snap.counters["net.sessions_aborted"], 1);
+    assert!(snap.counters["net.timeouts"] >= 2);
+    assert!(snap.counters["net.retries"] >= 1);
+}
+
+#[test]
+fn rst_mid_ladder_reduces_to_transport_aborted() {
+    let server = EmulatedServer::spawn(
+        ServerProfile::ideal(AlgorithmId::CubicV2),
+        Behavior::RstAfterBursts(3),
+    )
+    .unwrap();
+    let obs = Arc::new(MetricsSubscriber::new());
+    let config = NetConfig {
+        retries: 0,
+        ..fast_config()
+    };
+    let transport = NetTransport::new(
+        vec![server.target()],
+        classifier(),
+        config,
+        Arc::clone(&obs),
+    )
+    .unwrap();
+    let result = transport
+        .probe_async(0)
+        .recv_timeout(Duration::from_secs(30))
+        .unwrap();
+    assert!(result.stats.aborted);
+    assert_eq!(
+        result.outcome.failure_reason(),
+        Some(InvalidReason::TransportAborted),
+        "a mid-ladder RST is an invalid probe, not a crash"
+    );
+    let snap = obs.snapshot();
+    assert_eq!(snap.counters["net.sessions"], 0, "no probe() call yet");
+}
+
+#[test]
+fn unresolvable_targets_reduce_to_aborted_records() {
+    let target = Target {
+        host: "definitely-not-a-real-host.invalid".to_string(),
+        port: 80,
+    };
+    let obs = Arc::new(MetricsSubscriber::new());
+    let transport =
+        NetTransport::new(vec![target], classifier(), fast_config(), Arc::clone(&obs)).unwrap();
+    let failures = transport.resolution_failures();
+    assert_eq!(failures.len(), 1);
+    assert_eq!(failures[0].0, 0);
+    let result = transport
+        .probe_async(0)
+        .recv_timeout(Duration::from_secs(5))
+        .unwrap();
+    assert!(result.stats.aborted);
+    assert_eq!(
+        result.outcome.failure_reason(),
+        Some(InvalidReason::TransportAborted)
+    );
+}

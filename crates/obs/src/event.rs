@@ -222,6 +222,43 @@ pub struct SessionEmitted {
     pub lag_secs: f64,
 }
 
+/// One real-network probe session concluded (successfully or not).
+///
+/// Emitted by `caai-net` once per target when the session's outcome is
+/// final — after the last retry, not per connection attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetSessionEnded {
+    /// TCP connections the session opened (1 + retries that got far
+    /// enough to dial).
+    pub connections: u32,
+    /// Transport-level retries the session burned.
+    pub retries: u32,
+    /// I/O or connect timeouts observed across all attempts.
+    pub timed_out: u32,
+    /// Whether the session ended in a `TransportAborted` verdict instead
+    /// of a ladder conclusion.
+    pub aborted: bool,
+}
+
+/// A probe session was held back by the politeness rate limiter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimiterStalled {
+    /// Microseconds until the limiter's next token matures.
+    pub wait_us: u64,
+}
+
+/// The socket reactor completed one event-loop tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReactorTicked {
+    /// I/O readiness events dispatched this tick.
+    pub ready: u32,
+    /// Probe sessions live in the reactor after the tick.
+    pub active_sessions: u64,
+    /// Wall microseconds the tick spent dispatching (excluding the
+    /// `epoll_wait`/`poll` sleep itself).
+    pub latency_us: u64,
+}
+
 /// Every event, borrowed. What a catch-all [`Subscriber::on_event`]
 /// override receives.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -242,6 +279,9 @@ pub enum Event<'a> {
     GranuleCompleted(&'a GranuleCompleted),
     QueueDepthSampled(&'a QueueDepthSampled),
     SessionEmitted(&'a SessionEmitted),
+    NetSessionEnded(&'a NetSessionEnded),
+    RateLimiterStalled(&'a RateLimiterStalled),
+    ReactorTicked(&'a ReactorTicked),
 }
 
 /// Receiver of structured events.
@@ -350,6 +390,24 @@ pub trait Subscriber: Sync {
         self.on_event(&Event::SessionEmitted(event));
     }
 
+    /// See [`NetSessionEnded`].
+    #[inline(always)]
+    fn on_net_session_ended(&self, event: &NetSessionEnded) {
+        self.on_event(&Event::NetSessionEnded(event));
+    }
+
+    /// See [`RateLimiterStalled`].
+    #[inline(always)]
+    fn on_rate_limiter_stalled(&self, event: &RateLimiterStalled) {
+        self.on_event(&Event::RateLimiterStalled(event));
+    }
+
+    /// See [`ReactorTicked`].
+    #[inline(always)]
+    fn on_reactor_ticked(&self, event: &ReactorTicked) {
+        self.on_event(&Event::ReactorTicked(event));
+    }
+
     /// Catch-all sink the per-event defaults forward into. Instrumented
     /// code never calls this directly.
     #[inline(always)]
@@ -438,6 +496,18 @@ impl<S: Subscriber + ?Sized> Subscriber for &S {
         (**self).on_session_emitted(event);
     }
     #[inline(always)]
+    fn on_net_session_ended(&self, event: &NetSessionEnded) {
+        (**self).on_net_session_ended(event);
+    }
+    #[inline(always)]
+    fn on_rate_limiter_stalled(&self, event: &RateLimiterStalled) {
+        (**self).on_rate_limiter_stalled(event);
+    }
+    #[inline(always)]
+    fn on_reactor_ticked(&self, event: &ReactorTicked) {
+        (**self).on_reactor_ticked(event);
+    }
+    #[inline(always)]
     fn on_event(&self, event: &Event<'_>) {
         (**self).on_event(event);
     }
@@ -522,6 +592,21 @@ impl<A: Subscriber, B: Subscriber> Subscriber for (A, B) {
     fn on_session_emitted(&self, event: &SessionEmitted) {
         self.0.on_session_emitted(event);
         self.1.on_session_emitted(event);
+    }
+    #[inline(always)]
+    fn on_net_session_ended(&self, event: &NetSessionEnded) {
+        self.0.on_net_session_ended(event);
+        self.1.on_net_session_ended(event);
+    }
+    #[inline(always)]
+    fn on_rate_limiter_stalled(&self, event: &RateLimiterStalled) {
+        self.0.on_rate_limiter_stalled(event);
+        self.1.on_rate_limiter_stalled(event);
+    }
+    #[inline(always)]
+    fn on_reactor_ticked(&self, event: &ReactorTicked) {
+        self.0.on_reactor_ticked(event);
+        self.1.on_reactor_ticked(event);
     }
     #[inline(always)]
     fn on_event(&self, event: &Event<'_>) {

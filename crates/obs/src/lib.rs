@@ -55,8 +55,9 @@ pub mod subscribers;
 pub use event::{
     CaptureTruncated, CensusRecordObserved, CensusResumed, CheckpointWritten, Environment, Event,
     EvictionCause, FlowEvicted, FlowOpened, FrameDecoded, GatherFinished, GranuleCompleted,
-    NullSubscriber, PacketSkipped, ProbeTimed, QueueDepthSampled, RungAttemptEnded,
-    RungAttemptStarted, SessionEmitted, Subscriber, VerdictKind,
+    NetSessionEnded, NullSubscriber, PacketSkipped, ProbeTimed, QueueDepthSampled,
+    RateLimiterStalled, ReactorTicked, RungAttemptEnded, RungAttemptStarted, SessionEmitted,
+    Subscriber, VerdictKind,
 };
 pub use metrics::{Counter, Histogram, HistogramSnapshot};
 pub use snapshot::{parse_line, validate_jsonl, MetricsSnapshot, SnapshotLine, SCHEMA};

@@ -2,9 +2,9 @@
 
 use crate::event::{
     CaptureTruncated, CensusRecordObserved, CensusResumed, CheckpointWritten, EvictionCause,
-    FlowEvicted, FlowOpened, FrameDecoded, GatherFinished, GranuleCompleted, PacketSkipped,
-    ProbeTimed, QueueDepthSampled, RungAttemptEnded, RungAttemptStarted, SessionEmitted,
-    Subscriber, VerdictKind,
+    FlowEvicted, FlowOpened, FrameDecoded, GatherFinished, GranuleCompleted, NetSessionEnded,
+    PacketSkipped, ProbeTimed, QueueDepthSampled, RateLimiterStalled, ReactorTicked,
+    RungAttemptEnded, RungAttemptStarted, SessionEmitted, Subscriber, VerdictKind,
 };
 use crate::metrics::{Counter, Histogram};
 use crate::snapshot::MetricsSnapshot;
@@ -51,6 +51,14 @@ pub struct MetricsSubscriber {
     verdicts_invalid: Counter,
     // stream
     granules: Counter,
+    // net (real-socket transport)
+    net_sessions: Counter,
+    net_sessions_aborted: Counter,
+    net_connections: Counter,
+    net_retries: Counter,
+    net_timeouts: Counter,
+    net_rate_limiter_stalls: Counter,
+    net_reactor_ticks: Counter,
     // histograms
     probe_gather_us: Histogram,
     probe_verdict_us: Histogram,
@@ -58,6 +66,9 @@ pub struct MetricsSubscriber {
     queue_depth: Histogram,
     live_sessions: Histogram,
     verdict_lag_ms: Histogram,
+    net_limiter_wait_us: Histogram,
+    net_tick_latency_us: Histogram,
+    net_active_sessions: Histogram,
 }
 
 impl MetricsSubscriber {
@@ -154,6 +165,13 @@ impl MetricsSubscriber {
         c("identify.verdicts_special", &self.verdicts_special);
         c("identify.verdicts_invalid", &self.verdicts_invalid);
         c("stream.granules", &self.granules);
+        c("net.sessions", &self.net_sessions);
+        c("net.sessions_aborted", &self.net_sessions_aborted);
+        c("net.connections", &self.net_connections);
+        c("net.retries", &self.net_retries);
+        c("net.timeouts", &self.net_timeouts);
+        c("net.rate_limiter_stalls", &self.net_rate_limiter_stalls);
+        c("net.reactor_ticks", &self.net_reactor_ticks);
         let mut h = |name: &str, hist: &Histogram| {
             s.histograms.insert(name.to_owned(), hist.snapshot());
         };
@@ -163,6 +181,9 @@ impl MetricsSubscriber {
         h("stream.queue_depth", &self.queue_depth);
         h("stream.live_sessions", &self.live_sessions);
         h("stream.verdict_lag_ms", &self.verdict_lag_ms);
+        h("net.limiter_wait_us", &self.net_limiter_wait_us);
+        h("net.tick_latency_us", &self.net_tick_latency_us);
+        h("net.active_sessions", &self.net_active_sessions);
         s
     }
 
@@ -261,6 +282,27 @@ impl Subscriber for MetricsSubscriber {
         self.verdict_counter(event.verdict).0.incr();
         let lag_ms = (event.lag_secs.max(0.0) * 1000.0).round() as u64;
         self.verdict_lag_ms.record(lag_ms);
+    }
+
+    fn on_net_session_ended(&self, event: &NetSessionEnded) {
+        self.net_sessions.incr();
+        if event.aborted {
+            self.net_sessions_aborted.incr();
+        }
+        self.net_connections.add(u64::from(event.connections));
+        self.net_retries.add(u64::from(event.retries));
+        self.net_timeouts.add(u64::from(event.timed_out));
+    }
+
+    fn on_rate_limiter_stalled(&self, event: &RateLimiterStalled) {
+        self.net_rate_limiter_stalls.incr();
+        self.net_limiter_wait_us.record(event.wait_us);
+    }
+
+    fn on_reactor_ticked(&self, event: &ReactorTicked) {
+        self.net_reactor_ticks.incr();
+        self.net_tick_latency_us.record(event.latency_us);
+        self.net_active_sessions.record(event.active_sessions);
     }
 }
 

@@ -28,6 +28,11 @@
 //!   one source trait, follow mode over growing files/FIFOs/stdin, and
 //!   the RSS-style multi-worker reassembly pipeline with bounded memory
 //!   and worker-count-independent verdicts;
+//! * [`net`] — the real-network probe transport: a dependency-free
+//!   epoll/poll reactor driving the ACK-withholding ladder over live
+//!   TCP sockets, `host:port` target-list ingestion, token-bucket rate
+//!   limiting, and in-repo emulated loopback servers so tests never
+//!   touch the real network;
 //! * [`obs`] — structured events and lock-free metrics: the
 //!   [`obs::Subscriber`] trait every pipeline stage reports into, counters
 //!   and mergeable histograms, and the `caai-metrics-v1` JSONL snapshot
@@ -55,6 +60,7 @@ pub use caai_congestion as congestion;
 pub use caai_core as core;
 pub use caai_engine as engine;
 pub use caai_ml as ml;
+pub use caai_net as net;
 pub use caai_netem as netem;
 pub use caai_obs as obs;
 pub use caai_stream as stream;

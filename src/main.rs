@@ -14,6 +14,9 @@
 //!                [--shard 0/4] [--out report.jsonl]
 //!                [--checkpoint ck.json] [--resume ck.json]
 //!                [--budget N] [--deadline SECS] [--metrics m.jsonl]
+//! caai census    --targets hosts.txt [--retries 1] [--probe-rate 50]
+//!                [--max-sessions 1024] ...           (probe real sockets)
+//! caai emulate   --algos RENO,CUBIC,HTCP --count 50 --targets-out hosts.txt
 //! caai census-merge --in s0.ck.json --in s1.ck.json ... [--json]
 //! caai metrics-check --in m.jsonl [--expect-min capture.frames_decoded=1]
 //! caai defense-sweep --budgets 0.05,0.15,0.30 --out DEFENSE_CURVE.json
@@ -36,9 +39,10 @@ use caai::core::prober::{Prober, ProberConfig};
 use caai::core::server_under_test::ServerUnderTest;
 use caai::core::training::{build_training_set, TrainingConfig};
 use caai::engine::{
-    merge_pieces, AggregatingSink, Budget, CensusEngine, Checkpoint, EngineConfig, JsonlMeta,
-    JsonlSink, ResultSink, ShardPiece, ShardSpec,
+    merge_pieces, run_transport_obs, AggregatingSink, Budget, CensusEngine, Checkpoint,
+    EngineConfig, JsonlMeta, JsonlSink, ResultSink, ShardPiece, ShardSpec,
 };
+use caai::net::{read_targets, Behavior, EmulatedServer, NetConfig, NetTransport, ServerProfile};
 use caai::netem::rng::seeded;
 use caai::netem::{ConditionDb, EnvironmentId, PathConfig};
 use caai::obs::{GranuleCompleted, MetricsSubscriber, StderrSubscriber, Subscriber};
@@ -46,6 +50,7 @@ use caai::stream::{identify_bytes_obs, open_path, FollowConfig, StreamConfig};
 use caai::webmodel::PopulationConfig;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Minimal flag parser: `--key value` pairs after the subcommand, plus a
@@ -180,6 +185,26 @@ COMMANDS:
                   [--progress N]         progress + stage-timing line every N records
                                          (0 = quiet; --metrics still collects)
                   [--metrics FILE]       write a final caai-metrics-v1 snapshot line
+                  [--targets FILE]       probe a live `host:port` target list over real
+                                         TCP sockets instead of a synthetic population
+                                         (exclusive with --servers; malformed lines,
+                                         duplicates, and unresolvable hosts are skipped
+                                         and reported, never fatal)
+                  with --targets:
+                  [--connect-timeout-ms N]  nonblocking connect deadline (10000)
+                  [--io-timeout-ms N]    per-frame peer response deadline (10000)
+                  [--retries N]          ladder restarts per target on transport
+                                         failure (1)
+                  [--backoff-ms N]       base retry backoff, doubled per retry (100)
+                  [--probe-rate R]       global session admissions/sec (0 = unlimited)
+                  [--net-rate R]         per-/24 admissions/sec (0 = unlimited)
+                  [--max-sessions N]     concurrent reactor sessions (1024)
+                  [--pace F]             real seconds per virtual round second (0)
+    emulate       park a fleet of loopback servers replaying simulated TCP
+                  stacks over real sockets, for `census --targets` tests
+                  --targets-out FILE     write the `host:port` list here
+                  [--algos A,B,C]        cycle these algorithms (RENO,CUBIC,HTCP)
+                  [--count N]            number of listeners (50)
     census-merge  join per-shard checkpoints/JSONL into one report
                   --in FILE [--in FILE ...] each a --checkpoint or --out
                                             file from a census shard
@@ -233,6 +258,7 @@ fn main() -> ExitCode {
         "identify" => cmd_identify(&args),
         "render-pcap" => cmd_render_pcap(&args),
         "census" => cmd_census(&args),
+        "emulate" => cmd_emulate(&args),
         "census-merge" => cmd_census_merge(&args),
         "metrics-check" => cmd_metrics_check(&args),
         "defense-sweep" => cmd_defense_sweep(&args),
@@ -890,6 +916,16 @@ fn cmd_render_pcap(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_census(args: &Args) -> Result<(), String> {
+    if let Some(path) = args.get("targets") {
+        if args.get("servers").is_some() {
+            return Err(
+                "--targets and --servers are mutually exclusive: a census probes \
+                        either a live target list or a synthetic population"
+                    .to_owned(),
+            );
+        }
+        return cmd_census_net(args, path);
+    }
     let servers: u32 = args.parsed("servers", 1000)?;
     let seed: u64 = args.parsed("seed", 1)?;
     let workers: usize = args.parsed("workers", 4)?;
@@ -998,6 +1034,188 @@ fn cmd_census(args: &Args) -> Result<(), String> {
         );
     }
     print_report(&outcome.report, args.get("json").is_some())
+}
+
+/// `caai census --targets FILE`: the same census pipeline — engine,
+/// shards, checkpoints, sinks, report — fed by [`NetTransport`] probing
+/// real sockets instead of the simulator. Malformed target lines,
+/// duplicates, and unresolvable hosts are skipped and reported, never
+/// fatal: a live census finishes with whatever answered.
+fn cmd_census_net(args: &Args, targets_path: &str) -> Result<(), String> {
+    let seed: u64 = args.parsed("seed", 1)?;
+    let workers: usize = args.parsed("workers", 4)?;
+    let shard: ShardSpec = match args.get("shard") {
+        None => ShardSpec::full(),
+        Some(v) => v.parse().map_err(|e| format!("--shard {v}: {e}"))?,
+    };
+    let list = read_targets(std::path::Path::new(targets_path))
+        .map_err(|e| format!("read {targets_path}: {e}"))?;
+    for skipped in &list.skipped {
+        eprintln!(
+            "{targets_path}: line {}: skipped ({})",
+            skipped.line, skipped.reason
+        );
+    }
+    if list.duplicates > 0 {
+        eprintln!(
+            "{targets_path}: {} duplicate target(s) dropped (first occurrence kept)",
+            list.duplicates
+        );
+    }
+    if list.targets.is_empty() {
+        return Err(format!("{targets_path}: no usable targets"));
+    }
+    let population = list.targets.len() as u64;
+
+    let classifier = load_or_train(args)?;
+    let net_config = NetConfig {
+        prober: ProberConfig::default(),
+        connect_timeout: Duration::from_millis(args.parsed("connect-timeout-ms", 10_000u64)?),
+        io_timeout: Duration::from_millis(args.parsed("io-timeout-ms", 10_000u64)?),
+        retries: args.parsed("retries", 1)?,
+        backoff: Duration::from_millis(args.parsed("backoff-ms", 100u64)?),
+        pacing: args.parsed("pace", 0.0)?,
+        rate: args.parsed("probe-rate", 0.0)?,
+        rate_per_net: args.parsed("net-rate", 0.0)?,
+        max_sessions: args.parsed("max-sessions", 1024)?,
+    };
+    // The transport and the engine share one metrics subscriber: reactor
+    // ticks and rate-limiter stalls land next to probe and census
+    // counters in the same --metrics snapshot.
+    let metrics = Arc::new(MetricsSubscriber::new());
+    let transport = NetTransport::new(list.targets, classifier, net_config, Arc::clone(&metrics))
+        .map_err(|e| format!("start reactor: {e}"))?;
+    for (id, target, why) in transport.resolution_failures() {
+        eprintln!("{targets_path}: target {id} ({target}): skipped ({why}); recorded as invalid");
+    }
+
+    let config = EngineConfig {
+        seed,
+        workers,
+        batch_size: args.parsed("batch", 16)?,
+        shard,
+        checkpoint_path: args.get("checkpoint").map(PathBuf::from),
+        checkpoint_every: args.parsed("checkpoint-every", 256)?,
+        sink_queue: args.parsed("sink-queue", 1024)?,
+        budget: Budget {
+            max_probes: match args.get("budget") {
+                None => None,
+                Some(v) => Some(v.parse().map_err(|e| format!("--budget {v}: {e}"))?),
+            },
+            deadline: match args.get("deadline") {
+                None => None,
+                Some(v) => {
+                    let secs: f64 = v.parse().map_err(|e| format!("--deadline {v}: {e}"))?;
+                    Some(Duration::from_secs_f64(secs))
+                }
+            },
+        },
+        progress_every: args.parsed("progress", 0)?,
+    };
+    let resume = match args.get("resume") {
+        None => None,
+        Some(path) => {
+            let ck = Checkpoint::load(path).map_err(|e| format!("resume {path}: {e}"))?;
+            ck.ensure_matches(seed, population, shard)
+                .map_err(|e| format!("resume {path}: {e}"))?;
+            Some(ck)
+        }
+    };
+    let mut jsonl = match args.get("out") {
+        None => None,
+        Some(out) => {
+            let mut sink = if resume.is_some() {
+                JsonlSink::append(out).map_err(|e| format!("append {out}: {e}"))?
+            } else {
+                JsonlSink::create(out).map_err(|e| format!("create {out}: {e}"))?
+            };
+            sink.write_meta(&JsonlMeta {
+                seed,
+                population,
+                shard,
+            })
+            .map_err(|e| format!("write {out}: {e}"))?;
+            Some(sink)
+        }
+    };
+
+    let owned = shard.owned_count(population);
+    eprintln!(
+        "probing {owned} of {population} live targets (shard {shard}) on {workers} workers ..."
+    );
+    let mut metrics_file = open_metrics(args)?;
+    let outcome = match jsonl.as_mut() {
+        Some(sink) => run_transport_obs(
+            &transport,
+            &config,
+            &mut [sink as &mut dyn ResultSink],
+            resume,
+            &*metrics,
+        ),
+        None => run_transport_obs(&transport, &config, &mut [], resume, &*metrics),
+    }
+    .map_err(|e| e.to_string())?;
+    if let Some(file) = metrics_file.as_mut() {
+        file.write(&metrics, "census", true)?;
+    }
+    eprintln!("census: {}", outcome.stats);
+    if !outcome.completed {
+        eprintln!(
+            "budget exhausted after {} probes; the report below is partial{}",
+            outcome.stats.probed,
+            match args.get("checkpoint") {
+                Some(ck) => format!(" — resume with `--resume {ck}`"),
+                None => String::new(),
+            }
+        );
+    }
+    if !shard.is_full() {
+        eprintln!(
+            "shard {shard} report below covers {owned} targets; join all {} shards \
+             with `caai census-merge`",
+            shard.count
+        );
+    }
+    print_report(&outcome.report, args.get("json").is_some())
+}
+
+/// `caai emulate`: a parked fleet of loopback [`EmulatedServer`]s for
+/// exercising `census --targets` without touching the real network (CI
+/// runs this in the background, probes it, then kills it).
+fn cmd_emulate(args: &Args) -> Result<(), String> {
+    let count: usize = args.parsed("count", 50)?;
+    if count == 0 {
+        return Err("--count must be at least 1".to_owned());
+    }
+    let algos: Vec<AlgorithmId> = args
+        .get("algos")
+        .unwrap_or("RENO,CUBIC,HTCP")
+        .split(',')
+        .map(|name| name.parse().map_err(|e| format!("--algos: {e}")))
+        .collect::<Result<_, _>>()?;
+    let out = args
+        .get("targets-out")
+        .ok_or("emulate needs --targets-out FILE")?;
+    // Bind everything before writing the list: once the file exists,
+    // every line in it accepts connections.
+    let mut servers = Vec::with_capacity(count);
+    let mut lines = String::new();
+    for i in 0..count {
+        let algo = algos[i % algos.len()];
+        let server = EmulatedServer::spawn(ServerProfile::ideal(algo), Behavior::Normal)
+            .map_err(|e| format!("spawn server {i}: {e}"))?;
+        lines.push_str(&format!("{} # {algo:?}\n", server.target_line()));
+        servers.push(server);
+    }
+    std::fs::write(out, lines).map_err(|e| format!("write {out}: {e}"))?;
+    eprintln!(
+        "emulating {count} loopback servers over {} algorithm(s); targets in {out}; \
+         kill this process to stop",
+        algos.len()
+    );
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
 }
 
 fn cmd_census_merge(args: &Args) -> Result<(), String> {
