@@ -249,16 +249,35 @@ fn bench_obs_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// What one unit of `rate_per_sec` means for this entry. Byte-counted
+/// groups are bytes/s; element-counted groups are whatever one element
+/// is in that group (a full probe, or one vector through the
+/// feature/forest stage).
+fn rate_unit(r: &criterion::BenchResult) -> Option<&'static str> {
+    match r.throughput? {
+        Throughput::Bytes(_) => Some("bytes/s"),
+        Throughput::Elements(_) => Some(if r.group == "identify_features_and_forest" {
+            "classifications/s"
+        } else {
+            "probes/s"
+        }),
+    }
+}
+
 /// Serializes the collected measurements as the `BENCH_identify.json`
-/// document (hand-formatted: group/id strings are plain ASCII). v2 adds
-/// the per-entry `input` object (bytes/packets/flows per iteration).
+/// document (hand-formatted: group/id strings are plain ASCII). v2 added
+/// the per-entry `input` object (bytes/packets/flows per iteration); v3
+/// adds `rate_unit`, naming what `rate_per_sec` counts — the bytes/s
+/// ingestion groups and probes/s gather groups differ by six orders of
+/// magnitude, so the unit must travel with the number.
 fn results_json(c: &Criterion) -> String {
-    let mut out = String::from("{\n  \"schema\": \"caai-bench-identify-v2\",\n  \"benches\": [\n");
+    let mut out = String::from("{\n  \"schema\": \"caai-bench-identify-v3\",\n  \"benches\": [\n");
     let results = c.results();
     for (i, r) in results.iter().enumerate() {
         let rate = r
             .rate_per_sec()
             .map_or("null".to_owned(), |x| format!("{x:.1}"));
+        let unit = rate_unit(r).map_or("null".to_owned(), |u| format!("\"{u}\""));
         let opt = |v: Option<u64>| v.map_or("null".to_owned(), |n| n.to_string());
         let input = if r.input.is_empty() {
             "null".to_owned()
@@ -272,11 +291,12 @@ fn results_json(c: &Criterion) -> String {
         };
         out.push_str(&format!(
             "    {{\"group\": \"{}\", \"id\": \"{}\", \"median_ns\": {}, \"rate_per_sec\": {}, \
-             \"input\": {}}}{}\n",
+             \"rate_unit\": {}, \"input\": {}}}{}\n",
             r.group,
             r.id,
             r.median_ns,
             rate,
+            unit,
             input,
             if i + 1 == results.len() { "" } else { "," },
         ));

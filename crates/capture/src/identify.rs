@@ -15,7 +15,7 @@ use crate::reconstruct::{self, ProbeSession, DEFAULT_LADDER};
 use caai_core::census::{CensusRecord, Verdict};
 use caai_core::classify::{CaaiClassifier, Identification};
 use caai_core::prober::GatherOutcome;
-use caai_obs::{NullSubscriber, SessionEmitted, Subscriber};
+use caai_obs::{span_begin, NullSubscriber, SessionEmitted, SpanKind, Subscriber};
 
 /// One probe session's verdict.
 #[derive(Debug, Clone, PartialEq)]
@@ -88,8 +88,12 @@ pub fn identify_reassembly_obs<S: Subscriber>(
         .filter(|s| !s.connections.is_empty())
         .enumerate()
         .map(|(i, s)| {
+            let replay_span = span_begin(obs, SpanKind::SessionReplay, i as i64, 0);
             let outcome = reconstruct::session_outcome(s, ladder);
+            replay_span.end(obs);
+            let classify_span = span_begin(obs, SpanKind::Classify, i as i64, 0);
             let (verdict, identification) = verdict_for(&outcome, classifier);
+            classify_span.end(obs);
             obs.on_session_emitted(&SessionEmitted {
                 verdict: verdict.kind(),
                 wmax: verdict.wmax(),
@@ -137,7 +141,10 @@ pub fn identify_capture_obs<S: Subscriber>(
     obs: &S,
 ) -> Result<CaptureVerdicts, PcapError> {
     let ladder = ladder.unwrap_or(&DEFAULT_LADDER);
-    let reassembly = crate::flow::reassemble_obs(buf, obs)?;
+    let reassembly_span = span_begin(obs, SpanKind::Reassembly, buf.len() as i64, 0);
+    let reassembly = crate::flow::reassemble_obs(buf, obs);
+    reassembly_span.end(obs);
+    let reassembly = reassembly?;
     let sessions = identify_reassembly_obs(&reassembly, classifier, ladder, obs);
     Ok(CaptureVerdicts {
         sessions,

@@ -11,7 +11,7 @@
 
 use caai_congestion::AlgorithmId;
 use caai_netem::{ConditionDb, PathConfig};
-use caai_obs::{NullSubscriber, ProbeTimed, Subscriber};
+use caai_obs::{span_begin, NullSubscriber, ProbeTimed, SpanKind, Subscriber};
 use caai_webmodel::WebServer;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -375,9 +375,13 @@ impl Census {
         let path = PathConfig::from_condition(&cond);
         let sut = ServerUnderTest::from_web_server(server);
         let gather_started = S::ENABLED.then(Instant::now);
+        let gather_span = span_begin(obs, SpanKind::Gather, i64::from(server.id), 0);
         let outcome = self.prober.gather_obs(&sut, &path, rng, obs);
+        gather_span.end(obs);
         let gather_done = S::ENABLED.then(Instant::now);
+        let classify_span = span_begin(obs, SpanKind::Classify, i64::from(server.id), 0);
         let (verdict, _) = verdict_for_outcome(&outcome, &self.classifier);
+        classify_span.end(obs);
         if let (Some(t0), Some(t1)) = (gather_started, gather_done) {
             obs.on_probe_timed(&ProbeTimed {
                 gather_us: (t1 - t0).as_micros() as u64,

@@ -16,7 +16,10 @@ use caai_netem::path::DataFate;
 use caai_netem::{
     DefenseOverhead, DefenseSpec, DefenseState, EnvironmentId, PathConfig, Phase, RttSchedule,
 };
-use caai_obs::{GatherFinished, NullSubscriber, RungAttemptEnded, RungAttemptStarted, Subscriber};
+use caai_obs::{
+    span_begin_at, GatherFinished, NullSubscriber, RungAttemptEnded, RungAttemptStarted, SpanKind,
+    Subscriber,
+};
 use caai_tcpsim::{AckPacket, TcpServer, WirePacket};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -423,8 +426,16 @@ impl Prober {
             environment: obs_environment(env),
             wmax,
         });
+        let span = span_begin_at(
+            obs,
+            SpanKind::RungAttempt,
+            i64::from(wmax),
+            matches!(env, EnvironmentId::B) as i64,
+            start,
+        );
         let (trace, end, stall_exited, overhead) =
-            self.gather_trace_inner(server, env, wmax, start, path, rng, tap);
+            self.gather_trace_inner(server, env, wmax, start, path, rng, tap, obs);
+        span.end_at(obs, end);
         obs.on_rung_attempt_ended(&RungAttemptEnded {
             environment: obs_environment(env),
             wmax,
@@ -440,7 +451,7 @@ impl Prober {
     /// stall early-exit ended phase 1; the [`DefenseOverhead`] is the
     /// connection's defense accounting (zero when undefended).
     #[allow(clippy::too_many_arguments)]
-    fn gather_trace_inner(
+    fn gather_trace_inner<S: Subscriber>(
         &self,
         server: &ServerUnderTest,
         env: EnvironmentId,
@@ -449,6 +460,7 @@ impl Prober {
         path: &PathConfig,
         rng: &mut impl Rng,
         tap: &mut dyn ProbeTap,
+        obs: &S,
     ) -> (WindowTrace, f64, bool, DefenseOverhead) {
         let schedule = RttSchedule::new(env);
         let granted_mss = server.granted_mss(self.config.proposed_mss);
@@ -480,6 +492,7 @@ impl Prober {
         let mut stall_exited = false; // the Fig. 13 early exit fired
 
         for round in 1..=self.config.max_pre_rounds as u32 {
+            let round_span = span_begin_at(obs, SpanKind::Round, i64::from(round), 0, now);
             let rtt = schedule.rtt(Phase::BeforeTimeout, round);
             let segs = conn.transmit(now);
             let defense_holds = defense.as_ref().is_some_and(DefenseState::has_held);
@@ -488,6 +501,7 @@ impl Prober {
                     trace.invalid = Some(InvalidReason::PageTooShort);
                     server.disconnect(&conn, now);
                     tap.connection_closed(now, CloseInitiator::Server);
+                    round_span.end_at(obs, now);
                     return (trace, now, stall_exited, overhead_of(&defense));
                 }
                 // All ACKs of the previous round were lost: wait for the
@@ -499,6 +513,7 @@ impl Prober {
                 }
                 trace.pre.push(0);
                 now += rtt;
+                round_span.end_at(obs, now);
                 continue;
             }
 
@@ -513,6 +528,7 @@ impl Prober {
 
             if w > wmax {
                 crossed = true;
+                round_span.end_at(obs, now);
                 break; // withhold this round's ACKs: emulate the timeout
             }
 
@@ -536,9 +552,11 @@ impl Prober {
                 stalled += 1;
                 if self.config.stall_rounds > 0 && stalled >= self.config.stall_rounds {
                     stall_exited = true;
+                    round_span.end_at(obs, now);
                     break;
                 }
             }
+            round_span.end_at(obs, now);
         }
 
         if !crossed {
@@ -580,6 +598,7 @@ impl Prober {
         let mut first_post_round = true;
         let mut post_round: u32 = 1;
         while trace.post.len() < self.config.post_timeout_rounds {
+            let round_span = span_begin_at(obs, SpanKind::Round, i64::from(post_round), 1, now);
             let rtt = schedule.rtt(Phase::AfterTimeout, post_round);
             let segs = conn.transmit(now);
             let defense_holds = defense.as_ref().is_some_and(DefenseState::has_held);
@@ -588,6 +607,7 @@ impl Prober {
                     trace.invalid = Some(InvalidReason::RecoveryTooShort);
                     server.disconnect(&conn, now);
                     tap.connection_closed(now, CloseInitiator::Server);
+                    round_span.end_at(obs, now);
                     return (trace, now, stall_exited, overhead_of(&defense));
                 }
                 if let Some(deadline) = conn.rto_deadline() {
@@ -598,6 +618,7 @@ impl Prober {
                 trace.post.push(0);
                 now += rtt;
                 post_round += 1;
+                round_span.end_at(obs, now);
                 continue;
             }
 
@@ -637,6 +658,7 @@ impl Prober {
                 }
             }
             post_round += 1;
+            round_span.end_at(obs, now);
         }
 
         server.disconnect(&conn, now);

@@ -50,8 +50,8 @@ use crate::telemetry::{ProgressStats, Telemetry};
 use caai_core::census::{Census, CensusRecord, CensusReport};
 use caai_core::transport::{ProbeTransport, SimTransport};
 use caai_obs::{
-    CensusRecordObserved, CensusResumed, CheckpointWritten, Histogram, NullSubscriber, ProbeTimed,
-    Subscriber,
+    span_begin, span_begin_with_parent, CensusRecordObserved, CensusResumed, CheckpointWritten,
+    Histogram, NullSubscriber, ProbeTimed, SpanKind, Subscriber,
 };
 use caai_webmodel::WebServer;
 use std::fmt;
@@ -340,6 +340,9 @@ fn run_transport_inner<T: ProbeTransport, S: Subscriber>(
     let mut checkpoints_written: u64 = 0;
     let mut budget_hit = false;
 
+    let run_span = span_begin(obs, SpanKind::CensusRun, owned_total as i64, workers as i64);
+    let run_id = run_span.id();
+
     let sink_result = std::thread::scope(|scope| {
         // Dedicated sink thread: drains the bounded queue so slow
         // sinks never stall the coordinator below.
@@ -373,8 +376,18 @@ fn run_transport_inner<T: ProbeTransport, S: Subscriber>(
             let stop = &stop;
             scope.spawn(move || {
                 'claim: while let Some(batch) = scheduler.next_batch() {
+                    // Explicit parent: the run span lives on the
+                    // coordinator thread, this batch on a worker.
+                    let batch_span = span_begin_with_parent(
+                        obs,
+                        SpanKind::Batch,
+                        run_id,
+                        batch.start as i64,
+                        batch.len() as i64,
+                    );
                     for i in batch {
                         if stop.load(Ordering::Relaxed) {
+                            batch_span.end(obs);
                             break 'claim;
                         }
                         let id = pending[i];
@@ -384,9 +397,11 @@ fn run_transport_inner<T: ProbeTransport, S: Subscriber>(
                             "transport contract: probe(id) returns that id's record"
                         );
                         if tx.send(record).is_err() {
+                            batch_span.end(obs);
                             break 'claim;
                         }
                     }
+                    batch_span.end(obs);
                 }
             });
         }
@@ -452,6 +467,7 @@ fn run_transport_inner<T: ProbeTransport, S: Subscriber>(
         drop(sink_tx);
         sink_thread.join().expect("sink thread panicked")
     });
+    run_span.end(obs);
 
     if let Some(e) = run_error {
         return Err(e);

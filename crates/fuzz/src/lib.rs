@@ -13,7 +13,10 @@
 //! * [`targets::Target::Stream`] — the incremental source (classic and
 //!   pcapng framing);
 //! * [`targets::Target::Pipeline`] — the multi-worker streaming
-//!   pipeline with a live classifier.
+//!   pipeline with a live classifier;
+//! * [`targets::Target::TraceReport`] — `--trace` output (Chrome
+//!   trace-event JSON) through the `trace-report` salvage reader and
+//!   stage analyzer.
 //!
 //! Everything is deterministic: a crash reproduces from `(seed,
 //! iteration)` alone, and its input is written to the regression corpus
@@ -108,6 +111,7 @@ pub fn fuzz(config: &FuzzConfig, mut progress: impl FnMut(u64, u64, usize)) -> F
             Target::Stream,
             Target::NetTargets,
             Target::NetFrames,
+            Target::TraceReport,
         ];
         if config.pipeline_every > 0 && iter % config.pipeline_every == 0 {
             plan.push(Target::Pipeline);

@@ -72,6 +72,10 @@ pub fn build_seeds() -> Vec<Seed> {
             name: "pcapng-le-2pow",
             bytes: classic_to_pcapng(&tiny, false, 0x80 | 20),
         },
+        Seed {
+            name: "trace-json",
+            bytes: trace_event_json(),
+        },
     ];
     for s in &seeds {
         assert!(!s.bytes.is_empty(), "seed {} rendered empty", s.name);
@@ -83,6 +87,39 @@ pub fn build_seeds() -> Vec<Seed> {
         );
     }
     seeds
+}
+
+/// A small trace-event document in exactly the `TraceSubscriber`
+/// dialect: thread metadata, nested `"X"` complete events down the
+/// census → batch → gather → rung → round spine (with virtual-time
+/// args), a sibling classify, and an async `"b"`/`"e"` flow pair. Hand-
+/// written with fixed ids and timestamps rather than rendered through
+/// the live subscriber, so the seed bytes — and with them every
+/// mutation the campaign derives — are identical from run to run.
+fn trace_event_json() -> Vec<u8> {
+    concat!(
+        "[\n",
+        r#"{"ph":"M","name":"thread_name","pid":1,"tid":1,"args":{"name":"main"}}"#,
+        ",\n",
+        r#"{"ph":"b","cat":"caai","id":"9","name":"queue.wait","pid":1,"tid":1,"ts":4.000,"args":{"parent":0,"shard":1,"len":16}}"#,
+        ",\n",
+        r#"{"ph":"e","cat":"caai","id":"9","name":"queue.wait","pid":1,"tid":2,"ts":41.500}"#,
+        ",\n",
+        r#"{"ph":"X","cat":"caai","name":"gather.round","pid":1,"tid":2,"ts":120.000,"dur":30.000,"id":"5","args":{"parent":4,"round":0,"phase":0,"virt":0.000000000,"virt_dur":0.200000000}}"#,
+        ",\n",
+        r#"{"ph":"X","cat":"caai","name":"gather.rung","pid":1,"tid":2,"ts":118.000,"dur":40.000,"id":"4","args":{"parent":3,"wmax":64,"env":0,"virt":0.000000000,"virt_dur":0.310000000}}"#,
+        ",\n",
+        r#"{"ph":"X","cat":"caai","name":"gather","pid":1,"tid":2,"ts":110.000,"dur":300.000,"id":"3","args":{"parent":2,"server_id":7}}"#,
+        ",\n",
+        r#"{"ph":"X","cat":"caai","name":"classify","pid":1,"tid":2,"ts":415.000,"dur":12.500,"id":"6","args":{"parent":2,"server_id":7}}"#,
+        ",\n",
+        r#"{"ph":"X","cat":"caai","name":"census.batch","pid":1,"tid":2,"ts":100.000,"dur":350.000,"id":"2","args":{"parent":1,"start":0,"len":16}}"#,
+        ",\n",
+        r#"{"ph":"X","cat":"caai","name":"census.run","pid":1,"tid":1,"ts":0.000,"dur":500.000,"id":"1","args":{"parent":0,"population":16,"workers":2}}"#,
+        "\n]\n",
+    )
+    .as_bytes()
+    .to_vec()
 }
 
 /// A handshake, two data segments with their ACKs, and a server FIN:
@@ -344,15 +381,29 @@ mod tests {
     #[test]
     fn seed_set_covers_both_containers_and_byte_orders() {
         let seeds = build_seeds();
-        assert_eq!(seeds.len(), 7);
-        let classic = seeds.iter().filter(|s| s.bytes[..4] != SHB_MAGIC).count();
-        let ng = seeds.iter().filter(|s| s.bytes[..4] == SHB_MAGIC).count();
+        assert_eq!(seeds.len(), 8);
+        let captures = seeds.iter().filter(|s| s.name != "trace-json");
+        let classic = captures
+            .clone()
+            .filter(|s| s.bytes[..4] != SHB_MAGIC)
+            .count();
+        let ng = captures.filter(|s| s.bytes[..4] == SHB_MAGIC).count();
         assert_eq!((classic, ng), (4, 3));
     }
 
     #[test]
     fn every_seed_parses_cleanly() {
         for seed in build_seeds() {
+            if seed.name == "trace-json" {
+                // Not a capture: it must instead round-trip through the
+                // trace reader without a single salvage skip.
+                let text = String::from_utf8(seed.bytes).expect("trace seed is UTF-8");
+                let read = caai_obs::report::read_str(&text);
+                assert_eq!(read.skipped, 0, "trace seed skipped lines");
+                assert_eq!(read.unmatched_begins, 0, "trace seed left spans open");
+                assert!(read.spans.len() >= 6, "trace seed too small to mutate");
+                continue;
+            }
             let mut src = PcapStream::new(Cursor::new(seed.bytes), StallPolicy::Eof);
             let mut frames = 0usize;
             loop {

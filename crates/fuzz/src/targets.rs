@@ -42,6 +42,9 @@ pub enum Target {
     /// frames into a [`LadderCore`] ladder walk, and as client frames
     /// into a tcpsim-backed [`ServerCore`].
     NetFrames,
+    /// Chrome trace-event JSON (mutated `--trace` output) through the
+    /// `trace-report` salvage reader, stage analyzer, and renderer.
+    TraceReport,
 }
 
 impl Target {
@@ -52,6 +55,7 @@ impl Target {
             Target::Pipeline => "pipeline",
             Target::NetTargets => "net-targets",
             Target::NetFrames => "net-frames",
+            Target::TraceReport => "trace-report",
         }
     }
 }
@@ -77,6 +81,7 @@ impl Targets {
             Target::Pipeline => self.drive_pipeline(bytes, workers),
             Target::NetTargets => drive_net_targets(bytes),
             Target::NetFrames => drive_net_frames(bytes),
+            Target::TraceReport => drive_trace_report(bytes),
         });
         catch_unwind(job).map_err(|payload| {
             if let Some(s) = payload.downcast_ref::<&str>() {
@@ -215,6 +220,36 @@ fn drive_net_frames(bytes: &[u8]) {
     }
 }
 
+/// Trace-event JSON through the offline `trace-report` stack: salvage
+/// reader, stage analyzer, report renderer. Skipped lines and unmatched
+/// async begins are the reader's contract for mangled traces (a
+/// SIGKILLed run leaves exactly that); a panic anywhere — line parsing,
+/// quantile math over hostile durations, rendering — is a finding. The
+/// sanity asserts mirror the salvage promise: whatever was skipped must
+/// be counted, and every reconstructed span must carry a finite,
+/// non-negative duration.
+fn drive_trace_report(bytes: &[u8]) {
+    let text = String::from_utf8_lossy(bytes);
+    let read = caai_obs::report::read_str(&text);
+    if read.skipped > 0 {
+        assert!(
+            read.first_error.is_some(),
+            "{} lines skipped but no diagnostic recorded",
+            read.skipped
+        );
+    }
+    for span in &read.spans {
+        assert!(
+            span.dur_us.is_finite() && span.dur_us >= 0.0,
+            "span `{}` reconstructed with duration {}",
+            span.name,
+            span.dur_us
+        );
+    }
+    let analysis = caai_obs::TraceAnalysis::from_spans(&read.spans, 8);
+    let _ = analysis.render(&read);
+}
+
 /// The cheapest forest that satisfies the classifier's 15-class
 /// contract: one synthetic feature vector per class, three trees. The
 /// fuzzer only needs *a* classifier on the pipeline's hot path — its
@@ -256,6 +291,7 @@ mod tests {
                 Target::Pipeline,
                 Target::NetTargets,
                 Target::NetFrames,
+                Target::TraceReport,
             ] {
                 targets
                     .run(t, &seed.bytes, 2)
@@ -274,6 +310,7 @@ mod tests {
             Target::Pipeline,
             Target::NetTargets,
             Target::NetFrames,
+            Target::TraceReport,
         ] {
             targets.run(t, &garbage, 1).expect("garbage must not panic");
         }

@@ -36,7 +36,12 @@ fn every_corpus_input_replays_without_panicking() {
     let targets = Targets::new();
     for path in &paths {
         let bytes = std::fs::read(path).expect("corpus file readable");
-        for target in [Target::Offline, Target::Stream, Target::Pipeline] {
+        for target in [
+            Target::Offline,
+            Target::Stream,
+            Target::Pipeline,
+            Target::TraceReport,
+        ] {
             for workers in [1usize, 2] {
                 targets.run(target, &bytes, workers).unwrap_or_else(|m| {
                     panic!(
@@ -48,6 +53,30 @@ fn every_corpus_input_replays_without_panicking() {
             }
         }
     }
+}
+
+#[test]
+fn trace_fixtures_salvage_as_their_shapes_demand() {
+    // The clean fixture is a finished `--trace` file: everything parses,
+    // nothing dangles. Its truncated twin was cut mid-line (the SIGKILL
+    // shape): the reader must salvage every whole line, skip at most the
+    // torn one, and still never fail hard.
+    let clean = std::fs::read_to_string(corpus_dir().join("trace-roundtrip.trace.json"))
+        .expect("clean trace fixture committed");
+    let read = caai_obs::report::read_str(&clean);
+    assert!(read.spans.len() > 10, "clean fixture holds a real census");
+    assert_eq!(read.skipped, 0);
+    assert_eq!(read.unmatched_begins, 0);
+
+    let cut = std::fs::read_to_string(corpus_dir().join("trace-sigkill-cut.trace.json"))
+        .expect("truncated trace fixture committed");
+    let read = caai_obs::report::read_str(&cut);
+    assert!(!read.spans.is_empty(), "whole lines before the cut salvage");
+    assert!(
+        read.skipped <= 1,
+        "only the torn line may be skipped, got {}",
+        read.skipped
+    );
 }
 
 #[test]

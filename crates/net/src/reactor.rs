@@ -25,7 +25,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use caai_core::{GatherOutcome, InvalidReason, ProberConfig};
-use caai_obs::{RateLimiterStalled, ReactorTicked, Subscriber};
+use caai_obs::{
+    span_begin, span_begin_async, RateLimiterStalled, ReactorTicked, SpanKind, SpanToken,
+    Subscriber,
+};
 
 use crate::core::{LadderCore, RungRecord, Step};
 use crate::frame::{encode, FrameDecoder, ServerFrame};
@@ -154,6 +157,17 @@ struct Session {
     io_deadline: Option<Instant>,
     send_gate: Option<Instant>,
     backoff_at: Option<Instant>,
+    /// Tracing spans (all `SpanToken::NONE` when tracing is off). The
+    /// session span covers first connect to verdict hand-off; the
+    /// others are the currently open phase within it. They travel with
+    /// the session across token re-keying.
+    span: SpanToken,
+    connect_span: SpanToken,
+    retry_span: SpanToken,
+    roundtrip_span: SpanToken,
+    rung_span: SpanToken,
+    /// Rung records already accounted (closes `rung_span` on growth).
+    rungs_seen: usize,
 }
 
 struct PendingProbe {
@@ -228,6 +242,12 @@ impl<S: Subscriber> Reactor<S> {
             } else {
                 None
             };
+            let tick_span = span_begin(
+                &*self.obs,
+                SpanKind::ReactorTick,
+                self.sessions.len() as i64,
+                0,
+            );
 
             // Commands first: a shutdown must beat any amount of IO.
             loop {
@@ -258,6 +278,7 @@ impl<S: Subscriber> Reactor<S> {
 
             self.pump_pending();
 
+            tick_span.end(&*self.obs);
             if let Some(start) = tick_start {
                 self.obs.on_reactor_ticked(&ReactorTicked {
                     ready: dispatched,
@@ -303,6 +324,13 @@ impl<S: Subscriber> Reactor<S> {
         let mut core = LadderCore::new(self.config.prober.clone());
         let step = core.start();
         let token = self.alloc_token();
+        let span = span_begin_async(
+            &*self.obs,
+            SpanKind::NetSession,
+            0,
+            i64::from(u32::from(probe.ip)),
+            i64::from(probe.port),
+        );
         let session = Session {
             target: (probe.ip, probe.port),
             reply: probe.reply,
@@ -314,9 +342,33 @@ impl<S: Subscriber> Reactor<S> {
             io_deadline: None,
             send_gate: None,
             backoff_at: None,
+            span,
+            connect_span: SpanToken::NONE,
+            retry_span: SpanToken::NONE,
+            roundtrip_span: SpanToken::NONE,
+            rung_span: SpanToken::NONE,
+            rungs_seen: 0,
         };
         self.sessions.insert(token, session);
         self.apply_step(token, step);
+    }
+
+    /// Closes the session's open rung span when the core has recorded a
+    /// new rung attempt since the last check. Cheap and idempotent;
+    /// called after any step that can conclude a rung.
+    fn sync_rung_span(&mut self, token: u64) {
+        if !S::ENABLED {
+            return;
+        }
+        let obs = Arc::clone(&self.obs);
+        let Some(session) = self.sessions.get_mut(&token) else {
+            return;
+        };
+        let n = session.core.rungs().len();
+        if n > session.rungs_seen {
+            session.rungs_seen = n;
+            std::mem::replace(&mut session.rung_span, SpanToken::NONE).end(&*obs);
+        }
     }
 
     fn alloc_token(&mut self) -> u64 {
@@ -377,6 +429,14 @@ impl<S: Subscriber> Reactor<S> {
         session.io_deadline = None;
         session.send_gate = None;
         session.backoff_at = None;
+        std::mem::replace(&mut session.retry_span, SpanToken::NONE).end(&*self.obs);
+        session.connect_span = span_begin_async(
+            &*self.obs,
+            SpanKind::NetConnect,
+            session.span.id(),
+            i64::from(session.stats.connections) + 1,
+            0,
+        );
         let (ip, port) = session.target;
         match sys::connect_nonblocking(ip, port) {
             Ok((fd, done)) => {
@@ -436,6 +496,7 @@ impl<S: Subscriber> Reactor<S> {
     }
 
     fn connect_finished(&mut self, token: u64) {
+        let obs = Arc::clone(&self.obs);
         let Some(session) = self.sessions.get_mut(&token) else {
             return;
         };
@@ -450,8 +511,18 @@ impl<S: Subscriber> Reactor<S> {
         session.state = SessState::Running;
         session.stats.connections += 1;
         session.io_deadline = None;
+        std::mem::replace(&mut session.connect_span, SpanToken::NONE).end(&*obs);
+        // A fresh connection opens the next rung attempt over the wire.
+        session.rung_span = span_begin_async(
+            &*obs,
+            SpanKind::NetRung,
+            session.span.id(),
+            session.rungs_seen as i64,
+            0,
+        );
         let step = session.core.on_connected();
         self.apply_step(token, step);
+        self.sync_rung_span(token);
     }
 
     /// Drains the session's write buffer. On completion either closes
@@ -485,7 +556,15 @@ impl<S: Subscriber> Reactor<S> {
             };
             let step = session.core.on_closed();
             self.apply_step(token, step);
+            self.sync_rung_span(token);
         } else {
+            // Request on the wire, reply awaited: the frame round-trip
+            // starts here and ends at the next decoded frame.
+            if S::ENABLED && session.roundtrip_span.id() == 0 {
+                let obs = Arc::clone(&self.obs);
+                session.roundtrip_span =
+                    span_begin_async(&*obs, SpanKind::NetRoundtrip, session.span.id(), 0, 0);
+            }
             let deadline = Instant::now() + self.config.io_timeout;
             session.io_deadline = Some(deadline);
             self.wheel.insert(Timer {
@@ -584,8 +663,15 @@ impl<S: Subscriber> Reactor<S> {
             match conn.decoder.next::<ServerFrame>() {
                 Ok(Some(frame)) => {
                     session.io_deadline = None;
+                    if S::ENABLED {
+                        let obs = Arc::clone(&self.obs);
+                        std::mem::replace(&mut session.roundtrip_span, SpanToken::NONE).end(&*obs);
+                    }
                     match session.core.on_frame(&frame) {
-                        Ok(step) => self.apply_step(token, step),
+                        Ok(step) => {
+                            self.apply_step(token, step);
+                            self.sync_rung_span(token);
+                        }
                         Err(_proto) => {
                             self.conn_failed(token, false);
                             return false;
@@ -641,9 +727,14 @@ impl<S: Subscriber> Reactor<S> {
     /// burn a retry (with backoff) or abort the walk.
     fn conn_failed(&mut self, token: u64, _timed_out: bool) {
         self.teardown_conn(token);
+        let obs = Arc::clone(&self.obs);
         let Some(session) = self.sessions.get_mut(&token) else {
             return;
         };
+        // Whatever phase was open on this connection, it is over.
+        std::mem::replace(&mut session.connect_span, SpanToken::NONE).end(&*obs);
+        std::mem::replace(&mut session.roundtrip_span, SpanToken::NONE).end(&*obs);
+        std::mem::replace(&mut session.rung_span, SpanToken::NONE).end(&*obs);
         if session.retries_left > 0 {
             session.retries_left -= 1;
             session.stats.retries += 1;
@@ -653,7 +744,15 @@ impl<S: Subscriber> Reactor<S> {
             let _ = session.core.start();
             session.state = SessState::BackingOff;
             let shift = session.stats.retries.saturating_sub(1).min(16);
-            let deadline = Instant::now() + self.config.backoff * (1u32 << shift);
+            let backoff = self.config.backoff * (1u32 << shift);
+            session.retry_span = span_begin_async(
+                &*obs,
+                SpanKind::NetRetry,
+                session.span.id(),
+                i64::from(session.stats.retries),
+                backoff.as_millis() as i64,
+            );
+            let deadline = Instant::now() + backoff;
             session.backoff_at = Some(deadline);
             self.wheel.insert(Timer {
                 token,
@@ -672,6 +771,11 @@ impl<S: Subscriber> Reactor<S> {
         let Some(session) = self.sessions.remove(&token) else {
             return;
         };
+        session.connect_span.end(&*self.obs);
+        session.roundtrip_span.end(&*self.obs);
+        session.retry_span.end(&*self.obs);
+        session.rung_span.end(&*self.obs);
+        session.span.end(&*self.obs);
         let aborted = session.stats.aborted
             || outcome.failure_reason() == Some(InvalidReason::TransportAborted);
         let mut stats = session.stats;

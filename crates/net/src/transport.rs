@@ -25,7 +25,8 @@ use caai_core::census::{verdict_for_outcome, CensusRecord};
 use caai_core::{CaaiClassifier, GatherOutcome, InvalidReason, ProbeTransport, WindowTrace};
 use caai_netem::EnvironmentId;
 use caai_obs::{
-    Environment, GatherFinished, NetSessionEnded, RungAttemptEnded, RungAttemptStarted, Subscriber,
+    span_begin, Environment, GatherFinished, NetSessionEnded, RungAttemptEnded, RungAttemptStarted,
+    SpanKind, Subscriber,
 };
 
 use crate::reactor::{Command, NetConfig, Reactor, SessionResult, SessionStats};
@@ -158,11 +159,15 @@ impl<R: Subscriber + Send + Sync + 'static> ProbeTransport for NetTransport<R> {
     }
 
     fn probe<S: Subscriber>(&self, id: u32, _seed: u64, obs: &S) -> CensusRecord {
+        // The worker-side gather span: submission to result, queueing in
+        // the reactor included (that wait IS this server's wall cost).
+        let gather_span = span_begin(obs, SpanKind::Gather, i64::from(id), 0);
         let result = match self.probe_async(id).recv() {
             Ok(result) => result,
             // Reactor died mid-probe: reduce, don't panic.
             Err(_) => self.aborted_result(),
         };
+        gather_span.end(obs);
         // Replay the session's rung history into the worker's
         // subscriber, mirroring what the simulator emits inline.
         for rung in &result.rungs {
@@ -190,7 +195,9 @@ impl<R: Subscriber + Send + Sync + 'static> ProbeTransport for NetTransport<R> {
             timed_out: result.stats.timeouts,
             aborted: result.stats.aborted,
         });
+        let classify_span = span_begin(obs, SpanKind::Classify, i64::from(id), 0);
         let (verdict, _) = verdict_for_outcome(&result.outcome, &self.classifier);
+        classify_span.end(obs);
         CensusRecord {
             server_id: id,
             truth: None,

@@ -18,6 +18,8 @@
 //! compile-time constant. The `identify_obs_overhead` bench group pins
 //! the claim.
 
+use crate::span::{SpanBegin, SpanEnd};
+
 /// The probing environment a connection ran in (§IV's environments A/B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Environment {
@@ -282,6 +284,8 @@ pub enum Event<'a> {
     NetSessionEnded(&'a NetSessionEnded),
     RateLimiterStalled(&'a RateLimiterStalled),
     ReactorTicked(&'a ReactorTicked),
+    SpanBegin(&'a SpanBegin),
+    SpanEnd(&'a SpanEnd),
 }
 
 /// Receiver of structured events.
@@ -408,6 +412,18 @@ pub trait Subscriber: Sync {
         self.on_event(&Event::ReactorTicked(event));
     }
 
+    /// See [`SpanBegin`].
+    #[inline(always)]
+    fn on_span_begin(&self, event: &SpanBegin) {
+        self.on_event(&Event::SpanBegin(event));
+    }
+
+    /// See [`SpanEnd`].
+    #[inline(always)]
+    fn on_span_end(&self, event: &SpanEnd) {
+        self.on_event(&Event::SpanEnd(event));
+    }
+
     /// Catch-all sink the per-event defaults forward into. Instrumented
     /// code never calls this directly.
     #[inline(always)]
@@ -508,8 +524,152 @@ impl<S: Subscriber + ?Sized> Subscriber for &S {
         (**self).on_reactor_ticked(event);
     }
     #[inline(always)]
+    fn on_span_begin(&self, event: &SpanBegin) {
+        (**self).on_span_begin(event);
+    }
+    #[inline(always)]
+    fn on_span_end(&self, event: &SpanEnd) {
+        (**self).on_span_end(event);
+    }
+    #[inline(always)]
     fn on_event(&self, event: &Event<'_>) {
         (**self).on_event(event);
+    }
+}
+
+/// An optional subscriber: `Some` forwards, `None` observes nothing.
+/// This is how the CLI composes a runtime-optional sink (`--trace FILE`)
+/// into a subscriber tuple without monomorphizing every branch twice.
+/// `ENABLED` is inherited from `S`, so a `None` still pays the (cheap)
+/// event dispatch — use [`NullSubscriber`] when the absence is static.
+impl<S: Subscriber> Subscriber for Option<S> {
+    const ENABLED: bool = S::ENABLED;
+
+    #[inline(always)]
+    fn on_rung_attempt_started(&self, event: &RungAttemptStarted) {
+        if let Some(s) = self {
+            s.on_rung_attempt_started(event);
+        }
+    }
+    #[inline(always)]
+    fn on_rung_attempt_ended(&self, event: &RungAttemptEnded) {
+        if let Some(s) = self {
+            s.on_rung_attempt_ended(event);
+        }
+    }
+    #[inline(always)]
+    fn on_gather_finished(&self, event: &GatherFinished) {
+        if let Some(s) = self {
+            s.on_gather_finished(event);
+        }
+    }
+    #[inline(always)]
+    fn on_probe_timed(&self, event: &ProbeTimed) {
+        if let Some(s) = self {
+            s.on_probe_timed(event);
+        }
+    }
+    #[inline(always)]
+    fn on_census_record_observed(&self, event: &CensusRecordObserved) {
+        if let Some(s) = self {
+            s.on_census_record_observed(event);
+        }
+    }
+    #[inline(always)]
+    fn on_census_resumed(&self, event: &CensusResumed) {
+        if let Some(s) = self {
+            s.on_census_resumed(event);
+        }
+    }
+    #[inline(always)]
+    fn on_checkpoint_written(&self, event: &CheckpointWritten) {
+        if let Some(s) = self {
+            s.on_checkpoint_written(event);
+        }
+    }
+    #[inline(always)]
+    fn on_frame_decoded(&self, event: &FrameDecoded) {
+        if let Some(s) = self {
+            s.on_frame_decoded(event);
+        }
+    }
+    #[inline(always)]
+    fn on_packet_skipped(&self, event: &PacketSkipped<'_>) {
+        if let Some(s) = self {
+            s.on_packet_skipped(event);
+        }
+    }
+    #[inline(always)]
+    fn on_capture_truncated(&self, event: &CaptureTruncated<'_>) {
+        if let Some(s) = self {
+            s.on_capture_truncated(event);
+        }
+    }
+    #[inline(always)]
+    fn on_flow_opened(&self, event: &FlowOpened) {
+        if let Some(s) = self {
+            s.on_flow_opened(event);
+        }
+    }
+    #[inline(always)]
+    fn on_flow_evicted(&self, event: &FlowEvicted) {
+        if let Some(s) = self {
+            s.on_flow_evicted(event);
+        }
+    }
+    #[inline(always)]
+    fn on_granule_completed(&self, event: &GranuleCompleted) {
+        if let Some(s) = self {
+            s.on_granule_completed(event);
+        }
+    }
+    #[inline(always)]
+    fn on_queue_depth_sampled(&self, event: &QueueDepthSampled) {
+        if let Some(s) = self {
+            s.on_queue_depth_sampled(event);
+        }
+    }
+    #[inline(always)]
+    fn on_session_emitted(&self, event: &SessionEmitted) {
+        if let Some(s) = self {
+            s.on_session_emitted(event);
+        }
+    }
+    #[inline(always)]
+    fn on_net_session_ended(&self, event: &NetSessionEnded) {
+        if let Some(s) = self {
+            s.on_net_session_ended(event);
+        }
+    }
+    #[inline(always)]
+    fn on_rate_limiter_stalled(&self, event: &RateLimiterStalled) {
+        if let Some(s) = self {
+            s.on_rate_limiter_stalled(event);
+        }
+    }
+    #[inline(always)]
+    fn on_reactor_ticked(&self, event: &ReactorTicked) {
+        if let Some(s) = self {
+            s.on_reactor_ticked(event);
+        }
+    }
+    #[inline(always)]
+    fn on_span_begin(&self, event: &SpanBegin) {
+        if let Some(s) = self {
+            s.on_span_begin(event);
+        }
+    }
+    #[inline(always)]
+    fn on_span_end(&self, event: &SpanEnd) {
+        if let Some(s) = self {
+            s.on_span_end(event);
+        }
+    }
+    #[inline(always)]
+    fn on_event(&self, event: &Event<'_>) {
+        if let Some(s) = self {
+            s.on_event(event);
+        }
     }
 }
 
@@ -607,6 +767,16 @@ impl<A: Subscriber, B: Subscriber> Subscriber for (A, B) {
     fn on_reactor_ticked(&self, event: &ReactorTicked) {
         self.0.on_reactor_ticked(event);
         self.1.on_reactor_ticked(event);
+    }
+    #[inline(always)]
+    fn on_span_begin(&self, event: &SpanBegin) {
+        self.0.on_span_begin(event);
+        self.1.on_span_begin(event);
+    }
+    #[inline(always)]
+    fn on_span_end(&self, event: &SpanEnd) {
+        self.0.on_span_end(event);
+        self.1.on_span_end(event);
     }
     #[inline(always)]
     fn on_event(&self, event: &Event<'_>) {

@@ -19,6 +19,14 @@
 //!   diagnostics, the CLI default).
 //! * [`snapshot`] — the versioned `caai-metrics-v1` JSONL schema behind
 //!   `--metrics FILE`, with the shared parser/validator.
+//! * [`span`] — the tracing half: [`SpanBegin`]/[`SpanEnd`] events with
+//!   parent links and virtual timestamps, zero-cost under the
+//!   [`NullSubscriber`] like everything else.
+//! * [`trace`] — [`TraceSubscriber`], streaming spans to a Chrome
+//!   trace-event JSON file (`--trace FILE`, Perfetto-loadable).
+//! * [`report`] — the offline trace analyzer behind `caai trace-report`:
+//!   per-stage self-time attribution, quantiles, rung/round breakdown,
+//!   slow-outlier table.
 //!
 //! Events carry primitives only — no domain types — so `caai-obs` is a
 //! leaf crate every layer (core, engine, capture, stream, CLI) can
@@ -49,8 +57,11 @@
 
 pub mod event;
 pub mod metrics;
+pub mod report;
 pub mod snapshot;
+pub mod span;
 pub mod subscribers;
+pub mod trace;
 
 pub use event::{
     CaptureTruncated, CensusRecordObserved, CensusResumed, CheckpointWritten, Environment, Event,
@@ -60,5 +71,11 @@ pub use event::{
     Subscriber, VerdictKind,
 };
 pub use metrics::{Counter, Histogram, HistogramSnapshot};
+pub use report::{TraceAnalysis, TraceReadOutcome};
 pub use snapshot::{parse_line, validate_jsonl, MetricsSnapshot, SnapshotLine, SCHEMA};
+pub use span::{
+    current_span, next_span_id, span_begin, span_begin_async, span_begin_at,
+    span_begin_with_parent, SpanBegin, SpanEnd, SpanId, SpanKind, SpanToken, NO_VIRT,
+};
 pub use subscribers::{MetricsSubscriber, StderrSubscriber};
+pub use trace::TraceSubscriber;

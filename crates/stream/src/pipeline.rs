@@ -61,8 +61,9 @@ use caai_capture::{verdict_for, SessionReport};
 use caai_core::census::CensusRecord;
 use caai_core::classify::CaaiClassifier;
 use caai_obs::{
-    CaptureTruncated, EvictionCause, FlowEvicted, FlowOpened, FrameDecoded, GranuleCompleted,
-    NullSubscriber, PacketSkipped, QueueDepthSampled, SessionEmitted, Subscriber,
+    span_begin, span_begin_async, CaptureTruncated, EvictionCause, FlowEvicted, FlowOpened,
+    FrameDecoded, GranuleCompleted, NullSubscriber, PacketSkipped, QueueDepthSampled,
+    SessionEmitted, SpanKind, SpanToken, Subscriber,
 };
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
@@ -168,10 +169,14 @@ struct WorkerCfg {
     granule: f64,
     flow_timeout: f64,
     max_events: usize,
+    /// This worker's RSS shard index (span arguments only).
+    shard: usize,
 }
 
 enum WorkerMsg {
-    Batch(Vec<StreamFrame>),
+    /// A batch of frames plus the dispatcher's queue-wait span, ended by
+    /// the worker at dequeue — the gap is queue latency, not work.
+    Batch(Vec<StreamFrame>, SpanToken),
     Tick {
         granule: i64,
         watermark: f64,
@@ -240,6 +245,9 @@ struct FlowEntry {
     builder: FlowBuilder,
     first_seq: u64,
     key: FlowKey,
+    /// The flow's lifetime span: opened at first packet, ended at
+    /// eviction (idle, overflow, or drain).
+    span: SpanToken,
 }
 
 /// Per-worker reassembly state: a slab of live flows (free list +
@@ -274,8 +282,9 @@ impl WorkerState {
         }
     }
 
-    fn finalize(&mut self, slot: usize, ladder: &[u32]) -> FlowDone {
+    fn finalize<S: Subscriber>(&mut self, slot: usize, ladder: &[u32], obs: &S) -> FlowDone {
         let entry = self.slab[slot].1.take().expect("finalizing a live slot");
+        entry.span.end(obs);
         self.slab[slot].0 += 1; // stale wheel entries now fail the gen check
         self.table.remove(&entry.key);
         self.free.push(slot);
@@ -318,6 +327,13 @@ impl WorkerState {
                     builder: FlowBuilder::new(&seg, frame.ts),
                     first_seq: frame.index,
                     key,
+                    span: span_begin_async(
+                        obs,
+                        SpanKind::Flow,
+                        0,
+                        cfg.shard as i64,
+                        frame.index as i64,
+                    ),
                 };
                 let s = match self.free.pop() {
                     Some(s) => {
@@ -356,7 +372,7 @@ impl WorkerState {
                 cause: EvictionCause::Overflow,
                 events: entry.builder.events() as u64,
             });
-            let done = self.finalize(slot, ladder);
+            let done = self.finalize(slot, ladder, obs);
             self.due.push(done);
         }
     }
@@ -389,7 +405,7 @@ impl WorkerState {
                         cause: EvictionCause::Idle,
                         events: builder.events() as u64,
                     });
-                    let done = self.finalize(slot, ladder);
+                    let done = self.finalize(slot, ladder, obs);
                     out.push(done);
                 } else {
                     self.wheel
@@ -410,7 +426,7 @@ impl WorkerState {
                     cause: EvictionCause::Drain,
                     events: entry.builder.events() as u64,
                 });
-                let done = self.finalize(slot, ladder);
+                let done = self.finalize(slot, ladder, obs);
                 out.push(done);
             }
         }
@@ -429,13 +445,16 @@ fn worker_loop<S: Subscriber>(
     let mut st = WorkerState::new();
     for msg in rx {
         match msg {
-            WorkerMsg::Batch(frames) => {
+            WorkerMsg::Batch(frames, queue_span) => {
                 if S::ENABLED {
                     gauge.dec();
                 }
+                queue_span.end(obs);
+                let batch_span = span_begin(obs, SpanKind::Reassembly, frames.len() as i64, 0);
                 for frame in &frames {
                     st.feed(frame, &cfg, &ladder, obs);
                 }
+                batch_span.end(obs);
             }
             WorkerMsg::Tick {
                 granule,
@@ -592,8 +611,12 @@ fn emit_session<F: FnMut(&SessionReport), S: Subscriber>(
         connections: conns.into_iter().map(|(_, _, obs)| obs).collect(),
         flows: slot.flows,
     };
+    let replay_span = span_begin(obs, SpanKind::SessionReplay, out.sessions as i64, 0);
     let outcome = session_outcome(&session, ladder);
+    replay_span.end(obs);
+    let classify_span = span_begin(obs, SpanKind::Classify, out.sessions as i64, 0);
     let (verdict, identification) = verdict_for(&outcome, classifier);
+    classify_span.end(obs);
     obs.on_session_emitted(&SessionEmitted {
         verdict: verdict.kind(),
         wmax: verdict.wmax(),
@@ -655,6 +678,7 @@ fn collector_loop<F: FnMut(&SessionReport), S: Subscriber>(
                 p.flows.extend(flows);
                 if p.done == workers {
                     let p = pending.remove(&granule).expect("just updated");
+                    let tick_span = span_begin(obs, SpanKind::GranuleTick, granule.max(0), 0);
                     sessions.absorb(p.flows);
                     for slot in sessions.take_due(Some(p.watermark - session_timeout)) {
                         emit_session(
@@ -673,6 +697,7 @@ fn collector_loop<F: FnMut(&SessionReport), S: Subscriber>(
                         tick_latency_us: p.sent_at.map_or(0, |t0| t0.elapsed().as_micros() as u64),
                         live_sessions: sessions.live as u64,
                     });
+                    tick_span.end(obs);
                 }
             }
             ToCollector::WorkerDone {
@@ -766,6 +791,7 @@ where
         granule,
         flow_timeout: config.flow_timeout,
         max_events: config.max_flow_events.max(8),
+        shard: 0,
     };
 
     let mut packets = 0u64;
@@ -777,10 +803,11 @@ where
     let collected = std::thread::scope(|s| {
         let (col_tx, col_rx) = mpsc::sync_channel::<ToCollector>(workers * 2 + 2);
         let mut txs = Vec::with_capacity(workers);
-        for gauge in gauges.iter().take(workers) {
+        for (w, gauge) in gauges.iter().enumerate().take(workers) {
             let (tx, rx) = mpsc::sync_channel::<WorkerMsg>(config.channel_depth.max(1));
             let col = col_tx.clone();
             let worker_ladder = ladder.clone();
+            let wcfg = WorkerCfg { shard: w, ..wcfg };
             s.spawn(move || worker_loop(wcfg, worker_ladder, rx, col, gauge, obs));
             txs.push(tx);
         }
@@ -839,8 +866,15 @@ where
                         if S::ENABLED {
                             gauges[target].inc();
                         }
+                        let queue_span = span_begin_async(
+                            obs,
+                            SpanKind::QueueWait,
+                            0,
+                            target as i64,
+                            full.len() as i64,
+                        );
                         txs[target]
-                            .send(WorkerMsg::Batch(full))
+                            .send(WorkerMsg::Batch(full, queue_span))
                             .expect("worker alive");
                     }
                     if ts.is_finite() && ts > watermark {
@@ -861,7 +895,15 @@ where
                                     if S::ENABLED {
                                         gauges[w].inc();
                                     }
-                                    tx.send(WorkerMsg::Batch(full)).expect("worker alive");
+                                    let queue_span = span_begin_async(
+                                        obs,
+                                        SpanKind::QueueWait,
+                                        0,
+                                        w as i64,
+                                        full.len() as i64,
+                                    );
+                                    tx.send(WorkerMsg::Batch(full, queue_span))
+                                        .expect("worker alive");
                                 }
                                 tx.send(WorkerMsg::Tick {
                                     granule: g,
@@ -903,7 +945,10 @@ where
                 if S::ENABLED {
                     gauges[w].inc();
                 }
-                tx.send(WorkerMsg::Batch(full)).expect("worker alive");
+                let queue_span =
+                    span_begin_async(obs, SpanKind::QueueWait, 0, w as i64, full.len() as i64);
+                tx.send(WorkerMsg::Batch(full, queue_span))
+                    .expect("worker alive");
             }
             tx.send(WorkerMsg::Finish).expect("worker alive");
         }

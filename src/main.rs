@@ -19,6 +19,8 @@
 //! caai emulate   --algos RENO,CUBIC,HTCP --count 50 --targets-out hosts.txt
 //! caai census-merge --in s0.ck.json --in s1.ck.json ... [--json]
 //! caai metrics-check --in m.jsonl [--expect-min capture.frames_decoded=1]
+//!                    [--expect-p99 'stream.batch_fill<=128'] [--expect-count 'gather.rounds>=1']
+//! caai trace-report --in t.json [--min-gather-share 0.5]
 //! caai defense-sweep --budgets 0.05,0.15,0.30 --out DEFENSE_CURVE.json
 //! ```
 //!
@@ -45,7 +47,10 @@ use caai::engine::{
 use caai::net::{read_targets, Behavior, EmulatedServer, NetConfig, NetTransport, ServerProfile};
 use caai::netem::rng::seeded;
 use caai::netem::{ConditionDb, EnvironmentId, PathConfig};
-use caai::obs::{GranuleCompleted, MetricsSubscriber, StderrSubscriber, Subscriber};
+use caai::obs::{
+    GranuleCompleted, MetricsSubscriber, StderrSubscriber, Subscriber, TraceAnalysis,
+    TraceSubscriber,
+};
 use caai::stream::{identify_bytes_obs, open_path, FollowConfig, StreamConfig};
 use caai::webmodel::PopulationConfig;
 use std::path::PathBuf;
@@ -165,6 +170,10 @@ COMMANDS:
                   [--progress N]         with --follow: stderr progress line (frames,
                                          live flows, evictions, throughput) every N
                                          granules (0 = quiet, the default)
+                  [--trace FILE]         write a Chrome trace-event JSON timeline of
+                                         every pipeline stage (open it in Perfetto or
+                                         chrome://tracing; analyze with trace-report)
+                  [--trace-sample N]     keep only every Nth server's gather subtree
     render-pcap   render simulated probe sessions into a byte-valid capture
                   --out capture.pcap [--algo NAME ...] [--short N]
                   [--loss 0.0] [--seed 1]
@@ -185,6 +194,10 @@ COMMANDS:
                   [--progress N]         progress + stage-timing line every N records
                                          (0 = quiet; --metrics still collects)
                   [--metrics FILE]       write a final caai-metrics-v1 snapshot line
+                  [--trace FILE]         write a Chrome trace-event JSON timeline
+                                         (run → batches → per-server gathers, rungs,
+                                         rounds; analyze with trace-report)
+                  [--trace-sample N]     keep only every Nth server's gather subtree
                   [--targets FILE]       probe a live `host:port` target list over real
                                          TCP sockets instead of a synthetic population
                                          (exclusive with --servers; malformed lines,
@@ -214,7 +227,20 @@ COMMANDS:
                   --in FILE [--in FILE ...]  caai-metrics-v1 JSONL files
                   [--expect NAME=N]      fail unless final counter NAME == N
                   [--expect-min NAME=N]  fail unless final counter NAME >= N
-                                         (both repeatable; checked per file)
+                  [--expect-p99 NAME<=N] fail unless histogram NAME's p99
+                                         (bucket upper bound) is <= N
+                  [--expect-count NAME>=N] fail unless histogram NAME has
+                                         recorded at least N values
+                                         (all repeatable; checked per file)
+    trace-report  analyze a --trace file offline: per-stage self-time
+                  attribution (p50/p95/p99), the gather breakdown by rung
+                  and round, queue-wait vs work time, reactor tick vs
+                  session time, and the slowest gathers by server id
+                  --in FILE [--in FILE ...]  Chrome trace-event JSON files
+                  [--top N]              slow-outlier table length (8)
+                  [--min-gather-share F] fail unless the gather+rung+round
+                                         self-time share is at least F
+                                         (0.5 = half of all self time)
     defense-sweep measure how traffic-analysis defenses (dummy-packet
                   padding, timing jitter, burst shaping, and a combined
                   transform) degrade identification accuracy per overhead
@@ -261,6 +287,7 @@ fn main() -> ExitCode {
         "emulate" => cmd_emulate(&args),
         "census-merge" => cmd_census_merge(&args),
         "metrics-check" => cmd_metrics_check(&args),
+        "trace-report" => cmd_trace_report(&args),
         "defense-sweep" => cmd_defense_sweep(&args),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
@@ -519,6 +546,20 @@ fn open_metrics(args: &Args) -> Result<Option<MetricsFile>, String> {
     args.get("metrics").map(MetricsFile::create).transpose()
 }
 
+/// Opens `--trace FILE` if given: a Chrome trace-event JSON stream
+/// (load it in Perfetto or chrome://tracing, analyze it with
+/// `caai trace-report`). `--trace-sample N` keeps only every Nth
+/// server's gather subtree, bounding file size on large runs.
+fn open_trace(args: &Args) -> Result<Option<TraceSubscriber>, String> {
+    let Some(path) = args.get("trace") else {
+        return Ok(None);
+    };
+    let sample: u64 = args.parsed("trace-sample", 1)?;
+    TraceSubscriber::create(std::path::Path::new(path), sample)
+        .map(Some)
+        .map_err(|e| format!("create {path}: {e}"))
+}
+
 /// Collector-side hook for follow mode, composed *after* the
 /// [`MetricsSubscriber`] in the subscriber tuple so every snapshot
 /// already includes the granule that triggered it: appends one
@@ -619,9 +660,13 @@ fn cmd_identify_pcap(args: &Args, pcap_path: &str) -> Result<(), String> {
     // events fire (same lines the post-hoc loop used to print), while the
     // metrics subscriber counts them for --metrics.
     let metrics = MetricsSubscriber::new();
-    let obs = (StderrSubscriber::new(pcap_path), &metrics);
+    let trace = open_trace(args)?;
+    let obs = (trace.as_ref(), (StderrSubscriber::new(pcap_path), &metrics));
     let verdicts = identify_bytes_obs(&bytes, &classifier, None, &obs)
         .map_err(|e| format!("{pcap_path}: {e}"))?;
+    if let Some(t) = &trace {
+        t.finish();
+    }
     if let Some(file) = metrics_file.as_mut() {
         file.write(&metrics, "identify", true)?;
     }
@@ -748,6 +793,7 @@ fn cmd_identify_follow(args: &Args, pcap_path: &str) -> Result<(), String> {
         Some(out) => Some(JsonlSink::create(out).map_err(|e| format!("create {out}: {e}"))?),
     };
     let metrics = MetricsSubscriber::new();
+    let trace = open_trace(args)?;
     let hook = FollowHook::new(&metrics, progress_every, open_metrics(args)?);
     // The verdict callback runs on the collector thread; sink failures are
     // carried out by value because the callback cannot return an error.
@@ -774,10 +820,16 @@ fn cmd_identify_follow(args: &Args, pcap_path: &str) -> Result<(), String> {
         };
         // Diagnostics render live from the pipeline threads; the hook
         // last so its snapshots include the granule that fired it.
-        let obs = (StderrSubscriber::new(pcap_path), (&metrics, &hook));
+        let obs = (
+            trace.as_ref(),
+            (StderrSubscriber::new(pcap_path), (&metrics, &hook)),
+        );
         caai::stream::run_obs(&mut source, &classifier, &config, on_verdict, &obs)
             .map_err(|e| format!("{pcap_path}: {e}"))?
     };
+    if let Some(t) = &trace {
+        t.finish();
+    }
     if let Some(e) = sink_err {
         return Err(e);
     }
@@ -1002,16 +1054,21 @@ fn cmd_census(args: &Args) -> Result<(), String> {
     // they stay independent of --progress: quiet runs still measure.
     let mut metrics_file = open_metrics(args)?;
     let metrics = MetricsSubscriber::new();
+    let trace = open_trace(args)?;
+    let obs = (trace.as_ref(), &metrics);
     let outcome = match jsonl.as_mut() {
         Some(sink) => engine.run_obs(
             &population,
             &mut [sink as &mut dyn ResultSink],
             resume,
-            &metrics,
+            &obs,
         ),
-        None => engine.run_obs(&population, &mut [], resume, &metrics),
+        None => engine.run_obs(&population, &mut [], resume, &obs),
     }
     .map_err(|e| e.to_string())?;
+    if let Some(t) = &trace {
+        t.finish();
+    }
     if let Some(file) = metrics_file.as_mut() {
         file.write(&metrics, "census", true)?;
     }
@@ -1079,11 +1136,12 @@ fn cmd_census_net(args: &Args, targets_path: &str) -> Result<(), String> {
         rate_per_net: args.parsed("net-rate", 0.0)?,
         max_sessions: args.parsed("max-sessions", 1024)?,
     };
-    // The transport and the engine share one metrics subscriber: reactor
-    // ticks and rate-limiter stalls land next to probe and census
-    // counters in the same --metrics snapshot.
-    let metrics = Arc::new(MetricsSubscriber::new());
-    let transport = NetTransport::new(list.targets, classifier, net_config, Arc::clone(&metrics))
+    // The transport and the engine share one subscriber stack: reactor
+    // ticks, rate-limiter stalls, and reactor-side spans land next to
+    // probe and census counters in the same --metrics / --trace outputs.
+    let obs = Arc::new((open_trace(args)?, MetricsSubscriber::new()));
+    let metrics = &obs.1;
+    let transport = NetTransport::new(list.targets, classifier, net_config, Arc::clone(&obs))
         .map_err(|e| format!("start reactor: {e}"))?;
     for (id, target, why) in transport.resolution_failures() {
         eprintln!("{targets_path}: target {id} ({target}): skipped ({why}); recorded as invalid");
@@ -1150,13 +1208,19 @@ fn cmd_census_net(args: &Args, targets_path: &str) -> Result<(), String> {
             &config,
             &mut [sink as &mut dyn ResultSink],
             resume,
-            &*metrics,
+            &*obs,
         ),
-        None => run_transport_obs(&transport, &config, &mut [], resume, &*metrics),
+        None => run_transport_obs(&transport, &config, &mut [], resume, &*obs),
     }
     .map_err(|e| e.to_string())?;
+    // The reactor thread is still alive (it dies when `transport` drops),
+    // but every session it owned has concluded; close the trace now so
+    // the file is valid JSON the moment the command prints its report.
+    if let Some(t) = &obs.0 {
+        t.finish();
+    }
     if let Some(file) = metrics_file.as_mut() {
-        file.write(&metrics, "census", true)?;
+        file.write(metrics, "census", true)?;
     }
     eprintln!("census: {}", outcome.stats);
     if !outcome.completed {
@@ -1293,6 +1357,63 @@ fn parse_expectations(args: &Args) -> Result<Vec<Expectation>, String> {
     Ok(out)
 }
 
+/// One `--expect-p99 NAME<=N` (latency-style ceiling on the p99 bucket
+/// bound) or `--expect-count NAME>=N` (floor on recorded values)
+/// assertion against the final snapshot's histograms.
+struct HistExpectation {
+    name: String,
+    value: u64,
+    p99: bool,
+}
+
+fn parse_hist_expectations(args: &Args) -> Result<Vec<HistExpectation>, String> {
+    let mut out = Vec::new();
+    for (flag, sep, p99) in [("expect-p99", "<=", true), ("expect-count", ">=", false)] {
+        for spec in args.get_all(flag) {
+            let (name, value) = spec
+                .split_once(sep)
+                .ok_or_else(|| format!("--{flag} {spec}: expected NAME{sep}N"))?;
+            let value = value.parse().map_err(|e| format!("--{flag} {spec}: {e}"))?;
+            out.push(HistExpectation {
+                name: name.to_owned(),
+                value,
+                p99,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Analyzes `--trace` files offline: per-stage self-time attribution
+/// with p50/p95/p99, the gather breakdown by rung and round, queue-wait
+/// vs work time in the streaming pipeline, reactor tick vs session time
+/// on the live path, and the slowest gathers by server id.
+/// `--min-gather-share F` turns it into CI's "the probe path is
+/// gather-dominated" assertion.
+fn cmd_trace_report(args: &Args) -> Result<(), String> {
+    let inputs = args.get_all("in");
+    if inputs.is_empty() {
+        return Err("trace-report needs at least one --in FILE".to_owned());
+    }
+    let top: usize = args.parsed("top", 8)?;
+    let min_gather_share: f64 = args.parsed("min-gather-share", -1.0)?;
+    for path in inputs {
+        let read = caai::obs::report::read_file(std::path::Path::new(path))
+            .map_err(|e| format!("read {path}: {e}"))?;
+        let analysis = TraceAnalysis::from_spans(&read.spans, top);
+        println!("{path}:");
+        print!("{}", analysis.render(&read));
+        if min_gather_share >= 0.0 && analysis.gather_share < min_gather_share {
+            return Err(format!(
+                "{path}: gather self-time share {:.1}% is below the required {:.1}%",
+                100.0 * analysis.gather_share,
+                100.0 * min_gather_share,
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Validates `--metrics` output files (schema, seq, monotonicity) and
 /// prints each file's final counters; `--expect`/`--expect-min` turn it
 /// into the assertion tool CI runs after a smoke capture.
@@ -1302,6 +1423,7 @@ fn cmd_metrics_check(args: &Args) -> Result<(), String> {
         return Err("metrics-check needs at least one --in FILE".to_owned());
     }
     let expectations = parse_expectations(args)?;
+    let hist_expectations = parse_hist_expectations(args)?;
     for path in inputs {
         let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
         let lines = caai::obs::validate_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
@@ -1317,6 +1439,44 @@ fn cmd_metrics_check(args: &Args) -> Result<(), String> {
         for (name, n) in &last.snapshot.counters {
             if *n > 0 {
                 println!("    {name:<36} {n}");
+            }
+        }
+        for (name, h) in &last.snapshot.histograms {
+            if h.count > 0 {
+                println!(
+                    "    {name:<36} n={} p50={} p99={} max={}",
+                    h.count,
+                    h.quantile(0.50),
+                    h.quantile(0.99),
+                    h.max,
+                );
+            }
+        }
+        for exp in &hist_expectations {
+            let op = if exp.p99 {
+                "--expect-p99"
+            } else {
+                "--expect-count"
+            };
+            let Some(h) = last.snapshot.histograms.get(&exp.name) else {
+                return Err(format!(
+                    "{path}: {op}: no histogram named `{}` in the final snapshot",
+                    exp.name
+                ));
+            };
+            if exp.p99 {
+                let got = h.quantile(0.99);
+                if got > exp.value {
+                    return Err(format!(
+                        "{path}: histogram `{}` p99 is {got}, expected <= {}",
+                        exp.name, exp.value,
+                    ));
+                }
+            } else if h.count < exp.value {
+                return Err(format!(
+                    "{path}: histogram `{}` recorded {} values, expected >= {}",
+                    exp.name, h.count, exp.value,
+                ));
             }
         }
         for exp in &expectations {
@@ -1516,6 +1676,27 @@ mod tests {
 
         assert!(parse_expectations(&args(&["--expect", "no-equals"])).is_err());
         assert!(parse_expectations(&args(&["--expect-min", "x=notanumber"])).is_err());
+    }
+
+    #[test]
+    fn histogram_expectations_parse_their_comparison_spellings() {
+        let a = args(&[
+            "--expect-p99",
+            "stream.batch_fill<=128",
+            "--expect-count",
+            "gather.rounds>=1",
+        ]);
+        let exps = parse_hist_expectations(&a).expect("well-formed");
+        assert_eq!(exps.len(), 2);
+        assert!(exps[0].p99 && exps[0].name == "stream.batch_fill" && exps[0].value == 128);
+        assert!(!exps[1].p99 && exps[1].name == "gather.rounds" && exps[1].value == 1);
+
+        // The comparison spelling is part of the flag's contract: `=` or
+        // the wrong direction is malformed, not silently reinterpreted.
+        assert!(parse_hist_expectations(&args(&["--expect-p99", "x=5"])).is_err());
+        assert!(parse_hist_expectations(&args(&["--expect-p99", "x>=5"])).is_err());
+        assert!(parse_hist_expectations(&args(&["--expect-count", "x<=5"])).is_err());
+        assert!(parse_hist_expectations(&args(&["--expect-count", "x>=bad"])).is_err());
     }
 
     #[test]
